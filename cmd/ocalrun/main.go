@@ -1,0 +1,138 @@
+// Command ocalrun interprets an OCAL program with the reference interpreter:
+// useful for checking the semantics of a specification before synthesis.
+//
+// Usage:
+//
+//	ocalrun -prog prog.ocal -in 'R=[<1,10>,<2,20>];S=[<1,100>]' [-param k1=4]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"ocas/internal/interp"
+	"ocas/internal/ocal"
+)
+
+func main() {
+	var (
+		progPath = flag.String("prog", "", "path to the OCAL program (- for stdin)")
+		inputs   = flag.String("in", "", "inputs as name=<ocal literal>, ';' separated")
+		params   = flag.String("param", "", "parameter bindings name=int, comma separated")
+	)
+	flag.Parse()
+	if *progPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	var src []byte
+	var err error
+	if *progPath == "-" {
+		buf := make([]byte, 0, 4096)
+		tmp := make([]byte, 4096)
+		for {
+			n, rerr := os.Stdin.Read(tmp)
+			buf = append(buf, tmp[:n]...)
+			if rerr != nil {
+				break
+			}
+		}
+		src = buf
+	} else {
+		src, err = os.ReadFile(*progPath)
+		if err != nil {
+			die(err)
+		}
+	}
+	prog, err := ocal.ParseFile(string(src))
+	if err != nil {
+		die(err)
+	}
+
+	in := map[string]ocal.Value{}
+	if *inputs != "" {
+		for _, part := range strings.Split(*inputs, ";") {
+			name, lit, ok := strings.Cut(strings.TrimSpace(part), "=")
+			if !ok {
+				die(fmt.Errorf("bad input %q", part))
+			}
+			v, err := parseValue(lit)
+			if err != nil {
+				die(fmt.Errorf("input %s: %w", name, err))
+			}
+			in[name] = v
+		}
+	}
+	pb := map[string]int64{}
+	if *params != "" {
+		for _, part := range strings.Split(*params, ",") {
+			name, val, ok := strings.Cut(strings.TrimSpace(part), "=")
+			if !ok {
+				die(fmt.Errorf("bad parameter %q", part))
+			}
+			n, err := strconv.ParseInt(val, 10, 64)
+			if err != nil {
+				die(err)
+			}
+			pb[name] = n
+		}
+	}
+
+	res, err := interp.Eval(prog, in, pb)
+	if err != nil {
+		die(err)
+	}
+	fmt.Println(res)
+}
+
+// parseValue reads an OCAL value literal by parsing it as an expression and
+// evaluating it (literals only: lists, tuples, atoms).
+func parseValue(lit string) (ocal.Value, error) {
+	e, err := ocal.Parse(valueToExprSyntax(lit))
+	if err != nil {
+		return nil, err
+	}
+	return interp.Eval(e, nil, nil)
+}
+
+// valueToExprSyntax converts the value rendering [a, b] to expression syntax
+// ([a] ++ [b]); tuples and atoms parse as-is.
+func valueToExprSyntax(lit string) string {
+	lit = strings.TrimSpace(lit)
+	if !strings.HasPrefix(lit, "[") || !strings.HasSuffix(lit, "]") {
+		return lit
+	}
+	inner := strings.TrimSpace(lit[1 : len(lit)-1])
+	if inner == "" {
+		return "[]"
+	}
+	var parts []string
+	depth := 0
+	start := 0
+	for i, c := range inner {
+		switch c {
+		case '[', '<', '(':
+			depth++
+		case ']', '>', ')':
+			depth--
+		case ',':
+			if depth == 0 {
+				parts = append(parts, inner[start:i])
+				start = i + 1
+			}
+		}
+	}
+	parts = append(parts, inner[start:])
+	for i, p := range parts {
+		parts[i] = "[" + valueToExprSyntax(strings.TrimSpace(p)) + "]"
+	}
+	return "(" + strings.Join(parts, " ++ ") + ")"
+}
+
+func die(err error) {
+	fmt.Fprintln(os.Stderr, "ocalrun:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,165 @@
+// Command ocas is the Out-of-Core Algorithm Synthesizer CLI: it reads a
+// naive OCAL program and a memory hierarchy description, synthesizes the
+// hierarchy-specialized algorithm, and prints the derivation, the tuned
+// parameters, the cost estimates and (optionally) generated C code.
+//
+// Usage:
+//
+//	ocas -prog join.ocal -hier hdd-ram -in R=hdd:1048576,S=hdd:65536 [-out hdd] [-c]
+//
+// Built-in hierarchies: hdd-ram, hdd-ram-cache, two-hdd, hdd-flash; a JSON
+// file path is accepted too.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"ocas/internal/codegen"
+	"ocas/internal/core"
+	"ocas/internal/memory"
+	"ocas/internal/ocal"
+)
+
+func main() {
+	var (
+		progPath = flag.String("prog", "", "path to the naive OCAL program (- for stdin)")
+		hierName = flag.String("hier", "hdd-ram", "hierarchy: hdd-ram|hdd-ram-cache|two-hdd|hdd-flash or a JSON file")
+		ramSize  = flag.Int64("ram", 32*int64(memory.MiB), "RAM size in bytes for built-in hierarchies")
+		inputs   = flag.String("in", "", "inputs as name=node:rows[:arity], comma separated")
+		output   = flag.String("out", "", "output node (empty = consumed by CPU)")
+		commut   = flag.Bool("commutative", true, "inputs may be reordered (enables order-inputs, hash-part)")
+		depth    = flag.Int("depth", 6, "maximum derivation length")
+		space    = flag.Int("space", 4000, "maximum search space size")
+		emitC    = flag.Bool("c", false, "emit C code for the synthesized algorithm")
+	)
+	flag.Parse()
+	if *progPath == "" || *inputs == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	var src []byte
+	var err error
+	if *progPath == "-" {
+		buf := make([]byte, 0, 4096)
+		tmp := make([]byte, 4096)
+		for {
+			n, rerr := os.Stdin.Read(tmp)
+			buf = append(buf, tmp[:n]...)
+			if rerr != nil {
+				break
+			}
+		}
+		src = buf
+	} else {
+		src, err = os.ReadFile(*progPath)
+		if err != nil {
+			die(err)
+		}
+	}
+	prog, err := ocal.ParseFile(string(src))
+	if err != nil {
+		die(err)
+	}
+
+	h, err := pickHierarchy(*hierName, *ramSize)
+	if err != nil {
+		die(err)
+	}
+
+	spec := core.Spec{Name: "cli", Prog: prog, Commutative: *commut}
+	task := core.Task{InputLoc: map[string]string{}, InputRows: map[string]int64{}, Output: *output}
+	arities := map[string]int{}
+	for _, part := range strings.Split(*inputs, ",") {
+		name, rest, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok {
+			die(fmt.Errorf("bad input spec %q", part))
+		}
+		fields := strings.Split(rest, ":")
+		if len(fields) < 2 {
+			die(fmt.Errorf("bad input spec %q (want name=node:rows[:arity])", part))
+		}
+		rows, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			die(err)
+		}
+		arity := 2
+		if len(fields) >= 3 {
+			a, err := strconv.Atoi(fields[2])
+			if err != nil {
+				die(err)
+			}
+			arity = a
+		}
+		typ := ocal.Type(ocal.TList(ocal.TTuple(ocal.TInt, ocal.TInt)))
+		if arity == 1 {
+			typ = ocal.TList(ocal.TInt)
+		}
+		spec.Inputs = append(spec.Inputs, core.InputSpec{Name: name, Type: typ, Arity: arity})
+		task.InputLoc[name] = fields[0]
+		task.InputRows[name] = rows
+		arities[name] = arity
+	}
+	task.Spec = spec
+
+	synth := &core.Synthesizer{H: h, MaxDepth: *depth, MaxSpace: *space}
+	res, err := synth.Synthesize(task)
+	if err != nil {
+		die(err)
+	}
+
+	fmt.Println("== hierarchy ==")
+	fmt.Print(h.String())
+	fmt.Println("== specification ==")
+	fmt.Println(ocal.String(prog))
+	fmt.Printf("   estimated cost: %.6g s\n", res.SpecSeconds)
+	fmt.Println("== synthesized algorithm ==")
+	fmt.Println(ocal.String(res.Best.Expr))
+	fmt.Printf("   derivation:     %s\n", strings.Join(res.Best.Steps, " -> "))
+	fmt.Printf("   parameters:     %v\n", res.Best.Params)
+	fmt.Printf("   estimated cost: %.6g s (%.1fx better)\n",
+		res.Best.Seconds, res.SpecSeconds/res.Best.Seconds)
+	fmt.Printf("   search space:   %d programs, %d steps, synthesized in %s\n",
+		res.Stats.SpaceSize, len(res.Best.Steps), res.Elapsed)
+
+	if *emitC {
+		csrc, err := codegen.Generate(res.Best.Expr, codegen.Options{
+			FuncName:   "ocas_query",
+			Params:     res.Best.Params,
+			InputArity: arities,
+			Output:     *output != "",
+		})
+		if err != nil {
+			die(err)
+		}
+		fmt.Println("== generated C ==")
+		fmt.Print(csrc)
+	}
+}
+
+func pickHierarchy(name string, ram int64) (*memory.Hierarchy, error) {
+	switch name {
+	case "hdd-ram":
+		return memory.HDDRAM(ram), nil
+	case "hdd-ram-cache":
+		return memory.HDDRAMCache(ram), nil
+	case "two-hdd":
+		return memory.TwoHDD(ram), nil
+	case "hdd-flash":
+		return memory.HDDFlash(ram), nil
+	}
+	data, err := os.ReadFile(name)
+	if err != nil {
+		return nil, fmt.Errorf("unknown hierarchy %q and not a readable file: %w", name, err)
+	}
+	return memory.FromJSON(data)
+}
+
+func die(err error) {
+	fmt.Fprintln(os.Stderr, "ocas:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,85 @@
+// Command ocasbench regenerates the paper's evaluation: Table 1, Figure 8,
+// the cache-miss study and the accuracy study, printing paper-style tables.
+//
+// Usage:
+//
+//	ocasbench -table1            # the sixteen Table 1 rows
+//	ocasbench -fig8              # estimated vs measured sweeps
+//	ocasbench -cache             # loop-tiling cache-miss reduction
+//	ocasbench -accuracy          # selectivity vs estimation accuracy
+//	ocasbench -all -shrink 8     # everything, at 1/8 scale
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"ocas/internal/experiments"
+)
+
+func main() {
+	var (
+		table1   = flag.Bool("table1", false, "regenerate Table 1")
+		fig8     = flag.Bool("fig8", false, "regenerate Figure 8")
+		cache    = flag.Bool("cache", false, "run the cache-miss study (Section 7.2)")
+		accuracy = flag.Bool("accuracy", false, "run the accuracy study (Section 7.3)")
+		all      = flag.Bool("all", false, "run everything")
+		shrink   = flag.Int64("shrink", 1, "divide experiment sizes by this factor")
+	)
+	flag.Parse()
+	cfg := experiments.Config{Shrink: *shrink}
+	ran := false
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "ocasbench:", err)
+		os.Exit(1)
+	}
+	if *table1 || *all {
+		ran = true
+		fmt.Printf("== Table 1 (shrink %d) ==\n", *shrink)
+		start := time.Now()
+		if _, err := experiments.RunTable1(cfg, os.Stdout); err != nil {
+			fail(err)
+		}
+		fmt.Printf("-- total %.1fs\n\n", time.Since(start).Seconds())
+	}
+	if *fig8 || *all {
+		ran = true
+		fmt.Printf("== Figure 8 (shrink %d) ==\n", *shrink)
+		if _, err := experiments.RunFigure8(cfg, os.Stdout); err != nil {
+			fail(err)
+		}
+		fmt.Println()
+	}
+	if *cache || *all {
+		ran = true
+		fmt.Println("== Cache study (Section 7.2) ==")
+		r, err := experiments.RunCacheStudy(cfg)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("untiled: %.4gs   tiled: %.4gs   miss reduction: %.1f%%\n",
+			r.UntiledSecs, r.TiledSecs, 100*r.MissReduction)
+		fmt.Printf("  untiled: opt=%.4g params=%v  %s\n", r.UntiledOpt, r.UntiledParams, r.UntiledProgram)
+		fmt.Printf("  tiled:   opt=%.4g params=%v  %s\n", r.TiledOpt, r.TiledParams, r.TiledProgram)
+		fmt.Println()
+	}
+	if *accuracy || *all {
+		ran = true
+		fmt.Println("== Accuracy study (Section 7.3) ==")
+		pts, err := experiments.AccuracyStudy(cfg)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("%12s %12s\n", "selectivity", "est/act")
+		for _, p := range pts {
+			fmt.Printf("%12.4f %12.3f\n", p.Selectivity, p.EstOverAct)
+		}
+		fmt.Println()
+	}
+	if !ran {
+		flag.Usage()
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,13 @@
+// Package ocas is a Go reproduction of "Automatic Synthesis of Out-of-Core
+// Algorithms" (Klonatos, Nötzli, Spielmann, Koch, Kuncak; SIGMOD 2013).
+//
+// The implementation lives under internal/: the OCAL language (internal/ocal),
+// its reference interpreter (internal/interp), the memory-hierarchy model
+// (internal/memory), the cost estimator (internal/cost), the transformation
+// rules and search (internal/rules), the non-linear parameter optimizer
+// (internal/opt), the OCAS synthesizer (internal/core), the C code generator
+// (internal/codegen), the storage simulator and execution engine
+// (internal/storage, internal/exec), and the evaluation harness
+// (internal/experiments). Command-line entry points are under cmd/ and
+// runnable examples under examples/.
+package ocas

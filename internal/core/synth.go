@@ -1,0 +1,258 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"ocas/internal/cost"
+	"ocas/internal/memory"
+	"ocas/internal/ocal"
+	"ocas/internal/opt"
+	"ocas/internal/rules"
+	sym "ocas/internal/symbolic"
+)
+
+// Task is one synthesis request: a specification, where its inputs live and
+// how large they are, and where the output goes.
+type Task struct {
+	Spec         Spec
+	InputLoc     map[string]string // input name -> hierarchy node
+	InputRows    map[string]int64  // input name -> cardinality in tuples
+	Output       string            // output node; "" = consumed by CPU
+	Intermediate string            // scratch device; defaults per cost.Placement
+}
+
+// Synthesizer holds the search configuration.
+type Synthesizer struct {
+	H *memory.Hierarchy
+	// Rules defaults to rules.AllRules().
+	Rules []rules.Rule
+	// MaxDepth bounds derivation length (default 6).
+	MaxDepth int
+	// MaxSpace bounds the number of explored programs (default 20000).
+	MaxSpace int
+	// ScreenTop is the number of screened candidates that get full
+	// parameter optimization (default 48). Screening costs every program
+	// with a heuristic parameter assignment first; only the most promising
+	// ones go through the non-linear solver.
+	ScreenTop int
+}
+
+// Candidate is one costed program of the search space.
+type Candidate struct {
+	Expr    ocal.Expr
+	Steps   []string
+	Params  map[string]int64
+	Seconds float64
+	Cost    *cost.Result
+}
+
+// Synthesis is the result of a synthesis run.
+type Synthesis struct {
+	Best *Candidate
+	// SpecSeconds is the cost estimate of the naive specification itself.
+	SpecSeconds float64
+	SpecCost    *cost.Result
+	Stats       rules.SearchStats
+	Elapsed     time.Duration
+	// Explored is the number of programs costed.
+	Explored int
+}
+
+// cardVar names the symbolic cardinality of an input.
+func cardVar(input string) string { return "card_" + input }
+
+func (s *Synthesizer) placement(t Task) cost.Placement {
+	p := cost.Placement{
+		InputLoc:     map[string]string{},
+		InputType:    map[string]ocal.Type{},
+		InputCard:    map[string]sym.Expr{},
+		Output:       t.Output,
+		Intermediate: t.Intermediate,
+	}
+	for _, in := range t.Spec.Inputs {
+		p.InputLoc[in.Name] = t.InputLoc[in.Name]
+		p.InputType[in.Name] = in.Type
+		p.InputCard[in.Name] = sym.V(cardVar(in.Name))
+	}
+	return p
+}
+
+func (s *Synthesizer) fixedEnv(t Task) sym.Env {
+	env := sym.Env{}
+	for name, n := range t.InputRows {
+		env[cardVar(name)] = float64(n)
+	}
+	return env
+}
+
+// Synthesize runs the full pipeline: BFS over rewrites, cost estimation for
+// every program, heuristic screening, then non-linear parameter optimization
+// of the most promising candidates; the cheapest wins.
+func (s *Synthesizer) Synthesize(t Task) (*Synthesis, error) {
+	start := time.Now()
+	maxDepth := s.MaxDepth
+	if maxDepth <= 0 {
+		maxDepth = 6
+	}
+	maxSpace := s.MaxSpace
+	if maxSpace <= 0 {
+		maxSpace = 20000
+	}
+	screenTop := s.ScreenTop
+	if screenTop <= 0 {
+		screenTop = 48
+	}
+	rls := s.Rules
+	if rls == nil {
+		rls = rules.AllRules()
+	}
+	rctx := &rules.Context{
+		H:           s.H,
+		InputLoc:    map[string]string{},
+		Output:      t.Output,
+		Commutative: t.Spec.Commutative,
+	}
+	for _, in := range t.Spec.Inputs {
+		rctx.InputLoc[in.Name] = t.InputLoc[in.Name]
+	}
+
+	space, stats := rules.Search(t.Spec.Prog, rls, rctx, maxDepth, maxSpace)
+	place := s.placement(t)
+	fixed := s.fixedEnv(t)
+
+	// Phase 1: cost every program with a heuristic parameter guess (the
+	// paper's single-loop heuristic: blocks as large as the constraints
+	// allow, split evenly).
+	type screened struct {
+		idx     int
+		res     *cost.Result
+		guess   map[string]int64
+		seconds float64
+	}
+	var scr []screened
+	var specSeconds float64
+	var specCost *cost.Result
+	for i, d := range space {
+		res, err := cost.Estimate(s.H, place, d.Expr)
+		if err != nil {
+			continue
+		}
+		guess := heuristicParams(res, fixed, s.H)
+		env := mergeEnv(fixed, guess)
+		secs := res.Seconds.Eval(env)
+		if i == 0 {
+			specSeconds = secs
+			specCost = res
+		}
+		scr = append(scr, screened{idx: i, res: res, guess: guess, seconds: secs})
+	}
+	if len(scr) == 0 {
+		return nil, fmt.Errorf("core: no program could be costed")
+	}
+	sort.SliceStable(scr, func(i, j int) bool { return scr[i].seconds < scr[j].seconds })
+	if len(scr) > screenTop {
+		scr = scr[:screenTop]
+	}
+
+	// Phase 2: full parameter optimization of the shortlist.
+	var best *Candidate
+	for _, sc := range scr {
+		d := space[sc.idx]
+		prob := opt.Problem{
+			Objective:   sc.res.Seconds,
+			Constraints: sc.res.Constraints,
+			Params:      sc.res.Params,
+			Fixed:       fixed,
+			Hi:          paramUpperBounds(sc.res.Params, t),
+		}
+		r, err := opt.Minimize(prob)
+		if err != nil {
+			continue
+		}
+		cand := &Candidate{
+			Expr:    d.Expr,
+			Steps:   d.Steps,
+			Params:  r.Values,
+			Seconds: r.Seconds,
+			Cost:    sc.res,
+		}
+		if best == nil || cand.Seconds < best.Seconds ||
+			(cand.Seconds == best.Seconds && len(cand.Steps) < len(best.Steps)) {
+			best = cand
+		}
+	}
+	if best == nil {
+		return nil, fmt.Errorf("core: no feasible candidate")
+	}
+	return &Synthesis{
+		Best:        best,
+		SpecSeconds: specSeconds,
+		SpecCost:    specCost,
+		Stats:       stats,
+		Elapsed:     time.Since(start),
+		Explored:    len(space),
+	}, nil
+}
+
+// heuristicParams guesses block sizes for screening: each parameter gets an
+// equal share of the tightest capacity constraint it appears in.
+func heuristicParams(res *cost.Result, fixed sym.Env, h *memory.Hierarchy) map[string]int64 {
+	out := map[string]int64{}
+	if len(res.Params) == 0 {
+		return out
+	}
+	for _, p := range res.Params {
+		out[p] = 4096
+	}
+	// Shrink until all constraints hold (cheap feasibility repair).
+	env := mergeEnv(fixed, out)
+	for iter := 0; iter < 40; iter++ {
+		violated := false
+		for _, c := range res.Constraints {
+			if c.LHS.Eval(env) > c.RHS.Eval(env) {
+				violated = true
+				break
+			}
+		}
+		if !violated {
+			break
+		}
+		for _, p := range res.Params {
+			if out[p] > 1 {
+				out[p] /= 2
+			}
+		}
+		env = mergeEnv(fixed, out)
+	}
+	return out
+}
+
+// paramUpperBounds caps each parameter at the total input size (a block
+// larger than the data is pointless) to keep the search compact.
+func paramUpperBounds(params []string, t Task) map[string]int64 {
+	var total int64
+	for _, n := range t.InputRows {
+		total += n
+	}
+	if total < 16 {
+		total = 16
+	}
+	hi := map[string]int64{}
+	for _, p := range params {
+		hi[p] = total
+	}
+	return hi
+}
+
+func mergeEnv(fixed sym.Env, params map[string]int64) sym.Env {
+	env := make(sym.Env, len(fixed)+len(params))
+	for k, vv := range fixed {
+		env[k] = vv
+	}
+	for k, vv := range params {
+		env[k] = float64(vv)
+	}
+	return env
+}

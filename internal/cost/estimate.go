@@ -1,0 +1,608 @@
+package cost
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"ocas/internal/memory"
+	"ocas/internal/ocal"
+	sym "ocas/internal/symbolic"
+)
+
+// Placement states where program inputs reside in the hierarchy, how large
+// they are (symbolically), and where the output is written ("" = consumed by
+// the CPU), per Section 4: "the location of the input data, as well as the
+// output node, must both be specified".
+type Placement struct {
+	InputLoc  map[string]string // input var -> node name
+	InputType map[string]ocal.Type
+	InputCard map[string]sym.Expr // input var -> cardinality (e.g. Var("x"))
+	Output    string              // output node, or "" for CPU-consumed
+	// Intermediate is the node where growing intermediate results (fold
+	// accumulators, partitions, sort runs) spill; defaults to the output
+	// node, else the location of the alphabetically first input.
+	Intermediate string
+}
+
+// Result of costing one program.
+type Result struct {
+	Size        AType
+	Events      *Events
+	Constraints []Constraint
+	// Seconds is the full symbolic cost formula (includes the alternative
+	// input ordering when an order-inputs wrapper is present).
+	Seconds sym.Expr
+	// Params lists the symbolic tuning parameters appearing in the formula.
+	Params []string
+}
+
+// locT locates a value: a leaf node name, or per-component locations for
+// tuples (so a tuple of device-resident relations keeps each component's
+// placement).
+type locT struct {
+	node  string
+	comps []locT
+}
+
+func leafLoc(n string) locT { return locT{node: n} }
+
+func (l locT) at(i int) locT {
+	if len(l.comps) > 0 && i < len(l.comps) {
+		return l.comps[i]
+	}
+	return locT{node: l.node}
+}
+
+// nodeOf collapses a location to a single node (used where a compound value
+// is consumed as a whole).
+func (l locT) nodeOf() string {
+	if l.node != "" {
+		return l.node
+	}
+	if len(l.comps) > 0 {
+		return l.comps[0].nodeOf()
+	}
+	return ""
+}
+
+type binding struct {
+	at  AType
+	loc locT
+}
+
+type ctx map[string]binding
+
+func (c ctx) bind(name string, b binding) ctx {
+	n := make(ctx, len(c)+1)
+	for k, v := range c {
+		n[k] = v
+	}
+	n[name] = b
+	return n
+}
+
+type run struct {
+	h     *memory.Hierarchy
+	p     Placement
+	ev    *Events
+	cons  []Constraint
+	resid map[string]map[string]sym.Expr // node -> dedupe key -> resident bytes
+	// downTo records devices that received intermediate writes during
+	// estimation; the final output write can only be sequential when the
+	// output device was otherwise untouched.
+	downTo map[string]bool
+	// phase labels the residency group: buffers of phases that do not
+	// overlap in time (e.g. hash-partitioning versus the subsequent
+	// per-bucket joins) must not share one capacity constraint.
+	phase string
+}
+
+func (r *run) phaseName() string {
+	if r.phase == "" {
+		return "main"
+	}
+	return r.phase
+}
+
+func (r *run) root() string { return r.h.Root.Name }
+
+func (r *run) inter() string {
+	if r.p.Intermediate != "" {
+		return r.p.Intermediate
+	}
+	if r.p.Output != "" {
+		return r.p.Output
+	}
+	var names []string
+	for _, loc := range r.p.InputLoc {
+		names = append(names, loc)
+	}
+	sort.Strings(names)
+	if len(names) > 0 {
+		return names[0]
+	}
+	return ""
+}
+
+func (r *run) addResident(node, key string, bytes sym.Expr) {
+	group := node + "\x00" + r.phaseName()
+	if r.resid[group] == nil {
+		r.resid[group] = map[string]sym.Expr{}
+	}
+	r.resid[group][key] = bytes
+}
+
+func (r *run) addCons(lhs, rhs sym.Expr, why string) {
+	r.cons = append(r.cons, Constraint{LHS: lhs, RHS: rhs, Why: why})
+}
+
+// chargeUp charges moving `bytes` with `inits` transfer initiations one hop
+// upward from node loc, returning the destination node.
+func (r *run) chargeUp(loc string, bytes, inits sym.Expr) string {
+	parent := r.h.Parent(loc)
+	if parent == nil {
+		return loc
+	}
+	e := Edge{From: loc, To: parent.Name}
+	r.ev.AddBytes(e, bytes)
+	r.ev.AddInit(e, inits)
+	return parent.Name
+}
+
+// chargeDownPath charges moving bytes from the root down to node dst,
+// one edge at a time.
+func (r *run) chargeDownPath(dst string, bytes, inits sym.Expr) {
+	path, err := r.h.PathToRoot(dst)
+	if err != nil {
+		return
+	}
+	// path = dst ... root; walk top-down.
+	for i := len(path) - 1; i > 0; i-- {
+		e := Edge{From: path[i], To: path[i-1]}
+		r.ev.AddBytes(e, bytes)
+		r.ev.AddInit(e, inits)
+	}
+	if r.downTo == nil {
+		r.downTo = map[string]bool{}
+	}
+	r.downTo[dst] = true
+}
+
+// paramExpr converts an AST parameter to a symbolic expression.
+func paramExpr(p ocal.Param) sym.Expr {
+	if v, ok := p.Literal(); ok {
+		return sym.C(float64(v))
+	}
+	return sym.V(p.Sym)
+}
+
+// seqInits is the seq-ac InitCom count of Section 6.2:
+// max(1, total / min(m1.maxSeqR, m2.maxSeqW)), with 0 meaning "unlimited".
+func (r *run) seqInits(from, to string, bytes sym.Expr) sym.Expr {
+	var lim int64
+	if n := r.h.Node(from); n != nil && n.MaxSeqR > 0 {
+		lim = n.MaxSeqR
+	}
+	if n := r.h.Node(to); n != nil && n.MaxSeqW > 0 && (lim == 0 || n.MaxSeqW < lim) {
+		lim = n.MaxSeqW
+	}
+	if lim == 0 {
+		return sym.One
+	}
+	return sym.Max(sym.One, sym.Div(bytes, sym.C(float64(lim))))
+}
+
+// Estimate costs prog under the hierarchy and placement. It implements the
+// rules of Figures 5 and 6 together with the definition cost plugins of
+// Sections 3 and 6.
+func Estimate(h *memory.Hierarchy, p Placement, prog ocal.Expr) (*Result, error) {
+	// order-inputs wrappers are costed as the minimum over both input
+	// orderings: the formula is evaluated numerically by the optimizer, so
+	// Min picks the ordering the generated program would pick at run time.
+	if inner, a, b, ok := matchOrderInputs(prog); ok {
+		swapped := ocal.App{Fn: inner, Arg: ocal.Tup{Elems: []ocal.Expr{b, a}}}
+		direct := ocal.App{Fn: inner, Arg: ocal.Tup{Elems: []ocal.Expr{a, b}}}
+		r1, err := estimateOne(h, p, direct)
+		if err != nil {
+			return nil, err
+		}
+		r2, err := estimateOne(h, p, swapped)
+		if err != nil {
+			return nil, err
+		}
+		r1.Seconds = sym.Min(r1.Seconds, r2.Seconds)
+		r1.Constraints = append(r1.Constraints, r2.Constraints...)
+		r1.Params = mergeParams(r1.Params, r2.Params)
+		return r1, nil
+	}
+	return estimateOne(h, p, prog)
+}
+
+// matchOrderInputs recognizes
+//
+//	(\<x1,x2> -> body)(if length(a) <= length(b) then <a,b> else <b,a>)
+//
+// and returns the lambda and the two inputs.
+func matchOrderInputs(e ocal.Expr) (inner ocal.Expr, a, b ocal.Expr, ok bool) {
+	app, isApp := e.(ocal.App)
+	if !isApp {
+		return nil, nil, nil, false
+	}
+	cond, isIf := app.Arg.(ocal.If)
+	if !isIf {
+		return nil, nil, nil, false
+	}
+	t1, ok1 := cond.Then.(ocal.Tup)
+	t2, ok2 := cond.Else.(ocal.Tup)
+	if !ok1 || !ok2 || len(t1.Elems) != 2 || len(t2.Elems) != 2 {
+		return nil, nil, nil, false
+	}
+	if ocal.String(t1.Elems[0]) != ocal.String(t2.Elems[1]) ||
+		ocal.String(t1.Elems[1]) != ocal.String(t2.Elems[0]) {
+		return nil, nil, nil, false
+	}
+	return app.Fn, t1.Elems[0], t1.Elems[1], true
+}
+
+func mergeParams(a, b []string) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, s := range append(append([]string{}, a...), b...) {
+		if !seen[s] {
+			seen[s] = true
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+func estimateOne(h *memory.Hierarchy, p Placement, prog ocal.Expr) (*Result, error) {
+	r := &run{h: h, p: p, ev: NewEvents(), resid: map[string]map[string]sym.Expr{}}
+	g := ctx{}
+	for name, loc := range p.InputLoc {
+		t, ok := p.InputType[name]
+		if !ok {
+			return nil, fmt.Errorf("cost: input %q has no type", name)
+		}
+		card, ok := p.InputCard[name]
+		if !ok {
+			return nil, fmt.Errorf("cost: input %q has no cardinality", name)
+		}
+		g[name] = binding{at: FromType(t, card, ""), loc: leafLoc(loc)}
+	}
+	at, _, err := r.est(prog, g)
+	if err != nil {
+		return nil, err
+	}
+
+	// Output write-out: the program result is evicted from the root to the
+	// output node through the output buffer (Section 5.2: "when the output
+	// buffer is filled, it is completely evicted to the output memory
+	// level").
+	if p.Output != "" {
+		bytes := Size(at)
+		outK := findOutK(prog)
+		// When nothing else touches the output device (no input stored
+		// there, no intermediate spill), the buffered output stream is
+		// written sequentially — the seq-ac reasoning applied to writes,
+		// and the reason the "other HDD" and flash variants win.
+		outSequential := !r.downTo[p.Output]
+		for _, loc := range p.InputLoc {
+			if loc == p.Output {
+				outSequential = false
+			}
+		}
+		// Unbuffered element-wise output (the naive specification) pays one
+		// initiation per tuple even on a dedicated device: sequentiality is
+		// only exploited once apply-block has introduced the output buffer.
+		if v, ok := outK.Literal(); ok && v == 1 {
+			outSequential = false
+		}
+		var inits sym.Expr
+		if outSequential {
+			if parent := h.Parent(p.Output); parent != nil {
+				inits = r.seqInits(parent.Name, p.Output, bytes)
+			} else {
+				inits = sym.One
+			}
+			if v, ok := outK.Literal(); !ok || v != 1 {
+				ko := paramExpr(outK)
+				var elemB sym.Expr = sym.One
+				if el, err := Elem(at); err == nil {
+					elemB = Size(el)
+				}
+				r.addResident(r.root(), "outbuf:"+outK.String(), sym.Mul(ko, elemB))
+			}
+			r.chargeDownPath(p.Output, bytes, inits)
+		} else if v, ok := outK.Literal(); ok && v == 1 {
+			// Unbuffered: one initiation per output element.
+			if c, err := Card(at); err == nil {
+				inits = c
+			} else {
+				inits = sym.One
+			}
+		} else {
+			ko := paramExpr(outK)
+			if c, err := Card(at); err == nil {
+				inits = sym.Ceil(sym.Div(c, ko))
+			} else {
+				inits = sym.One
+			}
+			var elemB sym.Expr = sym.One
+			if el, err := Elem(at); err == nil {
+				elemB = Size(el)
+			}
+			r.addResident(r.root(), "outbuf:"+outK.String(), sym.Mul(ko, elemB))
+			if n := h.Node(p.Output); n != nil && n.MaxSeqW > 0 {
+				r.addCons(sym.Mul(ko, elemB), sym.C(float64(n.MaxSeqW)),
+					"output block fits maxSeqW of "+p.Output)
+			}
+		}
+		r.chargeDownPath(p.Output, bytes, inits)
+	}
+
+	// Residency constraints: everything resident at a node during one
+	// phase must fit that node.
+	var groups []string
+	for g := range r.resid {
+		groups = append(groups, g)
+	}
+	sort.Strings(groups)
+	for _, g := range groups {
+		var keys []string
+		for k := range r.resid[g] {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		var terms []sym.Expr
+		for _, k := range keys {
+			terms = append(terms, r.resid[g][k])
+		}
+		nodeName, phase, _ := strings.Cut(g, "\x00")
+		node := h.Node(nodeName)
+		if node != nil {
+			r.addCons(sym.Add(terms...), sym.C(float64(node.Size)),
+				fmt.Sprintf("resident data fits %s (%s phase)", nodeName, phase))
+		}
+	}
+
+	res := &Result{
+		Size:        at,
+		Events:      r.ev,
+		Constraints: r.cons,
+		Seconds:     r.ev.Seconds(h),
+		Params:      ocal.Params(prog),
+	}
+	return res, nil
+}
+
+// findOutK locates the output-buffering parameter: the outermost For.OutK or
+// TreeFold.OutK that is not 1.
+func findOutK(e ocal.Expr) ocal.Param {
+	switch t := e.(type) {
+	case ocal.For:
+		if !t.OutK.IsOne() {
+			return t.OutK
+		}
+	case ocal.TreeFold:
+		if !t.OutK.IsOne() {
+			return t.OutK
+		}
+	case ocal.UnfoldR:
+		if !t.OutK.IsOne() {
+			return t.OutK
+		}
+	}
+	for _, c := range ocal.Children(e) {
+		if p := findOutK(c); !p.IsOne() {
+			return p
+		}
+	}
+	return ocal.Lit(1)
+}
+
+// scaled estimates f's charges in a sub-tally and multiplies them by factor
+// before merging, implementing the "card/k · C(body)" part of Figure 6.
+func (r *run) scaled(factor sym.Expr, f func() error) error {
+	saved := r.ev
+	r.ev = NewEvents()
+	err := f()
+	sub := r.ev
+	r.ev = saved
+	if err != nil {
+		return err
+	}
+	sub.Scale(factor)
+	r.ev.Merge(sub)
+	return nil
+}
+
+func (r *run) est(e ocal.Expr, g ctx) (AType, locT, error) {
+	rootLoc := leafLoc(r.root())
+	switch t := e.(type) {
+	case ocal.Var:
+		b, ok := g[t.Name]
+		if !ok {
+			return nil, locT{}, fmt.Errorf("cost: unbound variable %q", t.Name)
+		}
+		return b.at, b.loc, nil
+	case ocal.IntLit, ocal.BoolLit:
+		return AConst{Size: sym.C(float64(ocal.AtomBytes))}, rootLoc, nil
+	case ocal.StrLit:
+		return AConst{Size: sym.C(float64(len(t.V)))}, rootLoc, nil
+	case ocal.Tup:
+		out := make(ATuple, len(t.Elems))
+		locs := make([]locT, len(t.Elems))
+		for i, el := range t.Elems {
+			at, loc, err := r.est(el, g)
+			if err != nil {
+				return nil, locT{}, err
+			}
+			out[i] = at
+			locs[i] = loc
+		}
+		return out, locT{comps: locs}, nil
+	case ocal.Proj:
+		at, loc, err := r.est(t.E, g)
+		if err != nil {
+			return nil, locT{}, err
+		}
+		tup, ok := at.(ATuple)
+		if !ok || t.I < 1 || t.I > len(tup) {
+			return nil, locT{}, fmt.Errorf("cost: bad projection .%d on %s", t.I, at)
+		}
+		return tup[t.I-1], loc.at(t.I - 1), nil
+	case ocal.Single:
+		at, _, err := r.est(t.E, g)
+		if err != nil {
+			return nil, locT{}, err
+		}
+		return AList{Card: sym.One, Elem: at}, rootLoc, nil
+	case ocal.Empty:
+		return AList{Card: sym.Zero, Elem: AConst{Size: sym.Zero}}, rootLoc, nil
+	case ocal.If:
+		if _, _, err := r.est(t.Cond, g); err != nil {
+			return nil, locT{}, err
+		}
+		thenAt, thenLoc, err := r.est(t.Then, g)
+		if err != nil {
+			return nil, locT{}, err
+		}
+		elseAt, _, err := r.est(t.Else, g)
+		if err != nil {
+			return nil, locT{}, err
+		}
+		return MaxT(thenAt, elseAt), thenLoc, nil
+	case ocal.Prim:
+		return r.estPrim(t, g)
+	case ocal.For:
+		return r.estFor(t, g)
+	case ocal.App:
+		return r.estApp(t, g)
+	case ocal.Lam, ocal.FlatMap, ocal.FoldL, ocal.TreeFold, ocal.UnfoldR,
+		ocal.Mrg, ocal.ZipStep, ocal.FuncPow, ocal.PartitionF, ocal.ZipLists:
+		return nil, locT{}, fmt.Errorf("cost: bare function %s not applied; costing assumes definitions are matched with applications", ocal.String(e))
+	}
+	return nil, locT{}, fmt.Errorf("cost: cannot estimate %T", e)
+}
+
+func (r *run) estPrim(t ocal.Prim, g ctx) (AType, locT, error) {
+	rootLoc := leafLoc(r.root())
+	args := make([]AType, len(t.Args))
+	for i, a := range t.Args {
+		at, _, err := r.est(a, g)
+		if err != nil {
+			return nil, locT{}, err
+		}
+		args[i] = at
+	}
+	switch t.Op {
+	case ocal.OpConcat:
+		return AddT(args[0], args[1]), rootLoc, nil
+	case ocal.OpHead:
+		el, err := Elem(args[0])
+		if err != nil {
+			return nil, locT{}, err
+		}
+		return el, rootLoc, nil
+	case ocal.OpTail:
+		l, ok := args[0].(AList)
+		if !ok {
+			return nil, locT{}, fmt.Errorf("cost: tail of non-list")
+		}
+		return AList{Card: sym.Max(sym.Zero, sym.Sub(l.Card, sym.One)), Elem: l.Elem}, rootLoc, nil
+	default:
+		return AConst{Size: sym.C(float64(ocal.AtomBytes))}, rootLoc, nil
+	}
+}
+
+// seqStillValid re-checks the seq-ac side condition against the current
+// program: rewrites applied after the annotation (e.g. swap-iter moving a
+// same-device loop inside) can invalidate it, in which case the costing
+// engine falls back to per-block initiations. The condition mirrors the
+// rule's: no other loop inside the body streams from the same device, and
+// the program output does not interfere with it.
+func (r *run) seqStillValid(f ocal.For, g ctx, dev string) bool {
+	if r.p.Output == dev {
+		return false
+	}
+	var conflict func(e ocal.Expr) bool
+	conflict = func(e ocal.Expr) bool {
+		if inner, ok := e.(ocal.For); ok {
+			if src, ok := inner.Src.(ocal.Var); ok {
+				if b, bound := g[src.Name]; bound && b.loc.nodeOf() == dev {
+					return true
+				}
+			}
+		}
+		for _, c := range ocal.Children(e) {
+			if conflict(c) {
+				return true
+			}
+		}
+		return false
+	}
+	return !conflict(f.Body)
+}
+
+// estFor implements the for rule: blocked transfer of the source one hop up
+// the hierarchy, body charged once per block (Figure 6), result size scaled
+// by the iteration count (Figure 5).
+func (r *run) estFor(t ocal.For, g ctx) (AType, locT, error) {
+	rootLoc := leafLoc(r.root())
+	srcAt, srcLoc, err := r.est(t.Src, g)
+	if err != nil {
+		return nil, locT{}, err
+	}
+	n, err := Card(srcAt)
+	if err != nil {
+		return nil, locT{}, fmt.Errorf("cost: for over non-list: %w", err)
+	}
+	elem, _ := Elem(srcAt)
+	k := paramExpr(t.K)
+	elemBytes := Size(elem)
+
+	xLocNode := r.root()
+	src := srcLoc.nodeOf()
+	if src != r.root() && src != "" {
+		bytes := Size(srcAt)
+		var inits sym.Expr
+		parent := r.h.Parent(src)
+		if t.Seq != nil && parent != nil && t.Seq.From == src && t.Seq.To == parent.Name &&
+			r.seqStillValid(t, g, src) {
+			inits = r.seqInits(src, parent.Name, bytes)
+		} else {
+			inits = sym.Ceil(sym.Div(n, k))
+		}
+		xLocNode = r.chargeUp(src, bytes, inits)
+		if !t.K.IsOne() {
+			r.addResident(xLocNode, "block:"+t.X+":"+t.K.String(), sym.Mul(k, elemBytes))
+			if d := r.h.Node(src); d != nil && d.MaxSeqR > 0 {
+				r.addCons(sym.Mul(k, elemBytes), sym.C(float64(d.MaxSeqR)),
+					fmt.Sprintf("read block %s fits maxSeqR of %s", t.K.String(), src))
+			}
+		}
+	}
+
+	var xAt AType
+	if t.K.IsOne() {
+		xAt = elem
+	} else {
+		xAt = AList{Card: k, Elem: elem}
+	}
+	iters := sym.Ceil(sym.Div(n, k))
+	var bodyAt AType
+	err = r.scaled(iters, func() error {
+		at, _, err := r.est(t.Body, g.bind(t.X, binding{at: xAt, loc: leafLoc(xLocNode)}))
+		bodyAt = at
+		return err
+	})
+	if err != nil {
+		return nil, locT{}, err
+	}
+	if _, ok := bodyAt.(AList); !ok {
+		return nil, locT{}, fmt.Errorf("cost: for body must produce a list, got %s", bodyAt)
+	}
+	return ScaleCard(bodyAt, iters), rootLoc, nil
+}

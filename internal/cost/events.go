@@ -1,0 +1,126 @@
+package cost
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"ocas/internal/memory"
+	sym "ocas/internal/symbolic"
+)
+
+// Edge is a directed adjacent pair of hierarchy nodes.
+type Edge struct{ From, To string }
+
+func (e Edge) String() string { return e.From + "->" + e.To }
+
+// Events tallies, per directed edge, the number of InitCom events and the
+// number of bytes transferred (UnitTr events), as symbolic expressions over
+// input cardinalities and tuning parameters.
+type Events struct {
+	Init map[Edge]sym.Expr
+	Byte map[Edge]sym.Expr
+}
+
+// NewEvents returns an empty tally.
+func NewEvents() *Events {
+	return &Events{Init: map[Edge]sym.Expr{}, Byte: map[Edge]sym.Expr{}}
+}
+
+// AddInit accumulates InitCom events on an edge.
+func (ev *Events) AddInit(e Edge, n sym.Expr) {
+	if cur, ok := ev.Init[e]; ok {
+		ev.Init[e] = sym.Add(cur, n)
+	} else {
+		ev.Init[e] = n
+	}
+}
+
+// AddBytes accumulates transferred bytes on an edge.
+func (ev *Events) AddBytes(e Edge, n sym.Expr) {
+	if cur, ok := ev.Byte[e]; ok {
+		ev.Byte[e] = sym.Add(cur, n)
+	} else {
+		ev.Byte[e] = n
+	}
+}
+
+// Merge adds all events of other into ev.
+func (ev *Events) Merge(other *Events) {
+	for e, n := range other.Init {
+		ev.AddInit(e, n)
+	}
+	for e, n := range other.Byte {
+		ev.AddBytes(e, n)
+	}
+}
+
+// Scale multiplies every tally by f (used when a subcomputation repeats).
+func (ev *Events) Scale(f sym.Expr) {
+	for e, n := range ev.Init {
+		ev.Init[e] = sym.Mul(f, n)
+	}
+	for e, n := range ev.Byte {
+		ev.Byte[e] = sym.Mul(f, n)
+	}
+}
+
+// Seconds converts the tallies to estimated seconds using the hierarchy's
+// edge weights: total = Σ init·InitCom + bytes·UnitTr.
+func (ev *Events) Seconds(h *memory.Hierarchy) sym.Expr {
+	var terms []sym.Expr
+	for e, n := range ev.Init {
+		w := h.InitCom(e.From, e.To)
+		if w != 0 {
+			terms = append(terms, sym.Mul(sym.C(w), n))
+		}
+	}
+	for e, n := range ev.Byte {
+		w := h.UnitTr(e.From, e.To)
+		if w != 0 {
+			terms = append(terms, sym.Mul(sym.C(w), n))
+		}
+	}
+	return sym.Add(terms...)
+}
+
+// String renders the tallies deterministically for golden tests.
+func (ev *Events) String() string {
+	var keys []Edge
+	seen := map[Edge]bool{}
+	for e := range ev.Init {
+		if !seen[e] {
+			seen[e] = true
+			keys = append(keys, e)
+		}
+	}
+	for e := range ev.Byte {
+		if !seen[e] {
+			seen[e] = true
+			keys = append(keys, e)
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i].String() < keys[j].String() })
+	var b strings.Builder
+	for _, e := range keys {
+		init, bytes := ev.Init[e], ev.Byte[e]
+		if init == nil {
+			init = sym.Zero
+		}
+		if bytes == nil {
+			bytes = sym.Zero
+		}
+		fmt.Fprintf(&b, "%-14s InitCom: %-30s UnitTr bytes: %s\n", e.String(), init.String(), bytes.String())
+	}
+	return b.String()
+}
+
+// Constraint is LHS ≤ RHS, handed to the parameter optimizer.
+type Constraint struct {
+	LHS, RHS sym.Expr
+	Why      string
+}
+
+func (c Constraint) String() string {
+	return fmt.Sprintf("%s <= %s (%s)", c.LHS, c.RHS, c.Why)
+}

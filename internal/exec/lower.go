@@ -1,0 +1,525 @@
+package exec
+
+import (
+	"fmt"
+
+	"ocas/internal/interp"
+	"ocas/internal/ocal"
+	"ocas/internal/storage"
+)
+
+// Plan is an executable physical operator tree.
+type Plan interface{ Run() error }
+
+// LowerInput binds a program input to a loaded table.
+type LowerInput struct {
+	Table *Table
+}
+
+// LowerOpts configures lowering.
+type LowerOpts struct {
+	Sim     *storage.Sim
+	Inputs  map[string]*Table
+	Params  map[string]int64 // optimizer-chosen parameter values
+	Scratch *storage.Device  // device for partitions / sort runs
+	Sink    *Sink            // program output (Out nil = CPU-consumed)
+	// RAMBytes is the root node size, used to size partition write buffers.
+	RAMBytes int64
+}
+
+// Lower translates an optimized OCAL program into a physical plan. It plays
+// the role of the OCAL-to-C code generator's backend: the recognizable
+// shapes are exactly those the rule library produces.
+func Lower(prog ocal.Expr, o LowerOpts) (Plan, error) {
+	orderBy := false
+	// order-inputs wrapper: (\<v1,v2> -> body)(if length(a)<=length(b) ...)
+	if app, ok := prog.(ocal.App); ok {
+		if lam, ok := app.Fn.(ocal.Lam); ok && len(lam.Params) == 2 {
+			if iff, ok := app.Arg.(ocal.If); ok {
+				if t1, ok := iff.Then.(ocal.Tup); ok && len(t1.Elems) == 2 {
+					a, okA := t1.Elems[0].(ocal.Var)
+					b, okB := t1.Elems[1].(ocal.Var)
+					if okA && okB {
+						orderBy = true
+						prog = substVars(lam.Body, map[string]string{
+							lam.Params[0]: a.Name, lam.Params[1]: b.Name})
+					}
+				}
+			}
+		}
+	}
+
+	// GRACE hash join: flatMap(join)(zip(partition(A), partition(B))).
+	if p, err, ok := lowerHashJoin(prog, o); ok {
+		return p, err
+	}
+	// External merge sort.
+	if p, err, ok := lowerExtSort(prog, o); ok {
+		return p, err
+	}
+	// Streaming merges (set ops, zips, dup removal).
+	if p, err, ok := lowerUnfold(prog, o); ok {
+		return p, err
+	}
+	// Aggregations.
+	if p, err, ok := lowerFold(prog, o); ok {
+		return p, err
+	}
+	// Nested-loop joins (possibly blocked/tiled).
+	if p, err, ok := lowerBNL(prog, o, orderBy); ok {
+		return p, err
+	}
+	return nil, fmt.Errorf("exec: cannot lower %s", ocal.String(prog))
+}
+
+func substVars(e ocal.Expr, ren map[string]string) ocal.Expr {
+	switch t := e.(type) {
+	case ocal.Var:
+		if n, ok := ren[t.Name]; ok {
+			return ocal.Var{Name: n}
+		}
+		return t
+	default:
+		kids := ocal.Children(e)
+		if len(kids) == 0 {
+			return e
+		}
+		nk := make([]ocal.Expr, len(kids))
+		for i, k := range kids {
+			nk[i] = substVars(k, ren)
+		}
+		return ocal.WithChildren(e, nk)
+	}
+}
+
+// loopInfo describes one For level found while descending a loop nest.
+type loopInfo struct {
+	x   string
+	k   int64
+	src string // source variable name
+}
+
+// lowerBNL recognizes a (possibly blocked and tiled) nested-loops join over
+// two inputs, or a single-relation blocked scan with projection.
+func lowerBNL(prog ocal.Expr, o LowerOpts, orderBy bool) (Plan, error, bool) {
+	var loops []loopInfo
+	e := prog
+	for {
+		f, ok := e.(ocal.For)
+		if !ok {
+			break
+		}
+		src, ok := f.Src.(ocal.Var)
+		if !ok {
+			return nil, fmt.Errorf("exec: for over non-variable %s", ocal.String(f.Src)), true
+		}
+		loops = append(loops, loopInfo{x: f.X, k: f.K.Bind(o.Params), src: src.Name})
+		e = f.Body
+	}
+	if len(loops) == 0 {
+		return nil, nil, false
+	}
+	// Map each loop to the input it ultimately iterates: follow block vars.
+	owner := map[string]string{} // loop var -> input name
+	blockOf := map[string]int64{}
+	var inputsSeen []string
+	for _, l := range loops {
+		if _, isInput := o.Inputs[l.src]; isInput {
+			owner[l.x] = l.src
+			blockOf[l.src] = l.k
+			inputsSeen = append(inputsSeen, l.src)
+		} else if in, ok := owner[l.src]; ok {
+			owner[l.x] = in
+		} else {
+			return nil, fmt.Errorf("exec: loop source %q is neither input nor block", l.src), true
+		}
+	}
+	elemVar := map[string]string{} // input -> innermost element variable
+	tileOf := map[string][]int64{}
+	for _, l := range loops {
+		in := owner[l.x]
+		elemVar[in] = l.x
+		if _, isInput := o.Inputs[l.src]; !isInput {
+			tileOf[in] = append(tileOf[in], l.k)
+		}
+	}
+
+	pred, keys, err := compileJoinBody(e, inputsSeen, elemVar)
+	if err != nil {
+		return nil, err, true
+	}
+
+	switch len(inputsSeen) {
+	case 2:
+		rName, sName := inputsSeen[0], inputsSeen[1]
+		j := &BNLJoin{
+			Sim: o.Sim, R: o.Inputs[rName], S: o.Inputs[sName],
+			K1: blockOf[rName], K2: blockOf[sName],
+			OrderBy: orderBy, Pred: pred, EquiKeys: keys, Sink: o.Sink,
+		}
+		// Cache tiling: an inner re-blocking of each relation's block.
+		if ts := tileOf[rName]; len(ts) > 1 {
+			j.TileX = ts[0]
+		}
+		if ts := tileOf[sName]; len(ts) > 1 {
+			j.TileY = ts[0]
+		}
+		return j, nil, true
+	case 1:
+		// Single-relation scan with a per-element body: lower to a fold
+		// that writes each produced row (projection / filter scans).
+		in := o.Inputs[inputsSeen[0]]
+		step, err := scanStep(e, elemVar[inputsSeen[0]])
+		if err != nil {
+			return nil, err, true
+		}
+		return &scanPlan{Sim: o.Sim, In: in, K: blockOf[inputsSeen[0]],
+			Step: step, Sink: o.Sink}, nil, true
+	}
+	return nil, fmt.Errorf("exec: unsupported loop nest over %d inputs", len(inputsSeen)), true
+}
+
+// compileJoinBody extracts the join predicate from the innermost body:
+// if cond then [<x,y>] else []  (equi-join) or [<x,y>] (product).
+func compileJoinBody(e ocal.Expr, inputs []string, elemVar map[string]string) (Pred, *[2]int, error) {
+	if len(inputs) == 1 {
+		return TruePred, nil, nil
+	}
+	xv, yv := elemVar[inputs[0]], elemVar[inputs[1]]
+	switch t := e.(type) {
+	case ocal.Single:
+		return TruePred, nil, nil
+	case ocal.If:
+		if _, ok := t.Else.(ocal.Empty); !ok {
+			return nil, nil, fmt.Errorf("exec: join else-branch must be []")
+		}
+		p, ok := t.Cond.(ocal.Prim)
+		if !ok || p.Op != ocal.OpEq || len(p.Args) != 2 {
+			if b, ok2 := t.Cond.(ocal.BoolLit); ok2 && b.V {
+				return TruePred, nil, nil
+			}
+			return nil, nil, fmt.Errorf("exec: unsupported join condition %s", ocal.String(t.Cond))
+		}
+		i, errI := projIndex(p.Args[0], xv)
+		j, errJ := projIndex(p.Args[1], yv)
+		if errI == nil && errJ == nil {
+			return EqPred(i, j), &[2]int{i, j}, nil
+		}
+		// Reversed orientation.
+		j2, errJ2 := projIndex(p.Args[0], yv)
+		i2, errI2 := projIndex(p.Args[1], xv)
+		if errI2 == nil && errJ2 == nil {
+			return EqPred(i2, j2), &[2]int{i2, j2}, nil
+		}
+		return nil, nil, fmt.Errorf("exec: unsupported join condition %s", ocal.String(t.Cond))
+	}
+	return nil, nil, fmt.Errorf("exec: unsupported join body %s", ocal.String(e))
+}
+
+func projIndex(e ocal.Expr, v string) (int, error) {
+	p, ok := e.(ocal.Proj)
+	if !ok {
+		return 0, fmt.Errorf("not a projection")
+	}
+	vr, ok := p.E.(ocal.Var)
+	if !ok || vr.Name != v {
+		return 0, fmt.Errorf("projection of wrong variable")
+	}
+	return p.I - 1, nil
+}
+
+// scanStep compiles a single-relation loop body into a per-row function
+// producing zero or more output rows.
+func scanStep(body ocal.Expr, elem string) (func(row []int32, emit func([]int32)) error, error) {
+	fn, err := interp.CompileFunc(ocal.Lam{Params: []string{elem}, Body: body}, nil)
+	if err != nil {
+		return nil, err
+	}
+	return func(row []int32, emit func([]int32)) error {
+		res, err := fn(rowToValue(row))
+		if err != nil {
+			return err
+		}
+		l, ok := res.(ocal.List)
+		if !ok {
+			return fmt.Errorf("exec: scan body must yield a list")
+		}
+		for _, v := range l {
+			r, err := valueToRow(v)
+			if err != nil {
+				return err
+			}
+			emit(r)
+		}
+		return nil
+	}, nil
+}
+
+// scanPlan executes a blocked single-relation scan.
+type scanPlan struct {
+	Sim  *storage.Sim
+	In   *Table
+	K    int64
+	Step func(row []int32, emit func([]int32)) error
+	Sink *Sink
+}
+
+func (p *scanPlan) Run() error {
+	k := p.K
+	if k <= 0 {
+		k = 1
+	}
+	a := p.In.Arity
+	emit := func(r []int32) { p.Sink.Write(r) }
+	for i := int64(0); i < p.In.Rows(); i += k {
+		blk := p.In.ReadBlock(i, k)
+		rows := len(blk) / a
+		p.Sim.CPU(int64(rows), p.Sim.CmpSeconds)
+		for r := 0; r < rows; r++ {
+			if err := p.Step(blk[r*a:(r+1)*a], emit); err != nil {
+				return err
+			}
+		}
+	}
+	p.Sink.Flush()
+	return nil
+}
+
+func lowerHashJoin(prog ocal.Expr, o LowerOpts) (Plan, error, bool) {
+	app, ok := prog.(ocal.App)
+	if !ok {
+		return nil, nil, false
+	}
+	fm, ok := app.Fn.(ocal.FlatMap)
+	if !ok {
+		return nil, nil, false
+	}
+	zipApp, ok := app.Arg.(ocal.App)
+	if !ok {
+		return nil, nil, false
+	}
+	if _, ok := zipApp.Fn.(ocal.ZipLists); !ok {
+		return nil, nil, false
+	}
+	tupArg, ok := zipApp.Arg.(ocal.Tup)
+	if !ok || len(tupArg.Elems) != 2 {
+		return nil, fmt.Errorf("exec: hash join needs two partitioned inputs"), true
+	}
+	var names [2]string
+	var buckets int64 = 0
+	for i, el := range tupArg.Elems {
+		pa, ok := el.(ocal.App)
+		if !ok {
+			return nil, fmt.Errorf("exec: expected partition application"), true
+		}
+		pf, ok := pa.Fn.(ocal.PartitionF)
+		if !ok {
+			return nil, fmt.Errorf("exec: expected partition"), true
+		}
+		vr, ok := pa.Arg.(ocal.Var)
+		if !ok {
+			return nil, fmt.Errorf("exec: partition of non-variable"), true
+		}
+		names[i] = vr.Name
+		buckets = pf.S.Bind(o.Params)
+	}
+	lam, ok := fm.Fn.(ocal.Lam)
+	if !ok || len(lam.Params) != 2 {
+		return nil, fmt.Errorf("exec: hash join flatMap needs a binary lambda"), true
+	}
+	// The inner body is a join over the bucket pair: reuse the BNL
+	// recognizer with buckets standing in as inputs.
+	inner := lam.Body
+	var innerLoops []loopInfo
+	e := inner
+	bucketInputs := map[string]bool{lam.Params[0]: true, lam.Params[1]: true}
+	owner := map[string]string{}
+	var order []string
+	kOf := map[string]int64{}
+	for {
+		f, ok := e.(ocal.For)
+		if !ok {
+			break
+		}
+		src, ok := f.Src.(ocal.Var)
+		if !ok {
+			return nil, fmt.Errorf("exec: hash join inner loop over non-variable"), true
+		}
+		innerLoops = append(innerLoops, loopInfo{x: f.X, k: f.K.Bind(o.Params), src: src.Name})
+		if bucketInputs[src.Name] {
+			owner[f.X] = src.Name
+			order = append(order, src.Name)
+			kOf[src.Name] = f.K.Bind(o.Params)
+		} else if in, ok := owner[src.Name]; ok {
+			owner[f.X] = in
+		}
+		e = f.Body
+	}
+	if len(order) != 2 {
+		return nil, fmt.Errorf("exec: hash join inner body is not a two-relation join"), true
+	}
+	elemVar := map[string]string{}
+	for _, l := range innerLoops {
+		elemVar[owner[l.x]] = l.x
+	}
+	pred, keys, err := compileJoinBody(e, order, elemVar)
+	if err != nil {
+		return nil, err, true
+	}
+	// Key attributes: extract from the predicate shape by probing; the
+	// conservative rule only fires on first-attribute equi-joins, so 0/0.
+	kj := kOf[order[0]]
+	if k2 := kOf[order[1]]; k2 > kj {
+		kj = k2
+	}
+	if kj <= 0 {
+		kj = 1
+	}
+	rName, sName := names[0], names[1]
+	if order[0] == lam.Params[1] {
+		rName, sName = sName, rName
+	}
+	bufW := int64(64)
+	if o.RAMBytes > 0 {
+		w := int64(o.Inputs[rName].Arity) * 4
+		bufW = o.RAMBytes / (buckets + 1) / w
+		if bufW < 1 {
+			bufW = 1
+		}
+	}
+	return &HashJoin{
+		Sim: o.Sim, R: o.Inputs[rName], S: o.Inputs[sName],
+		Buckets: buckets, Scratch: o.Scratch,
+		KRead: kj, BufW: bufW, KJoin: kj,
+		KeyR: 0, KeyS: 0, Pred: pred, EquiKeys: keys, Sink: o.Sink,
+	}, nil, true
+}
+
+func lowerExtSort(prog ocal.Expr, o LowerOpts) (Plan, error, bool) {
+	app, ok := prog.(ocal.App)
+	if !ok {
+		return nil, nil, false
+	}
+	tf, ok := app.Fn.(ocal.TreeFold)
+	if !ok {
+		return nil, nil, false
+	}
+	unf, ok := tf.Fn.(ocal.UnfoldR)
+	if !ok {
+		return nil, fmt.Errorf("exec: treeFold without merge step"), true
+	}
+	arg := app.Arg
+	// A blocked identity scan around the input (for (xB [k] <- R) xB) only
+	// affects how the first pass reads; the sort operator blocks reads
+	// itself via Bin.
+	if f, ok := arg.(ocal.For); ok {
+		if body, okB := f.Body.(ocal.Var); okB && body.Name == f.X {
+			arg = f.Src
+		}
+	}
+	vr, ok := arg.(ocal.Var)
+	if !ok {
+		return nil, fmt.Errorf("exec: sort input must be a relation"), true
+	}
+	way := tf.K.Bind(o.Params)
+	if way < 2 {
+		way = 2
+	}
+	return &ExtSort{
+		Sim: o.Sim, In: o.Inputs[vr.Name], Way: int(way),
+		Bin: unf.K.Bind(o.Params), Bout: tf.OutK.Bind(o.Params),
+		Scratch: o.Scratch,
+	}, nil, true
+}
+
+func lowerUnfold(prog ocal.Expr, o LowerOpts) (Plan, error, bool) {
+	app, ok := prog.(ocal.App)
+	if !ok {
+		return nil, nil, false
+	}
+	unf, ok := app.Fn.(ocal.UnfoldR)
+	if !ok {
+		return nil, nil, false
+	}
+	tupArg, ok := app.Arg.(ocal.Tup)
+	if !ok {
+		return nil, fmt.Errorf("exec: unfoldR argument must be a tuple"), true
+	}
+	var tables []*Table
+	scratch := 0
+	for _, el := range tupArg.Elems {
+		switch a := el.(type) {
+		case ocal.Var:
+			t, ok := o.Inputs[a.Name]
+			if !ok {
+				return nil, fmt.Errorf("exec: unknown input %q", a.Name), true
+			}
+			tables = append(tables, t)
+		case ocal.Empty:
+			if len(tables) > 0 {
+				return nil, fmt.Errorf("exec: scratch state must precede inputs"), true
+			}
+			scratch++
+		default:
+			return nil, fmt.Errorf("exec: unsupported unfoldR argument %s", ocal.String(el)), true
+		}
+	}
+	step, err := interp.CompileFunc(unf.Fn, o.Params)
+	if err != nil {
+		return nil, err, true
+	}
+	return &UnfoldRStream{
+		Sim: o.Sim, Inputs: tables, K: unf.K.Bind(o.Params),
+		Step: step, Sink: o.Sink, StateArity: scratch + len(tables),
+	}, nil, true
+}
+
+func lowerFold(prog ocal.Expr, o LowerOpts) (Plan, error, bool) {
+	// Optional final lambda around the fold (e.g. avg's division).
+	if app, ok := prog.(ocal.App); ok {
+		if _, isLam := app.Fn.(ocal.Lam); isLam {
+			if inner, ok := app.Arg.(ocal.App); ok {
+				if _, isFold := inner.Fn.(ocal.FoldL); isFold {
+					return lowerFold(inner, o)
+				}
+			}
+		}
+	}
+	app, ok := prog.(ocal.App)
+	if !ok {
+		return nil, nil, false
+	}
+	fl, ok := app.Fn.(ocal.FoldL)
+	if !ok {
+		return nil, nil, false
+	}
+	var table *Table
+	var k int64 = 1
+	switch src := app.Arg.(type) {
+	case ocal.Var:
+		table = o.Inputs[src.Name]
+	case ocal.For:
+		// Blocked identity scan: for (xB [k] <- R) xB.
+		vr, okV := src.Src.(ocal.Var)
+		body, okB := src.Body.(ocal.Var)
+		if !okV || !okB || body.Name != src.X {
+			return nil, fmt.Errorf("exec: unsupported fold source %s", ocal.String(src)), true
+		}
+		table = o.Inputs[vr.Name]
+		k = src.K.Bind(o.Params)
+	default:
+		return nil, fmt.Errorf("exec: unsupported fold source %s", ocal.String(app.Arg)), true
+	}
+	if table == nil {
+		return nil, fmt.Errorf("exec: fold input not found"), true
+	}
+	init, err := interp.Eval(fl.Init, nil, o.Params)
+	if err != nil {
+		return nil, err, true
+	}
+	step, err := interp.CompileFunc(fl.Fn, o.Params)
+	if err != nil {
+		return nil, err, true
+	}
+	return &FoldStream{Sim: o.Sim, In: table, K: k, Init: init, Step: step}, nil, true
+}

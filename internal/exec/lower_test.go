@@ -1,0 +1,194 @@
+package exec
+
+import (
+	"testing"
+
+	"ocas/internal/memory"
+	"ocas/internal/ocal"
+	"ocas/internal/storage"
+)
+
+func lowerEnv(t *testing.T) (*storage.Sim, *storage.Device, map[string]*Table) {
+	t.Helper()
+	sim := storage.NewSim(memory.HDDRAM(64 * memory.MiB))
+	d, err := sim.Device("hdd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	R := loadTableSim(sim, "hdd", 2, []int32{1, 10, 2, 20, 1, 30})
+	S := loadTableSim(sim, "hdd", 2, []int32{1, 100, 3, 300})
+	return sim, d, map[string]*Table{"R": R, "S": S}
+}
+
+func TestLowerBlockedBNL(t *testing.T) {
+	sim, d, inputs := lowerEnv(t)
+	prog := ocal.MustParse(`for (xB [k1] <- R) for (yB [k2] <- S) for (x <- xB) for (y <- yB) if x.1 == y.1 then [<x, y>] else []`)
+	sink := &Sink{Sim: sim}
+	plan, err := Lower(prog, LowerOpts{Sim: sim, Inputs: inputs,
+		Params: map[string]int64{"k1": 2, "k2": 2}, Scratch: d, Sink: sink})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, ok := plan.(*BNLJoin)
+	if !ok {
+		t.Fatalf("expected BNLJoin, got %T", plan)
+	}
+	if j.K1 != 2 || j.K2 != 2 {
+		t.Errorf("block sizes not bound: %d %d", j.K1, j.K2)
+	}
+	if j.EquiKeys == nil || j.EquiKeys[0] != 0 || j.EquiKeys[1] != 0 {
+		t.Errorf("equi keys not recognized: %v", j.EquiKeys)
+	}
+	if err := plan.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if sink.RowsWritten != 2 {
+		t.Errorf("join rows = %d want 2", sink.RowsWritten)
+	}
+}
+
+func TestLowerOrderInputsWrapper(t *testing.T) {
+	sim, d, inputs := lowerEnv(t)
+	prog := ocal.MustParse(`(\<R1, S1> -> for (xB [k1] <- R1) for (x <- xB) for (yB [k2] <- S1) for (y <- yB) if x.1 == y.1 then [<x, y>] else [])(if length(R) <= length(S) then <R, S> else <S, R>)`)
+	sink := &Sink{Sim: sim}
+	plan, err := Lower(prog, LowerOpts{Sim: sim, Inputs: inputs,
+		Params: map[string]int64{"k1": 4, "k2": 4}, Scratch: d, Sink: sink})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, ok := plan.(*BNLJoin)
+	if !ok {
+		t.Fatalf("expected BNLJoin, got %T", plan)
+	}
+	if !j.OrderBy {
+		t.Error("order-inputs wrapper must set OrderBy")
+	}
+	if err := plan.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if sink.RowsWritten != 2 {
+		t.Errorf("join rows = %d want 2", sink.RowsWritten)
+	}
+}
+
+func TestLowerHashJoin(t *testing.T) {
+	sim, d, inputs := lowerEnv(t)
+	prog := ocal.MustParse(`flatMap(\<p1, p2> -> for (xB [k1] <- p1) for (yB [k2] <- p2) for (x <- xB) for (y <- yB) if x.1 == y.1 then [<x, y>] else [])(zip[2](partition[s](R), partition[s](S)))`)
+	sink := &Sink{Sim: sim}
+	plan, err := Lower(prog, LowerOpts{Sim: sim, Inputs: inputs,
+		Params:  map[string]int64{"k1": 4, "k2": 4, "s": 4},
+		Scratch: d, Sink: sink, RAMBytes: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, ok := plan.(*HashJoin)
+	if !ok {
+		t.Fatalf("expected HashJoin, got %T", plan)
+	}
+	if h.Buckets != 4 {
+		t.Errorf("buckets = %d want 4", h.Buckets)
+	}
+	if err := plan.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if sink.RowsWritten != 2 {
+		t.Errorf("hash join rows = %d want 2", sink.RowsWritten)
+	}
+}
+
+func TestLowerExtSortThroughIdentityScan(t *testing.T) {
+	sim := storage.NewSim(memory.HDDRAM(64 * memory.MiB))
+	d, _ := sim.Device("hdd")
+	in := loadTableSim(sim, "hdd", 1, []int32{5, 1, 4, 2, 3})
+	prog := ocal.MustParse(`treeFold[4][bout]([], unfoldR[bin](funcPow[2](mrg)))(for (xB [k1] <- R) [hdd~>ram] xB)`)
+	plan, err := Lower(prog, LowerOpts{Sim: sim, Inputs: map[string]*Table{"R": in},
+		Params: map[string]int64{"bin": 2, "bout": 2, "k1": 2}, Scratch: d,
+		Sink: &Sink{Sim: sim}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srt, ok := plan.(*ExtSort)
+	if !ok {
+		t.Fatalf("expected ExtSort, got %T", plan)
+	}
+	if srt.Way != 4 || srt.Bin != 2 || srt.Bout != 2 {
+		t.Errorf("sort params: way=%d bin=%d bout=%d", srt.Way, srt.Bin, srt.Bout)
+	}
+	if err := plan.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []int32{1, 2, 3, 4, 5}
+	for i, v := range want {
+		if srt.Out.Data[i] != v {
+			t.Fatalf("not sorted: %v", srt.Out.Data)
+		}
+	}
+}
+
+func TestLowerFoldWithFinalLambda(t *testing.T) {
+	sim := storage.NewSim(memory.HDDRAM(64 * memory.MiB))
+	d, _ := sim.Device("hdd")
+	in := loadTableSim(sim, "hdd", 2, []int32{1, 10, 2, 20})
+	prog := ocal.MustParse(`(\acc -> [acc.1 / (acc.2 + 1)])(foldL(<0, 0>, \<a, x> -> <(a.1 + x.2), (a.2 + 1)>)(for (xB [k1] <- R) xB))`)
+	plan, err := Lower(prog, LowerOpts{Sim: sim, Inputs: map[string]*Table{"R": in},
+		Params: map[string]int64{"k1": 2}, Scratch: d, Sink: &Sink{Sim: sim}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, ok := plan.(*FoldStream)
+	if !ok {
+		t.Fatalf("expected FoldStream, got %T", plan)
+	}
+	if err := plan.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !ocal.ValueEq(f.Final, ocal.Tuple{ocal.Int(30), ocal.Int(2)}) {
+		t.Errorf("fold result %s", f.Final)
+	}
+}
+
+func TestLowerUnfoldWithScratchState(t *testing.T) {
+	sim := storage.NewSim(memory.HDDRAM(64 * memory.MiB))
+	d, _ := sim.Device("hdd")
+	in := loadTableSim(sim, "hdd", 1, []int32{1, 1, 2, 3, 3, 3, 4})
+	// Duplicate removal: state <seen, rest>.
+	prog := ocal.MustParse(`unfoldR[k](\<seen, rest> -> if length(rest) == 0 then <[], <[], []>> else if length(seen) == 0 then <[head(rest)], <[head(rest)], tail(rest)>> else if head(seen) == head(rest) then <[], <seen, tail(rest)>> else <[head(rest)], <[head(rest)], tail(rest)>>)(<[], L>)`)
+	out, err := NewTable(d, 1, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink := &Sink{Out: out, Bout: 4, Sim: sim}
+	plan, err := Lower(prog, LowerOpts{Sim: sim, Inputs: map[string]*Table{"L": in},
+		Params: map[string]int64{"k": 3}, Scratch: d, Sink: sink})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := plan.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []int32{1, 2, 3, 4}
+	if len(out.Data) != len(want) {
+		t.Fatalf("dedup got %v want %v", out.Data, want)
+	}
+	for i := range want {
+		if out.Data[i] != want[i] {
+			t.Fatalf("dedup got %v want %v", out.Data, want)
+		}
+	}
+}
+
+func TestLowerErrors(t *testing.T) {
+	sim, d, inputs := lowerEnv(t)
+	cases := []string{
+		`mrg`,
+		`for (x <- R) for (y <- S) if x.1 <= y.1 then [<x, y>] else []`, // non-equi with If
+		`for (x <- Q) [x]`, // unknown input
+	}
+	for _, src := range cases {
+		prog := ocal.MustParse(src)
+		if _, err := Lower(prog, LowerOpts{Sim: sim, Inputs: inputs, Scratch: d,
+			Sink: &Sink{Sim: sim}}); err == nil {
+			t.Errorf("expected lowering error for %s", src)
+		}
+	}
+}

@@ -1,0 +1,529 @@
+package exec
+
+import (
+	"fmt"
+	"sort"
+
+	"ocas/internal/interp"
+	"ocas/internal/ocal"
+	"ocas/internal/storage"
+)
+
+// Pred decides the join condition on two rows.
+type Pred func(x, y []int32) bool
+
+// TruePred is the relational-product condition used by the paper's write-out
+// experiments ("we use the join condition 'true'").
+func TruePred(_, _ []int32) bool { return true }
+
+// EqPred joins on equality of the given 0-based attributes.
+func EqPred(i, j int) Pred {
+	return func(x, y []int32) bool { return x[i] == y[j] }
+}
+
+// BNLJoin is the Block Nested Loops Join operator with optional
+// smaller-relation-outer ordering (order-inputs), sequential inner scans,
+// and optional cache tiling (the loop-tiling variant OCAS derives when the
+// hierarchy includes a CPU cache).
+type BNLJoin struct {
+	Sim     *storage.Sim
+	R, S    *Table
+	K1, K2  int64 // outer/inner block sizes in tuples
+	OrderBy bool  // put the smaller relation outer
+	Pred    Pred
+	// EquiKeys, when non-nil, identifies the join as an equi-join on
+	// (R attribute, S attribute). The operator then indexes each resident
+	// outer block once and probes every inner tuple against it — the hash
+	// lookup the generated code performs — producing the same bag of pairs
+	// as the nested scan with linear instead of quadratic CPU.
+	EquiKeys *[2]int
+	Swapped  *bool // reports whether inputs were swapped (may be nil)
+	Sink     *Sink
+	// Tile sizes in tuples for the cache-conscious variant (0 = untiled).
+	TileX, TileY int64
+}
+
+// Run executes the join.
+func (p *BNLJoin) Run() error {
+	r, s := p.R, p.S
+	swapped := false
+	if p.OrderBy && s.Rows() < r.Rows() {
+		r, s = s, r
+		swapped = true
+	}
+	if p.Swapped != nil {
+		*p.Swapped = swapped
+	}
+	pred := p.Pred
+	keys := p.EquiKeys
+	if swapped {
+		inner := p.Pred
+		pred = func(x, y []int32) bool { return inner(y, x) }
+		if keys != nil {
+			keys = &[2]int{p.EquiKeys[1], p.EquiKeys[0]}
+		}
+	}
+	k1, k2 := p.K1, p.K2
+	if k1 <= 0 {
+		k1 = 1
+	}
+	if k2 <= 0 {
+		k2 = 1
+	}
+	ra, sa := int64(r.Arity), int64(s.Arity)
+	out := make([]int32, 0, ra+sa)
+	for i := int64(0); i < r.Rows(); i += k1 {
+		xb := r.ReadBlock(i, k1)
+		nx := int64(len(xb)) / ra
+		// Equi-join fast path: index the resident outer block once, then
+		// probe every inner tuple against it. This is the hash lookup the
+		// generated code performs; the result is the same bag of pairs.
+		var outerIdx map[int32][]int64
+		if keys != nil {
+			outerIdx = make(map[int32][]int64, nx)
+			for a := int64(0); a < nx; a++ {
+				k := xb[a*ra+int64(keys[0])]
+				outerIdx[k] = append(outerIdx[k], a)
+			}
+			p.Sim.CPU(nx, p.Sim.HashSeconds)
+		}
+		for j := int64(0); j < s.Rows(); j += k2 {
+			yb := s.ReadBlock(j, k2)
+			ny := int64(len(yb)) / sa
+			// CPU: the equi-join fast path probes each inner tuple once;
+			// the general nested loop compares every pair.
+			if keys != nil {
+				p.Sim.CPU(ny, p.Sim.HashSeconds)
+			} else {
+				p.Sim.CPU(nx*ny, p.Sim.CmpSeconds)
+			}
+			p.countCacheMisses(nx, ny, ra, sa)
+			emit := func(x, y []int32) {
+				out = out[:0]
+				if swapped {
+					out = append(append(out, y...), x...)
+				} else {
+					out = append(append(out, x...), y...)
+				}
+				p.Sink.Write(out)
+			}
+			if keys != nil {
+				for b := int64(0); b < ny; b++ {
+					y := yb[b*sa : (b+1)*sa]
+					for _, a := range outerIdx[y[keys[1]]] {
+						emit(xb[a*ra:(a+1)*ra], y)
+					}
+				}
+			} else {
+				for a := int64(0); a < nx; a++ {
+					x := xb[a*ra : (a+1)*ra]
+					for b := int64(0); b < ny; b++ {
+						y := yb[b*sa : (b+1)*sa]
+						if pred(x, y) {
+							emit(x, y)
+						}
+					}
+				}
+			}
+		}
+	}
+	p.Sink.Flush()
+	return nil
+}
+
+// countCacheMisses feeds the analytic cache model with this block pair's
+// access pattern: the inner block is scanned once per outer tuple (untiled),
+// or once per outer tile (tiled), which is what loop tiling buys.
+func (p *BNLJoin) countCacheMisses(nx, ny, ra, sa int64) {
+	c := p.Sim.Cache
+	if c == nil || nx == 0 || ny == 0 {
+		return
+	}
+	yBytes := ny * sa * 4
+	if p.TileY <= 0 {
+		// Untiled: the whole inner block streams past the cache nx times.
+		c.ScanMisses(yBytes, nx)
+		c.ScanMisses(nx*ra*4, 1)
+		return
+	}
+	tileY := p.TileY
+	tileX := p.TileX
+	if tileX <= 0 {
+		tileX = nx
+	}
+	nTilesY := (ny + tileY - 1) / tileY
+	nTilesX := (nx + tileX - 1) / tileX
+	// Each y-tile is resident while tileX outer tuples scan it: one cold
+	// pass per x-tile, hits afterwards.
+	for ty := int64(0); ty < nTilesY; ty++ {
+		rows := tileY
+		if ty == nTilesY-1 {
+			rows = ny - ty*tileY
+		}
+		c.ScanMisses(rows*sa*4, nTilesX*tileX)
+		_ = rows
+	}
+	c.ScanMisses(nx*ra*4, 1)
+}
+
+// HashJoin is the GRACE hash join: both inputs are hash-partitioned to the
+// scratch device in one sequential pass, then corresponding buckets are
+// joined with a block nested loops join whose blocks normally cover a whole
+// bucket (so all data is read exactly twice).
+type HashJoin struct {
+	Sim      *storage.Sim
+	R, S     *Table
+	Buckets  int64
+	Scratch  *storage.Device
+	KRead    int64 // partition-phase read block (tuples)
+	BufW     int64 // per-bucket write buffer (tuples)
+	KJoin    int64 // join-phase block size (tuples)
+	KeyR     int   // 0-based key attribute of R
+	KeyS     int
+	Pred     Pred
+	EquiKeys *[2]int // forwarded to the per-bucket joins
+	Sink     *Sink
+}
+
+// Run executes the two GRACE phases.
+func (p *HashJoin) Run() error {
+	bR, err := p.partition(p.R, p.KeyR)
+	if err != nil {
+		return err
+	}
+	bS, err := p.partition(p.S, p.KeyS)
+	if err != nil {
+		return err
+	}
+	for i := range bR {
+		j := &BNLJoin{Sim: p.Sim, R: bR[i], S: bS[i], K1: p.KJoin, K2: p.KJoin,
+			Pred: p.Pred, EquiKeys: p.EquiKeys, Sink: p.Sink}
+		if err := j.Run(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (p *HashJoin) partition(t *Table, key int) ([]*Table, error) {
+	s := p.Buckets
+	if s <= 0 {
+		s = 1
+	}
+	out := make([]*Table, s)
+	sinks := make([]*Sink, s)
+	for i := range out {
+		// Worst case a bucket holds everything.
+		nt, err := NewTable(p.Scratch, t.Arity, t.Rows())
+		if err != nil {
+			return nil, err
+		}
+		out[i] = nt
+		sinks[i] = &Sink{Out: nt, Bout: p.BufW, Sim: p.Sim}
+	}
+	k := p.KRead
+	if k <= 0 {
+		k = 1
+	}
+	a := int64(t.Arity)
+	for i := int64(0); i < t.Rows(); i += k {
+		blk := t.ReadBlock(i, k)
+		n := int64(len(blk)) / a
+		p.Sim.CPU(n, p.Sim.HashSeconds)
+		for r := int64(0); r < n; r++ {
+			row := blk[r*a : (r+1)*a]
+			b := ocal.Hash(ocal.Int(int64(row[key]))) % uint64(s)
+			sinks[b].Write(row)
+		}
+	}
+	for _, sk := range sinks {
+		sk.Flush()
+	}
+	return out, nil
+}
+
+// ExtSort is the 2^k-way external merge sort derived from the insertion-sort
+// specification. Every pass reads all data in blocks of Bin tuples, merges
+// `Way` runs at a time and writes through a Bout-tuple buffer to the
+// alternate scratch table; passes repeat until one run remains.
+type ExtSort struct {
+	Sim     *storage.Sim
+	In      *Table
+	Way     int
+	Bin     int64
+	Bout    int64
+	Scratch *storage.Device
+	Out     *Table // final sorted output (allocated by Run on Scratch if nil)
+	KeyCol  int
+	Passes  int // reported
+}
+
+// Run sorts. Runs initially have length 1 (the specification folds merge
+// over singleton lists).
+func (p *ExtSort) Run() error {
+	if p.Way < 2 {
+		p.Way = 2
+	}
+	n := p.In.Rows()
+	if n == 0 {
+		return nil
+	}
+	a, err := NewTable(p.Scratch, p.In.Arity, n)
+	if err != nil {
+		return err
+	}
+	b, err := NewTable(p.Scratch, p.In.Arity, n)
+	if err != nil {
+		return err
+	}
+	cur, next := p.In, a
+	runLen := int64(1)
+	for runLen < n {
+		if err := p.mergePass(cur, next, runLen); err != nil {
+			return err
+		}
+		p.Passes++
+		runLen *= int64(p.Way)
+		if cur == p.In {
+			cur, next = next, b
+		} else {
+			cur, next = next, cur
+		}
+	}
+	p.Out = cur
+	return nil
+}
+
+// mergePass merges groups of Way runs of length runLen from src into dst.
+func (p *ExtSort) mergePass(src, dst *Table, runLen int64) error {
+	dst.Reset()
+	sink := &Sink{Out: dst, Bout: p.Bout, Sim: p.Sim}
+	n := src.Rows()
+	arity := int64(src.Arity)
+	groupSpan := runLen * int64(p.Way)
+	for g := int64(0); g < n; g += groupSpan {
+		// Cursor state per run in this group.
+		type cursor struct {
+			next, end int64   // tuple indices on src
+			buf       []int32 // current block
+			pos       int64   // row index within buf
+		}
+		var cs []*cursor
+		for r := g; r < g+groupSpan && r < n; r += runLen {
+			end := r + runLen
+			if end > n {
+				end = n
+			}
+			cs = append(cs, &cursor{next: r, end: end})
+		}
+		fill := func(c *cursor) {
+			if c.pos*arity < int64(len(c.buf)) || c.next >= c.end {
+				return
+			}
+			take := p.Bin
+			if take <= 0 {
+				take = 1
+			}
+			if c.next+take > c.end {
+				take = c.end - c.next
+			}
+			c.buf = src.ReadBlock(c.next, take)
+			c.next += take
+			c.pos = 0
+		}
+		for _, c := range cs {
+			fill(c)
+		}
+		for {
+			best := -1
+			var bestKey int32
+			for i, c := range cs {
+				if c.pos*arity >= int64(len(c.buf)) {
+					continue
+				}
+				key := c.buf[c.pos*arity+int64(p.KeyCol)]
+				if best == -1 || key < bestKey {
+					best, bestKey = i, key
+				}
+			}
+			p.Sim.CPU(int64(len(cs)), p.Sim.CmpSeconds)
+			if best == -1 {
+				break
+			}
+			c := cs[best]
+			sink.Write(c.buf[c.pos*arity : (c.pos+1)*arity])
+			c.pos++
+			fill(c)
+		}
+	}
+	sink.Flush()
+	return nil
+}
+
+// sortRows is a test helper: the expected output of ExtSort.
+func sortRows(rows []int32, arity, key int) []int32 {
+	n := len(rows) / arity
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		return rows[idx[a]*arity+key] < rows[idx[b]*arity+key]
+	})
+	out := make([]int32, 0, len(rows))
+	for _, i := range idx {
+		out = append(out, rows[i*arity:(i+1)*arity]...)
+	}
+	return out
+}
+
+// UnfoldRStream executes a generic unfoldR over device-resident lists: the
+// step function (compiled from the optimized OCAL program) is applied per
+// produced element while the inputs stream through RAM windows of K tuples.
+// This covers the set/multiset unions and differences, zips (column-store
+// reads) and duplicate removal of the evaluation.
+type UnfoldRStream struct {
+	Sim    *storage.Sim
+	Inputs []*Table
+	K      int64 // window size (tuples) per input
+	Step   interp.Func
+	Sink   *Sink
+	// StateArity is the arity of the step's state tuple; when larger than
+	// len(Inputs), the extra leading components start as empty lists
+	// (scratch state such as dup-removal's last-seen marker).
+	StateArity int
+}
+
+// Run streams the merge to completion.
+func (p *UnfoldRStream) Run() error {
+	n := p.StateArity
+	if n < len(p.Inputs) {
+		n = len(p.Inputs)
+	}
+	scratch := n - len(p.Inputs)
+	windows := make([]ocal.List, n)
+	next := make([]int64, len(p.Inputs))
+	k := p.K
+	if k <= 0 {
+		k = 1
+	}
+	refill := func(i int) {
+		t := p.Inputs[i]
+		wi := scratch + i
+		if len(windows[wi]) > 0 || next[i] >= t.Rows() {
+			return
+		}
+		blk := t.ReadBlock(next[i], k)
+		a := t.Arity
+		rows := len(blk) / a
+		w := make(ocal.List, rows)
+		for r := 0; r < rows; r++ {
+			w[r] = rowToValue(blk[r*a : (r+1)*a])
+		}
+		windows[wi] = w
+		next[i] += int64(rows)
+	}
+	for i := range windows {
+		windows[i] = ocal.List{}
+	}
+	for i := range p.Inputs {
+		refill(i)
+	}
+	for {
+		done := true
+		for i := range p.Inputs {
+			refill(i)
+			if len(windows[scratch+i]) > 0 {
+				done = false
+			}
+		}
+		for i := 0; i < scratch; i++ {
+			if len(windows[i]) > 0 {
+				done = false
+			}
+		}
+		if done {
+			break
+		}
+		state := make(ocal.Tuple, n)
+		for i := range windows {
+			state[i] = windows[i]
+		}
+		res, err := p.Step(state)
+		if err != nil {
+			return err
+		}
+		pair, ok := res.(ocal.Tuple)
+		if !ok || len(pair) != 2 {
+			return fmt.Errorf("exec: unfoldR step must return <chunk, state>")
+		}
+		chunk, ok := pair[0].(ocal.List)
+		if !ok {
+			return fmt.Errorf("exec: unfoldR chunk must be a list")
+		}
+		nst, ok := pair[1].(ocal.Tuple)
+		if !ok || len(nst) != n {
+			return fmt.Errorf("exec: unfoldR state arity changed")
+		}
+		progress := false
+		for i := range windows {
+			nl, ok := nst[i].(ocal.List)
+			if !ok {
+				return fmt.Errorf("exec: unfoldR state component %d not a list", i)
+			}
+			if len(nl) != len(windows[i]) {
+				progress = true
+			}
+			windows[i] = nl
+		}
+		p.Sim.CPU(1, p.Sim.CmpSeconds)
+		for _, v := range chunk {
+			row, err := valueToRow(v)
+			if err != nil {
+				return err
+			}
+			p.Sink.Write(row)
+			progress = true
+		}
+		if !progress {
+			return fmt.Errorf("exec: unfoldR step made no progress")
+		}
+	}
+	p.Sink.Flush()
+	return nil
+}
+
+// FoldStream executes foldL over one device-resident list with a compiled
+// step, streaming the input in blocks of K tuples (aggregation, averages).
+type FoldStream struct {
+	Sim   *storage.Sim
+	In    *Table
+	K     int64
+	Init  ocal.Value
+	Step  interp.Func
+	Final ocal.Value // result after Run
+}
+
+// Run folds.
+func (p *FoldStream) Run() error {
+	acc := p.Init
+	k := p.K
+	if k <= 0 {
+		k = 1
+	}
+	a := p.In.Arity
+	for i := int64(0); i < p.In.Rows(); i += k {
+		blk := p.In.ReadBlock(i, k)
+		rows := len(blk) / a
+		p.Sim.CPU(int64(rows), p.Sim.CmpSeconds)
+		for r := 0; r < rows; r++ {
+			v, err := p.Step(ocal.Tuple{acc, rowToValue(blk[r*a : (r+1)*a])})
+			if err != nil {
+				return err
+			}
+			acc = v
+		}
+	}
+	p.Final = acc
+	return nil
+}

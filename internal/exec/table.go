@@ -1,0 +1,160 @@
+// Package exec runs synthesized algorithms against the storage simulator.
+// It plays the role of the paper's generated-and-compiled C programs: the
+// optimized OCAL program is lowered to a physical plan (nested-loop join,
+// GRACE hash join, external merge sort, streaming merges and folds) whose
+// operators process real tuples while charging simulated I/O and CPU time.
+package exec
+
+import (
+	"fmt"
+
+	"ocas/internal/ocal"
+	"ocas/internal/storage"
+)
+
+// Table is a device-resident relation of fixed-arity int32 tuples. The tuple
+// payload lives in host memory; all accesses go through the volume so the
+// simulator charges seeks and transfer time.
+type Table struct {
+	Vol   *storage.Volume
+	Arity int
+	Data  []int32
+}
+
+// NewTable allocates a table for capRows tuples on the device.
+func NewTable(dev *storage.Device, arity int, capRows int64) (*Table, error) {
+	vol, err := dev.NewVolume(capRows, int64(arity)*4)
+	if err != nil {
+		return nil, err
+	}
+	return &Table{Vol: vol, Arity: arity, Data: make([]int32, 0, capRows*int64(arity))}, nil
+}
+
+// Preload installs rows without charging I/O: the input data already resides
+// on the device when the experiment starts.
+func (t *Table) Preload(rows []int32) error {
+	if int64(len(rows))%int64(t.Arity) != 0 {
+		return fmt.Errorf("exec: preload length %d not a multiple of arity %d", len(rows), t.Arity)
+	}
+	n := int64(len(rows)) / int64(t.Arity)
+	if t.Vol.Count+n > t.Vol.Cap {
+		return fmt.Errorf("exec: preload exceeds capacity")
+	}
+	t.Data = append(t.Data, rows...)
+	t.Vol.Count += n
+	return nil
+}
+
+// Rows returns the number of tuples.
+func (t *Table) Rows() int64 { return t.Vol.Count }
+
+// Bytes returns the stored size.
+func (t *Table) Bytes() int64 { return t.Rows() * int64(t.Arity) * 4 }
+
+// ReadBlock charges a blocked read of up to n tuples starting at idx and
+// returns the flat row payload.
+func (t *Table) ReadBlock(idx, n int64) []int32 {
+	if idx >= t.Rows() {
+		return nil
+	}
+	if idx+n > t.Rows() {
+		n = t.Rows() - idx
+	}
+	t.Vol.ReadAt(idx, n)
+	a := int64(t.Arity)
+	return t.Data[idx*a : (idx+n)*a]
+}
+
+// AppendRows charges a write of the given rows (must be full tuples).
+func (t *Table) AppendRows(rows []int32) {
+	if len(rows) == 0 {
+		return
+	}
+	n := int64(len(rows)) / int64(t.Arity)
+	t.Vol.Append(n)
+	t.Data = append(t.Data, rows...)
+}
+
+// Reset empties the table for reuse as scratch.
+func (t *Table) Reset() {
+	t.Vol.Reset()
+	t.Data = t.Data[:0]
+}
+
+// Sink is a buffered writer implementing the paper's output buffer b_out:
+// rows accumulate in RAM and are evicted to the output table in one
+// contiguous write when the buffer fills (Section 5.2). A nil Out means the
+// output is consumed by the CPU (no charges).
+type Sink struct {
+	Out  *Table
+	Bout int64 // records per eviction; <=0 means 1
+	Sim  *storage.Sim
+
+	buf  []int32
+	rows int64
+	// RowsWritten counts all rows that passed through, even when discarded.
+	RowsWritten int64
+}
+
+// Write adds one row.
+func (s *Sink) Write(row []int32) {
+	s.RowsWritten++
+	if s.Out == nil {
+		return
+	}
+	s.buf = append(s.buf, row...)
+	s.rows++
+	bout := s.Bout
+	if bout <= 0 {
+		bout = 1
+	}
+	if s.rows >= bout {
+		s.Flush()
+	}
+}
+
+// Flush evicts the buffer.
+func (s *Sink) Flush() {
+	if s.Out == nil || s.rows == 0 {
+		return
+	}
+	if s.Sim != nil {
+		s.Sim.CPU(int64(len(s.buf))*4, s.Sim.MoveSeconds)
+	}
+	s.Out.AppendRows(s.buf)
+	s.buf = s.buf[:0]
+	s.rows = 0
+}
+
+// rowToValue decodes a flat row into an OCAL tuple (arity 1 decodes to a
+// bare Int).
+func rowToValue(row []int32) ocal.Value {
+	if len(row) == 1 {
+		return ocal.Int(row[0])
+	}
+	t := make(ocal.Tuple, len(row))
+	for i, v := range row {
+		t[i] = ocal.Int(int64(v))
+	}
+	return t
+}
+
+// valueToRow encodes an OCAL value produced by a step function back into a
+// flat row.
+func valueToRow(v ocal.Value) ([]int32, error) {
+	switch x := v.(type) {
+	case ocal.Int:
+		return []int32{int32(x)}, nil
+	case ocal.Tuple:
+		out := make([]int32, 0, len(x))
+		for _, e := range x {
+			r, err := valueToRow(e)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, r...)
+		}
+		return out, nil
+	}
+	return nil, fmt.Errorf("exec: cannot encode %s as a row", v)
+}

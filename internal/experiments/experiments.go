@@ -1,0 +1,192 @@
+// Package experiments defines one runnable experiment per row of Table 1
+// and per panel of Figure 8 of the paper, plus the cache-miss and accuracy
+// studies of Section 7. Each experiment synthesizes the algorithm with OCAS,
+// then executes the winner against the storage simulator on generated data,
+// reporting estimated (Spec/Opt) and measured (Act) times side by side.
+//
+// Sizes are the paper's configurations scaled down (the paper runs GB-scale
+// relations on real hardware for minutes to hours; the simulator preserves
+// the size *ratios* between relations and buffers, which is what the
+// paper's comparisons depend on). EXPERIMENTS.md records the mapping.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"ocas/internal/core"
+	"ocas/internal/exec"
+	"ocas/internal/memory"
+	"ocas/internal/ocal"
+	"ocas/internal/rules"
+	"ocas/internal/storage"
+)
+
+// Experiment is one synthesize-then-execute run.
+type Experiment struct {
+	Name     string
+	PaperRow string // the corresponding Table 1 row, for reports
+	Spec     core.Spec
+	Hier     *memory.Hierarchy
+	// ExecHier, when set, is the hierarchy the winner executes on (used by
+	// the cache study to run a cache-oblivious program on the cache
+	// simulator); defaults to Hier.
+	ExecHier *memory.Hierarchy
+	InputLoc map[string]string
+	Rows     map[string]int64
+	Gen      map[string]func() []int32
+	Output   string
+	OutArity int
+	OutCap   int64
+	MaxDepth int
+	MaxSpace int
+	Rules    []rules.Rule
+	// Reporting: nominal byte sizes.
+	RBytes, SBytes, Buffer int64
+}
+
+// Result is one Table 1 row produced by this reproduction.
+type Result struct {
+	Name       string
+	PaperRow   string
+	SpecSecs   float64 // estimated cost of the naive specification
+	OptSecs    float64 // estimated cost of the synthesized algorithm
+	ActSecs    float64 // simulated execution time of the synthesized algorithm
+	RBytes     int64
+	SBytes     int64
+	Buffer     int64
+	SpaceSize  int
+	Steps      int
+	SynthSecs  float64
+	Program    string
+	Params     map[string]int64
+	CacheMissR float64 // cache miss ratio when a cache level exists
+	OutRows    int64
+}
+
+// Run synthesizes and executes one experiment.
+func Run(e Experiment) (*Result, error) {
+	synth := &core.Synthesizer{
+		H: e.Hier, MaxDepth: e.MaxDepth, MaxSpace: e.MaxSpace, Rules: e.Rules,
+	}
+	task := core.Task{
+		Spec:      e.Spec,
+		InputLoc:  e.InputLoc,
+		InputRows: e.Rows,
+		Output:    e.Output,
+	}
+	syn, err := synth.Synthesize(task)
+	if err != nil {
+		return nil, fmt.Errorf("%s: synthesize: %w", e.Name, err)
+	}
+
+	execHier := e.ExecHier
+	if execHier == nil {
+		execHier = e.Hier
+	}
+	sim := storage.NewSim(execHier)
+	sim.DefaultCPU()
+	inputs := map[string]*exec.Table{}
+	var scratch *storage.Device
+	for _, in := range e.Spec.Inputs {
+		dev, err := sim.Device(e.InputLoc[in.Name])
+		if err != nil {
+			return nil, err
+		}
+		if scratch == nil {
+			scratch = dev
+		}
+		rows := e.Gen[in.Name]()
+		t, err := exec.NewTable(dev, in.Arity, int64(len(rows)/in.Arity)+8)
+		if err != nil {
+			return nil, err
+		}
+		if err := t.Preload(rows); err != nil {
+			return nil, err
+		}
+		inputs[in.Name] = t
+	}
+
+	sink := &exec.Sink{Sim: sim}
+	if e.Output != "" {
+		dev, err := sim.Device(e.Output)
+		if err != nil {
+			return nil, err
+		}
+		outCap := e.OutCap
+		if outCap <= 0 {
+			outCap = 1 << 22
+		}
+		arity := e.OutArity
+		if arity <= 0 {
+			arity = 1
+		}
+		out, err := exec.NewTable(dev, arity, outCap)
+		if err != nil {
+			return nil, err
+		}
+		sink.Out = out
+		sink.Bout = outBlock(syn.Best.Params)
+	}
+
+	plan, err := exec.Lower(syn.Best.Expr, exec.LowerOpts{
+		Sim: sim, Inputs: inputs, Params: syn.Best.Params,
+		Scratch: scratch, Sink: sink, RAMBytes: ramBytes(e.Hier),
+	})
+	if err != nil {
+		return nil, fmt.Errorf("%s: lower %q: %w", e.Name, coreString(syn), err)
+	}
+	if err := plan.Run(); err != nil {
+		return nil, fmt.Errorf("%s: execute: %w", e.Name, err)
+	}
+
+	res := &Result{
+		Name:      e.Name,
+		PaperRow:  e.PaperRow,
+		SpecSecs:  syn.SpecSeconds,
+		OptSecs:   syn.Best.Seconds,
+		ActSecs:   sim.Clock.Seconds(),
+		RBytes:    e.RBytes,
+		SBytes:    e.SBytes,
+		Buffer:    e.Buffer,
+		SpaceSize: syn.Stats.SpaceSize,
+		Steps:     len(syn.Best.Steps),
+		SynthSecs: syn.Elapsed.Seconds(),
+		Program:   coreString(syn),
+		Params:    syn.Best.Params,
+		OutRows:   sink.RowsWritten,
+	}
+	if sim.Cache != nil {
+		res.CacheMissR = sim.Cache.MissRatio()
+	}
+	return res, nil
+}
+
+func coreString(s *core.Synthesis) string {
+	return strings.TrimSpace(fmt.Sprintf("%s  [steps: %s]",
+		ocal.String(s.Best.Expr), strings.Join(s.Best.Steps, ", ")))
+}
+
+// ramBytes returns the size of the hierarchy's RAM level (the node named
+// "ram", else the root).
+func ramBytes(h *memory.Hierarchy) int64 {
+	if n := h.Node("ram"); n != nil {
+		return n.Size
+	}
+	return h.Root.Size
+}
+
+// outBlock picks the output buffer value the optimizer chose (parameters
+// introduced by apply-block-out are named ko*, by the merging treeFold
+// bout*).
+func outBlock(params map[string]int64) int64 {
+	var best int64 = 1
+	for name, v := range params {
+		if strings.HasPrefix(name, "ko") || strings.HasPrefix(name, "bout") {
+			if v > best {
+				best = v
+			}
+		}
+	}
+	return best
+}

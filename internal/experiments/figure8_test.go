@@ -1,0 +1,93 @@
+package experiments
+
+import (
+	"io"
+	"testing"
+)
+
+func TestFigure8Trends(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figure 8 is slow")
+	}
+	pts, err := RunFigure8(Config{Shrink: 8}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 9 {
+		t.Fatalf("expected 9 points, got %d", len(pts))
+	}
+	for _, p := range pts {
+		if p.Estimated <= 0 || p.Measured <= 0 {
+			t.Errorf("%s %s: non-positive time", p.Workload, p.Label)
+		}
+		ratio := p.Estimated / p.Measured
+		// The paper's Figure 8 estimates track measurements within small
+		// factors; allow a generous band.
+		if ratio < 0.2 || ratio > 10 {
+			t.Errorf("%s %s: est/act = %v out of band (est %v act %v)",
+				p.Workload, p.Label, ratio, p.Estimated, p.Measured)
+		}
+		// Aggregation is the I/O-bound workload the paper calls "very
+		// accurate": demand a tight match.
+		if p.Workload == "Aggregation" && (ratio < 0.8 || ratio > 1.3) {
+			t.Errorf("aggregation estimate should be near-exact, got %v", ratio)
+		}
+	}
+	// Measured time grows with input size within each panel.
+	byWorkload := map[string][]Figure8Point{}
+	for _, p := range pts {
+		byWorkload[p.Workload] = append(byWorkload[p.Workload], p)
+	}
+	for w, series := range byWorkload {
+		if series[len(series)-1].Measured <= series[0].Measured {
+			t.Errorf("%s: measured time should grow with input size: %v .. %v",
+				w, series[0].Measured, series[len(series)-1].Measured)
+		}
+	}
+}
+
+func TestCacheMissReduction(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cache study is slow")
+	}
+	r, err := RunCacheStudy(Config{Shrink: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper reports 98.2% fewer data-cache misses from loop tiling.
+	if r.MissReduction < 0.9 {
+		t.Errorf("tiling should remove >90%% of cache misses, got %.1f%%", 100*r.MissReduction)
+	}
+	// ... while execution time stays in the same ballpark (I/O bound).
+	ratio := r.TiledSecs / r.UntiledSecs
+	if ratio < 0.3 || ratio > 3 {
+		t.Errorf("tiled/untiled wall time ratio %v should be near 1 (I/O bound)", ratio)
+	}
+}
+
+func TestAccuracyTrend(t *testing.T) {
+	if testing.Short() {
+		t.Skip("accuracy study is slow")
+	}
+	pts, err := AccuracyStudy(Config{Shrink: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) < 3 {
+		t.Fatalf("expected 3 selectivity points, got %d", len(pts))
+	}
+	// Points are ordered from selectivity 100% (product) downward; the
+	// overestimation factor must grow as selectivity drops (worst-case
+	// output sizing), with the product estimated most accurately.
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Selectivity >= pts[i-1].Selectivity {
+			t.Fatalf("selectivities not decreasing: %+v", pts)
+		}
+		if pts[i].EstOverAct < pts[i-1].EstOverAct {
+			t.Errorf("overestimation should grow as selectivity drops: %+v", pts)
+		}
+	}
+	if pts[0].EstOverAct > 3 {
+		t.Errorf("the 100%%-selectivity estimate should be close: est/act = %v", pts[0].EstOverAct)
+	}
+}

@@ -1,0 +1,36 @@
+package interp
+
+import (
+	"fmt"
+
+	"ocas/internal/ocal"
+)
+
+// Func is a compiled OCAL function value usable from the execution engine
+// (e.g. an unfoldR step applied once per streamed element).
+type Func func(ocal.Value) (ocal.Value, error)
+
+// CompileFunc evaluates a function-valued expression (lambda or definition)
+// once and returns a reusable closure over it.
+func CompileFunc(e ocal.Expr, params map[string]int64) (Func, error) {
+	it := New(params)
+	v, err := it.eval(e, nil)
+	if err != nil {
+		return nil, err
+	}
+	f, ok := v.(*funcVal)
+	if !ok {
+		return nil, fmt.Errorf("interp: %s is not a function", ocal.String(e))
+	}
+	return func(arg ocal.Value) (ocal.Value, error) {
+		r, err := f.apply(arg)
+		if err != nil {
+			return nil, err
+		}
+		dv, ok := r.(ocal.Value)
+		if !ok {
+			return nil, fmt.Errorf("interp: function returned a function")
+		}
+		return dv, nil
+	}, nil
+}

@@ -1,0 +1,385 @@
+package interp
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"ocas/internal/ocal"
+)
+
+func ints(xs ...int64) ocal.List {
+	l := make(ocal.List, len(xs))
+	for i, x := range xs {
+		l[i] = ocal.Int(x)
+	}
+	return l
+}
+
+func pairs(xs ...[2]int64) ocal.List {
+	l := make(ocal.List, len(xs))
+	for i, p := range xs {
+		l[i] = ocal.Tuple{ocal.Int(p[0]), ocal.Int(p[1])}
+	}
+	return l
+}
+
+func mustEval(t *testing.T, e ocal.Expr, in map[string]ocal.Value, params map[string]int64) ocal.Value {
+	t.Helper()
+	v, err := Eval(e, in, params)
+	if err != nil {
+		t.Fatalf("eval %s: %v", ocal.String(e), err)
+	}
+	return v
+}
+
+func naiveJoin() ocal.Expr {
+	cond := ocal.Prim{Op: ocal.OpEq, Args: []ocal.Expr{
+		ocal.Proj{E: ocal.Var{Name: "x"}, I: 1}, ocal.Proj{E: ocal.Var{Name: "y"}, I: 1}}}
+	body := ocal.If{Cond: cond,
+		Then: ocal.Single{E: ocal.Tup{Elems: []ocal.Expr{ocal.Var{Name: "x"}, ocal.Var{Name: "y"}}}},
+		Else: ocal.Empty{}}
+	return ocal.For{X: "x", Src: ocal.Var{Name: "R"},
+		Body: ocal.For{X: "y", Src: ocal.Var{Name: "S"}, Body: body}}
+}
+
+func TestNaiveJoin(t *testing.T) {
+	R := pairs([2]int64{1, 10}, [2]int64{2, 20})
+	S := pairs([2]int64{1, 100}, [2]int64{3, 300}, [2]int64{1, 101})
+	got := mustEval(t, naiveJoin(), map[string]ocal.Value{"R": R, "S": S}, nil)
+	want := ocal.List{
+		ocal.Tuple{ocal.Tuple{ocal.Int(1), ocal.Int(10)}, ocal.Tuple{ocal.Int(1), ocal.Int(100)}},
+		ocal.Tuple{ocal.Tuple{ocal.Int(1), ocal.Int(10)}, ocal.Tuple{ocal.Int(1), ocal.Int(101)}},
+	}
+	if !ocal.ValueEq(got, want) {
+		t.Errorf("got %s want %s", got, want)
+	}
+}
+
+func TestBlockedForPreservesOrder(t *testing.T) {
+	// for (b [k] <- L) for (x <- b) [x] must equal identity for any k.
+	prog := ocal.For{X: "b", K: ocal.SymP("k"), Src: ocal.Var{Name: "L"},
+		Body: ocal.For{X: "x", Src: ocal.Var{Name: "b"},
+			Body: ocal.Single{E: ocal.Var{Name: "x"}}}}
+	L := ints(5, 3, 9, 1, 7, 7, 2)
+	for k := int64(1); k <= 10; k++ {
+		got := mustEval(t, prog, map[string]ocal.Value{"L": L}, map[string]int64{"k": k})
+		if !ocal.ValueEq(got, L) {
+			t.Errorf("k=%d: got %s want %s", k, got, L)
+		}
+	}
+}
+
+func TestFoldLSum(t *testing.T) {
+	sum := ocal.App{
+		Fn: ocal.FoldL{Init: ocal.IntLit{V: 0},
+			Fn: ocal.Lam{Params: []string{"a", "x"},
+				Body: ocal.Prim{Op: ocal.OpAdd, Args: []ocal.Expr{ocal.Var{Name: "a"}, ocal.Var{Name: "x"}}}}},
+		Arg: ocal.Var{Name: "L"},
+	}
+	got := mustEval(t, sum, map[string]ocal.Value{"L": ints(1, 2, 3, 4)}, nil)
+	if !ocal.ValueEq(got, ocal.Int(10)) {
+		t.Errorf("got %s", got)
+	}
+}
+
+func TestFlatMap(t *testing.T) {
+	dup := ocal.App{
+		Fn: ocal.FlatMap{Fn: ocal.Lam{Params: []string{"x"},
+			Body: ocal.Prim{Op: ocal.OpConcat, Args: []ocal.Expr{
+				ocal.Single{E: ocal.Var{Name: "x"}}, ocal.Single{E: ocal.Var{Name: "x"}}}}}},
+		Arg: ocal.Var{Name: "L"},
+	}
+	got := mustEval(t, dup, map[string]ocal.Value{"L": ints(1, 2)}, nil)
+	if !ocal.ValueEq(got, ints(1, 1, 2, 2)) {
+		t.Errorf("got %s", got)
+	}
+}
+
+func TestMrgMergesSorted(t *testing.T) {
+	prog := ocal.App{Fn: ocal.UnfoldR{Fn: ocal.Mrg{}},
+		Arg: ocal.Tup{Elems: []ocal.Expr{ocal.Var{Name: "A"}, ocal.Var{Name: "B"}}}}
+	got := mustEval(t, prog, map[string]ocal.Value{
+		"A": ints(1, 3, 5), "B": ints(2, 3, 6, 9)}, nil)
+	if !ocal.ValueEq(got, ints(1, 2, 3, 3, 5, 6, 9)) {
+		t.Errorf("got %s", got)
+	}
+}
+
+func TestInsertionSortViaFoldMrg(t *testing.T) {
+	// foldL([], unfoldR(mrg)) over a list of singleton lists sorts.
+	prog := ocal.App{Fn: ocal.FoldL{Init: ocal.Empty{}, Fn: ocal.UnfoldR{Fn: ocal.Mrg{}}},
+		Arg: ocal.Var{Name: "R"}}
+	seed := ocal.List{ints(4), ints(1), ints(3), ints(2), ints(2)}
+	got := mustEval(t, prog, map[string]ocal.Value{"R": seed}, nil)
+	if !ocal.ValueEq(got, ints(1, 2, 2, 3, 4)) {
+		t.Errorf("got %s", got)
+	}
+}
+
+func TestTreeFoldMergeSort(t *testing.T) {
+	// treeFold[2^k]([], unfoldR(funcPow[k](mrg))) sorts for every k.
+	for k := 1; k <= 3; k++ {
+		prog := ocal.App{
+			Fn: ocal.TreeFold{K: ocal.Lit(int64(1 << k)), Init: ocal.Empty{},
+				Fn: ocal.UnfoldR{Fn: ocal.FuncPow{K: k, Fn: ocal.Mrg{}}}},
+			Arg: ocal.Var{Name: "R"},
+		}
+		seed := ocal.List{ints(9), ints(4), ints(6), ints(1), ints(8), ints(2), ints(2), ints(7), ints(5)}
+		got := mustEval(t, prog, map[string]ocal.Value{"R": seed}, nil)
+		if !ocal.ValueEq(got, ints(1, 2, 2, 4, 5, 6, 7, 8, 9)) {
+			t.Errorf("k=%d: got %s", k, got)
+		}
+	}
+}
+
+// Property: the treeFold merge-sort agrees with sort.Slice for random input.
+func TestQuickMergeSortMatchesStdlib(t *testing.T) {
+	f := func(xs []int16, kk uint8) bool {
+		k := int(kk%3) + 1
+		seed := make(ocal.List, len(xs))
+		vals := make([]int64, len(xs))
+		for i, x := range xs {
+			seed[i] = ints(int64(x))
+			vals[i] = int64(x)
+		}
+		prog := ocal.App{
+			Fn: ocal.TreeFold{K: ocal.Lit(int64(1 << k)), Init: ocal.Empty{},
+				Fn: ocal.UnfoldR{Fn: ocal.FuncPow{K: k, Fn: ocal.Mrg{}}}},
+			Arg: ocal.Var{Name: "R"},
+		}
+		got, err := Eval(prog, map[string]ocal.Value{"R": seed}, nil)
+		if err != nil {
+			return false
+		}
+		sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+		want := make(ocal.List, len(vals))
+		for i, v := range vals {
+			want[i] = ocal.Int(v)
+		}
+		return ocal.ValueEq(got, want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTreeFoldEmptySeedReturnsInit(t *testing.T) {
+	prog := ocal.App{
+		Fn:  ocal.TreeFold{K: ocal.Lit(2), Init: ocal.Empty{}, Fn: ocal.UnfoldR{Fn: ocal.Mrg{}}},
+		Arg: ocal.Var{Name: "R"},
+	}
+	got := mustEval(t, prog, map[string]ocal.Value{"R": ocal.List{}}, nil)
+	if !ocal.ValueEq(got, ocal.List{}) {
+		t.Errorf("got %s", got)
+	}
+}
+
+func TestPartitionAndZip(t *testing.T) {
+	R := pairs([2]int64{1, 10}, [2]int64{2, 20}, [2]int64{3, 30}, [2]int64{4, 40})
+	part := ocal.App{Fn: ocal.PartitionF{S: ocal.Lit(4)}, Arg: ocal.Var{Name: "R"}}
+	got := mustEval(t, part, map[string]ocal.Value{"R": R}, nil).(ocal.List)
+	if len(got) != 4 {
+		t.Fatalf("expected 4 buckets, got %d", len(got))
+	}
+	total := 0
+	for _, b := range got {
+		total += len(b.(ocal.List))
+	}
+	if total != 4 {
+		t.Errorf("partition lost elements: %d", total)
+	}
+	// Same key always lands in the same bucket.
+	R2 := pairs([2]int64{1, 99})
+	got2 := mustEval(t, part, map[string]ocal.Value{"R": R2}, nil).(ocal.List)
+	for i := range got {
+		b1 := got[i].(ocal.List)
+		b2 := got2[i].(ocal.List)
+		if len(b2) == 1 {
+			found := false
+			for _, v := range b1 {
+				if ocal.ValueEq(v.(ocal.Tuple)[0], ocal.Int(1)) {
+					found = true
+				}
+			}
+			if !found {
+				t.Error("key 1 hashed into different buckets across runs")
+			}
+		}
+	}
+	// zip pairs corresponding buckets.
+	zipProg := ocal.App{Fn: ocal.ZipLists{N: 2}, Arg: ocal.Tup{Elems: []ocal.Expr{part, part}}}
+	z := mustEval(t, zipProg, map[string]ocal.Value{"R": R}, nil).(ocal.List)
+	if len(z) != 4 {
+		t.Fatalf("zip length %d", len(z))
+	}
+	for _, row := range z {
+		tu := row.(ocal.Tuple)
+		if !ocal.ValueEq(tu[0], tu[1]) {
+			t.Error("zip of identical partitions should pair equal buckets")
+		}
+	}
+}
+
+// Property: hash-partitioned join equals naive join up to reordering.
+func TestQuickHashPartitionedJoinEquivalence(t *testing.T) {
+	join := ocal.Lam{Params: []string{"p1", "p2"}, Body: ocal.For{X: "x", Src: ocal.Var{Name: "p1"},
+		Body: ocal.For{X: "y", Src: ocal.Var{Name: "p2"},
+			Body: ocal.If{
+				Cond: ocal.Prim{Op: ocal.OpEq, Args: []ocal.Expr{
+					ocal.Proj{E: ocal.Var{Name: "x"}, I: 1}, ocal.Proj{E: ocal.Var{Name: "y"}, I: 1}}},
+				Then: ocal.Single{E: ocal.Tup{Elems: []ocal.Expr{ocal.Var{Name: "x"}, ocal.Var{Name: "y"}}}},
+				Else: ocal.Empty{}}}}}
+	hashed := ocal.App{
+		Fn: ocal.FlatMap{Fn: join},
+		Arg: ocal.App{Fn: ocal.ZipLists{N: 2}, Arg: ocal.Tup{Elems: []ocal.Expr{
+			ocal.App{Fn: ocal.PartitionF{S: ocal.SymP("s")}, Arg: ocal.Var{Name: "R"}},
+			ocal.App{Fn: ocal.PartitionF{S: ocal.SymP("s")}, Arg: ocal.Var{Name: "S"}},
+		}}},
+	}
+	f := func(seed int64, s uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		mk := func(n int) ocal.List {
+			l := make(ocal.List, n)
+			for i := range l {
+				l[i] = ocal.Tuple{ocal.Int(int64(r.Intn(8))), ocal.Int(int64(r.Intn(100)))}
+			}
+			return l
+		}
+		R, S := mk(r.Intn(12)), mk(r.Intn(12))
+		in := map[string]ocal.Value{"R": R, "S": S}
+		a, err := Eval(naiveJoin(), in, nil)
+		if err != nil {
+			return false
+		}
+		b, err := Eval(hashed, in, map[string]int64{"s": int64(s%7) + 1})
+		if err != nil {
+			return false
+		}
+		return multisetEq(a.(ocal.List), b.(ocal.List))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+func multisetEq(a, b ocal.List) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	counts := map[string]int{}
+	for _, v := range a {
+		counts[v.String()]++
+	}
+	for _, v := range b {
+		counts[v.String()]--
+	}
+	for _, c := range counts {
+		if c != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func TestPrimSemantics(t *testing.T) {
+	cases := []struct {
+		e    ocal.Expr
+		want ocal.Value
+	}{
+		{ocal.Prim{Op: ocal.OpAdd, Args: []ocal.Expr{ocal.IntLit{V: 2}, ocal.IntLit{V: 3}}}, ocal.Int(5)},
+		{ocal.Prim{Op: ocal.OpSub, Args: []ocal.Expr{ocal.IntLit{V: 2}, ocal.IntLit{V: 3}}}, ocal.Int(-1)},
+		{ocal.Prim{Op: ocal.OpMul, Args: []ocal.Expr{ocal.IntLit{V: 2}, ocal.IntLit{V: 3}}}, ocal.Int(6)},
+		{ocal.Prim{Op: ocal.OpDiv, Args: []ocal.Expr{ocal.IntLit{V: 7}, ocal.IntLit{V: 2}}}, ocal.Int(3)},
+		{ocal.Prim{Op: ocal.OpMod, Args: []ocal.Expr{ocal.IntLit{V: 7}, ocal.IntLit{V: 2}}}, ocal.Int(1)},
+		{ocal.Prim{Op: ocal.OpLe, Args: []ocal.Expr{ocal.IntLit{V: 2}, ocal.IntLit{V: 2}}}, ocal.Bool(true)},
+		{ocal.Prim{Op: ocal.OpLt, Args: []ocal.Expr{ocal.IntLit{V: 2}, ocal.IntLit{V: 2}}}, ocal.Bool(false)},
+		{ocal.Prim{Op: ocal.OpNot, Args: []ocal.Expr{ocal.BoolLit{V: false}}}, ocal.Bool(true)},
+		{ocal.Prim{Op: ocal.OpAnd, Args: []ocal.Expr{ocal.BoolLit{V: true}, ocal.BoolLit{V: false}}}, ocal.Bool(false)},
+		{ocal.Prim{Op: ocal.OpOr, Args: []ocal.Expr{ocal.BoolLit{V: true}, ocal.BoolLit{V: false}}}, ocal.Bool(true)},
+	}
+	for i, c := range cases {
+		got := mustEval(t, c.e, nil, nil)
+		if !ocal.ValueEq(got, c.want) {
+			t.Errorf("case %d: got %s want %s", i, got, c.want)
+		}
+	}
+}
+
+func TestHeadTailLength(t *testing.T) {
+	L := ints(7, 8, 9)
+	in := map[string]ocal.Value{"L": L}
+	if got := mustEval(t, ocal.Prim{Op: ocal.OpHead, Args: []ocal.Expr{ocal.Var{Name: "L"}}}, in, nil); !ocal.ValueEq(got, ocal.Int(7)) {
+		t.Errorf("head got %s", got)
+	}
+	if got := mustEval(t, ocal.Prim{Op: ocal.OpTail, Args: []ocal.Expr{ocal.Var{Name: "L"}}}, in, nil); !ocal.ValueEq(got, ints(8, 9)) {
+		t.Errorf("tail got %s", got)
+	}
+	if got := mustEval(t, ocal.Prim{Op: ocal.OpLength, Args: []ocal.Expr{ocal.Var{Name: "L"}}}, in, nil); !ocal.ValueEq(got, ocal.Int(3)) {
+		t.Errorf("length got %s", got)
+	}
+	// head/tail of empty are runtime errors (undefined per the paper).
+	if _, err := Eval(ocal.Prim{Op: ocal.OpHead, Args: []ocal.Expr{ocal.Empty{}}}, nil, nil); err == nil {
+		t.Error("head([]) should fail")
+	}
+	if _, err := Eval(ocal.Prim{Op: ocal.OpTail, Args: []ocal.Expr{ocal.Empty{}}}, nil, nil); err == nil {
+		t.Error("tail([]) should fail")
+	}
+}
+
+func TestRuntimeErrors(t *testing.T) {
+	cases := []ocal.Expr{
+		ocal.Var{Name: "missing"},
+		ocal.Prim{Op: ocal.OpDiv, Args: []ocal.Expr{ocal.IntLit{V: 1}, ocal.IntLit{V: 0}}},
+		ocal.Prim{Op: ocal.OpMod, Args: []ocal.Expr{ocal.IntLit{V: 1}, ocal.IntLit{V: 0}}},
+		ocal.App{Fn: ocal.IntLit{V: 1}, Arg: ocal.IntLit{V: 2}},
+		ocal.Proj{E: ocal.IntLit{V: 1}, I: 1},
+	}
+	for i, e := range cases {
+		if _, err := Eval(e, nil, nil); err == nil {
+			t.Errorf("case %d (%s): expected error", i, ocal.String(e))
+		}
+	}
+}
+
+func TestLambdaDestructuring(t *testing.T) {
+	swap := ocal.App{
+		Fn:  ocal.Lam{Params: []string{"a", "b"}, Body: ocal.Tup{Elems: []ocal.Expr{ocal.Var{Name: "b"}, ocal.Var{Name: "a"}}}},
+		Arg: ocal.Tup{Elems: []ocal.Expr{ocal.IntLit{V: 1}, ocal.IntLit{V: 2}}},
+	}
+	got := mustEval(t, swap, nil, nil)
+	if !ocal.ValueEq(got, ocal.Tuple{ocal.Int(2), ocal.Int(1)}) {
+		t.Errorf("got %s", got)
+	}
+}
+
+func TestOrderInputsWrapperSemantics(t *testing.T) {
+	// (\<x1,x2> -> length(x1 ++ x2))(if length(R) <= length(S) then <R,S> else <S,R>)
+	// must equal length(R)+length(S) regardless of ordering.
+	inner := ocal.Lam{Params: []string{"x1", "x2"},
+		Body: ocal.Prim{Op: ocal.OpLength, Args: []ocal.Expr{
+			ocal.Prim{Op: ocal.OpConcat, Args: []ocal.Expr{ocal.Var{Name: "x1"}, ocal.Var{Name: "x2"}}}}}}
+	wrapped := ocal.App{Fn: inner, Arg: ocal.If{
+		Cond: ocal.Prim{Op: ocal.OpLe, Args: []ocal.Expr{
+			ocal.Prim{Op: ocal.OpLength, Args: []ocal.Expr{ocal.Var{Name: "R"}}},
+			ocal.Prim{Op: ocal.OpLength, Args: []ocal.Expr{ocal.Var{Name: "S"}}}}},
+		Then: ocal.Tup{Elems: []ocal.Expr{ocal.Var{Name: "R"}, ocal.Var{Name: "S"}}},
+		Else: ocal.Tup{Elems: []ocal.Expr{ocal.Var{Name: "S"}, ocal.Var{Name: "R"}}},
+	}}
+	got := mustEval(t, wrapped, map[string]ocal.Value{"R": ints(1, 2, 3), "S": ints(4)}, nil)
+	if !ocal.ValueEq(got, ocal.Int(4)) {
+		t.Errorf("got %s", got)
+	}
+}
+
+func TestZipStepViaUnfold(t *testing.T) {
+	// unfoldR(z) zips equal-length lists.
+	prog := ocal.App{Fn: ocal.UnfoldR{Fn: ocal.ZipStep{N: 2}},
+		Arg: ocal.Tup{Elems: []ocal.Expr{ocal.Var{Name: "A"}, ocal.Var{Name: "B"}}}}
+	got := mustEval(t, prog, map[string]ocal.Value{"A": ints(1, 2), "B": ints(10, 20)}, nil)
+	want := ocal.List{ocal.Tuple{ocal.Int(1), ocal.Int(10)}, ocal.Tuple{ocal.Int(2), ocal.Int(20)}}
+	if !ocal.ValueEq(got, want) {
+		t.Errorf("got %s want %s", got, want)
+	}
+}

@@ -1,0 +1,123 @@
+package memory
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestPaperHierarchies(t *testing.T) {
+	for name, h := range map[string]*Hierarchy{
+		"hdd-ram":   HDDRAM(256 * MiB),
+		"cache":     HDDRAMCache(256 * MiB),
+		"two-hdd":   TwoHDD(256 * MiB),
+		"hdd-flash": HDDFlash(256 * MiB),
+	} {
+		if h.Root == nil {
+			t.Fatalf("%s: nil root", name)
+		}
+		for _, n := range h.Names() {
+			if h.Node(n) == nil {
+				t.Errorf("%s: Node(%q) nil", name, n)
+			}
+		}
+	}
+}
+
+func TestEdgeCosts(t *testing.T) {
+	h := HDDRAM(256 * MiB)
+	if got := h.InitCom("hdd", "ram"); got != HDDSeek {
+		t.Errorf("InitCom hdd->ram = %v want %v", got, HDDSeek)
+	}
+	if got := h.InitCom("ram", "hdd"); got != HDDSeek {
+		t.Errorf("InitCom ram->hdd = %v want %v", got, HDDSeek)
+	}
+	if got := h.UnitTr("hdd", "ram"); got != HDDUnitTr {
+		t.Errorf("UnitTr hdd->ram = %v", got)
+	}
+	hf := HDDFlash(256 * MiB)
+	if got := hf.InitCom("ram", "ssd"); got != SSDInit {
+		t.Errorf("InitCom ram->ssd = %v want %v (erase before write)", got, SSDInit)
+	}
+	if got := hf.InitCom("ssd", "ram"); got != 0 {
+		t.Errorf("InitCom ssd->ram = %v want 0 (no seek on flash reads)", got)
+	}
+	if hf.UnitTr("ram", "ssd") >= h.UnitTr("ram", "hdd") {
+		t.Error("flash sequential write should be faster than HDD")
+	}
+}
+
+func TestNonAdjacentPanics(t *testing.T) {
+	h := TwoHDD(256 * MiB)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for non-adjacent edge")
+		}
+	}()
+	h.InitCom("hdd", "hdd2")
+}
+
+func TestPathToRoot(t *testing.T) {
+	h := HDDRAMCache(256 * MiB)
+	p, err := h.PathToRoot("hdd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"hdd", "ram", "cache"}
+	if len(p) != len(want) {
+		t.Fatalf("got %v want %v", p, want)
+	}
+	for i := range p {
+		if p[i] != want[i] {
+			t.Fatalf("got %v want %v", p, want)
+		}
+	}
+	if _, err := h.PathToRoot("nope"); err == nil {
+		t.Error("expected error for unknown node")
+	}
+}
+
+func TestValidation(t *testing.T) {
+	cases := []*Node{
+		nil,
+		{Name: "", Size: 1},
+		{Name: "a", Size: 0},
+		{Name: "a", Size: 1, Children: []*Node{{Name: "a", Size: 1}}}, // dup
+		{Name: "a", Size: 1, PageSize: -1},
+	}
+	for i, n := range cases {
+		if _, err := New(n); err == nil {
+			t.Errorf("case %d: expected validation error", i)
+		}
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	h := HDDFlash(64 * MiB)
+	data, err := json.Marshal(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, err := FromJSON(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h2.Root.Name != h.Root.Name || len(h2.Root.Children) != len(h.Root.Children) {
+		t.Error("round trip changed structure")
+	}
+	if h2.InitCom("ram", "ssd") != SSDInit {
+		t.Error("edge cost lost in round trip")
+	}
+	if _, err := FromJSON([]byte("{")); err == nil {
+		t.Error("expected parse error")
+	}
+}
+
+func TestParent(t *testing.T) {
+	h := TwoHDD(MiB)
+	if h.Parent("ram") != nil {
+		t.Error("root has no parent")
+	}
+	if h.Parent("hdd2").Name != "ram" {
+		t.Error("hdd2 parent should be ram")
+	}
+}

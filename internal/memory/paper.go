@@ -1,0 +1,92 @@
+package memory
+
+// This file encodes the hierarchies and device constants of the paper's
+// experimental platform (Figure 7):
+//
+//	Hard disk:  size = 1T,  pagesize = 4K
+//	Flash:      size = 512G, maxSeqW = 256K
+//	Cache:      size = 3M,  pagesize = 512B
+//	InitCom[HDD<->RAM] = 15 ms        UnitTr[HDD<->RAM] = 1s/30M
+//	InitCom[RAM->SSD]  = 1.7 ms       UnitTr[SSD<->RAM] = 1s/120M
+//	InitCom[RAM->Cache]= 0.1 ms
+//
+// Costs not listed are zero, exactly as in the paper ("Costs not included
+// are assumed to be zero").
+const (
+	KiB = int64(1) << 10
+	MiB = int64(1) << 20
+	GiB = int64(1) << 30
+	TiB = int64(1) << 40
+
+	// Figure 7 cost constants, in seconds and seconds/byte.
+	HDDSeek      = 0.015
+	HDDUnitTr    = 1.0 / (30 * 1 << 20)
+	SSDInit      = 0.0017
+	SSDUnitTr    = 1.0 / (120 * 1 << 20)
+	CacheInit    = 0.0001
+	DefaultRAMSz = 4 * (1 << 30)
+)
+
+func hddNode(name string) *Node {
+	return &Node{
+		Name: name, Kind: HDD, Size: 1 * TiB, PageSize: 4 * KiB,
+		InitComUp: HDDSeek, InitComDown: HDDSeek,
+		UnitTrUp: HDDUnitTr, UnitTrDown: HDDUnitTr,
+	}
+}
+
+func ssdNode(name string) *Node {
+	return &Node{
+		Name: name, Kind: Flash, Size: 512 * GiB, MaxSeqW: 256 * KiB,
+		InitComUp: 0, InitComDown: SSDInit, // erase cost on writes toward the flash
+		UnitTrUp: SSDUnitTr, UnitTrDown: SSDUnitTr,
+	}
+}
+
+func ramNode(size int64, children ...*Node) *Node {
+	return &Node{Name: "ram", Kind: RAM, Size: size, PageSize: 1, Children: children}
+}
+
+// HDDRAM is the running-example hierarchy: RAM root with one hard disk.
+func HDDRAM(ramSize int64) *Hierarchy {
+	h, err := New(ramNode(ramSize, hddNode("hdd")))
+	if err != nil {
+		panic(err)
+	}
+	return h
+}
+
+// HDDRAMCache extends HDDRAM with one level of CPU cache above RAM. The
+// cache is the root (fastest level; the paper models it as an extra level
+// the processing unit reads through).
+func HDDRAMCache(ramSize int64) *Hierarchy {
+	cache := &Node{
+		Name: "cache", Kind: Cache, Size: 3 * MiB, PageSize: 512,
+		Children: []*Node{ramNode(ramSize, hddNode("hdd"))},
+	}
+	ram := cache.Children[0]
+	ram.InitComUp = CacheInit // RAM -> cache initiation (upward on the ram node)
+	h, err := New(cache)
+	if err != nil {
+		panic(err)
+	}
+	return h
+}
+
+// TwoHDD has two hard disks under RAM (input on one, output on the other).
+func TwoHDD(ramSize int64) *Hierarchy {
+	h, err := New(ramNode(ramSize, hddNode("hdd"), hddNode("hdd2")))
+	if err != nil {
+		panic(err)
+	}
+	return h
+}
+
+// HDDFlash has a hard disk (input) and a flash drive (output) under RAM.
+func HDDFlash(ramSize int64) *Hierarchy {
+	h, err := New(ramNode(ramSize, hddNode("hdd"), ssdNode("ssd")))
+	if err != nil {
+		panic(err)
+	}
+	return h
+}

@@ -1,0 +1,603 @@
+package ocal
+
+import (
+	"fmt"
+)
+
+// Checker infers OCAL types using monomorphic unification. Every expression
+// of a well-formed program receives a concrete type; inference variables
+// that remain unresolved (e.g. the element type of an unused empty list)
+// default to Int when resolved for reporting.
+type Checker struct {
+	next    int
+	subst   map[int]Type
+	pending []projConstraint
+}
+
+// projConstraint defers typing of e.i until the tuple type of e is known
+// (it may only be determined by a later unification, e.g. when a lambda is
+// finally applied to its argument).
+type projConstraint struct {
+	tuple Type
+	index int
+	res   Type
+	expr  Expr
+}
+
+// NewChecker returns an empty checker.
+func NewChecker() *Checker {
+	return &Checker{subst: map[int]Type{}}
+}
+
+// Infer computes the type of e under the given environment of input types.
+func Infer(e Expr, env map[string]Type) (Type, error) {
+	c := NewChecker()
+	t, err := c.infer(e, env)
+	if err != nil {
+		return nil, err
+	}
+	if err := c.solvePending(); err != nil {
+		return nil, err
+	}
+	return c.Resolve(t), nil
+}
+
+// solvePending discharges deferred projection constraints, iterating until
+// a fixed point since solving one constraint can resolve another.
+func (c *Checker) solvePending() error {
+	for {
+		progress := false
+		var rest []projConstraint
+		for _, p := range c.pending {
+			tup, ok := c.walk(p.tuple).(TupleType)
+			if !ok {
+				rest = append(rest, p)
+				continue
+			}
+			if p.index < 1 || p.index > len(tup) {
+				return fmt.Errorf("ocal: projection .%d out of range for %s in %s",
+					p.index, c.Resolve(p.tuple), String(p.expr))
+			}
+			if err := c.unify(p.res, tup[p.index-1]); err != nil {
+				return err
+			}
+			progress = true
+		}
+		c.pending = rest
+		if len(rest) == 0 {
+			return nil
+		}
+		if !progress {
+			p := rest[0]
+			return fmt.Errorf("ocal: cannot infer tuple arity for projection .%d in %s",
+				p.index, String(p.expr))
+		}
+	}
+}
+
+func (c *Checker) fresh() Type {
+	c.next++
+	return TypeVar{ID: c.next}
+}
+
+// Resolve substitutes solved inference variables in t, defaulting unsolved
+// ones to Int.
+func (c *Checker) Resolve(t Type) Type {
+	switch x := t.(type) {
+	case TypeVar:
+		if s, ok := c.subst[x.ID]; ok {
+			return c.Resolve(s)
+		}
+		return TInt
+	case TupleType:
+		out := make(TupleType, len(x))
+		for i, e := range x {
+			out[i] = c.Resolve(e)
+		}
+		return out
+	case ListType:
+		return ListType{Elem: c.Resolve(x.Elem)}
+	case FuncType:
+		return FuncType{Arg: c.Resolve(x.Arg), Res: c.Resolve(x.Res)}
+	}
+	return t
+}
+
+// walk follows the substitution chain for type variables one step at a time.
+func (c *Checker) walk(t Type) Type {
+	for {
+		v, ok := t.(TypeVar)
+		if !ok {
+			return t
+		}
+		s, ok := c.subst[v.ID]
+		if !ok {
+			return t
+		}
+		t = s
+	}
+}
+
+func (c *Checker) occurs(id int, t Type) bool {
+	t = c.walk(t)
+	switch x := t.(type) {
+	case TypeVar:
+		return x.ID == id
+	case TupleType:
+		for _, e := range x {
+			if c.occurs(id, e) {
+				return true
+			}
+		}
+	case ListType:
+		return c.occurs(id, x.Elem)
+	case FuncType:
+		return c.occurs(id, x.Arg) || c.occurs(id, x.Res)
+	}
+	return false
+}
+
+func (c *Checker) unify(a, b Type) error {
+	a, b = c.walk(a), c.walk(b)
+	if av, ok := a.(TypeVar); ok {
+		if bv, ok := b.(TypeVar); ok && av.ID == bv.ID {
+			return nil
+		}
+		if c.occurs(av.ID, b) {
+			return fmt.Errorf("ocal: occurs check failed: t%d in %s", av.ID, b)
+		}
+		c.subst[av.ID] = b
+		return nil
+	}
+	if _, ok := b.(TypeVar); ok {
+		return c.unify(b, a)
+	}
+	switch x := a.(type) {
+	case AtomType:
+		if y, ok := b.(AtomType); ok && x.Kind == y.Kind {
+			return nil
+		}
+	case TupleType:
+		y, ok := b.(TupleType)
+		if !ok || len(x) != len(y) {
+			break
+		}
+		for i := range x {
+			if err := c.unify(x[i], y[i]); err != nil {
+				return err
+			}
+		}
+		return nil
+	case ListType:
+		if y, ok := b.(ListType); ok {
+			return c.unify(x.Elem, y.Elem)
+		}
+	case FuncType:
+		if y, ok := b.(FuncType); ok {
+			if err := c.unify(x.Arg, y.Arg); err != nil {
+				return err
+			}
+			return c.unify(x.Res, y.Res)
+		}
+	}
+	return fmt.Errorf("ocal: cannot unify %s with %s", c.Resolve(a), c.Resolve(b))
+}
+
+func (c *Checker) infer(e Expr, env map[string]Type) (Type, error) {
+	switch t := e.(type) {
+	case Var:
+		ty, ok := env[t.Name]
+		if !ok {
+			return nil, fmt.Errorf("ocal: unbound variable %q", t.Name)
+		}
+		return ty, nil
+	case IntLit:
+		return TInt, nil
+	case BoolLit:
+		return TBool, nil
+	case StrLit:
+		return TStr, nil
+	case Lam:
+		var argT Type
+		nenv := copyEnv(env)
+		if len(t.Params) == 1 {
+			a := c.fresh()
+			nenv[t.Params[0]] = a
+			argT = a
+		} else {
+			parts := make(TupleType, len(t.Params))
+			for i, p := range t.Params {
+				a := c.fresh()
+				parts[i] = a
+				nenv[p] = a
+			}
+			argT = parts
+		}
+		resT, err := c.infer(t.Body, nenv)
+		if err != nil {
+			return nil, err
+		}
+		return FuncType{Arg: argT, Res: resT}, nil
+	case App:
+		fnT, err := c.infer(t.Fn, env)
+		if err != nil {
+			return nil, err
+		}
+		argT, err := c.infer(t.Arg, env)
+		if err != nil {
+			return nil, err
+		}
+		res := c.fresh()
+		if err := c.unify(fnT, FuncType{Arg: argT, Res: res}); err != nil {
+			return nil, fmt.Errorf("in application %s: %w", String(e), err)
+		}
+		return res, nil
+	case Tup:
+		parts := make(TupleType, len(t.Elems))
+		for i, el := range t.Elems {
+			ty, err := c.infer(el, env)
+			if err != nil {
+				return nil, err
+			}
+			parts[i] = ty
+		}
+		return parts, nil
+	case Proj:
+		ty, err := c.infer(t.E, env)
+		if err != nil {
+			return nil, err
+		}
+		switch w := c.walk(ty).(type) {
+		case TupleType:
+			if t.I < 1 || t.I > len(w) {
+				return nil, fmt.Errorf("ocal: projection .%d out of range for %s", t.I, c.Resolve(ty))
+			}
+			return w[t.I-1], nil
+		case TypeVar:
+			res := c.fresh()
+			c.pending = append(c.pending, projConstraint{tuple: w, index: t.I, res: res, expr: t})
+			return res, nil
+		default:
+			return nil, fmt.Errorf("ocal: projection .%d on non-tuple %s", t.I, c.Resolve(ty))
+		}
+	case Single:
+		ty, err := c.infer(t.E, env)
+		if err != nil {
+			return nil, err
+		}
+		return ListType{Elem: ty}, nil
+	case Empty:
+		return ListType{Elem: c.fresh()}, nil
+	case If:
+		condT, err := c.infer(t.Cond, env)
+		if err != nil {
+			return nil, err
+		}
+		if err := c.unify(condT, TBool); err != nil {
+			return nil, err
+		}
+		thenT, err := c.infer(t.Then, env)
+		if err != nil {
+			return nil, err
+		}
+		elseT, err := c.infer(t.Else, env)
+		if err != nil {
+			return nil, err
+		}
+		if err := c.unify(thenT, elseT); err != nil {
+			return nil, fmt.Errorf("if branches disagree: %w", err)
+		}
+		return thenT, nil
+	case Prim:
+		return c.inferPrim(t, env)
+	case FlatMap:
+		a, b := c.fresh(), c.fresh()
+		fnT, err := c.infer(t.Fn, env)
+		if err != nil {
+			return nil, err
+		}
+		if err := c.unify(fnT, FuncType{Arg: a, Res: ListType{Elem: b}}); err != nil {
+			return nil, err
+		}
+		return FuncType{Arg: ListType{Elem: a}, Res: ListType{Elem: b}}, nil
+	case FoldL:
+		accT, err := c.infer(t.Init, env)
+		if err != nil {
+			return nil, err
+		}
+		elem := c.fresh()
+		fnT, err := c.infer(t.Fn, env)
+		if err != nil {
+			return nil, err
+		}
+		if err := c.unify(fnT, FuncType{Arg: TupleType{accT, elem}, Res: accT}); err != nil {
+			return nil, err
+		}
+		return FuncType{Arg: ListType{Elem: elem}, Res: accT}, nil
+	case For:
+		srcT, err := c.infer(t.Src, env)
+		if err != nil {
+			return nil, err
+		}
+		elem := c.fresh()
+		if err := c.unify(srcT, ListType{Elem: elem}); err != nil {
+			return nil, fmt.Errorf("for source must be a list: %w", err)
+		}
+		nenv := copyEnv(env)
+		if t.K.IsOne() {
+			nenv[t.X] = elem
+		} else {
+			nenv[t.X] = ListType{Elem: elem}
+		}
+		bodyT, err := c.infer(t.Body, nenv)
+		if err != nil {
+			return nil, err
+		}
+		out := c.fresh()
+		if err := c.unify(bodyT, ListType{Elem: out}); err != nil {
+			return nil, fmt.Errorf("for body must produce a list: %w", err)
+		}
+		return ListType{Elem: out}, nil
+	case TreeFold:
+		k, ok := t.K.Literal()
+		if !ok {
+			// Symbolic branching: treat like binary for typing purposes.
+			k = 2
+		}
+		itemT, err := c.infer(t.Init, env)
+		if err != nil {
+			return nil, err
+		}
+		fnT, err := c.infer(t.Fn, env)
+		if err != nil {
+			return nil, err
+		}
+		// Special case: the k-way merge step (unfoldR-compatible f).
+		if mergeArity(t.Fn) > 0 {
+			// treeFold[k](c, unfoldR(g)) : [[a]] -> [a] where c : [a].
+			a := c.fresh()
+			if err := c.unify(itemT, ListType{Elem: a}); err != nil {
+				return nil, err
+			}
+			args := make(TupleType, mergeArity(t.Fn))
+			for i := range args {
+				args[i] = ListType{Elem: a}
+			}
+			if err := c.unify(fnT, FuncType{Arg: args, Res: ListType{Elem: a}}); err != nil {
+				return nil, err
+			}
+			return FuncType{Arg: ListType{Elem: ListType{Elem: a}}, Res: ListType{Elem: a}}, nil
+		}
+		args := make(TupleType, k)
+		for i := range args {
+			args[i] = itemT
+		}
+		if err := c.unify(fnT, FuncType{Arg: args, Res: itemT}); err != nil {
+			return nil, err
+		}
+		return FuncType{Arg: ListType{Elem: itemT}, Res: itemT}, nil
+	case UnfoldR:
+		fnT, err := c.infer(t.Fn, env)
+		if err != nil {
+			return nil, err
+		}
+		state := c.fresh()
+		out := c.fresh()
+		if err := c.unify(fnT, FuncType{Arg: state, Res: TupleType{ListType{Elem: out}, state}}); err != nil {
+			return nil, fmt.Errorf("unfoldR step must be S -> <[r], S>: %w", err)
+		}
+		return FuncType{Arg: state, Res: ListType{Elem: out}}, nil
+	case Mrg:
+		a := c.fresh()
+		s := TupleType{ListType{Elem: a}, ListType{Elem: a}}
+		return FuncType{Arg: s, Res: TupleType{ListType{Elem: a}, s}}, nil
+	case ZipStep:
+		parts := make(TupleType, t.N)
+		elems := make(TupleType, t.N)
+		for i := 0; i < t.N; i++ {
+			a := c.fresh()
+			elems[i] = a
+			parts[i] = ListType{Elem: a}
+		}
+		return FuncType{Arg: parts, Res: TupleType{ListType{Elem: elems}, parts}}, nil
+	case FuncPow:
+		if _, isMrg := t.Fn.(Mrg); isMrg {
+			// 2^k-way merge step: S -> <[a], S> with S a tuple of 2^k lists.
+			a := c.fresh()
+			n := 1 << t.K
+			s := make(TupleType, n)
+			for i := range s {
+				s[i] = ListType{Elem: a}
+			}
+			return FuncType{Arg: s, Res: TupleType{ListType{Elem: a}, TupleType(s)}}, nil
+		}
+		item := c.fresh()
+		fnT, err := c.infer(t.Fn, env)
+		if err != nil {
+			return nil, err
+		}
+		if err := c.unify(fnT, FuncType{Arg: TupleType{item, item}, Res: item}); err != nil {
+			return nil, fmt.Errorf("funcPow needs a binary f: <t,t> -> t: %w", err)
+		}
+		n := 1 << t.K
+		args := make(TupleType, n)
+		for i := range args {
+			args[i] = item
+		}
+		return FuncType{Arg: args, Res: item}, nil
+	case PartitionF:
+		a := c.fresh()
+		return FuncType{Arg: ListType{Elem: a}, Res: ListType{Elem: ListType{Elem: a}}}, nil
+	case ZipLists:
+		parts := make(TupleType, t.N)
+		elems := make(TupleType, t.N)
+		for i := 0; i < t.N; i++ {
+			a := c.fresh()
+			elems[i] = ListType{Elem: a}
+			parts[i] = ListType{Elem: ListType{Elem: a}}
+		}
+		return FuncType{Arg: parts, Res: ListType{Elem: elems}}, nil
+	}
+	return nil, fmt.Errorf("ocal: cannot type %T", e)
+}
+
+// mergeArity returns the state arity when fn is an unfoldR-style merge step
+// (mrg, z, or funcPow over mrg), and 0 otherwise.
+func mergeArity(fn Expr) int {
+	switch f := fn.(type) {
+	case UnfoldR:
+		return mergeArity(f.Fn)
+	case Mrg:
+		return 2
+	case ZipStep:
+		return f.N
+	case FuncPow:
+		if _, ok := f.Fn.(Mrg); ok {
+			return 1 << f.K
+		}
+	}
+	return 0
+}
+
+func (c *Checker) inferPrim(p Prim, env map[string]Type) (Type, error) {
+	arg := func(i int) (Type, error) { return c.infer(p.Args[i], env) }
+	need := func(n int) error {
+		if len(p.Args) != n {
+			return fmt.Errorf("ocal: %s expects %d args, got %d", p.Op, n, len(p.Args))
+		}
+		return nil
+	}
+	switch p.Op {
+	case OpEq, OpNe, OpLt, OpLe, OpGt, OpGe:
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		a, err := arg(0)
+		if err != nil {
+			return nil, err
+		}
+		b, err := arg(1)
+		if err != nil {
+			return nil, err
+		}
+		if err := c.unify(a, b); err != nil {
+			return nil, err
+		}
+		return TBool, nil
+	case OpAdd, OpSub, OpMul, OpDiv, OpMod:
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		for i := 0; i < 2; i++ {
+			a, err := arg(i)
+			if err != nil {
+				return nil, err
+			}
+			if err := c.unify(a, TInt); err != nil {
+				return nil, err
+			}
+		}
+		return TInt, nil
+	case OpAnd, OpOr:
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		for i := 0; i < 2; i++ {
+			a, err := arg(i)
+			if err != nil {
+				return nil, err
+			}
+			if err := c.unify(a, TBool); err != nil {
+				return nil, err
+			}
+		}
+		return TBool, nil
+	case OpNot:
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		a, err := arg(0)
+		if err != nil {
+			return nil, err
+		}
+		if err := c.unify(a, TBool); err != nil {
+			return nil, err
+		}
+		return TBool, nil
+	case OpConcat:
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		a, err := arg(0)
+		if err != nil {
+			return nil, err
+		}
+		b, err := arg(1)
+		if err != nil {
+			return nil, err
+		}
+		el := c.fresh()
+		if err := c.unify(a, ListType{Elem: el}); err != nil {
+			return nil, err
+		}
+		if err := c.unify(b, ListType{Elem: el}); err != nil {
+			return nil, err
+		}
+		return ListType{Elem: el}, nil
+	case OpHead:
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		a, err := arg(0)
+		if err != nil {
+			return nil, err
+		}
+		el := c.fresh()
+		if err := c.unify(a, ListType{Elem: el}); err != nil {
+			return nil, err
+		}
+		return el, nil
+	case OpTail:
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		a, err := arg(0)
+		if err != nil {
+			return nil, err
+		}
+		el := c.fresh()
+		if err := c.unify(a, ListType{Elem: el}); err != nil {
+			return nil, err
+		}
+		return ListType{Elem: el}, nil
+	case OpLength:
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		a, err := arg(0)
+		if err != nil {
+			return nil, err
+		}
+		if err := c.unify(a, ListType{Elem: c.fresh()}); err != nil {
+			return nil, err
+		}
+		return TInt, nil
+	case OpHash:
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		if _, err := arg(0); err != nil {
+			return nil, err
+		}
+		return TInt, nil
+	}
+	return nil, fmt.Errorf("ocal: unknown primitive %v", p.Op)
+}
+
+func copyEnv(env map[string]Type) map[string]Type {
+	out := make(map[string]Type, len(env)+1)
+	for k, v := range env {
+		out[k] = v
+	}
+	return out
+}

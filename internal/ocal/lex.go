@@ -1,0 +1,146 @@
+package ocal
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// Token kinds for the OCAL concrete syntax.
+type tokKind int
+
+const (
+	tEOF tokKind = iota
+	tInt
+	tStr
+	tIdent
+	tKeyword
+	tOp // operators and punctuation
+)
+
+type token struct {
+	kind tokKind
+	text string
+	pos  int
+}
+
+var keywords = map[string]bool{
+	"for": true, "if": true, "then": true, "else": true,
+	"true": true, "false": true, "not": true, "and": true, "or": true,
+	"flatMap": true, "foldL": true, "treeFold": true, "unfoldR": true,
+	"funcPow": true, "partition": true, "zip": true, "z": true, "mrg": true,
+	"head": true, "tail": true, "length": true, "hash": true,
+}
+
+// lexer tokenizes OCAL source.
+type lexer struct {
+	src  string
+	pos  int
+	toks []token
+}
+
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src}
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			l.pos++
+		case c == '-' && l.peek(1) == '-':
+			// line comment
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		case unicode.IsDigit(rune(c)):
+			l.lexInt()
+		case c == '"':
+			if err := l.lexStr(); err != nil {
+				return nil, err
+			}
+		case isIdentStart(c):
+			l.lexIdent()
+		default:
+			if err := l.lexOp(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	l.emit(tEOF, "")
+	return l.toks, nil
+}
+
+func (l *lexer) peek(n int) byte {
+	if l.pos+n < len(l.src) {
+		return l.src[l.pos+n]
+	}
+	return 0
+}
+
+func (l *lexer) emit(k tokKind, text string) {
+	l.toks = append(l.toks, token{kind: k, text: text, pos: l.pos})
+}
+
+func (l *lexer) lexInt() {
+	start := l.pos
+	for l.pos < len(l.src) && unicode.IsDigit(rune(l.src[l.pos])) {
+		l.pos++
+	}
+	l.emit(tInt, l.src[start:l.pos])
+}
+
+func (l *lexer) lexStr() error {
+	start := l.pos
+	l.pos++ // opening quote
+	for l.pos < len(l.src) && l.src[l.pos] != '"' {
+		if l.src[l.pos] == '\\' {
+			l.pos++
+		}
+		l.pos++
+	}
+	if l.pos >= len(l.src) {
+		return fmt.Errorf("ocal: unterminated string at %d", start)
+	}
+	l.pos++ // closing quote
+	l.emit(tStr, l.src[start:l.pos])
+	return nil
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || unicode.IsLetter(rune(c))
+}
+
+func (l *lexer) lexIdent() {
+	start := l.pos
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == '_' || unicode.IsLetter(rune(c)) || unicode.IsDigit(rune(c)) {
+			l.pos++
+			continue
+		}
+		break
+	}
+	text := l.src[start:l.pos]
+	if keywords[text] {
+		l.emit(tKeyword, text)
+	} else {
+		l.emit(tIdent, text)
+	}
+}
+
+// multi-char operators ordered longest-first.
+var operators = []string{
+	"<-", "<=", ">=", "==", "!=", "->", "++", "~>",
+	"(", ")", "[", "]", "<", ">", ",", ".", "\\", "+", "-", "*", "/", "%",
+}
+
+func (l *lexer) lexOp() error {
+	rest := l.src[l.pos:]
+	for _, op := range operators {
+		if strings.HasPrefix(rest, op) {
+			l.emit(tOp, op)
+			l.pos += len(op)
+			return nil
+		}
+	}
+	return fmt.Errorf("ocal: unexpected character %q at %d", l.src[l.pos], l.pos)
+}

@@ -1,0 +1,612 @@
+package ocal
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Parse reads an OCAL program in the concrete syntax produced by String.
+// The grammar (informally):
+//
+//	expr    := '\' params '->' expr | 'if' expr 'then' expr 'else' expr | or
+//	or      := and ('or' and)*
+//	and     := cmp ('and' cmp)*
+//	cmp     := add (('=='|'!='|'<='|'<'|'>='|'>') add)?
+//	add     := mul (('+'|'-'|'++') mul)*
+//	mul     := unary (('*'|'/'|'%') unary)*
+//	unary   := 'not' unary | postfix
+//	postfix := primary ('.' INT | '(' args ')')*
+//	primary := INT | STRING | 'true' | 'false' | ident | '(' expr ')'
+//	        | '<' expr {',' expr} '>' | '[' expr? ']' | for | definition
+//
+// Definitions: flatMap(f), foldL(c,f), treeFold[k]([ko])(c,f),
+// unfoldR([k])([ko])(f), funcPow[k](f), partition[s], zip[n], z[n], mrg,
+// head(e), tail(e), length(e), hash(e).
+func Parse(src string) (Expr, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	e, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if !p.at(tEOF, "") {
+		return nil, p.errf("trailing input %q", p.cur().text)
+	}
+	return e, nil
+}
+
+// MustParse panics on error; for tests and examples.
+func MustParse(src string) Expr {
+	e, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+type parser struct {
+	toks []token
+	i    int
+}
+
+func (p *parser) cur() token  { return p.toks[p.i] }
+func (p *parser) next() token { t := p.toks[p.i]; p.i++; return t }
+
+func (p *parser) at(k tokKind, text string) bool {
+	t := p.cur()
+	return t.kind == k && (text == "" || t.text == text)
+}
+
+func (p *parser) accept(k tokKind, text string) bool {
+	if p.at(k, text) {
+		p.i++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(k tokKind, text string) error {
+	if p.accept(k, text) {
+		return nil
+	}
+	return p.errf("expected %q, found %q", text, p.cur().text)
+}
+
+func (p *parser) errf(format string, args ...interface{}) error {
+	return fmt.Errorf("ocal: parse error at offset %d: %s", p.cur().pos,
+		fmt.Sprintf(format, args...))
+}
+
+func (p *parser) expr() (Expr, error) {
+	switch {
+	case p.accept(tOp, "\\"):
+		params, err := p.lambdaParams()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(tOp, "->"); err != nil {
+			return nil, err
+		}
+		body, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		return Lam{Params: params, Body: body}, nil
+	case p.accept(tKeyword, "if"):
+		c, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(tKeyword, "then"); err != nil {
+			return nil, err
+		}
+		th, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(tKeyword, "else"); err != nil {
+			return nil, err
+		}
+		el, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		return If{Cond: c, Then: th, Else: el}, nil
+	}
+	return p.orExpr()
+}
+
+func (p *parser) lambdaParams() ([]string, error) {
+	if p.accept(tOp, "<") {
+		var out []string
+		for {
+			t := p.cur()
+			if t.kind != tIdent {
+				return nil, p.errf("expected parameter name, found %q", t.text)
+			}
+			out = append(out, p.next().text)
+			if p.accept(tOp, ",") {
+				continue
+			}
+			if err := p.expect(tOp, ">"); err != nil {
+				return nil, err
+			}
+			return out, nil
+		}
+	}
+	t := p.cur()
+	if t.kind != tIdent {
+		return nil, p.errf("expected parameter name, found %q", t.text)
+	}
+	return []string{p.next().text}, nil
+}
+
+func (p *parser) orExpr() (Expr, error) {
+	e, err := p.andExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept(tKeyword, "or") {
+		rhs, err := p.andExpr()
+		if err != nil {
+			return nil, err
+		}
+		e = Prim{Op: OpOr, Args: []Expr{e, rhs}}
+	}
+	return e, nil
+}
+
+func (p *parser) andExpr() (Expr, error) {
+	e, err := p.cmpExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept(tKeyword, "and") {
+		rhs, err := p.cmpExpr()
+		if err != nil {
+			return nil, err
+		}
+		e = Prim{Op: OpAnd, Args: []Expr{e, rhs}}
+	}
+	return e, nil
+}
+
+var cmpOps = map[string]PrimOp{
+	"==": OpEq, "!=": OpNe, "<=": OpLe, "<": OpLt, ">=": OpGe, ">": OpGt,
+}
+
+func (p *parser) cmpExpr() (Expr, error) {
+	e, err := p.addExpr()
+	if err != nil {
+		return nil, err
+	}
+	if p.cur().kind == tOp {
+		if op, ok := cmpOps[p.cur().text]; ok {
+			p.next()
+			rhs, err := p.addExpr()
+			if err != nil {
+				return nil, err
+			}
+			return Prim{Op: op, Args: []Expr{e, rhs}}, nil
+		}
+	}
+	return e, nil
+}
+
+func (p *parser) addExpr() (Expr, error) {
+	e, err := p.mulExpr()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.accept(tOp, "++"):
+			rhs, err := p.mulExpr()
+			if err != nil {
+				return nil, err
+			}
+			e = Prim{Op: OpConcat, Args: []Expr{e, rhs}}
+		case p.accept(tOp, "+"):
+			rhs, err := p.mulExpr()
+			if err != nil {
+				return nil, err
+			}
+			e = Prim{Op: OpAdd, Args: []Expr{e, rhs}}
+		case p.accept(tOp, "-"):
+			rhs, err := p.mulExpr()
+			if err != nil {
+				return nil, err
+			}
+			e = Prim{Op: OpSub, Args: []Expr{e, rhs}}
+		default:
+			return e, nil
+		}
+	}
+}
+
+func (p *parser) mulExpr() (Expr, error) {
+	e, err := p.unary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op PrimOp
+		switch {
+		case p.accept(tOp, "*"):
+			op = OpMul
+		case p.accept(tOp, "/"):
+			op = OpDiv
+		case p.accept(tOp, "%"):
+			op = OpMod
+		default:
+			return e, nil
+		}
+		rhs, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		e = Prim{Op: op, Args: []Expr{e, rhs}}
+	}
+}
+
+func (p *parser) unary() (Expr, error) {
+	if p.accept(tKeyword, "not") {
+		e, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		return Prim{Op: OpNot, Args: []Expr{e}}, nil
+	}
+	return p.postfix()
+}
+
+func (p *parser) postfix() (Expr, error) {
+	e, err := p.primary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.accept(tOp, "."):
+			t := p.cur()
+			if t.kind != tInt {
+				return nil, p.errf("expected projection index, found %q", t.text)
+			}
+			p.next()
+			idx, _ := strconv.Atoi(t.text)
+			e = Proj{E: e, I: idx}
+		case p.at(tOp, "("):
+			p.next()
+			args, err := p.argList()
+			if err != nil {
+				return nil, err
+			}
+			var arg Expr
+			if len(args) == 1 {
+				arg = args[0]
+			} else {
+				arg = Tup{Elems: args}
+			}
+			e = App{Fn: e, Arg: arg}
+		default:
+			return e, nil
+		}
+	}
+}
+
+func (p *parser) argList() ([]Expr, error) {
+	var out []Expr
+	if p.accept(tOp, ")") {
+		return nil, p.errf("empty argument list")
+	}
+	for {
+		a, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, a)
+		if p.accept(tOp, ",") {
+			continue
+		}
+		if err := p.expect(tOp, ")"); err != nil {
+			return nil, err
+		}
+		return out, nil
+	}
+}
+
+// param parses '[' (INT | ident) ']'.
+func (p *parser) param() (Param, error) {
+	if err := p.expect(tOp, "["); err != nil {
+		return Param{}, err
+	}
+	t := p.next()
+	var out Param
+	switch t.kind {
+	case tInt:
+		v, _ := strconv.ParseInt(t.text, 10, 64)
+		out = Lit(v)
+	case tIdent:
+		out = SymP(t.text)
+	default:
+		return Param{}, p.errf("expected parameter, found %q", t.text)
+	}
+	if err := p.expect(tOp, "]"); err != nil {
+		return Param{}, err
+	}
+	return out, nil
+}
+
+func (p *parser) optParam() (Param, bool, error) {
+	if !p.at(tOp, "[") {
+		return Param{}, false, nil
+	}
+	// Lookahead: '[' could also start a seq annotation [a~>b]; peek.
+	save := p.i
+	pr, err := p.param()
+	if err != nil {
+		p.i = save
+		return Param{}, false, nil
+	}
+	return pr, true, nil
+}
+
+func (p *parser) primary() (Expr, error) {
+	t := p.cur()
+	switch {
+	case t.kind == tInt:
+		p.next()
+		v, _ := strconv.ParseInt(t.text, 10, 64)
+		return IntLit{V: v}, nil
+	case t.kind == tStr:
+		p.next()
+		s, err := strconv.Unquote(t.text)
+		if err != nil {
+			return nil, p.errf("bad string literal %s", t.text)
+		}
+		return StrLit{V: s}, nil
+	case p.accept(tKeyword, "true"):
+		return BoolLit{V: true}, nil
+	case p.accept(tKeyword, "false"):
+		return BoolLit{V: false}, nil
+	case t.kind == tIdent:
+		p.next()
+		return Var{Name: t.text}, nil
+	case p.accept(tOp, "("):
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(tOp, ")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case p.accept(tOp, "<"):
+		// Tuple literal. Elements parse at additive level so the closing
+		// '>' is not taken as a comparison; parenthesize comparisons,
+		// lambdas and conditionals inside tuples (the printer does).
+		var elems []Expr
+		for {
+			e, err := p.addExpr()
+			if err != nil {
+				return nil, err
+			}
+			elems = append(elems, e)
+			if p.accept(tOp, ",") {
+				continue
+			}
+			if err := p.expect(tOp, ">"); err != nil {
+				return nil, err
+			}
+			return Tup{Elems: elems}, nil
+		}
+	case p.accept(tOp, "["):
+		if p.accept(tOp, "]") {
+			return Empty{}, nil
+		}
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(tOp, "]"); err != nil {
+			return nil, err
+		}
+		return Single{E: e}, nil
+	case t.kind == tKeyword:
+		return p.keywordExpr()
+	}
+	return nil, p.errf("unexpected token %q", t.text)
+}
+
+func (p *parser) keywordExpr() (Expr, error) {
+	t := p.next()
+	switch t.text {
+	case "for":
+		return p.forExpr()
+	case "mrg":
+		return Mrg{}, nil
+	case "flatMap":
+		args, err := p.parenArgs(1)
+		if err != nil {
+			return nil, err
+		}
+		return FlatMap{Fn: args[0]}, nil
+	case "foldL":
+		args, err := p.parenArgs(2)
+		if err != nil {
+			return nil, err
+		}
+		return FoldL{Init: args[0], Fn: args[1]}, nil
+	case "treeFold":
+		k, err := p.param()
+		if err != nil {
+			return nil, err
+		}
+		outK, _, err := p.optParam()
+		if err != nil {
+			return nil, err
+		}
+		args, err := p.parenArgs(2)
+		if err != nil {
+			return nil, err
+		}
+		return TreeFold{K: k, Init: args[0], Fn: args[1], OutK: outK}, nil
+	case "unfoldR":
+		k, _, err := p.optParam()
+		if err != nil {
+			return nil, err
+		}
+		outK, _, err := p.optParam()
+		if err != nil {
+			return nil, err
+		}
+		args, err := p.parenArgs(1)
+		if err != nil {
+			return nil, err
+		}
+		return UnfoldR{Fn: args[0], K: k, OutK: outK}, nil
+	case "funcPow":
+		k, err := p.param()
+		if err != nil {
+			return nil, err
+		}
+		kv, ok := k.Literal()
+		if !ok {
+			return nil, p.errf("funcPow needs a literal power")
+		}
+		args, err := p.parenArgs(1)
+		if err != nil {
+			return nil, err
+		}
+		return FuncPow{K: int(kv), Fn: args[0]}, nil
+	case "partition":
+		s, err := p.param()
+		if err != nil {
+			return nil, err
+		}
+		return PartitionF{S: s}, nil
+	case "zip":
+		n, err := p.param()
+		if err != nil {
+			return nil, err
+		}
+		nv, ok := n.Literal()
+		if !ok {
+			return nil, p.errf("zip needs a literal arity")
+		}
+		return ZipLists{N: int(nv)}, nil
+	case "z":
+		n, err := p.param()
+		if err != nil {
+			return nil, err
+		}
+		nv, ok := n.Literal()
+		if !ok {
+			return nil, p.errf("z needs a literal arity")
+		}
+		return ZipStep{N: int(nv)}, nil
+	case "head", "tail", "length", "hash":
+		ops := map[string]PrimOp{"head": OpHead, "tail": OpTail, "length": OpLength, "hash": OpHash}
+		args, err := p.parenArgs(1)
+		if err != nil {
+			return nil, err
+		}
+		return Prim{Op: ops[t.text], Args: args}, nil
+	}
+	return nil, p.errf("unexpected keyword %q", t.text)
+}
+
+func (p *parser) parenArgs(n int) ([]Expr, error) {
+	if err := p.expect(tOp, "("); err != nil {
+		return nil, err
+	}
+	args, err := p.argList()
+	if err != nil {
+		return nil, err
+	}
+	if len(args) != n {
+		return nil, p.errf("expected %d arguments, got %d", n, len(args))
+	}
+	return args, nil
+}
+
+// forExpr parses: '(' x ['[' k ']'] '<-' src ')' ['[' ko ']'] ['[' a~>b ']'] body
+func (p *parser) forExpr() (Expr, error) {
+	if err := p.expect(tOp, "("); err != nil {
+		return nil, err
+	}
+	t := p.cur()
+	if t.kind != tIdent {
+		return nil, p.errf("expected loop variable, found %q", t.text)
+	}
+	p.next()
+	x := t.text
+	k, _, err := p.optParam()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect(tOp, "<-"); err != nil {
+		return nil, err
+	}
+	src, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect(tOp, ")"); err != nil {
+		return nil, err
+	}
+	// `[k]` after the loop head is an output-buffer annotation, but `[x]`
+	// can also be the singleton-list body. Parse greedily as an annotation
+	// and backtrack when no body follows.
+	beforeAnnots := p.i
+	outK, hadOutK, err := p.optParam()
+	if err != nil {
+		return nil, err
+	}
+	var seq *SeqAnnot
+	if p.at(tOp, "[") {
+		// seq annotation: [from ~> to]
+		save := p.i
+		p.next()
+		from := p.cur()
+		if from.kind == tIdent {
+			p.next()
+			if p.accept(tOp, "~>") {
+				to := p.cur()
+				if to.kind != tIdent {
+					return nil, p.errf("expected node name after ~>")
+				}
+				p.next()
+				if err := p.expect(tOp, "]"); err != nil {
+					return nil, err
+				}
+				seq = &SeqAnnot{From: from.text, To: to.text}
+			} else {
+				p.i = save
+			}
+		} else {
+			p.i = save
+		}
+	}
+	body, err := p.expr()
+	if err != nil && hadOutK {
+		// Backtrack: the bracket group was the body, not an annotation.
+		p.i = beforeAnnots
+		outK, seq = Param{}, nil
+		body, err = p.expr()
+	}
+	if err != nil {
+		return nil, err
+	}
+	return For{X: x, K: k, Src: src, OutK: outK, Seq: seq, Body: body}, nil
+}
+
+// ParseFile is a convenience wrapper stripping a leading shebang-style
+// comment header.
+func ParseFile(src string) (Expr, error) {
+	return Parse(strings.TrimSpace(src))
+}

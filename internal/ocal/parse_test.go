@@ -1,0 +1,130 @@
+package ocal
+
+import (
+	"testing"
+)
+
+func roundTrip(t *testing.T, src string) Expr {
+	t.Helper()
+	e, err := Parse(src)
+	if err != nil {
+		t.Fatalf("parse %q: %v", src, err)
+	}
+	printed := String(e)
+	e2, err := Parse(printed)
+	if err != nil {
+		t.Fatalf("re-parse %q: %v", printed, err)
+	}
+	if String(e2) != printed {
+		t.Fatalf("round trip unstable:\n  first:  %s\n  second: %s", printed, String(e2))
+	}
+	return e
+}
+
+func TestParseNaiveJoin(t *testing.T) {
+	e := roundTrip(t, `for (x <- R) for (y <- S) if x.1 == y.1 then [<x, y>] else []`)
+	f, ok := e.(For)
+	if !ok || f.X != "x" {
+		t.Fatalf("wrong shape: %s", String(e))
+	}
+	inner, ok := f.Body.(For)
+	if !ok || inner.X != "y" {
+		t.Fatalf("wrong inner: %s", String(e))
+	}
+	if _, ok := inner.Body.(If); !ok {
+		t.Fatalf("wrong body: %s", String(e))
+	}
+}
+
+func TestParseBlockedLoopWithAnnotations(t *testing.T) {
+	e := roundTrip(t, `for (xB [k1] <- R) [ko] [hdd~>ram] for (x <- xB) [x]`)
+	f := e.(For)
+	if f.K.Sym != "k1" || f.OutK.Sym != "ko" {
+		t.Errorf("params lost: %s %s", f.K, f.OutK)
+	}
+	if f.Seq == nil || f.Seq.From != "hdd" || f.Seq.To != "ram" {
+		t.Errorf("seq annotation lost: %+v", f.Seq)
+	}
+}
+
+func TestParseDefinitions(t *testing.T) {
+	cases := []string{
+		`foldL([], unfoldR(mrg))(R)`,
+		`treeFold[8][bout]([], unfoldR[bin](funcPow[3](mrg)))(R)`,
+		`flatMap(\<p1, p2> -> for (x <- p1) for (y <- p2) [<x, y>])(zip[2](partition[s](R), partition[s](S)))`,
+		`unfoldR(z[3])(<C1, C2, C3>)`,
+		`(\<a, b> -> a + b)(<1, 2>)`,
+		`if length(R) <= length(S) then <R, S> else <S, R>`,
+		`head(tail(L)) == 5 and not (length(L) == 0)`,
+		`hash(x) % 16`,
+		`foldL(<0, 0>, \<a, x> -> <a.1 + x.2, a.2 + 1>)(R)`,
+		`[42]`,
+		`[]`,
+		`"hello" != "world"`,
+		`1 + 2 * 3 - 4 / 2`,
+		`L1 ++ L2`,
+	}
+	for _, src := range cases {
+		roundTrip(t, src)
+	}
+}
+
+// The printer's output for every AST we can build must parse back to an
+// equal tree (printer/parser inverse property).
+func TestPrinterParserInverse(t *testing.T) {
+	exprs := []Expr{
+		For{X: "x", Src: Var{Name: "R"},
+			Body: For{X: "y", Src: Var{Name: "S"},
+				Body: If{Cond: Prim{Op: OpEq, Args: []Expr{Proj{E: Var{Name: "x"}, I: 1}, Proj{E: Var{Name: "y"}, I: 1}}},
+					Then: Single{E: Tup{Elems: []Expr{Var{Name: "x"}, Var{Name: "y"}}}},
+					Else: Empty{}}}},
+		App{Fn: FoldL{Init: Empty{}, Fn: UnfoldR{Fn: Mrg{}}}, Arg: Var{Name: "R"}},
+		App{Fn: TreeFold{K: Lit(4), Init: Empty{}, OutK: SymP("bout"),
+			Fn: UnfoldR{Fn: FuncPow{K: 2, Fn: Mrg{}}, K: SymP("bin")}}, Arg: Var{Name: "R"}},
+		App{Fn: PartitionF{S: SymP("s")}, Arg: Var{Name: "R"}},
+		App{Fn: ZipLists{N: 2}, Arg: Tup{Elems: []Expr{Var{Name: "A"}, Var{Name: "B"}}}},
+		App{Fn: UnfoldR{Fn: ZipStep{N: 2}}, Arg: Tup{Elems: []Expr{Var{Name: "A"}, Var{Name: "B"}}}},
+		Lam{Params: []string{"a", "b"}, Body: Prim{Op: OpAdd, Args: []Expr{Var{Name: "a"}, Var{Name: "b"}}}},
+		Prim{Op: OpNot, Args: []Expr{BoolLit{V: false}}},
+		Prim{Op: OpConcat, Args: []Expr{Single{E: IntLit{V: 1}}, Empty{}}},
+		StrLit{V: "x y"},
+	}
+	for _, e := range exprs {
+		printed := String(e)
+		back, err := Parse(printed)
+		if err != nil {
+			t.Errorf("cannot re-parse %q: %v", printed, err)
+			continue
+		}
+		if String(back) != printed {
+			t.Errorf("inverse failed:\n  printed: %s\n  back:    %s", printed, String(back))
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		``,
+		`for (x <- R`,
+		`if x then y`,
+		`<1, 2`,
+		`foldL(1)`,
+		`funcPow[k](mrg)`, // power must be literal
+		`f(`,
+		`"unterminated`,
+		`x @ y`,
+		`1 .`,
+	}
+	for _, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("expected parse error for %q", src)
+		}
+	}
+}
+
+func TestParseComments(t *testing.T) {
+	e := roundTrip(t, "-- the naive join\nfor (x <- R) -- outer\n for (y <- S) [<x, y>]")
+	if _, ok := e.(For); !ok {
+		t.Fatalf("wrong shape: %s", String(e))
+	}
+}

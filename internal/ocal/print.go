@@ -1,0 +1,177 @@
+package ocal
+
+import (
+	"fmt"
+	"strings"
+)
+
+// String renders e in the concrete syntax accepted by the parser. The
+// rendering is canonical: structurally equal expressions print identically,
+// which the synthesizer's search uses for deduplication.
+func String(e Expr) string {
+	var b strings.Builder
+	print(&b, e)
+	return b.String()
+}
+
+func print(b *strings.Builder, e Expr) {
+	switch t := e.(type) {
+	case Var:
+		b.WriteString(t.Name)
+	case IntLit:
+		fmt.Fprintf(b, "%d", t.V)
+	case BoolLit:
+		fmt.Fprintf(b, "%t", t.V)
+	case StrLit:
+		fmt.Fprintf(b, "%q", t.V)
+	case Lam:
+		b.WriteString("\\")
+		if len(t.Params) == 1 {
+			b.WriteString(t.Params[0])
+		} else {
+			b.WriteString("<")
+			b.WriteString(strings.Join(t.Params, ", "))
+			b.WriteString(">")
+		}
+		b.WriteString(" -> ")
+		print(b, t.Body)
+	case App:
+		printAtomic(b, t.Fn)
+		b.WriteString("(")
+		// Render application to a tuple as a multi-argument call.
+		if tup, ok := t.Arg.(Tup); ok {
+			for i, a := range tup.Elems {
+				if i > 0 {
+					b.WriteString(", ")
+				}
+				print(b, a)
+			}
+		} else {
+			print(b, t.Arg)
+		}
+		b.WriteString(")")
+	case Tup:
+		b.WriteString("<")
+		for i, a := range t.Elems {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			printAtomic(b, a) // keep '>'-bearing elements parenthesized
+		}
+		b.WriteString(">")
+	case Proj:
+		printAtomic(b, t.E)
+		fmt.Fprintf(b, ".%d", t.I)
+	case Single:
+		b.WriteString("[")
+		print(b, t.E)
+		b.WriteString("]")
+	case Empty:
+		b.WriteString("[]")
+	case If:
+		b.WriteString("if ")
+		print(b, t.Cond)
+		b.WriteString(" then ")
+		print(b, t.Then)
+		b.WriteString(" else ")
+		print(b, t.Else)
+	case Prim:
+		if t.Op.Infix() && len(t.Args) == 2 {
+			printAtomic(b, t.Args[0])
+			b.WriteString(" " + t.Op.String() + " ")
+			printAtomic(b, t.Args[1])
+			return
+		}
+		b.WriteString(t.Op.String())
+		b.WriteString("(")
+		for i, a := range t.Args {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			print(b, a)
+		}
+		b.WriteString(")")
+	case FlatMap:
+		b.WriteString("flatMap(")
+		print(b, t.Fn)
+		b.WriteString(")")
+	case FoldL:
+		b.WriteString("foldL(")
+		print(b, t.Init)
+		b.WriteString(", ")
+		print(b, t.Fn)
+		b.WriteString(")")
+	case For:
+		b.WriteString("for (" + t.X)
+		if !t.K.IsOne() {
+			b.WriteString(" [" + t.K.String() + "]")
+		}
+		b.WriteString(" <- ")
+		print(b, t.Src)
+		b.WriteString(")")
+		if !t.OutK.IsOne() {
+			b.WriteString(" [" + t.OutK.String() + "]")
+		}
+		if t.Seq != nil {
+			fmt.Fprintf(b, " [%s~>%s]", t.Seq.From, t.Seq.To)
+		}
+		b.WriteString(" ")
+		print(b, t.Body)
+	case TreeFold:
+		b.WriteString("treeFold[" + t.K.String() + "]")
+		if !t.OutK.IsOne() {
+			b.WriteString("[" + t.OutK.String() + "]")
+		}
+		b.WriteString("(")
+		print(b, t.Init)
+		b.WriteString(", ")
+		print(b, t.Fn)
+		b.WriteString(")")
+	case UnfoldR:
+		b.WriteString("unfoldR")
+		if !t.K.IsOne() {
+			b.WriteString("[" + t.K.String() + "]")
+		}
+		if !t.OutK.IsOne() {
+			b.WriteString("[" + t.OutK.String() + "]")
+		}
+		b.WriteString("(")
+		print(b, t.Fn)
+		b.WriteString(")")
+	case Mrg:
+		b.WriteString("mrg")
+	case ZipStep:
+		fmt.Fprintf(b, "z[%d]", t.N)
+	case FuncPow:
+		fmt.Fprintf(b, "funcPow[%d](", t.K)
+		print(b, t.Fn)
+		b.WriteString(")")
+	case PartitionF:
+		b.WriteString("partition[" + t.S.String() + "]")
+	case ZipLists:
+		fmt.Fprintf(b, "zip[%d]", t.N)
+	default:
+		fmt.Fprintf(b, "?%T", e)
+	}
+}
+
+// printAtomic parenthesizes expressions that would be ambiguous in head
+// position or as infix operands.
+func printAtomic(b *strings.Builder, e Expr) {
+	switch t := e.(type) {
+	case Prim:
+		if !t.Op.Infix() || len(t.Args) != 2 {
+			print(b, e) // call-style rendering is unambiguous
+			return
+		}
+		b.WriteString("(")
+		print(b, e)
+		b.WriteString(")")
+	case Lam, If, For:
+		b.WriteString("(")
+		print(b, e)
+		b.WriteString(")")
+	default:
+		print(b, e)
+	}
+}

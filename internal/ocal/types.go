@@ -1,0 +1,148 @@
+package ocal
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Type is an OCAL type per Figure 1: atoms D, tuples, lists and (for
+// function expressions) arrow types.
+type Type interface {
+	isType()
+	String() string
+}
+
+// Atom kinds. The paper uses a single totally ordered domain D; we keep the
+// three concrete atom kinds distinct for better error messages.
+type AtomKind int
+
+const (
+	AInt AtomKind = iota
+	ABool
+	AStr
+)
+
+// AtomType is the type of an atomic value.
+type AtomType struct{ Kind AtomKind }
+
+// TupleType is 〈τ1, ..., τn〉.
+type TupleType []Type
+
+// ListType is [τ].
+type ListType struct{ Elem Type }
+
+// FuncType is τ1 → τ2.
+type FuncType struct{ Arg, Res Type }
+
+// TypeVar is an inference variable used only during type checking.
+type TypeVar struct{ ID int }
+
+func (AtomType) isType()  {}
+func (TupleType) isType() {}
+func (ListType) isType()  {}
+func (FuncType) isType()  {}
+func (TypeVar) isType()   {}
+
+func (t AtomType) String() string {
+	switch t.Kind {
+	case AInt:
+		return "Int"
+	case ABool:
+		return "Bool"
+	case AStr:
+		return "Str"
+	}
+	return "D?"
+}
+
+func (t TupleType) String() string {
+	parts := make([]string, len(t))
+	for i, e := range t {
+		parts[i] = e.String()
+	}
+	return "<" + strings.Join(parts, ", ") + ">"
+}
+
+func (t ListType) String() string { return "[" + t.Elem.String() + "]" }
+
+func (t FuncType) String() string {
+	a := t.Arg.String()
+	if _, ok := t.Arg.(FuncType); ok {
+		a = "(" + a + ")"
+	}
+	return a + " -> " + t.Res.String()
+}
+
+func (t TypeVar) String() string { return fmt.Sprintf("t%d", t.ID) }
+
+// Convenience constructors.
+var (
+	TInt  = AtomType{AInt}
+	TBool = AtomType{ABool}
+	TStr  = AtomType{AStr}
+)
+
+// TList returns [elem].
+func TList(elem Type) Type { return ListType{Elem: elem} }
+
+// TTuple returns 〈elems...〉.
+func TTuple(elems ...Type) Type { return TupleType(elems) }
+
+// TFunc returns arg → res.
+func TFunc(arg, res Type) Type { return FuncType{Arg: arg, Res: res} }
+
+// TypeEq reports structural type equality (no inference variables allowed).
+func TypeEq(a, b Type) bool {
+	switch x := a.(type) {
+	case AtomType:
+		y, ok := b.(AtomType)
+		return ok && x.Kind == y.Kind
+	case TupleType:
+		y, ok := b.(TupleType)
+		if !ok || len(x) != len(y) {
+			return false
+		}
+		for i := range x {
+			if !TypeEq(x[i], y[i]) {
+				return false
+			}
+		}
+		return true
+	case ListType:
+		y, ok := b.(ListType)
+		return ok && TypeEq(x.Elem, y.Elem)
+	case FuncType:
+		y, ok := b.(FuncType)
+		return ok && TypeEq(x.Arg, y.Arg) && TypeEq(x.Res, y.Res)
+	case TypeVar:
+		y, ok := b.(TypeVar)
+		return ok && x.ID == y.ID
+	}
+	return false
+}
+
+// TypeOfValue computes the type of a closed value. Empty lists get element
+// type nil; callers that need exact types should avoid empty list literals
+// at the top level (the checker treats them polymorphically).
+func TypeOfValue(v Value) Type {
+	switch x := v.(type) {
+	case Int:
+		return TInt
+	case Bool:
+		return TBool
+	case Str:
+		return TStr
+	case Tuple:
+		ts := make(TupleType, len(x))
+		for i, e := range x {
+			ts[i] = TypeOfValue(e)
+		}
+		return ts
+	case List:
+		if len(x) == 0 {
+			return ListType{Elem: TypeVar{ID: -1}}
+		}
+		return ListType{Elem: TypeOfValue(x[0])}
+	}
+	return nil
+}

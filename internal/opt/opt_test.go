@@ -1,0 +1,129 @@
+package opt
+
+import (
+	"math"
+	"testing"
+
+	"ocas/internal/cost"
+	sym "ocas/internal/symbolic"
+)
+
+func TestNoParams(t *testing.T) {
+	r, err := Minimize(Problem{Objective: sym.Mul(sym.V("x"), sym.C(2)), Fixed: sym.Env{"x": 21}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Seconds != 42 {
+		t.Errorf("got %v", r.Seconds)
+	}
+	if _, err := Minimize(Problem{Objective: sym.V("unbound")}); err == nil {
+		t.Error("expected error for unbound objective")
+	}
+}
+
+func TestMaximizeBlockSizeUnderCapacity(t *testing.T) {
+	// cost = x/k seeks; constraint 8k <= 1e6. Optimum: k = 125000.
+	p := Problem{
+		Objective:   sym.Div(sym.V("x"), sym.V("k")),
+		Constraints: []cost.Constraint{{LHS: sym.Mul(sym.C(8), sym.V("k")), RHS: sym.C(1e6)}},
+		Params:      []string{"k"},
+		Fixed:       sym.Env{"x": 1e9},
+	}
+	r, err := Minimize(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Values["k"] != 125000 {
+		t.Errorf("k = %d want 125000", r.Values["k"])
+	}
+}
+
+func TestCompetingBuffers(t *testing.T) {
+	// Two nested loops compete for RAM: cost = x/k1 + (x/k1)(y/k2),
+	// 8(k1+k2) <= B. The trivial "both maximal" heuristic fails here;
+	// the solver must favour k2 (the inner, multiplied term)
+	// while keeping k1 > 0 — exactly the case the paper gives for using
+	// the optimizer instead of the single-loop heuristic.
+	p := Problem{
+		Objective: sym.Add(
+			sym.Div(sym.V("x"), sym.V("k1")),
+			sym.Mul(sym.Div(sym.V("x"), sym.V("k1")), sym.Div(sym.V("y"), sym.V("k2")))),
+		Constraints: []cost.Constraint{{
+			LHS: sym.Mul(sym.C(8), sym.Add(sym.V("k1"), sym.V("k2"))),
+			RHS: sym.C(8 * 1024)}},
+		Params: []string{"k1", "k2"},
+		Fixed:  sym.Env{"x": 1e6, "y": 1e6},
+	}
+	r, err := Minimize(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Values["k1"]+r.Values["k2"] > 1024 {
+		t.Errorf("infeasible: k1+k2 = %d", r.Values["k1"]+r.Values["k2"])
+	}
+	// Optimum splits the budget evenly (both terms are ~x*y/(k1*k2)):
+	// k1*k2 maximal at k1=k2=512. Allow slack for the discrete search.
+	prod := float64(r.Values["k1"] * r.Values["k2"])
+	if prod < 0.9*512*512 {
+		t.Errorf("k1*k2 = %v too far from optimum 262144 (k1=%d k2=%d)",
+			prod, r.Values["k1"], r.Values["k2"])
+	}
+}
+
+func TestInfeasibleReported(t *testing.T) {
+	p := Problem{
+		Objective:   sym.V("k"),
+		Constraints: []cost.Constraint{{LHS: sym.V("k"), RHS: sym.C(0.5)}}, // k>=1 always violates
+		Params:      []string{"k"},
+	}
+	if _, err := Minimize(p); err == nil {
+		t.Error("expected infeasibility error")
+	}
+}
+
+func TestBoundsRespected(t *testing.T) {
+	p := Problem{
+		Objective: sym.Div(sym.C(1e9), sym.V("k")),
+		Params:    []string{"k"},
+		Hi:        map[string]int64{"k": 4096},
+	}
+	r, err := Minimize(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Values["k"] != 4096 {
+		t.Errorf("k = %d want upper bound 4096", r.Values["k"])
+	}
+}
+
+func TestExternalSortKSelection(t *testing.T) {
+	// The merge-sort trade-off of Section 7.2: passes ~ ceil(log2(x)/k),
+	// seeks per pass grow with 2^k (buffers shrink). The best k must be
+	// interior (not 1, not huge) for HDD-like seek/bandwidth ratios.
+	x := 1e7
+	ram := 32.0 * 1024 * 1024
+	obj := sym.Add(
+		// transfer: passes * bytes * unitTr (up+down)
+		sym.Mul(
+			sym.Ceil(sym.Div(sym.Log2(sym.C(x)), sym.V("k"))),
+			sym.C(x*8*2/(30*1024*1024))),
+		// seeks: passes * 2 * x / (ram/(8*2^(k+1))) * seekTime
+		sym.Mul(
+			sym.Ceil(sym.Div(sym.Log2(sym.C(x)), sym.V("k"))),
+			sym.C(2*x*0.015),
+			sym.Div(sym.Mul(sym.C(8), sym.V("twoK")), sym.C(ram))),
+	)
+	// twoK = 2^(k+1) is modelled as a second parameter tied by constraint
+	// twoK >= 2^k (the solver works on the relaxation; we sweep k directly
+	// here to keep the test deterministic).
+	best, bestK := math.Inf(1), 0
+	for k := 1; k <= 16; k++ {
+		v := obj.Eval(sym.Env{"k": float64(k), "twoK": math.Pow(2, float64(k+1))})
+		if v < best {
+			best, bestK = v, k
+		}
+	}
+	if bestK <= 1 || bestK >= 16 {
+		t.Errorf("expected interior optimum for merge fan-in, got k=%d", bestK)
+	}
+}

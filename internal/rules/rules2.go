@@ -1,0 +1,262 @@
+package rules
+
+import (
+	"ocas/internal/ocal"
+)
+
+// ---------------------------------------------------------------------------
+// hash-part: f ⇒ λ〈x1,…,xk〉. flatMap(f)(zip(partition(x1),…,partition(xk)))
+// ---------------------------------------------------------------------------
+
+// HashPart partitions the inputs of an equi-join-like program by hash and
+// maps the original program over corresponding partition pairs. The
+// conservative applicability check requires a first-attribute equi-join
+// condition between the two relations' iteration variables, which guarantees
+// matching tuples land in the same bucket (partition hashes the first tuple
+// component).
+type HashPart struct{}
+
+func (HashPart) Name() string { return "hash-part" }
+
+// RootOnly: applied to the whole program.
+func (HashPart) RootOnly() bool { return true }
+
+func (HashPart) Apply(e ocal.Expr, s Scope, c *Context) []ocal.Expr {
+	if !c.Commutative {
+		return nil
+	}
+	var inputs []string
+	for name := range ocal.FreeVars(e) {
+		if _, ok := c.InputLoc[name]; ok {
+			inputs = append(inputs, name)
+		}
+	}
+	if len(inputs) != 2 {
+		return nil
+	}
+	a, b := inputs[0], inputs[1]
+	if a > b {
+		a, b = b, a
+	}
+	if !isFirstAttrEquiJoin(e, a, b) {
+		return nil
+	}
+	sP := c.freshParam("s")
+	p1, p2 := c.freshVar("p"), c.freshVar("p")
+	body := Subst(e, map[string]ocal.Expr{a: ocal.Var{Name: p1}, b: ocal.Var{Name: p2}})
+	out := ocal.App{
+		Fn: ocal.FlatMap{Fn: ocal.Lam{Params: []string{p1, p2}, Body: body}},
+		Arg: ocal.App{Fn: ocal.ZipLists{N: 2}, Arg: ocal.Tup{Elems: []ocal.Expr{
+			ocal.App{Fn: ocal.PartitionF{S: sP}, Arg: ocal.Var{Name: a}},
+			ocal.App{Fn: ocal.PartitionF{S: sP}, Arg: ocal.Var{Name: b}},
+		}}},
+	}
+	return []ocal.Expr{out}
+}
+
+// isFirstAttrEquiJoin conservatively checks that e is a nested iteration
+// over relations a and b whose only cross-relation predicate is equality of
+// the first tuple attributes. Tuples with different first attributes then
+// contribute nothing, so processing per hash bucket is equivalent.
+func isFirstAttrEquiJoin(e ocal.Expr, a, b string) bool {
+	// Locate the loop variables iterating over a and b (possibly through
+	// blocks: for xB ← a ... for x ← xB).
+	va := loopVarOver(e, a)
+	vb := loopVarOver(e, b)
+	if va == "" || vb == "" {
+		return false
+	}
+	found := false
+	var walk func(x ocal.Expr)
+	walk = func(x ocal.Expr) {
+		if p, ok := x.(ocal.Prim); ok && p.Op == ocal.OpEq && len(p.Args) == 2 {
+			if isProj1(p.Args[0], va) && isProj1(p.Args[1], vb) {
+				found = true
+			}
+			if isProj1(p.Args[0], vb) && isProj1(p.Args[1], va) {
+				found = true
+			}
+		}
+		for _, k := range ocal.Children(x) {
+			walk(k)
+		}
+	}
+	walk(e)
+	return found
+}
+
+func isProj1(e ocal.Expr, v string) bool {
+	p, ok := e.(ocal.Proj)
+	if !ok || p.I != 1 {
+		return false
+	}
+	vr, ok := p.E.(ocal.Var)
+	return ok && vr.Name == v
+}
+
+// loopVarOver finds the element variable ultimately iterating over relation
+// rel, looking through one level of blocking.
+func loopVarOver(e ocal.Expr, rel string) string {
+	var find func(x ocal.Expr) string
+	find = func(x ocal.Expr) string {
+		if f, ok := x.(ocal.For); ok {
+			if src, ok := f.Src.(ocal.Var); ok && src.Name == rel {
+				if f.K.IsOne() {
+					return f.X
+				}
+				// Blocked: look for the element loop over the block.
+				if inner := loopVarOver(f.Body, f.X); inner != "" {
+					return inner
+				}
+				return f.X
+			}
+		}
+		for _, k := range ocal.Children(x) {
+			if v := find(k); v != "" {
+				return v
+			}
+		}
+		return ""
+	}
+	return find(e)
+}
+
+// ---------------------------------------------------------------------------
+// inc-branching: treeFold[2^k](c, unfoldR(funcPow[k](mrg))) ⇒
+//                treeFold[2^(k+1)](c, unfoldR(funcPow[k+1](mrg)))
+// ---------------------------------------------------------------------------
+
+// IncBranching doubles the fan-in of a merging treeFold. mrg is associative,
+// which is the rule's side condition.
+type IncBranching struct{}
+
+func (IncBranching) Name() string { return "inc-branching" }
+
+func (IncBranching) Apply(e ocal.Expr, s Scope, c *Context) []ocal.Expr {
+	tf, ok := e.(ocal.TreeFold)
+	if !ok {
+		return nil
+	}
+	unf, ok := tf.Fn.(ocal.UnfoldR)
+	if !ok {
+		return nil
+	}
+	cur := 0
+	switch f := unf.Fn.(type) {
+	case ocal.Mrg:
+		cur = 1 // mrg ≡ funcPow[1](mrg), the paper's auxiliary rule
+	case ocal.FuncPow:
+		if _, isMrg := f.Fn.(ocal.Mrg); isMrg {
+			cur = f.K
+		}
+	}
+	max := c.MaxBranchK
+	if max == 0 {
+		max = 8
+	}
+	if cur == 0 || cur >= max {
+		return nil
+	}
+	bv, ok := tf.K.Literal()
+	if !ok || bv != int64(1)<<uint(cur) {
+		return nil
+	}
+	unf.Fn = ocal.FuncPow{K: cur + 1, Fn: ocal.Mrg{}}
+	tf.Fn = unf
+	tf.K = ocal.Lit(int64(1) << uint(cur+1))
+	return []ocal.Expr{tf}
+}
+
+// ---------------------------------------------------------------------------
+// fldL-to-trfld: foldL(c, f) ⇒ treeFold[2](c, f), f associative with
+// identity c.
+// ---------------------------------------------------------------------------
+
+// FldLToTrFld changes the folding pattern from a left fold to a binary tree
+// fold. The applicability condition (f associative, c its identity) is
+// decided for the known-associative definitions: the merge step unfoldR(mrg)
+// with identity [].
+type FldLToTrFld struct{}
+
+func (FldLToTrFld) Name() string { return "fldL-to-trfld" }
+
+func (FldLToTrFld) Apply(e ocal.Expr, s Scope, c *Context) []ocal.Expr {
+	fl, ok := e.(ocal.FoldL)
+	if !ok {
+		return nil
+	}
+	if !isAssociativeWithIdentity(fl.Fn, fl.Init) {
+		return nil
+	}
+	return []ocal.Expr{ocal.TreeFold{K: ocal.Lit(2), Init: fl.Init, Fn: fl.Fn}}
+}
+
+func isAssociativeWithIdentity(f, id ocal.Expr) bool {
+	unf, ok := f.(ocal.UnfoldR)
+	if !ok {
+		return false
+	}
+	if _, isMrg := unf.Fn.(ocal.Mrg); !isMrg {
+		return false
+	}
+	_, isEmpty := id.(ocal.Empty)
+	return isEmpty
+}
+
+// ---------------------------------------------------------------------------
+// seq-ac: annotate a blocked loop whose device reads are sequential.
+// ---------------------------------------------------------------------------
+
+// SeqAC adds the [m1 ⇝ m2] sequential-access annotation to a blocked loop
+// over a device-resident relation. The syntactic sufficient condition: the
+// loop body performs no transfers from the same device (no inner loop over a
+// different relation on that device), and the program output is not written
+// to that device; then consecutive block reads are contiguous.
+type SeqAC struct{}
+
+func (SeqAC) Name() string { return "seq-ac" }
+
+func (SeqAC) Apply(e ocal.Expr, s Scope, c *Context) []ocal.Expr {
+	f, ok := e.(ocal.For)
+	if !ok || f.K.IsOne() || f.Seq != nil {
+		return nil
+	}
+	src, ok := f.Src.(ocal.Var)
+	if !ok {
+		return nil
+	}
+	dev := c.deviceOf(src.Name, s)
+	if dev == "" || c.H == nil {
+		return nil
+	}
+	parent := c.H.Parent(dev)
+	if parent == nil {
+		return nil
+	}
+	if c.Output == dev {
+		return nil // writes interfere with reads on the same device
+	}
+	if bodyTouchesDevice(f.Body, src.Name, dev, s, c) {
+		return nil
+	}
+	f.Seq = &ocal.SeqAnnot{From: dev, To: parent.Name}
+	return []ocal.Expr{f}
+}
+
+// bodyTouchesDevice reports whether the body iterates another relation on
+// the same device (which would interleave seeks).
+func bodyTouchesDevice(e ocal.Expr, except, dev string, s Scope, c *Context) bool {
+	if f, ok := e.(ocal.For); ok {
+		if src, ok := f.Src.(ocal.Var); ok && src.Name != except {
+			if c.deviceOf(src.Name, s) == dev {
+				return true
+			}
+		}
+	}
+	for _, k := range ocal.Children(e) {
+		if bodyTouchesDevice(k, except, dev, s, c) {
+			return true
+		}
+	}
+	return false
+}

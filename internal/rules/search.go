@@ -1,0 +1,224 @@
+package rules
+
+import (
+	"fmt"
+
+	"ocas/internal/ocal"
+)
+
+// rootOnly is implemented by rules that rewrite the whole program rather
+// than arbitrary subexpressions (order-inputs, hash-part).
+type rootOnly interface{ RootOnly() bool }
+
+// Rewrite is one rule application: the resulting program and the rule name.
+type Rewrite struct {
+	Expr ocal.Expr
+	Rule string
+}
+
+// Step performs every single-step rewrite of prog under the rule library:
+// for each rule and each position where it applies, one rewritten program.
+func Step(prog ocal.Expr, rs []Rule, c *Context) []Rewrite {
+	scope := Scope{}
+	for name := range c.InputLoc {
+		scope[name] = BinderInfo{Kind: KindInput}
+	}
+	var out []Rewrite
+	for _, r := range rs {
+		if ro, ok := r.(rootOnly); ok && ro.RootOnly() {
+			for _, e := range r.Apply(prog, scope, c) {
+				out = append(out, Rewrite{Expr: e, Rule: r.Name()})
+			}
+			continue
+		}
+		for _, e := range rewriteEverywhere(prog, scope, r, c) {
+			out = append(out, Rewrite{Expr: e, Rule: r.Name()})
+		}
+	}
+	return out
+}
+
+// rewriteEverywhere returns prog with rule r applied at each position where
+// it matches (one application per result).
+func rewriteEverywhere(e ocal.Expr, s Scope, r Rule, c *Context) []ocal.Expr {
+	out := append([]ocal.Expr(nil), r.Apply(e, s, c)...)
+	kids := ocal.Children(e)
+	for i, kid := range kids {
+		ks := s
+		switch t := e.(type) {
+		case ocal.Lam:
+			for _, p := range t.Params {
+				ks = ks.with(p, BinderInfo{Kind: KindLam})
+			}
+		case ocal.For:
+			if i == 1 { // body position
+				info := BinderInfo{Kind: KindFor}
+				if !t.K.IsOne() {
+					// Block variable: one level deeper than its source.
+					if src, ok := t.Src.(ocal.Var); ok {
+						if pi, in := s[src.Name]; in && pi.Kind == KindFor {
+							info.BlockDepth = pi.BlockDepth + 1
+						} else {
+							info.BlockDepth = 1
+						}
+					} else {
+						info.BlockDepth = 1
+					}
+				}
+				ks = ks.with(t.X, info)
+			}
+		}
+		for _, rk := range rewriteEverywhere(kid, ks, r, c) {
+			nk := make([]ocal.Expr, len(kids))
+			copy(nk, kids)
+			nk[i] = rk
+			out = append(out, ocal.WithChildren(e, nk))
+		}
+	}
+	return out
+}
+
+// Derivation is a program reached by the search together with the chain of
+// rule applications that produced it.
+type Derivation struct {
+	Expr  ocal.Expr
+	Steps []string
+}
+
+// SearchStats reports what the BFS explored (the paper's Table 1 "Search
+// space" and "Steps" columns).
+type SearchStats struct {
+	SpaceSize int // distinct programs encountered
+	MaxDepth  int // longest derivation chain
+	Truncated bool
+}
+
+// Search explores the space of equivalent programs breadth-first up to
+// maxDepth rule applications or maxSpace distinct programs, whichever comes
+// first ("OCAS exhaustively searches the space of equivalent programs").
+func Search(start ocal.Expr, rs []Rule, c *Context, maxDepth, maxSpace int) ([]Derivation, SearchStats) {
+	if maxDepth <= 0 {
+		maxDepth = 8
+	}
+	if maxSpace <= 0 {
+		maxSpace = 100_000
+	}
+	seen := map[string]bool{alphaKey(start): true}
+	all := []Derivation{{Expr: start}}
+	frontier := []Derivation{{Expr: start}}
+	stats := SearchStats{SpaceSize: 1}
+	for depth := 1; depth <= maxDepth && len(frontier) > 0; depth++ {
+		var next []Derivation
+		for _, d := range frontier {
+			for _, rw := range Step(d.Expr, rs, c) {
+				key := alphaKey(rw.Expr)
+				if seen[key] {
+					continue
+				}
+				seen[key] = true
+				nd := Derivation{
+					Expr:  rw.Expr,
+					Steps: append(append([]string(nil), d.Steps...), rw.Rule),
+				}
+				all = append(all, nd)
+				next = append(next, nd)
+				stats.SpaceSize++
+				if stats.MaxDepth < depth {
+					stats.MaxDepth = depth
+				}
+				if stats.SpaceSize >= maxSpace {
+					stats.Truncated = true
+					return all, stats
+				}
+			}
+		}
+		frontier = next
+	}
+	return all, stats
+}
+
+// alphaKey is the dedup key: the canonical printing of the program with
+// bound variables and symbolic parameters renamed in first-occurrence order,
+// so that two derivation paths reaching the same structure are recognized as
+// one program even when fresh-name counters differ.
+func alphaKey(e ocal.Expr) string {
+	ren := &renamer{vars: map[string]string{}, params: map[string]string{}}
+	return ocal.String(ren.expr(e, map[string]string{}))
+}
+
+type renamer struct {
+	vars   map[string]string
+	params map[string]string
+	nv, np int
+}
+
+func (r *renamer) bind(name string) string {
+	r.nv++
+	return fmt.Sprintf("v%d", r.nv)
+}
+
+func (r *renamer) param(p ocal.Param) ocal.Param {
+	if p.Sym == "" {
+		return p
+	}
+	if n, ok := r.params[p.Sym]; ok {
+		return ocal.SymP(n)
+	}
+	r.np++
+	n := fmt.Sprintf("p%d", r.np)
+	r.params[p.Sym] = n
+	return ocal.SymP(n)
+}
+
+// expr renames under env (bound-variable mapping); free variables (inputs)
+// keep their names.
+func (r *renamer) expr(e ocal.Expr, env map[string]string) ocal.Expr {
+	switch t := e.(type) {
+	case ocal.Var:
+		if n, ok := env[t.Name]; ok {
+			return ocal.Var{Name: n}
+		}
+		return t
+	case ocal.Lam:
+		ne := copyEnv(env)
+		np := make([]string, len(t.Params))
+		for i, p := range t.Params {
+			np[i] = r.bind(p)
+			ne[p] = np[i]
+		}
+		return ocal.Lam{Params: np, Body: r.expr(t.Body, ne)}
+	case ocal.For:
+		src := r.expr(t.Src, env)
+		ne := copyEnv(env)
+		nx := r.bind(t.X)
+		ne[t.X] = nx
+		return ocal.For{X: nx, K: r.param(t.K), Src: src,
+			OutK: r.param(t.OutK), Seq: t.Seq, Body: r.expr(t.Body, ne)}
+	case ocal.TreeFold:
+		return ocal.TreeFold{K: r.param(t.K), Init: r.expr(t.Init, env),
+			Fn: r.expr(t.Fn, env), OutK: r.param(t.OutK)}
+	case ocal.UnfoldR:
+		return ocal.UnfoldR{Fn: r.expr(t.Fn, env), K: r.param(t.K), Hint: t.Hint,
+			OutK: r.param(t.OutK)}
+	case ocal.PartitionF:
+		return ocal.PartitionF{S: r.param(t.S)}
+	default:
+		kids := ocal.Children(e)
+		if len(kids) == 0 {
+			return e
+		}
+		nk := make([]ocal.Expr, len(kids))
+		for i, k := range kids {
+			nk[i] = r.expr(k, env)
+		}
+		return ocal.WithChildren(e, nk)
+	}
+}
+
+func copyEnv(m map[string]string) map[string]string {
+	n := make(map[string]string, len(m))
+	for k, v := range m {
+		n[k] = v
+	}
+	return n
+}

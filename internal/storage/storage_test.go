@@ -1,0 +1,159 @@
+package storage
+
+import (
+	"math"
+	"testing"
+
+	"ocas/internal/memory"
+)
+
+func newHDDSim(t *testing.T) (*Sim, *Device) {
+	t.Helper()
+	s := NewSim(memory.HDDRAM(64 * memory.MiB))
+	d, err := s.Device("hdd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, d
+}
+
+func TestSequentialReadChargesOneSeek(t *testing.T) {
+	s, d := newHDDSim(t)
+	v, err := d.NewVolume(1000, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v.Count = 1000
+	d.head = -1 // ensure the first read seeks
+	for i := int64(0); i < 1000; i += 100 {
+		v.ReadAt(i, 100)
+	}
+	if d.Led.ReadInits != 1 {
+		t.Errorf("sequential blocked read should seek once, got %d", d.Led.ReadInits)
+	}
+	wantBytes := int64(1000 * 8)
+	if d.Led.BytesRead != wantBytes {
+		t.Errorf("read %d bytes want %d", d.Led.BytesRead, wantBytes)
+	}
+	wantSecs := memory.HDDSeek + float64(wantBytes)*memory.HDDUnitTr
+	if math.Abs(s.Clock.Seconds()-wantSecs) > 1e-9 {
+		t.Errorf("clock %v want %v", s.Clock.Seconds(), wantSecs)
+	}
+}
+
+func TestRandomReadsSeekEachTime(t *testing.T) {
+	_, d := newHDDSim(t)
+	v, _ := d.NewVolume(1000, 8)
+	v.Count = 1000
+	d.head = -1
+	for i := 0; i < 10; i++ {
+		v.ReadAt(int64((i*37)%900), 1)
+	}
+	if d.Led.ReadInits < 9 {
+		t.Errorf("random reads should seek nearly every time, got %d", d.Led.ReadInits)
+	}
+}
+
+func TestInterleavedReadWriteSeeks(t *testing.T) {
+	// Alternating read and append on one disk forces head movement both
+	// ways — the same-disk write-out effect of Table 1.
+	_, d := newHDDSim(t)
+	in, _ := d.NewVolume(100, 8)
+	in.Count = 100
+	out, _ := d.NewVolume(100, 8)
+	for i := int64(0); i < 50; i++ {
+		in.ReadAt(i, 1)
+		out.Append(1)
+	}
+	if d.Led.ReadInits < 49 || d.Led.WriteInits < 49 {
+		t.Errorf("interleaving must seek per op: reads %d writes %d",
+			d.Led.ReadInits, d.Led.WriteInits)
+	}
+}
+
+func TestFlashEraseBlocks(t *testing.T) {
+	s := NewSim(memory.HDDFlash(64 * memory.MiB))
+	d, err := s.Device("ssd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, _ := d.NewVolume(1<<20, 4)
+	// Write 1 MiB sequentially: erase block is 256K -> 4 erases.
+	for i := 0; i < 1<<8; i++ {
+		v.Append(1 << 10) // 4 KiB per append
+	}
+	if d.Led.WriteInits != 4 {
+		t.Errorf("expected 4 erases for 1MiB/256K, got %d", d.Led.WriteInits)
+	}
+	// Flash reads have no seek penalty (InitComUp = 0).
+	before := s.Clock.Seconds()
+	v.ReadAt(0, 1)
+	v.ReadAt(100000, 1)
+	perByte := memory.SSDUnitTr
+	if got := s.Clock.Seconds() - before; math.Abs(got-8*perByte) > 1e-12 {
+		t.Errorf("flash random reads should cost transfer only, got %v", got)
+	}
+}
+
+func TestVolumeAllocationBounds(t *testing.T) {
+	s := NewSim(memory.HDDRAM(64 * memory.MiB))
+	d, _ := s.Device("hdd")
+	if _, err := d.NewVolume(1<<40, 1024); err == nil {
+		t.Error("allocating beyond device size must fail")
+	}
+	v, err := d.NewVolume(10, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("append beyond capacity must panic")
+		}
+	}()
+	v.Append(11)
+}
+
+func TestCPUCharging(t *testing.T) {
+	s := NewSim(memory.HDDRAM(64 * memory.MiB))
+	s.DefaultCPU()
+	before := s.Clock.Seconds()
+	s.CPU(1000, s.CmpSeconds)
+	if got := s.Clock.Seconds() - before; math.Abs(got-1000*s.CmpSeconds) > 1e-15 {
+		t.Errorf("CPU charge %v", got)
+	}
+	s.CPU(1000, 0) // disabled model: no charge
+	if s.Clock.Seconds() != before+1000*s.CmpSeconds {
+		t.Error("zero per-op cost must not charge")
+	}
+}
+
+func TestCacheModelScan(t *testing.T) {
+	c := NewCacheModel(1024, 64)
+	// Region fits: first pass misses, later passes hit.
+	c.ScanMisses(512, 10)
+	if c.Misses != 8 || c.Hits != 72 {
+		t.Errorf("fit case: misses %d hits %d", c.Misses, c.Hits)
+	}
+	// Region exceeds cache: every pass misses.
+	c2 := NewCacheModel(1024, 64)
+	c2.ScanMisses(4096, 10)
+	if c2.Misses != 640 || c2.Hits != 0 {
+		t.Errorf("overflow case: misses %d hits %d", c2.Misses, c2.Hits)
+	}
+	if r := c2.MissRatio(); r != 1 {
+		t.Errorf("ratio %v", r)
+	}
+	if (&CacheModel{}).MissRatio() != 0 {
+		t.Error("empty model ratio should be 0")
+	}
+}
+
+func TestUnknownDevice(t *testing.T) {
+	s := NewSim(memory.HDDRAM(64 * memory.MiB))
+	if _, err := s.Device("ram"); err == nil {
+		t.Error("RAM is not a simulated device")
+	}
+	if _, err := s.Device("nope"); err == nil {
+		t.Error("unknown device must error")
+	}
+}

@@ -1,0 +1,517 @@
+// Package symbolic implements the arithmetic expression engine used by the
+// OCAS cost estimator. Cost formulas are functions of input cardinalities
+// (e.g. x, y) and free tuning parameters (e.g. block sizes k1, k2, buffer
+// sizes bin, bout). The engine supports construction, simplification,
+// evaluation under an environment, substitution, and closed forms for the
+// index sums produced when costing foldL (Section 5 and Section 7.2 of the
+// paper: the insertion-sort cost simplifies to x·InitCom + x(x+1)/2·…).
+package symbolic
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Expr is a symbolic arithmetic expression over float64-valued variables.
+// Expressions are immutable; all operations return new expressions.
+type Expr interface {
+	// Eval evaluates the expression under env. Unbound variables evaluate
+	// to NaN so the error surfaces in the result rather than panicking.
+	Eval(env Env) float64
+	// String renders a human-readable form.
+	String() string
+	// key returns a canonical string used for structural comparison and
+	// like-term collection. Distinct from String for readability reasons.
+	key() string
+}
+
+// Env binds variable names to values for evaluation.
+type Env map[string]float64
+
+// Const is a numeric literal.
+type Const float64
+
+// Var is a named variable (input cardinality or tuning parameter).
+type Var string
+
+type nary struct {
+	op    string // "+" or "*"
+	terms []Expr
+}
+
+type div struct{ num, den Expr }
+
+type unary struct {
+	op  string // "ceil", "floor", "log2"
+	arg Expr
+}
+
+type minmax struct {
+	op    string // "max" or "min"
+	terms []Expr
+}
+
+func (c Const) Eval(Env) float64 { return float64(c) }
+func (c Const) String() string {
+	f := float64(c)
+	if f == math.Trunc(f) && math.Abs(f) < 1e15 {
+		return fmt.Sprintf("%d", int64(f))
+	}
+	return fmt.Sprintf("%g", f)
+}
+func (c Const) key() string { return c.String() }
+
+func (v Var) Eval(env Env) float64 {
+	if x, ok := env[string(v)]; ok {
+		return x
+	}
+	return math.NaN()
+}
+func (v Var) String() string { return string(v) }
+func (v Var) key() string    { return string(v) }
+
+func (n *nary) Eval(env Env) float64 {
+	if n.op == "+" {
+		s := 0.0
+		for _, t := range n.terms {
+			s += t.Eval(env)
+		}
+		return s
+	}
+	p := 1.0
+	for _, t := range n.terms {
+		p *= t.Eval(env)
+	}
+	return p
+}
+
+func (n *nary) String() string {
+	parts := make([]string, len(n.terms))
+	for i, t := range n.terms {
+		s := t.String()
+		if inner, ok := t.(*nary); ok && n.op == "*" && inner.op == "+" {
+			s = "(" + s + ")"
+		}
+		if _, ok := t.(*div); ok && n.op == "*" {
+			s = "(" + s + ")"
+		}
+		parts[i] = s
+	}
+	sep := " + "
+	if n.op == "*" {
+		sep = "*"
+	}
+	return strings.Join(parts, sep)
+}
+
+func (n *nary) key() string {
+	parts := make([]string, len(n.terms))
+	for i, t := range n.terms {
+		parts[i] = t.key()
+	}
+	return "(" + n.op + " " + strings.Join(parts, " ") + ")"
+}
+
+func (d *div) Eval(env Env) float64 { return d.num.Eval(env) / d.den.Eval(env) }
+func (d *div) String() string {
+	ns := d.num.String()
+	if _, ok := d.num.(*nary); ok {
+		ns = "(" + ns + ")"
+	}
+	ds := d.den.String()
+	switch d.den.(type) {
+	case *nary, *div:
+		ds = "(" + ds + ")"
+	}
+	return ns + "/" + ds
+}
+func (d *div) key() string { return "(/ " + d.num.key() + " " + d.den.key() + ")" }
+
+func (u *unary) Eval(env Env) float64 {
+	x := u.arg.Eval(env)
+	switch u.op {
+	case "ceil":
+		return math.Ceil(x)
+	case "floor":
+		return math.Floor(x)
+	case "log2":
+		return math.Log2(x)
+	}
+	return math.NaN()
+}
+func (u *unary) String() string { return u.op + "(" + u.arg.String() + ")" }
+func (u *unary) key() string    { return "(" + u.op + " " + u.arg.key() + ")" }
+
+func (m *minmax) Eval(env Env) float64 {
+	best := m.terms[0].Eval(env)
+	for _, t := range m.terms[1:] {
+		x := t.Eval(env)
+		if (m.op == "max" && x > best) || (m.op == "min" && x < best) {
+			best = x
+		}
+	}
+	return best
+}
+func (m *minmax) String() string {
+	parts := make([]string, len(m.terms))
+	for i, t := range m.terms {
+		parts[i] = t.String()
+	}
+	return m.op + "(" + strings.Join(parts, ", ") + ")"
+}
+func (m *minmax) key() string {
+	parts := make([]string, len(m.terms))
+	for i, t := range m.terms {
+		parts[i] = t.key()
+	}
+	sort.Strings(parts)
+	return "(" + m.op + " " + strings.Join(parts, " ") + ")"
+}
+
+// Zero and One are shared constants.
+var (
+	Zero = Const(0)
+	One  = Const(1)
+)
+
+// C returns a constant expression.
+func C(x float64) Expr { return Const(x) }
+
+// V returns a variable expression.
+func V(name string) Expr { return Var(name) }
+
+// Add returns the simplified sum of terms.
+func Add(terms ...Expr) Expr {
+	flat := make([]Expr, 0, len(terms))
+	constSum := 0.0
+	// Collect like terms: canonical key of the non-constant factor -> coeff.
+	coeff := map[string]float64{}
+	repr := map[string]Expr{}
+	add := func(e Expr) {
+		c, rest := splitCoeff(e)
+		k := rest.key()
+		if _, ok := repr[k]; !ok {
+			repr[k] = rest
+		}
+		coeff[k] += c
+	}
+	var walk func(e Expr)
+	walk = func(e Expr) {
+		switch t := e.(type) {
+		case Const:
+			constSum += float64(t)
+		case *nary:
+			if t.op == "+" {
+				for _, s := range t.terms {
+					walk(s)
+				}
+				return
+			}
+			add(e)
+		default:
+			add(e)
+		}
+	}
+	for _, t := range terms {
+		walk(t)
+	}
+	keys := make([]string, 0, len(coeff))
+	for k := range coeff {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		c := coeff[k]
+		if c == 0 {
+			continue
+		}
+		flat = append(flat, Mul(Const(c), repr[k]))
+	}
+	if constSum != 0 {
+		flat = append(flat, Const(constSum))
+	}
+	switch len(flat) {
+	case 0:
+		return Zero
+	case 1:
+		return flat[0]
+	}
+	return &nary{op: "+", terms: flat}
+}
+
+// splitCoeff splits e into (constant coefficient, residual expression).
+func splitCoeff(e Expr) (float64, Expr) {
+	n, ok := e.(*nary)
+	if !ok || n.op != "*" {
+		return 1, e
+	}
+	c := 1.0
+	rest := make([]Expr, 0, len(n.terms))
+	for _, t := range n.terms {
+		if k, ok := t.(Const); ok {
+			c *= float64(k)
+		} else {
+			rest = append(rest, t)
+		}
+	}
+	switch len(rest) {
+	case 0:
+		return c, One
+	case 1:
+		return c, rest[0]
+	}
+	return c, &nary{op: "*", terms: rest}
+}
+
+// Mul returns the simplified product of factors.
+func Mul(factors ...Expr) Expr {
+	flat := make([]Expr, 0, len(factors))
+	constProd := 1.0
+	var walk func(e Expr)
+	walk = func(e Expr) {
+		switch t := e.(type) {
+		case Const:
+			constProd *= float64(t)
+		case *nary:
+			if t.op == "*" {
+				for _, s := range t.terms {
+					walk(s)
+				}
+				return
+			}
+			flat = append(flat, e)
+		case *div:
+			// (a/b)*c -> keep as div to preserve exactness: fold later.
+			flat = append(flat, e)
+		default:
+			flat = append(flat, e)
+		}
+	}
+	for _, f := range factors {
+		walk(f)
+	}
+	if constProd == 0 {
+		return Zero
+	}
+	// Merge division factors: a * (n/d) = (a*n)/d.
+	var nums []Expr
+	var dens []Expr
+	for _, f := range flat {
+		if d, ok := f.(*div); ok {
+			nums = append(nums, d.num)
+			dens = append(dens, d.den)
+		} else {
+			nums = append(nums, f)
+		}
+	}
+	sort.SliceStable(nums, func(i, j int) bool { return nums[i].key() < nums[j].key() })
+	if constProd != 1 {
+		nums = append([]Expr{Const(constProd)}, nums...)
+	}
+	var num Expr
+	switch len(nums) {
+	case 0:
+		num = One
+	case 1:
+		num = nums[0]
+	default:
+		num = &nary{op: "*", terms: nums}
+	}
+	if len(dens) == 0 {
+		return num
+	}
+	var den Expr
+	if len(dens) == 1 {
+		den = dens[0]
+	} else {
+		den = Mul(dens...)
+	}
+	return Div(num, den)
+}
+
+// Sub returns a - b.
+func Sub(a, b Expr) Expr { return Add(a, Mul(Const(-1), b)) }
+
+// Div returns the simplified quotient a/b.
+func Div(a, b Expr) Expr {
+	if bc, ok := b.(Const); ok {
+		if bc == 1 {
+			return a
+		}
+		if ac, ok := a.(Const); ok && bc != 0 {
+			return Const(float64(ac) / float64(bc))
+		}
+		if bc != 0 {
+			return Mul(Const(1/float64(bc)), a)
+		}
+	}
+	if ac, ok := a.(Const); ok && ac == 0 {
+		return Zero
+	}
+	if a.key() == b.key() {
+		return One
+	}
+	// (x/y)/z -> x/(y*z)
+	if ad, ok := a.(*div); ok {
+		return Div(ad.num, Mul(ad.den, b))
+	}
+	return &div{num: a, den: b}
+}
+
+// Ceil returns ceil(a). Constants fold; ceil(ceil(x)) collapses.
+func Ceil(a Expr) Expr {
+	if c, ok := a.(Const); ok {
+		return Const(math.Ceil(float64(c)))
+	}
+	if u, ok := a.(*unary); ok && (u.op == "ceil" || u.op == "floor") {
+		return a
+	}
+	return &unary{op: "ceil", arg: a}
+}
+
+// Floor returns floor(a).
+func Floor(a Expr) Expr {
+	if c, ok := a.(Const); ok {
+		return Const(math.Floor(float64(c)))
+	}
+	return &unary{op: "floor", arg: a}
+}
+
+// Log2 returns log2(a).
+func Log2(a Expr) Expr {
+	if c, ok := a.(Const); ok && c > 0 {
+		return Const(math.Log2(float64(c)))
+	}
+	return &unary{op: "log2", arg: a}
+}
+
+// Max returns max of terms, deduplicated; constants fold together.
+func Max(terms ...Expr) Expr { return mkMinMax("max", terms) }
+
+// Min returns min of terms, deduplicated; constants fold together.
+func Min(terms ...Expr) Expr { return mkMinMax("min", terms) }
+
+func mkMinMax(op string, terms []Expr) Expr {
+	var flat []Expr
+	haveConst := false
+	var constVal float64
+	seen := map[string]bool{}
+	var walk func(e Expr)
+	walk = func(e Expr) {
+		if m, ok := e.(*minmax); ok && m.op == op {
+			for _, t := range m.terms {
+				walk(t)
+			}
+			return
+		}
+		if c, ok := e.(Const); ok {
+			v := float64(c)
+			if !haveConst {
+				haveConst, constVal = true, v
+			} else if (op == "max" && v > constVal) || (op == "min" && v < constVal) {
+				constVal = v
+			}
+			return
+		}
+		if k := e.key(); !seen[k] {
+			seen[k] = true
+			flat = append(flat, e)
+		}
+	}
+	for _, t := range terms {
+		walk(t)
+	}
+	if haveConst {
+		flat = append(flat, Const(constVal))
+	}
+	switch len(flat) {
+	case 0:
+		return Zero
+	case 1:
+		return flat[0]
+	}
+	sort.SliceStable(flat, func(i, j int) bool { return flat[i].key() < flat[j].key() })
+	return &minmax{op: op, terms: flat}
+}
+
+// Equal reports structural equality after simplification.
+func Equal(a, b Expr) bool { return a.key() == b.key() }
+
+// FreeVars returns the sorted set of variable names in e.
+func FreeVars(e Expr) []string {
+	set := map[string]bool{}
+	var walk func(Expr)
+	walk = func(e Expr) {
+		switch t := e.(type) {
+		case Var:
+			set[string(t)] = true
+		case *nary:
+			for _, s := range t.terms {
+				walk(s)
+			}
+		case *div:
+			walk(t.num)
+			walk(t.den)
+		case *unary:
+			walk(t.arg)
+		case *minmax:
+			for _, s := range t.terms {
+				walk(s)
+			}
+		}
+	}
+	walk(e)
+	out := make([]string, 0, len(set))
+	for v := range set {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Subst replaces every occurrence of the named variables with the given
+// expressions, rebuilding (and hence re-simplifying) the tree.
+func Subst(e Expr, bind map[string]Expr) Expr {
+	switch t := e.(type) {
+	case Const:
+		return t
+	case Var:
+		if r, ok := bind[string(t)]; ok {
+			return r
+		}
+		return t
+	case *nary:
+		args := make([]Expr, len(t.terms))
+		for i, s := range t.terms {
+			args[i] = Subst(s, bind)
+		}
+		if t.op == "+" {
+			return Add(args...)
+		}
+		return Mul(args...)
+	case *div:
+		return Div(Subst(t.num, bind), Subst(t.den, bind))
+	case *unary:
+		a := Subst(t.arg, bind)
+		switch t.op {
+		case "ceil":
+			return Ceil(a)
+		case "floor":
+			return Floor(a)
+		case "log2":
+			return Log2(a)
+		}
+	case *minmax:
+		args := make([]Expr, len(t.terms))
+		for i, s := range t.terms {
+			args[i] = Subst(s, bind)
+		}
+		if t.op == "max" {
+			return Max(args...)
+		}
+		return Min(args...)
+	}
+	return e
+}

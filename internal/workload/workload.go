@@ -1,0 +1,86 @@
+// Package workload generates the deterministic synthetic relations the
+// experiments run on: uniform key/payload pairs with controllable join
+// selectivity, sorted lists with duplicates, value-multiplicity multisets,
+// and column files. All generators are seeded and reproducible.
+package workload
+
+import (
+	"math/rand"
+	"sort"
+)
+
+// UniformPairs returns n tuples 〈key, payload〉 with keys uniform in
+// [0, keyRange). Join selectivity between two such relations scales with
+// 1/keyRange.
+func UniformPairs(n int64, keyRange int64, seed int64) []int32 {
+	r := rand.New(rand.NewSource(seed))
+	if keyRange < 1 {
+		keyRange = 1
+	}
+	out := make([]int32, 0, 2*n)
+	for i := int64(0); i < n; i++ {
+		out = append(out, int32(r.Int63n(keyRange)), int32(i))
+	}
+	return out
+}
+
+// Ints returns n unsorted integers (arity-1 rows).
+func Ints(n int64, valRange int64, seed int64) []int32 {
+	r := rand.New(rand.NewSource(seed))
+	if valRange < 1 {
+		valRange = 1
+	}
+	out := make([]int32, n)
+	for i := range out {
+		out[i] = int32(r.Int63n(valRange))
+	}
+	return out
+}
+
+// SortedInts returns n sorted integers with duplicates (dupFactor controls
+// how many distinct values exist: n/dupFactor).
+func SortedInts(n int64, dupFactor int64, seed int64) []int32 {
+	if dupFactor < 1 {
+		dupFactor = 1
+	}
+	vals := Ints(n, maxI64(n/dupFactor, 1), seed)
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	return vals
+}
+
+// SortedUniqueInts returns n sorted distinct integers.
+func SortedUniqueInts(n int64, seed int64) []int32 {
+	r := rand.New(rand.NewSource(seed))
+	out := make([]int32, n)
+	cur := int32(0)
+	for i := range out {
+		cur += int32(r.Intn(5) + 1)
+		out[i] = cur
+	}
+	return out
+}
+
+// ValueMult returns n sorted 〈value, multiplicity〉 pairs with distinct
+// values and multiplicities in [1, 10].
+func ValueMult(n int64, seed int64) []int32 {
+	r := rand.New(rand.NewSource(seed))
+	out := make([]int32, 0, 2*n)
+	cur := int32(0)
+	for i := int64(0); i < n; i++ {
+		cur += int32(r.Intn(4) + 1)
+		out = append(out, cur, int32(r.Intn(10)+1))
+	}
+	return out
+}
+
+// Column returns one column file of n values.
+func Column(n int64, seed int64) []int32 {
+	return Ints(n, 1<<30, seed)
+}
+
+func maxI64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

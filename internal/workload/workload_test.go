@@ -1,0 +1,92 @@
+package workload
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestUniformPairsShapeAndDeterminism(t *testing.T) {
+	a := UniformPairs(100, 10, 7)
+	b := UniformPairs(100, 10, 7)
+	if len(a) != 200 {
+		t.Fatalf("len %d want 200", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("generator not deterministic")
+		}
+	}
+	for i := 0; i < len(a); i += 2 {
+		if a[i] < 0 || a[i] >= 10 {
+			t.Fatalf("key %d out of range", a[i])
+		}
+	}
+	c := UniformPairs(100, 10, 8)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds should differ")
+	}
+}
+
+func TestSortedIntsSorted(t *testing.T) {
+	f := func(nn uint8, dup uint8, seed int64) bool {
+		n := int64(nn)
+		vals := SortedInts(n, int64(dup%8)+1, seed)
+		if int64(len(vals)) != n {
+			return false
+		}
+		for i := 1; i < len(vals); i++ {
+			if vals[i] < vals[i-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSortedUniqueIntsStrictlyIncreasing(t *testing.T) {
+	vals := SortedUniqueInts(1000, 3)
+	for i := 1; i < len(vals); i++ {
+		if vals[i] <= vals[i-1] {
+			t.Fatalf("not strictly increasing at %d", i)
+		}
+	}
+}
+
+func TestValueMultShape(t *testing.T) {
+	vm := ValueMult(500, 4)
+	if len(vm) != 1000 {
+		t.Fatalf("len %d", len(vm))
+	}
+	for i := 0; i < len(vm); i += 2 {
+		if i > 0 && vm[i] <= vm[i-2] {
+			t.Fatal("values must be strictly increasing")
+		}
+		if vm[i+1] < 1 || vm[i+1] > 10 {
+			t.Fatalf("multiplicity %d out of range", vm[i+1])
+		}
+	}
+}
+
+func TestEdgeCases(t *testing.T) {
+	if len(Ints(0, 10, 1)) != 0 {
+		t.Error("n=0 should be empty")
+	}
+	if len(UniformPairs(1, 0, 1)) != 2 {
+		t.Error("keyRange 0 must clamp to 1")
+	}
+	if len(Column(5, 1)) != 5 {
+		t.Error("column length")
+	}
+	if got := SortedInts(10, 0, 1); len(got) != 10 {
+		t.Error("dupFactor 0 must clamp")
+	}
+}
