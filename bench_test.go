@@ -14,6 +14,7 @@ package ocas_test
 
 import (
 	"io"
+	"runtime"
 	"testing"
 
 	"ocas/internal/core"
@@ -30,7 +31,11 @@ import (
 var benchCfg = experiments.Config{Shrink: 8}
 
 func BenchmarkTable1(b *testing.B) {
-	for _, e := range experiments.Table1(benchCfg) {
+	exps, err := experiments.Table1(benchCfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, e := range exps {
 		e := e
 		b.Run(e.Name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
@@ -105,6 +110,69 @@ func BenchmarkSynthesizerDepth(b *testing.B) {
 					b.Fatal(err)
 				}
 				space = res.Stats.SpaceSize
+			}
+			b.ReportMetric(float64(space), "programs")
+		})
+	}
+}
+
+// BenchmarkSynthesizerParallel compares the end-to-end pipeline (search,
+// costing, screening, optimization) at one worker versus the full
+// GOMAXPROCS pool. On a multi-core runner the parallel variant shows the
+// wall-clock win; results are identical either way (see
+// core.TestSynthesizeParallelMatchesSequential).
+func BenchmarkSynthesizerParallel(b *testing.B) {
+	task := core.Task{
+		Spec:      core.JoinSpec(true),
+		InputLoc:  map[string]string{"R": "hdd", "S": "hdd"},
+		InputRows: map[string]int64{"R": 1 << 20, "S": 1 << 15},
+	}
+	for _, cfg := range []struct {
+		name    string
+		workers int
+	}{
+		{"sequential", 1},
+		{"parallel", runtime.GOMAXPROCS(0)},
+	} {
+		cfg := cfg
+		b.Run(cfg.name, func(b *testing.B) {
+			s := &core.Synthesizer{H: memory.HDDRAM(8 * memory.MiB),
+				MaxDepth: 6, MaxSpace: 5000, Workers: cfg.workers}
+			for i := 0; i < b.N; i++ {
+				if _, err := s.Synthesize(task); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSearchStrategies compares the exhaustive search with the
+// bounded-frontier beam (which explores a fraction of the space) and the
+// worker-pool scaling of the exhaustive expansion.
+func BenchmarkSearchStrategies(b *testing.B) {
+	spec := core.SortSpec()
+	mkCtx := func() *rules.Context {
+		return &rules.Context{
+			H:           memory.HDDRAM(8 * memory.MiB),
+			InputLoc:    map[string]string{"R": "hdd"},
+			Commutative: true,
+		}
+	}
+	for _, cfg := range []struct {
+		name  string
+		strat rules.SearchStrategy
+	}{
+		{"exhaustive-1worker", rules.Exhaustive{Workers: 1}},
+		{"exhaustive-allworkers", rules.Exhaustive{}},
+		{"beam-16", rules.Beam{Width: 16}},
+	} {
+		cfg := cfg
+		b.Run(cfg.name, func(b *testing.B) {
+			var space int
+			for i := 0; i < b.N; i++ {
+				ds, _ := cfg.strat.Search(spec.Prog, rules.AllRules(), mkCtx(), 10, 50000)
+				space = len(ds)
 			}
 			b.ReportMetric(float64(space), "programs")
 		})

@@ -22,6 +22,7 @@ import (
 	"ocas/internal/core"
 	"ocas/internal/memory"
 	"ocas/internal/ocal"
+	"ocas/internal/rules"
 )
 
 func main() {
@@ -34,6 +35,9 @@ func main() {
 		commut   = flag.Bool("commutative", true, "inputs may be reordered (enables order-inputs, hash-part)")
 		depth    = flag.Int("depth", 6, "maximum derivation length")
 		space    = flag.Int("space", 4000, "maximum search space size")
+		strategy = flag.String("strategy", "exhaustive", "search strategy: exhaustive (full BFS) or beam (bounded frontier)")
+		beam     = flag.Int("beam", 64, "beam width (frontier bound per depth, -strategy beam only)")
+		workers  = flag.Int("workers", 0, "synthesis worker pool size (0 = GOMAXPROCS)")
 		emitC    = flag.Bool("c", false, "emit C code for the synthesized algorithm")
 	)
 	flag.Parse()
@@ -106,7 +110,14 @@ func main() {
 	}
 	task.Spec = spec
 
-	synth := &core.Synthesizer{H: h, MaxDepth: *depth, MaxSpace: *space}
+	synth := &core.Synthesizer{H: h, MaxDepth: *depth, MaxSpace: *space, Workers: *workers}
+	switch *strategy {
+	case "", "exhaustive":
+	case "beam":
+		synth.Strategy = &rules.Beam{Width: *beam}
+	default:
+		die(fmt.Errorf("unknown -strategy %q (want exhaustive or beam)", *strategy))
+	}
 	res, err := synth.Synthesize(task)
 	if err != nil {
 		die(err)

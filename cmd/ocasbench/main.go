@@ -27,13 +27,19 @@ func main() {
 		accuracy = flag.Bool("accuracy", false, "run the accuracy study (Section 7.3)")
 		all      = flag.Bool("all", false, "run everything")
 		shrink   = flag.Int64("shrink", 1, "divide experiment sizes by this factor")
+		strategy = flag.String("strategy", "exhaustive", "search strategy: exhaustive (full BFS) or beam (bounded frontier)")
+		beam     = flag.Int("beam", 64, "beam width (-strategy beam only)")
+		workers  = flag.Int("workers", 0, "synthesis worker pool size (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
-	cfg := experiments.Config{Shrink: *shrink}
+	cfg := experiments.Config{Shrink: *shrink, Strategy: *strategy, BeamWidth: *beam, Workers: *workers}
 	ran := false
 	fail := func(err error) {
 		fmt.Fprintln(os.Stderr, "ocasbench:", err)
 		os.Exit(1)
+	}
+	if _, err := cfg.SearchStrategy(); err != nil {
+		fail(err)
 	}
 	if *table1 || *all {
 		ran = true

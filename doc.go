@@ -10,4 +10,36 @@
 // (internal/storage, internal/exec), and the evaluation harness
 // (internal/experiments). Command-line entry points are under cmd/ and
 // runnable examples under examples/.
+//
+// # Search strategies and parallelism
+//
+// The synthesis pipeline is parallel end to end: frontier expansion in the
+// rewrite search, per-candidate cost estimation, and per-candidate
+// parameter optimization all fan out over a worker pool sized by
+// core.Synthesizer.Workers (default GOMAXPROCS). Results are deterministic
+// for any worker count: expansions are merged in frontier order against the
+// alpha-renaming dedup set, fresh-name counters advance level-
+// synchronously, and winners are picked by a sequential scan, so two runs —
+// parallel or not — print the identical winning candidate.
+//
+// The search itself is pluggable through rules.SearchStrategy:
+//
+//   - rules.Exhaustive is the paper's full breadth-first enumeration, the
+//     default and the semantics-preserving baseline.
+//   - rules.Beam keeps only the Width best-ranked programs per depth level
+//     (ranked by a cheap cost pre-estimate when driven by core), bounding
+//     the exponential frontier for deeper derivations.
+//
+// Both are exposed as -strategy/-beam/-workers on cmd/ocas and
+// cmd/ocasbench.
+//
+// # Test suites
+//
+// Beyond the per-package unit tests: internal/exec's differential harness
+// (go test ./internal/exec -run Differential) executes randomized
+// scan/join/sort/fold programs against both the physical plans and the
+// reference interpreter; internal/ocal carries a parser fuzz target (go
+// test -fuzz=FuzzParse ./internal/ocal); and internal/core and
+// internal/rules assert parallel-versus-sequential equivalence, which is
+// exercised with -race in CI.
 package ocas

@@ -1,0 +1,3 @@
+module ocas
+
+go 1.24

@@ -2,13 +2,16 @@ package core
 
 import (
 	"fmt"
+	"math"
 	"sort"
+	"sync"
 	"time"
 
 	"ocas/internal/cost"
 	"ocas/internal/memory"
 	"ocas/internal/ocal"
 	"ocas/internal/opt"
+	"ocas/internal/par"
 	"ocas/internal/rules"
 	sym "ocas/internal/symbolic"
 )
@@ -37,6 +40,14 @@ type Synthesizer struct {
 	// with a heuristic parameter assignment first; only the most promising
 	// ones go through the non-linear solver.
 	ScreenTop int
+	// Strategy explores the rewrite space; nil means exhaustive BFS (the
+	// paper's semantics-preserving baseline). A *rules.Beam with a nil
+	// Rank gets the synthesizer's cheap cost pre-estimate injected.
+	Strategy rules.SearchStrategy
+	// Workers bounds the concurrency of every pipeline stage (frontier
+	// expansion, candidate costing, parameter optimization); <=0 means
+	// GOMAXPROCS. Results are deterministic for any worker count.
+	Workers int
 }
 
 // Candidate is one costed program of the search space.
@@ -117,36 +128,58 @@ func (s *Synthesizer) Synthesize(t Task) (*Synthesis, error) {
 	for _, in := range t.Spec.Inputs {
 		rctx.InputLoc[in.Name] = t.InputLoc[in.Name]
 	}
+	sc := &screener{s: s, place: s.placement(t), fixed: s.fixedEnv(t),
+		memo: map[string]*screenEstimate{}}
+	fixed := sc.fixed
+	usesMemo := false
+	switch s.Strategy.(type) {
+	case *rules.Beam, rules.Beam:
+		// The beam's rank pre-costs every frontier it prunes; Phase 1 then
+		// reads those estimates back out of the memo.
+		usesMemo = true
+	}
 
-	space, stats := rules.Search(t.Spec.Prog, rls, rctx, maxDepth, maxSpace)
-	place := s.placement(t)
-	fixed := s.fixedEnv(t)
+	strat := s.strategy(sc)
+	space, stats := strat.Search(t.Spec.Prog, rls, rctx, maxDepth, maxSpace)
 
 	// Phase 1: cost every program with a heuristic parameter guess (the
 	// paper's single-loop heuristic: blocks as large as the constraints
-	// allow, split evenly).
+	// allow, split evenly). Candidates are independent, so they are costed
+	// concurrently; collecting by search index keeps the order — and hence
+	// the screening tie-breaks — identical to a sequential run. A beam
+	// search already costed the frontiers it ranked: those estimates come
+	// out of the screener's memo.
 	type screened struct {
 		idx     int
 		res     *cost.Result
 		guess   map[string]int64
 		seconds float64
 	}
+	costed := make([]*screened, len(space))
+	par.For(s.Workers, len(space), func(i int) {
+		var est *screenEstimate
+		if usesMemo {
+			est = sc.estimate(space[i].Expr)
+		} else {
+			est = sc.estimateUncached(space[i].Expr)
+		}
+		if est.res == nil {
+			return
+		}
+		costed[i] = &screened{idx: i, res: est.res, guess: est.guess, seconds: est.seconds}
+	})
 	var scr []screened
 	var specSeconds float64
 	var specCost *cost.Result
-	for i, d := range space {
-		res, err := cost.Estimate(s.H, place, d.Expr)
-		if err != nil {
+	for i, c := range costed {
+		if c == nil {
 			continue
 		}
-		guess := heuristicParams(res, fixed, s.H)
-		env := mergeEnv(fixed, guess)
-		secs := res.Seconds.Eval(env)
 		if i == 0 {
-			specSeconds = secs
-			specCost = res
+			specSeconds = c.seconds
+			specCost = c.res
 		}
-		scr = append(scr, screened{idx: i, res: res, guess: guess, seconds: secs})
+		scr = append(scr, *c)
 	}
 	if len(scr) == 0 {
 		return nil, fmt.Errorf("core: no program could be costed")
@@ -156,27 +189,36 @@ func (s *Synthesizer) Synthesize(t Task) (*Synthesis, error) {
 		scr = scr[:screenTop]
 	}
 
-	// Phase 2: full parameter optimization of the shortlist.
-	var best *Candidate
-	for _, sc := range scr {
-		d := space[sc.idx]
+	// Phase 2: full parameter optimization of the shortlist, one candidate
+	// per worker. The winner is picked by a sequential scan in shortlist
+	// order so ties resolve exactly as they would sequentially.
+	cands := make([]*Candidate, len(scr))
+	par.For(s.Workers, len(scr), func(i int) {
+		shortlisted := scr[i]
+		d := space[shortlisted.idx]
 		prob := opt.Problem{
-			Objective:   sc.res.Seconds,
-			Constraints: sc.res.Constraints,
-			Params:      sc.res.Params,
+			Objective:   shortlisted.res.Seconds,
+			Constraints: shortlisted.res.Constraints,
+			Params:      shortlisted.res.Params,
 			Fixed:       fixed,
-			Hi:          paramUpperBounds(sc.res.Params, t),
+			Hi:          paramUpperBounds(shortlisted.res.Params, t),
 		}
 		r, err := opt.Minimize(prob)
 		if err != nil {
-			continue
+			return
 		}
-		cand := &Candidate{
+		cands[i] = &Candidate{
 			Expr:    d.Expr,
 			Steps:   d.Steps,
 			Params:  r.Values,
 			Seconds: r.Seconds,
-			Cost:    sc.res,
+			Cost:    shortlisted.res,
+		}
+	})
+	var best *Candidate
+	for _, cand := range cands {
+		if cand == nil {
+			continue
 		}
 		if best == nil || cand.Seconds < best.Seconds ||
 			(cand.Seconds == best.Seconds && len(cand.Steps) < len(best.Steps)) {
@@ -194,6 +236,84 @@ func (s *Synthesizer) Synthesize(t Task) (*Synthesis, error) {
 		Elapsed:     time.Since(start),
 		Explored:    len(space),
 	}, nil
+}
+
+// screenEstimate is one memoized screening cost: the cost.Estimate result
+// together with the heuristic parameter guess and its evaluated seconds.
+type screenEstimate struct {
+	res     *cost.Result
+	guess   map[string]int64
+	seconds float64 // +Inf when the program cannot be costed
+}
+
+// screener computes (and memoizes, keyed by the canonical printing) the
+// screening cost of a program. A beam run ranks every frontier with it and
+// the Phase 1 screening pass then reuses the same estimates instead of
+// costing each discovered program a second time.
+type screener struct {
+	s     *Synthesizer
+	place cost.Placement
+	fixed sym.Env
+	mu    sync.Mutex
+	memo  map[string]*screenEstimate
+}
+
+func (sc *screener) estimate(e ocal.Expr) *screenEstimate {
+	key := ocal.String(e)
+	sc.mu.Lock()
+	got, ok := sc.memo[key]
+	sc.mu.Unlock()
+	if ok {
+		return got
+	}
+	est := sc.estimateUncached(e)
+	sc.mu.Lock()
+	sc.memo[key] = est
+	sc.mu.Unlock()
+	return est
+}
+
+// estimateUncached computes the screening cost without touching the memo —
+// the exhaustive path uses it directly, since its alpha-deduped space never
+// repeats a program and the memo could only add overhead.
+func (sc *screener) estimateUncached(e ocal.Expr) *screenEstimate {
+	res, err := cost.Estimate(sc.s.H, sc.place, e)
+	if err != nil {
+		return &screenEstimate{seconds: math.Inf(1)}
+	}
+	guess := heuristicParams(res, sc.fixed, sc.s.H)
+	secs := res.Seconds.Eval(mergeEnv(sc.fixed, guess))
+	if math.IsNaN(secs) {
+		secs = math.Inf(1)
+	}
+	return &screenEstimate{res: res, guess: guess, seconds: secs}
+}
+
+// strategy resolves the search strategy: exhaustive BFS by default. A beam
+// (pointer or value) inherits the synthesizer's worker pool, and one with
+// no Rank gets the screening cost as its ranking function (cost with
+// heuristic parameters — cheap relative to the non-linear solver, and
+// shared with Phase 1 through the memo).
+func (s *Synthesizer) strategy(sc *screener) rules.SearchStrategy {
+	if s.Strategy == nil {
+		return rules.Exhaustive{Workers: s.Workers}
+	}
+	var bb rules.Beam
+	switch b := s.Strategy.(type) {
+	case *rules.Beam:
+		bb = *b
+	case rules.Beam:
+		bb = b
+	default:
+		return s.Strategy
+	}
+	if bb.Workers <= 0 {
+		bb.Workers = s.Workers
+	}
+	if bb.Rank == nil {
+		bb.Rank = func(e ocal.Expr) float64 { return sc.estimate(e).seconds }
+	}
+	return &bb
 }
 
 // heuristicParams guesses block sizes for screening: each parameter gets an

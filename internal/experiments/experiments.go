@@ -41,6 +41,11 @@ type Experiment struct {
 	MaxDepth int
 	MaxSpace int
 	Rules    []rules.Rule
+	// Strategy explores the rewrite space (nil = exhaustive BFS) and
+	// Workers bounds synthesis concurrency (<=0 = GOMAXPROCS); both are
+	// normally filled in from Config.
+	Strategy rules.SearchStrategy
+	Workers  int
 	// Reporting: nominal byte sizes.
 	RBytes, SBytes, Buffer int64
 }
@@ -68,6 +73,7 @@ type Result struct {
 func Run(e Experiment) (*Result, error) {
 	synth := &core.Synthesizer{
 		H: e.Hier, MaxDepth: e.MaxDepth, MaxSpace: e.MaxSpace, Rules: e.Rules,
+		Strategy: e.Strategy, Workers: e.Workers,
 	}
 	task := core.Task{
 		Spec:      e.Spec,

@@ -46,7 +46,7 @@ func Figure8(cfg Config) ([]Figure8Point, error) {
 			Output: "hdd2", OutArity: 4, OutCap: sz.r*sz.s + 16,
 			MaxDepth: 6, MaxSpace: 1200, Rules: noHashRules(),
 		}
-		r, err := Run(e)
+		r, err := runOne(cfg, e)
 		if err != nil {
 			return nil, err
 		}
@@ -74,7 +74,7 @@ func Figure8(cfg Config) ([]Figure8Point, error) {
 			},
 			MaxDepth: 12, MaxSpace: 1500,
 		}
-		r, err := Run(e)
+		r, err := runOne(cfg, e)
 		if err != nil {
 			return nil, err
 		}
@@ -102,7 +102,7 @@ func Figure8(cfg Config) ([]Figure8Point, error) {
 			},
 			MaxDepth: 3, MaxSpace: 300,
 		}
-		r, err := Run(e)
+		r, err := runOne(cfg, e)
 		if err != nil {
 			return nil, err
 		}
@@ -158,7 +158,7 @@ func RunCacheStudy(cfg Config) (*CacheStudyResult, error) {
 	}
 	cacheH := cacheHierarchy(ram, cacheBytes)
 	run := func(synthH *memory.Hierarchy, depth, space int) (*Result, error) {
-		return Run(Experiment{
+		return runOne(cfg, Experiment{
 			Name: "cache-study", Spec: core.JoinSpec(true),
 			Hier: synthH, ExecHier: cacheH,
 			InputLoc: map[string]string{"R": "hdd", "S": "hdd"},
@@ -216,7 +216,7 @@ func AccuracyStudy(cfg Config) ([]AccuracyPoint, error) {
 			"R": func() []int32 { return workload.UniformPairs(r, maxI(kr, 1), 50) },
 			"S": func() []int32 { return workload.UniformPairs(s, maxI(kr, 1), 51) },
 		}
-		res, err := Run(Experiment{
+		res, err := runOne(cfg, Experiment{
 			Name: fmt.Sprintf("accuracy-%d", keyRange), Spec: spec,
 			Hier:     memory.TwoHDD(ram),
 			InputLoc: map[string]string{"R": "hdd", "S": "hdd"},

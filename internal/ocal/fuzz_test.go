@@ -1,0 +1,92 @@
+package ocal
+
+import (
+	"strings"
+	"testing"
+)
+
+// fuzzSeeds is a small corpus spanning every syntactic form: literals,
+// lambdas, loops, folds, the merge/zip/partition definitions, parameters
+// (literal and symbolic), device annotations, and some almost-valid inputs.
+var fuzzSeeds = []string{
+	`x`,
+	`42`,
+	`-7`,
+	`true`,
+	`"str"`,
+	`[]`,
+	`[x]`,
+	`<x, y>`,
+	`x.1`,
+	`head(tail(R))`,
+	`length(R) == 0`,
+	`if x.1 == y.1 then [<x, y>] else []`,
+	`\x -> x`,
+	`\<a, b> -> (a + b)`,
+	`for (x <- R) [x]`,
+	`for (xB [k1] <- R) for (x <- xB) [x]`,
+	`for (xB [k1] <- R) [hdd~>ram] xB`,
+	`for (x <- R) for (y <- S) if x.1 == y.1 then [<x, y>] else []`,
+	`foldL(0, \<a, x> -> (a + x.2))(for (xB [k1] <- R) xB)`,
+	`treeFold[4][bout]([], unfoldR[bin](funcPow[2](mrg)))(for (xB [k1] <- R) xB)`,
+	`flatMap(\<p1, p2> -> for (x <- p1) [x])(zip[2](partition[s](R), partition[s](S)))`,
+	`unfoldR[k](\<seen, rest> -> if length(rest) == 0 then <[], <[], []>> else <[head(rest)], <[head(rest)], tail(rest)>>)(<[], L>)`,
+	`(\<R1, S1> -> for (x <- R1) [x])(if length(R) <= length(S) then <R, S> else <S, R>)`,
+	// Near-miss inputs steer the fuzzer toward error paths.
+	`for (x <- R [x]`,
+	`<x, y`,
+	`\ ->`,
+	`treeFold[`,
+	`x.`,
+	`((((`,
+	"\x00\xff",
+}
+
+// FuzzParse asserts the two front-end robustness properties: the parser
+// never panics on arbitrary input (the fuzz engine fails on panic), and
+// any accepted program round-trips through the canonical printer — a
+// Print of the parse re-parses to the identical printed form.
+func FuzzParse(f *testing.F) {
+	for _, s := range fuzzSeeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		e, err := Parse(src)
+		if err != nil {
+			return
+		}
+		printed := String(e)
+		e2, err := Parse(printed)
+		if err != nil {
+			t.Fatalf("printed form does not re-parse: %v\ninput:   %q\nprinted: %q", err, src, printed)
+		}
+		if again := String(e2); again != printed {
+			t.Fatalf("print/parse round-trip unstable:\ninput:  %q\nfirst:  %q\nsecond: %q", src, printed, again)
+		}
+	})
+}
+
+// TestParseSeedCorpus pins the corpus down in normal test runs too: the
+// valid seeds must parse, the near-miss seeds must return an error (not
+// panic), and no input may produce a nil expression without an error.
+func TestParseSeedCorpus(t *testing.T) {
+	for _, s := range fuzzSeeds {
+		e, err := Parse(s)
+		if err == nil && e == nil {
+			t.Errorf("Parse(%q) returned nil expression and nil error", s)
+		}
+		if err == nil {
+			if _, err2 := Parse(String(e)); err2 != nil {
+				t.Errorf("round-trip of %q failed: %v", s, err2)
+			}
+		}
+	}
+	for _, s := range []string{`for (x <- R [x]`, `<x, y`, `\ ->`, `treeFold[`, `x.`} {
+		if _, err := Parse(s); err == nil {
+			t.Errorf("Parse(%q) accepted malformed input", s)
+		}
+	}
+	if !strings.Contains(String(MustParse(fuzzSeeds[11])), "if") {
+		t.Error("printer dropped the conditional")
+	}
+}

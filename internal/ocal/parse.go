@@ -53,8 +53,22 @@ type parser struct {
 	i    int
 }
 
-func (p *parser) cur() token  { return p.toks[p.i] }
-func (p *parser) next() token { t := p.toks[p.i]; p.i++; return t }
+// cur and next saturate at the trailing EOF token, so error paths that
+// consume past a premature end of input report EOF instead of panicking.
+func (p *parser) cur() token {
+	if p.i >= len(p.toks) {
+		return p.toks[len(p.toks)-1]
+	}
+	return p.toks[p.i]
+}
+
+func (p *parser) next() token {
+	t := p.cur()
+	if p.i < len(p.toks) {
+		p.i++
+	}
+	return t
+}
 
 func (p *parser) at(k tokKind, text string) bool {
 	t := p.cur()

@@ -1,0 +1,47 @@
+// Package par provides the one worker-pool primitive the parallel
+// synthesis pipeline is built on. It is deliberately tiny: deterministic
+// callers (the rewrite search, candidate costing, parameter optimization)
+// write results into index-addressed slots, so the pool only needs to
+// guarantee that every index runs exactly once.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// For runs fn(0..n-1) on up to `workers` goroutines (<=0 means GOMAXPROCS).
+// Calls for distinct indices may run concurrently; For returns when all
+// have finished. With one worker everything runs on the calling goroutine
+// in index order.
+func For(workers, n int, fn func(i int)) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var idx int64 = -1
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&idx, 1))
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -64,6 +64,17 @@ type Context struct {
 	nVar   int
 }
 
+// fork returns a copy of c whose fresh-name counters restart at the given
+// snapshot. The parallel search gives every frontier expansion its own fork
+// of one level-wide snapshot, so concurrent Step calls never share counters
+// (no data race) and the names they generate do not depend on scheduling.
+// The immutable fields (hierarchy, input placement, flags) are shared.
+func (c *Context) fork(nParam, nVar int) *Context {
+	fc := *c
+	fc.nParam, fc.nVar = nParam, nVar
+	return &fc
+}
+
 func (c *Context) freshParam(prefix string) ocal.Param {
 	c.nParam++
 	return ocal.SymP(fmt.Sprintf("%s%d", prefix, c.nParam))

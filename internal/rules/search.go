@@ -96,45 +96,10 @@ type SearchStats struct {
 // Search explores the space of equivalent programs breadth-first up to
 // maxDepth rule applications or maxSpace distinct programs, whichever comes
 // first ("OCAS exhaustively searches the space of equivalent programs").
+// It is the Exhaustive strategy with the default GOMAXPROCS-sized worker
+// pool; callers needing a bounded frontier use Beam instead.
 func Search(start ocal.Expr, rs []Rule, c *Context, maxDepth, maxSpace int) ([]Derivation, SearchStats) {
-	if maxDepth <= 0 {
-		maxDepth = 8
-	}
-	if maxSpace <= 0 {
-		maxSpace = 100_000
-	}
-	seen := map[string]bool{alphaKey(start): true}
-	all := []Derivation{{Expr: start}}
-	frontier := []Derivation{{Expr: start}}
-	stats := SearchStats{SpaceSize: 1}
-	for depth := 1; depth <= maxDepth && len(frontier) > 0; depth++ {
-		var next []Derivation
-		for _, d := range frontier {
-			for _, rw := range Step(d.Expr, rs, c) {
-				key := alphaKey(rw.Expr)
-				if seen[key] {
-					continue
-				}
-				seen[key] = true
-				nd := Derivation{
-					Expr:  rw.Expr,
-					Steps: append(append([]string(nil), d.Steps...), rw.Rule),
-				}
-				all = append(all, nd)
-				next = append(next, nd)
-				stats.SpaceSize++
-				if stats.MaxDepth < depth {
-					stats.MaxDepth = depth
-				}
-				if stats.SpaceSize >= maxSpace {
-					stats.Truncated = true
-					return all, stats
-				}
-			}
-		}
-		frontier = next
-	}
-	return all, stats
+	return Exhaustive{}.Search(start, rs, c, maxDepth, maxSpace)
 }
 
 // alphaKey is the dedup key: the canonical printing of the program with

@@ -1,0 +1,213 @@
+package rules
+
+import (
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+
+	"ocas/internal/ocal"
+	"ocas/internal/par"
+)
+
+// SearchStrategy explores the space of programs equivalent to a start
+// program. Implementations must be deterministic: two calls with the same
+// arguments return the same derivations in the same order, regardless of
+// how many workers run the expansion. The Context's fresh-name counters are
+// advanced level-synchronously so that the result does not depend on
+// goroutine scheduling.
+type SearchStrategy interface {
+	Name() string
+	Search(start ocal.Expr, rs []Rule, c *Context, maxDepth, maxSpace int) ([]Derivation, SearchStats)
+}
+
+// Exhaustive is the paper's strategy: breadth-first enumeration of every
+// reachable program ("OCAS exhaustively searches the space of equivalent
+// programs"). Frontier expansion fans out across a worker pool; results are
+// merged in frontier order against a single dedup set, so the output is
+// identical to a sequential run.
+type Exhaustive struct {
+	// Workers bounds the expansion fan-out; <=0 means GOMAXPROCS.
+	Workers int
+}
+
+func (Exhaustive) Name() string { return "exhaustive" }
+
+func (x Exhaustive) Search(start ocal.Expr, rs []Rule, c *Context, maxDepth, maxSpace int) ([]Derivation, SearchStats) {
+	return bfs(start, rs, c, maxDepth, maxSpace, x.Workers, nil)
+}
+
+// Beam is a bounded-frontier variant: after each depth level only the Width
+// best-ranked programs are expanded further. Every discovered program is
+// still reported (and thus costed by the synthesizer); the bound only cuts
+// the exponential growth of the frontier. With a cost-based Rank the
+// shortlist keeps the promising derivation prefixes, trading completeness
+// for search time on deep rewrite chains.
+type Beam struct {
+	// Width is the frontier bound per depth level (default 64).
+	Width int
+	// Workers bounds the expansion fan-out; <=0 means GOMAXPROCS.
+	Workers int
+	// Rank scores a program; lower is better (expanded first). Ties are
+	// broken by discovery order, keeping the result deterministic. Nil
+	// ranks by AST size, preferring more-rewritten (larger) programs;
+	// core.Synthesizer injects a cheap cost pre-estimate instead.
+	Rank func(ocal.Expr) float64
+}
+
+func (Beam) Name() string { return "beam" }
+
+func (b Beam) Search(start ocal.Expr, rs []Rule, c *Context, maxDepth, maxSpace int) ([]Derivation, SearchStats) {
+	width := b.Width
+	if width <= 0 {
+		width = 64
+	}
+	rank := b.Rank
+	if rank == nil {
+		rank = func(e ocal.Expr) float64 { return -float64(exprSize(e)) }
+	}
+	prune := func(next []Derivation) []Derivation {
+		if len(next) <= width {
+			return next
+		}
+		type ranked struct {
+			d     Derivation
+			score float64
+		}
+		scored := make([]ranked, len(next))
+		par.For(b.Workers, len(next), func(i int) {
+			score := rank(next[i].Expr)
+			if math.IsNaN(score) {
+				score = math.Inf(1)
+			}
+			scored[i] = ranked{d: next[i], score: score}
+		})
+		sort.SliceStable(scored, func(i, j int) bool { return scored[i].score < scored[j].score })
+		out := make([]Derivation, width)
+		for i := range out {
+			out[i] = scored[i].d
+		}
+		return out
+	}
+	return bfs(start, rs, c, maxDepth, maxSpace, b.Workers, prune)
+}
+
+func exprSize(e ocal.Expr) int {
+	n := 1
+	for _, k := range ocal.Children(e) {
+		n += exprSize(k)
+	}
+	return n
+}
+
+// expanded is one rewrite together with its precomputed dedup key (the key
+// is the expensive part of the merge, so workers compute it too).
+type expanded struct {
+	rw  Rewrite
+	key string
+}
+
+// bfs is the shared level-synchronous search loop. prune, when non-nil,
+// bounds the next frontier after each level (beam search); the full set of
+// discovered programs is returned either way.
+func bfs(start ocal.Expr, rs []Rule, c *Context, maxDepth, maxSpace, workers int, prune func([]Derivation) []Derivation) ([]Derivation, SearchStats) {
+	if maxDepth <= 0 {
+		maxDepth = 8
+	}
+	if maxSpace <= 0 {
+		maxSpace = 100_000
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	seen := map[string]bool{alphaKey(start): true}
+	all := []Derivation{{Expr: start}}
+	frontier := []Derivation{{Expr: start}}
+	stats := SearchStats{SpaceSize: 1}
+	for depth := 1; depth <= maxDepth && len(frontier) > 0; depth++ {
+		// Every expansion at this level forks the fresh-name counters from
+		// the same snapshot, so names are independent of scheduling; the
+		// parent context advances by the level's maximum consumption.
+		snapParam, snapVar := c.nParam, c.nVar
+		maxParam, maxVar := 0, 0
+		var next []Derivation
+		// Expand in chunks so a maxSpace truncation mid-level does not pay
+		// for the whole level; merge per chunk in frontier order, which
+		// reproduces the sequential visit order exactly.
+		chunk := workers * 8
+		if chunk < 32 {
+			chunk = 32
+		}
+		for lo := 0; lo < len(frontier); lo += chunk {
+			hi := lo + chunk
+			if hi > len(frontier) {
+				hi = len(frontier)
+			}
+			results, mp, mv := expandFrontier(frontier[lo:hi], rs, c, snapParam, snapVar, workers)
+			if mp > maxParam {
+				maxParam = mp
+			}
+			if mv > maxVar {
+				maxVar = mv
+			}
+			for bi, exps := range results {
+				d := frontier[lo+bi]
+				for _, ex := range exps {
+					if seen[ex.key] {
+						continue
+					}
+					seen[ex.key] = true
+					nd := Derivation{
+						Expr:  ex.rw.Expr,
+						Steps: append(append([]string(nil), d.Steps...), ex.rw.Rule),
+					}
+					all = append(all, nd)
+					next = append(next, nd)
+					stats.SpaceSize++
+					if stats.MaxDepth < depth {
+						stats.MaxDepth = depth
+					}
+					if stats.SpaceSize >= maxSpace {
+						stats.Truncated = true
+						c.nParam, c.nVar = snapParam+maxParam, snapVar+maxVar
+						return all, stats
+					}
+				}
+			}
+		}
+		c.nParam, c.nVar = snapParam+maxParam, snapVar+maxVar
+		if prune != nil {
+			next = prune(next)
+		}
+		frontier = next
+	}
+	return all, stats
+}
+
+// expandFrontier runs Step on every frontier item concurrently. Each item
+// gets a Context forked at the level snapshot, so fresh names never depend
+// on which worker picked the item up; the returned maxima say how far the
+// counters must advance. Results are indexed by frontier position.
+func expandFrontier(items []Derivation, rs []Rule, c *Context, snapParam, snapVar, workers int) ([][]expanded, int, int) {
+	out := make([][]expanded, len(items))
+	var mu sync.Mutex
+	maxParam, maxVar := 0, 0
+	par.For(workers, len(items), func(i int) {
+		fc := c.fork(snapParam, snapVar)
+		rws := Step(items[i].Expr, rs, fc)
+		exps := make([]expanded, len(rws))
+		for j, rw := range rws {
+			exps[j] = expanded{rw: rw, key: alphaKey(rw.Expr)}
+		}
+		out[i] = exps
+		mu.Lock()
+		if d := fc.nParam - snapParam; d > maxParam {
+			maxParam = d
+		}
+		if d := fc.nVar - snapVar; d > maxVar {
+			maxVar = d
+		}
+		mu.Unlock()
+	})
+	return out, maxParam, maxVar
+}
