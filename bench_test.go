@@ -13,6 +13,7 @@
 package ocas_test
 
 import (
+	"context"
 	"io"
 	"runtime"
 	"testing"
@@ -171,7 +172,7 @@ func BenchmarkSearchStrategies(b *testing.B) {
 		b.Run(cfg.name, func(b *testing.B) {
 			var space int
 			for i := 0; i < b.N; i++ {
-				ds, _ := cfg.strat.Search(spec.Prog, rules.AllRules(), mkCtx(), 10, 50000)
+				ds, _ := cfg.strat.Search(context.Background(), spec.Prog, rules.AllRules(), mkCtx(), 10, 50000)
 				space = len(ds)
 			}
 			b.ReportMetric(float64(space), "programs")

@@ -9,11 +9,19 @@
 //
 // Built-in hierarchies: hdd-ram, hdd-ram-cache, two-hdd, hdd-flash; a JSON
 // file path is accepted too.
+//
+// With -json, ocas emits the canonical machine-readable plan encoding of
+// internal/plan instead of the human-readable report — byte-identical to
+// what the ocasd service serves for the same request, fingerprint included.
+// (The -json path enforces the service's knob bounds, and it always embeds
+// the generated C when the winning program is generable, so -c is implied.)
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -22,6 +30,7 @@ import (
 	"ocas/internal/core"
 	"ocas/internal/memory"
 	"ocas/internal/ocal"
+	"ocas/internal/plan"
 	"ocas/internal/rules"
 )
 
@@ -39,6 +48,7 @@ func main() {
 		beam     = flag.Int("beam", 64, "beam width (frontier bound per depth, -strategy beam only)")
 		workers  = flag.Int("workers", 0, "synthesis worker pool size (0 = GOMAXPROCS)")
 		emitC    = flag.Bool("c", false, "emit C code for the synthesized algorithm")
+		asJSON   = flag.Bool("json", false, "emit the canonical plan encoding (identical to the ocasd service response)")
 	)
 	flag.Parse()
 	if *progPath == "" || *inputs == "" {
@@ -49,16 +59,10 @@ func main() {
 	var src []byte
 	var err error
 	if *progPath == "-" {
-		buf := make([]byte, 0, 4096)
-		tmp := make([]byte, 4096)
-		for {
-			n, rerr := os.Stdin.Read(tmp)
-			buf = append(buf, tmp[:n]...)
-			if rerr != nil {
-				break
-			}
+		src, err = io.ReadAll(os.Stdin)
+		if err != nil {
+			die(fmt.Errorf("reading stdin: %w", err))
 		}
-		src = buf
 	} else {
 		src, err = os.ReadFile(*progPath)
 		if err != nil {
@@ -70,7 +74,7 @@ func main() {
 		die(err)
 	}
 
-	h, err := pickHierarchy(*hierName, *ramSize)
+	h, hierJSON, err := pickHierarchy(*hierName, *ramSize)
 	if err != nil {
 		die(err)
 	}
@@ -109,6 +113,36 @@ func main() {
 		arities[name] = arity
 	}
 	task.Spec = spec
+
+	if *asJSON {
+		req := plan.Request{
+			Program:     string(src),
+			Inputs:      map[string]plan.Input{},
+			Output:      *output,
+			Commutative: commut,
+			Strategy:    *strategy,
+			Depth:       *depth,
+			Space:       *space,
+			Workers:     *workers,
+		}
+		if *strategy == "beam" {
+			req.Beam = *beam
+		}
+		if hierJSON != nil {
+			req.Hierarchy = hierJSON
+		} else {
+			req.Hier, req.RAM = *hierName, *ramSize
+		}
+		for name, node := range task.InputLoc {
+			req.Inputs[name] = plan.Input{Node: node, Rows: task.InputRows[name], Arity: arities[name]}
+		}
+		p, err := plan.Execute(context.Background(), req)
+		if err != nil {
+			die(err)
+		}
+		os.Stdout.Write(plan.Encode(p))
+		return
+	}
 
 	synth := &core.Synthesizer{H: h, MaxDepth: *depth, MaxSpace: *space, Workers: *workers}
 	switch *strategy {
@@ -152,22 +186,19 @@ func main() {
 	}
 }
 
-func pickHierarchy(name string, ram int64) (*memory.Hierarchy, error) {
-	switch name {
-	case "hdd-ram":
-		return memory.HDDRAM(ram), nil
-	case "hdd-ram-cache":
-		return memory.HDDRAMCache(ram), nil
-	case "two-hdd":
-		return memory.TwoHDD(ram), nil
-	case "hdd-flash":
-		return memory.HDDFlash(ram), nil
+// pickHierarchy resolves -hier: a built-in name (rawJSON nil) or a JSON
+// file, whose bytes are also returned so the -json path can embed them in
+// the request without a second read.
+func pickHierarchy(name string, ram int64) (h *memory.Hierarchy, rawJSON []byte, err error) {
+	if h, ok := plan.BuiltinHierarchy(name, ram); ok {
+		return h, nil, nil
 	}
 	data, err := os.ReadFile(name)
 	if err != nil {
-		return nil, fmt.Errorf("unknown hierarchy %q and not a readable file: %w", name, err)
+		return nil, nil, fmt.Errorf("unknown hierarchy %q and not a readable file: %w", name, err)
 	}
-	return memory.FromJSON(data)
+	h, err = memory.FromJSON(data)
+	return h, data, err
 }
 
 func die(err error) {

@@ -1,0 +1,101 @@
+// Command ocasd is the synthesis daemon: a long-running HTTP service that
+// memoizes OCAS synthesis behind a content-addressed plan cache, so a plan
+// is synthesized once and served many times.
+//
+// Usage:
+//
+//	ocasd -addr :8080 -cache-size 1024 -persist plans.json \
+//	      [-strategy beam -beam 64] [-workers 0] [-max-inflight 2] [-timeout 60s]
+//
+// Endpoints (see internal/service):
+//
+//	POST /synthesize          synthesize (or serve) the plan for a request
+//	GET  /plans/{fingerprint} fetch a cached plan by content address
+//	GET  /healthz             liveness
+//	GET  /stats               cache + service counters
+//
+// With -persist, the cache is loaded at startup and written back on
+// SIGINT/SIGTERM, so a restarted daemon keeps serving warm.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"ocas/internal/plancache"
+	"ocas/internal/service"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", ":8080", "listen address")
+		cacheSize   = flag.Int("cache-size", 1024, "maximum number of cached plans (LRU beyond that)")
+		persist     = flag.String("persist", "", "plan-cache snapshot file (loaded at startup, saved at shutdown)")
+		strategy    = flag.String("strategy", "", "default search strategy for requests that don't choose one: exhaustive or beam")
+		beam        = flag.Int("beam", 0, "default beam width (with -strategy beam)")
+		workers     = flag.Int("workers", 0, "synthesis worker pool size per job (0 = GOMAXPROCS)")
+		maxInflight = flag.Int("max-inflight", 2, "maximum concurrent synthesis jobs (admission control)")
+		timeout     = flag.Duration("timeout", 60*time.Second, "per-request synthesis budget (requests may lower it via timeoutMs)")
+	)
+	flag.Parse()
+	switch *strategy {
+	case "", "exhaustive", "beam":
+	default:
+		log.Fatalf("ocasd: unknown -strategy %q (want exhaustive or beam)", *strategy)
+	}
+
+	cache := plancache.New(*cacheSize)
+	if *persist != "" {
+		if err := cache.Load(*persist); err != nil {
+			log.Fatalf("ocasd: %v", err)
+		}
+		if s := cache.Stats(); s.Size > 0 {
+			log.Printf("ocasd: loaded %d cached plans from %s", s.Size, *persist)
+		}
+	}
+
+	srv := service.New(service.Config{
+		CacheSize:   *cacheSize,
+		MaxInflight: *maxInflight,
+		Timeout:     *timeout,
+		Strategy:    *strategy,
+		Beam:        *beam,
+		Workers:     *workers,
+	}, cache)
+
+	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	log.Printf("ocasd: listening on %s (cache %d plans, %d in-flight jobs, %s budget)",
+		*addr, *cacheSize, *maxInflight, *timeout)
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		log.Fatalf("ocasd: %v", err)
+	case sig := <-sigc:
+		log.Printf("ocasd: %v, shutting down", sig)
+	}
+
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("ocasd: shutdown: %v", err)
+	}
+	if *persist != "" {
+		if err := cache.Save(*persist); err != nil {
+			fmt.Fprintln(os.Stderr, "ocasd:", err)
+			os.Exit(1)
+		}
+		log.Printf("ocasd: persisted %d plans to %s", cache.Stats().Size, *persist)
+	}
+}

@@ -7,9 +7,10 @@
 // rules and search (internal/rules), the non-linear parameter optimizer
 // (internal/opt), the OCAS synthesizer (internal/core), the C code generator
 // (internal/codegen), the storage simulator and execution engine
-// (internal/storage, internal/exec), and the evaluation harness
-// (internal/experiments). Command-line entry points are under cmd/ and
-// runnable examples under examples/.
+// (internal/storage, internal/exec), the evaluation harness
+// (internal/experiments), and the serving stack (internal/plan,
+// internal/plancache, internal/service). Command-line entry points are
+// under cmd/ and runnable examples under examples/.
 //
 // # Search strategies and parallelism
 //
@@ -33,13 +34,44 @@
 // Both are exposed as -strategy/-beam/-workers on cmd/ocas and
 // cmd/ocasbench.
 //
+// # Serving: ocasd and the plan cache
+//
+// cmd/ocasd is the synthesis daemon — the synthesize-once/serve-many
+// layer. Its HTTP API (internal/service) exposes POST /synthesize,
+// GET /plans/{fingerprint}, GET /healthz and GET /stats, with request
+// validation, admission control bounding concurrent synthesis jobs, and
+// per-request timeouts backed by context plumbing through
+// core.Synthesizer.SynthesizeCtx and both rules.SearchStrategy
+// implementations (a cancelled request stops the search mid-chunk).
+//
+// Plans are memoized in internal/plancache, a content-addressed cache
+// keyed by the internal/plan fingerprint: SHA-256 over the
+// alpha-normalized program, the canonical hierarchy JSON, the input
+// placement, and the search knobs — worker counts excluded, since the
+// pipeline is deterministic for any worker count. The cache is
+// LRU-bounded, deduplicates identical in-flight requests down to one
+// synthesis (singleflight with waiter refcounting), and optionally
+// persists to JSON across restarts.
+//
+// internal/plan also defines the canonical JSON plan encoding shared by
+// the service and cmd/ocas -json: the same request produces
+// byte-identical plan bytes from both, covering the derivation, tuned
+// parameters, symbolic cost formula and generated C. The
+// examples/*/query.ocal + request.json pairs form the service smoke
+// corpus exercised by the tests and the CI ocasd-smoke job.
+//
 // # Test suites
 //
 // Beyond the per-package unit tests: internal/exec's differential harness
 // (go test ./internal/exec -run Differential) executes randomized
 // scan/join/sort/fold programs against both the physical plans and the
 // reference interpreter; internal/ocal carries a parser fuzz target (go
-// test -fuzz=FuzzParse ./internal/ocal); and internal/core and
-// internal/rules assert parallel-versus-sequential equivalence, which is
-// exercised with -race in CI.
+// test -fuzz=FuzzParse ./internal/ocal) and internal/service a hierarchy
+// fuzz target (go test -fuzz=FuzzHierarchyJSON ./internal/service);
+// internal/core and internal/rules assert parallel-versus-sequential
+// equivalence, which is exercised with -race in CI; and the serving
+// stack pins fingerprint stability, singleflight semantics, persistence
+// round trips, service/CLI byte-identity over the examples corpus, and
+// prompt cancellation (go test ./internal/plan ./internal/plancache
+// ./internal/service).
 package ocas

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -102,6 +103,15 @@ func (s *Synthesizer) fixedEnv(t Task) sym.Env {
 // every program, heuristic screening, then non-linear parameter optimization
 // of the most promising candidates; the cheapest wins.
 func (s *Synthesizer) Synthesize(t Task) (*Synthesis, error) {
+	return s.SynthesizeCtx(context.Background(), t)
+}
+
+// SynthesizeCtx is Synthesize with cancellation: when ctx is cancelled or
+// its deadline passes, the search, the screening pass and the parameter
+// optimizer all stop within one work item and SynthesizeCtx returns
+// ctx.Err(). Partial results are never returned — a served plan is always
+// the plan a complete run would have produced.
+func (s *Synthesizer) SynthesizeCtx(ctx context.Context, t Task) (*Synthesis, error) {
 	start := time.Now()
 	maxDepth := s.MaxDepth
 	if maxDepth <= 0 {
@@ -140,7 +150,10 @@ func (s *Synthesizer) Synthesize(t Task) (*Synthesis, error) {
 	}
 
 	strat := s.strategy(sc)
-	space, stats := strat.Search(t.Spec.Prog, rls, rctx, maxDepth, maxSpace)
+	space, stats := strat.Search(ctx, t.Spec.Prog, rls, rctx, maxDepth, maxSpace)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 
 	// Phase 1: cost every program with a heuristic parameter guess (the
 	// paper's single-loop heuristic: blocks as large as the constraints
@@ -157,6 +170,9 @@ func (s *Synthesizer) Synthesize(t Task) (*Synthesis, error) {
 	}
 	costed := make([]*screened, len(space))
 	par.For(s.Workers, len(space), func(i int) {
+		if ctx.Err() != nil {
+			return
+		}
 		var est *screenEstimate
 		if usesMemo {
 			est = sc.estimate(space[i].Expr)
@@ -181,6 +197,9 @@ func (s *Synthesizer) Synthesize(t Task) (*Synthesis, error) {
 		}
 		scr = append(scr, *c)
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if len(scr) == 0 {
 		return nil, fmt.Errorf("core: no program could be costed")
 	}
@@ -194,6 +213,9 @@ func (s *Synthesizer) Synthesize(t Task) (*Synthesis, error) {
 	// order so ties resolve exactly as they would sequentially.
 	cands := make([]*Candidate, len(scr))
 	par.For(s.Workers, len(scr), func(i int) {
+		if ctx.Err() != nil {
+			return
+		}
 		shortlisted := scr[i]
 		d := space[shortlisted.idx]
 		prob := opt.Problem{
@@ -215,6 +237,9 @@ func (s *Synthesizer) Synthesize(t Task) (*Synthesis, error) {
 			Cost:    shortlisted.res,
 		}
 	})
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	var best *Candidate
 	for _, cand := range cands {
 		if cand == nil {

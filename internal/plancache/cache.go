@@ -1,0 +1,269 @@
+// Package plancache is the content-addressed plan cache behind ocasd: the
+// synthesize-once/serve-many layer. Plans are keyed by the request
+// fingerprint (internal/plan), bounded by an LRU policy, deduplicated in
+// flight by a singleflight mechanism (N concurrent identical requests
+// trigger exactly one synthesis), and optionally persisted to a JSON file
+// across daemon restarts.
+package plancache
+
+import (
+	"container/list"
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+
+	"ocas/internal/plan"
+)
+
+// Compute synthesizes the plan for a key on a cache miss. The context it
+// receives is detached from any single caller: it is cancelled only when
+// every request waiting on the key has gone away.
+type Compute func(ctx context.Context) (*plan.Plan, error)
+
+// Outcome says how a GetOrCompute call was served.
+type Outcome string
+
+const (
+	// Hit: the plan was already cached.
+	Hit Outcome = "hit"
+	// Miss: this call started the synthesis.
+	Miss Outcome = "miss"
+	// Shared: this call joined a synthesis another call had started.
+	Shared Outcome = "shared"
+)
+
+// Stats are the cache's monotonic counters plus its current occupancy.
+type Stats struct {
+	Hits      int64 `json:"hits"`   // served from the cache
+	Misses    int64 `json:"misses"` // triggered a synthesis
+	Shared    int64 `json:"shared"` // joined an in-flight synthesis instead of starting one
+	Evictions int64 `json:"evictions"`
+	Size      int   `json:"size"`
+	Capacity  int   `json:"capacity"`
+}
+
+// Cache is a bounded, singleflight-deduplicated plan cache. The zero value
+// is not usable; call New.
+type Cache struct {
+	mu       sync.Mutex
+	capacity int
+	entries  map[string]*list.Element // fingerprint -> lru element
+	lru      *list.List               // front = most recently used
+	inflight map[string]*call
+	stats    Stats
+}
+
+type entry struct {
+	key string
+	p   *plan.Plan
+}
+
+// call is one in-flight synthesis. Waiters join by incrementing waiters and
+// selecting on done; the last waiter to abandon cancels the compute and
+// marks the call abandoned, so later requests start a fresh synthesis
+// instead of inheriting the doomed one's context error.
+type call struct {
+	done      chan struct{}
+	p         *plan.Plan
+	err       error
+	waiters   int
+	cancel    context.CancelFunc
+	abandoned bool
+}
+
+// New returns a cache bounded to capacity plans (minimum 1).
+func New(capacity int) *Cache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Cache{
+		capacity: capacity,
+		entries:  map[string]*list.Element{},
+		lru:      list.New(),
+		inflight: map[string]*call{},
+	}
+}
+
+// Get returns the cached plan for key, if any, marking it recently used.
+// It does not count as a hit or miss; use it for read-only lookups
+// (GET /plans/{fingerprint}).
+func (c *Cache) Get(key string) (*plan.Plan, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		c.lru.MoveToFront(el)
+		return el.Value.(*entry).p, true
+	}
+	return nil, false
+}
+
+// GetOrCompute returns the plan for key, synthesizing it with compute on a
+// miss. Concurrent calls for the same key share one synthesis: the first
+// caller starts it, later callers wait for its result. A caller whose ctx
+// is cancelled while waiting returns ctx.Err() immediately; the synthesis
+// itself keeps running until its result is cached or until every waiting
+// caller has been cancelled, whichever comes first. Errors are never
+// cached — the next request retries.
+func (c *Cache) GetOrCompute(ctx context.Context, key string, compute Compute) (*plan.Plan, Outcome, error) {
+	c.mu.Lock()
+	if el, ok := c.entries[key]; ok {
+		c.lru.MoveToFront(el)
+		c.stats.Hits++
+		p := el.Value.(*entry).p
+		c.mu.Unlock()
+		return p, Hit, nil
+	}
+	if cl, ok := c.inflight[key]; ok && !cl.abandoned {
+		cl.waiters++
+		c.stats.Shared++
+		c.mu.Unlock()
+		p, err := c.wait(ctx, cl)
+		return p, Shared, err
+	}
+	// Leader: start the synthesis on a context that outlives this request —
+	// other requests may join it — but dies with the last interested waiter.
+	cctx, cancel := context.WithCancel(context.WithoutCancel(ctx))
+	cl := &call{done: make(chan struct{}), waiters: 1, cancel: cancel}
+	c.inflight[key] = cl
+	c.stats.Misses++
+	c.mu.Unlock()
+
+	go func() {
+		p, err := compute(cctx)
+		cancel()
+		c.mu.Lock()
+		cl.p, cl.err = p, err
+		// An abandoned call may already have been replaced by a fresh one;
+		// only remove the entry this call still owns.
+		if c.inflight[key] == cl {
+			delete(c.inflight, key)
+		}
+		if err == nil {
+			c.insert(key, p)
+		}
+		c.mu.Unlock()
+		close(cl.done)
+	}()
+	p, err := c.wait(ctx, cl)
+	return p, Miss, err
+}
+
+// wait blocks until the call completes or ctx is cancelled. The waiter
+// refcount keeps the synthesis alive exactly as long as someone wants it.
+func (c *Cache) wait(ctx context.Context, cl *call) (*plan.Plan, error) {
+	select {
+	case <-cl.done:
+		return cl.p, cl.err
+	case <-ctx.Done():
+		c.mu.Lock()
+		cl.waiters--
+		abandon := cl.waiters == 0
+		if abandon {
+			cl.abandoned = true
+		}
+		c.mu.Unlock()
+		if abandon {
+			cl.cancel()
+		}
+		return nil, ctx.Err()
+	}
+}
+
+// insert adds a plan under c.mu, evicting from the LRU tail as needed.
+func (c *Cache) insert(key string, p *plan.Plan) {
+	if el, ok := c.entries[key]; ok {
+		el.Value.(*entry).p = p
+		c.lru.MoveToFront(el)
+		return
+	}
+	for c.lru.Len() >= c.capacity {
+		tail := c.lru.Back()
+		c.lru.Remove(tail)
+		delete(c.entries, tail.Value.(*entry).key)
+		c.stats.Evictions++
+	}
+	c.entries[key] = c.lru.PushFront(&entry{key: key, p: p})
+}
+
+// Put stores a plan directly (used when loading persisted state).
+func (c *Cache) Put(key string, p *plan.Plan) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.insert(key, p)
+}
+
+// Stats returns a snapshot of the counters.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := c.stats
+	s.Size = c.lru.Len()
+	s.Capacity = c.capacity
+	return s
+}
+
+// persisted is the JSON layout of a cache snapshot. Entries are ordered
+// least- to most-recently used so that reloading them in order reproduces
+// the LRU order.
+type persisted struct {
+	Version int              `json:"version"`
+	Entries []persistedEntry `json:"entries"`
+}
+
+type persistedEntry struct {
+	Key  string     `json:"key"`
+	Plan *plan.Plan `json:"plan"`
+}
+
+// Save writes the cache contents to path (atomically, via a temp file in
+// the same directory).
+func (c *Cache) Save(path string) error {
+	c.mu.Lock()
+	snap := persisted{Version: 1}
+	for el := c.lru.Back(); el != nil; el = el.Prev() {
+		e := el.Value.(*entry)
+		snap.Entries = append(snap.Entries, persistedEntry{Key: e.key, Plan: e.p})
+	}
+	c.mu.Unlock()
+
+	data, err := json.MarshalIndent(snap, "", " ")
+	if err != nil {
+		return fmt.Errorf("plancache: %w", err)
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return fmt.Errorf("plancache: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("plancache: %w", err)
+	}
+	return nil
+}
+
+// Load merges a snapshot written by Save into the cache. A missing file is
+// not an error (first daemon start); a corrupt file is.
+func (c *Cache) Load(path string) error {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("plancache: %w", err)
+	}
+	var snap persisted
+	if err := json.Unmarshal(data, &snap); err != nil {
+		return fmt.Errorf("plancache: corrupt snapshot %s: %w", path, err)
+	}
+	if snap.Version != 1 {
+		return fmt.Errorf("plancache: unsupported snapshot version %d", snap.Version)
+	}
+	for _, e := range snap.Entries {
+		if e.Key == "" || e.Plan == nil {
+			return fmt.Errorf("plancache: corrupt snapshot %s: empty entry", path)
+		}
+		c.Put(e.Key, e.Plan)
+	}
+	return nil
+}

@@ -1,6 +1,7 @@
 package rules
 
 import (
+	"context"
 	"fmt"
 
 	"ocas/internal/ocal"
@@ -99,8 +100,15 @@ type SearchStats struct {
 // It is the Exhaustive strategy with the default GOMAXPROCS-sized worker
 // pool; callers needing a bounded frontier use Beam instead.
 func Search(start ocal.Expr, rs []Rule, c *Context, maxDepth, maxSpace int) ([]Derivation, SearchStats) {
-	return Exhaustive{}.Search(start, rs, c, maxDepth, maxSpace)
+	return Exhaustive{}.Search(context.Background(), start, rs, c, maxDepth, maxSpace)
 }
+
+// AlphaKey exposes the search's canonical program key: the printing of the
+// program with bound variables and symbolic parameters renamed in
+// first-occurrence order. Two alpha-equivalent programs (same structure,
+// different binder names or fresh-name counters) share one key, which makes
+// it the right program component for content-addressed plan fingerprints.
+func AlphaKey(e ocal.Expr) string { return alphaKey(e) }
 
 // alphaKey is the dedup key: the canonical printing of the program with
 // bound variables and symbolic parameters renamed in first-occurrence order,

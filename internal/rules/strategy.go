@@ -1,6 +1,7 @@
 package rules
 
 import (
+	"context"
 	"math"
 	"runtime"
 	"sort"
@@ -16,9 +17,14 @@ import (
 // how many workers run the expansion. The Context's fresh-name counters are
 // advanced level-synchronously so that the result does not depend on
 // goroutine scheduling.
+//
+// Cancelling ctx stops the search promptly (workers are re-checked at every
+// expansion chunk); a cancelled search returns whatever it discovered so
+// far, and callers decide whether a partial space is usable by inspecting
+// ctx.Err().
 type SearchStrategy interface {
 	Name() string
-	Search(start ocal.Expr, rs []Rule, c *Context, maxDepth, maxSpace int) ([]Derivation, SearchStats)
+	Search(ctx context.Context, start ocal.Expr, rs []Rule, c *Context, maxDepth, maxSpace int) ([]Derivation, SearchStats)
 }
 
 // Exhaustive is the paper's strategy: breadth-first enumeration of every
@@ -33,8 +39,8 @@ type Exhaustive struct {
 
 func (Exhaustive) Name() string { return "exhaustive" }
 
-func (x Exhaustive) Search(start ocal.Expr, rs []Rule, c *Context, maxDepth, maxSpace int) ([]Derivation, SearchStats) {
-	return bfs(start, rs, c, maxDepth, maxSpace, x.Workers, nil)
+func (x Exhaustive) Search(ctx context.Context, start ocal.Expr, rs []Rule, c *Context, maxDepth, maxSpace int) ([]Derivation, SearchStats) {
+	return bfs(ctx, start, rs, c, maxDepth, maxSpace, x.Workers, nil)
 }
 
 // Beam is a bounded-frontier variant: after each depth level only the Width
@@ -57,7 +63,7 @@ type Beam struct {
 
 func (Beam) Name() string { return "beam" }
 
-func (b Beam) Search(start ocal.Expr, rs []Rule, c *Context, maxDepth, maxSpace int) ([]Derivation, SearchStats) {
+func (b Beam) Search(ctx context.Context, start ocal.Expr, rs []Rule, c *Context, maxDepth, maxSpace int) ([]Derivation, SearchStats) {
 	width := b.Width
 	if width <= 0 {
 		width = 64
@@ -76,6 +82,10 @@ func (b Beam) Search(start ocal.Expr, rs []Rule, c *Context, maxDepth, maxSpace 
 		}
 		scored := make([]ranked, len(next))
 		par.For(b.Workers, len(next), func(i int) {
+			if ctx.Err() != nil {
+				scored[i] = ranked{d: next[i], score: math.Inf(1)}
+				return
+			}
 			score := rank(next[i].Expr)
 			if math.IsNaN(score) {
 				score = math.Inf(1)
@@ -89,7 +99,7 @@ func (b Beam) Search(start ocal.Expr, rs []Rule, c *Context, maxDepth, maxSpace 
 		}
 		return out
 	}
-	return bfs(start, rs, c, maxDepth, maxSpace, b.Workers, prune)
+	return bfs(ctx, start, rs, c, maxDepth, maxSpace, b.Workers, prune)
 }
 
 func exprSize(e ocal.Expr) int {
@@ -109,8 +119,10 @@ type expanded struct {
 
 // bfs is the shared level-synchronous search loop. prune, when non-nil,
 // bounds the next frontier after each level (beam search); the full set of
-// discovered programs is returned either way.
-func bfs(start ocal.Expr, rs []Rule, c *Context, maxDepth, maxSpace, workers int, prune func([]Derivation) []Derivation) ([]Derivation, SearchStats) {
+// discovered programs is returned either way. Cancellation is checked at
+// every expansion chunk (and inside the chunk, per frontier item), so an
+// abandoned search stops within one chunk's worth of work.
+func bfs(ctx context.Context, start ocal.Expr, rs []Rule, c *Context, maxDepth, maxSpace, workers int, prune func([]Derivation) []Derivation) ([]Derivation, SearchStats) {
 	if maxDepth <= 0 {
 		maxDepth = 8
 	}
@@ -139,11 +151,16 @@ func bfs(start ocal.Expr, rs []Rule, c *Context, maxDepth, maxSpace, workers int
 			chunk = 32
 		}
 		for lo := 0; lo < len(frontier); lo += chunk {
+			if ctx.Err() != nil {
+				c.nParam, c.nVar = snapParam+maxParam, snapVar+maxVar
+				stats.Truncated = true
+				return all, stats
+			}
 			hi := lo + chunk
 			if hi > len(frontier) {
 				hi = len(frontier)
 			}
-			results, mp, mv := expandFrontier(frontier[lo:hi], rs, c, snapParam, snapVar, workers)
+			results, mp, mv := expandFrontier(ctx, frontier[lo:hi], rs, c, snapParam, snapVar, workers)
 			if mp > maxParam {
 				maxParam = mp
 			}
@@ -188,11 +205,14 @@ func bfs(start ocal.Expr, rs []Rule, c *Context, maxDepth, maxSpace, workers int
 // gets a Context forked at the level snapshot, so fresh names never depend
 // on which worker picked the item up; the returned maxima say how far the
 // counters must advance. Results are indexed by frontier position.
-func expandFrontier(items []Derivation, rs []Rule, c *Context, snapParam, snapVar, workers int) ([][]expanded, int, int) {
+func expandFrontier(ctx context.Context, items []Derivation, rs []Rule, c *Context, snapParam, snapVar, workers int) ([][]expanded, int, int) {
 	out := make([][]expanded, len(items))
 	var mu sync.Mutex
 	maxParam, maxVar := 0, 0
 	par.For(workers, len(items), func(i int) {
+		if ctx.Err() != nil {
+			return
+		}
 		fc := c.fork(snapParam, snapVar)
 		rws := Step(items[i].Expr, rs, fc)
 		exps := make([]expanded, len(rws))

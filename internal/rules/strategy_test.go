@@ -1,6 +1,7 @@
 package rules
 
 import (
+	"context"
 	"testing"
 
 	"ocas/internal/ocal"
@@ -38,9 +39,9 @@ func sameFingerprint(t *testing.T, a, b []Derivation, what string) {
 // same order with the same derivations as a single worker.
 func TestExhaustiveParallelMatchesSequential(t *testing.T) {
 	for _, prog := range []ocal.Expr{naiveJoin(), naiveSort()} {
-		seqDs, seqStats := Exhaustive{Workers: 1}.Search(prog, AllRules(), testContext(), 5, 3000)
+		seqDs, seqStats := Exhaustive{Workers: 1}.Search(context.Background(), prog, AllRules(), testContext(), 5, 3000)
 		for _, workers := range []int{2, 4, 16} {
-			parDs, parStats := Exhaustive{Workers: workers}.Search(prog, AllRules(), testContext(), 5, 3000)
+			parDs, parStats := Exhaustive{Workers: workers}.Search(context.Background(), prog, AllRules(), testContext(), 5, 3000)
 			if parStats != seqStats {
 				t.Fatalf("workers=%d: stats %+v != sequential %+v", workers, parStats, seqStats)
 			}
@@ -53,8 +54,8 @@ func TestExhaustiveParallelMatchesSequential(t *testing.T) {
 // concrete fresh names must also be scheduling-independent, so repeated
 // parallel runs print byte-identical programs.
 func TestExhaustiveIdenticalPrograms(t *testing.T) {
-	a, _ := Exhaustive{Workers: 8}.Search(naiveJoin(), AllRules(), testContext(), 4, 2000)
-	b, _ := Exhaustive{Workers: 3}.Search(naiveJoin(), AllRules(), testContext(), 4, 2000)
+	a, _ := Exhaustive{Workers: 8}.Search(context.Background(), naiveJoin(), AllRules(), testContext(), 4, 2000)
+	b, _ := Exhaustive{Workers: 3}.Search(context.Background(), naiveJoin(), AllRules(), testContext(), 4, 2000)
 	if len(a) != len(b) {
 		t.Fatalf("space sizes differ: %d vs %d", len(a), len(b))
 	}
@@ -69,7 +70,7 @@ func TestExhaustiveIdenticalPrograms(t *testing.T) {
 // TestSearchMatchesStrategy checks the compatibility wrapper.
 func TestSearchMatchesStrategy(t *testing.T) {
 	a, as := Search(naiveJoin(), AllRules(), testContext(), 4, 2000)
-	b, bs := Exhaustive{}.Search(naiveJoin(), AllRules(), testContext(), 4, 2000)
+	b, bs := Exhaustive{}.Search(context.Background(), naiveJoin(), AllRules(), testContext(), 4, 2000)
 	if as != bs {
 		t.Fatalf("stats %+v != %+v", as, bs)
 	}
@@ -79,11 +80,11 @@ func TestSearchMatchesStrategy(t *testing.T) {
 // TestTruncationParity: hitting maxSpace must cut the space at the same
 // program regardless of worker count.
 func TestTruncationParity(t *testing.T) {
-	seqDs, seqStats := Exhaustive{Workers: 1}.Search(naiveJoin(), AllRules(), testContext(), 6, 60)
+	seqDs, seqStats := Exhaustive{Workers: 1}.Search(context.Background(), naiveJoin(), AllRules(), testContext(), 6, 60)
 	if !seqStats.Truncated {
 		t.Fatalf("expected truncation at maxSpace=60, got %+v", seqStats)
 	}
-	parDs, parStats := Exhaustive{Workers: 7}.Search(naiveJoin(), AllRules(), testContext(), 6, 60)
+	parDs, parStats := Exhaustive{Workers: 7}.Search(context.Background(), naiveJoin(), AllRules(), testContext(), 6, 60)
 	if parStats != seqStats {
 		t.Fatalf("stats %+v != sequential %+v", parStats, seqStats)
 	}
@@ -94,12 +95,12 @@ func TestTruncationParity(t *testing.T) {
 // space (every beam derivation is reachable), still include the start
 // program, and never grow past the exhaustive size.
 func TestBeamBoundsFrontier(t *testing.T) {
-	full, fullStats := Exhaustive{}.Search(naiveJoin(), AllRules(), testContext(), 5, 5000)
+	full, fullStats := Exhaustive{}.Search(context.Background(), naiveJoin(), AllRules(), testContext(), 5, 5000)
 	inFull := map[string]bool{}
 	for _, d := range full {
 		inFull[alphaKey(d.Expr)] = true
 	}
-	beam, beamStats := Beam{Width: 8}.Search(naiveJoin(), AllRules(), testContext(), 5, 5000)
+	beam, beamStats := Beam{Width: 8}.Search(context.Background(), naiveJoin(), AllRules(), testContext(), 5, 5000)
 	if beamStats.SpaceSize > fullStats.SpaceSize {
 		t.Fatalf("beam explored more than exhaustive: %d > %d",
 			beamStats.SpaceSize, fullStats.SpaceSize)
@@ -121,8 +122,8 @@ func TestBeamBoundsFrontier(t *testing.T) {
 // TestBeamWideEqualsExhaustive: a beam wider than any frontier degenerates
 // to the exhaustive search.
 func TestBeamWideEqualsExhaustive(t *testing.T) {
-	full, fullStats := Exhaustive{}.Search(naiveJoin(), AllRules(), testContext(), 4, 3000)
-	beam, beamStats := Beam{Width: 1 << 20}.Search(naiveJoin(), AllRules(), testContext(), 4, 3000)
+	full, fullStats := Exhaustive{}.Search(context.Background(), naiveJoin(), AllRules(), testContext(), 4, 3000)
+	beam, beamStats := Beam{Width: 1 << 20}.Search(context.Background(), naiveJoin(), AllRules(), testContext(), 4, 3000)
 	if beamStats != fullStats {
 		t.Fatalf("stats %+v != %+v", beamStats, fullStats)
 	}
@@ -132,8 +133,8 @@ func TestBeamWideEqualsExhaustive(t *testing.T) {
 // TestBeamDeterministic: same call twice, same result (rank ties are broken
 // by discovery order, and parallel ranking must not reorder).
 func TestBeamDeterministic(t *testing.T) {
-	a, as := Beam{Width: 6, Workers: 8}.Search(naiveJoin(), AllRules(), testContext(), 5, 3000)
-	b, bs := Beam{Width: 6, Workers: 2}.Search(naiveJoin(), AllRules(), testContext(), 5, 3000)
+	a, as := Beam{Width: 6, Workers: 8}.Search(context.Background(), naiveJoin(), AllRules(), testContext(), 5, 3000)
+	b, bs := Beam{Width: 6, Workers: 2}.Search(context.Background(), naiveJoin(), AllRules(), testContext(), 5, 3000)
 	if as != bs {
 		t.Fatalf("stats %+v != %+v", as, bs)
 	}
@@ -146,7 +147,7 @@ func TestBeamDeterministic(t *testing.T) {
 // would be reported.
 func TestParallelSearchRace(t *testing.T) {
 	c := testContext()
-	ds, stats := Exhaustive{Workers: 32}.Search(naiveJoin(), AllRules(), c, 6, 4000)
+	ds, stats := Exhaustive{Workers: 32}.Search(context.Background(), naiveJoin(), AllRules(), c, 6, 4000)
 	if stats.SpaceSize != len(ds) {
 		t.Fatalf("SpaceSize %d != %d derivations", stats.SpaceSize, len(ds))
 	}

@@ -1,0 +1,60 @@
+package service
+
+import (
+	"encoding/json"
+	"testing"
+
+	"ocas/internal/memory"
+	"ocas/internal/plan"
+)
+
+// FuzzHierarchyJSON throws arbitrary bytes at the one deep, user-controlled
+// structure the service accepts: the inline memory.Node hierarchy tree. The
+// validation path must never panic, and any hierarchy it accepts must
+// produce a stable fingerprint (same bytes in, same content address out —
+// the cache key must be a pure function of the request).
+func FuzzHierarchyJSON(f *testing.F) {
+	for _, h := range []*memory.Hierarchy{
+		memory.HDDRAM(8 << 20),
+		memory.HDDRAMCache(8 << 20),
+		memory.TwoHDD(8 << 20),
+		memory.HDDFlash(8 << 20),
+	} {
+		seed, err := json.Marshal(h)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(seed)
+	}
+	f.Add([]byte(`{"name":"ram","kind":"ram","size":1024,"children":[{"name":"hdd","kind":"hdd","size":4096}]}`))
+	f.Add([]byte(`{"name":"a","size":-1}`))
+	f.Add([]byte(`{"name":"a","size":1,"children":[{"name":"a","size":1}]}`))
+	f.Add([]byte(`null`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		req := func() plan.Request {
+			return plan.Request{
+				Program:   `for (x <- R) [x]`,
+				Hierarchy: json.RawMessage(data),
+				Inputs:    map[string]plan.Input{"R": {Node: "hdd", Rows: 1024}},
+			}
+		}
+		a, errA := plan.Compile(req())
+		b, errB := plan.Compile(req())
+		if (errA == nil) != (errB == nil) {
+			t.Fatalf("validation not deterministic: %v vs %v", errA, errB)
+		}
+		if errA != nil {
+			return
+		}
+		if a.Fingerprint != b.Fingerprint {
+			t.Fatalf("fingerprint unstable for identical request: %s vs %s", a.Fingerprint, b.Fingerprint)
+		}
+		// An accepted hierarchy must be well-formed enough to render and
+		// re-serialize without panicking.
+		_ = a.H.String()
+		if _, err := json.Marshal(a.H); err != nil {
+			t.Fatalf("accepted hierarchy does not re-serialize: %v", err)
+		}
+	})
+}

@@ -1,0 +1,250 @@
+// Package service is the HTTP layer of ocasd, the synthesis daemon: a JSON
+// API that memoizes synthesis behind the content-addressed plan cache.
+//
+// Endpoints:
+//
+//	POST /synthesize        — body: a plan.Request; response: the canonical
+//	                          plan bytes (byte-identical to cmd/ocas -json).
+//	                          Headers: X-Ocas-Cache: hit|miss|shared,
+//	                          X-Ocas-Elapsed: wall time of this request.
+//	GET  /plans/{fp}        — a previously synthesized plan by fingerprint.
+//	GET  /healthz           — liveness.
+//	GET  /stats             — cache and request counters as JSON.
+//
+// Admission control bounds the number of in-flight synthesis jobs (each of
+// which fans out over the internal/par worker pool); requests beyond the
+// bound wait until a slot frees or their timeout fires. Cache hits and
+// singleflight joins bypass admission entirely — only a request that would
+// start a new synthesis needs a slot.
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"ocas/internal/plan"
+	"ocas/internal/plancache"
+)
+
+// Config tunes a Server. Zero values mean defaults.
+type Config struct {
+	// CacheSize bounds the plan cache (default 1024 plans).
+	CacheSize int
+	// MaxInflight bounds concurrent synthesis jobs (default 2).
+	MaxInflight int
+	// Timeout is the per-request synthesis budget (default 60s). A request
+	// may lower it with the timeoutMs body field, never raise it.
+	Timeout time.Duration
+	// MaxBodyBytes bounds the request body (default 1 MiB).
+	MaxBodyBytes int64
+	// Defaults are applied to request fields left at their zero value.
+	Strategy string // "" keeps the request/plan default (exhaustive)
+	Beam     int
+	Workers  int
+}
+
+// Metrics are the service counters exposed on /stats (cache counters come
+// from the plan cache itself).
+type Metrics struct {
+	Requests   int64 `json:"requests"`
+	Errors     int64 `json:"errors"`     // 4xx validation failures
+	Timeouts   int64 `json:"timeouts"`   // requests that hit their deadline (incl. waiting for admission)
+	Cancelled  int64 `json:"cancelled"`  // client disconnected or abandoned mid-flight
+	SynthNanos int64 `json:"synthNanos"` // wall time spent inside synthesis (misses)
+	ServeNanos int64 `json:"serveNanos"` // wall time of all /synthesize requests
+}
+
+// Server handles the ocasd API. Create with New.
+type Server struct {
+	cfg     Config
+	cache   *plancache.Cache
+	sem     chan struct{} // admission slots for new synthesis jobs
+	started time.Time
+	metrics Metrics
+}
+
+// New builds a Server around the given cache (pass nil to create one of
+// cfg.CacheSize).
+func New(cfg Config, cache *plancache.Cache) *Server {
+	if cfg.CacheSize <= 0 {
+		cfg.CacheSize = 1024
+	}
+	if cfg.MaxInflight <= 0 {
+		cfg.MaxInflight = 2
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 60 * time.Second
+	}
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = 1 << 20
+	}
+	if cache == nil {
+		cache = plancache.New(cfg.CacheSize)
+	}
+	return &Server{cfg: cfg, cache: cache, sem: make(chan struct{}, cfg.MaxInflight), started: time.Now()}
+}
+
+// Cache exposes the server's plan cache (for persistence at shutdown).
+func (s *Server) Cache() *plancache.Cache { return s.cache }
+
+// Handler returns the routed http.Handler.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /synthesize", s.handleSynthesize)
+	mux.HandleFunc("GET /plans/{fingerprint}", s.handlePlan)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /stats", s.handleStats)
+	return mux
+}
+
+// synthesizeRequest is the /synthesize body: a plan request plus transport
+// options that must not influence the fingerprint.
+type synthesizeRequest struct {
+	plan.Request
+	// TimeoutMS lowers the server's per-request synthesis budget.
+	TimeoutMS int64 `json:"timeoutMs,omitempty"`
+}
+
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func (s *Server) fail(w http.ResponseWriter, code int, format string, args ...any) {
+	atomic.AddInt64(&s.metrics.Errors, 1)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(apiError{Error: fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handleSynthesize(w http.ResponseWriter, r *http.Request) {
+	startedAt := time.Now()
+	atomic.AddInt64(&s.metrics.Requests, 1)
+	defer func() {
+		atomic.AddInt64(&s.metrics.ServeNanos, int64(time.Since(startedAt)))
+	}()
+
+	var req synthesizeRequest
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	dec := json.NewDecoder(body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		s.fail(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	s.applyDefaults(&req.Request)
+	compiled, err := plan.Compile(req.Request)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, "invalid request: %v", err)
+		return
+	}
+
+	timeout := s.cfg.Timeout
+	if req.TimeoutMS > 0 {
+		if d := time.Duration(req.TimeoutMS) * time.Millisecond; d < timeout {
+			timeout = d
+		}
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+
+	p, outcome, err := s.cache.GetOrCompute(ctx, compiled.Fingerprint, func(cctx context.Context) (*plan.Plan, error) {
+		// Admission: a new synthesis job needs a slot. cctx only dies when
+		// every request interested in this fingerprint has gone away.
+		select {
+		case s.sem <- struct{}{}:
+		case <-cctx.Done():
+			return nil, cctx.Err()
+		}
+		defer func() { <-s.sem }()
+		synthStart := time.Now()
+		defer func() {
+			atomic.AddInt64(&s.metrics.SynthNanos, int64(time.Since(synthStart)))
+		}()
+		return compiled.Run(cctx)
+	})
+	if err != nil {
+		switch {
+		case errors.Is(err, context.DeadlineExceeded):
+			atomic.AddInt64(&s.metrics.Timeouts, 1)
+			s.fail(w, http.StatusGatewayTimeout, "synthesis exceeded its %s budget", timeout)
+		case errors.Is(err, context.Canceled):
+			atomic.AddInt64(&s.metrics.Cancelled, 1)
+			s.fail(w, http.StatusServiceUnavailable, "request cancelled before its plan was ready")
+		default:
+			s.fail(w, http.StatusUnprocessableEntity, "synthesis failed: %v", err)
+		}
+		return
+	}
+	s.writePlan(w, p, string(outcome), time.Since(startedAt))
+}
+
+func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
+	fp := r.PathValue("fingerprint")
+	p, ok := s.cache.Get(fp)
+	if !ok {
+		s.fail(w, http.StatusNotFound, "no plan with fingerprint %q", fp)
+		return
+	}
+	s.writePlan(w, p, string(plancache.Hit), 0)
+}
+
+// writePlan sends the canonical plan bytes — exactly what cmd/ocas -json
+// prints — with cache metadata confined to headers so the body stays
+// byte-identical.
+func (s *Server) writePlan(w http.ResponseWriter, p *plan.Plan, outcome string, elapsed time.Duration) {
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Ocas-Cache", outcome)
+	if elapsed > 0 {
+		w.Header().Set("X-Ocas-Elapsed", elapsed.String())
+	}
+	w.Write(plan.Encode(p))
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]any{
+		"status": "ok",
+		"uptime": time.Since(s.started).String(),
+	})
+}
+
+type statsResponse struct {
+	Cache   plancache.Stats `json:"cache"`
+	Service Metrics         `json:"service"`
+	Uptime  string          `json:"uptime"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(statsResponse{
+		Cache: s.cache.Stats(),
+		Service: Metrics{
+			Requests:   atomic.LoadInt64(&s.metrics.Requests),
+			Errors:     atomic.LoadInt64(&s.metrics.Errors),
+			Timeouts:   atomic.LoadInt64(&s.metrics.Timeouts),
+			Cancelled:  atomic.LoadInt64(&s.metrics.Cancelled),
+			SynthNanos: atomic.LoadInt64(&s.metrics.SynthNanos),
+			ServeNanos: atomic.LoadInt64(&s.metrics.ServeNanos),
+		},
+		Uptime: time.Since(s.started).String(),
+	})
+}
+
+// applyDefaults fills the daemon-level defaults into fields the request
+// left unset; plan.Normalize then applies the package defaults on top.
+func (s *Server) applyDefaults(r *plan.Request) {
+	if r.Strategy == "" && s.cfg.Strategy != "" {
+		r.Strategy = s.cfg.Strategy
+	}
+	if r.Beam == 0 && s.cfg.Beam != 0 {
+		r.Beam = s.cfg.Beam
+	}
+	if r.Workers == 0 {
+		r.Workers = s.cfg.Workers
+	}
+}

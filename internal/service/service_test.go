@@ -1,0 +1,315 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"ocas/internal/plan"
+)
+
+const joinSrc = `for (x <- R) for (y <- S) if x.1 == y.1 then [<x, y>] else []`
+
+// fastBody is a small join request (tens of milliseconds to synthesize).
+func fastBody() string {
+	return `{
+		"program": "for (x <- R) for (y <- S) if x.1 == y.1 then [<x, y>] else []",
+		"hier": "hdd-ram", "ram": 8388608,
+		"inputs": {"R": {"node": "hdd", "rows": 1048576}, "S": {"node": "hdd", "rows": 65536}},
+		"depth": 4, "space": 500
+	}`
+}
+
+// slowBody is the same join on the three-level hierarchy at depth 12 —
+// hundreds of milliseconds of search.
+func slowBody() string {
+	return `{
+		"program": "for (x <- R) for (y <- S) if x.1 == y.1 then [<x, y>] else []",
+		"hier": "hdd-ram-cache", "ram": 33554432,
+		"inputs": {"R": {"node": "hdd", "rows": 4194304}, "S": {"node": "hdd", "rows": 262144}},
+		"depth": 12, "space": 200000
+	}`
+}
+
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	srv := New(cfg, nil)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return srv, ts
+}
+
+func post(t *testing.T, ts *httptest.Server, body string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/synthesize", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, data
+}
+
+func TestSynthesizeMissThenHit(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+
+	resp, cold := post(t, ts, fastBody())
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cold: status %d: %s", resp.StatusCode, cold)
+	}
+	if got := resp.Header.Get("X-Ocas-Cache"); got != "miss" {
+		t.Fatalf("cold: X-Ocas-Cache = %q, want miss", got)
+	}
+	p, err := plan.Decode(cold)
+	if err != nil {
+		t.Fatalf("cold response is not a plan: %v", err)
+	}
+	if p.Fingerprint == "" || len(p.Derivation) == 0 || p.Speedup <= 1 {
+		t.Fatalf("implausible plan: %+v", p)
+	}
+
+	resp, warm := post(t, ts, fastBody())
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("warm: status %d", resp.StatusCode)
+	}
+	if got := resp.Header.Get("X-Ocas-Cache"); got != "hit" {
+		t.Fatalf("warm: X-Ocas-Cache = %q, want hit", got)
+	}
+	if !bytes.Equal(cold, warm) {
+		t.Fatal("hit served different bytes than the miss")
+	}
+}
+
+func TestFingerprintNormalizationHitsAcrossSpellings(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	if resp, body := post(t, ts, fastBody()); resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	// Same request, renamed binders, re-ordered JSON, comments, explicit
+	// defaults, a different worker count: must be a cache hit.
+	respelled := `{
+		"inputs": {"S": {"node": "hdd", "rows": 65536, "arity": 2}, "R": {"node": "hdd", "rows": 1048576}},
+		"program": "-- still the naive join\nfor (a <- R)\n  for (b <- S)\n    if a.1 == b.1 then [<a, b>] else []",
+		"hier": "hdd-ram", "ram": 8388608, "strategy": "exhaustive",
+		"commutative": true, "workers": 3, "depth": 4, "space": 500
+	}`
+	resp, body := post(t, ts, respelled)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	if got := resp.Header.Get("X-Ocas-Cache"); got != "hit" {
+		t.Fatalf("X-Ocas-Cache = %q, want hit (fingerprint failed to normalize)", got)
+	}
+}
+
+func TestPlansEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	_, body := post(t, ts, fastBody())
+	p, err := plan.Decode(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err := http.Get(ts.URL + "/plans/" + p.Fingerprint)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if !bytes.Equal(got, body) {
+		t.Fatal("GET /plans returned different bytes than POST /synthesize")
+	}
+
+	resp, err = http.Get(ts.URL + "/plans/deadbeef")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown fingerprint: status %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestHealthzAndStats(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %d", resp.StatusCode)
+	}
+
+	post(t, ts, fastBody())
+	post(t, ts, fastBody())
+	resp, err = http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats statsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if stats.Cache.Misses != 1 || stats.Cache.Hits != 1 || stats.Cache.Size != 1 {
+		t.Fatalf("cache stats %+v", stats.Cache)
+	}
+	if stats.Service.Requests != 2 || stats.Service.SynthNanos <= 0 {
+		t.Fatalf("service stats %+v", stats.Service)
+	}
+}
+
+func TestValidationErrors(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	cases := map[string]string{
+		"not json":      `{`,
+		"unknown field": `{"program": "x", "inputs": {}, "frobnicate": 1}`,
+		"bad program":   `{"program": "for (x <-", "inputs": {"R": {"node": "hdd", "rows": 8}}}`,
+		"no inputs":     `{"program": "for (x <- R) [x]", "inputs": {}}`,
+		"bad node":      `{"program": "for (x <- R) [x]", "inputs": {"R": {"node": "tape", "rows": 8}}}`,
+		"bad strategy":  `{"program": "for (x <- R) [x]", "strategy": "dfs", "inputs": {"R": {"node": "hdd", "rows": 8}}}`,
+		"free variable": `{"program": "for (x <- Q) [x]", "inputs": {"R": {"node": "hdd", "rows": 8}}}`,
+	}
+	for name, body := range cases {
+		resp, data := post(t, ts, body)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d (%s), want 400", name, resp.StatusCode, data)
+			continue
+		}
+		var ae apiError
+		if err := json.Unmarshal(data, &ae); err != nil || ae.Error == "" {
+			t.Errorf("%s: error body %q not an apiError", name, data)
+		}
+	}
+}
+
+func TestPerRequestTimeout(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	body := strings.TrimSuffix(strings.TrimSpace(slowBody()), "}") + `, "timeoutMs": 15}`
+	resp, data := post(t, ts, body)
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("status %d (%s), want 504", resp.StatusCode, data)
+	}
+}
+
+// TestConcurrentIdenticalRequests: N clients POST the same request while it
+// is being synthesized; exactly one synthesis runs (one cache miss), and
+// every client receives the identical plan bytes.
+func TestConcurrentIdenticalRequests(t *testing.T) {
+	srv, ts := newTestServer(t, Config{MaxInflight: 8})
+	const n = 8
+	bodies := make([][]byte, n)
+	outcomes := make([]string, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, err := http.Post(ts.URL+"/synthesize", "application/json", strings.NewReader(slowBody()))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				t.Errorf("request %d: status %d", i, resp.StatusCode)
+				return
+			}
+			outcomes[i] = resp.Header.Get("X-Ocas-Cache")
+			bodies[i], _ = io.ReadAll(resp.Body)
+		}(i)
+	}
+	wg.Wait()
+
+	stats := srv.Cache().Stats()
+	if stats.Misses != 1 {
+		t.Fatalf("%d concurrent identical requests ran %d syntheses, want exactly 1 (outcomes %v)",
+			n, stats.Misses, outcomes)
+	}
+	for i := 1; i < n; i++ {
+		if !bytes.Equal(bodies[i], bodies[0]) {
+			t.Fatalf("request %d received different plan bytes", i)
+		}
+	}
+}
+
+// TestAdmissionSerializesDistinctRequests: MaxInflight=1 still completes
+// distinct concurrent requests (the second waits for the slot, no deadlock,
+// no rejection).
+func TestAdmissionSerializesDistinctRequests(t *testing.T) {
+	srv, ts := newTestServer(t, Config{MaxInflight: 1})
+	reqs := []string{fastBody(), slowBody()}
+	var wg sync.WaitGroup
+	for i, body := range reqs {
+		wg.Add(1)
+		go func(i int, body string) {
+			defer wg.Done()
+			resp, data := post(t, ts, body)
+			if resp.StatusCode != http.StatusOK {
+				t.Errorf("request %d: status %d: %s", i, resp.StatusCode, data)
+			}
+		}(i, body)
+	}
+	wg.Wait()
+	if stats := srv.Cache().Stats(); stats.Misses != 2 {
+		t.Fatalf("stats %+v, want 2 misses", stats)
+	}
+}
+
+// TestLRUBoundThroughService: a cache of size 1 keeps only the most recent
+// plan; the evicted fingerprint re-synthesizes.
+func TestLRUBoundThroughService(t *testing.T) {
+	srv, ts := newTestServer(t, Config{CacheSize: 1})
+	mkBody := func(rows int64) string {
+		return fmt.Sprintf(`{"program": %q, "inputs": {"R": {"node": "hdd", "rows": %d}, "S": {"node": "hdd", "rows": 65536}}, "depth": 4, "space": 500}`,
+			joinSrc, rows)
+	}
+	post(t, ts, mkBody(1<<20))
+	post(t, ts, mkBody(1<<21)) // evicts the first
+	resp, _ := post(t, ts, mkBody(1<<20))
+	if got := resp.Header.Get("X-Ocas-Cache"); got != "miss" {
+		t.Fatalf("evicted plan served as %q, want miss", got)
+	}
+	if stats := srv.Cache().Stats(); stats.Evictions != 2 || stats.Size != 1 {
+		t.Fatalf("stats %+v", stats)
+	}
+}
+
+// Smoke for the daemon-level defaults: a server configured for beam search
+// applies it to requests that don't choose a strategy.
+func TestServerDefaults(t *testing.T) {
+	_, ts := newTestServer(t, Config{Strategy: "beam", Beam: 16, Workers: 2})
+	resp, data := post(t, ts, fastBody())
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, data)
+	}
+	// The beam default changes the fingerprint relative to exhaustive.
+	var exhaustive plan.Request
+	if err := json.Unmarshal([]byte(fastBody()), &exhaustive); err != nil {
+		t.Fatal(err)
+	}
+	c, err := plan.Compile(exhaustive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := plan.Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Fingerprint == c.Fingerprint {
+		t.Fatal("beam-defaulted server produced the exhaustive fingerprint")
+	}
+}
