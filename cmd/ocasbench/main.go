@@ -8,11 +8,24 @@
 //	ocasbench -cache             # loop-tiling cache-miss reduction
 //	ocasbench -accuracy          # selectivity vs estimation accuracy
 //	ocasbench -all -shrink 8     # everything, at 1/8 scale
+//
+// With -json the machine-readable bench report (per-experiment synthesis
+// wall-clock, candidate counts, speedup factors, memo-cache counters) is
+// written to stdout and the human tables move to stderr, so CI can redirect
+// the report into an artifact:
+//
+//	ocasbench -table1 -shrink 8 -json > BENCH_ci.json
+//
+// -baseline compares the run against a committed report and exits non-zero
+// when total synthesis wall-clock regressed more than -regress percent:
+//
+//	ocasbench -table1 -shrink 8 -json -baseline BENCH_baseline.json > BENCH_ci.json
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
@@ -30,62 +43,96 @@ func main() {
 		strategy = flag.String("strategy", "exhaustive", "search strategy: exhaustive (full BFS) or beam (bounded frontier)")
 		beam     = flag.Int("beam", 64, "beam width (-strategy beam only)")
 		workers  = flag.Int("workers", 0, "synthesis worker pool size (0 = GOMAXPROCS)")
+		jsonOut  = flag.Bool("json", false, "write the machine-readable bench report to stdout (tables move to stderr)")
+		baseline = flag.String("baseline", "", "bench report to compare against; exit non-zero on regression")
+		regress  = flag.Float64("regress", 30, "allowed synthesis wall-clock regression in percent (-baseline only)")
 	)
 	flag.Parse()
-	cfg := experiments.Config{Shrink: *shrink, Strategy: *strategy, BeamWidth: *beam, Workers: *workers}
-	ran := false
 	fail := func(err error) {
 		fmt.Fprintln(os.Stderr, "ocasbench:", err)
 		os.Exit(1)
 	}
+	if !*table1 && !*fig8 && !*cache && !*accuracy && !*all {
+		fmt.Fprintln(os.Stderr, "ocasbench: no experiment selected (use -table1, -fig8, -cache, -accuracy or -all)")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *baseline != "" && !*table1 && !*all {
+		fail(fmt.Errorf("-baseline gates on Table 1 synthesis wall-clock; add -table1 (or -all)"))
+	}
+	cfg := experiments.Config{Shrink: *shrink, Strategy: *strategy, BeamWidth: *beam, Workers: *workers}
 	if _, err := cfg.SearchStrategy(); err != nil {
 		fail(err)
 	}
+	// Human-readable tables: stdout normally, stderr when stdout carries the
+	// JSON report.
+	var out io.Writer = os.Stdout
+	if *jsonOut {
+		out = os.Stderr
+	}
+
+	var table1Results []*experiments.Result
 	if *table1 || *all {
-		ran = true
-		fmt.Printf("== Table 1 (shrink %d) ==\n", *shrink)
+		fmt.Fprintf(out, "== Table 1 (shrink %d) ==\n", *shrink)
 		start := time.Now()
-		if _, err := experiments.RunTable1(cfg, os.Stdout); err != nil {
+		rs, err := experiments.RunTable1(cfg, out)
+		if err != nil {
 			fail(err)
 		}
-		fmt.Printf("-- total %.1fs\n\n", time.Since(start).Seconds())
+		table1Results = rs
+		fmt.Fprintf(out, "-- total %.1fs\n\n", time.Since(start).Seconds())
 	}
 	if *fig8 || *all {
-		ran = true
-		fmt.Printf("== Figure 8 (shrink %d) ==\n", *shrink)
-		if _, err := experiments.RunFigure8(cfg, os.Stdout); err != nil {
+		fmt.Fprintf(out, "== Figure 8 (shrink %d) ==\n", *shrink)
+		if _, err := experiments.RunFigure8(cfg, out); err != nil {
 			fail(err)
 		}
-		fmt.Println()
+		fmt.Fprintln(out)
 	}
 	if *cache || *all {
-		ran = true
-		fmt.Println("== Cache study (Section 7.2) ==")
+		fmt.Fprintln(out, "== Cache study (Section 7.2) ==")
 		r, err := experiments.RunCacheStudy(cfg)
 		if err != nil {
 			fail(err)
 		}
-		fmt.Printf("untiled: %.4gs   tiled: %.4gs   miss reduction: %.1f%%\n",
+		fmt.Fprintf(out, "untiled: %.4gs   tiled: %.4gs   miss reduction: %.1f%%\n",
 			r.UntiledSecs, r.TiledSecs, 100*r.MissReduction)
-		fmt.Printf("  untiled: opt=%.4g params=%v  %s\n", r.UntiledOpt, r.UntiledParams, r.UntiledProgram)
-		fmt.Printf("  tiled:   opt=%.4g params=%v  %s\n", r.TiledOpt, r.TiledParams, r.TiledProgram)
-		fmt.Println()
+		fmt.Fprintf(out, "  untiled: opt=%.4g params=%v  %s\n", r.UntiledOpt, r.UntiledParams, r.UntiledProgram)
+		fmt.Fprintf(out, "  tiled:   opt=%.4g params=%v  %s\n", r.TiledOpt, r.TiledParams, r.TiledProgram)
+		fmt.Fprintln(out)
 	}
 	if *accuracy || *all {
-		ran = true
-		fmt.Println("== Accuracy study (Section 7.3) ==")
+		fmt.Fprintln(out, "== Accuracy study (Section 7.3) ==")
 		pts, err := experiments.AccuracyStudy(cfg)
 		if err != nil {
 			fail(err)
 		}
-		fmt.Printf("%12s %12s\n", "selectivity", "est/act")
+		fmt.Fprintf(out, "%12s %12s\n", "selectivity", "est/act")
 		for _, p := range pts {
-			fmt.Printf("%12.4f %12.3f\n", p.Selectivity, p.EstOverAct)
+			fmt.Fprintf(out, "%12.4f %12.3f\n", p.Selectivity, p.EstOverAct)
 		}
-		fmt.Println()
+		fmt.Fprintln(out)
 	}
-	if !ran {
-		flag.Usage()
-		os.Exit(2)
+
+	report := experiments.NewBenchReport(cfg, table1Results)
+	if *jsonOut {
+		if err := report.WriteJSON(os.Stdout); err != nil {
+			fail(err)
+		}
+	}
+	if *baseline != "" {
+		data, err := os.ReadFile(*baseline)
+		if err != nil {
+			fail(err)
+		}
+		base, err := experiments.ReadBenchReport(data)
+		if err != nil {
+			fail(err)
+		}
+		if err := experiments.CompareBaseline(report, base, *regress); err != nil {
+			fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "ocasbench: synthesis wall-clock %.3fs within +%.0f%% of baseline %.3fs\n",
+			report.TotalSynthSecs, *regress, base.TotalSynthSecs)
 	}
 }

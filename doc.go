@@ -1,14 +1,17 @@
 // Package ocas is a Go reproduction of "Automatic Synthesis of Out-of-Core
 // Algorithms" (Klonatos, Nötzli, Spielmann, Koch, Kuncak; SIGMOD 2013).
 //
-// The implementation lives under internal/: the OCAL language (internal/ocal),
-// its reference interpreter (internal/interp), the memory-hierarchy model
-// (internal/memory), the cost estimator (internal/cost), the transformation
-// rules and search (internal/rules), the non-linear parameter optimizer
+// The implementation lives under internal/: the OCAL language and its
+// hash-cons interner (internal/ocal), the reference interpreter
+// (internal/interp), the memory-hierarchy model (internal/memory), the
+// symbolic arithmetic engine with its compiled formula evaluator
+// (internal/symbolic), the cost estimator and per-run estimate memo
+// (internal/cost), the transformation rules, search strategies and
+// alpha-key Keyer (internal/rules), the non-linear parameter optimizer
 // (internal/opt), the OCAS synthesizer (internal/core), the C code generator
 // (internal/codegen), the storage simulator and execution engine
-// (internal/storage, internal/exec), the evaluation harness
-// (internal/experiments), and the serving stack (internal/plan,
+// (internal/storage, internal/exec), the evaluation harness and bench
+// report (internal/experiments), and the serving stack (internal/plan,
 // internal/plancache, internal/service). Command-line entry points are
 // under cmd/ and runnable examples under examples/.
 //
@@ -33,6 +36,28 @@
 //
 // Both are exposed as -strategy/-beam/-workers on cmd/ocas and
 // cmd/ocasbench.
+//
+// # The memoized hot path
+//
+// Everything identity-shaped in the search is answered through one
+// per-synthesis hash-cons table. ocal.Interner assigns every distinct
+// program structure (granularity: canonical-printing equality, what the
+// search has always deduplicated on) one INode with an integer identity;
+// rules.Keyer caches each node's alpha-normal form, so the frontier dedup
+// key of a re-derived program is an integer lookup instead of a
+// whole-program renaming and re-printing; cost.Memo shares one cost
+// formula per interned program between the beam's pre-estimates and the
+// screening pass; and symbolic.Compile flattens cost formulas onto indexed
+// slot arrays — with identity-shared subexpressions evaluated once per
+// environment — for the optimizer's and screener's evaluation loops.
+// Memoization never changes results: interning is exactly as fine as the
+// historical string dedup, and compiled evaluation performs Expr.Eval's
+// float operations in the same order, so winners and plan fingerprints are
+// bit-identical to the unmemoized pipeline. Memo lifetime is one synthesis
+// (plan.Compile injects a per-request Keyer shared with the fingerprint);
+// core.Synthesis.Memo reports the cache counters, ocasbench -json exports
+// them, and CI's bench job gates synthesis wall-clock against the
+// committed BENCH_baseline.json report.
 //
 // # Serving: ocasd and the plan cache
 //
@@ -69,7 +94,11 @@
 // test -fuzz=FuzzParse ./internal/ocal) and internal/service a hierarchy
 // fuzz target (go test -fuzz=FuzzHierarchyJSON ./internal/service);
 // internal/core and internal/rules assert parallel-versus-sequential
-// equivalence, which is exercised with -race in CI; and the serving
+// equivalence, which is exercised with -race in CI; the memoization
+// invariants are property-tested (interned identity == print equality in
+// internal/ocal, AlphaID equality == alpha-equivalence in internal/rules)
+// and the per-synthesis memo tables are proven race-safe under -workers N
+// and leak-free across sequential runs and ocasd requests; and the serving
 // stack pins fingerprint stability, singleflight semantics, persistence
 // round trips, service/CLI byte-identity over the examples corpus, and
 // prompt cancellation (go test ./internal/plan ./internal/plancache

@@ -1,0 +1,93 @@
+package core
+
+import (
+	"testing"
+
+	"ocas/internal/memory"
+	"ocas/internal/rules"
+)
+
+// TestMemoTablesSafeUnderWorkers exercises every per-synthesis memo table —
+// the keyer's interner and alpha cache, the cost memo, the screening memo —
+// from a many-worker beam run (the beam's rank hits the screener from every
+// expansion worker), and checks the result still matches a one-worker run.
+// Under `go test -race` this is the data-race proof for the memoized hot
+// path.
+func TestMemoTablesSafeUnderWorkers(t *testing.T) {
+	task := joinTask()
+	mk := func(workers int) *Synthesizer {
+		return &Synthesizer{
+			H:        memory.HDDRAM(1 << 20),
+			MaxDepth: 6, MaxSpace: 1500,
+			Strategy: &rules.Beam{Width: 48},
+			Workers:  workers,
+		}
+	}
+	seq := mustSynth(t, mk(1), task)
+	for _, workers := range []int{4, 8} {
+		par := mustSynth(t, mk(workers), task)
+		sameWinner(t, seq, par, "beam memo")
+	}
+	if seq.Memo.Keys.InternedNodes == 0 {
+		t.Fatalf("no interned nodes recorded: %+v", seq.Memo)
+	}
+	if seq.Memo.Cost.Entries == 0 {
+		t.Fatalf("beam run recorded no cost-memo entries: %+v", seq.Memo)
+	}
+}
+
+// TestSequentialSynthesesDoNotShareMemoState runs two different tasks
+// through one Synthesizer and checks each produces exactly what a fresh
+// Synthesizer produces — the per-run memo tables must not leak results (or
+// counters) from one synthesis into the next. This is the core-level half
+// of the ocasd guarantee that sequential requests are independent.
+func TestSequentialSynthesesDoNotShareMemoState(t *testing.T) {
+	shared := &Synthesizer{H: memory.HDDRAM(1 << 20), MaxDepth: 4, MaxSpace: 400, Workers: 1}
+
+	join := joinTask()
+	sort := Task{
+		Spec:      SortSpec(),
+		InputLoc:  map[string]string{"R": "hdd"},
+		InputRows: map[string]int64{"R": 1 << 18},
+	}
+
+	first := mustSynth(t, shared, join)
+	second := mustSynth(t, shared, sort)
+
+	freshJoin := mustSynth(t, &Synthesizer{H: memory.HDDRAM(1 << 20), MaxDepth: 4, MaxSpace: 400, Workers: 1}, join)
+	freshSort := mustSynth(t, &Synthesizer{H: memory.HDDRAM(1 << 20), MaxDepth: 4, MaxSpace: 400, Workers: 1}, sort)
+
+	sameWinner(t, freshJoin, first, "first run on shared synthesizer")
+	sameWinner(t, freshSort, second, "second run on shared synthesizer")
+
+	// The second run's cache counters must look like a cold start: a shared
+	// table would show the first task's interned nodes in them.
+	if second.Memo != freshSort.Memo {
+		t.Errorf("second run's memo stats carry state from the first: %+v vs fresh %+v",
+			second.Memo, freshSort.Memo)
+	}
+	if first.Memo != freshJoin.Memo {
+		t.Errorf("first run's memo stats differ from a fresh run: %+v vs %+v",
+			first.Memo, freshJoin.Memo)
+	}
+}
+
+// TestInjectedKeyerIsReused checks the plan.Compile wiring contract: a
+// caller-injected Keyer serves the synthesis (its tables grow) and the
+// result is unchanged.
+func TestInjectedKeyerIsReused(t *testing.T) {
+	task := joinTask()
+	keys := rules.NewKeyer()
+	keys.AlphaKey(task.Spec.Prog) // what a fingerprint computation does
+	seeded := keys.Stats().InternedNodes
+	if seeded == 0 {
+		t.Fatalf("fingerprinting interned nothing")
+	}
+	withKeys := &Synthesizer{H: memory.HDDRAM(1 << 20), MaxDepth: 4, MaxSpace: 400, Keys: keys}
+	res := mustSynth(t, withKeys, task)
+	fresh := mustSynth(t, &Synthesizer{H: memory.HDDRAM(1 << 20), MaxDepth: 4, MaxSpace: 400}, task)
+	sameWinner(t, fresh, res, "injected keyer")
+	if got := keys.Stats().InternedNodes; got <= seeded {
+		t.Errorf("synthesis did not grow the injected keyer (%d -> %d)", seeded, got)
+	}
+}

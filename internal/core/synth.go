@@ -49,6 +49,11 @@ type Synthesizer struct {
 	// expansion, candidate costing, parameter optimization); <=0 means
 	// GOMAXPROCS. Results are deterministic for any worker count.
 	Workers int
+	// Keys interns programs and caches their canonical keys. Optional: nil
+	// makes every synthesis allocate a fresh one, which is also the memo
+	// lifetime — nothing is remembered across runs. plan.Compile injects a
+	// per-request Keyer so fingerprinting and synthesis share one table.
+	Keys *rules.Keyer
 }
 
 // Candidate is one costed program of the search space.
@@ -58,6 +63,14 @@ type Candidate struct {
 	Params  map[string]int64
 	Seconds float64
 	Cost    *cost.Result
+}
+
+// MemoStats aggregates the cache counters of one synthesis run: the
+// interner and alpha-key cache of the search, and the cost-estimate memo of
+// the screening pass.
+type MemoStats struct {
+	Keys rules.KeyerStats
+	Cost cost.MemoStats
 }
 
 // Synthesis is the result of a synthesis run.
@@ -70,6 +83,9 @@ type Synthesis struct {
 	Elapsed     time.Duration
 	// Explored is the number of programs costed.
 	Explored int
+	// Memo reports cache activity (interned nodes, alpha-key and cost-memo
+	// hits) for observability and the bench report.
+	Memo MemoStats
 }
 
 // cardVar names the symbolic cardinality of an input.
@@ -129,17 +145,23 @@ func (s *Synthesizer) SynthesizeCtx(ctx context.Context, t Task) (*Synthesis, er
 	if rls == nil {
 		rls = rules.AllRules()
 	}
+	keys := s.Keys
+	if keys == nil {
+		keys = rules.NewKeyer()
+	}
 	rctx := &rules.Context{
 		H:           s.H,
 		InputLoc:    map[string]string{},
 		Output:      t.Output,
 		Commutative: t.Spec.Commutative,
+		Keys:        keys,
 	}
 	for _, in := range t.Spec.Inputs {
 		rctx.InputLoc[in.Name] = t.InputLoc[in.Name]
 	}
-	sc := &screener{s: s, place: s.placement(t), fixed: s.fixedEnv(t),
-		memo: map[string]*screenEstimate{}}
+	place := s.placement(t)
+	sc := &screener{s: s, place: place, fixed: s.fixedEnv(t), keys: keys,
+		costs: cost.NewMemo(s.H, place), memo: map[uint64]*screenEstimate{}}
 	fixed := sc.fixed
 	usesMemo := false
 	switch s.Strategy.(type) {
@@ -260,6 +282,7 @@ func (s *Synthesizer) SynthesizeCtx(ctx context.Context, t Task) (*Synthesis, er
 		Stats:       stats,
 		Elapsed:     time.Since(start),
 		Explored:    len(space),
+		Memo:        MemoStats{Keys: keys.Stats(), Cost: sc.costs.Stats()},
 	}, nil
 }
 
@@ -271,43 +294,50 @@ type screenEstimate struct {
 	seconds float64 // +Inf when the program cannot be costed
 }
 
-// screener computes (and memoizes, keyed by the canonical printing) the
+// screener computes (and memoizes, keyed by interned program identity) the
 // screening cost of a program. A beam run ranks every frontier with it and
 // the Phase 1 screening pass then reuses the same estimates instead of
-// costing each discovered program a second time.
+// costing each discovered program a second time; the underlying cost
+// formulas come from a cost.Memo sharing the same interned keys.
 type screener struct {
 	s     *Synthesizer
 	place cost.Placement
 	fixed sym.Env
+	keys  *rules.Keyer
+	costs *cost.Memo
 	mu    sync.Mutex
-	memo  map[string]*screenEstimate
+	memo  map[uint64]*screenEstimate
 }
 
 func (sc *screener) estimate(e ocal.Expr) *screenEstimate {
-	key := ocal.String(e)
+	n := sc.keys.Node(e)
 	sc.mu.Lock()
-	got, ok := sc.memo[key]
+	got, ok := sc.memo[n.ID()]
 	sc.mu.Unlock()
 	if ok {
 		return got
 	}
-	est := sc.estimateUncached(e)
+	est := sc.fromResult(sc.costs.Estimate(n, e))
 	sc.mu.Lock()
-	sc.memo[key] = est
+	sc.memo[n.ID()] = est
 	sc.mu.Unlock()
 	return est
 }
 
-// estimateUncached computes the screening cost without touching the memo —
+// estimateUncached computes the screening cost without touching the memos —
 // the exhaustive path uses it directly, since its alpha-deduped space never
 // repeats a program and the memo could only add overhead.
 func (sc *screener) estimateUncached(e ocal.Expr) *screenEstimate {
-	res, err := cost.Estimate(sc.s.H, sc.place, e)
+	return sc.fromResult(cost.Estimate(sc.s.H, sc.place, e))
+}
+
+// fromResult derives the screening estimate (heuristic parameter guess and
+// its evaluated seconds) from a cost formula.
+func (sc *screener) fromResult(res *cost.Result, err error) *screenEstimate {
 	if err != nil {
 		return &screenEstimate{seconds: math.Inf(1)}
 	}
-	guess := heuristicParams(res, sc.fixed, sc.s.H)
-	secs := res.Seconds.Eval(mergeEnv(sc.fixed, guess))
+	guess, secs := heuristicParams(res, sc.fixed)
 	if math.IsNaN(secs) {
 		secs = math.Inf(1)
 	}
@@ -341,27 +371,23 @@ func (s *Synthesizer) strategy(sc *screener) rules.SearchStrategy {
 	return &bb
 }
 
-// heuristicParams guesses block sizes for screening: each parameter gets an
-// equal share of the tightest capacity constraint it appears in.
-func heuristicParams(res *cost.Result, fixed sym.Env, h *memory.Hierarchy) map[string]int64 {
+// heuristicParams guesses block sizes for screening — each parameter starts
+// at 4096 and halves until all capacity constraints hold — and returns the
+// guess together with the cost formula evaluated at it. The formulas are
+// compiled once (cost.CompileFormulas, lite mode: only a handful of
+// evaluations happen here), so the repair loop rewrites a few parameter
+// slots per iteration instead of rebuilding an environment map; the
+// evaluations are bit-identical to Expr.Eval.
+func heuristicParams(res *cost.Result, fixed sym.Env) (map[string]int64, float64) {
 	out := map[string]int64{}
-	if len(res.Params) == 0 {
-		return out
-	}
+	cf := cost.CompileFormulas(res.Seconds, res.Constraints, res.Params, fixed, true)
 	for _, p := range res.Params {
 		out[p] = 4096
 	}
+	cf.SetPoint(out)
 	// Shrink until all constraints hold (cheap feasibility repair).
-	env := mergeEnv(fixed, out)
-	for iter := 0; iter < 40; iter++ {
-		violated := false
-		for _, c := range res.Constraints {
-			if c.LHS.Eval(env) > c.RHS.Eval(env) {
-				violated = true
-				break
-			}
-		}
-		if !violated {
+	for iter := 0; iter < 40 && len(res.Params) > 0; iter++ {
+		if !cf.AnyViolated() {
 			break
 		}
 		for _, p := range res.Params {
@@ -369,9 +395,9 @@ func heuristicParams(res *cost.Result, fixed sym.Env, h *memory.Hierarchy) map[s
 				out[p] /= 2
 			}
 		}
-		env = mergeEnv(fixed, out)
+		cf.SetPoint(out)
 	}
-	return out
+	return out, cf.Seconds()
 }
 
 // paramUpperBounds caps each parameter at the total input size (a block
@@ -389,15 +415,4 @@ func paramUpperBounds(params []string, t Task) map[string]int64 {
 		hi[p] = total
 	}
 	return hi
-}
-
-func mergeEnv(fixed sym.Env, params map[string]int64) sym.Env {
-	env := make(sym.Env, len(fixed)+len(params))
-	for k, vv := range fixed {
-		env[k] = vv
-	}
-	for k, vv := range params {
-		env[k] = float64(vv)
-	}
-	return env
 }

@@ -11,7 +11,7 @@ import (
 // estApp dispatches function application costing to the per-definition cost
 // plugins ("OCAS contains efficient generator plugins for all definitions in
 // Figure 2" — each plugin has a matching cost function here).
-func (r *run) estApp(t ocal.App, g ctx) (AType, locT, error) {
+func (r *run) estApp(t ocal.App, g *ctx) (AType, locT, error) {
 	switch fn := t.Fn.(type) {
 	case ocal.Lam:
 		return r.applyLam(fn, t.Arg, g)
@@ -38,7 +38,7 @@ func (r *run) estApp(t ocal.App, g ctx) (AType, locT, error) {
 // definitions charge for the data they actually pull (the Figure 6 λ rule's
 // transfer terms materialize at the consuming constructs, avoiding double
 // counting when the argument is a tuple of device-resident relations).
-func (r *run) applyLam(fn ocal.Lam, arg ocal.Expr, g ctx) (AType, locT, error) {
+func (r *run) applyLam(fn ocal.Lam, arg ocal.Expr, g *ctx) (AType, locT, error) {
 	argAt, argLoc, err := r.est(arg, g)
 	if err != nil {
 		return nil, locT{}, err
@@ -60,7 +60,7 @@ func (r *run) applyLam(fn ocal.Lam, arg ocal.Expr, g ctx) (AType, locT, error) {
 // applyFlatMap charges an element-granular stream of the source plus the
 // body once per element ("the cost of the flatMap construct is the same as
 // that of for with k set to 1").
-func (r *run) applyFlatMap(fn ocal.FlatMap, arg ocal.Expr, g ctx) (AType, locT, error) {
+func (r *run) applyFlatMap(fn ocal.FlatMap, arg ocal.Expr, g *ctx) (AType, locT, error) {
 	argAt, argLoc, err := r.est(arg, g)
 	if err != nil {
 		return nil, locT{}, err
@@ -117,7 +117,7 @@ func (r *run) applyFlatMap(fn ocal.FlatMap, arg ocal.Expr, g ctx) (AType, locT, 
 // the intermediate device every iteration, with its size growing linearly in
 // the iteration index — the closed-form Sum produces the x(x+1)/2 shape of
 // the naive insertion sort (Section 7.2).
-func (r *run) applyFoldL(fn ocal.FoldL, arg ocal.Expr, g ctx) (AType, locT, error) {
+func (r *run) applyFoldL(fn ocal.FoldL, arg ocal.Expr, g *ctx) (AType, locT, error) {
 	rootLoc := leafLoc(r.root())
 	argAt, argLoc, err := r.est(arg, g)
 	if err != nil {
@@ -185,7 +185,7 @@ func (r *run) chargePathUp(src string, bytes, inits sym.Expr) {
 // applyStep computes the result annotated type of applying a fold step
 // function to an argument type, binding everything at the root (transfers
 // are modelled by the fold rule itself).
-func (r *run) applyStep(fn ocal.Expr, argAt AType, g ctx) (AType, error) {
+func (r *run) applyStep(fn ocal.Expr, argAt AType, g *ctx) (AType, error) {
 	rootLoc := leafLoc(r.root())
 	switch f := fn.(type) {
 	case ocal.Lam:
@@ -318,7 +318,7 @@ func applyHint(hint ocal.CardHint, def AType, inputs []AType) AType {
 
 // applyUnfoldR costs a top-level merge (set operations, zips): every input
 // list is streamed up in blocks of K, the output is produced at the root.
-func (r *run) applyUnfoldR(fn ocal.UnfoldR, arg ocal.Expr, g ctx) (AType, locT, error) {
+func (r *run) applyUnfoldR(fn ocal.UnfoldR, arg ocal.Expr, g *ctx) (AType, locT, error) {
 	argAt, argLoc, err := r.est(arg, g)
 	if err != nil {
 		return nil, locT{}, err
@@ -377,7 +377,7 @@ func (r *run) applyUnfoldR(fn ocal.UnfoldR, arg ocal.Expr, g ctx) (AType, locT, 
 //	levels · (N·elemB·(UnitTrUp+UnitTrDown) + N/bin·InitComUp + N/bout·InitComDown)
 //
 // matching the paper's 2^k-way External Merge-Sort formula in Section 7.2.
-func (r *run) applyTreeFold(fn ocal.TreeFold, arg ocal.Expr, g ctx) (AType, locT, error) {
+func (r *run) applyTreeFold(fn ocal.TreeFold, arg ocal.Expr, g *ctx) (AType, locT, error) {
 	rootLoc := leafLoc(r.root())
 	argAt, argLoc, err := r.est(arg, g)
 	if err != nil {
@@ -453,7 +453,7 @@ func (r *run) applyTreeFold(fn ocal.TreeFold, arg ocal.Expr, g ctx) (AType, locT
 // applyPartition is the hash-part cost plugin: one sequential pass reading
 // the input and writing s partitions to the intermediate device (linear-time
 // implementation plugin of Section 3).
-func (r *run) applyPartition(fn ocal.PartitionF, arg ocal.Expr, g ctx) (AType, locT, error) {
+func (r *run) applyPartition(fn ocal.PartitionF, arg ocal.Expr, g *ctx) (AType, locT, error) {
 	argAt, argLoc, err := r.est(arg, g)
 	if err != nil {
 		return nil, locT{}, err
@@ -494,7 +494,7 @@ func (r *run) applyPartition(fn ocal.PartitionF, arg ocal.Expr, g ctx) (AType, l
 }
 
 // applyZipLists pairs corresponding buckets; it is pure bookkeeping.
-func (r *run) applyZipLists(fn ocal.ZipLists, arg ocal.Expr, g ctx) (AType, locT, error) {
+func (r *run) applyZipLists(fn ocal.ZipLists, arg ocal.Expr, g *ctx) (AType, locT, error) {
 	argAt, argLoc, err := r.est(arg, g)
 	if err != nil {
 		return nil, locT{}, err

@@ -1,0 +1,94 @@
+package cost
+
+import (
+	"math"
+
+	sym "ocas/internal/symbolic"
+)
+
+// CompiledFormulas is a cost estimate's objective and capacity constraints
+// compiled onto one evaluation-slot layout, for callers that evaluate the
+// same formulas at many parameter points: the synthesizer's screening
+// heuristic and the non-linear optimizer both drive their loops through
+// this type, so the slot/NaN semantics cannot drift between the two. Fixed
+// values (input cardinalities) are written once at compile time; SetPoint
+// rewrites only the parameter slots. Not safe for concurrent use — compile
+// one per goroutine.
+type CompiledFormulas struct {
+	seconds *sym.Program
+	cons    []compiledConstraint
+	vals    []float64
+	params  []string
+	pslot   []int
+}
+
+type compiledConstraint struct{ lhs, rhs *sym.Program }
+
+// CompileFormulas compiles the objective and constraints over the given
+// tuning parameters and fixed environment. lite skips the shared-
+// subexpression analysis — right for a handful of evaluations per formula
+// (screening); keep it false for optimizer-style thousands.
+func CompileFormulas(seconds sym.Expr, cons []Constraint, params []string, fixed sym.Env, lite bool) *CompiledFormulas {
+	compile := sym.Compile
+	if lite {
+		compile = sym.CompileLite
+	}
+	slots := sym.NewSlots()
+	c := &CompiledFormulas{seconds: compile(seconds, slots), params: params}
+	c.cons = make([]compiledConstraint, len(cons))
+	for i, con := range cons {
+		c.cons[i] = compiledConstraint{lhs: compile(con.LHS, slots), rhs: compile(con.RHS, slots)}
+	}
+	c.pslot = make([]int, len(params))
+	for i, p := range params {
+		c.pslot[i] = slots.Slot(p)
+	}
+	c.vals = slots.Values()
+	for k, v := range fixed {
+		if i, ok := slots.Lookup(k); ok {
+			c.vals[i] = v
+		}
+	}
+	return c
+}
+
+// SetPoint writes the parameter values for subsequent evaluations (params
+// in the order given to CompileFormulas; a parameter also present in fixed
+// wins, as it would in a merged environment).
+func (c *CompiledFormulas) SetPoint(x map[string]int64) {
+	for i, p := range c.params {
+		c.vals[c.pslot[i]] = float64(x[p])
+	}
+}
+
+// Seconds evaluates the objective at the current point.
+func (c *CompiledFormulas) Seconds() float64 { return c.seconds.Eval(c.vals) }
+
+// AnyViolated reports whether some constraint has LHS > RHS at the current
+// point, in constraint order (NaN sides compare false, exactly as the
+// Expr.Eval-based check did).
+func (c *CompiledFormulas) AnyViolated() bool {
+	for _, con := range c.cons {
+		if con.lhs.Eval(c.vals) > con.rhs.Eval(c.vals) {
+			return true
+		}
+	}
+	return false
+}
+
+// Violation sums the relative constraint violation at the current point
+// ((LHS-RHS)/max(1,|RHS|) over violated constraints); NaN when any side is
+// NaN, which callers treat as infeasible.
+func (c *CompiledFormulas) Violation() float64 {
+	var total float64
+	for _, con := range c.cons {
+		l, r := con.lhs.Eval(c.vals), con.rhs.Eval(c.vals)
+		if math.IsNaN(l) || math.IsNaN(r) {
+			return math.NaN()
+		}
+		if l > r {
+			total += (l - r) / math.Max(1, math.Abs(r))
+		}
+	}
+	return total
+}

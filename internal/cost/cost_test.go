@@ -59,7 +59,7 @@ func TestNaiveJoinChargesPerTuple(t *testing.T) {
 		t.Fatal(err)
 	}
 	e := Edge{From: "hdd", To: "ram"}
-	inits := res.Events.Init[e]
+	inits := res.Events.Init(e)
 	if inits == nil {
 		t.Fatal("no InitCom events on hdd->ram")
 	}
@@ -70,7 +70,7 @@ func TestNaiveJoinChargesPerTuple(t *testing.T) {
 	if got != want {
 		t.Errorf("naive join seeks = %v want %v (formula %s)", got, want, inits)
 	}
-	bytes := res.Events.Byte[e].Eval(sym.Env{"x": 100, "y": 50})
+	bytes := res.Events.Bytes(e).Eval(sym.Env{"x": 100, "y": 50})
 	// R read once (8 bytes/tuple), S read x times.
 	wantBytes := 100*8.0 + 100*50*8.0
 	if bytes != wantBytes {
@@ -86,13 +86,13 @@ func TestBlockedJoinReducesSeeksKFold(t *testing.T) {
 	}
 	e := Edge{From: "hdd", To: "ram"}
 	env := sym.Env{"x": 1000, "y": 1000, "k1": 100, "k2": 100}
-	inits := res.Events.Init[e].Eval(env)
+	inits := res.Events.Init(e).Eval(env)
 	// x/k1 seeks for R + (x/k1)*(y/k2) seeks for S = 10 + 100.
 	if inits != 110 {
-		t.Errorf("blocked join seeks = %v want 110 (%s)", inits, res.Events.Init[e])
+		t.Errorf("blocked join seeks = %v want 110 (%s)", inits, res.Events.Init(e))
 	}
 	// Bytes: R once + S once per R-block: 1000*8 + 10*1000*8.
-	bytes := res.Events.Byte[e].Eval(env)
+	bytes := res.Events.Bytes(e).Eval(env)
 	if bytes != 1000*8+10*1000*8 {
 		t.Errorf("bytes = %v", bytes)
 	}
@@ -137,16 +137,16 @@ func TestWriteOutChargesDownEdge(t *testing.T) {
 		t.Fatal(err)
 	}
 	e := Edge{From: "ram", To: "hdd"}
-	if res.Events.Byte[e] == nil {
+	if res.Events.Bytes(e) == nil {
 		t.Fatal("write-out must charge ram->hdd bytes")
 	}
 	env := sym.Env{"x": 10, "y": 10}
 	// Worst case output: x*y tuples of 16 bytes.
-	if got := res.Events.Byte[e].Eval(env); got != 100*16 {
-		t.Errorf("output bytes = %v want 1600 (%s)", got, res.Events.Byte[e])
+	if got := res.Events.Bytes(e).Eval(env); got != 100*16 {
+		t.Errorf("output bytes = %v want 1600 (%s)", got, res.Events.Bytes(e))
 	}
 	// Unbuffered output: one initiation per output tuple.
-	if got := res.Events.Init[e].Eval(env); got != 100 {
+	if got := res.Events.Init(e).Eval(env); got != 100 {
 		t.Errorf("output inits = %v want 100", got)
 	}
 }
@@ -209,8 +209,8 @@ func TestSeqACReducesInitCom(t *testing.T) {
 	}
 	e := Edge{From: "hdd", To: "ram"}
 	env := sym.Env{"x": 1e6, "k1": 128}
-	ip := plain.Events.Init[e].Eval(env)
-	is := seq.Events.Init[e].Eval(env)
+	ip := plain.Events.Init(e).Eval(env)
+	is := seq.Events.Init(e).Eval(env)
 	if is >= ip {
 		t.Errorf("seq-ac should reduce InitCom: %v vs %v", is, ip)
 	}
@@ -239,18 +239,18 @@ func TestInsertionSortClosedForm(t *testing.T) {
 	down := Edge{From: "ram", To: "hdd"}
 	// Bytes moved down across all iterations = 4 * sum_{i=0}^{x-1}(i+1)
 	// = 4 * x(x+1)/2 (4-byte atoms).
-	gotDown := res.Events.Byte[down].Eval(sym.Env{"x": 100})
+	gotDown := res.Events.Bytes(down).Eval(sym.Env{"x": 100})
 	wantDown := 4.0 * 100 * 101 / 2
 	if gotDown != wantDown {
-		t.Errorf("down bytes = %v want %v (%s)", gotDown, wantDown, res.Events.Byte[down])
+		t.Errorf("down bytes = %v want %v (%s)", gotDown, wantDown, res.Events.Bytes(down))
 	}
 	// One read initiation per iteration plus the input stream's x.
-	gotUpInit := res.Events.Init[up].Eval(sym.Env{"x": 100})
+	gotUpInit := res.Events.Init(up).Eval(sym.Env{"x": 100})
 	if gotUpInit != 200 {
-		t.Errorf("up inits = %v want 200 (%s)", gotUpInit, res.Events.Init[up])
+		t.Errorf("up inits = %v want 200 (%s)", gotUpInit, res.Events.Init(up))
 	}
 	// Element-wise write initiations: sum (i+1) = x(x+1)/2.
-	gotDownInit := res.Events.Init[down].Eval(sym.Env{"x": 100})
+	gotDownInit := res.Events.Init(down).Eval(sym.Env{"x": 100})
 	if gotDownInit != 100*101/2 {
 		t.Errorf("down inits = %v want %v", gotDownInit, 100*101/2)
 	}
@@ -283,8 +283,8 @@ func TestExternalSortCostShape(t *testing.T) {
 	}
 	env := sym.Env{"x": 1 << 20, "bin": 4096, "bout": 4096}
 	up := Edge{From: "hdd", To: "ram"}
-	b2 := res2.Events.Byte[up].Eval(env)
-	b8 := res8.Events.Byte[up].Eval(env)
+	b2 := res2.Events.Bytes(up).Eval(env)
+	b8 := res8.Events.Bytes(up).Eval(env)
 	// 8-way sort does 20/3 -> 7 passes vs 20 passes for 2-way.
 	if !(b8 < b2) {
 		t.Errorf("8-way should move fewer bytes: %v vs %v", b8, b2)
@@ -330,13 +330,13 @@ func TestAggregationIsCheap(t *testing.T) {
 		t.Fatal(err)
 	}
 	down := Edge{From: "ram", To: "hdd"}
-	if res.Events.Byte[down] != nil {
-		if v := res.Events.Byte[down].Eval(sym.Env{"x": 1000, "k1": 100}); v != 0 {
+	if res.Events.Bytes(down) != nil {
+		if v := res.Events.Bytes(down).Eval(sym.Env{"x": 1000, "k1": 100}); v != 0 {
 			t.Errorf("aggregation should not write back, got %v bytes", v)
 		}
 	}
 	up := Edge{From: "hdd", To: "ram"}
-	if got := res.Events.Byte[up].Eval(sym.Env{"x": 1000, "y": 1, "k1": 100}); got != 8000 {
+	if got := res.Events.Bytes(up).Eval(sym.Env{"x": 1000, "y": 1, "k1": 100}); got != 8000 {
 		t.Errorf("aggregation reads %v bytes want 8000", got)
 	}
 }

@@ -71,15 +71,27 @@ type binding struct {
 	loc locT
 }
 
-type ctx map[string]binding
+// ctx is a persistent binding environment: bind pushes one entry, sharing
+// the tail with the parent scope. Environments are tiny (a handful of
+// binders), so the linear lookup beats the map-copy-per-bind this used to
+// be — est binds at every loop and lambda of every candidate program.
+type ctx struct {
+	name   string
+	b      binding
+	parent *ctx
+}
 
-func (c ctx) bind(name string, b binding) ctx {
-	n := make(ctx, len(c)+1)
-	for k, v := range c {
-		n[k] = v
+func (c *ctx) bind(name string, b binding) *ctx {
+	return &ctx{name: name, b: b, parent: c}
+}
+
+func (c *ctx) lookup(name string) (binding, bool) {
+	for ; c != nil; c = c.parent {
+		if c.name == name {
+			return c.b, true
+		}
 	}
-	n[name] = b
-	return n
+	return binding{}, false
 }
 
 type run struct {
@@ -259,7 +271,7 @@ func mergeParams(a, b []string) []string {
 
 func estimateOne(h *memory.Hierarchy, p Placement, prog ocal.Expr) (*Result, error) {
 	r := &run{h: h, p: p, ev: NewEvents(), resid: map[string]map[string]sym.Expr{}}
-	g := ctx{}
+	var g *ctx
 	for name, loc := range p.InputLoc {
 		t, ok := p.InputType[name]
 		if !ok {
@@ -269,7 +281,7 @@ func estimateOne(h *memory.Hierarchy, p Placement, prog ocal.Expr) (*Result, err
 		if !ok {
 			return nil, fmt.Errorf("cost: input %q has no cardinality", name)
 		}
-		g[name] = binding{at: FromType(t, card, ""), loc: leafLoc(loc)}
+		g = g.bind(name, binding{at: FromType(t, card, ""), loc: leafLoc(loc)})
 	}
 	at, _, err := r.est(prog, g)
 	if err != nil {
@@ -418,11 +430,11 @@ func (r *run) scaled(factor sym.Expr, f func() error) error {
 	return nil
 }
 
-func (r *run) est(e ocal.Expr, g ctx) (AType, locT, error) {
+func (r *run) est(e ocal.Expr, g *ctx) (AType, locT, error) {
 	rootLoc := leafLoc(r.root())
 	switch t := e.(type) {
 	case ocal.Var:
-		b, ok := g[t.Name]
+		b, ok := g.lookup(t.Name)
 		if !ok {
 			return nil, locT{}, fmt.Errorf("cost: unbound variable %q", t.Name)
 		}
@@ -487,7 +499,7 @@ func (r *run) est(e ocal.Expr, g ctx) (AType, locT, error) {
 	return nil, locT{}, fmt.Errorf("cost: cannot estimate %T", e)
 }
 
-func (r *run) estPrim(t ocal.Prim, g ctx) (AType, locT, error) {
+func (r *run) estPrim(t ocal.Prim, g *ctx) (AType, locT, error) {
 	rootLoc := leafLoc(r.root())
 	args := make([]AType, len(t.Args))
 	for i, a := range t.Args {
@@ -523,7 +535,7 @@ func (r *run) estPrim(t ocal.Prim, g ctx) (AType, locT, error) {
 // engine falls back to per-block initiations. The condition mirrors the
 // rule's: no other loop inside the body streams from the same device, and
 // the program output does not interfere with it.
-func (r *run) seqStillValid(f ocal.For, g ctx, dev string) bool {
+func (r *run) seqStillValid(f ocal.For, g *ctx, dev string) bool {
 	if r.p.Output == dev {
 		return false
 	}
@@ -531,7 +543,7 @@ func (r *run) seqStillValid(f ocal.For, g ctx, dev string) bool {
 	conflict = func(e ocal.Expr) bool {
 		if inner, ok := e.(ocal.For); ok {
 			if src, ok := inner.Src.(ocal.Var); ok {
-				if b, bound := g[src.Name]; bound && b.loc.nodeOf() == dev {
+				if b, bound := g.lookup(src.Name); bound && b.loc.nodeOf() == dev {
 					return true
 				}
 			}
@@ -549,7 +561,7 @@ func (r *run) seqStillValid(f ocal.For, g ctx, dev string) bool {
 // estFor implements the for rule: blocked transfer of the source one hop up
 // the hierarchy, body charged once per block (Figure 6), result size scaled
 // by the iteration count (Figure 5).
-func (r *run) estFor(t ocal.For, g ctx) (AType, locT, error) {
+func (r *run) estFor(t ocal.For, g *ctx) (AType, locT, error) {
 	rootLoc := leafLoc(r.root())
 	srcAt, srcLoc, err := r.est(t.Src, g)
 	if err != nil {

@@ -16,52 +16,95 @@ func (e Edge) String() string { return e.From + "->" + e.To }
 
 // Events tallies, per directed edge, the number of InitCom events and the
 // number of bytes transferred (UnitTr events), as symbolic expressions over
-// input cardinalities and tuning parameters.
+// input cardinalities and tuning parameters. The tally is a small
+// insertion-ordered slice rather than a pair of maps: a program touches a
+// handful of edges, and the estimator allocates one sub-tally per loop
+// construct it costs (see run.scaled), so the slice keeps both the
+// allocation cost and the iteration order (hence the exact shape of the
+// assembled cost formula) deterministic.
 type Events struct {
-	Init map[Edge]sym.Expr
-	Byte map[Edge]sym.Expr
+	entries []eventEntry
+}
+
+type eventEntry struct {
+	edge        Edge
+	init, bytes sym.Expr
 }
 
 // NewEvents returns an empty tally.
-func NewEvents() *Events {
-	return &Events{Init: map[Edge]sym.Expr{}, Byte: map[Edge]sym.Expr{}}
+func NewEvents() *Events { return &Events{} }
+
+func (ev *Events) entry(e Edge) *eventEntry {
+	for i := range ev.entries {
+		if ev.entries[i].edge == e {
+			return &ev.entries[i]
+		}
+	}
+	ev.entries = append(ev.entries, eventEntry{edge: e})
+	return &ev.entries[len(ev.entries)-1]
+}
+
+// Init returns the accumulated InitCom tally on an edge (nil when none).
+func (ev *Events) Init(e Edge) sym.Expr {
+	for i := range ev.entries {
+		if ev.entries[i].edge == e {
+			return ev.entries[i].init
+		}
+	}
+	return nil
+}
+
+// Bytes returns the accumulated byte tally on an edge (nil when none).
+func (ev *Events) Bytes(e Edge) sym.Expr {
+	for i := range ev.entries {
+		if ev.entries[i].edge == e {
+			return ev.entries[i].bytes
+		}
+	}
+	return nil
 }
 
 // AddInit accumulates InitCom events on an edge.
 func (ev *Events) AddInit(e Edge, n sym.Expr) {
-	if cur, ok := ev.Init[e]; ok {
-		ev.Init[e] = sym.Add(cur, n)
+	ent := ev.entry(e)
+	if ent.init == nil {
+		ent.init = n
 	} else {
-		ev.Init[e] = n
+		ent.init = sym.Add(ent.init, n)
 	}
 }
 
 // AddBytes accumulates transferred bytes on an edge.
 func (ev *Events) AddBytes(e Edge, n sym.Expr) {
-	if cur, ok := ev.Byte[e]; ok {
-		ev.Byte[e] = sym.Add(cur, n)
+	ent := ev.entry(e)
+	if ent.bytes == nil {
+		ent.bytes = n
 	} else {
-		ev.Byte[e] = n
+		ent.bytes = sym.Add(ent.bytes, n)
 	}
 }
 
 // Merge adds all events of other into ev.
 func (ev *Events) Merge(other *Events) {
-	for e, n := range other.Init {
-		ev.AddInit(e, n)
-	}
-	for e, n := range other.Byte {
-		ev.AddBytes(e, n)
+	for _, ent := range other.entries {
+		if ent.init != nil {
+			ev.AddInit(ent.edge, ent.init)
+		}
+		if ent.bytes != nil {
+			ev.AddBytes(ent.edge, ent.bytes)
+		}
 	}
 }
 
 // Scale multiplies every tally by f (used when a subcomputation repeats).
 func (ev *Events) Scale(f sym.Expr) {
-	for e, n := range ev.Init {
-		ev.Init[e] = sym.Mul(f, n)
-	}
-	for e, n := range ev.Byte {
-		ev.Byte[e] = sym.Mul(f, n)
+	for i := range ev.entries {
+		if ev.entries[i].init != nil {
+			ev.entries[i].init = sym.Mul(f, ev.entries[i].init)
+		}
+		if ev.entries[i].bytes != nil {
+			ev.entries[i].bytes = sym.Mul(f, ev.entries[i].bytes)
+		}
 	}
 }
 
@@ -69,16 +112,22 @@ func (ev *Events) Scale(f sym.Expr) {
 // edge weights: total = Σ init·InitCom + bytes·UnitTr.
 func (ev *Events) Seconds(h *memory.Hierarchy) sym.Expr {
 	var terms []sym.Expr
-	for e, n := range ev.Init {
-		w := h.InitCom(e.From, e.To)
+	for _, ent := range ev.entries {
+		if ent.init == nil {
+			continue
+		}
+		w := h.InitCom(ent.edge.From, ent.edge.To)
 		if w != 0 {
-			terms = append(terms, sym.Mul(sym.C(w), n))
+			terms = append(terms, sym.Mul(sym.C(w), ent.init))
 		}
 	}
-	for e, n := range ev.Byte {
-		w := h.UnitTr(e.From, e.To)
+	for _, ent := range ev.entries {
+		if ent.bytes == nil {
+			continue
+		}
+		w := h.UnitTr(ent.edge.From, ent.edge.To)
 		if w != 0 {
-			terms = append(terms, sym.Mul(sym.C(w), n))
+			terms = append(terms, sym.Mul(sym.C(w), ent.bytes))
 		}
 	}
 	return sym.Add(terms...)
@@ -86,31 +135,24 @@ func (ev *Events) Seconds(h *memory.Hierarchy) sym.Expr {
 
 // String renders the tallies deterministically for golden tests.
 func (ev *Events) String() string {
-	var keys []Edge
-	seen := map[Edge]bool{}
-	for e := range ev.Init {
-		if !seen[e] {
-			seen[e] = true
-			keys = append(keys, e)
-		}
+	idx := make([]int, len(ev.entries))
+	for i := range idx {
+		idx[i] = i
 	}
-	for e := range ev.Byte {
-		if !seen[e] {
-			seen[e] = true
-			keys = append(keys, e)
-		}
-	}
-	sort.Slice(keys, func(i, j int) bool { return keys[i].String() < keys[j].String() })
+	sort.Slice(idx, func(i, j int) bool {
+		return ev.entries[idx[i]].edge.String() < ev.entries[idx[j]].edge.String()
+	})
 	var b strings.Builder
-	for _, e := range keys {
-		init, bytes := ev.Init[e], ev.Byte[e]
+	for _, i := range idx {
+		ent := ev.entries[i]
+		init, bytes := ent.init, ent.bytes
 		if init == nil {
 			init = sym.Zero
 		}
 		if bytes == nil {
 			bytes = sym.Zero
 		}
-		fmt.Fprintf(&b, "%-14s InitCom: %-30s UnitTr bytes: %s\n", e.String(), init.String(), bytes.String())
+		fmt.Fprintf(&b, "%-14s InitCom: %-30s UnitTr bytes: %s\n", ent.edge.String(), init.String(), bytes.String())
 	}
 	return b.String()
 }

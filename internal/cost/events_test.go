@@ -16,10 +16,10 @@ func TestEventsAccumulateAndScale(t *testing.T) {
 	ev.AddBytes(e, sym.C(100))
 	ev.Scale(sym.C(3))
 	env := sym.Env{"x": 5}
-	if got := ev.Init[e].Eval(env); got != 21 {
+	if got := ev.Init(e).Eval(env); got != 21 {
 		t.Errorf("init = %v want 21", got)
 	}
-	if got := ev.Byte[e].Eval(env); got != 300 {
+	if got := ev.Bytes(e).Eval(env); got != 300 {
 		t.Errorf("bytes = %v want 300", got)
 	}
 }
@@ -31,10 +31,10 @@ func TestEventsMerge(t *testing.T) {
 	b.AddBytes(e, sym.C(2))
 	b.AddInit(Edge{From: "ram", To: "hdd"}, sym.C(7))
 	a.Merge(b)
-	if got := a.Byte[e].Eval(nil); got != 3 {
+	if got := a.Bytes(e).Eval(nil); got != 3 {
 		t.Errorf("merged bytes = %v", got)
 	}
-	if got := a.Init[Edge{From: "ram", To: "hdd"}].Eval(nil); got != 7 {
+	if got := a.Init(Edge{From: "ram", To: "hdd"}).Eval(nil); got != 7 {
 		t.Errorf("merged init = %v", got)
 	}
 }
@@ -63,8 +63,8 @@ func TestFigure4Style(t *testing.T) {
 	// The formulas carry the Figure 4 shape: k1-fold and k1·k2-fold
 	// reductions of InitCom events.
 	e := Edge{From: "hdd", To: "ram"}
-	base := res.Events.Init[e].Eval(sym.Env{"x": 1000, "y": 1000, "k1": 1, "k2": 1})
-	blocked := res.Events.Init[e].Eval(sym.Env{"x": 1000, "y": 1000, "k1": 10, "k2": 10})
+	base := res.Events.Init(e).Eval(sym.Env{"x": 1000, "y": 1000, "k1": 1, "k2": 1})
+	blocked := res.Events.Init(e).Eval(sym.Env{"x": 1000, "y": 1000, "k1": 10, "k2": 10})
 	if base/blocked < 50 {
 		t.Errorf("blocking should slash InitCom events: %v -> %v", base, blocked)
 	}

@@ -1,0 +1,79 @@
+package cost
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"ocas/internal/memory"
+	"ocas/internal/ocal"
+)
+
+// Memo caches Estimate results keyed by interned program identity. The
+// synthesizer's beam search costs every frontier it ranks and the screening
+// pass then costs every discovered program; both ask about the same interned
+// nodes, so the second asker gets the first's Result instead of re-walking
+// the program and re-deriving its cost formula. Failed estimates are cached
+// too — a program the estimator rejects once is rejected for the whole
+// synthesis.
+//
+// A Memo's lifetime is one synthesis run (core.Synthesizer creates one per
+// call): the hierarchy and placement are fixed for that long, which is what
+// makes the interned node a complete key.
+type Memo struct {
+	H *memory.Hierarchy
+	P Placement
+
+	mu   sync.Mutex
+	m    map[uint64]memoEntry
+	hits atomic.Uint64
+}
+
+type memoEntry struct {
+	res *Result
+	err error
+}
+
+// NewMemo returns an empty memo for one (hierarchy, placement) pair.
+func NewMemo(h *memory.Hierarchy, p Placement) *Memo {
+	return &Memo{H: h, P: p, m: map[uint64]memoEntry{}}
+}
+
+// Estimate costs prog, using the interned node only as the cache key and
+// serving repeats from the cache. The caller's expression — not n.Expr() —
+// is what gets costed: the interner's representative for a print-equivalence
+// class is whichever sibling a worker interned first (scheduling-dependent),
+// and siblings can differ in print-invisible but cost-relevant attributes
+// (cardinality hints). The search only ever costs the deterministic dedup
+// winner of each class, so caching that program's estimate keeps results
+// independent of worker count.
+func (m *Memo) Estimate(n *ocal.INode, prog ocal.Expr) (*Result, error) {
+	id := n.ID()
+	m.mu.Lock()
+	e, ok := m.m[id]
+	m.mu.Unlock()
+	if ok {
+		m.hits.Add(1)
+		return e.res, e.err
+	}
+	res, err := Estimate(m.H, m.P, prog)
+	m.mu.Lock()
+	m.m[id] = memoEntry{res: res, err: err}
+	m.mu.Unlock()
+	return res, err
+}
+
+// MemoStats reports cache activity.
+type MemoStats struct {
+	// Entries is the number of distinct programs costed.
+	Entries int
+	// Hits is the number of Estimate calls served from the cache.
+	Hits uint64
+}
+
+// Stats returns a snapshot of the memo's counters.
+func (m *Memo) Stats() MemoStats {
+	m.mu.Lock()
+	n := len(m.m)
+	m.mu.Unlock()
+	return MemoStats{Entries: n, Hits: m.hits.Load()}
+}

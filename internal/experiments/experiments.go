@@ -67,6 +67,12 @@ type Result struct {
 	Params     map[string]int64
 	CacheMissR float64 // cache miss ratio when a cache level exists
 	OutRows    int64
+	// Explored is the number of candidate programs costed by the screening
+	// pass, and Memo the synthesis cache counters (interned nodes, alpha-key
+	// and cost-memo hits) — the raw material of the machine-readable bench
+	// report.
+	Explored int
+	Memo     core.MemoStats
 }
 
 // Run synthesizes and executes one experiment.
@@ -161,6 +167,8 @@ func Run(e Experiment) (*Result, error) {
 		Program:   coreString(syn),
 		Params:    syn.Best.Params,
 		OutRows:   sink.RowsWritten,
+		Explored:  syn.Explored,
+		Memo:      syn.Memo,
 	}
 	if sim.Cache != nil {
 		res.CacheMissR = sim.Cache.MissRatio()

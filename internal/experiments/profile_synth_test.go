@@ -1,0 +1,66 @@
+package experiments
+
+import (
+	"os"
+	"testing"
+
+	"ocas/internal/core"
+)
+
+// TestSynthPlanDump synthesizes every Table 1 row and prints the winning
+// program and parameters, for cross-version plan-identity checks.
+func TestSynthPlanDump(t *testing.T) {
+	if os.Getenv("OCAS_DUMP") == "" {
+		t.Skip("set OCAS_DUMP=1 to run")
+	}
+	exps, err := Table1(Config{Shrink: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range exps {
+		synth := &core.Synthesizer{
+			H: e.Hier, MaxDepth: e.MaxDepth, MaxSpace: e.MaxSpace, Rules: e.Rules,
+			Strategy: e.Strategy, Workers: e.Workers,
+		}
+		task := core.Task{
+			Spec: e.Spec, InputLoc: e.InputLoc, InputRows: e.Rows, Output: e.Output,
+		}
+		syn, err := synth.Synthesize(task)
+		if err != nil {
+			t.Fatalf("%s: %v", e.Name, err)
+		}
+		t.Logf("PLAN %s | space=%d | spec=%.6g opt=%.6g | params=%v | %s",
+			e.Name, syn.Stats.SpaceSize, syn.SpecSeconds, syn.Best.Seconds,
+			syn.Best.Params, coreString(syn))
+	}
+}
+
+// TestSynthOnlyProfile synthesizes every Table 1 row without executing the
+// winners; run with -cpuprofile to see where synthesis time goes.
+func TestSynthOnlyProfile(t *testing.T) {
+	if os.Getenv("OCAS_PROFILE") == "" {
+		t.Skip("set OCAS_PROFILE=1 to run")
+	}
+	exps, err := Table1(Config{Shrink: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	only := os.Getenv("OCAS_PROFILE_ONLY")
+	for iter := 0; iter < 10; iter++ {
+		for _, e := range exps {
+			if only != "" && e.Name != only {
+				continue
+			}
+			synth := &core.Synthesizer{
+				H: e.Hier, MaxDepth: e.MaxDepth, MaxSpace: e.MaxSpace, Rules: e.Rules,
+				Strategy: e.Strategy, Workers: e.Workers,
+			}
+			task := core.Task{
+				Spec: e.Spec, InputLoc: e.InputLoc, InputRows: e.Rows, Output: e.Output,
+			}
+			if _, err := synth.Synthesize(task); err != nil {
+				t.Fatalf("%s: %v", e.Name, err)
+			}
+		}
+	}
+}

@@ -1,0 +1,153 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+)
+
+// BenchSchema identifies the machine-readable bench report format. Bump it
+// when fields change incompatibly; the regression gate refuses to compare
+// reports across schemas.
+const BenchSchema = "ocas-bench/v1"
+
+// BenchRow is one experiment in the machine-readable report.
+type BenchRow struct {
+	Name     string `json:"name"`
+	PaperRow string `json:"paperRow,omitempty"`
+	// SpecSecs/OptSecs are the estimated costs of the naive specification
+	// and the synthesized winner; Speedup is their ratio (the paper's
+	// headline numbers). ActSecs is the simulated execution time.
+	SpecSecs float64 `json:"specSecs"`
+	OptSecs  float64 `json:"optSecs"`
+	ActSecs  float64 `json:"actSecs"`
+	Speedup  float64 `json:"speedup"`
+	// SynthSecs is the synthesis wall-clock — the quantity the CI
+	// regression gate watches.
+	SynthSecs float64 `json:"synthSecs"`
+	// SpaceSize counts distinct programs discovered, Explored the programs
+	// costed, Steps the winning derivation length.
+	SpaceSize int `json:"spaceSize"`
+	Explored  int `json:"explored"`
+	Steps     int `json:"steps"`
+	// Cache counters of the memoized search hot path.
+	InternedNodes uint64 `json:"internedNodes"`
+	AlphaHits     uint64 `json:"alphaHits"`
+	AlphaMisses   uint64 `json:"alphaMisses"`
+	CostEntries   int    `json:"costEntries"`
+	CostHits      uint64 `json:"costHits"`
+
+	Params  map[string]int64 `json:"params,omitempty"`
+	Program string           `json:"program,omitempty"`
+}
+
+// BenchReport is the full machine-readable result of an ocasbench run:
+// everything needed to diff two runs or gate a regression.
+type BenchReport struct {
+	Schema   string `json:"schema"`
+	Shrink   int64  `json:"shrink"`
+	Strategy string `json:"strategy"`
+	// Environment context: wall-clock comparisons only mean something
+	// between runs on comparable machines, so record what we know.
+	GoVersion  string `json:"goVersion"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+
+	Table1 []BenchRow `json:"table1,omitempty"`
+	// TotalSynthSecs sums synthesis wall-clock over every row: the gate
+	// metric.
+	TotalSynthSecs float64 `json:"totalSynthSecs"`
+}
+
+// NewBenchReport converts experiment results into a report.
+func NewBenchReport(cfg Config, table1 []*Result) *BenchReport {
+	strategy := cfg.Strategy
+	if strategy == "" {
+		strategy = "exhaustive"
+	}
+	shrink := cfg.Shrink
+	if shrink < 1 {
+		shrink = 1
+	}
+	rep := &BenchReport{
+		Schema:     BenchSchema,
+		Shrink:     shrink,
+		Strategy:   strategy,
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+	for _, r := range table1 {
+		row := BenchRow{
+			Name:          r.Name,
+			PaperRow:      r.PaperRow,
+			SpecSecs:      r.SpecSecs,
+			OptSecs:       r.OptSecs,
+			ActSecs:       r.ActSecs,
+			SynthSecs:     r.SynthSecs,
+			SpaceSize:     r.SpaceSize,
+			Explored:      r.Explored,
+			Steps:         r.Steps,
+			InternedNodes: r.Memo.Keys.InternedNodes,
+			AlphaHits:     r.Memo.Keys.AlphaHits,
+			AlphaMisses:   r.Memo.Keys.AlphaMisses,
+			CostEntries:   r.Memo.Cost.Entries,
+			CostHits:      r.Memo.Cost.Hits,
+			Params:        r.Params,
+			Program:       r.Program,
+		}
+		if r.OptSecs > 0 {
+			row.Speedup = r.SpecSecs / r.OptSecs
+		}
+		rep.Table1 = append(rep.Table1, row)
+		rep.TotalSynthSecs += r.SynthSecs
+	}
+	return rep
+}
+
+// WriteJSON renders the report as indented JSON with a trailing newline.
+func (r *BenchReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// ReadBenchReport parses a report produced by WriteJSON.
+func ReadBenchReport(data []byte) (*BenchReport, error) {
+	var r BenchReport
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("bench report: %w", err)
+	}
+	if r.Schema != BenchSchema {
+		return nil, fmt.Errorf("bench report schema %q, want %q", r.Schema, BenchSchema)
+	}
+	return &r, nil
+}
+
+// CompareBaseline checks the current run against a baseline report and
+// returns an error when total synthesis wall-clock regressed by more than
+// maxRegressPct percent. Reports must agree on schema, shrink, strategy and
+// GOMAXPROCS — comparing different configurations (or a parallel run
+// against a single-core baseline) would gate on noise rather than on the
+// code. The CI bench job pins GOMAXPROCS=1 for exactly this reason; clock
+// speed differences between machines remain the operator's problem
+// (regenerate the baseline when the hardware changes).
+func CompareBaseline(current, baseline *BenchReport, maxRegressPct float64) error {
+	if current.Shrink != baseline.Shrink || current.Strategy != baseline.Strategy {
+		return fmt.Errorf("bench configs differ: current shrink=%d strategy=%s, baseline shrink=%d strategy=%s",
+			current.Shrink, current.Strategy, baseline.Shrink, baseline.Strategy)
+	}
+	if current.GOMAXPROCS != baseline.GOMAXPROCS {
+		return fmt.Errorf("bench environments differ: current GOMAXPROCS=%d, baseline GOMAXPROCS=%d — pin GOMAXPROCS or regenerate the baseline",
+			current.GOMAXPROCS, baseline.GOMAXPROCS)
+	}
+	if baseline.TotalSynthSecs <= 0 {
+		return fmt.Errorf("baseline has no synthesis wall-clock to compare against")
+	}
+	ratio := current.TotalSynthSecs / baseline.TotalSynthSecs
+	limit := 1 + maxRegressPct/100
+	if ratio > limit {
+		return fmt.Errorf("synthesis wall-clock regressed %.1f%% (current %.3fs vs baseline %.3fs, limit +%.0f%%)",
+			(ratio-1)*100, current.TotalSynthSecs, baseline.TotalSynthSecs, maxRegressPct)
+	}
+	return nil
+}

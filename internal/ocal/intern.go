@@ -1,0 +1,369 @@
+package ocal
+
+import (
+	"encoding/binary"
+	"sync"
+	"sync/atomic"
+)
+
+// This file implements hash-consing of OCAL expressions. The synthesizer's
+// search enumerates hundreds of thousands of rule-rewritten programs whose
+// subtrees overlap heavily (a rewrite copies the spine and shares the rest);
+// identity questions about them — "have I seen this program?", "what is its
+// canonical key?" — were answered by re-printing whole programs, over and
+// over. An Interner gives every distinct structure one INode with a small
+// integer identity, so those questions become integer comparisons, and
+// derived values (the canonical printing, the alpha-normal form) are
+// computed once per structure and cached on the node.
+//
+// Interning granularity deliberately matches the canonical printing
+// (ocal.String): two expressions intern to the same node exactly when they
+// print identically. String is what the search has always deduplicated on,
+// and it ignores a few cost-only attributes (the FoldL/UnfoldR cardinality
+// hints) and normalizes zero-valued parameters to the literal 1 — the
+// interner must not be finer than the printer, or the search space (and so
+// the synthesized plans) would silently change.
+
+// INode is one interned expression: a canonical representative whose
+// children are themselves canonical, plus caches for values derived from
+// the structure. INodes are created only by an Interner and are immutable
+// apart from the (idempotent) caches.
+type INode struct {
+	expr Expr
+	id   uint64
+
+	// alpha is the interned alpha-normal form (bound variables and symbolic
+	// parameters renamed in first-occurrence order), cached by the first
+	// caller that computes it. The alpha-normalizer lives in internal/rules;
+	// this is just the cache slot.
+	alpha atomic.Pointer[INode]
+	// str is the cached canonical printing.
+	str atomic.Pointer[string]
+}
+
+// Expr returns the canonical expression.
+func (n *INode) Expr() Expr { return n.expr }
+
+// ID returns the node's identity: equal IDs (from one Interner) mean the
+// expressions print identically.
+func (n *INode) ID() uint64 { return n.id }
+
+// String returns the canonical printing, computed once per node.
+func (n *INode) String() string {
+	if s := n.str.Load(); s != nil {
+		return *s
+	}
+	s := String(n.expr)
+	n.str.CompareAndSwap(nil, &s)
+	return *n.str.Load()
+}
+
+// Alpha returns the cached alpha-normal node, or nil if not yet computed.
+func (n *INode) Alpha() *INode { return n.alpha.Load() }
+
+// SetAlpha caches the alpha-normal node. Concurrent callers compute the
+// same deterministic normal form against the same interner, so the race is
+// benign: every candidate value is the same pointer.
+func (n *INode) SetAlpha(a *INode) { n.alpha.CompareAndSwap(nil, a) }
+
+const internShards = 32
+
+type internShard struct {
+	mu sync.Mutex
+	m  map[string]*INode
+}
+
+// Interner deduplicates expressions bottom-up. It is safe for concurrent
+// use; the search's worker pool interns every rewrite it produces. An
+// Interner holds every structure it has seen, so give one to each synthesis
+// run (per-request lifetime) rather than sharing a process-global instance.
+type Interner struct {
+	shards [internShards]internShard
+	nextID atomic.Uint64
+	hits   atomic.Uint64
+	misses atomic.Uint64
+}
+
+// NewInterner returns an empty interner.
+func NewInterner() *Interner {
+	in := &Interner{}
+	for i := range in.shards {
+		in.shards[i].m = map[string]*INode{}
+	}
+	return in
+}
+
+// InternStats reports table activity: Nodes distinct structures, and how
+// many node-level lookups hit an existing entry.
+type InternStats struct {
+	Nodes  uint64
+	Hits   uint64
+	Misses uint64
+}
+
+// Stats returns a snapshot of the interner's counters.
+func (in *Interner) Stats() InternStats {
+	return InternStats{
+		Nodes:  in.nextID.Load(),
+		Hits:   in.hits.Load(),
+		Misses: in.misses.Load(),
+	}
+}
+
+var keyBufPool = sync.Pool{
+	New: func() any { b := make([]byte, 0, 512); return &b },
+}
+
+// Intern returns the canonical node for e, creating it (and nodes for every
+// subexpression) on first sight.
+func (in *Interner) Intern(e Expr) *INode {
+	// One pooled scratch buffer serves the whole walk: children are interned
+	// before the parent's key is built, so buffer usage is stack-shaped —
+	// each node appends its key at the current tail and truncates back when
+	// done. Only first-sight insertions copy key bytes (the map key string).
+	buf := keyBufPool.Get().(*[]byte)
+	n := in.intern(e, buf)
+	*buf = (*buf)[:0]
+	keyBufPool.Put(buf)
+	return n
+}
+
+func (in *Interner) intern(e Expr, buf *[]byte) *INode {
+	// Children are interned first (field-by-field, avoiding the slice a
+	// generic Children call would allocate per node); the canonical
+	// expression is rebuilt with the children's canonical forms, so interned
+	// trees share subterm memory.
+	var k0, k1, k2 *INode
+	var kn []*INode
+	switch t := e.(type) {
+	case Lam:
+		k0 = in.intern(t.Body, buf)
+		t.Body = k0.expr
+		e = t
+	case App:
+		k0 = in.intern(t.Fn, buf)
+		k1 = in.intern(t.Arg, buf)
+		t.Fn, t.Arg = k0.expr, k1.expr
+		e = t
+	case Tup:
+		kn = make([]*INode, len(t.Elems))
+		elems := make([]Expr, len(t.Elems))
+		for i, el := range t.Elems {
+			kn[i] = in.intern(el, buf)
+			elems[i] = kn[i].expr
+		}
+		t.Elems = elems
+		e = t
+	case Proj:
+		k0 = in.intern(t.E, buf)
+		t.E = k0.expr
+		e = t
+	case Single:
+		k0 = in.intern(t.E, buf)
+		t.E = k0.expr
+		e = t
+	case If:
+		k0 = in.intern(t.Cond, buf)
+		k1 = in.intern(t.Then, buf)
+		k2 = in.intern(t.Else, buf)
+		t.Cond, t.Then, t.Else = k0.expr, k1.expr, k2.expr
+		e = t
+	case Prim:
+		kn = make([]*INode, len(t.Args))
+		args := make([]Expr, len(t.Args))
+		for i, a := range t.Args {
+			kn[i] = in.intern(a, buf)
+			args[i] = kn[i].expr
+		}
+		t.Args = args
+		e = t
+	case FlatMap:
+		k0 = in.intern(t.Fn, buf)
+		t.Fn = k0.expr
+		e = t
+	case FoldL:
+		k0 = in.intern(t.Init, buf)
+		k1 = in.intern(t.Fn, buf)
+		t.Init, t.Fn = k0.expr, k1.expr
+		e = t
+	case For:
+		k0 = in.intern(t.Src, buf)
+		k1 = in.intern(t.Body, buf)
+		t.Src, t.Body = k0.expr, k1.expr
+		e = t
+	case TreeFold:
+		k0 = in.intern(t.Init, buf)
+		k1 = in.intern(t.Fn, buf)
+		t.Init, t.Fn = k0.expr, k1.expr
+		e = t
+	case UnfoldR:
+		k0 = in.intern(t.Fn, buf)
+		t.Fn = k0.expr
+		e = t
+	case FuncPow:
+		k0 = in.intern(t.Fn, buf)
+		t.Fn = k0.expr
+		e = t
+	}
+
+	start := len(*buf)
+	*buf = appendNodeKey(*buf, e)
+	if k0 != nil {
+		*buf = binary.AppendUvarint(*buf, k0.id)
+	}
+	if k1 != nil {
+		*buf = binary.AppendUvarint(*buf, k1.id)
+	}
+	if k2 != nil {
+		*buf = binary.AppendUvarint(*buf, k2.id)
+	}
+	for _, k := range kn {
+		*buf = binary.AppendUvarint(*buf, k.id)
+	}
+	key := (*buf)[start:]
+
+	shard := &in.shards[fnv1a(key)%internShards]
+	shard.mu.Lock()
+	if n, ok := shard.m[string(key)]; ok {
+		shard.mu.Unlock()
+		in.hits.Add(1)
+		*buf = (*buf)[:start]
+		return n
+	}
+	n := &INode{expr: e, id: in.nextID.Add(1)}
+	shard.m[string(key)] = n
+	shard.mu.Unlock()
+	in.misses.Add(1)
+	*buf = (*buf)[:start]
+	return n
+}
+
+func fnv1a(b []byte) uint64 {
+	h := uint64(14695981039346656037)
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= 1099511628211
+	}
+	return h
+}
+
+// appendNodeKey encodes the node-local, print-visible attributes of e (its
+// children are appended separately as interned IDs). Strings are length-
+// prefixed and parameters carry a kind tag, so the encoding is injective
+// over everything the canonical printing distinguishes.
+func appendNodeKey(key []byte, e Expr) []byte {
+	str := func(s string) {
+		key = binary.AppendUvarint(key, uint64(len(s)))
+		key = append(key, s...)
+	}
+	num := func(v uint64) { key = binary.AppendUvarint(key, v) }
+	param := func(p Param) {
+		if p.Sym != "" {
+			key = append(key, 'S')
+			str(p.Sym)
+			return
+		}
+		// Literal parameters print via Literal(), which folds the zero
+		// value to 1; encode that folded value, not the raw field.
+		v, _ := p.Literal()
+		key = append(key, 'L')
+		num(uint64(v))
+	}
+	switch t := e.(type) {
+	case Var:
+		key = append(key, 'v')
+		str(t.Name)
+	case IntLit:
+		key = append(key, 'i')
+		num(uint64(t.V))
+	case BoolLit:
+		key = append(key, 'b')
+		if t.V {
+			key = append(key, 1)
+		} else {
+			key = append(key, 0)
+		}
+	case StrLit:
+		key = append(key, 's')
+		str(t.V)
+	case Lam:
+		key = append(key, 'l')
+		num(uint64(len(t.Params)))
+		for _, p := range t.Params {
+			str(p)
+		}
+	case App:
+		key = append(key, 'a')
+	case Tup:
+		key = append(key, 't')
+		num(uint64(len(t.Elems)))
+	case Proj:
+		key = append(key, 'p')
+		num(uint64(t.I))
+	case Single:
+		key = append(key, '1')
+	case Empty:
+		key = append(key, 'E')
+	case If:
+		key = append(key, 'I')
+	case Prim:
+		key = append(key, 'P')
+		num(uint64(t.Op))
+		num(uint64(len(t.Args)))
+	case FlatMap:
+		key = append(key, 'F')
+	case FoldL:
+		// The cardinality hint is costing-only and not printed; two FoldLs
+		// differing only in hint are one search-space program.
+		key = append(key, 'f')
+	case For:
+		key = append(key, 'o')
+		str(t.X)
+		param(t.K)
+		param(t.OutK)
+		if t.Seq != nil {
+			key = append(key, '+')
+			str(t.Seq.From)
+			str(t.Seq.To)
+		} else {
+			key = append(key, '-')
+		}
+	case TreeFold:
+		key = append(key, 'T')
+		param(t.K)
+		param(t.OutK)
+	case UnfoldR:
+		// Encode exactly the printed bracket sequence: parameters equal to 1
+		// are omitted, which (as in the printing) makes unfoldR[k](f) with
+		// k as block size indistinguishable from k as output buffer — the
+		// search has always deduplicated those as one program. The hint is
+		// omitted as for FoldL.
+		key = append(key, 'u')
+		if !t.K.IsOne() {
+			param(t.K)
+		}
+		if !t.OutK.IsOne() {
+			param(t.OutK)
+		}
+	case Mrg:
+		key = append(key, 'm')
+	case ZipStep:
+		key = append(key, 'z')
+		num(uint64(t.N))
+	case FuncPow:
+		key = append(key, 'w')
+		num(uint64(t.K))
+	case PartitionF:
+		key = append(key, 'h')
+		param(t.S)
+	case ZipLists:
+		key = append(key, 'Z')
+		num(uint64(t.N))
+	default:
+		// Unknown node kinds (none exist today) fall back to the printing,
+		// preserving the print-equivalence contract.
+		key = append(key, '?')
+		str(String(e))
+	}
+	return key
+}

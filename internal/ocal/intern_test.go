@@ -1,0 +1,175 @@
+package ocal
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// randExpr generates a random expression of bounded depth, drawing variable
+// and parameter names from small pools so that structurally-equal pairs (and
+// near-misses) occur often.
+func randExpr(r *rand.Rand, depth int) Expr {
+	vars := []string{"R", "S", "x", "y", "acc"}
+	params := []Param{Lit(1), Lit(0), Lit(64), SymP("k1"), SymP("k2")}
+	if depth <= 0 {
+		switch r.Intn(4) {
+		case 0:
+			return Var{Name: vars[r.Intn(len(vars))]}
+		case 1:
+			return IntLit{V: int64(r.Intn(3))}
+		case 2:
+			return Empty{}
+		default:
+			return BoolLit{V: r.Intn(2) == 0}
+		}
+	}
+	switch r.Intn(12) {
+	case 0:
+		return Lam{Params: []string{vars[r.Intn(len(vars))]}, Body: randExpr(r, depth-1)}
+	case 1:
+		return App{Fn: randExpr(r, depth-1), Arg: randExpr(r, depth-1)}
+	case 2:
+		return Tup{Elems: []Expr{randExpr(r, depth-1), randExpr(r, depth-1)}}
+	case 3:
+		return Proj{E: randExpr(r, depth-1), I: 1 + r.Intn(2)}
+	case 4:
+		return Single{E: randExpr(r, depth-1)}
+	case 5:
+		return If{Cond: randExpr(r, depth-1), Then: randExpr(r, depth-1), Else: randExpr(r, depth-1)}
+	case 6:
+		return Prim{Op: PrimOp(r.Intn(int(OpHash) + 1)), Args: []Expr{randExpr(r, depth-1), randExpr(r, depth-1)}}
+	case 7:
+		f := For{X: vars[r.Intn(len(vars))], K: params[r.Intn(len(params))],
+			Src: randExpr(r, depth-1), OutK: params[r.Intn(len(params))],
+			Body: randExpr(r, depth-1)}
+		if r.Intn(4) == 0 {
+			f.Seq = &SeqAnnot{From: "hdd", To: "ram"}
+		}
+		return f
+	case 8:
+		return FoldL{Init: randExpr(r, depth-1), Fn: randExpr(r, depth-1),
+			Hint: CardHint(r.Intn(4))}
+	case 9:
+		return UnfoldR{Fn: randExpr(r, depth-1), K: params[r.Intn(len(params))],
+			OutK: params[r.Intn(len(params))], Hint: CardHint(r.Intn(4))}
+	case 10:
+		return TreeFold{K: params[r.Intn(len(params))], Init: randExpr(r, depth-1),
+			Fn: randExpr(r, depth-1), OutK: params[r.Intn(len(params))]}
+	default:
+		return App{Fn: PartitionF{S: params[r.Intn(len(params))]}, Arg: randExpr(r, depth-1)}
+	}
+}
+
+// TestInternPrintEquivalence is the interning invariant: two expressions
+// intern to the same node exactly when they print identically. The printing
+// is what the search has always deduplicated on, so any divergence here
+// would silently change the search space.
+func TestInternPrintEquivalence(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	in := NewInterner()
+	byID := map[uint64]string{}
+	byStr := map[string]uint64{}
+	for i := 0; i < 5000; i++ {
+		e := randExpr(r, 1+r.Intn(4))
+		n := in.Intern(e)
+		s := String(e)
+		if prev, ok := byID[n.ID()]; ok && prev != s {
+			t.Fatalf("one interned id for two printings:\n  %s\n  %s", prev, s)
+		}
+		byID[n.ID()] = s
+		if prev, ok := byStr[s]; ok && prev != n.ID() {
+			t.Fatalf("two interned ids (%d, %d) for one printing %s", prev, n.ID(), s)
+		}
+		byStr[s] = n.ID()
+		if got := String(n.Expr()); got != s {
+			t.Fatalf("canonical expr prints %q, original prints %q", got, s)
+		}
+		if got := n.String(); got != s {
+			t.Fatalf("cached printing %q != %q", got, s)
+		}
+	}
+}
+
+// TestInternHintInvisible pins the print-equivalence contract on the one
+// attribute the printer ignores: cost-only cardinality hints must not split
+// interned identity, exactly as they never split search-space dedup.
+func TestInternHintInvisible(t *testing.T) {
+	in := NewInterner()
+	a := FoldL{Init: Empty{}, Fn: Lam{Params: []string{"x"}, Body: Var{Name: "x"}}, Hint: HintNone}
+	b := a
+	b.Hint = HintSumCards
+	if in.Intern(a).ID() != in.Intern(b).ID() {
+		t.Fatalf("FoldL hint split interned identity, but printing ignores it")
+	}
+	u := UnfoldR{Fn: Mrg{}, K: Lit(4), Hint: HintNone}
+	u2 := u
+	u2.Hint = HintMaxCards
+	if in.Intern(u).ID() != in.Intern(u2).ID() {
+		t.Fatalf("UnfoldR hint split interned identity, but printing ignores it")
+	}
+	// The zero parameter prints as the literal 1 and must intern like it.
+	f1 := For{X: "x", K: Param{Val: 0}, Src: Var{Name: "R"}, Body: Single{E: Var{Name: "x"}}}
+	f2 := For{X: "x", K: Param{Val: 1}, Src: Var{Name: "R"}, Body: Single{E: Var{Name: "x"}}}
+	if in.Intern(f1).ID() != in.Intern(f2).ID() {
+		t.Fatalf("zero and one parameters intern differently, but print identically")
+	}
+}
+
+// TestInternSharing checks hash-consing proper: a repeated subterm maps to
+// one node, and a second interning of a whole program is pure hits.
+func TestInternSharing(t *testing.T) {
+	in := NewInterner()
+	sub := App{Fn: FlatMap{Fn: Lam{Params: []string{"x"}, Body: Single{E: Var{Name: "x"}}}}, Arg: Var{Name: "R"}}
+	e := Tup{Elems: []Expr{sub, sub}}
+	n := in.Intern(e)
+	tup := n.Expr().(Tup)
+	// The canonical children of structurally identical subterms are the
+	// same interned expressions.
+	if String(tup.Elems[0]) != String(tup.Elems[1]) {
+		t.Fatalf("canonical children diverge")
+	}
+	before := in.Stats()
+	if n2 := in.Intern(e); n2 != n {
+		t.Fatalf("re-interning returned a different node")
+	}
+	after := in.Stats()
+	if after.Nodes != before.Nodes {
+		t.Fatalf("re-interning created %d new nodes", after.Nodes-before.Nodes)
+	}
+	if after.Hits <= before.Hits {
+		t.Fatalf("re-interning produced no hits")
+	}
+}
+
+// TestInternConcurrent hammers one interner from many goroutines over a
+// shared set of programs; every goroutine must resolve each program to the
+// same node. Run under -race this also proves the table is data-race free.
+func TestInternConcurrent(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	var progs []Expr
+	for i := 0; i < 200; i++ {
+		progs = append(progs, randExpr(r, 4))
+	}
+	in := NewInterner()
+	want := make([]*INode, len(progs))
+	for i, e := range progs {
+		want[i] = in.Intern(e)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(seed))
+			for i := 0; i < 2000; i++ {
+				j := r.Intn(len(progs))
+				if got := in.Intern(progs[j]); got != want[j] {
+					t.Errorf("prog %d interned to a different node concurrently", j)
+					return
+				}
+			}
+		}(int64(g))
+	}
+	wg.Wait()
+}

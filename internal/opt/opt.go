@@ -69,36 +69,25 @@ func Minimize(p Problem) (*Result, error) {
 		return defaultHi
 	}
 
-	env := func(x map[string]int64) sym.Env {
-		e := make(sym.Env, len(p.Fixed)+len(x))
-		for k, v := range p.Fixed {
-			e[k] = v
-		}
-		for k, v := range x {
-			e[k] = float64(v)
-		}
-		return e
-	}
+	// The search below evaluates the objective and every constraint
+	// thousands of times under environments that differ only in the tuning
+	// parameters, so the formulas are compiled once onto a shared slot
+	// layout (cost.CompileFormulas): fixed values are written once, and
+	// each evaluation point just overwrites the parameter slots. Compiled
+	// evaluation is bit-identical to Expr.Eval, so the minimizer's
+	// trajectory (and winner) is unchanged.
+	cf := cost.CompileFormulas(p.Objective, p.Constraints, params, p.Fixed, false)
 
-	violation := func(e sym.Env) float64 {
-		var total float64
-		for _, c := range p.Constraints {
-			l, r := c.LHS.Eval(e), c.RHS.Eval(e)
-			if math.IsNaN(l) || math.IsNaN(r) {
-				return math.NaN()
-			}
-			if l > r {
-				// Relative violation keeps the penalty scale-free.
-				total += (l - r) / math.Max(1, math.Abs(r))
-			}
-		}
-		return total
+	violationAt := func(x map[string]int64) float64 {
+		cf.SetPoint(x)
+		return cf.Violation()
 	}
 
 	penalized := func(x map[string]int64, mu float64) float64 {
-		e := env(x)
-		f := p.Objective.Eval(e)
-		v := violation(e)
+		cf.SetPoint(x)
+		f := cf.Seconds()
+		// The relative violation keeps the penalty scale-free.
+		v := cf.Violation()
 		if math.IsNaN(f) || math.IsNaN(v) {
 			return math.Inf(1)
 		}
@@ -121,14 +110,15 @@ func Minimize(p Problem) (*Result, error) {
 			x = patternSearch(x, params, lo, hi, func(c map[string]int64) float64 {
 				return penalized(c, mu)
 			})
-			if violation(env(x)) == 0 {
+			if violationAt(x) == 0 {
 				break
 			}
 		}
-		if violation(env(x)) > 0 {
+		if violationAt(x) > 0 {
 			continue
 		}
-		if v := p.Objective.Eval(env(x)); v < bestVal {
+		cf.SetPoint(x)
+		if v := cf.Seconds(); v < bestVal {
 			bestVal = v
 			best = copyMap(x)
 		}

@@ -213,11 +213,17 @@ func Compile(req Request) (*Compiled, error) {
 	}
 	task.Spec = spec
 
-	synth := &core.Synthesizer{H: h, MaxDepth: req.Depth, MaxSpace: req.Space, Workers: req.Workers}
+	// One Keyer per request: the alpha-normalization of the program done for
+	// the fingerprint below is interned, and the synthesizer (seeded with
+	// the same program) reuses it. The Keyer dies with the Compiled, so no
+	// memo state survives into the next request.
+	keys := rules.NewKeyer()
+	synth := &core.Synthesizer{H: h, MaxDepth: req.Depth, MaxSpace: req.Space,
+		Workers: req.Workers, Keys: keys}
 	if req.Strategy == "beam" {
 		synth.Strategy = &rules.Beam{Width: req.Beam}
 	}
-	fp, err := fingerprint(req, prog, h)
+	fp, err := fingerprint(req, prog, h, keys)
 	if err != nil {
 		return nil, err
 	}
@@ -266,14 +272,14 @@ func buildHierarchy(req Request) (*memory.Hierarchy, error) {
 // the search knobs. Whitespace, comments, binder names and worker counts
 // never change the fingerprint; anything that can change the winning plan
 // does.
-func fingerprint(req Request, prog ocal.Expr, h *memory.Hierarchy) (string, error) {
+func fingerprint(req Request, prog ocal.Expr, h *memory.Hierarchy, keys *rules.Keyer) (string, error) {
 	hj, err := json.Marshal(h)
 	if err != nil {
 		return "", fmt.Errorf("hierarchy fingerprint: %w", err)
 	}
 	var b strings.Builder
 	b.WriteString("ocas-plan-v1\n")
-	fmt.Fprintf(&b, "prog %s\n", rules.AlphaKey(prog))
+	fmt.Fprintf(&b, "prog %s\n", keys.AlphaKey(prog))
 	fmt.Fprintf(&b, "hier %s\n", hj)
 	for _, name := range sortedInputNames(req.Inputs) {
 		in := req.Inputs[name]

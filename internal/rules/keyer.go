@@ -1,0 +1,79 @@
+package rules
+
+import (
+	"sync/atomic"
+
+	"ocas/internal/ocal"
+)
+
+// Keyer answers program-identity questions for one synthesis run: it owns a
+// hash-cons interner and caches the alpha-normal form per interned node.
+// The search asks "is this rewrite a program I already have?" once per
+// produced rewrite; most rewrites re-derive a program some other rule chain
+// already reached, and for those the answer is a cache hit instead of a
+// fresh renaming and re-printing of the whole program.
+//
+// A Keyer is safe for concurrent use (the parallel frontier expansion hits
+// it from every worker) and grows with every structure it sees, so its
+// intended lifetime is one synthesis: core.Synthesizer creates one per run
+// unless the caller injects one, and the service's request compiler injects
+// a per-request Keyer so fingerprinting and synthesis share the work without
+// any state outliving the request.
+type Keyer struct {
+	in     *ocal.Interner
+	hits   atomic.Uint64
+	misses atomic.Uint64
+}
+
+// NewKeyer returns a Keyer over a fresh interner.
+func NewKeyer() *Keyer { return &Keyer{in: ocal.NewInterner()} }
+
+// Node interns e: equal IDs mean structurally identical programs (in the
+// canonical-printing sense the search has always used).
+func (k *Keyer) Node(e ocal.Expr) *ocal.INode { return k.in.Intern(e) }
+
+// AlphaNode returns the interned alpha-normal form of e, computing it on
+// first sight of e's structure and reading the cache afterwards.
+func (k *Keyer) AlphaNode(e ocal.Expr) *ocal.INode {
+	n := k.in.Intern(e)
+	if a := n.Alpha(); a != nil {
+		k.hits.Add(1)
+		return a
+	}
+	k.misses.Add(1)
+	ren := &renamer{params: map[string]string{}}
+	a := k.in.Intern(ren.expr(n.Expr(), nil))
+	a.SetAlpha(a) // the normal form of a normal form is itself
+	n.SetAlpha(a)
+	return a
+}
+
+// AlphaID is the search's dedup key: two programs share an AlphaID exactly
+// when they are alpha-equivalent (same structure modulo bound-variable and
+// symbolic-parameter names).
+func (k *Keyer) AlphaID(e ocal.Expr) uint64 { return k.AlphaNode(e).ID() }
+
+// AlphaKey renders the canonical alpha-normalized printing (the historical
+// string key, still used by plan fingerprints); the rendering is cached on
+// the interned node.
+func (k *Keyer) AlphaKey(e ocal.Expr) string { return k.AlphaNode(e).String() }
+
+// KeyerStats reports cache activity for one synthesis run.
+type KeyerStats struct {
+	// InternedNodes counts distinct interned structures (subterms included).
+	InternedNodes uint64
+	// AlphaHits/AlphaMisses count alpha-normal-form lookups that were served
+	// from the per-node cache versus computed. A hit is a whole program
+	// renaming+printing that the pre-memoization search would have redone.
+	AlphaHits   uint64
+	AlphaMisses uint64
+}
+
+// Stats returns a snapshot of the Keyer's counters.
+func (k *Keyer) Stats() KeyerStats {
+	return KeyerStats{
+		InternedNodes: k.in.Stats().Nodes,
+		AlphaHits:     k.hits.Load(),
+		AlphaMisses:   k.misses.Load(),
+	}
+}

@@ -17,33 +17,27 @@ type Rewrite struct {
 	Rule string
 }
 
-// Step performs every single-step rewrite of prog under the rule library:
-// for each rule and each position where it applies, one rewritten program.
-func Step(prog ocal.Expr, rs []Rule, c *Context) []Rewrite {
-	scope := Scope{}
-	for name := range c.InputLoc {
-		scope[name] = BinderInfo{Kind: KindInput}
-	}
-	var out []Rewrite
-	for _, r := range rs {
-		if ro, ok := r.(rootOnly); ok && ro.RootOnly() {
-			for _, e := range r.Apply(prog, scope, c) {
-				out = append(out, Rewrite{Expr: e, Rule: r.Name()})
-			}
-			continue
-		}
-		for _, e := range rewriteEverywhere(prog, scope, r, c) {
-			out = append(out, Rewrite{Expr: e, Rule: r.Name()})
-		}
-	}
-	return out
+// position is one rewritable subexpression of a program: the node, the
+// binder scope in force there, and the link to its parent needed to rebuild
+// the whole program when a rule fires here. Collecting positions once per
+// Step (instead of re-traversing the program once per rule, as the search
+// originally did) computes each node's scope and child list a single time;
+// rules are then applied against the flat list, and only actual rewrites
+// pay for spine rebuilding.
+type position struct {
+	e        ocal.Expr
+	scope    Scope
+	parent   int // index into the positions slice; -1 for the root
+	childIdx int // which child of the parent this node is
+	kids     []ocal.Expr
 }
 
-// rewriteEverywhere returns prog with rule r applied at each position where
-// it matches (one application per result).
-func rewriteEverywhere(e ocal.Expr, s Scope, r Rule, c *Context) []ocal.Expr {
-	out := append([]ocal.Expr(nil), r.Apply(e, s, c)...)
+// collectPositions appends the pre-order positions of e (the order
+// rewriteEverywhere historically visited) to ps.
+func collectPositions(ps []position, e ocal.Expr, s Scope, parent, childIdx int) []position {
+	self := len(ps)
 	kids := ocal.Children(e)
+	ps = append(ps, position{e: e, scope: s, parent: parent, childIdx: childIdx, kids: kids})
 	for i, kid := range kids {
 		ks := s
 		switch t := e.(type) {
@@ -69,11 +63,48 @@ func rewriteEverywhere(e ocal.Expr, s Scope, r Rule, c *Context) []ocal.Expr {
 				ks = ks.with(t.X, info)
 			}
 		}
-		for _, rk := range rewriteEverywhere(kid, ks, r, c) {
-			nk := make([]ocal.Expr, len(kids))
-			copy(nk, kids)
-			nk[i] = rk
-			out = append(out, ocal.WithChildren(e, nk))
+		ps = collectPositions(ps, kid, ks, self, i)
+	}
+	return ps
+}
+
+// rebuild reconstructs the whole program with the node at position i
+// replaced by sub, copying each spine level exactly once.
+func rebuild(ps []position, i int, sub ocal.Expr) ocal.Expr {
+	for ps[i].parent >= 0 {
+		p := ps[i].parent
+		nk := make([]ocal.Expr, len(ps[p].kids))
+		copy(nk, ps[p].kids)
+		nk[ps[i].childIdx] = sub
+		sub = ocal.WithChildren(ps[p].e, nk)
+		i = p
+	}
+	return sub
+}
+
+// Step performs every single-step rewrite of prog under the rule library:
+// for each rule and each position where it applies, one rewritten program.
+// Results are ordered rule-major, positions in pre-order — the historical
+// enumeration order, which the search's first-derivation-wins dedup
+// depends on.
+func Step(prog ocal.Expr, rs []Rule, c *Context) []Rewrite {
+	scope := Scope{}
+	for name := range c.InputLoc {
+		scope[name] = BinderInfo{Kind: KindInput}
+	}
+	ps := collectPositions(make([]position, 0, 64), prog, scope, -1, 0)
+	var out []Rewrite
+	for _, r := range rs {
+		if ro, ok := r.(rootOnly); ok && ro.RootOnly() {
+			for _, e := range r.Apply(prog, scope, c) {
+				out = append(out, Rewrite{Expr: e, Rule: r.Name()})
+			}
+			continue
+		}
+		for i := range ps {
+			for _, e := range r.Apply(ps[i].e, ps[i].scope, c) {
+				out = append(out, Rewrite{Expr: rebuild(ps, i, e), Rule: r.Name()})
+			}
 		}
 	}
 	return out
@@ -108,6 +139,9 @@ func Search(start ocal.Expr, rs []Rule, c *Context, maxDepth, maxSpace int) ([]D
 // first-occurrence order. Two alpha-equivalent programs (same structure,
 // different binder names or fresh-name counters) share one key, which makes
 // it the right program component for content-addressed plan fingerprints.
+// This one-shot form computes the key directly; callers that key many
+// programs (the search, the request compiler) use a Keyer, which interns
+// programs and caches their keys.
 func AlphaKey(e ocal.Expr) string { return alphaKey(e) }
 
 // alphaKey is the dedup key: the canonical printing of the program with
@@ -115,12 +149,28 @@ func AlphaKey(e ocal.Expr) string { return alphaKey(e) }
 // so that two derivation paths reaching the same structure are recognized as
 // one program even when fresh-name counters differ.
 func alphaKey(e ocal.Expr) string {
-	ren := &renamer{vars: map[string]string{}, params: map[string]string{}}
-	return ocal.String(ren.expr(e, map[string]string{}))
+	ren := &renamer{params: map[string]string{}}
+	return ocal.String(ren.expr(e, nil))
+}
+
+// renameEnv is the persistent bound-variable mapping of the renamer: most
+// recent binding first, tail shared with the enclosing scope (programs bind
+// few variables, so the linear lookup beats a map copy per binder).
+type renameEnv struct {
+	from, to string
+	parent   *renameEnv
+}
+
+func (env *renameEnv) lookup(name string) (string, bool) {
+	for ; env != nil; env = env.parent {
+		if env.from == name {
+			return env.to, true
+		}
+	}
+	return "", false
 }
 
 type renamer struct {
-	vars   map[string]string
 	params map[string]string
 	nv, np int
 }
@@ -145,26 +195,25 @@ func (r *renamer) param(p ocal.Param) ocal.Param {
 
 // expr renames under env (bound-variable mapping); free variables (inputs)
 // keep their names.
-func (r *renamer) expr(e ocal.Expr, env map[string]string) ocal.Expr {
+func (r *renamer) expr(e ocal.Expr, env *renameEnv) ocal.Expr {
 	switch t := e.(type) {
 	case ocal.Var:
-		if n, ok := env[t.Name]; ok {
+		if n, ok := env.lookup(t.Name); ok {
 			return ocal.Var{Name: n}
 		}
 		return t
 	case ocal.Lam:
-		ne := copyEnv(env)
+		ne := env
 		np := make([]string, len(t.Params))
 		for i, p := range t.Params {
 			np[i] = r.bind(p)
-			ne[p] = np[i]
+			ne = &renameEnv{from: p, to: np[i], parent: ne}
 		}
 		return ocal.Lam{Params: np, Body: r.expr(t.Body, ne)}
 	case ocal.For:
 		src := r.expr(t.Src, env)
-		ne := copyEnv(env)
 		nx := r.bind(t.X)
-		ne[t.X] = nx
+		ne := &renameEnv{from: t.X, to: nx, parent: env}
 		return ocal.For{X: nx, K: r.param(t.K), Src: src,
 			OutK: r.param(t.OutK), Seq: t.Seq, Body: r.expr(t.Body, ne)}
 	case ocal.TreeFold:
@@ -186,12 +235,4 @@ func (r *renamer) expr(e ocal.Expr, env map[string]string) ocal.Expr {
 		}
 		return ocal.WithChildren(e, nk)
 	}
-}
-
-func copyEnv(m map[string]string) map[string]string {
-	n := make(map[string]string, len(m))
-	for k, v := range m {
-		n[k] = v
-	}
-	return n
 }

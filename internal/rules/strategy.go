@@ -110,11 +110,14 @@ func exprSize(e ocal.Expr) int {
 	return n
 }
 
-// expanded is one rewrite together with its precomputed dedup key (the key
-// is the expensive part of the merge, so workers compute it too).
+// expanded is one rewrite together with its precomputed dedup key (keying
+// is the expensive part of the merge, so workers compute it too). The key
+// is the interned alpha-normal identity: rewrites that re-derive an
+// already-seen program — the common case at depth — hit the Keyer's
+// per-node cache instead of re-printing the whole program.
 type expanded struct {
 	rw  Rewrite
-	key string
+	key uint64
 }
 
 // bfs is the shared level-synchronous search loop. prune, when non-nil,
@@ -132,7 +135,11 @@ func bfs(ctx context.Context, start ocal.Expr, rs []Rule, c *Context, maxDepth, 
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	seen := map[string]bool{alphaKey(start): true}
+	keys := c.Keys
+	if keys == nil {
+		keys = NewKeyer()
+	}
+	seen := map[uint64]bool{keys.AlphaID(start): true}
 	all := []Derivation{{Expr: start}}
 	frontier := []Derivation{{Expr: start}}
 	stats := SearchStats{SpaceSize: 1}
@@ -160,7 +167,7 @@ func bfs(ctx context.Context, start ocal.Expr, rs []Rule, c *Context, maxDepth, 
 			if hi > len(frontier) {
 				hi = len(frontier)
 			}
-			results, mp, mv := expandFrontier(ctx, frontier[lo:hi], rs, c, snapParam, snapVar, workers)
+			results, mp, mv := expandFrontier(ctx, frontier[lo:hi], rs, c, keys, snapParam, snapVar, workers)
 			if mp > maxParam {
 				maxParam = mp
 			}
@@ -205,7 +212,7 @@ func bfs(ctx context.Context, start ocal.Expr, rs []Rule, c *Context, maxDepth, 
 // gets a Context forked at the level snapshot, so fresh names never depend
 // on which worker picked the item up; the returned maxima say how far the
 // counters must advance. Results are indexed by frontier position.
-func expandFrontier(ctx context.Context, items []Derivation, rs []Rule, c *Context, snapParam, snapVar, workers int) ([][]expanded, int, int) {
+func expandFrontier(ctx context.Context, items []Derivation, rs []Rule, c *Context, keys *Keyer, snapParam, snapVar, workers int) ([][]expanded, int, int) {
 	out := make([][]expanded, len(items))
 	var mu sync.Mutex
 	maxParam, maxVar := 0, 0
@@ -217,7 +224,7 @@ func expandFrontier(ctx context.Context, items []Derivation, rs []Rule, c *Conte
 		rws := Step(items[i].Expr, rs, fc)
 		exps := make([]expanded, len(rws))
 		for j, rw := range rws {
-			exps[j] = expanded{rw: rw, key: alphaKey(rw.Expr)}
+			exps[j] = expanded{rw: rw, key: keys.AlphaID(rw.Expr)}
 		}
 		out[i] = exps
 		mu.Lock()

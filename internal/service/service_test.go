@@ -313,3 +313,38 @@ func TestServerDefaults(t *testing.T) {
 		t.Fatal("beam-defaulted server produced the exhaustive fingerprint")
 	}
 }
+
+// TestSequentialRequestsFreshMemoState posts two different synthesis
+// requests to one daemon and checks each plan is byte-identical to a plan
+// computed by an isolated run of the same request. The synthesis memo
+// tables (interner, alpha-key cache, cost memo) live per request; this is
+// the test that nothing the first request cached leaks into — or perturbs —
+// the second.
+func TestSequentialRequestsFreshMemoState(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+
+	sortBody := `{
+		"program": "treeFold[1](foldL([], \\<acc, x> -> acc ++ [x]), unfoldR(mrg))((for (x <- R) [foldL([], \\<a, y> -> if y <= x then a ++ [y] else a)(R) ++ [x]]))",
+		"hier": "hdd-ram", "ram": 8388608,
+		"inputs": {"R": {"node": "hdd", "rows": 262144, "arity": 1}},
+		"depth": 3, "space": 200
+	}`
+
+	for name, body := range map[string]string{"join": fastBody(), "sort": sortBody} {
+		resp, served := post(t, ts, body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: status %d: %s", name, resp.StatusCode, served)
+		}
+		var req plan.Request
+		if err := json.Unmarshal([]byte(body), &req); err != nil {
+			t.Fatal(err)
+		}
+		isolated, err := plan.Execute(t.Context(), req)
+		if err != nil {
+			t.Fatalf("%s: isolated run: %v", name, err)
+		}
+		if !bytes.Equal(served, plan.Encode(isolated)) {
+			t.Errorf("%s: daemon plan differs from an isolated run of the same request", name)
+		}
+	}
+}

@@ -1,0 +1,292 @@
+package symbolic
+
+import "math"
+
+// This file implements the compiled fast path for repeated evaluation. The
+// parameter optimizer and the synthesizer's screening pass evaluate the same
+// cost formula thousands of times under environments that differ only in a
+// few tuning-parameter values; Expr.Eval walks the tree with one interface
+// dispatch and one map lookup per node each time. Compile flattens the
+// formula once into a postfix instruction sequence over an indexed value
+// slice, and memoizes subexpressions by node identity: a subtree that the
+// simplifier shared between several parents (Add and Mul reuse residual
+// terms by pointer) is evaluated once per environment and its value reused,
+// instead of being re-walked at every occurrence.
+//
+// Program.Eval performs exactly the floating-point operations of Expr.Eval
+// in exactly the same order, so a compiled evaluation is bit-identical to
+// the interpreted one — the synthesizer's winners (and hence served plans)
+// do not depend on which path costed them.
+
+type opcode uint8
+
+const (
+	opConst opcode = iota
+	opVar          // push vals[a]
+	opAdd          // pop a terms, push their left-to-right sum
+	opMul          // pop a terms, push their left-to-right product
+	opDiv          // pop den, num; push num/den
+	opCeil
+	opFloor
+	opLog2
+	opMax // pop a terms, push running max (NaN-preserving like Eval)
+	opMin
+	opLoad  // push memo[a]
+	opStore // memo[a] = top of stack (not popped)
+)
+
+type instr struct {
+	op opcode
+	a  int32
+	c  float64
+}
+
+// Slots assigns evaluation-slot indices to variable names. One Slots is
+// shared by every Program that should evaluate against the same value
+// slice (an objective and its constraints, say).
+type Slots struct {
+	index map[string]int
+}
+
+// NewSlots returns an empty slot assignment.
+func NewSlots() *Slots { return &Slots{index: map[string]int{}} }
+
+// Slot returns the index for name, assigning the next free one on first use.
+func (s *Slots) Slot(name string) int {
+	if i, ok := s.index[name]; ok {
+		return i
+	}
+	i := len(s.index)
+	s.index[name] = i
+	return i
+}
+
+// Lookup returns the slot for name without assigning one.
+func (s *Slots) Lookup(name string) (int, bool) {
+	i, ok := s.index[name]
+	return i, ok
+}
+
+// Values returns a value slice sized to the assignment, prefilled with NaN
+// so that variables the caller never binds evaluate to NaN — the same
+// contract as Expr.Eval under an env that lacks them.
+func (s *Slots) Values() []float64 {
+	v := make([]float64, len(s.index))
+	for i := range v {
+		v[i] = math.NaN()
+	}
+	return v
+}
+
+// Program is a compiled expression. Eval reuses internal scratch space, so a
+// Program must not be evaluated from multiple goroutines concurrently;
+// compile one per goroutine (compilation is a single tree walk).
+type Program struct {
+	code  []instr
+	stack []float64
+	memo  []float64
+}
+
+// Compile flattens e into a Program evaluating against the slot layout. New
+// variables encountered in e are assigned slots in s as a side effect.
+// Subexpressions shared by identity are evaluated once per environment and
+// their value reused (worth it for the optimizer's thousands of evaluations
+// of one formula).
+func Compile(e Expr, s *Slots) *Program { return compile(e, s, true) }
+
+// CompileLite is Compile without the shared-subexpression analysis: cheaper
+// to build, slightly more work per evaluation. The screening pass uses it —
+// it compiles a fresh formula for every candidate program and evaluates it
+// only a handful of times, so compilation cost dominates there.
+func CompileLite(e Expr, s *Slots) *Program { return compile(e, s, false) }
+
+func compile(e Expr, s *Slots, cse bool) *Program {
+	p := &Program{code: make([]instr, 0, 128)}
+	// First pass (cse only): count how often each compound node occurs (by
+	// identity). Nodes reached twice or more get a memo slot; their subtree
+	// is emitted once and later occurrences load the stored value.
+	var counts map[Expr]int
+	if cse {
+		counts = map[Expr]int{}
+		var count func(Expr)
+		count = func(e Expr) {
+			switch t := e.(type) {
+			case *nary:
+				counts[e]++
+				if counts[e] > 1 {
+					return
+				}
+				for _, s := range t.terms {
+					count(s)
+				}
+			case *div:
+				counts[e]++
+				if counts[e] > 1 {
+					return
+				}
+				count(t.num)
+				count(t.den)
+			case *unary:
+				counts[e]++
+				if counts[e] > 1 {
+					return
+				}
+				count(t.arg)
+			case *minmax:
+				counts[e]++
+				if counts[e] > 1 {
+					return
+				}
+				for _, s := range t.terms {
+					count(s)
+				}
+			}
+		}
+		count(e)
+	}
+
+	var memoSlot map[Expr]int
+	if cse {
+		memoSlot = map[Expr]int{}
+	}
+	var emit func(Expr)
+	emit = func(e Expr) {
+		if slot, ok := memoSlot[e]; ok {
+			p.code = append(p.code, instr{op: opLoad, a: int32(slot)})
+			return
+		}
+		switch t := e.(type) {
+		case Const:
+			p.code = append(p.code, instr{op: opConst, c: float64(t)})
+			return
+		case Var:
+			p.code = append(p.code, instr{op: opVar, a: int32(s.Slot(string(t)))})
+			return
+		case *nary:
+			for _, s := range t.terms {
+				emit(s)
+			}
+			op := opAdd
+			if t.op == "*" {
+				op = opMul
+			}
+			p.code = append(p.code, instr{op: op, a: int32(len(t.terms))})
+		case *div:
+			emit(t.num)
+			emit(t.den)
+			p.code = append(p.code, instr{op: opDiv})
+		case *unary:
+			emit(t.arg)
+			switch t.op {
+			case "ceil":
+				p.code = append(p.code, instr{op: opCeil})
+			case "floor":
+				p.code = append(p.code, instr{op: opFloor})
+			case "log2":
+				p.code = append(p.code, instr{op: opLog2})
+			}
+		case *minmax:
+			for _, s := range t.terms {
+				emit(s)
+			}
+			op := opMax
+			if t.op == "min" {
+				op = opMin
+			}
+			p.code = append(p.code, instr{op: op, a: int32(len(t.terms))})
+		}
+		if cse && counts[e] > 1 {
+			slot := len(memoSlot)
+			memoSlot[e] = slot
+			p.code = append(p.code, instr{op: opStore, a: int32(slot)})
+		}
+	}
+	emit(e)
+	p.memo = make([]float64, len(memoSlot))
+
+	// Size the evaluation stack once.
+	depth, maxDepth := 0, 1
+	for _, in := range p.code {
+		switch in.op {
+		case opConst, opVar, opLoad:
+			depth++
+		case opAdd, opMul, opMax, opMin:
+			depth -= int(in.a) - 1
+		case opDiv:
+			depth--
+		}
+		if depth > maxDepth {
+			maxDepth = depth
+		}
+	}
+	p.stack = make([]float64, maxDepth)
+	return p
+}
+
+// Eval runs the program against the value slice (indexed per the Slots the
+// program was compiled with).
+func (p *Program) Eval(vals []float64) float64 {
+	st := p.stack
+	sp := 0
+	for _, in := range p.code {
+		switch in.op {
+		case opConst:
+			st[sp] = in.c
+			sp++
+		case opVar:
+			st[sp] = vals[in.a]
+			sp++
+		case opLoad:
+			st[sp] = p.memo[in.a]
+			sp++
+		case opStore:
+			p.memo[in.a] = st[sp-1]
+		case opAdd:
+			base := sp - int(in.a)
+			s := 0.0
+			for i := base; i < sp; i++ {
+				s += st[i]
+			}
+			st[base] = s
+			sp = base + 1
+		case opMul:
+			base := sp - int(in.a)
+			s := 1.0
+			for i := base; i < sp; i++ {
+				s *= st[i]
+			}
+			st[base] = s
+			sp = base + 1
+		case opDiv:
+			st[sp-2] = st[sp-2] / st[sp-1]
+			sp--
+		case opCeil:
+			st[sp-1] = math.Ceil(st[sp-1])
+		case opFloor:
+			st[sp-1] = math.Floor(st[sp-1])
+		case opLog2:
+			st[sp-1] = math.Log2(st[sp-1])
+		case opMax:
+			base := sp - int(in.a)
+			best := st[base]
+			for i := base + 1; i < sp; i++ {
+				if st[i] > best {
+					best = st[i]
+				}
+			}
+			st[base] = best
+			sp = base + 1
+		case opMin:
+			base := sp - int(in.a)
+			best := st[base]
+			for i := base + 1; i < sp; i++ {
+				if st[i] < best {
+					best = st[i]
+				}
+			}
+			st[base] = best
+			sp = base + 1
+		}
+	}
+	return st[0]
+}

@@ -8,9 +8,10 @@
 package symbolic
 
 import (
-	"fmt"
 	"math"
+	"slices"
 	"sort"
+	"strconv"
 	"strings"
 )
 
@@ -36,30 +37,78 @@ type Const float64
 // Var is a named variable (input cardinality or tuning parameter).
 type Var string
 
+// Compound nodes cache their canonical key, computed once at construction.
+// Simplification (Add, Mul, Sum) compares and sorts subterms by key at every
+// level, so recomputing keys recursively made building a cost formula
+// quadratic in its size; the cache is why the fields below are only ever set
+// through the new* constructors.
 type nary struct {
 	op    string // "+" or "*"
 	terms []Expr
+	k     string
 }
 
-type div struct{ num, den Expr }
+type div struct {
+	num, den Expr
+	k        string
+}
 
 type unary struct {
 	op  string // "ceil", "floor", "log2"
 	arg Expr
+	k   string
 }
 
 type minmax struct {
 	op    string // "max" or "min"
 	terms []Expr
+	k     string
+}
+
+func newNary(op string, terms []Expr) *nary {
+	keys := make([]string, len(terms))
+	n := 2 + len(op) + len(terms)
+	for i, t := range terms {
+		keys[i] = t.key()
+		n += len(keys[i])
+	}
+	var b strings.Builder
+	b.Grow(n)
+	b.WriteString("(")
+	b.WriteString(op)
+	for _, k := range keys {
+		b.WriteString(" ")
+		b.WriteString(k)
+	}
+	b.WriteString(")")
+	return &nary{op: op, terms: terms, k: b.String()}
+}
+
+func newDiv(num, den Expr) *div {
+	return &div{num: num, den: den, k: "(/ " + num.key() + " " + den.key() + ")"}
+}
+
+func newUnary(op string, arg Expr) *unary {
+	return &unary{op: op, arg: arg, k: "(" + op + " " + arg.key() + ")"}
+}
+
+func newMinmax(op string, terms []Expr) *minmax {
+	parts := make([]string, len(terms))
+	for i, t := range terms {
+		parts[i] = t.key()
+	}
+	sort.Strings(parts)
+	return &minmax{op: op, terms: terms,
+		k: "(" + op + " " + strings.Join(parts, " ") + ")"}
 }
 
 func (c Const) Eval(Env) float64 { return float64(c) }
 func (c Const) String() string {
 	f := float64(c)
 	if f == math.Trunc(f) && math.Abs(f) < 1e15 {
-		return fmt.Sprintf("%d", int64(f))
+		return strconv.FormatInt(int64(f), 10)
 	}
-	return fmt.Sprintf("%g", f)
+	return strconv.FormatFloat(f, 'g', -1, 64)
 }
 func (c Const) key() string { return c.String() }
 
@@ -106,13 +155,7 @@ func (n *nary) String() string {
 	return strings.Join(parts, sep)
 }
 
-func (n *nary) key() string {
-	parts := make([]string, len(n.terms))
-	for i, t := range n.terms {
-		parts[i] = t.key()
-	}
-	return "(" + n.op + " " + strings.Join(parts, " ") + ")"
-}
+func (n *nary) key() string { return n.k }
 
 func (d *div) Eval(env Env) float64 { return d.num.Eval(env) / d.den.Eval(env) }
 func (d *div) String() string {
@@ -127,7 +170,7 @@ func (d *div) String() string {
 	}
 	return ns + "/" + ds
 }
-func (d *div) key() string { return "(/ " + d.num.key() + " " + d.den.key() + ")" }
+func (d *div) key() string { return d.k }
 
 func (u *unary) Eval(env Env) float64 {
 	x := u.arg.Eval(env)
@@ -142,7 +185,7 @@ func (u *unary) Eval(env Env) float64 {
 	return math.NaN()
 }
 func (u *unary) String() string { return u.op + "(" + u.arg.String() + ")" }
-func (u *unary) key() string    { return "(" + u.op + " " + u.arg.key() + ")" }
+func (u *unary) key() string    { return u.k }
 
 func (m *minmax) Eval(env Env) float64 {
 	best := m.terms[0].Eval(env)
@@ -161,14 +204,7 @@ func (m *minmax) String() string {
 	}
 	return m.op + "(" + strings.Join(parts, ", ") + ")"
 }
-func (m *minmax) key() string {
-	parts := make([]string, len(m.terms))
-	for i, t := range m.terms {
-		parts[i] = t.key()
-	}
-	sort.Strings(parts)
-	return "(" + m.op + " " + strings.Join(parts, " ") + ")"
-}
+func (m *minmax) key() string { return m.k }
 
 // Zero and One are shared constants.
 var (
@@ -227,6 +263,12 @@ func Add(terms ...Expr) Expr {
 		if c == 0 {
 			continue
 		}
+		if c == 1 {
+			// Mul(1, x) returns a node with x's exact key; reusing x skips
+			// the rebuild without changing the formula.
+			flat = append(flat, repr[k])
+			continue
+		}
 		flat = append(flat, Mul(Const(c), repr[k]))
 	}
 	if constSum != 0 {
@@ -238,13 +280,24 @@ func Add(terms ...Expr) Expr {
 	case 1:
 		return flat[0]
 	}
-	return &nary{op: "+", terms: flat}
+	return newNary("+", flat)
 }
 
 // splitCoeff splits e into (constant coefficient, residual expression).
 func splitCoeff(e Expr) (float64, Expr) {
 	n, ok := e.(*nary)
 	if !ok || n.op != "*" {
+		return 1, e
+	}
+	hasConst := false
+	for _, t := range n.terms {
+		if _, ok := t.(Const); ok {
+			hasConst = true
+			break
+		}
+	}
+	if !hasConst {
+		// No constant factor: the residual is e itself; skip the rebuild.
 		return 1, e
 	}
 	c := 1.0
@@ -262,7 +315,7 @@ func splitCoeff(e Expr) (float64, Expr) {
 	case 1:
 		return c, rest[0]
 	}
-	return c, &nary{op: "*", terms: rest}
+	return c, newNary("*", rest)
 }
 
 // Mul returns the simplified product of factors.
@@ -306,7 +359,7 @@ func Mul(factors ...Expr) Expr {
 			nums = append(nums, f)
 		}
 	}
-	sort.SliceStable(nums, func(i, j int) bool { return nums[i].key() < nums[j].key() })
+	slices.SortStableFunc(nums, func(a, b Expr) int { return strings.Compare(a.key(), b.key()) })
 	if constProd != 1 {
 		nums = append([]Expr{Const(constProd)}, nums...)
 	}
@@ -317,7 +370,7 @@ func Mul(factors ...Expr) Expr {
 	case 1:
 		num = nums[0]
 	default:
-		num = &nary{op: "*", terms: nums}
+		num = newNary("*", nums)
 	}
 	if len(dens) == 0 {
 		return num
@@ -357,7 +410,7 @@ func Div(a, b Expr) Expr {
 	if ad, ok := a.(*div); ok {
 		return Div(ad.num, Mul(ad.den, b))
 	}
-	return &div{num: a, den: b}
+	return newDiv(a, b)
 }
 
 // Ceil returns ceil(a). Constants fold; ceil(ceil(x)) collapses.
@@ -368,7 +421,7 @@ func Ceil(a Expr) Expr {
 	if u, ok := a.(*unary); ok && (u.op == "ceil" || u.op == "floor") {
 		return a
 	}
-	return &unary{op: "ceil", arg: a}
+	return newUnary("ceil", a)
 }
 
 // Floor returns floor(a).
@@ -376,7 +429,7 @@ func Floor(a Expr) Expr {
 	if c, ok := a.(Const); ok {
 		return Const(math.Floor(float64(c)))
 	}
-	return &unary{op: "floor", arg: a}
+	return newUnary("floor", a)
 }
 
 // Log2 returns log2(a).
@@ -384,7 +437,7 @@ func Log2(a Expr) Expr {
 	if c, ok := a.(Const); ok && c > 0 {
 		return Const(math.Log2(float64(c)))
 	}
-	return &unary{op: "log2", arg: a}
+	return newUnary("log2", a)
 }
 
 // Max returns max of terms, deduplicated; constants fold together.
@@ -432,8 +485,8 @@ func mkMinMax(op string, terms []Expr) Expr {
 	case 1:
 		return flat[0]
 	}
-	sort.SliceStable(flat, func(i, j int) bool { return flat[i].key() < flat[j].key() })
-	return &minmax{op: op, terms: flat}
+	slices.SortStableFunc(flat, func(a, b Expr) int { return strings.Compare(a.key(), b.key()) })
+	return newMinmax(op, flat)
 }
 
 // Equal reports structural equality after simplification.
