@@ -4,11 +4,18 @@
 // Usage:
 //
 //	ocalrun -prog prog.ocal -in 'R=[<1,10>,<2,20>];S=[<1,100>]' [-param k1=4]
+//
+// With -json, the result value is emitted together with the interpreter's
+// step counters (expressions evaluated, functions applied, combinator
+// steps), so two formulations of the same query can be compared by work
+// done, not just by answer.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -22,6 +29,7 @@ func main() {
 		progPath = flag.String("prog", "", "path to the OCAL program (- for stdin)")
 		inputs   = flag.String("in", "", "inputs as name=<ocal literal>, ';' separated")
 		params   = flag.String("param", "", "parameter bindings name=int, comma separated")
+		asJSON   = flag.Bool("json", false, "emit the result and interpreter step counters as JSON")
 	)
 	flag.Parse()
 	if *progPath == "" {
@@ -31,16 +39,10 @@ func main() {
 	var src []byte
 	var err error
 	if *progPath == "-" {
-		buf := make([]byte, 0, 4096)
-		tmp := make([]byte, 4096)
-		for {
-			n, rerr := os.Stdin.Read(tmp)
-			buf = append(buf, tmp[:n]...)
-			if rerr != nil {
-				break
-			}
+		src, err = io.ReadAll(os.Stdin)
+		if err != nil {
+			die(fmt.Errorf("reading stdin: %w", err))
 		}
-		src = buf
 	} else {
 		src, err = os.ReadFile(*progPath)
 		if err != nil {
@@ -81,9 +83,22 @@ func main() {
 		}
 	}
 
-	res, err := interp.Eval(prog, in, pb)
+	it := interp.New(pb)
+	res, err := it.Eval(prog, in)
 	if err != nil {
 		die(err)
+	}
+	if *asJSON {
+		out := struct {
+			Result string          `json:"result"`
+			Steps  interp.Counters `json:"steps"`
+		}{Result: res.String(), Steps: it.Counters()}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			die(err)
+		}
+		return
 	}
 	fmt.Println(res)
 }

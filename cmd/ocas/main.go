@@ -19,10 +19,12 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 
@@ -49,6 +51,10 @@ func main() {
 		workers  = flag.Int("workers", 0, "synthesis worker pool size (0 = GOMAXPROCS)")
 		emitC    = flag.Bool("c", false, "emit C code for the synthesized algorithm")
 		asJSON   = flag.Bool("json", false, "emit the canonical plan encoding (identical to the ocasd service response)")
+		run      = flag.Bool("run", false, "execute the synthesized algorithm on the storage simulator with generated inputs")
+		seed     = flag.Int64("seed", 1, "input generator seed (-run)")
+		batch    = flag.Int64("batch", 0, "executor batch size in rows, 0 = default (-run)")
+		poolB    = flag.Int64("pool", 0, "executor buffer pool budget in bytes, 0 = the RAM size (-run)")
 	)
 	flag.Parse()
 	if *progPath == "" || *inputs == "" {
@@ -136,11 +142,34 @@ func main() {
 		for name, node := range task.InputLoc {
 			req.Inputs[name] = plan.Input{Node: node, Rows: task.InputRows[name], Arity: arities[name]}
 		}
-		p, err := plan.Execute(context.Background(), req)
+		c, err := plan.Compile(req)
 		if err != nil {
 			die(err)
 		}
-		os.Stdout.Write(plan.Encode(p))
+		p, err := c.Run(context.Background())
+		if err != nil {
+			die(err)
+		}
+		if !*run {
+			os.Stdout.Write(plan.Encode(p))
+			return
+		}
+		// -run -json: the canonical plan plus the execution report. (The
+		// bare -json output stays byte-identical to the ocasd response.)
+		rep, err := plan.ExecutePlan(context.Background(), c, p,
+			plan.ExecOptions{Seed: *seed, BatchRows: *batch, PoolBytes: *poolB})
+		if err != nil {
+			die(err)
+		}
+		out := struct {
+			Plan *plan.Plan       `json:"plan"`
+			Exec *plan.ExecReport `json:"exec"`
+		}{p, rep}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			die(err)
+		}
 		return
 	}
 
@@ -184,6 +213,38 @@ func main() {
 		fmt.Println("== generated C ==")
 		fmt.Print(csrc)
 	}
+
+	if *run {
+		rep, err := plan.RunProgram(context.Background(), h, res.Best.Expr, res.Best.Params, task,
+			plan.ExecOptions{Seed: *seed, BatchRows: *batch, PoolBytes: *poolB})
+		if err != nil {
+			die(err)
+		}
+		fmt.Println("== execution ==")
+		fmt.Printf("   input rows:     %v\n", rep.InputRows)
+		if rep.Result != "" {
+			fmt.Printf("   result:         %s\n", rep.Result)
+		}
+		fmt.Printf("   output rows:    %d (digest %s)\n", rep.OutRows, rep.OutDigest[:16])
+		fmt.Printf("   measured cost:  %.6g s (estimated %.6g s)\n",
+			rep.VirtualSeconds, res.Best.Seconds)
+		for _, name := range sortedKeys(rep.Devices) {
+			d := rep.Devices[name]
+			fmt.Printf("   %-8s reads: %d inits / %d B   writes: %d inits / %d B\n",
+				name, d.ReadInits, d.BytesRead, d.WriteInits, d.BytesWrite)
+		}
+		fmt.Printf("   buffer pool:    peak %d B of %d B budget, %d spill files\n",
+			rep.Pool.PeakBytes, rep.Pool.Budget, rep.Pool.Spills)
+	}
+}
+
+func sortedKeys(m map[string]plan.DeviceReport) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
 }
 
 // pickHierarchy resolves -hier: a built-in name (rawJSON nil) or a JSON

@@ -10,6 +10,10 @@
 // Endpoints (see internal/service):
 //
 //	POST /synthesize          synthesize (or serve) the plan for a request
+//	POST /execute             resolve the plan, then run it on the storage
+//	                          simulator (request-supplied or generated
+//	                          inputs); returns digest + virtual clock +
+//	                          per-device ledger
 //	GET  /plans/{fingerprint} fetch a cached plan by content address
 //	GET  /healthz             liveness
 //	GET  /stats               cache + service counters
@@ -42,8 +46,9 @@ func main() {
 		strategy    = flag.String("strategy", "", "default search strategy for requests that don't choose one: exhaustive or beam")
 		beam        = flag.Int("beam", 0, "default beam width (with -strategy beam)")
 		workers     = flag.Int("workers", 0, "synthesis worker pool size per job (0 = GOMAXPROCS)")
-		maxInflight = flag.Int("max-inflight", 2, "maximum concurrent synthesis jobs (admission control)")
+		maxInflight = flag.Int("max-inflight", 2, "maximum concurrent synthesis/execution jobs (admission control)")
 		timeout     = flag.Duration("timeout", 60*time.Second, "per-request synthesis budget (requests may lower it via timeoutMs)")
+		maxExecRows = flag.Int64("max-exec-rows", 1<<20, "largest per-input row count POST /execute will run")
 	)
 	flag.Parse()
 	switch *strategy {
@@ -66,6 +71,7 @@ func main() {
 		CacheSize:   *cacheSize,
 		MaxInflight: *maxInflight,
 		Timeout:     *timeout,
+		MaxExecRows: *maxExecRows,
 		Strategy:    *strategy,
 		Beam:        *beam,
 		Workers:     *workers,

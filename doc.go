@@ -59,6 +59,40 @@
 // them, and CI's bench job gates synthesis wall-clock against the
 // committed BENCH_baseline.json report.
 //
+// # Execution: the compositional batch-streaming executor
+//
+// internal/exec runs synthesized programs against the storage simulator
+// through a streaming operator protocol: every physical operator —
+// scan, filter/project, blocked nested-loop join (with cache tiling),
+// GRACE hash join, external merge sort, streaming unfoldR, foldL
+// aggregation — implements Open(*Ctx) / Next(*Batch) / Close() over
+// fixed-size flat row batches. exec.Lower is recursive and
+// compositional: operator inputs may themselves be lowered
+// subexpressions piped through the batch protocol, so any synthesized
+// operator tree executes, not just whole programs matching a known
+// shape. Base-table inputs are fused into their consuming operator
+// (direct blocked device reads at the tuned block size), preserving the
+// analytic charge profile of the classic single-shape plans.
+//
+// The layering below exec is internal/storage: the discrete-event device
+// simulator (seeks, flash erases, per-byte transfer against a virtual
+// clock) plus the executor's memory substrate — storage.BufferPool pins
+// every resident working block (scan frames, join outer blocks,
+// partition write buffers, merge cursors) against the hierarchy's RAM
+// budget with LRU eviction of unpinned frames, and storage.Spill holds
+// device-resident runs (relations, hash partitions, sort runs,
+// materialized intermediates) whose appends and reads charge
+// InitCom/UnitTr on the owning device's ledger. Budgets degrade
+// gracefully: a pin that cannot be granted in full shrinks (never below
+// one row), so tight budgets produce smaller blocks and honest extra
+// transfer initiations rather than failures.
+//
+// internal/plan's RunProgram/ExecutePlan is the shared execution door:
+// cmd/ocas -run, the ocasd POST /execute endpoint, and the calibration
+// columns of the bench report (estOverAct, execSecs) all execute plans
+// through it, reporting virtual-clock seconds, per-device ledgers,
+// buffer-pool stats and a SHA-256 digest of the output bag.
+//
 // # Serving: ocasd and the plan cache
 //
 // cmd/ocasd is the synthesis daemon — the synthesize-once/serve-many
@@ -89,8 +123,13 @@
 //
 // Beyond the per-package unit tests: internal/exec's differential harness
 // (go test ./internal/exec -run Differential) executes randomized
-// scan/join/sort/fold programs against both the physical plans and the
-// reference interpreter; internal/ocal carries a parser fuzz target (go
+// scan/join/sort/fold/composed programs against both the operator trees
+// and the reference interpreter, swept over batch sizes and buffer-pool
+// budgets that force frame shrinking and spilling, and
+// internal/plan's TestExamplesDifferential does the same end-to-end for
+// every examples/ corpus request (synthesize, execute, bag-compare
+// against the interpreted specification); internal/ocal carries a parser
+// fuzz target (go
 // test -fuzz=FuzzParse ./internal/ocal) and internal/service a hierarchy
 // fuzz target (go test -fuzz=FuzzHierarchyJSON ./internal/service);
 // internal/core and internal/rules assert parallel-versus-sequential

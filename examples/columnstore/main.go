@@ -105,7 +105,6 @@ func main() {
 	if err := plan2.Run(); err != nil {
 		log.Fatal(err)
 	}
-	fold := plan2.(*exec.FoldStream)
 	fmt.Printf("aggregated %d rows in %.4g simulated seconds; accumulator = %s\n",
-		rows, sim2.Clock.Seconds(), fold.Final)
+		rows, sim2.Clock.Seconds(), plan2.Result)
 }

@@ -52,23 +52,28 @@ func main() {
 	if err := in.Preload(workload.Ints(n, 1<<30, 7)); err != nil {
 		log.Fatal(err)
 	}
-	plan, err := exec.Lower(res.Best.Expr, exec.LowerOpts{
+	out, err := exec.NewTable(dev, 1, n+8)
+	if err != nil {
+		log.Fatal(err)
+	}
+	prog, err := exec.Lower(res.Best.Expr, exec.LowerOpts{
 		Sim: sim, Inputs: map[string]*exec.Table{"R": in},
-		Params: res.Best.Params, Scratch: dev, Sink: &exec.Sink{Sim: sim},
+		Params: res.Best.Params, Scratch: dev,
+		Sink:     &exec.Sink{Out: out, Bout: 1 << 10, Sim: sim},
 		RAMBytes: h.Root.Size,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	if err := plan.Run(); err != nil {
+	if err := prog.Run(); err != nil {
 		log.Fatal(err)
 	}
-	srt := plan.(*exec.ExtSort)
-	for i := int64(1); i < srt.Out.Rows(); i++ {
-		if srt.Out.Data[i] < srt.Out.Data[i-1] {
+	for i := int64(1); i < out.Rows(); i++ {
+		if out.Data[i] < out.Data[i-1] {
 			log.Fatalf("output not sorted at %d", i)
 		}
 	}
+	srt := prog.Root.(*exec.ExtSort)
 	fmt.Printf("executed %d-way merge sort on %d keys: %d passes, %.4g simulated seconds; output verified sorted\n",
 		srt.Way, n, srt.Passes, sim.Clock.Seconds())
 }

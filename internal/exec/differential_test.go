@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"sync"
 	"testing"
 
 	"ocas/internal/interp"
@@ -14,11 +15,22 @@ import (
 
 // This file is the differential test harness: it generates randomized small
 // OCAL programs in the shapes the rule library produces (blocked scans,
-// nested-loop joins, GRACE hash joins, external sorts, streaming folds)
-// together with random tables, lowers each program to a physical plan, and
-// checks that the plan computes the same result bag as the internal/interp
-// reference interpreter run on the same program and parameters. Order is
-// compared only where the physical operator guarantees it (sorting).
+// nested-loop joins, GRACE hash joins, external sorts, streaming folds) and
+// in composed shapes only the compositional lowerer accepts, together with
+// random tables, lowers each program to an operator tree, and checks that
+// execution computes the same result bag as the internal/interp reference
+// interpreter run on the same program and parameters — swept over operator
+// batch sizes and buffer-pool budgets small enough to force frame shrinking
+// and spilling. Order is compared only where the physical operator
+// guarantees it (sorting).
+
+// diffBatchSizes are the operator exchange granularities every case runs at.
+var diffBatchSizes = []int64{1, 7, 64}
+
+// diffPoolBudgets are the buffer-pool budgets every case runs at: the
+// default (RAMBytes) and a budget far below the inputs, forcing block
+// shrinking and real spilling.
+var diffPoolBudgets = []int64{0, 1 << 10}
 
 // diffTable is one randomly generated relation in both representations.
 type diffTable struct {
@@ -140,26 +152,20 @@ type diffCase struct {
 	refSrc string
 	// sortedOut asserts the physical output is additionally sorted.
 	sortedOut bool
-	// scalar compares a FoldStream final value instead of a row bag.
+	// scalar compares the program's scalar result instead of a row bag.
 	scalar bool
 }
 
-// runDiff lowers and executes the case, evaluates the interpreter on the
-// same program, and compares.
-func runDiff(t *testing.T, c diffCase) {
+// execDiff lowers and executes one configuration of the case, returning the
+// produced rows (or the scalar result).
+func execDiff(t *testing.T, c diffCase, prog ocal.Expr, batchRows, poolBytes int64) ([][]int32, ocal.Value) {
 	t.Helper()
-	prog, err := ocal.Parse(c.src)
-	if err != nil {
-		t.Fatalf("generated program does not parse: %v\n%s", err, c.src)
-	}
-
 	sim := storage.NewSim(memory.HDDRAM(64 * memory.MiB))
 	scratch, err := sim.Device("hdd")
 	if err != nil {
 		t.Fatal(err)
 	}
 	tables := map[string]*Table{}
-	values := map[string]ocal.Value{}
 	for name, dt := range c.inputs {
 		arity := c.arities[name]
 		tb, err := NewTable(scratch, arity, int64(len(dt.rows)/arity)+8)
@@ -170,62 +176,75 @@ func runDiff(t *testing.T, c diffCase) {
 			t.Fatal(err)
 		}
 		tables[name] = tb
-		values[name] = dt.value
 	}
-
-	var outCap int64 = 4 << 10
-	out, err := NewTable(scratch, c.outArity, outCap)
+	out, err := NewTable(scratch, c.outArity, 4<<10)
 	if err != nil {
 		t.Fatal(err)
 	}
 	sink := &Sink{Out: out, Bout: 8, Sim: sim}
-	plan, err := Lower(prog, LowerOpts{Sim: sim, Inputs: tables, Params: c.params,
-		Scratch: scratch, Sink: sink, RAMBytes: 1 << 20})
+	p, err := Lower(prog, LowerOpts{Sim: sim, Inputs: tables, Params: c.params,
+		Scratch: scratch, Sink: sink, RAMBytes: 1 << 20,
+		PoolBytes: poolBytes, BatchRows: batchRows})
 	if err != nil {
 		t.Fatalf("lower: %v\n%s", err, c.src)
 	}
-	if err := plan.Run(); err != nil {
-		t.Fatalf("run: %v\n%s", err, c.src)
+	if err := p.Run(); err != nil {
+		t.Fatalf("run (batch %d, pool %d): %v\n%s", batchRows, poolBytes, err, c.src)
 	}
+	if c.scalar {
+		if !p.Scalar {
+			t.Fatalf("expected a scalar program, got %T\n%s", p.Root, c.src)
+		}
+		return nil, p.Result
+	}
+	return tableRows(out.Data, c.outArity), nil
+}
 
+// runDiff executes the case at every batch size and pool budget, comparing
+// each run against the reference interpreter.
+func runDiff(t *testing.T, c diffCase) {
+	t.Helper()
+	prog, err := ocal.Parse(c.src)
+	if err != nil {
+		t.Fatalf("generated program does not parse: %v\n%s", err, c.src)
+	}
 	ref := prog
 	if c.refSrc != "" {
 		if ref, err = ocal.Parse(c.refSrc); err != nil {
 			t.Fatalf("reference program does not parse: %v\n%s", err, c.refSrc)
 		}
 	}
+	values := map[string]ocal.Value{}
+	for name, dt := range c.inputs {
+		v := dt.value
+		if v == nil {
+			v = ocal.List{}
+		}
+		values[name] = v
+	}
 	want, err := interp.Eval(ref, values, c.params)
 	if err != nil {
 		t.Fatalf("interp: %v\n%s", err, c.src)
 	}
 
-	if c.scalar {
-		f, ok := plan.(*FoldStream)
-		if !ok {
-			t.Fatalf("expected FoldStream, got %T\n%s", plan, c.src)
-		}
-		if !ocal.ValueEq(f.Final, want) {
-			t.Fatalf("fold: plan %s, interpreter %s\n%s", f.Final, want, c.src)
-		}
-		return
-	}
-
-	var got [][]int32
-	switch p := plan.(type) {
-	case *ExtSort:
-		// An empty input produces no output table at all.
-		if p.Out != nil {
-			got = tableRows(p.Out.Data, c.outArity)
-		}
-	default:
-		got = tableRows(out.Data, c.outArity)
-	}
-	sameBag(t, c.src, got, valueRows(t, want))
-
-	if c.sortedOut {
-		for i := 1; i < len(got); i++ {
-			if rowLess(got[i], got[i-1]) {
-				t.Fatalf("output not sorted at row %d: %v > %v\n%s", i, got[i-1], got[i], c.src)
+	for _, batch := range diffBatchSizes {
+		for _, pool := range diffPoolBudgets {
+			rows, scalar := execDiff(t, c, prog, batch, pool)
+			if c.scalar {
+				if !ocal.ValueEq(scalar, want) {
+					t.Fatalf("fold (batch %d, pool %d): plan %s, interpreter %s\n%s",
+						batch, pool, scalar, want, c.src)
+				}
+				continue
+			}
+			what := fmt.Sprintf("%s (batch %d, pool %d)", c.src, batch, pool)
+			sameBag(t, what, rows, valueRows(t, want))
+			if c.sortedOut {
+				for i := 1; i < len(rows); i++ {
+					if rowLess(rows[i], rows[i-1]) {
+						t.Fatalf("output not sorted at row %d: %v > %v\n%s", i, rows[i-1], rows[i], what)
+					}
+				}
 			}
 		}
 	}
@@ -317,9 +336,9 @@ func TestDifferentialHashJoin(t *testing.T) {
 	}
 }
 
-// TestDifferentialExtSort: randomized external merge sorts. The physical
-// plan must produce the sorted permutation; the interpreter run is compared
-// as a bag (the OCAL merge applied to unsorted runs preserves the multiset,
+// TestDifferentialExtSort: randomized external merge sorts. The operator
+// must produce the sorted permutation; the interpreter run is compared as a
+// bag (the OCAL merge applied to unsorted runs preserves the multiset,
 // which is the equivalence the rule library's oracle checks).
 func TestDifferentialExtSort(t *testing.T) {
 	for seed := int64(0); seed < 20; seed++ {
@@ -372,4 +391,90 @@ func TestDifferentialFold(t *testing.T) {
 			scalar:   true,
 		})
 	}
+}
+
+// TestDifferentialComposed: randomized programs whose operator inputs are
+// themselves lowered subexpressions — the compositions the whole-program
+// matcher rejected outright.
+func TestDifferentialComposed(t *testing.T) {
+	for seed := int64(0); seed < 15; seed++ {
+		r := rand.New(rand.NewSource(500 + seed))
+		R := randTable(r, 2, 20, 6)
+		S := randTable(r, 2, 20, 6)
+		// The join bodies build flat tuples (<x.1, x.2, y.1, y.2>) so the
+		// interpreter's value and the flat physical row layout coincide for
+		// the downstream consumer.
+		flatJoin := "for (xB [k1] <- R) for (yB [k2] <- S) " +
+			"for (x <- xB) for (y <- yB) if x.1 == y.1 then [<x.1, x.2, y.1, y.2>] else []"
+		switch seed % 3 {
+		case 0:
+			// Fold over a nested-loop join.
+			runDiff(t, diffCase{
+				src:      "foldL(0, \\<a, x> -> (a + x.2))(" + flatJoin + ")",
+				params:   map[string]int64{"k1": kp(r), "k2": kp(r)},
+				inputs:   map[string]diffTable{"R": R, "S": S},
+				arities:  map[string]int{"R": 2, "S": 2},
+				outArity: 1,
+				scalar:   true,
+			})
+		case 1:
+			// Projection over a join: the join output streams into the scan.
+			runDiff(t, diffCase{
+				src:      "for (wB [k3] <- " + flatJoin + ") for (w <- wB) [<w.2, w.4>]",
+				params:   map[string]int64{"k1": kp(r), "k2": kp(r), "k3": kp(r)},
+				inputs:   map[string]diffTable{"R": R, "S": S},
+				arities:  map[string]int{"R": 2, "S": 2},
+				outArity: 2,
+			})
+		default:
+			// Three-way join: a join whose outer side is another join
+			// (the inner side materializes to a scratch spill for rescans).
+			T := randTable(r, 2, 12, 6)
+			runDiff(t, diffCase{
+				src: "for (pB [k3] <- " + flatJoin + ") " +
+					"for (tB [k4] <- T) for (p <- pB) for (tt <- tB) " +
+					"if p.3 == tt.1 then [<p.1, p.2, p.3, p.4, tt.1, tt.2>] else []",
+				params: map[string]int64{"k1": kp(r), "k2": kp(r), "k3": kp(r), "k4": kp(r)},
+				inputs: map[string]diffTable{"R": R, "S": S, "T": T},
+				arities: map[string]int{
+					"R": 2, "S": 2, "T": 2,
+				},
+				outArity: 6,
+			})
+		}
+	}
+}
+
+// TestConcurrentPrograms executes the same program concurrently on separate
+// simulators and pools; under -race this proves lowered programs share no
+// mutable state.
+func TestConcurrentPrograms(t *testing.T) {
+	src := "flatMap(\\<p1, p2> -> for (xB [k1] <- p1) for (yB [k2] <- p2) " +
+		"for (x <- xB) for (y <- yB) if x.1 == y.1 then [<x, y>] else [])" +
+		"(zip[2](partition[s](R), partition[s](S)))"
+	prog := ocal.MustParse(src)
+	r := rand.New(rand.NewSource(77))
+	R := randTable(r, 2, 32, 8)
+	S := randTable(r, 2, 32, 8)
+	params := map[string]int64{"k1": 4, "k2": 4, "s": 4}
+
+	want, err := interp.Eval(prog, map[string]ocal.Value{"R": R.value, "S": S.value}, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rows, _ := execDiff(t, diffCase{
+				src:     src,
+				inputs:  map[string]diffTable{"R": R, "S": S},
+				arities: map[string]int{"R": 2, "S": 2}, outArity: 4,
+				params: params,
+			}, prog, 7, 1<<10)
+			sameBag(t, "concurrent "+src, rows, valueRows(t, want))
+		}()
+	}
+	wg.Wait()
 }

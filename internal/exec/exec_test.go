@@ -2,6 +2,7 @@ package exec
 
 import (
 	"math/rand"
+	"sort"
 	"testing"
 
 	"ocas/internal/interp"
@@ -17,31 +18,51 @@ func newSim(t *testing.T) *storage.Sim {
 
 func loadTable(t *testing.T, sim *storage.Sim, dev string, arity int, rows []int32) *Table {
 	t.Helper()
+	return loadTableSim(sim, dev, arity, rows)
+}
+
+func loadTableSim(sim *storage.Sim, dev string, arity int, rows []int32) *Table {
 	d, err := sim.Device(dev)
 	if err != nil {
-		t.Fatal(err)
+		panic(err)
 	}
 	tb, err := NewTable(d, arity, int64(len(rows)/arity)+4)
 	if err != nil {
-		t.Fatal(err)
+		panic(err)
 	}
 	if err := tb.Preload(rows); err != nil {
-		t.Fatal(err)
+		panic(err)
 	}
 	return tb
 }
 
 func pairsOf(vals ...int32) []int32 { return vals }
 
+// runCtx builds an execution context over the simulator's scratch device.
+func runCtx(sim *storage.Sim, dev string, poolBytes int64) *Ctx {
+	d, err := sim.Device(dev)
+	if err != nil {
+		panic(err)
+	}
+	return &Ctx{Sim: sim, Pool: storage.NewBufferPool(poolBytes), Scratch: d}
+}
+
+// drainOp runs an operator tree to completion through a sink.
+func drainOp(t *testing.T, c *Ctx, op Operator, sink *Sink) {
+	t.Helper()
+	p := &Program{Root: op, Sink: sink, c: c}
+	if err := p.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestBNLJoinCorrectAndCharges(t *testing.T) {
 	sim := newSim(t)
 	R := loadTable(t, sim, "hdd", 2, pairsOf(1, 10, 2, 20, 3, 30))
 	S := loadTable(t, sim, "hdd", 2, pairsOf(1, 100, 3, 300, 1, 101))
 	sink := &Sink{Sim: sim} // discarded output still counts rows
-	j := &BNLJoin{Sim: sim, R: R, S: S, K1: 2, K2: 2, Pred: EqPred(0, 0), Sink: sink}
-	if err := j.Run(); err != nil {
-		t.Fatal(err)
-	}
+	j := &BNLJoin{L: TableInput(R), R: TableInput(S), K1: 2, K2: 2, Pred: EqPred(0, 0)}
+	drainOp(t, runCtx(sim, "hdd", 0), j, sink)
 	if sink.RowsWritten != 3 {
 		t.Errorf("join produced %d rows want 3", sink.RowsWritten)
 	}
@@ -67,11 +88,8 @@ func TestBNLJoinBlockingReducesTime(t *testing.T) {
 		}
 		R := loadTable(t, sim, "hdd", 2, rrows)
 		S := loadTable(t, sim, "hdd", 2, srows)
-		j := &BNLJoin{Sim: sim, R: R, S: S, K1: k1, K2: k2, Pred: EqPred(0, 0),
-			Sink: &Sink{Sim: sim}}
-		if err := j.Run(); err != nil {
-			t.Fatal(err)
-		}
+		j := &BNLJoin{L: TableInput(R), R: TableInput(S), K1: k1, K2: k2, Pred: EqPred(0, 0)}
+		drainOp(t, runCtx(sim, "hdd", 0), j, &Sink{Sim: sim})
 		return sim.Clock.Seconds()
 	}
 	naive := mk(1, 1)
@@ -89,11 +107,9 @@ func TestBNLJoinOrderBySwaps(t *testing.T) {
 	R := loadTable(t, sim, "hdd", 2, pairsOf(1, 10, 2, 20, 3, 30, 4, 40))
 	S := loadTable(t, sim, "hdd", 2, pairsOf(1, 100))
 	var swapped bool
-	j := &BNLJoin{Sim: sim, R: R, S: S, K1: 2, K2: 2, OrderBy: true,
-		Pred: EqPred(0, 0), Swapped: &swapped, Sink: &Sink{Sim: sim}}
-	if err := j.Run(); err != nil {
-		t.Fatal(err)
-	}
+	j := &BNLJoin{L: TableInput(R), R: TableInput(S), K1: 2, K2: 2, OrderBy: true,
+		Pred: EqPred(0, 0), Swapped: &swapped}
+	drainOp(t, runCtx(sim, "hdd", 0), j, &Sink{Sim: sim})
 	if !swapped {
 		t.Error("smaller relation must become the outer one")
 	}
@@ -120,11 +136,8 @@ func TestBNLJoinWriteOutSameVsOtherDisk(t *testing.T) {
 		}
 		R := loadTableSim(sim, "hdd", 2, rrows)
 		S := loadTableSim(sim, "hdd", 2, srows)
-		j := &BNLJoin{Sim: sim, R: R, S: S, K1: 64, K2: 64, Pred: TruePred,
-			Sink: &Sink{Out: out, Bout: 64, Sim: sim}}
-		if err := j.Run(); err != nil {
-			panic(err)
-		}
+		j := &BNLJoin{L: TableInput(R), R: TableInput(S), K1: 64, K2: 64, Pred: TruePred}
+		drainOp(t, runCtx(sim, "hdd", 0), j, &Sink{Out: out, Bout: 64, Sim: sim})
 		return sim.Clock.Seconds()
 	}
 	same := run(memory.TwoHDD(64*memory.MiB), "hdd")
@@ -138,21 +151,6 @@ func TestBNLJoinWriteOutSameVsOtherDisk(t *testing.T) {
 	}
 }
 
-func loadTableSim(sim *storage.Sim, dev string, arity int, rows []int32) *Table {
-	d, err := sim.Device(dev)
-	if err != nil {
-		panic(err)
-	}
-	tb, err := NewTable(d, arity, int64(len(rows)/arity)+4)
-	if err != nil {
-		panic(err)
-	}
-	if err := tb.Preload(rows); err != nil {
-		panic(err)
-	}
-	return tb
-}
-
 func TestCacheTilingReducesMisses(t *testing.T) {
 	run := func(tileY int64) *storage.CacheModel {
 		h := memory.HDDRAMCache(64 * memory.MiB)
@@ -164,16 +162,11 @@ func TestCacheTilingReducesMisses(t *testing.T) {
 		}
 		R := loadTableSim(sim, "hdd", 2, rrows)
 		S := loadTableSim(sim, "hdd", 2, srows)
-		j := &BNLJoin{Sim: sim, R: R, S: S, K1: 4000, K2: 4000,
-			Pred: EqPred(0, 0), Sink: &Sink{Sim: sim}, TileY: tileY, TileX: 256}
-		if err := j.Run(); err != nil {
-			t.Fatal(err)
-		}
+		j := &BNLJoin{L: TableInput(R), R: TableInput(S), K1: 4000, K2: 4000,
+			Pred: EqPred(0, 0), TileY: tileY, TileX: 256}
+		drainOp(t, runCtx(sim, "hdd", 0), j, &Sink{Sim: sim})
 		return sim.Cache
 	}
-	// Shrink the cache so the inner block exceeds it (4000 tuples * 8B =
-	// 32KB; use the model as-is with the 3MB cache the paper lists —
-	// widen the data instead).
 	untiled := run(0)
 	tiled := run(256)
 	if untiled == nil || tiled == nil {
@@ -197,10 +190,8 @@ func TestHashJoinMatchesBNL(t *testing.T) {
 		R := loadTableSim(sim, "hdd", 2, rrows)
 		S := loadTableSim(sim, "hdd", 2, srows)
 		sink := &Sink{Sim: sim}
-		j := &BNLJoin{Sim: sim, R: R, S: S, K1: 100, K2: 100, Pred: EqPred(0, 0), Sink: sink}
-		if err := j.Run(); err != nil {
-			t.Fatal(err)
-		}
+		j := &BNLJoin{L: TableInput(R), R: TableInput(S), K1: 100, K2: 100, Pred: EqPred(0, 0)}
+		drainOp(t, runCtx(sim, "hdd", 0), j, sink)
 		return sink.RowsWritten
 	}
 	countHash := func() int64 {
@@ -208,18 +199,32 @@ func TestHashJoinMatchesBNL(t *testing.T) {
 		R := loadTableSim(sim, "hdd", 2, rrows)
 		S := loadTableSim(sim, "hdd", 2, srows)
 		sink := &Sink{Sim: sim}
-		d, _ := sim.Device("hdd")
-		j := &HashJoin{Sim: sim, R: R, S: S, Buckets: 8, Scratch: d,
-			KRead: 64, BufW: 32, KJoin: 128, KeyR: 0, KeyS: 0, Pred: EqPred(0, 0), Sink: sink}
-		if err := j.Run(); err != nil {
-			t.Fatal(err)
-		}
+		j := &HashJoin{L: TableInput(R), R: TableInput(S), Buckets: 8,
+			KRead: 64, BufW: 32, KJoin: 128, Pred: EqPred(0, 0)}
+		drainOp(t, runCtx(sim, "hdd", 0), j, sink)
 		return sink.RowsWritten
 	}
 	a, b := countBNL(), countHash()
 	if a != b {
 		t.Errorf("hash join produced %d rows, BNL %d", b, a)
 	}
+}
+
+// sortRows is a test helper: the expected output of ExtSort.
+func sortRows(rows []int32, arity, key int) []int32 {
+	n := len(rows) / arity
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		return rows[idx[a]*arity+key] < rows[idx[b]*arity+key]
+	})
+	out := make([]int32, 0, len(rows))
+	for _, i := range idx {
+		out = append(out, rows[i*arity:(i+1)*arity]...)
+	}
+	return out
 }
 
 func TestExtSortSorts(t *testing.T) {
@@ -232,16 +237,18 @@ func TestExtSortSorts(t *testing.T) {
 		}
 		in := loadTableSim(sim, "hdd", 1, rows)
 		d, _ := sim.Device("hdd")
-		p := &ExtSort{Sim: sim, In: in, Way: way, Bin: 64, Bout: 64, Scratch: d}
-		if err := p.Run(); err != nil {
+		out, err := NewTable(d, 1, int64(len(rows))+8)
+		if err != nil {
 			t.Fatal(err)
 		}
+		p := &ExtSort{In: TableInput(in), Way: way, Bin: 64, Bout: 64}
+		drainOp(t, runCtx(sim, "hdd", 0), p, &Sink{Out: out, Bout: 64, Sim: sim})
 		want := sortRows(rows, 1, 0)
-		if len(p.Out.Data) != len(want) {
-			t.Fatalf("way=%d: wrong output size %d", way, len(p.Out.Data))
+		if len(out.Data) != len(want) {
+			t.Fatalf("way=%d: wrong output size %d", way, len(out.Data))
 		}
 		for i := range want {
-			if p.Out.Data[i] != want[i] {
+			if out.Data[i] != want[i] {
 				t.Fatalf("way=%d: output not sorted at %d", way, i)
 			}
 		}
@@ -257,11 +264,8 @@ func TestExtSortHigherFanInFewerPasses(t *testing.T) {
 			rows = append(rows, int32(r.Intn(1<<20)))
 		}
 		in := loadTableSim(sim, "hdd", 1, rows)
-		d, _ := sim.Device("hdd")
-		p := &ExtSort{Sim: sim, In: in, Way: way, Bin: 256, Bout: 256, Scratch: d}
-		if err := p.Run(); err != nil {
-			t.Fatal(err)
-		}
+		p := &ExtSort{In: TableInput(in), Way: way, Bin: 256, Bout: 256}
+		drainOp(t, runCtx(sim, "hdd", 0), p, &Sink{Sim: sim})
 		return p.Passes, sim.Clock.Seconds()
 	}
 	p2, t2 := passes(2)
@@ -292,11 +296,9 @@ func TestUnfoldRStreamMergesSorted(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	p := &UnfoldRStream{Sim: sim, Inputs: []*Table{A, B}, K: 2,
-		Step: mergeStep(t, ocal.Mrg{}), Sink: &Sink{Out: out, Bout: 4, Sim: sim}}
-	if err := p.Run(); err != nil {
-		t.Fatal(err)
-	}
+	p := &UnfoldR{Ins: []Input{TableInput(A), TableInput(B)}, K: 2,
+		Step: mergeStep(t, ocal.Mrg{}), StateArity: 2}
+	drainOp(t, runCtx(sim, "hdd", 0), p, &Sink{Out: out, Bout: 4, Sim: sim})
 	want := []int32{1, 2, 3, 3, 5, 6, 7}
 	if len(out.Data) != len(want) {
 		t.Fatalf("got %v want %v", out.Data, want)
@@ -308,7 +310,7 @@ func TestUnfoldRStreamMergesSorted(t *testing.T) {
 	}
 }
 
-func TestFoldStreamAggregates(t *testing.T) {
+func TestFoldAggregates(t *testing.T) {
 	sim := newSim(t)
 	in := loadTableSim(sim, "hdd", 2, pairsOf(1, 10, 2, 20, 3, 30))
 	step, err := interp.CompileFunc(ocal.Lam{Params: []string{"a", "x"},
@@ -317,10 +319,8 @@ func TestFoldStreamAggregates(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	p := &FoldStream{Sim: sim, In: in, K: 2, Init: ocal.Int(0), Step: step}
-	if err := p.Run(); err != nil {
-		t.Fatal(err)
-	}
+	p := &Fold{In: TableInput(in), K: 2, Init: ocal.Int(0), Step: step}
+	drainOp(t, runCtx(sim, "hdd", 0), p, &Sink{Sim: sim})
 	if !ocal.ValueEq(p.Final, ocal.Int(60)) {
 		t.Errorf("sum = %s want 60", p.Final)
 	}
@@ -369,13 +369,66 @@ func TestFlashEraseAccounting(t *testing.T) {
 	}
 }
 
-func TestVolumeBoundsPanic(t *testing.T) {
+func TestSpillBoundsPanic(t *testing.T) {
 	sim := newSim(t)
 	tb := loadTableSim(sim, "hdd", 1, []int32{1, 2, 3})
 	defer func() {
 		if recover() == nil {
-			t.Error("expected panic on out-of-bounds read")
+			t.Error("expected panic on over-capacity append")
 		}
 	}()
-	tb.Vol.ReadAt(2, 5)
+	tb.AppendRows(make([]int32, 32))
+}
+
+// TestOpenFailureClosesCleanly runs programs whose Open cannot complete
+// (a buffer pool too small to pin even one working frame): Run must
+// return the error, not panic in Close on half-initialized operators.
+func TestOpenFailureClosesCleanly(t *testing.T) {
+	sim := newSim(t)
+	R := loadTableSim(sim, "hdd", 2, pairsOf(1, 10, 2, 20))
+	S := loadTableSim(sim, "hdd", 2, pairsOf(1, 100))
+	d, _ := sim.Device("hdd")
+	join := &BNLJoin{L: TableInput(R), R: TableInput(S), K1: 2, K2: 2, Pred: EqPred(0, 0)}
+	p := &Program{Root: join, Sink: &Sink{Sim: sim},
+		c: &Ctx{Sim: sim, Pool: storage.NewBufferPool(4), Scratch: d}}
+	if err := p.Run(); err == nil {
+		t.Fatal("a 4-byte pool cannot run a join of 8-byte rows")
+	}
+	unf := &UnfoldR{Ins: []Input{TableInput(R), OpInput(join)}, K: 2,
+		Step: mergeStep(t, ocal.Mrg{}), StateArity: 2}
+	p2 := &Program{Root: unf, Sink: &Sink{Sim: sim},
+		c: &Ctx{Sim: sim, Pool: storage.NewBufferPool(4), Scratch: d}}
+	if err := p2.Run(); err == nil {
+		t.Fatal("expected an error from the starved unfold")
+	}
+}
+
+// TestComposedOperators pipes a join into a sort into a fold: the
+// compositional executor runs operator trees the legacy whole-program
+// lowerings could never express.
+func TestComposedOperators(t *testing.T) {
+	sim := newSim(t)
+	R := loadTableSim(sim, "hdd", 2, pairsOf(3, 30, 1, 10, 2, 20))
+	S := loadTableSim(sim, "hdd", 2, pairsOf(2, 200, 1, 100, 3, 300, 2, 201))
+	join := &BNLJoin{L: TableInput(R), R: TableInput(S), K1: 2, K2: 2, Pred: EqPred(0, 0)}
+	srt := &ExtSort{In: OpInput(join), Way: 2, Bin: 2, Bout: 2}
+	step, err := interp.CompileFunc(ocal.Lam{Params: []string{"a", "x"},
+		Body: ocal.Prim{Op: ocal.OpAdd, Args: []ocal.Expr{
+			ocal.Var{Name: "a"}, ocal.Proj{E: ocal.Var{Name: "x"}, I: 4}}}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fold := &Fold{In: OpInput(srt), K: 2, Init: ocal.Int(0), Step: step}
+	c := runCtx(sim, "hdd", 0)
+	drainOp(t, c, fold, &Sink{Sim: sim})
+	// Matches: 1-100, 2-200, 2-201, 3-300 -> payload sum 801.
+	if !ocal.ValueEq(fold.Final, ocal.Int(801)) {
+		t.Errorf("composed pipeline result %s want 801", fold.Final)
+	}
+	if sim.Clock.Seconds() <= 0 {
+		t.Error("composed pipeline must charge simulated time")
+	}
+	if c.Pool.Stats().Spills == 0 {
+		t.Error("sorting a streamed join must spool through a scratch spill")
+	}
 }

@@ -1,37 +1,151 @@
 package exec
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"strings"
 
 	"ocas/internal/interp"
 	"ocas/internal/ocal"
 	"ocas/internal/storage"
 )
 
-// Plan is an executable physical operator tree.
-type Plan interface{ Run() error }
-
-// LowerInput binds a program input to a loaded table.
-type LowerInput struct {
-	Table *Table
-}
-
 // LowerOpts configures lowering.
 type LowerOpts struct {
 	Sim     *storage.Sim
 	Inputs  map[string]*Table
 	Params  map[string]int64 // optimizer-chosen parameter values
-	Scratch *storage.Device  // device for partitions / sort runs
+	Scratch *storage.Device  // device for partitions / sort runs / spills
 	Sink    *Sink            // program output (Out nil = CPU-consumed)
-	// RAMBytes is the root node size, used to size partition write buffers.
+	// RAMBytes is the RAM node size, used to size partition write buffers.
 	RAMBytes int64
+	// PoolBytes bounds the buffer pool; 0 defaults to RAMBytes, and a
+	// negative value means unlimited.
+	PoolBytes int64
+	// BatchRows is the operator exchange batch size (0 = DefaultBatchRows).
+	// It never changes results, only how many rows travel per Next call.
+	BatchRows int64
+	// Context, when non-nil, cancels the run between batches.
+	Context context.Context
 }
 
-// Lower translates an optimized OCAL program into a physical plan. It plays
-// the role of the OCAL-to-C code generator's backend: the recognizable
-// shapes are exactly those the rule library produces.
-func Lower(prog ocal.Expr, o LowerOpts) (Plan, error) {
-	orderBy := false
+// Program is an executable operator tree wired to its output sink. Run
+// drives the root operator to completion, writing every produced row to the
+// sink; a scalar program (an aggregation) leaves its value in Result
+// instead.
+type Program struct {
+	Root Operator
+	Sink *Sink
+	// Scalar reports that the program computes a value, not a row stream.
+	Scalar bool
+	// Result is the scalar result after Run.
+	Result ocal.Value
+
+	c *Ctx
+}
+
+// Pool exposes the run's buffer pool (for stats after Run).
+func (p *Program) Pool() *storage.BufferPool { return p.c.Pool }
+
+// Run executes the program to completion.
+func (p *Program) Run() (err error) {
+	// The storage layer reports data-dependent exhaustion (a fixed-capacity
+	// volume overflowing, a scratch device running out of space mid-spill)
+	// by panicking; at the program boundary those become errors so a
+	// service request fails cleanly instead of crashing its handler.
+	defer func() {
+		if r := recover(); r != nil {
+			msg, ok := r.(string)
+			if !ok || !strings.HasPrefix(msg, "storage:") {
+				panic(r)
+			}
+			p.Root.Close()
+			err = errors.New(msg)
+		}
+	}()
+	if err := p.Root.Open(p.c); err != nil {
+		p.Root.Close()
+		return err
+	}
+	var b Batch
+	for {
+		if ctx := p.c.Context; ctx != nil {
+			select {
+			case <-ctx.Done():
+				p.Root.Close()
+				return ctx.Err()
+			default:
+			}
+		}
+		ok, err := p.Root.Next(&b)
+		if err != nil {
+			p.Root.Close()
+			return err
+		}
+		if !ok {
+			break
+		}
+		a := b.Arity
+		for i := 0; i+a <= len(b.Data); i += a {
+			p.Sink.Write(b.Data[i : i+a])
+		}
+	}
+	p.Sink.Flush()
+	if err := p.Root.Close(); err != nil {
+		return err
+	}
+	if f, ok := p.Root.(*Fold); ok {
+		p.Scalar, p.Result = true, f.Final
+	}
+	return nil
+}
+
+// Lower translates an optimized OCAL program into an executable operator
+// tree. Unlike the pre-operator executor, which only accepted whole
+// programs matching one of five hand-written shapes, lowering is recursive
+// and compositional: every operator input may itself be a lowered
+// subexpression, piped through the batch protocol. Base-table inputs stay
+// fused into their consuming operator (direct blocked device reads at the
+// tuned block size), so the single-shape programs the synthesizer emits
+// charge exactly what the monolithic plans charged.
+func Lower(prog ocal.Expr, o LowerOpts) (*Program, error) {
+	l := &lowerer{o: o}
+	root, err := l.lower(prog, false)
+	if err != nil {
+		return nil, err
+	}
+	return NewProgram(root, o), nil
+}
+
+// NewProgram wires a hand-built operator tree to a context and sink — the
+// entry point for callers (examples, tests) that assemble operators
+// directly instead of lowering an OCAL program.
+func NewProgram(root Operator, o LowerOpts) *Program {
+	budget := o.PoolBytes
+	if budget == 0 {
+		budget = o.RAMBytes
+	}
+	if budget < 0 {
+		budget = 0
+	}
+	return &Program{Root: root, Sink: o.Sink, c: &Ctx{
+		Sim:       o.Sim,
+		Pool:      storage.NewBufferPool(budget),
+		Scratch:   o.Scratch,
+		BatchRows: o.BatchRows,
+		Context:   o.Context,
+	}}
+}
+
+type lowerer struct {
+	o LowerOpts
+}
+
+// lower translates one expression into an operator. orderBy marks that the
+// expression sits under an order-inputs wrapper, which the next loop nest
+// consumes.
+func (l *lowerer) lower(prog ocal.Expr, orderBy bool) (Operator, error) {
 	// order-inputs wrapper: (\<v1,v2> -> body)(if length(a)<=length(b) ...)
 	if app, ok := prog.(ocal.App); ok {
 		if lam, ok := app.Fn.(ocal.Lam); ok && len(lam.Params) == 2 {
@@ -40,9 +154,9 @@ func Lower(prog ocal.Expr, o LowerOpts) (Plan, error) {
 					a, okA := t1.Elems[0].(ocal.Var)
 					b, okB := t1.Elems[1].(ocal.Var)
 					if okA && okB {
-						orderBy = true
-						prog = substVars(lam.Body, map[string]string{
+						body := substVars(lam.Body, map[string]string{
 							lam.Params[0]: a.Name, lam.Params[1]: b.Name})
+						return l.lower(body, true)
 					}
 				}
 			}
@@ -50,26 +164,48 @@ func Lower(prog ocal.Expr, o LowerOpts) (Plan, error) {
 	}
 
 	// GRACE hash join: flatMap(join)(zip(partition(A), partition(B))).
-	if p, err, ok := lowerHashJoin(prog, o); ok {
-		return p, err
+	if op, err, ok := l.lowerHashJoin(prog); ok {
+		return op, err
 	}
 	// External merge sort.
-	if p, err, ok := lowerExtSort(prog, o); ok {
-		return p, err
+	if op, err, ok := l.lowerExtSort(prog); ok {
+		return op, err
 	}
 	// Streaming merges (set ops, zips, dup removal).
-	if p, err, ok := lowerUnfold(prog, o); ok {
-		return p, err
+	if op, err, ok := l.lowerUnfold(prog); ok {
+		return op, err
 	}
 	// Aggregations.
-	if p, err, ok := lowerFold(prog, o); ok {
-		return p, err
+	if op, err, ok := l.lowerFold(prog); ok {
+		return op, err
 	}
-	// Nested-loop joins (possibly blocked/tiled).
-	if p, err, ok := lowerBNL(prog, o, orderBy); ok {
-		return p, err
+	// Loop nests: scans, filters/projections, (tiled) nested-loop joins.
+	if op, err, ok := l.lowerLoops(prog, orderBy); ok {
+		return op, err
+	}
+	// A bare input: the identity scan.
+	if v, ok := prog.(ocal.Var); ok {
+		if t, isIn := l.o.Inputs[v.Name]; isIn {
+			return &Scan{T: t}, nil
+		}
 	}
 	return nil, fmt.Errorf("exec: cannot lower %s", ocal.String(prog))
+}
+
+// lowerInput lowers a source subexpression into an operator input: input
+// tables fuse, anything else streams.
+func (l *lowerer) lowerInput(e ocal.Expr) (Input, error) {
+	if v, ok := e.(ocal.Var); ok {
+		if t, isIn := l.o.Inputs[v.Name]; isIn {
+			return TableInput(t), nil
+		}
+		return Input{}, fmt.Errorf("exec: unknown input %q", v.Name)
+	}
+	op, err := l.lower(e, false)
+	if err != nil {
+		return Input{}, err
+	}
+	return OpInput(op), nil
 }
 
 func substVars(e ocal.Expr, ren map[string]string) ocal.Expr {
@@ -92,128 +228,158 @@ func substVars(e ocal.Expr, ren map[string]string) ocal.Expr {
 	}
 }
 
-// loopInfo describes one For level found while descending a loop nest.
-type loopInfo struct {
-	x   string
-	k   int64
-	src string // source variable name
+// srcInfo describes one distinct data source of a loop nest.
+type srcInfo struct {
+	in    Input
+	k     int64   // block size of the loop that introduced the source
+	elem  string  // innermost variable bound to this source's elements
+	block string  // variable bound by the source-introducing loop
+	tiles []int64 // block sizes of inner re-blocking loops (cache tiling)
 }
 
-// lowerBNL recognizes a (possibly blocked and tiled) nested-loops join over
-// two inputs, or a single-relation blocked scan with projection.
-func lowerBNL(prog ocal.Expr, o LowerOpts, orderBy bool) (Plan, error, bool) {
-	var loops []loopInfo
+// lowerLoops recognizes a (possibly blocked and tiled) nested-loops join
+// over two sources, or a single-source blocked scan with projection. A
+// source is an input table (fused) or any lowerable subexpression
+// (streamed).
+func (l *lowerer) lowerLoops(prog ocal.Expr, orderBy bool) (Operator, error, bool) {
+	var srcs []*srcInfo
+	owner := map[string]int{} // loop variable -> source index
 	e := prog
 	for {
 		f, ok := e.(ocal.For)
 		if !ok {
 			break
 		}
-		src, ok := f.Src.(ocal.Var)
-		if !ok {
-			return nil, fmt.Errorf("exec: for over non-variable %s", ocal.String(f.Src)), true
+		k := f.K.Bind(l.o.Params)
+		switch s := f.Src.(type) {
+		case ocal.Var:
+			if idx, bound := owner[s.Name]; bound {
+				// Re-blocking / element recovery of an enclosing block.
+				owner[f.X] = idx
+				srcs[idx].tiles = append(srcs[idx].tiles, k)
+				srcs[idx].elem = f.X
+			} else if t, isIn := l.o.Inputs[s.Name]; isIn {
+				srcs = append(srcs, &srcInfo{in: TableInput(t), k: k, elem: f.X, block: f.X})
+				owner[f.X] = len(srcs) - 1
+			} else {
+				return nil, fmt.Errorf("exec: loop source %q is neither input nor block", s.Name), true
+			}
+		default:
+			in, err := l.lowerInput(f.Src)
+			if err != nil {
+				return nil, err, true
+			}
+			srcs = append(srcs, &srcInfo{in: in, k: k, elem: f.X, block: f.X})
+			owner[f.X] = len(srcs) - 1
 		}
-		loops = append(loops, loopInfo{x: f.X, k: f.K.Bind(o.Params), src: src.Name})
 		e = f.Body
 	}
-	if len(loops) == 0 {
+	if len(srcs) == 0 {
 		return nil, nil, false
 	}
-	// Map each loop to the input it ultimately iterates: follow block vars.
-	owner := map[string]string{} // loop var -> input name
-	blockOf := map[string]int64{}
-	var inputsSeen []string
-	for _, l := range loops {
-		if _, isInput := o.Inputs[l.src]; isInput {
-			owner[l.x] = l.src
-			blockOf[l.src] = l.k
-			inputsSeen = append(inputsSeen, l.src)
-		} else if in, ok := owner[l.src]; ok {
-			owner[l.x] = in
-		} else {
-			return nil, fmt.Errorf("exec: loop source %q is neither input nor block", l.src), true
+
+	// Identity scan: for (xB [k] <- E) xB concatenates the blocks back.
+	if v, ok := e.(ocal.Var); ok && len(srcs) == 1 && v.Name == srcs[0].block && srcs[0].elem == srcs[0].block {
+		s := srcs[0]
+		if s.in.table != nil {
+			return &Scan{T: s.in.table, K: s.k}, nil, true
 		}
-	}
-	elemVar := map[string]string{} // input -> innermost element variable
-	tileOf := map[string][]int64{}
-	for _, l := range loops {
-		in := owner[l.x]
-		elemVar[in] = l.x
-		if _, isInput := o.Inputs[l.src]; !isInput {
-			tileOf[in] = append(tileOf[in], l.k)
-		}
+		return s.in.op, nil, true
 	}
 
-	pred, keys, err := compileJoinBody(e, inputsSeen, elemVar)
-	if err != nil {
-		return nil, err, true
-	}
-
-	switch len(inputsSeen) {
-	case 2:
-		rName, sName := inputsSeen[0], inputsSeen[1]
-		j := &BNLJoin{
-			Sim: o.Sim, R: o.Inputs[rName], S: o.Inputs[sName],
-			K1: blockOf[rName], K2: blockOf[sName],
-			OrderBy: orderBy, Pred: pred, EquiKeys: keys, Sink: o.Sink,
-		}
-		// Cache tiling: an inner re-blocking of each relation's block.
-		if ts := tileOf[rName]; len(ts) > 1 {
-			j.TileX = ts[0]
-		}
-		if ts := tileOf[sName]; len(ts) > 1 {
-			j.TileY = ts[0]
-		}
-		return j, nil, true
+	switch len(srcs) {
 	case 1:
-		// Single-relation scan with a per-element body: lower to a fold
-		// that writes each produced row (projection / filter scans).
-		in := o.Inputs[inputsSeen[0]]
-		step, err := scanStep(e, elemVar[inputsSeen[0]])
+		s := srcs[0]
+		step, err := scanStep(e, s.elem)
 		if err != nil {
 			return nil, err, true
 		}
-		return &scanPlan{Sim: o.Sim, In: in, K: blockOf[inputsSeen[0]],
-			Step: step, Sink: o.Sink}, nil, true
+		return &Project{In: s.in, K: s.k, Step: step}, nil, true
+	case 2:
+		x, y := srcs[0], srcs[1]
+		pred, keys, swapOut, err := compileJoinBody(e, x.elem, y.elem)
+		if err != nil {
+			return nil, err, true
+		}
+		j := &BNLJoin{
+			L: x.in, R: y.in, K1: x.k, K2: y.k,
+			OrderBy: orderBy, Pred: pred, EquiKeys: keys, SwapOutput: swapOut,
+		}
+		// Cache tiling: an inner re-blocking of each source's block.
+		if len(x.tiles) > 1 {
+			j.TileX = x.tiles[0]
+		}
+		if len(y.tiles) > 1 {
+			j.TileY = y.tiles[0]
+		}
+		return j, nil, true
 	}
-	return nil, fmt.Errorf("exec: unsupported loop nest over %d inputs", len(inputsSeen)), true
+	return nil, fmt.Errorf("exec: unsupported loop nest over %d inputs", len(srcs)), true
 }
 
 // compileJoinBody extracts the join predicate from the innermost body:
-// if cond then [<x,y>] else []  (equi-join) or [<x,y>] (product).
-func compileJoinBody(e ocal.Expr, inputs []string, elemVar map[string]string) (Pred, *[2]int, error) {
-	if len(inputs) == 1 {
-		return TruePred, nil, nil
-	}
-	xv, yv := elemVar[inputs[0]], elemVar[inputs[1]]
+// if cond then [<x,y>] else []  (equi-join) or [<x,y>] (product). swapOut
+// reports that the body tuple leads with the *inner* loop's element (the
+// swap-iter derivations iterate S outside R but still build <x, y>), so
+// the operator must emit inner-first rows.
+func compileJoinBody(e ocal.Expr, xv, yv string) (pred Pred, keys *[2]int, swapOut bool, err error) {
 	switch t := e.(type) {
 	case ocal.Single:
-		return TruePred, nil, nil
+		return TruePred, nil, leadsWithInner(t, yv), nil
 	case ocal.If:
 		if _, ok := t.Else.(ocal.Empty); !ok {
-			return nil, nil, fmt.Errorf("exec: join else-branch must be []")
+			return nil, nil, false, fmt.Errorf("exec: join else-branch must be []")
+		}
+		swapOut = false
+		if s, ok := t.Then.(ocal.Single); ok {
+			swapOut = leadsWithInner(s, yv)
 		}
 		p, ok := t.Cond.(ocal.Prim)
 		if !ok || p.Op != ocal.OpEq || len(p.Args) != 2 {
 			if b, ok2 := t.Cond.(ocal.BoolLit); ok2 && b.V {
-				return TruePred, nil, nil
+				return TruePred, nil, swapOut, nil
 			}
-			return nil, nil, fmt.Errorf("exec: unsupported join condition %s", ocal.String(t.Cond))
+			return nil, nil, false, fmt.Errorf("exec: unsupported join condition %s", ocal.String(t.Cond))
 		}
 		i, errI := projIndex(p.Args[0], xv)
 		j, errJ := projIndex(p.Args[1], yv)
 		if errI == nil && errJ == nil {
-			return EqPred(i, j), &[2]int{i, j}, nil
+			return EqPred(i, j), &[2]int{i, j}, swapOut, nil
 		}
 		// Reversed orientation.
 		j2, errJ2 := projIndex(p.Args[0], yv)
 		i2, errI2 := projIndex(p.Args[1], xv)
 		if errI2 == nil && errJ2 == nil {
-			return EqPred(i2, j2), &[2]int{i2, j2}, nil
+			return EqPred(i2, j2), &[2]int{i2, j2}, swapOut, nil
 		}
-		return nil, nil, fmt.Errorf("exec: unsupported join condition %s", ocal.String(t.Cond))
+		return nil, nil, false, fmt.Errorf("exec: unsupported join condition %s", ocal.String(t.Cond))
 	}
-	return nil, nil, fmt.Errorf("exec: unsupported join body %s", ocal.String(e))
+	return nil, nil, false, fmt.Errorf("exec: unsupported join body %s", ocal.String(e))
+}
+
+// leadsWithInner reports whether the emitted tuple's first component comes
+// from the inner loop's element yv.
+func leadsWithInner(s ocal.Single, yv string) bool {
+	tup, ok := s.E.(ocal.Tup)
+	if !ok || len(tup.Elems) == 0 {
+		return false
+	}
+	name, ok := baseVar(tup.Elems[0])
+	return ok && name == yv
+}
+
+// baseVar resolves the variable at the root of a projection chain.
+func baseVar(e ocal.Expr) (string, bool) {
+	for {
+		switch t := e.(type) {
+		case ocal.Var:
+			return t.Name, true
+		case ocal.Proj:
+			e = t.E
+		default:
+			return "", false
+		}
+	}
 }
 
 func projIndex(e ocal.Expr, v string) (int, error) {
@@ -228,9 +394,9 @@ func projIndex(e ocal.Expr, v string) (int, error) {
 	return p.I - 1, nil
 }
 
-// scanStep compiles a single-relation loop body into a per-row function
+// scanStep compiles a single-source loop body into a per-row function
 // producing zero or more output rows.
-func scanStep(body ocal.Expr, elem string) (func(row []int32, emit func([]int32)) error, error) {
+func scanStep(body ocal.Expr, elem string) (StepFn, error) {
 	fn, err := interp.CompileFunc(ocal.Lam{Params: []string{elem}, Body: body}, nil)
 	if err != nil {
 		return nil, err
@@ -240,11 +406,11 @@ func scanStep(body ocal.Expr, elem string) (func(row []int32, emit func([]int32)
 		if err != nil {
 			return err
 		}
-		l, ok := res.(ocal.List)
+		list, ok := res.(ocal.List)
 		if !ok {
 			return fmt.Errorf("exec: scan body must yield a list")
 		}
-		for _, v := range l {
+		for _, v := range list {
 			r, err := valueToRow(v)
 			if err != nil {
 				return err
@@ -255,37 +421,7 @@ func scanStep(body ocal.Expr, elem string) (func(row []int32, emit func([]int32)
 	}, nil
 }
 
-// scanPlan executes a blocked single-relation scan.
-type scanPlan struct {
-	Sim  *storage.Sim
-	In   *Table
-	K    int64
-	Step func(row []int32, emit func([]int32)) error
-	Sink *Sink
-}
-
-func (p *scanPlan) Run() error {
-	k := p.K
-	if k <= 0 {
-		k = 1
-	}
-	a := p.In.Arity
-	emit := func(r []int32) { p.Sink.Write(r) }
-	for i := int64(0); i < p.In.Rows(); i += k {
-		blk := p.In.ReadBlock(i, k)
-		rows := len(blk) / a
-		p.Sim.CPU(int64(rows), p.Sim.CmpSeconds)
-		for r := 0; r < rows; r++ {
-			if err := p.Step(blk[r*a:(r+1)*a], emit); err != nil {
-				return err
-			}
-		}
-	}
-	p.Sink.Flush()
-	return nil
-}
-
-func lowerHashJoin(prog ocal.Expr, o LowerOpts) (Plan, error, bool) {
+func (l *lowerer) lowerHashJoin(prog ocal.Expr) (Operator, error, bool) {
 	app, ok := prog.(ocal.App)
 	if !ok {
 		return nil, nil, false
@@ -305,8 +441,8 @@ func lowerHashJoin(prog ocal.Expr, o LowerOpts) (Plan, error, bool) {
 	if !ok || len(tupArg.Elems) != 2 {
 		return nil, fmt.Errorf("exec: hash join needs two partitioned inputs"), true
 	}
-	var names [2]string
-	var buckets int64 = 0
+	var sides [2]Input
+	var buckets int64
 	for i, el := range tupArg.Elems {
 		pa, ok := el.(ocal.App)
 		if !ok {
@@ -316,26 +452,25 @@ func lowerHashJoin(prog ocal.Expr, o LowerOpts) (Plan, error, bool) {
 		if !ok {
 			return nil, fmt.Errorf("exec: expected partition"), true
 		}
-		vr, ok := pa.Arg.(ocal.Var)
-		if !ok {
-			return nil, fmt.Errorf("exec: partition of non-variable"), true
+		in, err := l.lowerInput(pa.Arg)
+		if err != nil {
+			return nil, err, true
 		}
-		names[i] = vr.Name
-		buckets = pf.S.Bind(o.Params)
+		sides[i] = in
+		buckets = pf.S.Bind(l.o.Params)
 	}
 	lam, ok := fm.Fn.(ocal.Lam)
 	if !ok || len(lam.Params) != 2 {
 		return nil, fmt.Errorf("exec: hash join flatMap needs a binary lambda"), true
 	}
-	// The inner body is a join over the bucket pair: reuse the BNL
-	// recognizer with buckets standing in as inputs.
-	inner := lam.Body
-	var innerLoops []loopInfo
-	e := inner
+	// The inner body is a join over the bucket pair: walk its loop nest with
+	// the buckets standing in as inputs.
 	bucketInputs := map[string]bool{lam.Params[0]: true, lam.Params[1]: true}
 	owner := map[string]string{}
+	elemVar := map[string]string{}
 	var order []string
 	kOf := map[string]int64{}
+	e := lam.Body
 	for {
 		f, ok := e.(ocal.For)
 		if !ok {
@@ -345,29 +480,25 @@ func lowerHashJoin(prog ocal.Expr, o LowerOpts) (Plan, error, bool) {
 		if !ok {
 			return nil, fmt.Errorf("exec: hash join inner loop over non-variable"), true
 		}
-		innerLoops = append(innerLoops, loopInfo{x: f.X, k: f.K.Bind(o.Params), src: src.Name})
 		if bucketInputs[src.Name] {
 			owner[f.X] = src.Name
 			order = append(order, src.Name)
-			kOf[src.Name] = f.K.Bind(o.Params)
+			kOf[src.Name] = f.K.Bind(l.o.Params)
 		} else if in, ok := owner[src.Name]; ok {
 			owner[f.X] = in
+		}
+		if in, ok := owner[f.X]; ok {
+			elemVar[in] = f.X
 		}
 		e = f.Body
 	}
 	if len(order) != 2 {
 		return nil, fmt.Errorf("exec: hash join inner body is not a two-relation join"), true
 	}
-	elemVar := map[string]string{}
-	for _, l := range innerLoops {
-		elemVar[owner[l.x]] = l.x
-	}
-	pred, keys, err := compileJoinBody(e, order, elemVar)
+	pred, keys, swapOut, err := compileJoinBody(e, elemVar[order[0]], elemVar[order[1]])
 	if err != nil {
 		return nil, err, true
 	}
-	// Key attributes: extract from the predicate shape by probing; the
-	// conservative rule only fires on first-attribute equi-joins, so 0/0.
 	kj := kOf[order[0]]
 	if k2 := kOf[order[1]]; k2 > kj {
 		kj = k2
@@ -375,27 +506,32 @@ func lowerHashJoin(prog ocal.Expr, o LowerOpts) (Plan, error, bool) {
 	if kj <= 0 {
 		kj = 1
 	}
-	rName, sName := names[0], names[1]
+	left, right := sides[0], sides[1]
 	if order[0] == lam.Params[1] {
-		rName, sName = sName, rName
+		left, right = right, left
 	}
 	bufW := int64(64)
-	if o.RAMBytes > 0 {
-		w := int64(o.Inputs[rName].Arity) * 4
-		bufW = o.RAMBytes / (buckets + 1) / w
+	if l.o.RAMBytes > 0 {
+		w := int64(2) * 4
+		if left.table != nil {
+			w = int64(left.table.Arity) * 4
+		}
+		bufW = l.o.RAMBytes / (buckets + 1) / w
 		if bufW < 1 {
 			bufW = 1
 		}
 	}
+	// Key attributes: the conservative hash-part rule only fires on
+	// first-attribute equi-joins, so 0/0.
 	return &HashJoin{
-		Sim: o.Sim, R: o.Inputs[rName], S: o.Inputs[sName],
-		Buckets: buckets, Scratch: o.Scratch,
-		KRead: kj, BufW: bufW, KJoin: kj,
-		KeyR: 0, KeyS: 0, Pred: pred, EquiKeys: keys, Sink: o.Sink,
+		L: left, R: right,
+		Buckets: buckets,
+		KRead:   kj, BufW: bufW, KJoin: kj,
+		KeyL: 0, KeyR: 0, Pred: pred, EquiKeys: keys, SwapOutput: swapOut,
 	}, nil, true
 }
 
-func lowerExtSort(prog ocal.Expr, o LowerOpts) (Plan, error, bool) {
+func (l *lowerer) lowerExtSort(prog ocal.Expr) (Operator, error, bool) {
 	app, ok := prog.(ocal.App)
 	if !ok {
 		return nil, nil, false
@@ -408,8 +544,13 @@ func lowerExtSort(prog ocal.Expr, o LowerOpts) (Plan, error, bool) {
 	if !ok {
 		return nil, fmt.Errorf("exec: treeFold without merge step"), true
 	}
+	if _, ok := unf.Fn.(ocal.FuncPow); !ok {
+		if _, ok := unf.Fn.(ocal.Mrg); !ok {
+			return nil, fmt.Errorf("exec: treeFold without merge step"), true
+		}
+	}
 	arg := app.Arg
-	// A blocked identity scan around the input (for (xB [k] <- R) xB) only
+	// A blocked identity scan around the input (for (xB [k] <- E) xB) only
 	// affects how the first pass reads; the sort operator blocks reads
 	// itself via Bin.
 	if f, ok := arg.(ocal.For); ok {
@@ -417,22 +558,21 @@ func lowerExtSort(prog ocal.Expr, o LowerOpts) (Plan, error, bool) {
 			arg = f.Src
 		}
 	}
-	vr, ok := arg.(ocal.Var)
-	if !ok {
-		return nil, fmt.Errorf("exec: sort input must be a relation"), true
+	in, err := l.lowerInput(arg)
+	if err != nil {
+		return nil, err, true
 	}
-	way := tf.K.Bind(o.Params)
+	way := tf.K.Bind(l.o.Params)
 	if way < 2 {
 		way = 2
 	}
 	return &ExtSort{
-		Sim: o.Sim, In: o.Inputs[vr.Name], Way: int(way),
-		Bin: unf.K.Bind(o.Params), Bout: tf.OutK.Bind(o.Params),
-		Scratch: o.Scratch,
+		In: in, Way: int(way),
+		Bin: unf.K.Bind(l.o.Params), Bout: tf.OutK.Bind(l.o.Params),
 	}, nil, true
 }
 
-func lowerUnfold(prog ocal.Expr, o LowerOpts) (Plan, error, bool) {
+func (l *lowerer) lowerUnfold(prog ocal.Expr) (Operator, error, bool) {
 	app, ok := prog.(ocal.App)
 	if !ok {
 		return nil, nil, false
@@ -441,46 +581,54 @@ func lowerUnfold(prog ocal.Expr, o LowerOpts) (Plan, error, bool) {
 	if !ok {
 		return nil, nil, false
 	}
-	tupArg, ok := app.Arg.(ocal.Tup)
-	if !ok {
-		return nil, fmt.Errorf("exec: unfoldR argument must be a tuple"), true
+	// unfoldR with a merge step over a blocked scan is handled by the sort
+	// lowering; a bare unfoldR application takes a tuple of sources. A
+	// one-tuple prints as its bare element (<R> and R are the same
+	// canonical form), so a non-tuple argument is a single source.
+	elems := []ocal.Expr{app.Arg}
+	if tupArg, ok := app.Arg.(ocal.Tup); ok {
+		elems = tupArg.Elems
 	}
-	var tables []*Table
+	var ins []Input
 	scratch := 0
-	for _, el := range tupArg.Elems {
-		switch a := el.(type) {
-		case ocal.Var:
-			t, ok := o.Inputs[a.Name]
-			if !ok {
-				return nil, fmt.Errorf("exec: unknown input %q", a.Name), true
-			}
-			tables = append(tables, t)
-		case ocal.Empty:
-			if len(tables) > 0 {
+	for _, el := range elems {
+		if _, isEmpty := el.(ocal.Empty); isEmpty {
+			if len(ins) > 0 {
 				return nil, fmt.Errorf("exec: scratch state must precede inputs"), true
 			}
 			scratch++
-		default:
-			return nil, fmt.Errorf("exec: unsupported unfoldR argument %s", ocal.String(el)), true
+			continue
 		}
+		in, err := l.lowerInput(el)
+		if err != nil {
+			return nil, err, true
+		}
+		ins = append(ins, in)
 	}
-	step, err := interp.CompileFunc(unf.Fn, o.Params)
+	step, err := interp.CompileFunc(unf.Fn, l.o.Params)
 	if err != nil {
 		return nil, err, true
 	}
-	return &UnfoldRStream{
-		Sim: o.Sim, Inputs: tables, K: unf.K.Bind(o.Params),
-		Step: step, Sink: o.Sink, StateArity: scratch + len(tables),
+	return &UnfoldR{
+		Ins: ins, K: unf.K.Bind(l.o.Params),
+		Step: step, StateArity: scratch + len(ins),
 	}, nil, true
 }
 
-func lowerFold(prog ocal.Expr, o LowerOpts) (Plan, error, bool) {
-	// Optional final lambda around the fold (e.g. avg's division).
+func (l *lowerer) lowerFold(prog ocal.Expr) (Operator, error, bool) {
+	// Optional final lambda around the fold (e.g. avg's division), applied
+	// to the accumulator CPU-side.
+	var finalFn interp.Func
 	if app, ok := prog.(ocal.App); ok {
-		if _, isLam := app.Fn.(ocal.Lam); isLam {
+		if lam, isLam := app.Fn.(ocal.Lam); isLam && len(lam.Params) == 1 {
 			if inner, ok := app.Arg.(ocal.App); ok {
 				if _, isFold := inner.Fn.(ocal.FoldL); isFold {
-					return lowerFold(inner, o)
+					fn, err := interp.CompileFunc(lam, l.o.Params)
+					if err != nil {
+						return nil, err, true
+					}
+					finalFn = fn
+					prog = inner
 				}
 			}
 		}
@@ -493,33 +641,39 @@ func lowerFold(prog ocal.Expr, o LowerOpts) (Plan, error, bool) {
 	if !ok {
 		return nil, nil, false
 	}
-	var table *Table
+	var in Input
 	var k int64 = 1
 	switch src := app.Arg.(type) {
-	case ocal.Var:
-		table = o.Inputs[src.Name]
 	case ocal.For:
-		// Blocked identity scan: for (xB [k] <- R) xB.
-		vr, okV := src.Src.(ocal.Var)
-		body, okB := src.Body.(ocal.Var)
-		if !okV || !okB || body.Name != src.X {
-			return nil, fmt.Errorf("exec: unsupported fold source %s", ocal.String(src)), true
+		// Blocked identity scan: for (xB [k] <- E) xB.
+		if body, okB := src.Body.(ocal.Var); okB && body.Name == src.X {
+			inner, err := l.lowerInput(src.Src)
+			if err != nil {
+				return nil, err, true
+			}
+			in = inner
+			k = src.K.Bind(l.o.Params)
+		} else {
+			op, err := l.lower(src, false)
+			if err != nil {
+				return nil, fmt.Errorf("exec: unsupported fold source %s: %w", ocal.String(src), err), true
+			}
+			in = OpInput(op)
 		}
-		table = o.Inputs[vr.Name]
-		k = src.K.Bind(o.Params)
 	default:
-		return nil, fmt.Errorf("exec: unsupported fold source %s", ocal.String(app.Arg)), true
+		inner, err := l.lowerInput(app.Arg)
+		if err != nil {
+			return nil, fmt.Errorf("exec: unsupported fold source %s", ocal.String(app.Arg)), true
+		}
+		in = inner
 	}
-	if table == nil {
-		return nil, fmt.Errorf("exec: fold input not found"), true
-	}
-	init, err := interp.Eval(fl.Init, nil, o.Params)
+	init, err := interp.Eval(fl.Init, nil, l.o.Params)
 	if err != nil {
 		return nil, err, true
 	}
-	step, err := interp.CompileFunc(fl.Fn, o.Params)
+	step, err := interp.CompileFunc(fl.Fn, l.o.Params)
 	if err != nil {
 		return nil, err, true
 	}
-	return &FoldStream{Sim: o.Sim, In: table, K: k, Init: init, Step: step}, nil, true
+	return &Fold{In: in, K: k, Init: init, Step: step, FinalFn: finalFn}, nil, true
 }

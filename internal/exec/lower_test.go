@@ -24,14 +24,14 @@ func TestLowerBlockedBNL(t *testing.T) {
 	sim, d, inputs := lowerEnv(t)
 	prog := ocal.MustParse(`for (xB [k1] <- R) for (yB [k2] <- S) for (x <- xB) for (y <- yB) if x.1 == y.1 then [<x, y>] else []`)
 	sink := &Sink{Sim: sim}
-	plan, err := Lower(prog, LowerOpts{Sim: sim, Inputs: inputs,
+	p, err := Lower(prog, LowerOpts{Sim: sim, Inputs: inputs,
 		Params: map[string]int64{"k1": 2, "k2": 2}, Scratch: d, Sink: sink})
 	if err != nil {
 		t.Fatal(err)
 	}
-	j, ok := plan.(*BNLJoin)
+	j, ok := p.Root.(*BNLJoin)
 	if !ok {
-		t.Fatalf("expected BNLJoin, got %T", plan)
+		t.Fatalf("expected BNLJoin, got %T", p.Root)
 	}
 	if j.K1 != 2 || j.K2 != 2 {
 		t.Errorf("block sizes not bound: %d %d", j.K1, j.K2)
@@ -39,7 +39,10 @@ func TestLowerBlockedBNL(t *testing.T) {
 	if j.EquiKeys == nil || j.EquiKeys[0] != 0 || j.EquiKeys[1] != 0 {
 		t.Errorf("equi keys not recognized: %v", j.EquiKeys)
 	}
-	if err := plan.Run(); err != nil {
+	if j.L.table == nil || j.R.table == nil {
+		t.Error("base-table join sides must stay fused")
+	}
+	if err := p.Run(); err != nil {
 		t.Fatal(err)
 	}
 	if sink.RowsWritten != 2 {
@@ -51,19 +54,19 @@ func TestLowerOrderInputsWrapper(t *testing.T) {
 	sim, d, inputs := lowerEnv(t)
 	prog := ocal.MustParse(`(\<R1, S1> -> for (xB [k1] <- R1) for (x <- xB) for (yB [k2] <- S1) for (y <- yB) if x.1 == y.1 then [<x, y>] else [])(if length(R) <= length(S) then <R, S> else <S, R>)`)
 	sink := &Sink{Sim: sim}
-	plan, err := Lower(prog, LowerOpts{Sim: sim, Inputs: inputs,
+	p, err := Lower(prog, LowerOpts{Sim: sim, Inputs: inputs,
 		Params: map[string]int64{"k1": 4, "k2": 4}, Scratch: d, Sink: sink})
 	if err != nil {
 		t.Fatal(err)
 	}
-	j, ok := plan.(*BNLJoin)
+	j, ok := p.Root.(*BNLJoin)
 	if !ok {
-		t.Fatalf("expected BNLJoin, got %T", plan)
+		t.Fatalf("expected BNLJoin, got %T", p.Root)
 	}
 	if !j.OrderBy {
 		t.Error("order-inputs wrapper must set OrderBy")
 	}
-	if err := plan.Run(); err != nil {
+	if err := p.Run(); err != nil {
 		t.Fatal(err)
 	}
 	if sink.RowsWritten != 2 {
@@ -75,20 +78,20 @@ func TestLowerHashJoin(t *testing.T) {
 	sim, d, inputs := lowerEnv(t)
 	prog := ocal.MustParse(`flatMap(\<p1, p2> -> for (xB [k1] <- p1) for (yB [k2] <- p2) for (x <- xB) for (y <- yB) if x.1 == y.1 then [<x, y>] else [])(zip[2](partition[s](R), partition[s](S)))`)
 	sink := &Sink{Sim: sim}
-	plan, err := Lower(prog, LowerOpts{Sim: sim, Inputs: inputs,
+	p, err := Lower(prog, LowerOpts{Sim: sim, Inputs: inputs,
 		Params:  map[string]int64{"k1": 4, "k2": 4, "s": 4},
 		Scratch: d, Sink: sink, RAMBytes: 1 << 20})
 	if err != nil {
 		t.Fatal(err)
 	}
-	h, ok := plan.(*HashJoin)
+	h, ok := p.Root.(*HashJoin)
 	if !ok {
-		t.Fatalf("expected HashJoin, got %T", plan)
+		t.Fatalf("expected HashJoin, got %T", p.Root)
 	}
 	if h.Buckets != 4 {
 		t.Errorf("buckets = %d want 4", h.Buckets)
 	}
-	if err := plan.Run(); err != nil {
+	if err := p.Run(); err != nil {
 		t.Fatal(err)
 	}
 	if sink.RowsWritten != 2 {
@@ -100,27 +103,31 @@ func TestLowerExtSortThroughIdentityScan(t *testing.T) {
 	sim := storage.NewSim(memory.HDDRAM(64 * memory.MiB))
 	d, _ := sim.Device("hdd")
 	in := loadTableSim(sim, "hdd", 1, []int32{5, 1, 4, 2, 3})
-	prog := ocal.MustParse(`treeFold[4][bout]([], unfoldR[bin](funcPow[2](mrg)))(for (xB [k1] <- R) [hdd~>ram] xB)`)
-	plan, err := Lower(prog, LowerOpts{Sim: sim, Inputs: map[string]*Table{"R": in},
-		Params: map[string]int64{"bin": 2, "bout": 2, "k1": 2}, Scratch: d,
-		Sink: &Sink{Sim: sim}})
+	out, err := NewTable(d, 1, 16)
 	if err != nil {
 		t.Fatal(err)
 	}
-	srt, ok := plan.(*ExtSort)
+	prog := ocal.MustParse(`treeFold[4][bout]([], unfoldR[bin](funcPow[2](mrg)))(for (xB [k1] <- R) [hdd~>ram] xB)`)
+	sink := &Sink{Out: out, Bout: 2, Sim: sim}
+	p, err := Lower(prog, LowerOpts{Sim: sim, Inputs: map[string]*Table{"R": in},
+		Params: map[string]int64{"bin": 2, "bout": 2, "k1": 2}, Scratch: d, Sink: sink})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srt, ok := p.Root.(*ExtSort)
 	if !ok {
-		t.Fatalf("expected ExtSort, got %T", plan)
+		t.Fatalf("expected ExtSort, got %T", p.Root)
 	}
 	if srt.Way != 4 || srt.Bin != 2 || srt.Bout != 2 {
 		t.Errorf("sort params: way=%d bin=%d bout=%d", srt.Way, srt.Bin, srt.Bout)
 	}
-	if err := plan.Run(); err != nil {
+	if err := p.Run(); err != nil {
 		t.Fatal(err)
 	}
 	want := []int32{1, 2, 3, 4, 5}
 	for i, v := range want {
-		if srt.Out.Data[i] != v {
-			t.Fatalf("not sorted: %v", srt.Out.Data)
+		if out.Data[i] != v {
+			t.Fatalf("not sorted: %v", out.Data)
 		}
 	}
 }
@@ -130,20 +137,23 @@ func TestLowerFoldWithFinalLambda(t *testing.T) {
 	d, _ := sim.Device("hdd")
 	in := loadTableSim(sim, "hdd", 2, []int32{1, 10, 2, 20})
 	prog := ocal.MustParse(`(\acc -> [acc.1 / (acc.2 + 1)])(foldL(<0, 0>, \<a, x> -> <(a.1 + x.2), (a.2 + 1)>)(for (xB [k1] <- R) xB))`)
-	plan, err := Lower(prog, LowerOpts{Sim: sim, Inputs: map[string]*Table{"R": in},
+	p, err := Lower(prog, LowerOpts{Sim: sim, Inputs: map[string]*Table{"R": in},
 		Params: map[string]int64{"k1": 2}, Scratch: d, Sink: &Sink{Sim: sim}})
 	if err != nil {
 		t.Fatal(err)
 	}
-	f, ok := plan.(*FoldStream)
-	if !ok {
-		t.Fatalf("expected FoldStream, got %T", plan)
+	if _, ok := p.Root.(*Fold); !ok {
+		t.Fatalf("expected Fold, got %T", p.Root)
 	}
-	if err := plan.Run(); err != nil {
+	if err := p.Run(); err != nil {
 		t.Fatal(err)
 	}
-	if !ocal.ValueEq(f.Final, ocal.Tuple{ocal.Int(30), ocal.Int(2)}) {
-		t.Errorf("fold result %s", f.Final)
+	if !p.Scalar {
+		t.Error("fold program must report a scalar result")
+	}
+	// Sum 30 over 2 rows, final lambda divides by count+1: [30/3] = [10].
+	if !ocal.ValueEq(p.Result, ocal.List{ocal.Int(10)}) {
+		t.Errorf("fold result %s want [10]", p.Result)
 	}
 }
 
@@ -158,12 +168,12 @@ func TestLowerUnfoldWithScratchState(t *testing.T) {
 		t.Fatal(err)
 	}
 	sink := &Sink{Out: out, Bout: 4, Sim: sim}
-	plan, err := Lower(prog, LowerOpts{Sim: sim, Inputs: map[string]*Table{"L": in},
+	p, err := Lower(prog, LowerOpts{Sim: sim, Inputs: map[string]*Table{"L": in},
 		Params: map[string]int64{"k": 3}, Scratch: d, Sink: sink})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := plan.Run(); err != nil {
+	if err := p.Run(); err != nil {
 		t.Fatal(err)
 	}
 	want := []int32{1, 2, 3, 4}
@@ -174,6 +184,28 @@ func TestLowerUnfoldWithScratchState(t *testing.T) {
 		if out.Data[i] != want[i] {
 			t.Fatalf("dedup got %v want %v", out.Data, want)
 		}
+	}
+}
+
+// TestLowerComposedProgram lowers a program no whole-shape matcher could
+// run: a fold over a merge of a projected scan and a base input.
+func TestLowerComposedProgram(t *testing.T) {
+	sim := storage.NewSim(memory.HDDRAM(64 * memory.MiB))
+	d, _ := sim.Device("hdd")
+	A := loadTableSim(sim, "hdd", 1, []int32{1, 3, 5})
+	B := loadTableSim(sim, "hdd", 1, []int32{2, 4})
+	prog := ocal.MustParse(`foldL(0, \<a, x> -> (a + x))(unfoldR[k](mrg)(<for (xB [k] <- A) for (x <- xB) [(x + 1)], B>))`)
+	p, err := Lower(prog, LowerOpts{Sim: sim, Inputs: map[string]*Table{"A": A, "B": B},
+		Params: map[string]int64{"k": 2}, Scratch: d, Sink: &Sink{Sim: sim}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// (1+1)+(3+1)+(5+1)+2+4 = 18.
+	if !ocal.ValueEq(p.Result, ocal.Int(18)) {
+		t.Errorf("composed result %s want 18", p.Result)
 	}
 }
 

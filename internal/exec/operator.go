@@ -1,0 +1,458 @@
+package exec
+
+import (
+	"context"
+	"fmt"
+
+	"ocas/internal/ocal"
+	"ocas/internal/storage"
+)
+
+// DefaultBatchRows is the operator exchange granularity when LowerOpts does
+// not choose one. Batches bound how many rows travel between operators per
+// Next call; they never change results, only scheduling granularity.
+const DefaultBatchRows = 64
+
+// Ctx is the shared execution context of one program run: the storage
+// simulator that charges I/O and CPU time, the buffer pool that accounts
+// (and bounds) resident working memory, the scratch device for spills, and
+// the batch size of the operator protocol.
+type Ctx struct {
+	Sim       *storage.Sim
+	Pool      *storage.BufferPool
+	Scratch   *storage.Device
+	BatchRows int64
+	// Context, when non-nil, cancels the run between batches.
+	Context context.Context
+}
+
+func (c *Ctx) batchRows() int64 {
+	if c.BatchRows > 0 {
+		return c.BatchRows
+	}
+	return DefaultBatchRows
+}
+
+// err reports context cancellation. It is checked at block-read
+// granularity (every reader.next), which bounds how long any operator
+// phase — fold consumption, hash partitioning, merge passes,
+// materialization — can outlive a cancelled request.
+func (c *Ctx) err() error {
+	if c.Context == nil {
+		return nil
+	}
+	select {
+	case <-c.Context.Done():
+		return c.Context.Err()
+	default:
+		return nil
+	}
+}
+
+// share caps a cooperative pin request so that `parties` buffers of the
+// same operator can coexist under the pool budget (a lone request would
+// otherwise grab everything and starve its siblings down to single rows).
+func (c *Ctx) share(want, parties, width int64) int64 {
+	if b := c.Pool.Budget(); b > 0 && parties > 0 && width > 0 {
+		if s := b / parties / width; s < want {
+			if s < 1 {
+				s = 1
+			}
+			want = s
+		}
+	}
+	return want
+}
+
+// Batch is one unit of the operator exchange protocol: up to BatchRows
+// fixed-arity rows in flat layout. The Data slice is only valid until the
+// producer's next Next or Close call; consumers that need rows longer copy
+// them.
+type Batch struct {
+	Arity int
+	Data  []int32
+}
+
+// Rows returns the number of rows in the batch.
+func (b *Batch) Rows() int {
+	if b.Arity <= 0 {
+		return 0
+	}
+	return len(b.Data) / b.Arity
+}
+
+// Row returns the i-th row.
+func (b *Batch) Row(i int) []int32 { return b.Data[i*b.Arity : (i+1)*b.Arity] }
+
+// Operator is the streaming execution protocol: a physical operator opens
+// against the run context, delivers its output batch at a time, and
+// releases its resources on Close. Operators compose into trees; the same
+// protocol runs a lone table scan and a join of joins.
+type Operator interface {
+	Open(c *Ctx) error
+	// Next fills b with the next batch and reports whether any rows were
+	// delivered; false means the stream is exhausted.
+	Next(b *Batch) (bool, error)
+	Close() error
+}
+
+// emitter buffers rows produced by an operator's inner machinery until Next
+// drains them into the caller's batch.
+type emitter struct {
+	arity   int
+	pending []int32
+	pos     int
+}
+
+func (e *emitter) emit(row []int32) {
+	if e.arity == 0 {
+		e.arity = len(row)
+	}
+	e.pending = append(e.pending, row...)
+}
+
+// rows reports the number of buffered rows.
+func (e *emitter) rows() int64 {
+	if e.arity == 0 {
+		return 0
+	}
+	return int64(len(e.pending)-e.pos) / int64(e.arity)
+}
+
+// drain moves up to max rows into b, reporting whether b received any.
+func (e *emitter) drain(b *Batch, max int64) bool {
+	n := e.rows()
+	if n == 0 {
+		b.Arity, b.Data = e.arity, nil
+		return false
+	}
+	if n > max {
+		n = max
+	}
+	w := int(n) * e.arity
+	b.Arity = e.arity
+	b.Data = e.pending[e.pos : e.pos+w]
+	e.pos += w
+	if e.pos == len(e.pending) {
+		e.pending = e.pending[:0]
+		e.pos = 0
+	}
+	return true
+}
+
+// blockReader is the block-granular access path operators use to consume an
+// input: up to k rows per call, with the block resident in a pooled frame.
+// Base tables read directly (the scan fusion that keeps synthesized
+// single-shape programs charging exactly their analytic cost); arbitrary
+// operator subtrees read through an adapter, and gain rewindability by
+// materializing to a scratch spill.
+type blockReader interface {
+	open(c *Ctx) error
+	// next returns up to k rows in flat layout, or nil at end of stream.
+	// The slice is valid until the following next/take/close call.
+	next(k int64) ([]int32, error)
+	// take reads up to k rows into a caller-owned pooled block (the join
+	// operators' resident outer blocks).
+	take(k int64) (*ownedBlock, error)
+	arity() int
+	rewindable() bool
+	rewind() error
+	// rows returns the total row count, or -1 when unknown before the
+	// stream completes.
+	rows() int64
+	close() error
+}
+
+// ownedBlock is a pool-pinned block handed to the caller.
+type ownedBlock struct {
+	frame *storage.Frame
+	data  []int32
+}
+
+func (ob *ownedBlock) release() {
+	if ob != nil && ob.frame != nil {
+		ob.frame.Release()
+		ob.frame = nil
+	}
+}
+
+// tableReader scans a device-resident table (or spill) block by block
+// through a pooled frame.
+type tableReader struct {
+	sp *storage.Spill
+	ar int
+	c  *Ctx
+
+	pos   int64
+	frame *storage.Frame
+}
+
+func newTableReader(t *Table) *tableReader { return &tableReader{sp: t.Spill, ar: t.Arity} }
+
+func newSpillReader(sp *storage.Spill, arity int) *tableReader {
+	return &tableReader{sp: sp, ar: arity}
+}
+
+func (r *tableReader) open(c *Ctx) error { r.c = c; r.pos = 0; return nil }
+
+func (r *tableReader) width() int64 { return int64(r.ar) * 4 }
+
+// ensure pins a frame able to hold up to k rows, shrinking under budget
+// pressure (never below one row).
+func (r *tableReader) ensure(k int64) (int64, error) {
+	if k < 1 {
+		k = 1
+	}
+	if r.frame != nil {
+		if c := r.frame.Cap(r.width()); c >= k {
+			return k, nil
+		}
+		r.frame.Release()
+		r.frame = nil
+	}
+	f, err := r.c.Pool.PinUpTo(k, 1, r.width())
+	if err != nil {
+		return 0, err
+	}
+	r.frame = f
+	if c := f.Cap(r.width()); c < k {
+		k = c
+	}
+	return k, nil
+}
+
+func (r *tableReader) next(k int64) ([]int32, error) {
+	if err := r.c.err(); err != nil {
+		return nil, err
+	}
+	if r.pos >= r.sp.Records() {
+		return nil, nil
+	}
+	k, err := r.ensure(k)
+	if err != nil {
+		return nil, err
+	}
+	blk := r.sp.ReadAt(r.pos, k)
+	n := int64(len(blk)) / int64(r.ar)
+	r.pos += n
+	r.frame.Data = append(r.frame.Data[:0], blk...)
+	return r.frame.Data, nil
+}
+
+func (r *tableReader) take(k int64) (*ownedBlock, error) {
+	if r.pos >= r.sp.Records() {
+		return nil, nil
+	}
+	if k < 1 {
+		k = 1
+	}
+	f, err := r.c.Pool.PinUpTo(k, 1, r.width())
+	if err != nil {
+		return nil, err
+	}
+	if c := f.Cap(r.width()); c < k {
+		k = c
+	}
+	blk := r.sp.ReadAt(r.pos, k)
+	r.pos += int64(len(blk)) / int64(r.ar)
+	f.Data = append(f.Data[:0], blk...)
+	return &ownedBlock{frame: f, data: f.Data}, nil
+}
+
+func (r *tableReader) arity() int       { return r.ar }
+func (r *tableReader) rewindable() bool { return true }
+func (r *tableReader) rewind() error    { r.pos = 0; return nil }
+func (r *tableReader) rows() int64      { return r.sp.Records() }
+
+func (r *tableReader) close() error {
+	if r.frame != nil {
+		r.frame.Release()
+		r.frame = nil
+	}
+	return nil
+}
+
+// opReader adapts an operator subtree to the block protocol by
+// re-batching its output into a pooled frame. It cannot rewind; callers
+// that need a second pass materialize it first.
+type opReader struct {
+	op Operator
+	c  *Ctx
+
+	ar    int
+	carry []int32 // rows delivered by the child but not yet consumed
+	done  bool
+	frame *storage.Frame
+}
+
+func newOpReader(op Operator) *opReader { return &opReader{op: op} }
+
+func (r *opReader) open(c *Ctx) error { r.c = c; return r.op.Open(c) }
+
+// fill accumulates child batches until at least k rows (or EOF).
+func (r *opReader) fill(k int64) error {
+	if err := r.c.err(); err != nil {
+		return err
+	}
+	var b Batch
+	for !r.done && (r.ar == 0 || int64(len(r.carry))/int64(r.ar) < k) {
+		ok, err := r.op.Next(&b)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			r.done = true
+			break
+		}
+		if b.Arity > 0 && len(b.Data) > 0 {
+			if r.ar == 0 {
+				r.ar = b.Arity
+			} else if r.ar != b.Arity {
+				return fmt.Errorf("exec: child arity changed from %d to %d", r.ar, b.Arity)
+			}
+			r.carry = append(r.carry, b.Data...)
+		}
+	}
+	return nil
+}
+
+// pop moves up to k carried rows into the given frame.
+func (r *opReader) pop(k int64, f *storage.Frame) []int32 {
+	if r.ar == 0 || len(r.carry) == 0 {
+		return nil
+	}
+	w := int64(r.ar)
+	n := int64(len(r.carry)) / w
+	if n > k {
+		n = k
+	}
+	if c := f.Cap(w * 4); n > c {
+		n = c
+	}
+	f.Data = append(f.Data[:0], r.carry[:n*w]...)
+	r.carry = r.carry[n*w:]
+	return f.Data
+}
+
+// ensure pins (or reuses) the reader's frame for up to k rows.
+func (r *opReader) ensure(k int64) (*storage.Frame, error) {
+	if r.frame != nil {
+		if r.frame.Cap(int64(r.ar)*4) >= k {
+			return r.frame, nil
+		}
+		r.frame.Release()
+		r.frame = nil
+	}
+	f, err := r.c.Pool.PinUpTo(k, 1, int64(r.ar)*4)
+	if err != nil {
+		return nil, err
+	}
+	r.frame = f
+	return f, nil
+}
+
+func (r *opReader) next(k int64) ([]int32, error) {
+	if k < 1 {
+		k = 1
+	}
+	if err := r.fill(k); err != nil {
+		return nil, err
+	}
+	if r.ar == 0 || len(r.carry) == 0 {
+		return nil, nil
+	}
+	f, err := r.ensure(k)
+	if err != nil {
+		return nil, err
+	}
+	return r.pop(k, f), nil
+}
+
+func (r *opReader) take(k int64) (*ownedBlock, error) {
+	if k < 1 {
+		k = 1
+	}
+	if err := r.fill(k); err != nil {
+		return nil, err
+	}
+	if r.ar == 0 || len(r.carry) == 0 {
+		return nil, nil
+	}
+	f, err := r.c.Pool.PinUpTo(k, 1, int64(r.ar)*4)
+	if err != nil {
+		return nil, err
+	}
+	blk := r.pop(k, f)
+	if blk == nil {
+		f.Release()
+		return nil, nil
+	}
+	return &ownedBlock{frame: f, data: blk}, nil
+}
+
+func (r *opReader) arity() int       { return r.ar }
+func (r *opReader) rewindable() bool { return false }
+func (r *opReader) rewind() error {
+	return fmt.Errorf("exec: cannot rewind a streaming operator (materialize it first)")
+}
+func (r *opReader) rows() int64 { return -1 }
+
+func (r *opReader) close() error {
+	if r.frame != nil {
+		r.frame.Release()
+		r.frame = nil
+	}
+	return r.op.Close()
+}
+
+// materialize drains a reader into a scratch spill and returns a rewindable
+// reader over it. The spill's writes and subsequent reads are charged to
+// the scratch device — the honest cost of re-scanning a composed
+// intermediate.
+func materialize(r blockReader, c *Ctx) (*tableReader, error) {
+	blk, err := r.next(c.batchRows())
+	if err != nil {
+		return nil, err
+	}
+	var sp *storage.Spill
+	for blk != nil {
+		if sp == nil {
+			sp, err = c.Pool.NewSpill(c.Scratch, int64(r.arity())*4, 0)
+			if err != nil {
+				return nil, err
+			}
+		}
+		sp.Append(blk)
+		if blk, err = r.next(c.batchRows()); err != nil {
+			return nil, err
+		}
+	}
+	if err := r.close(); err != nil {
+		return nil, err
+	}
+	if sp == nil {
+		// Empty stream: a zero-capacity spill of a nominal width.
+		ar := r.arity()
+		if ar <= 0 {
+			ar = 1
+		}
+		sp, err = c.Pool.NewSpill(c.Scratch, int64(ar)*4, 0)
+		if err != nil {
+			return nil, err
+		}
+		mr := newSpillReader(sp, ar)
+		return mr, mr.open(c)
+	}
+	mr := newSpillReader(sp, r.arity())
+	return mr, mr.open(c)
+}
+
+// rowsToList converts a flat block into an OCAL list of row values.
+func rowsToList(blk []int32, arity int) ocal.List {
+	n := len(blk) / arity
+	out := make(ocal.List, n)
+	for i := 0; i < n; i++ {
+		out[i] = rowToValue(blk[i*arity : (i+1)*arity])
+	}
+	return out
+}

@@ -1,0 +1,1099 @@
+package exec
+
+import (
+	"fmt"
+
+	"ocas/internal/interp"
+	"ocas/internal/ocal"
+	"ocas/internal/storage"
+)
+
+// Pred decides the join condition on two rows.
+type Pred func(x, y []int32) bool
+
+// TruePred is the relational-product condition used by the paper's write-out
+// experiments ("we use the join condition 'true'").
+func TruePred(_, _ []int32) bool { return true }
+
+// EqPred joins on equality of the given 0-based attributes.
+func EqPred(i, j int) Pred {
+	return func(x, y []int32) bool { return x[i] == y[j] }
+}
+
+// Input binds an operator input either to a base table (fused block reads:
+// the operator reads the device directly at its tuned block size, exactly
+// what the generated C would do), to a scratch spill, or to an arbitrary
+// operator subtree, which streams through the batch protocol.
+type Input struct {
+	table *Table
+	spill *storage.Spill
+	ar    int
+	op    Operator
+}
+
+// TableInput fuses a base table into the consuming operator.
+func TableInput(t *Table) Input { return Input{table: t} }
+
+// SpillInput reads a scratch spill of the given arity.
+func SpillInput(sp *storage.Spill, arity int) Input { return Input{spill: sp, ar: arity} }
+
+// OpInput streams another operator's output.
+func OpInput(op Operator) Input { return Input{op: op} }
+
+func (in Input) valid() bool { return in.table != nil || in.spill != nil || in.op != nil }
+
+func (in Input) reader() blockReader {
+	switch {
+	case in.table != nil:
+		return newTableReader(in.table)
+	case in.spill != nil:
+		return newSpillReader(in.spill, in.ar)
+	default:
+		return newOpReader(in.op)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Scan
+
+// Scan delivers a table batch by batch, reading the device in blocks of K
+// tuples through a pooled frame.
+type Scan struct {
+	T *Table
+	K int64 // read block in tuples; <= 0 uses the context batch size
+
+	c *Ctx
+	r *tableReader
+}
+
+func (o *Scan) Open(c *Ctx) error {
+	o.c = c
+	o.r = newTableReader(o.T)
+	return o.r.open(c)
+}
+
+func (o *Scan) Next(b *Batch) (bool, error) {
+	k := o.K
+	if k <= 0 {
+		k = o.c.batchRows()
+	}
+	blk, err := o.r.next(k)
+	if err != nil || blk == nil {
+		return false, err
+	}
+	b.Arity, b.Data = o.T.Arity, blk
+	return true, nil
+}
+
+func (o *Scan) Close() error {
+	if o.r == nil {
+		return nil
+	}
+	return o.r.close()
+}
+
+// ---------------------------------------------------------------------------
+// Project
+
+// StepFn turns one input row into zero or more output rows.
+type StepFn func(row []int32, emit func([]int32)) error
+
+// Project applies a compiled per-row body (projection, filter, arithmetic)
+// to its input.
+type Project struct {
+	In   Input
+	K    int64 // fused read block in tuples
+	Step StepFn
+
+	c    *Ctx
+	r    blockReader
+	em   emitter
+	done bool
+}
+
+func (o *Project) Open(c *Ctx) error {
+	o.c = c
+	o.r = o.In.reader()
+	return o.r.open(c)
+}
+
+func (o *Project) step() error {
+	k := o.K
+	if k <= 0 {
+		k = o.c.batchRows()
+	}
+	blk, err := o.r.next(k)
+	if err != nil {
+		return err
+	}
+	if blk == nil {
+		o.done = true
+		return nil
+	}
+	ar := o.r.arity()
+	rows := len(blk) / ar
+	o.c.Sim.CPU(int64(rows), o.c.Sim.CmpSeconds)
+	for i := 0; i < rows; i++ {
+		if err := o.Step(blk[i*ar:(i+1)*ar], o.em.emit); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (o *Project) Next(b *Batch) (bool, error) {
+	max := o.c.batchRows()
+	for !o.done && o.em.rows() < max {
+		if err := o.step(); err != nil {
+			return false, err
+		}
+	}
+	return o.em.drain(b, max), nil
+}
+
+func (o *Project) Close() error {
+	if o.r == nil {
+		return nil
+	}
+	return o.r.close()
+}
+
+// ---------------------------------------------------------------------------
+// Block nested loops join
+
+// BNLJoin is the Block Nested Loops Join operator with optional
+// smaller-relation-outer ordering (order-inputs), sequential inner scans,
+// and optional cache tiling (the loop-tiling variant OCAS derives when the
+// hierarchy includes a CPU cache). The resident outer block is pinned in
+// the buffer pool; a non-rewindable inner subtree is materialized to a
+// scratch spill before the first rescan.
+type BNLJoin struct {
+	L, R    Input
+	K1, K2  int64 // outer/inner block sizes in tuples
+	OrderBy bool  // put the smaller relation outer
+	Pred    Pred
+	// EquiKeys, when non-nil, identifies the join as an equi-join on
+	// (L attribute, R attribute). The operator then indexes each resident
+	// outer block once and probes every inner tuple against it — the hash
+	// lookup the generated code performs — producing the same bag of pairs
+	// as the nested scan with linear instead of quadratic CPU.
+	EquiKeys *[2]int
+	Swapped  *bool // reports whether inputs were swapped (may be nil)
+	// SwapOutput emits rows inner-first: the swap-iter derivations loop S
+	// outside R but still construct <x, y> in the original order.
+	SwapOutput bool
+	// Tile sizes in tuples for the cache-conscious variant (0 = untiled).
+	TileX, TileY int64
+
+	c            *Ctx
+	outer, inner blockReader
+	swapped      bool
+	pred         Pred
+	keys         *[2]int
+	ob           *ownedBlock
+	outerIdx     map[int32][]int64
+	em           emitter
+	done         bool
+	rowBuf       []int32
+	// Resume state within the current (outer block, inner block) pair, so
+	// one Next call never has to buffer a whole block pair's matches.
+	yb         []int32
+	posA, posB int64
+}
+
+func (o *BNLJoin) Open(c *Ctx) error {
+	o.c = c
+	lr, rr := o.L.reader(), o.R.reader()
+	if err := lr.open(c); err != nil {
+		return err
+	}
+	if err := rr.open(c); err != nil {
+		return err
+	}
+	outer, inner := lr, rr
+	o.swapped = false
+	if o.OrderBy {
+		var err error
+		if outer.rows() < 0 {
+			if outer, err = materialize(outer, c); err != nil {
+				return err
+			}
+		}
+		if inner.rows() < 0 {
+			if inner, err = materialize(inner, c); err != nil {
+				return err
+			}
+		}
+		if inner.rows() < outer.rows() {
+			outer, inner = inner, outer
+			o.swapped = true
+		}
+	}
+	if !inner.rewindable() {
+		var err error
+		if inner, err = materialize(inner, c); err != nil {
+			return err
+		}
+	}
+	o.outer, o.inner = outer, inner
+	o.pred, o.keys = o.Pred, o.EquiKeys
+	if o.swapped {
+		base := o.Pred
+		o.pred = func(x, y []int32) bool { return base(y, x) }
+		if o.EquiKeys != nil {
+			o.keys = &[2]int{o.EquiKeys[1], o.EquiKeys[0]}
+		}
+	}
+	if o.Swapped != nil {
+		*o.Swapped = o.swapped
+	}
+	return o.advanceOuter()
+}
+
+// advanceOuter loads the next resident outer block, indexes it for the
+// equi-join fast path and rewinds the inner input.
+func (o *BNLJoin) advanceOuter() error {
+	o.ob.release()
+	o.ob, o.outerIdx = nil, nil
+	k1 := o.K1
+	if k1 <= 0 {
+		k1 = 1
+	}
+	// Leave room for the inner block under tight budgets.
+	k1 = o.c.share(k1, 2, int64(o.outer.arity())*4)
+	ob, err := o.outer.take(k1)
+	if err != nil {
+		return err
+	}
+	if ob == nil {
+		o.done = true
+		return nil
+	}
+	o.ob = ob
+	ra := int64(o.outer.arity())
+	nx := int64(len(ob.data)) / ra
+	if o.keys != nil {
+		o.outerIdx = make(map[int32][]int64, nx)
+		for a := int64(0); a < nx; a++ {
+			k := ob.data[a*ra+int64(o.keys[0])]
+			o.outerIdx[k] = append(o.outerIdx[k], a)
+		}
+		o.c.Sim.CPU(nx, o.c.Sim.HashSeconds)
+	}
+	return o.inner.rewind()
+}
+
+// step joins the resident outer block against the current inner block,
+// fetching the next inner block (and, at inner end-of-stream, the next
+// outer block) as needed. Processing is resumable: it stops once the
+// emitter holds a batch worth of rows, so a selective key or a product
+// never buffers a whole block pair's matches at once.
+func (o *BNLJoin) step() error {
+	if o.yb == nil {
+		k2 := o.K2
+		if k2 <= 0 {
+			k2 = 1
+		}
+		yb, err := o.inner.next(k2)
+		if err != nil {
+			return err
+		}
+		if yb == nil {
+			return o.advanceOuter()
+		}
+		o.yb, o.posA, o.posB = yb, 0, 0
+		// Charges are per block pair: the equi-join fast path probes each
+		// inner tuple once; the general nested loop compares every pair.
+		ra, sa := int64(o.outer.arity()), int64(o.inner.arity())
+		nx, ny := int64(len(o.ob.data))/ra, int64(len(yb))/sa
+		if o.keys != nil {
+			o.c.Sim.CPU(ny, o.c.Sim.HashSeconds)
+		} else {
+			o.c.Sim.CPU(nx*ny, o.c.Sim.CmpSeconds)
+		}
+		o.countCacheMisses(nx, ny, ra, sa)
+	}
+	xb, yb := o.ob.data, o.yb
+	ra, sa := int64(o.outer.arity()), int64(o.inner.arity())
+	nx, ny := int64(len(xb))/ra, int64(len(yb))/sa
+	max := o.c.batchRows()
+	// Emit in the body's tuple order regardless of which side ended up
+	// outer: an OrderBy swap re-orients once, SwapOutput re-orients again.
+	flip := o.swapped != o.SwapOutput
+	emit := func(x, y []int32) {
+		o.rowBuf = o.rowBuf[:0]
+		if flip {
+			o.rowBuf = append(append(o.rowBuf, y...), x...)
+		} else {
+			o.rowBuf = append(append(o.rowBuf, x...), y...)
+		}
+		o.em.emit(o.rowBuf)
+	}
+	if o.keys != nil {
+		for b := o.posB; b < ny; b++ {
+			if o.em.rows() >= max {
+				o.posB = b
+				return nil
+			}
+			y := yb[b*sa : (b+1)*sa]
+			for _, a := range o.outerIdx[y[o.keys[1]]] {
+				emit(xb[a*ra:(a+1)*ra], y)
+			}
+		}
+	} else {
+		b := o.posB
+		for a := o.posA; a < nx; a++ {
+			x := xb[a*ra : (a+1)*ra]
+			for ; b < ny; b++ {
+				if o.em.rows() >= max {
+					o.posA, o.posB = a, b
+					return nil
+				}
+				y := yb[b*sa : (b+1)*sa]
+				if o.pred(x, y) {
+					emit(x, y)
+				}
+			}
+			b = 0
+		}
+	}
+	o.yb = nil
+	return nil
+}
+
+func (o *BNLJoin) Next(b *Batch) (bool, error) {
+	max := o.c.batchRows()
+	for !o.done && o.em.rows() < max {
+		if err := o.step(); err != nil {
+			return false, err
+		}
+	}
+	return o.em.drain(b, max), nil
+}
+
+func (o *BNLJoin) Close() error {
+	o.ob.release()
+	o.ob = nil
+	var err error
+	// Open may have failed before assigning the readers.
+	if o.outer != nil {
+		err = o.outer.close()
+	}
+	if o.inner != nil {
+		if e := o.inner.close(); err == nil {
+			err = e
+		}
+	}
+	return err
+}
+
+// countCacheMisses feeds the analytic cache model with this block pair's
+// access pattern: the inner block is scanned once per outer tuple (untiled),
+// or once per outer tile (tiled), which is what loop tiling buys.
+func (o *BNLJoin) countCacheMisses(nx, ny, ra, sa int64) {
+	c := o.c.Sim.Cache
+	if c == nil || nx == 0 || ny == 0 {
+		return
+	}
+	yBytes := ny * sa * 4
+	if o.TileY <= 0 {
+		// Untiled: the whole inner block streams past the cache nx times.
+		c.ScanMisses(yBytes, nx)
+		c.ScanMisses(nx*ra*4, 1)
+		return
+	}
+	tileY := o.TileY
+	tileX := o.TileX
+	if tileX <= 0 {
+		tileX = nx
+	}
+	nTilesY := (ny + tileY - 1) / tileY
+	nTilesX := (nx + tileX - 1) / tileX
+	// Each y-tile is resident while tileX outer tuples scan it: one cold
+	// pass per x-tile, hits afterwards.
+	for ty := int64(0); ty < nTilesY; ty++ {
+		rows := tileY
+		if ty == nTilesY-1 {
+			rows = ny - ty*tileY
+		}
+		c.ScanMisses(rows*sa*4, nTilesX*tileX)
+	}
+	c.ScanMisses(nx*ra*4, 1)
+}
+
+// ---------------------------------------------------------------------------
+// GRACE hash join
+
+// HashJoin is the GRACE hash join: both inputs are hash-partitioned to
+// scratch spill files in one sequential pass (through pool-pinned write
+// buffers), then corresponding buckets are joined with a block nested loops
+// join whose blocks normally cover a whole bucket, so all data is read
+// exactly twice.
+type HashJoin struct {
+	L, R     Input
+	Buckets  int64
+	KRead    int64 // partition-phase read block (tuples)
+	BufW     int64 // per-bucket write buffer (tuples)
+	KJoin    int64 // join-phase block size (tuples)
+	KeyL     int   // 0-based key attribute of L
+	KeyR     int
+	Pred     Pred
+	EquiKeys *[2]int // forwarded to the per-bucket joins
+	// SwapOutput is forwarded to the per-bucket joins (see BNLJoin).
+	SwapOutput bool
+
+	c        *Ctx
+	bL, bR   []*storage.Spill
+	arL, arR int
+	cur      int64
+	j        *BNLJoin
+	done     bool
+}
+
+func (o *HashJoin) Open(c *Ctx) error {
+	o.c = c
+	s := o.Buckets
+	if s <= 0 {
+		s = 1
+	}
+	o.Buckets = s
+	var err error
+	if o.bL, o.arL, err = o.partition(o.L, o.KeyL); err != nil {
+		return err
+	}
+	if o.bR, o.arR, err = o.partition(o.R, o.KeyR); err != nil {
+		return err
+	}
+	// A side that delivered no rows (unknowable arity) joins to nothing.
+	o.done = o.arL == 0 || o.arR == 0
+	return nil
+}
+
+// partition hashes one input into Buckets scratch spills through BufW-tuple
+// write buffers pinned in the pool. The pool budget is split into one share
+// per bucket buffer plus one for the read block, so no single frame starves
+// the others.
+func (o *HashJoin) partition(in Input, key int) ([]*storage.Spill, int, error) {
+	r := in.reader()
+	if err := r.open(o.c); err != nil {
+		return nil, 0, err
+	}
+	defer r.close()
+	s := o.Buckets
+	var (
+		spills []*storage.Spill
+		bufs   []*storage.Frame
+		arity  int
+	)
+	setup := func(ar int) error {
+		arity = ar
+		width := int64(arity) * 4
+		want := o.c.share(o.BufW, s+1, width)
+		spills = make([]*storage.Spill, s)
+		bufs = make([]*storage.Frame, s)
+		if want < 1 {
+			want = 1
+		}
+		for i := range spills {
+			sp, err := o.c.Pool.NewSpill(o.c.Scratch, width, 0)
+			if err != nil {
+				return err
+			}
+			spills[i] = sp
+			f, err := o.c.Pool.PinUpTo(want, 1, width)
+			if err != nil {
+				return err
+			}
+			bufs[i] = f
+		}
+		return nil
+	}
+	// A fused table/spill input has a known arity: pin the bucket buffers
+	// before the reader claims its block frame.
+	if ar := r.arity(); ar > 0 {
+		if err := setup(ar); err != nil {
+			return nil, 0, err
+		}
+	}
+	flush := func(b int64) {
+		f := bufs[b]
+		if len(f.Data) == 0 {
+			return
+		}
+		o.c.Sim.CPU(int64(len(f.Data))*4, o.c.Sim.MoveSeconds)
+		spills[b].Append(f.Data)
+		f.Data = f.Data[:0]
+	}
+	for {
+		k := o.KRead
+		if k <= 0 {
+			k = 1
+		}
+		if arity > 0 {
+			k = o.c.share(k, s+1, int64(arity)*4)
+		}
+		blk, err := r.next(k)
+		if err != nil {
+			return nil, 0, err
+		}
+		if blk == nil {
+			break
+		}
+		if spills == nil {
+			if err := setup(r.arity()); err != nil {
+				return nil, 0, err
+			}
+		}
+		a := int64(arity)
+		n := int64(len(blk)) / a
+		o.c.Sim.CPU(n, o.c.Sim.HashSeconds)
+		bufW := o.BufW
+		if bufW < 1 {
+			bufW = 1
+		}
+		for i := int64(0); i < n; i++ {
+			row := blk[i*a : (i+1)*a]
+			b := int64(ocal.Hash(ocal.Int(int64(row[key]))) % uint64(s))
+			f := bufs[b]
+			// Flush before the row would outgrow the pinned frame, so the
+			// buffer never reallocates past its accounted size.
+			if len(f.Data)+len(row) > cap(f.Data) {
+				flush(b)
+			}
+			f.Data = append(f.Data, row...)
+			if int64(len(f.Data))/a >= bufW {
+				flush(b)
+			}
+		}
+	}
+	for i := range bufs {
+		flush(int64(i))
+		bufs[i].Release()
+	}
+	return spills, arity, nil
+}
+
+func (o *HashJoin) Next(b *Batch) (bool, error) {
+	for !o.done {
+		if o.j == nil {
+			if o.cur >= o.Buckets {
+				o.done = true
+				break
+			}
+			o.j = &BNLJoin{
+				L: SpillInput(o.bL[o.cur], o.arL), R: SpillInput(o.bR[o.cur], o.arR),
+				K1: o.KJoin, K2: o.KJoin, Pred: o.Pred, EquiKeys: o.EquiKeys,
+				SwapOutput: o.SwapOutput,
+			}
+			o.cur++
+			if err := o.j.Open(o.c); err != nil {
+				return false, err
+			}
+		}
+		ok, err := o.j.Next(b)
+		if err != nil {
+			return false, err
+		}
+		if ok {
+			return true, nil
+		}
+		if err := o.j.Close(); err != nil {
+			return false, err
+		}
+		o.j = nil
+	}
+	return false, nil
+}
+
+func (o *HashJoin) Close() error {
+	if o.j != nil {
+		err := o.j.Close()
+		o.j = nil
+		return err
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// External merge sort
+
+// sortCursor walks one run of a merge group through a pooled frame.
+type sortCursor struct {
+	next, end int64
+	frame     *storage.Frame
+	buf       []int32
+	pos       int64
+}
+
+// ExtSort is the 2^k-way external merge sort derived from the insertion-sort
+// specification. Every pass reads all data in blocks of Bin tuples, merges
+// `Way` runs at a time and writes through a Bout-tuple buffer to the
+// alternate scratch spill; runs initially have length 1 (the specification
+// folds merge over singleton lists). The final pass streams its merged
+// output downstream instead of writing it back to scratch.
+type ExtSort struct {
+	In     Input
+	Way    int
+	Bin    int64
+	Bout   int64
+	KeyCol int
+	Passes int // reported
+
+	c        *Ctx
+	src      *storage.Spill
+	arity    int
+	finalCs  []*sortCursor
+	finalLen int
+	em       emitter
+	done     bool
+}
+
+func (o *ExtSort) Open(c *Ctx) error {
+	o.c = c
+	if o.Way < 2 {
+		o.Way = 2
+	}
+	// Resolve the pass-1 source: base tables and spills are read in place;
+	// an operator subtree is spooled to scratch first.
+	switch {
+	case o.In.table != nil:
+		o.src, o.arity = o.In.table.Spill, o.In.table.Arity
+	case o.In.spill != nil:
+		o.src, o.arity = o.In.spill, o.In.ar
+	default:
+		r := newOpReader(o.In.op)
+		if err := r.open(c); err != nil {
+			return err
+		}
+		mr, err := materialize(r, c)
+		if err != nil {
+			return err
+		}
+		o.src, o.arity = mr.sp, mr.ar
+	}
+	n := o.src.Records()
+	if n == 0 {
+		o.done = true
+		return nil
+	}
+	width := int64(o.arity) * 4
+	cur := o.src
+	runLen := int64(1)
+	var a, b *storage.Spill
+	for runLen*int64(o.Way) < n {
+		var dst *storage.Spill
+		var err error
+		switch cur {
+		case a:
+			if b == nil {
+				if b, err = c.Pool.NewSpill(c.Scratch, width, n); err != nil {
+					return err
+				}
+			}
+			dst = b
+		default:
+			if a == nil {
+				if a, err = c.Pool.NewSpill(c.Scratch, width, n); err != nil {
+					return err
+				}
+			}
+			dst = a
+		}
+		dst.Reset()
+		if err := o.mergePass(cur, dst, runLen); err != nil {
+			return err
+		}
+		o.Passes++
+		runLen *= int64(o.Way)
+		cur = dst
+	}
+	// Final pass: merge the remaining runs straight into the output stream.
+	if runLen < n {
+		o.Passes++
+	}
+	for r := int64(0); r < n; r += runLen {
+		end := r + runLen
+		if end > n {
+			end = n
+		}
+		o.finalCs = append(o.finalCs, &sortCursor{next: r, end: end})
+	}
+	o.finalLen = len(o.finalCs)
+	src := cur
+	for _, cu := range o.finalCs {
+		if err := o.fill(src, cu); err != nil {
+			return err
+		}
+	}
+	o.src = src
+	return nil
+}
+
+// fill tops up a cursor's frame from src.
+func (o *ExtSort) fill(src *storage.Spill, cu *sortCursor) error {
+	a := int64(o.arity)
+	if cu.pos*a < int64(len(cu.buf)) || cu.next >= cu.end {
+		return nil
+	}
+	take := o.Bin
+	if take <= 0 {
+		take = 1
+	}
+	// One share per merge cursor plus one for the output buffer.
+	take = o.c.share(take, int64(o.Way)+1, a*4)
+	if cu.frame == nil {
+		f, err := o.c.Pool.PinUpTo(take, 1, a*4)
+		if err != nil {
+			return err
+		}
+		cu.frame = f
+	}
+	if cap := cu.frame.Cap(a * 4); cap < take {
+		take = cap
+	}
+	if cu.next+take > cu.end {
+		take = cu.end - cu.next
+	}
+	blk := src.ReadAt(cu.next, take)
+	cu.frame.Data = append(cu.frame.Data[:0], blk...)
+	cu.buf = cu.frame.Data
+	cu.next += take
+	cu.pos = 0
+	return nil
+}
+
+// selectMin picks the cursor with the smallest key, charging the
+// comparison sweep.
+func (o *ExtSort) selectMin(cs []*sortCursor) int {
+	a := int64(o.arity)
+	best := -1
+	var bestKey int32
+	for i, cu := range cs {
+		if cu.pos*a >= int64(len(cu.buf)) {
+			continue
+		}
+		key := cu.buf[cu.pos*a+int64(o.KeyCol)]
+		if best == -1 || key < bestKey {
+			best, bestKey = i, key
+		}
+	}
+	o.c.Sim.CPU(int64(len(cs)), o.c.Sim.CmpSeconds)
+	return best
+}
+
+// mergePass merges groups of Way runs of length runLen from src into dst.
+func (o *ExtSort) mergePass(src, dst *storage.Spill, runLen int64) error {
+	a := int64(o.arity)
+	n := src.Records()
+	bout := o.Bout
+	if bout <= 0 {
+		bout = 1
+	}
+	bout = o.c.share(bout, int64(o.Way)+1, a*4)
+	out, err := o.c.Pool.PinUpTo(bout, 1, a*4)
+	if err != nil {
+		return err
+	}
+	defer out.Release()
+	if cap := out.Cap(a * 4); cap < bout {
+		bout = cap
+	}
+	flush := func() {
+		if len(out.Data) == 0 {
+			return
+		}
+		o.c.Sim.CPU(int64(len(out.Data))*4, o.c.Sim.MoveSeconds)
+		dst.Append(out.Data)
+		out.Data = out.Data[:0]
+	}
+	groupSpan := runLen * int64(o.Way)
+	for g := int64(0); g < n; g += groupSpan {
+		var cs []*sortCursor
+		for r := g; r < g+groupSpan && r < n; r += runLen {
+			end := r + runLen
+			if end > n {
+				end = n
+			}
+			cs = append(cs, &sortCursor{next: r, end: end})
+		}
+		for _, cu := range cs {
+			if err := o.fill(src, cu); err != nil {
+				return err
+			}
+		}
+		for {
+			best := o.selectMin(cs)
+			if best == -1 {
+				break
+			}
+			cu := cs[best]
+			out.Data = append(out.Data, cu.buf[cu.pos*a:(cu.pos+1)*a]...)
+			if int64(len(out.Data))/a >= bout {
+				flush()
+			}
+			cu.pos++
+			if err := o.fill(src, cu); err != nil {
+				return err
+			}
+		}
+		for _, cu := range cs {
+			if cu.frame != nil {
+				cu.frame.Release()
+			}
+		}
+	}
+	flush()
+	return nil
+}
+
+// step emits the next row of the final streamed merge.
+func (o *ExtSort) step() error {
+	best := o.selectMin(o.finalCs)
+	if best == -1 {
+		o.done = true
+		return nil
+	}
+	cu := o.finalCs[best]
+	a := int64(o.arity)
+	o.em.emit(cu.buf[cu.pos*a : (cu.pos+1)*a])
+	cu.pos++
+	return o.fill(o.src, cu)
+}
+
+func (o *ExtSort) Next(b *Batch) (bool, error) {
+	max := o.c.batchRows()
+	for !o.done && o.em.rows() < max {
+		if err := o.step(); err != nil {
+			return false, err
+		}
+	}
+	return o.em.drain(b, max), nil
+}
+
+func (o *ExtSort) Close() error {
+	for _, cu := range o.finalCs {
+		if cu.frame != nil {
+			cu.frame.Release()
+			cu.frame = nil
+		}
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Streaming unfoldR
+
+// UnfoldR executes a generic unfoldR over streamed inputs: the step
+// function (compiled from the optimized OCAL program) is applied per
+// produced element while the inputs stream through RAM windows of K tuples.
+// This covers the set/multiset unions and differences, zips (column-store
+// reads) and duplicate removal of the evaluation.
+type UnfoldR struct {
+	Ins  []Input
+	K    int64 // window size (tuples) per input
+	Step interp.Func
+	// StateArity is the arity of the step's state tuple; when larger than
+	// len(Ins), the extra leading components start as empty lists (scratch
+	// state such as dup-removal's last-seen marker).
+	StateArity int
+
+	c       *Ctx
+	readers []blockReader
+	windows []ocal.List
+	scratch int
+	em      emitter
+	done    bool
+}
+
+func (o *UnfoldR) Open(c *Ctx) error {
+	o.c = c
+	n := o.StateArity
+	if n < len(o.Ins) {
+		n = len(o.Ins)
+	}
+	o.scratch = n - len(o.Ins)
+	o.windows = make([]ocal.List, n)
+	for i := range o.windows {
+		o.windows[i] = ocal.List{}
+	}
+	o.readers = make([]blockReader, len(o.Ins))
+	for i, in := range o.Ins {
+		o.readers[i] = in.reader()
+		if err := o.readers[i].open(c); err != nil {
+			return err
+		}
+	}
+	return o.refillAll()
+}
+
+// refillAll tops up input windows that are nearly drained. Refilling at
+// one remaining element (not zero) gives the step function one element of
+// lookahead across window boundaries: the streaming group-by decides
+// "last tuple → final group" by inspecting head(tail(window)), which must
+// not be an artifact of where a transfer block happened to end.
+func (o *UnfoldR) refillAll() error {
+	k := o.K
+	if k <= 0 {
+		k = 1
+	}
+	for i, r := range o.readers {
+		wi := o.scratch + i
+		if len(o.windows[wi]) > 1 {
+			continue
+		}
+		blk, err := r.next(o.c.share(k, int64(len(o.readers)), int64(r.arity())*4))
+		if err != nil {
+			return err
+		}
+		if blk != nil {
+			o.windows[wi] = append(append(ocal.List{}, o.windows[wi]...), rowsToList(blk, r.arity())...)
+		}
+	}
+	return nil
+}
+
+func (o *UnfoldR) step() error {
+	if err := o.refillAll(); err != nil {
+		return err
+	}
+	empty := true
+	for _, w := range o.windows {
+		if len(w) > 0 {
+			empty = false
+			break
+		}
+	}
+	if empty {
+		o.done = true
+		return nil
+	}
+	state := make(ocal.Tuple, len(o.windows))
+	for i := range o.windows {
+		state[i] = o.windows[i]
+	}
+	res, err := o.Step(state)
+	if err != nil {
+		return err
+	}
+	pair, ok := res.(ocal.Tuple)
+	if !ok || len(pair) != 2 {
+		return fmt.Errorf("exec: unfoldR step must return <chunk, state>")
+	}
+	chunk, ok := pair[0].(ocal.List)
+	if !ok {
+		return fmt.Errorf("exec: unfoldR chunk must be a list")
+	}
+	nst, ok := pair[1].(ocal.Tuple)
+	if !ok || len(nst) != len(o.windows) {
+		return fmt.Errorf("exec: unfoldR state arity changed")
+	}
+	progress := false
+	for i := range o.windows {
+		nl, ok := nst[i].(ocal.List)
+		if !ok {
+			return fmt.Errorf("exec: unfoldR state component %d not a list", i)
+		}
+		if len(nl) != len(o.windows[i]) {
+			progress = true
+		}
+		o.windows[i] = nl
+	}
+	o.c.Sim.CPU(1, o.c.Sim.CmpSeconds)
+	for _, v := range chunk {
+		row, err := valueToRow(v)
+		if err != nil {
+			return err
+		}
+		o.em.emit(row)
+		progress = true
+	}
+	if !progress {
+		return fmt.Errorf("exec: unfoldR step made no progress")
+	}
+	return nil
+}
+
+func (o *UnfoldR) Next(b *Batch) (bool, error) {
+	max := o.c.batchRows()
+	for !o.done && o.em.rows() < max {
+		if err := o.step(); err != nil {
+			return false, err
+		}
+	}
+	return o.em.drain(b, max), nil
+}
+
+func (o *UnfoldR) Close() error {
+	var err error
+	for _, r := range o.readers {
+		if r == nil {
+			continue // Open failed before this reader was opened
+		}
+		if e := r.close(); err == nil {
+			err = e
+		}
+	}
+	return err
+}
+
+// ---------------------------------------------------------------------------
+// Fold
+
+// Fold executes foldL over one streamed input with a compiled step
+// (aggregation, averages). It produces no rows; the accumulator — with the
+// optional final lambda applied — is available as Final after the stream
+// completes.
+type Fold struct {
+	In   Input
+	K    int64
+	Init ocal.Value
+	Step interp.Func
+	// FinalFn, when non-nil, is the post-aggregation lambda the synthesized
+	// program applies to the accumulator (e.g. avg's division).
+	FinalFn interp.Func
+	Final   ocal.Value
+}
+
+func (o *Fold) Open(c *Ctx) error {
+	r := o.In.reader()
+	if err := r.open(c); err != nil {
+		return err
+	}
+	defer r.close()
+	k := o.K
+	if k <= 0 {
+		k = 1
+	}
+	acc := o.Init
+	for {
+		blk, err := r.next(k)
+		if err != nil {
+			return err
+		}
+		if blk == nil {
+			break
+		}
+		a := r.arity()
+		rows := len(blk) / a
+		c.Sim.CPU(int64(rows), c.Sim.CmpSeconds)
+		for i := 0; i < rows; i++ {
+			v, err := o.Step(ocal.Tuple{acc, rowToValue(blk[i*a : (i+1)*a])})
+			if err != nil {
+				return err
+			}
+			acc = v
+		}
+	}
+	if o.FinalFn != nil {
+		v, err := o.FinalFn(acc)
+		if err != nil {
+			return err
+		}
+		acc = v
+	}
+	o.Final = acc
+	return nil
+}
+
+func (o *Fold) Next(b *Batch) (bool, error) { return false, nil }
+func (o *Fold) Close() error                { return nil }

@@ -1,8 +1,10 @@
 // Package exec runs synthesized algorithms against the storage simulator.
 // It plays the role of the paper's generated-and-compiled C programs: the
-// optimized OCAL program is lowered to a physical plan (nested-loop join,
-// GRACE hash join, external merge sort, streaming merges and folds) whose
-// operators process real tuples while charging simulated I/O and CPU time.
+// optimized OCAL program is lowered to a tree of streaming batch operators
+// (scan, filter/project, nested-loop join, GRACE hash join, external merge
+// sort, streaming merges and folds) whose Open/Next/Close protocol moves
+// real tuples while charging simulated I/O and CPU time, with working
+// memory pinned in the storage buffer pool.
 package exec
 
 import (
@@ -12,22 +14,22 @@ import (
 	"ocas/internal/storage"
 )
 
-// Table is a device-resident relation of fixed-arity int32 tuples. The tuple
-// payload lives in host memory; all accesses go through the volume so the
-// simulator charges seeks and transfer time.
+// Table is a device-resident relation of fixed-arity int32 tuples: a typed
+// view over a storage spill file. The tuple payload lives in host memory;
+// all accesses go through the volume so the simulator charges seeks and
+// transfer time.
 type Table struct {
-	Vol   *storage.Volume
+	*storage.Spill
 	Arity int
-	Data  []int32
 }
 
 // NewTable allocates a table for capRows tuples on the device.
 func NewTable(dev *storage.Device, arity int, capRows int64) (*Table, error) {
-	vol, err := dev.NewVolume(capRows, int64(arity)*4)
+	sp, err := dev.NewSpill(int64(arity)*4, capRows)
 	if err != nil {
 		return nil, err
 	}
-	return &Table{Vol: vol, Arity: arity, Data: make([]int32, 0, capRows*int64(arity))}, nil
+	return &Table{Spill: sp, Arity: arity}, nil
 }
 
 // Preload installs rows without charging I/O: the input data already resides
@@ -37,49 +39,22 @@ func (t *Table) Preload(rows []int32) error {
 		return fmt.Errorf("exec: preload length %d not a multiple of arity %d", len(rows), t.Arity)
 	}
 	n := int64(len(rows)) / int64(t.Arity)
-	if t.Vol.Count+n > t.Vol.Cap {
+	if !t.Room(n) {
 		return fmt.Errorf("exec: preload exceeds capacity")
 	}
-	t.Data = append(t.Data, rows...)
-	t.Vol.Count += n
+	t.Spill.Preload(rows)
 	return nil
 }
 
 // Rows returns the number of tuples.
-func (t *Table) Rows() int64 { return t.Vol.Count }
-
-// Bytes returns the stored size.
-func (t *Table) Bytes() int64 { return t.Rows() * int64(t.Arity) * 4 }
+func (t *Table) Rows() int64 { return t.Records() }
 
 // ReadBlock charges a blocked read of up to n tuples starting at idx and
 // returns the flat row payload.
-func (t *Table) ReadBlock(idx, n int64) []int32 {
-	if idx >= t.Rows() {
-		return nil
-	}
-	if idx+n > t.Rows() {
-		n = t.Rows() - idx
-	}
-	t.Vol.ReadAt(idx, n)
-	a := int64(t.Arity)
-	return t.Data[idx*a : (idx+n)*a]
-}
+func (t *Table) ReadBlock(idx, n int64) []int32 { return t.ReadAt(idx, n) }
 
 // AppendRows charges a write of the given rows (must be full tuples).
-func (t *Table) AppendRows(rows []int32) {
-	if len(rows) == 0 {
-		return
-	}
-	n := int64(len(rows)) / int64(t.Arity)
-	t.Vol.Append(n)
-	t.Data = append(t.Data, rows...)
-}
-
-// Reset empties the table for reuse as scratch.
-func (t *Table) Reset() {
-	t.Vol.Reset()
-	t.Data = t.Data[:0]
-}
+func (t *Table) AppendRows(rows []int32) { t.Append(rows) }
 
 // Sink is a buffered writer implementing the paper's output buffer b_out:
 // rows accumulate in RAM and are evicted to the output table in one
@@ -90,6 +65,15 @@ type Sink struct {
 	Bout int64 // records per eviction; <=0 means 1
 	Sim  *storage.Sim
 
+	// Alloc, when non-nil and Out is nil, allocates the output table
+	// lazily from the first row's arity (callers that cannot know the
+	// output arity before execution, e.g. the /execute service path).
+	Alloc func(arity int) (*Table, error)
+	// Tap, when non-nil, observes every row before buffering/discarding.
+	Tap func(row []int32)
+	// Err records a failed lazy allocation (checked after Run).
+	Err error
+
 	buf  []int32
 	rows int64
 	// RowsWritten counts all rows that passed through, even when discarded.
@@ -99,6 +83,13 @@ type Sink struct {
 // Write adds one row.
 func (s *Sink) Write(row []int32) {
 	s.RowsWritten++
+	if s.Tap != nil {
+		s.Tap(row)
+	}
+	if s.Out == nil && s.Alloc != nil && s.Err == nil {
+		s.Out, s.Err = s.Alloc(len(row))
+		s.Alloc = nil
+	}
 	if s.Out == nil {
 		return
 	}

@@ -31,6 +31,9 @@ func TestTable1Smoke(t *testing.T) {
 		if r.SpaceSize < 1 || r.SynthSecs < 0 {
 			t.Errorf("%s: bogus synthesis stats", r.Name)
 		}
+		if r.ExecSecs <= 0 {
+			t.Errorf("%s: executor wall-clock not measured", r.Name)
+		}
 		// Estimates and measurements must agree within two orders of
 		// magnitude (the paper's own Table 1 has up to ~2x deviations; we
 		// allow wide slack because of CPU modelling).

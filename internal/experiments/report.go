@@ -9,8 +9,10 @@ import (
 
 // BenchSchema identifies the machine-readable bench report format. Bump it
 // when fields change incompatibly; the regression gate refuses to compare
-// reports across schemas.
-const BenchSchema = "ocas-bench/v1"
+// reports across schemas. v2 adds the executor columns: per-row executor
+// wall-clock (ExecSecs) and the measured-vs-predicted calibration ratio
+// (EstOverAct), plus the TotalExecSecs gate metric.
+const BenchSchema = "ocas-bench/v2"
 
 // BenchRow is one experiment in the machine-readable report.
 type BenchRow struct {
@@ -23,9 +25,14 @@ type BenchRow struct {
 	OptSecs  float64 `json:"optSecs"`
 	ActSecs  float64 `json:"actSecs"`
 	Speedup  float64 `json:"speedup"`
-	// SynthSecs is the synthesis wall-clock — the quantity the CI
-	// regression gate watches.
+	// SynthSecs is the synthesis wall-clock and ExecSecs the executor
+	// wall-clock — the two quantities the CI regression gate watches.
 	SynthSecs float64 `json:"synthSecs"`
+	ExecSecs  float64 `json:"execSecs"`
+	// EstOverAct is the calibration ratio of the paper's accuracy
+	// discussion: the tuned cost estimate (OptSecs) over the executor's
+	// virtual-clock measurement (ActSecs).
+	EstOverAct float64 `json:"estOverAct"`
 	// SpaceSize counts distinct programs discovered, Explored the programs
 	// costed, Steps the winning derivation length.
 	SpaceSize int `json:"spaceSize"`
@@ -54,9 +61,10 @@ type BenchReport struct {
 	GOMAXPROCS int    `json:"gomaxprocs"`
 
 	Table1 []BenchRow `json:"table1,omitempty"`
-	// TotalSynthSecs sums synthesis wall-clock over every row: the gate
-	// metric.
+	// TotalSynthSecs and TotalExecSecs sum the two wall-clocks over every
+	// row: the gate metrics.
 	TotalSynthSecs float64 `json:"totalSynthSecs"`
+	TotalExecSecs  float64 `json:"totalExecSecs"`
 }
 
 // NewBenchReport converts experiment results into a report.
@@ -84,6 +92,7 @@ func NewBenchReport(cfg Config, table1 []*Result) *BenchReport {
 			OptSecs:       r.OptSecs,
 			ActSecs:       r.ActSecs,
 			SynthSecs:     r.SynthSecs,
+			ExecSecs:      r.ExecSecs,
 			SpaceSize:     r.SpaceSize,
 			Explored:      r.Explored,
 			Steps:         r.Steps,
@@ -98,8 +107,12 @@ func NewBenchReport(cfg Config, table1 []*Result) *BenchReport {
 		if r.OptSecs > 0 {
 			row.Speedup = r.SpecSecs / r.OptSecs
 		}
+		if r.ActSecs > 0 {
+			row.EstOverAct = r.OptSecs / r.ActSecs
+		}
 		rep.Table1 = append(rep.Table1, row)
 		rep.TotalSynthSecs += r.SynthSecs
+		rep.TotalExecSecs += r.ExecSecs
 	}
 	return rep
 }
@@ -143,11 +156,20 @@ func CompareBaseline(current, baseline *BenchReport, maxRegressPct float64) erro
 	if baseline.TotalSynthSecs <= 0 {
 		return fmt.Errorf("baseline has no synthesis wall-clock to compare against")
 	}
-	ratio := current.TotalSynthSecs / baseline.TotalSynthSecs
 	limit := 1 + maxRegressPct/100
+	ratio := current.TotalSynthSecs / baseline.TotalSynthSecs
 	if ratio > limit {
 		return fmt.Errorf("synthesis wall-clock regressed %.1f%% (current %.3fs vs baseline %.3fs, limit +%.0f%%)",
 			(ratio-1)*100, current.TotalSynthSecs, baseline.TotalSynthSecs, maxRegressPct)
+	}
+	// Executor wall-clock is gated the same way (baselines predating the
+	// executor columns carry no exec time and skip this check).
+	if baseline.TotalExecSecs > 0 {
+		ratio := current.TotalExecSecs / baseline.TotalExecSecs
+		if ratio > limit {
+			return fmt.Errorf("executor wall-clock regressed %.1f%% (current %.3fs vs baseline %.3fs, limit +%.0f%%)",
+				(ratio-1)*100, current.TotalExecSecs, baseline.TotalExecSecs, maxRegressPct)
+		}
 	}
 	return nil
 }

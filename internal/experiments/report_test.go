@@ -1,0 +1,52 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func benchFixture(synth, exec float64) *BenchReport {
+	return &BenchReport{
+		Schema: BenchSchema, Shrink: 8, Strategy: "exhaustive", GOMAXPROCS: 1,
+		TotalSynthSecs: synth, TotalExecSecs: exec,
+	}
+}
+
+func TestCompareBaselineGatesExecClock(t *testing.T) {
+	base := benchFixture(1.0, 2.0)
+	if err := CompareBaseline(benchFixture(1.1, 2.1), base, 30); err != nil {
+		t.Errorf("within-limit run must pass: %v", err)
+	}
+	err := CompareBaseline(benchFixture(1.0, 3.0), base, 30)
+	if err == nil || !strings.Contains(err.Error(), "executor wall-clock") {
+		t.Errorf("exec regression must fail the gate, got %v", err)
+	}
+	err = CompareBaseline(benchFixture(2.0, 2.0), base, 30)
+	if err == nil || !strings.Contains(err.Error(), "synthesis wall-clock") {
+		t.Errorf("synth regression must fail the gate, got %v", err)
+	}
+	// A baseline without executor columns only gates synthesis.
+	if err := CompareBaseline(benchFixture(1.0, 99.0), benchFixture(1.0, 0), 30); err != nil {
+		t.Errorf("pre-executor baseline must skip the exec gate: %v", err)
+	}
+}
+
+func TestBenchReportCalibration(t *testing.T) {
+	rep := NewBenchReport(Config{Shrink: 8}, []*Result{{
+		Name: "r", SpecSecs: 100, OptSecs: 10, ActSecs: 8,
+		SynthSecs: 0.5, ExecSecs: 0.25,
+	}})
+	if len(rep.Table1) != 1 {
+		t.Fatal("row missing")
+	}
+	row := rep.Table1[0]
+	if row.EstOverAct != 1.25 {
+		t.Errorf("estOverAct = %v want 1.25", row.EstOverAct)
+	}
+	if rep.TotalExecSecs != 0.25 {
+		t.Errorf("totalExecSecs = %v want 0.25", rep.TotalExecSecs)
+	}
+	if rep.Schema != "ocas-bench/v2" {
+		t.Errorf("schema = %q", rep.Schema)
+	}
+}

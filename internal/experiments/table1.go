@@ -346,8 +346,8 @@ func Table1(cfg Config) ([]Experiment, error) {
 // RunTable1 executes every row and writes a paper-style table.
 func RunTable1(cfg Config, w io.Writer) ([]*Result, error) {
 	var out []*Result
-	fmt.Fprintf(w, "%-24s %14s %14s %14s %10s %10s %9s %7s %6s %9s\n",
-		"Program", "Spec[s]", "Opt[s]", "Act[s]", "R", "S", "Buffer", "Space", "Steps", "Synth[s]")
+	fmt.Fprintf(w, "%-24s %14s %14s %14s %8s %10s %10s %9s %7s %6s %9s\n",
+		"Program", "Spec[s]", "Opt[s]", "Act[s]", "Est/Act", "R", "S", "Buffer", "Space", "Steps", "Synth[s]")
 	exps, err := Table1(cfg)
 	if err != nil {
 		return nil, err
@@ -358,8 +358,12 @@ func RunTable1(cfg Config, w io.Writer) ([]*Result, error) {
 			return out, err
 		}
 		out = append(out, r)
-		fmt.Fprintf(w, "%-24s %14.4g %14.4g %14.4g %10d %10d %9d %7d %6d %9.3f\n",
-			r.Name, r.SpecSecs, r.OptSecs, r.ActSecs, r.RBytes, r.SBytes,
+		ratio := 0.0
+		if r.ActSecs > 0 {
+			ratio = r.OptSecs / r.ActSecs
+		}
+		fmt.Fprintf(w, "%-24s %14.4g %14.4g %14.4g %8.3f %10d %10d %9d %7d %6d %9.3f\n",
+			r.Name, r.SpecSecs, r.OptSecs, r.ActSecs, ratio, r.RBytes, r.SBytes,
 			r.Buffer, r.SpaceSize, r.Steps, r.SynthSecs)
 	}
 	return out, nil

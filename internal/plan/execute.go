@@ -1,0 +1,325 @@
+// execute.go is the shared execution path of the stack: it runs a
+// synthesized program — fresh from the synthesizer or recalled from the
+// plan cache — against the storage simulator on request-supplied or
+// generated inputs, and reports the virtual-clock time, the per-device
+// ledger and a content digest of the output. cmd/ocas -run, the ocasd
+// POST /execute endpoint and the calibration experiment all go through
+// RunProgram, so a plan executes identically no matter which door it
+// entered through.
+package plan
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"strings"
+
+	"ocas/internal/core"
+	"ocas/internal/exec"
+	"ocas/internal/memory"
+	"ocas/internal/ocal"
+	"ocas/internal/storage"
+	"ocas/internal/workload"
+)
+
+// ExecOptions tunes one execution of a plan. All fields are optional.
+type ExecOptions struct {
+	// BatchRows is the operator exchange batch size (0 = executor default).
+	BatchRows int64 `json:"batchRows,omitempty"`
+	// PoolBytes bounds the executor's buffer pool; 0 defaults to the
+	// hierarchy's RAM size, < 0 means unlimited.
+	PoolBytes int64 `json:"poolBytes,omitempty"`
+	// Seed drives the deterministic input generators.
+	Seed int64 `json:"seed,omitempty"`
+	// Rows overrides the generated row count per input (execution only —
+	// the plan stays tuned for the request's nominal sizes).
+	Rows map[string]int64 `json:"rows,omitempty"`
+	// Inputs supplies explicit rows per input, each row a tuple of ints
+	// matching the input's arity. Inputs listed here ignore Rows/Seed.
+	Inputs map[string][][]int64 `json:"inputs,omitempty"`
+}
+
+// DeviceReport is one device's ledger after execution: the paper's two
+// event kinds (InitCom, UnitTr) split by direction.
+type DeviceReport struct {
+	ReadInits  int64 `json:"readInits"`
+	WriteInits int64 `json:"writeInits"`
+	BytesRead  int64 `json:"bytesRead"`
+	BytesWrite int64 `json:"bytesWrite"`
+}
+
+// ExecReport is the machine-readable result of one execution.
+type ExecReport struct {
+	Fingerprint string           `json:"fingerprint,omitempty"`
+	Program     string           `json:"program"`
+	Params      map[string]int64 `json:"params"`
+	// InputRows records the row counts actually executed.
+	InputRows map[string]int64 `json:"inputRows"`
+	OutRows   int64            `json:"outRows"`
+	// OutDigest is a SHA-256 over the sorted output bag (or the scalar
+	// result), so two executions can be compared without shipping rows.
+	OutDigest string `json:"outDigest"`
+	// Result is the scalar value of an aggregation program.
+	Result string `json:"result,omitempty"`
+	// VirtualSeconds is the storage simulator's clock after the run —
+	// the measured counterpart of the cost model's estimate.
+	VirtualSeconds float64 `json:"virtualSeconds"`
+	// PredictedSeconds is the plan's estimated cost (cost.Estimate after
+	// parameter tuning); the measured-vs-predicted ratio is the paper's
+	// accuracy metric.
+	PredictedSeconds float64                 `json:"predictedSeconds,omitempty"`
+	Devices          map[string]DeviceReport `json:"devices"`
+	Pool             storage.PoolStats       `json:"pool"`
+	BatchRows        int64                   `json:"batchRows"`
+	CacheMissRatio   float64                 `json:"cacheMissRatio,omitempty"`
+}
+
+// RunProgram executes a synthesized program against a fresh simulator of h.
+// The task supplies placement and nominal sizes; opt may override sizes or
+// supply rows outright.
+func RunProgram(ctx context.Context, h *memory.Hierarchy, prog ocal.Expr, params map[string]int64, task core.Task, opt ExecOptions) (*ExecReport, error) {
+	sim := storage.NewSim(h)
+	sim.DefaultCPU()
+
+	inputs := map[string]*exec.Table{}
+	inputRows := map[string]int64{}
+	var scratch *storage.Device
+	for i, in := range task.Spec.Inputs {
+		dev, err := sim.Device(task.InputLoc[in.Name])
+		if err != nil {
+			return nil, err
+		}
+		if scratch == nil {
+			scratch = dev
+		}
+		rows, err := inputData(in, task, opt, i)
+		if err != nil {
+			return nil, err
+		}
+		tb, err := exec.NewTable(dev, in.Arity, int64(len(rows)/in.Arity)+8)
+		if err != nil {
+			return nil, err
+		}
+		if err := tb.Preload(rows); err != nil {
+			return nil, err
+		}
+		inputs[in.Name] = tb
+		inputRows[in.Name] = int64(len(rows) / in.Arity)
+	}
+	if task.Intermediate != "" {
+		dev, err := sim.Device(task.Intermediate)
+		if err != nil {
+			return nil, err
+		}
+		scratch = dev
+	}
+	if scratch == nil {
+		return nil, fmt.Errorf("plan: no device to execute on")
+	}
+
+	var digest bagDigest
+	sink := &exec.Sink{Sim: sim, Bout: outBlock(params), Tap: digest.add}
+	if task.Output != "" {
+		outDev, err := sim.Device(task.Output)
+		if err != nil {
+			return nil, err
+		}
+		sink.Alloc = func(arity int) (*exec.Table, error) {
+			return exec.NewTable(outDev, arity, 0)
+		}
+	}
+
+	p, err := exec.Lower(prog, exec.LowerOpts{
+		Sim: sim, Inputs: inputs, Params: params,
+		Scratch: scratch, Sink: sink,
+		RAMBytes:  ramBytes(h),
+		PoolBytes: opt.PoolBytes,
+		BatchRows: opt.BatchRows,
+		Context:   ctx,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("plan: lower: %w", err)
+	}
+	if err := p.Run(); err != nil {
+		return nil, fmt.Errorf("plan: execute: %w", err)
+	}
+	if sink.Err != nil {
+		return nil, fmt.Errorf("plan: output allocation: %w", sink.Err)
+	}
+
+	rep := &ExecReport{
+		Program:        ocal.String(prog),
+		Params:         params,
+		InputRows:      inputRows,
+		OutRows:        sink.RowsWritten,
+		VirtualSeconds: sim.Clock.Seconds(),
+		Devices:        map[string]DeviceReport{},
+		Pool:           p.Pool().Stats(),
+		BatchRows:      opt.BatchRows,
+	}
+	if rep.Params == nil {
+		rep.Params = map[string]int64{}
+	}
+	if p.Scalar {
+		rep.Result = p.Result.String()
+		rep.OutDigest = digestString(rep.Result)
+	} else {
+		rep.OutDigest = digest.hex()
+	}
+	for name, d := range sim.Devices {
+		rep.Devices[name] = DeviceReport{
+			ReadInits:  d.Led.ReadInits,
+			WriteInits: d.Led.WriteInits,
+			BytesRead:  d.Led.BytesRead,
+			BytesWrite: d.Led.BytesWrite,
+		}
+	}
+	if sim.Cache != nil {
+		rep.CacheMissRatio = sim.Cache.MissRatio()
+	}
+	return rep, nil
+}
+
+// ExecutePlan re-parses a (possibly cached) plan's program and runs it for
+// the compiled request that produced it.
+func ExecutePlan(ctx context.Context, c *Compiled, p *Plan, opt ExecOptions) (*ExecReport, error) {
+	prog, err := ocal.ParseFile(p.Program)
+	if err != nil {
+		return nil, fmt.Errorf("plan: program does not re-parse: %w", err)
+	}
+	rep, err := RunProgram(ctx, c.H, prog, p.Params, c.Task, opt)
+	if err != nil {
+		return nil, err
+	}
+	rep.Fingerprint = p.Fingerprint
+	rep.PredictedSeconds = p.Seconds
+	return rep, nil
+}
+
+// inputData resolves one input's rows: explicit rows win, then generated
+// data of the overridden or nominal size.
+func inputData(in core.InputSpec, task core.Task, opt ExecOptions, idx int) ([]int32, error) {
+	if rows, ok := opt.Inputs[in.Name]; ok {
+		flat := make([]int32, 0, len(rows)*in.Arity)
+		for rI, row := range rows {
+			if len(row) != in.Arity {
+				return nil, fmt.Errorf("input %s row %d has %d attributes, want %d",
+					in.Name, rI, len(row), in.Arity)
+			}
+			for _, v := range row {
+				if v < -1<<31 || v > 1<<31-1 {
+					return nil, fmt.Errorf("input %s row %d value %d outside int32", in.Name, rI, v)
+				}
+				flat = append(flat, int32(v))
+			}
+		}
+		return flat, nil
+	}
+	n := task.InputRows[in.Name]
+	if o, ok := opt.Rows[in.Name]; ok && o > 0 {
+		n = o
+	}
+	if n < 0 {
+		n = 0
+	}
+	seed := opt.Seed + int64(idx)*7919
+	switch in.Arity {
+	case 1:
+		// Sorted with duplicates: valid for merges, set operations and
+		// duplicate removal; sorting and folds accept any order.
+		return workload.SortedInts(n, 4, seed), nil
+	default:
+		// Key-sorted pairs: valid for the streaming group-by, neutral for
+		// joins and aggregations.
+		return sortedPairs(n, seed), nil
+	}
+}
+
+// sortedPairs generates n 〈key, payload〉 tuples sorted by key.
+func sortedPairs(n, seed int64) []int32 {
+	keyRange := n / 2
+	if keyRange < 8 {
+		keyRange = 8
+	}
+	rows := workload.UniformPairs(n, keyRange, seed)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return rows[idx[a]*2] < rows[idx[b]*2] })
+	out := make([]int32, 0, len(rows))
+	for _, i := range idx {
+		out = append(out, rows[i*2], rows[i*2+1])
+	}
+	return out
+}
+
+// bagDigest accumulates an order-independent digest of a row bag in
+// constant memory: each row hashes independently and the 256-bit row
+// hashes are summed modulo 2^256. Summation (unlike XOR) distinguishes
+// multiplicities, and commutativity makes the digest independent of
+// batch sizes, pool budgets and operator scheduling — without retaining
+// the (potentially enormous) output.
+type bagDigest struct {
+	acc [sha256.Size]byte
+	buf []byte
+}
+
+func (d *bagDigest) add(row []int32) {
+	d.buf = d.buf[:0]
+	d.buf = binary.LittleEndian.AppendUint32(d.buf, uint32(len(row)))
+	for _, v := range row {
+		d.buf = binary.LittleEndian.AppendUint32(d.buf, uint32(v))
+	}
+	h := sha256.Sum256(d.buf)
+	carry := uint16(0)
+	for i := sha256.Size - 1; i >= 0; i-- {
+		s := uint16(d.acc[i]) + uint16(h[i]) + carry
+		d.acc[i] = byte(s)
+		carry = s >> 8
+	}
+}
+
+func (d *bagDigest) hex() string { return hex.EncodeToString(d.acc[:]) }
+
+// digestRows hashes a row bag in one call (the differential tests' side
+// of the comparison).
+func digestRows(rows [][]int32) string {
+	var d bagDigest
+	for _, row := range rows {
+		d.add(row)
+	}
+	return d.hex()
+}
+
+func digestString(s string) string {
+	sum := sha256.Sum256([]byte(s))
+	return hex.EncodeToString(sum[:])
+}
+
+// ramBytes returns the size of the hierarchy's RAM level (the node named
+// "ram", else the root).
+func ramBytes(h *memory.Hierarchy) int64 {
+	if n := h.Node("ram"); n != nil {
+		return n.Size
+	}
+	return h.Root.Size
+}
+
+// outBlock picks the output buffer value the optimizer chose (parameters
+// introduced by apply-block-out are named ko*, by the merging treeFold
+// bout*).
+func outBlock(params map[string]int64) int64 {
+	var best int64 = 1
+	for name, v := range params {
+		if strings.HasPrefix(name, "ko") || strings.HasPrefix(name, "bout") {
+			if v > best {
+				best = v
+			}
+		}
+	}
+	return best
+}

@@ -1,0 +1,131 @@
+package service
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"ocas/internal/plan"
+)
+
+func postExecute(t *testing.T, ts *httptest.Server, body string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/execute", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, data
+}
+
+// execBody is a small join request with execution sizes overridden to stay
+// test-fast while the plan is synthesized for the nominal sizes.
+func execBody(extra string) string {
+	return `{
+		"program": "for (x <- R) for (y <- S) if x.1 == y.1 then [<x, y>] else []",
+		"hier": "hdd-ram", "ram": 8388608,
+		"inputs": {"R": {"node": "hdd", "rows": 1048576}, "S": {"node": "hdd", "rows": 65536}},
+		"depth": 4, "space": 500,
+		"exec": {"seed": 5, "rows": {"R": 2048, "S": 1024}` + extra + `}
+	}`
+}
+
+func TestExecuteEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+
+	resp, data := postExecute(t, ts, execBody(""))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("execute: %d %s", resp.StatusCode, data)
+	}
+	if got := resp.Header.Get("X-Ocas-Cache"); got != "miss" {
+		t.Errorf("first execute should synthesize: X-Ocas-Cache = %q", got)
+	}
+	var rep plan.ExecReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("report does not parse: %v\n%s", err, data)
+	}
+	if rep.Fingerprint == "" || rep.OutDigest == "" {
+		t.Errorf("report missing fingerprint/digest: %+v", rep)
+	}
+	if rep.VirtualSeconds <= 0 {
+		t.Error("execution must charge virtual time")
+	}
+	if rep.InputRows["R"] != 2048 || rep.InputRows["S"] != 1024 {
+		t.Errorf("row overrides not applied: %v", rep.InputRows)
+	}
+	if rep.Devices["hdd"].BytesRead == 0 {
+		t.Errorf("device ledger empty: %+v", rep.Devices)
+	}
+
+	// Same request again: the plan comes from the cache, the execution is
+	// deterministic.
+	resp2, data2 := postExecute(t, ts, execBody(""))
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("second execute: %d %s", resp2.StatusCode, data2)
+	}
+	if got := resp2.Header.Get("X-Ocas-Cache"); got != "hit" {
+		t.Errorf("second execute should hit the plan cache: X-Ocas-Cache = %q", got)
+	}
+	var rep2 plan.ExecReport
+	if err := json.Unmarshal(data2, &rep2); err != nil {
+		t.Fatal(err)
+	}
+	if rep2.OutDigest != rep.OutDigest || rep2.VirtualSeconds != rep.VirtualSeconds {
+		t.Error("repeat execution must be deterministic (digest + virtual clock)")
+	}
+
+	// The plan endpoint serves the same fingerprint.
+	resp3, _ := http.Get(ts.URL + "/plans/" + rep.Fingerprint)
+	if resp3.StatusCode != http.StatusOK {
+		t.Errorf("plan lookup after execute: %d", resp3.StatusCode)
+	}
+	resp3.Body.Close()
+}
+
+func TestExecuteEndpointExplicitInputs(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	body := `{
+		"program": "for (x <- R) for (y <- S) if x.1 == y.1 then [<x, y>] else []",
+		"hier": "hdd-ram", "ram": 8388608,
+		"inputs": {"R": {"node": "hdd", "rows": 1024}, "S": {"node": "hdd", "rows": 1024}},
+		"depth": 4, "space": 500,
+		"exec": {"inputs": {"R": [[1, 10], [2, 20]], "S": [[2, 200], [2, 201], [9, 900]]}}
+	}`
+	resp, data := postExecute(t, ts, body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("execute: %d %s", resp.StatusCode, data)
+	}
+	var rep plan.ExecReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.OutRows != 2 {
+		t.Errorf("join of supplied rows produced %d rows, want 2", rep.OutRows)
+	}
+}
+
+func TestExecuteEndpointRejectsOversizedRuns(t *testing.T) {
+	_, ts := newTestServer(t, Config{MaxExecRows: 1000})
+	// Nominal sizes above the cap and no exec.rows override: rejected
+	// before any synthesis happens.
+	body := `{
+		"program": "for (x <- R) for (y <- S) if x.1 == y.1 then [<x, y>] else []",
+		"hier": "hdd-ram", "ram": 8388608,
+		"inputs": {"R": {"node": "hdd", "rows": 1048576}, "S": {"node": "hdd", "rows": 65536}},
+		"depth": 4, "space": 500
+	}`
+	resp, data := postExecute(t, ts, body)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("oversized execute should 400, got %d %s", resp.StatusCode, data)
+	}
+	if !strings.Contains(string(data), "exec.rows") {
+		t.Errorf("error should point at the exec.rows override: %s", data)
+	}
+}

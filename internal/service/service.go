@@ -35,13 +35,19 @@ import (
 type Config struct {
 	// CacheSize bounds the plan cache (default 1024 plans).
 	CacheSize int
-	// MaxInflight bounds concurrent synthesis jobs (default 2).
+	// MaxInflight bounds concurrent synthesis and execution jobs
+	// (default 2).
 	MaxInflight int
-	// Timeout is the per-request synthesis budget (default 60s). A request
-	// may lower it with the timeoutMs body field, never raise it.
+	// Timeout is the per-request synthesis/execution budget (default 60s).
+	// A request may lower it with the timeoutMs body field, never raise it.
 	Timeout time.Duration
-	// MaxBodyBytes bounds the request body (default 1 MiB).
+	// MaxBodyBytes bounds the request body (default 1 MiB; /execute allows
+	// 16x for explicit input rows).
 	MaxBodyBytes int64
+	// MaxExecRows bounds the per-input row count /execute will run
+	// (default 1 << 20). Requests whose effective sizes exceed it must
+	// override them with the exec.rows field.
+	MaxExecRows int64
 	// Defaults are applied to request fields left at their zero value.
 	Strategy string // "" keeps the request/plan default (exhaustive)
 	Beam     int
@@ -83,6 +89,9 @@ func New(cfg Config, cache *plancache.Cache) *Server {
 	if cfg.MaxBodyBytes <= 0 {
 		cfg.MaxBodyBytes = 1 << 20
 	}
+	if cfg.MaxExecRows <= 0 {
+		cfg.MaxExecRows = 1 << 20
+	}
 	if cache == nil {
 		cache = plancache.New(cfg.CacheSize)
 	}
@@ -96,6 +105,7 @@ func (s *Server) Cache() *plancache.Cache { return s.cache }
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /synthesize", s.handleSynthesize)
+	mux.HandleFunc("POST /execute", s.handleExecute)
 	mux.HandleFunc("GET /plans/{fingerprint}", s.handlePlan)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /stats", s.handleStats)
@@ -181,6 +191,126 @@ func (s *Server) handleSynthesize(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.writePlan(w, p, string(outcome), time.Since(startedAt))
+}
+
+// executeRequest is the /execute body: a plan request (resolved through the
+// cache exactly like /synthesize) plus execution options.
+type executeRequest struct {
+	plan.Request
+	// TimeoutMS lowers the server's budget for synthesis + execution.
+	TimeoutMS int64 `json:"timeoutMs,omitempty"`
+	// Exec tunes the execution (batch size, pool budget, seed, explicit or
+	// resized inputs).
+	Exec plan.ExecOptions `json:"exec,omitempty"`
+}
+
+// handleExecute resolves the request's plan (cache hit or fresh synthesis)
+// and runs it on the storage simulator, returning the execution report:
+// output digest, virtual-clock seconds, per-device InitCom/UnitTr ledgers
+// and buffer-pool stats.
+func (s *Server) handleExecute(w http.ResponseWriter, r *http.Request) {
+	startedAt := time.Now()
+	atomic.AddInt64(&s.metrics.Requests, 1)
+	defer func() {
+		atomic.AddInt64(&s.metrics.ServeNanos, int64(time.Since(startedAt)))
+	}()
+
+	var req executeRequest
+	// Explicit input rows make /execute bodies legitimately larger than
+	// /synthesize bodies.
+	body := http.MaxBytesReader(w, r.Body, 16*s.cfg.MaxBodyBytes)
+	dec := json.NewDecoder(body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		s.fail(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	s.applyDefaults(&req.Request)
+	compiled, err := plan.Compile(req.Request)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, "invalid request: %v", err)
+		return
+	}
+	for name, nominal := range compiled.Task.InputRows {
+		rows := nominal
+		if o, ok := req.Exec.Rows[name]; ok && o > 0 {
+			rows = o
+		}
+		if supplied, ok := req.Exec.Inputs[name]; ok {
+			rows = int64(len(supplied))
+		}
+		if rows > s.cfg.MaxExecRows {
+			s.fail(w, http.StatusBadRequest,
+				"input %s would execute %d rows, above the server limit %d; shrink it with exec.rows",
+				name, rows, s.cfg.MaxExecRows)
+			return
+		}
+	}
+
+	timeout := s.cfg.Timeout
+	if req.TimeoutMS > 0 {
+		if d := time.Duration(req.TimeoutMS) * time.Millisecond; d < timeout {
+			timeout = d
+		}
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+
+	p, outcome, err := s.cache.GetOrCompute(ctx, compiled.Fingerprint, func(cctx context.Context) (*plan.Plan, error) {
+		select {
+		case s.sem <- struct{}{}:
+		case <-cctx.Done():
+			return nil, cctx.Err()
+		}
+		defer func() { <-s.sem }()
+		synthStart := time.Now()
+		defer func() {
+			atomic.AddInt64(&s.metrics.SynthNanos, int64(time.Since(synthStart)))
+		}()
+		return compiled.Run(cctx)
+	})
+	if err != nil {
+		s.failCompute(w, err, timeout)
+		return
+	}
+	// Execution is CPU work of its own: take an admission slot.
+	select {
+	case s.sem <- struct{}{}:
+	case <-ctx.Done():
+		s.failCompute(w, ctx.Err(), timeout)
+		return
+	}
+	rep, err := plan.ExecutePlan(ctx, compiled, p, req.Exec)
+	<-s.sem
+	if err != nil {
+		switch {
+		case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+			s.failCompute(w, err, timeout)
+		default:
+			s.fail(w, http.StatusUnprocessableEntity, "execution failed: %v", err)
+		}
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Ocas-Cache", string(outcome))
+	w.Header().Set("X-Ocas-Elapsed", time.Since(startedAt).String())
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(rep)
+}
+
+// failCompute maps synthesis/execution context errors to HTTP statuses.
+func (s *Server) failCompute(w http.ResponseWriter, err error, timeout time.Duration) {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		atomic.AddInt64(&s.metrics.Timeouts, 1)
+		s.fail(w, http.StatusGatewayTimeout, "request exceeded its %s budget", timeout)
+	case errors.Is(err, context.Canceled):
+		atomic.AddInt64(&s.metrics.Cancelled, 1)
+		s.fail(w, http.StatusServiceUnavailable, "request cancelled before its result was ready")
+	default:
+		s.fail(w, http.StatusUnprocessableEntity, "synthesis failed: %v", err)
+	}
 }
 
 func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {

@@ -1,0 +1,376 @@
+package storage
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+)
+
+// BufferPool is the one accounting point for operator working memory: every
+// block an executor operator keeps resident in RAM — scan batches, join
+// outer blocks, partition write buffers, merge cursors — is pinned here, so
+// the memory budget of the hierarchy's RAM level is enforced at run time
+// instead of merely assumed by the optimizer's constraints. Budget
+// enforcement happens at pin time: grants shrink under pressure (PinUpTo)
+// and a pin that cannot fit at all fails. Unpin is the cache-friendly
+// release: an unpinned frame stays resident and readable until a later pin
+// reclaims the space in LRU order (today's operators release their frames
+// outright — Unpin/eviction is the retention path available to operators
+// that want to keep warm blocks around).
+//
+// The pool manages RAM residency only. Device traffic (partition spills,
+// sort runs, materialized intermediates) goes through Spill, which charges
+// the paper's InitCom/UnitTr events against the owning device's ledger.
+type BufferPool struct {
+	mu     sync.Mutex
+	budget int64 // bytes; <= 0 means unlimited
+	used   int64
+	lru    *list.List // unpinned *Frame, front = least recently unpinned
+	stats  PoolStats
+}
+
+// PoolStats reports the pool's accounting counters.
+type PoolStats struct {
+	Budget    int64 `json:"budget"` // 0 = unlimited
+	UsedBytes int64 `json:"usedBytes"`
+	PeakBytes int64 `json:"peakBytes"`
+	Pins      int64 `json:"pins"`
+	Unpins    int64 `json:"unpins"`
+	Evictions int64 `json:"evictions"`
+	Spills    int64 `json:"spills"` // spill files created through the pool
+}
+
+// Frame is one pinned or evictable region of pooled memory holding int32
+// row payloads.
+type Frame struct {
+	Data []int32
+
+	pool    *BufferPool
+	bytes   int64
+	pinned  bool
+	evicted bool
+	elem    *list.Element
+}
+
+// NewBufferPool returns a pool bounded by budget bytes (<= 0: unlimited,
+// the pool still tracks peak usage).
+func NewBufferPool(budget int64) *BufferPool {
+	if budget < 0 {
+		budget = 0
+	}
+	return &BufferPool{budget: budget, lru: list.New()}
+}
+
+// Budget returns the configured byte budget (0 = unlimited).
+func (p *BufferPool) Budget() int64 { return p.budget }
+
+// Stats returns a snapshot of the counters.
+func (p *BufferPool) Stats() PoolStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	s := p.stats
+	s.Budget = p.budget
+	s.UsedBytes = p.used
+	return s
+}
+
+// Pin allocates a pinned frame for rows records of width bytes each,
+// evicting unpinned frames (least recently unpinned first) to make room.
+// It fails when the request cannot fit the budget even after evicting
+// everything evictable.
+func (p *BufferPool) Pin(rows, width int64) (*Frame, error) {
+	f, err := p.PinUpTo(rows, rows, width)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// PinUpTo allocates a pinned frame for as many records as fit: up to
+// maxRows, but at least minRows. When the budget cannot hold maxRows even
+// after evicting every unpinned frame, the grant shrinks toward minRows;
+// only a request whose minimum does not fit fails. This is how operators
+// degrade gracefully under small budgets: blocks shrink, algorithms stay
+// correct, and the extra transfer initiations show up on the virtual clock.
+func (p *BufferPool) PinUpTo(maxRows, minRows, width int64) (*Frame, error) {
+	if width <= 0 {
+		return nil, fmt.Errorf("storage: pin with non-positive width %d", width)
+	}
+	if minRows < 1 {
+		minRows = 1
+	}
+	if maxRows < minRows {
+		maxRows = minRows
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	rows := maxRows
+	if p.budget > 0 {
+		free := p.budget - p.pinnedBytesLocked()
+		if maxRows*width > free {
+			// Shrunken grant: take at most half of what is left, so later
+			// pinners of the same plan still find room (each successive
+			// shrunken pin halves the remainder instead of starving it).
+			got := free / 2 / width
+			if got < minRows {
+				got = free / width
+			}
+			if got < minRows {
+				return nil, fmt.Errorf("storage: buffer pool over budget: need %d bytes for %d records, budget %d with %d pinned",
+					minRows*width, minRows, p.budget, p.pinnedBytesLocked())
+			}
+			if got < rows {
+				rows = got
+			}
+		}
+	}
+	bytes := rows * width
+	p.evictLocked(bytes)
+	p.used += bytes
+	if p.used > p.stats.PeakBytes {
+		p.stats.PeakBytes = p.used
+	}
+	p.stats.Pins++
+	return &Frame{Data: make([]int32, 0, bytes/4), pool: p, bytes: bytes, pinned: true}, nil
+}
+
+// pinnedBytesLocked is used minus everything evictable.
+func (p *BufferPool) pinnedBytesLocked() int64 {
+	evictable := int64(0)
+	for e := p.lru.Front(); e != nil; e = e.Next() {
+		evictable += e.Value.(*Frame).bytes
+	}
+	return p.used - evictable
+}
+
+// evictLocked frees unpinned frames in LRU order until need bytes fit the
+// budget.
+func (p *BufferPool) evictLocked(need int64) {
+	if p.budget <= 0 {
+		return
+	}
+	for p.used+need > p.budget {
+		e := p.lru.Front()
+		if e == nil {
+			return
+		}
+		f := e.Value.(*Frame)
+		p.lru.Remove(e)
+		f.elem = nil
+		f.evicted = true
+		f.Data = nil
+		p.used -= f.bytes
+		p.stats.Evictions++
+	}
+}
+
+// Cap returns the frame's capacity in records of the pinned width.
+func (f *Frame) Cap(width int64) int64 {
+	if width <= 0 {
+		return 0
+	}
+	return f.bytes / width
+}
+
+// Unpin makes the frame evictable. Its contents stay resident (and
+// readable) until the pool reclaims the space for another pin; after that
+// Evicted reports true and Data is nil.
+func (f *Frame) Unpin() {
+	p := f.pool
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if !f.pinned || f.evicted {
+		return
+	}
+	f.pinned = false
+	f.elem = p.lru.PushBack(f)
+	p.stats.Unpins++
+}
+
+// Release returns the frame's memory to the pool immediately.
+func (f *Frame) Release() {
+	p := f.pool
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if f.evicted {
+		return
+	}
+	if f.elem != nil {
+		p.lru.Remove(f.elem)
+		f.elem = nil
+	}
+	f.evicted = true
+	f.pinned = false
+	f.Data = nil
+	p.used -= f.bytes
+}
+
+// Evicted reports whether the frame's memory has been reclaimed.
+func (f *Frame) Evicted() bool {
+	f.pool.mu.Lock()
+	defer f.pool.mu.Unlock()
+	return f.evicted
+}
+
+// spillChunkRecords is the growth increment of an unbounded spill.
+const spillChunkRecords = 64 << 10
+
+// Spill is a device-resident run of fixed-width records: the executor's
+// spill file for relations, hash-join partitions, sort runs and
+// materialized intermediates. Every append and read goes through an
+// underlying Volume, so the owning device's ledger records the same
+// InitCom (seek/erase) and UnitTr (per-byte) events the paper's cost model
+// charges. A spill created with capRecords > 0 reserves that capacity up
+// front (and panics past it, like Volume); capRecords == 0 grows chunk by
+// chunk, claiming device space only as data arrives.
+type Spill struct {
+	Data  []int32
+	dev   *Device
+	width int64
+	cap   int64 // 0 = grow on demand
+	vols  []*Volume
+	count int64
+}
+
+// NewSpill allocates a spill file for records of width bytes on the
+// device; capRecords == 0 means grow on demand.
+func (d *Device) NewSpill(width, capRecords int64) (*Spill, error) {
+	if width <= 0 || width%4 != 0 {
+		return nil, fmt.Errorf("storage: spill width must be a positive multiple of 4, got %d", width)
+	}
+	s := &Spill{dev: d, width: width, cap: capRecords}
+	if capRecords > 0 {
+		vol, err := d.NewVolume(capRecords, width)
+		if err != nil {
+			return nil, err
+		}
+		s.vols = []*Volume{vol}
+	}
+	return s, nil
+}
+
+// NewSpill allocates a spill file on dev and counts it in the pool stats.
+func (p *BufferPool) NewSpill(dev *Device, width, capRecords int64) (*Spill, error) {
+	s, err := dev.NewSpill(width, capRecords)
+	if err != nil {
+		return nil, err
+	}
+	p.mu.Lock()
+	p.stats.Spills++
+	p.mu.Unlock()
+	return s, nil
+}
+
+// Records returns the number of records stored.
+func (s *Spill) Records() int64 { return s.count }
+
+// Bytes returns the stored size.
+func (s *Spill) Bytes() int64 { return s.count * s.width }
+
+// Width returns the record width in bytes.
+func (s *Spill) Width() int64 { return s.width }
+
+// Room reports whether n more records fit (always true for growable
+// spills; device exhaustion surfaces on Append).
+func (s *Spill) Room(n int64) bool {
+	if s.cap <= 0 {
+		return true
+	}
+	return s.count+n <= s.cap
+}
+
+// tail returns the volume with append room, allocating a growth chunk when
+// needed. Chunks are bump-allocated, so consecutive chunks are adjacent on
+// the device and a stream of appends crossing a chunk boundary does not
+// seek.
+func (s *Spill) tail() *Volume {
+	if n := len(s.vols); n > 0 && s.vols[n-1].Count < s.vols[n-1].Cap {
+		return s.vols[n-1]
+	}
+	if s.cap > 0 {
+		// Fixed-capacity spill: let the volume's own bounds check fire.
+		return s.vols[len(s.vols)-1]
+	}
+	vol, err := s.dev.NewVolume(spillChunkRecords, s.width)
+	if err != nil {
+		panic(fmt.Sprintf("storage: spill growth failed: %v", err))
+	}
+	s.vols = append(s.vols, vol)
+	return vol
+}
+
+// Append charges a write of the given records (whole records only).
+func (s *Spill) Append(recs []int32) {
+	if len(recs) == 0 {
+		return
+	}
+	s.Data = append(s.Data, recs...)
+	n := int64(len(recs)) * 4 / s.width
+	for n > 0 {
+		vol := s.tail()
+		take := vol.Cap - vol.Count
+		if take > n || take == 0 {
+			take = n
+		}
+		vol.Append(take)
+		s.count += take
+		n -= take
+	}
+}
+
+// Preload installs records without charging I/O: the data already resides
+// on the device when the run starts.
+func (s *Spill) Preload(recs []int32) {
+	s.Data = append(s.Data, recs...)
+	n := int64(len(recs)) * 4 / s.width
+	for n > 0 {
+		vol := s.tail()
+		take := vol.Cap - vol.Count
+		if take > n || take == 0 {
+			take = n
+		}
+		vol.Count += take
+		s.count += take
+		n -= take
+	}
+}
+
+// ReadAt charges a blocked read of up to n records starting at idx and
+// returns the flat payload. Reads spanning a growth-chunk boundary charge
+// each chunk's segment separately.
+func (s *Spill) ReadAt(idx, n int64) []int32 {
+	if idx >= s.count {
+		return nil
+	}
+	if idx+n > s.count {
+		n = s.count - idx
+	}
+	start, remaining := idx, n
+	for _, vol := range s.vols {
+		if remaining == 0 {
+			break
+		}
+		if start >= vol.Count {
+			start -= vol.Count
+			continue
+		}
+		take := vol.Count - start
+		if take > remaining {
+			take = remaining
+		}
+		vol.ReadAt(start, take)
+		start = 0
+		remaining -= take
+	}
+	w := s.width / 4
+	return s.Data[idx*w : (idx+n)*w]
+}
+
+// Reset empties the spill for reuse.
+func (s *Spill) Reset() {
+	for _, vol := range s.vols {
+		vol.Reset()
+	}
+	s.count = 0
+	s.Data = s.Data[:0]
+}

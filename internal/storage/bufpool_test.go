@@ -1,0 +1,172 @@
+package storage
+
+import (
+	"testing"
+
+	"ocas/internal/memory"
+)
+
+func TestPoolPinUnpinAccounting(t *testing.T) {
+	p := NewBufferPool(1024)
+	f1, err := p.Pin(16, 8) // 128 bytes
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2, err := p.Pin(32, 8) // 256 bytes
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := p.Stats()
+	if st.UsedBytes != 384 || st.PeakBytes != 384 {
+		t.Errorf("used/peak = %d/%d want 384/384", st.UsedBytes, st.PeakBytes)
+	}
+	if st.Pins != 2 {
+		t.Errorf("pins = %d want 2", st.Pins)
+	}
+	f1.Unpin()
+	if got := p.Stats().Unpins; got != 1 {
+		t.Errorf("unpins = %d want 1", got)
+	}
+	// Unpinned bytes stay resident until evicted.
+	if got := p.Stats().UsedBytes; got != 384 {
+		t.Errorf("used after unpin = %d want 384 (resident until evicted)", got)
+	}
+	f2.Release()
+	if got := p.Stats().UsedBytes; got != 128 {
+		t.Errorf("used after release = %d want 128", got)
+	}
+	if f1.Evicted() {
+		t.Error("unpinned frame must stay readable before eviction")
+	}
+}
+
+func TestPoolBudgetEnforced(t *testing.T) {
+	p := NewBufferPool(256)
+	f, err := p.Pin(32, 8) // exactly the budget
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Pin(1, 8); err == nil {
+		t.Fatal("pin beyond a fully pinned budget must fail")
+	}
+	// PinUpTo grants what fits after the pinned set shrinks.
+	f.Release()
+	g, err := p.PinUpTo(64, 1, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c := g.Cap(8); c < 1 || c > 32 {
+		t.Errorf("grant %d rows outside budget", c)
+	}
+}
+
+func TestPoolEvictionOrder(t *testing.T) {
+	p := NewBufferPool(300)
+	a, _ := p.Pin(10, 8) // 80 bytes
+	b, _ := p.Pin(10, 8)
+	c, _ := p.Pin(10, 8)
+	if a == nil || b == nil || c == nil {
+		t.Fatal("pins failed")
+	}
+	// Unpin in the order a, c, b: eviction must follow the same order.
+	a.Unpin()
+	c.Unpin()
+	b.Unpin()
+	if _, err := p.Pin(20, 8); err != nil { // 160 bytes: evicts a, then c
+		t.Fatal(err)
+	}
+	if !a.Evicted() {
+		t.Error("least recently unpinned frame (a) must evict first")
+	}
+	if !c.Evicted() {
+		t.Error("next unpinned frame (c) must evict second")
+	}
+	if b.Evicted() {
+		t.Error("most recently unpinned frame (b) must survive")
+	}
+	if got := p.Stats().Evictions; got != 2 {
+		t.Errorf("evictions = %d want 2", got)
+	}
+}
+
+// TestSpillLedgerCharges verifies spill traffic lands on the device ledger
+// as the paper's two events: InitCom (a seek per discontinuity) and UnitTr
+// (per byte transferred).
+func TestSpillLedgerCharges(t *testing.T) {
+	sim := NewSim(memory.HDDRAM(64 * memory.MiB))
+	d, err := sim.Device("hdd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := NewBufferPool(0)
+	sp, err := p.NewSpill(d, 8, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Stats().Spills; got != 1 {
+		t.Errorf("spill count = %d want 1", got)
+	}
+	rows := make([]int32, 2*1000)
+	for i := range rows {
+		rows[i] = int32(i)
+	}
+	before := sim.Clock.Seconds()
+	sp.Append(rows)
+	if d.Led.BytesWrite != 8000 {
+		t.Errorf("ledger bytesWrite = %d want 8000", d.Led.BytesWrite)
+	}
+	if d.Led.WriteInits != 1 {
+		t.Errorf("sequential spill append must charge one InitCom, got %d", d.Led.WriteInits)
+	}
+	if sim.Clock.Seconds() <= before {
+		t.Error("spill append must advance the virtual clock")
+	}
+	// Sequential read-back: one seek, all bytes.
+	for idx := int64(0); idx < sp.Records(); idx += 100 {
+		if got := sp.ReadAt(idx, 100); len(got) != 200 {
+			t.Fatalf("read %d values want 200", len(got))
+		}
+	}
+	if d.Led.BytesRead != 8000 {
+		t.Errorf("ledger bytesRead = %d want 8000", d.Led.BytesRead)
+	}
+	if d.Led.ReadInits != 1 {
+		t.Errorf("sequential spill reads must charge one InitCom, got %d", d.Led.ReadInits)
+	}
+}
+
+// TestSpillGrowth crosses the chunk boundary of a growable spill and checks
+// the data survives intact.
+func TestSpillGrowth(t *testing.T) {
+	sim := NewSim(memory.HDDRAM(64 * memory.MiB))
+	d, _ := sim.Device("hdd")
+	sp, err := d.NewSpill(4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := int64(spillChunkRecords + 1000)
+	buf := make([]int32, 512)
+	var next int32
+	for written := int64(0); written < n; {
+		m := int64(len(buf))
+		if n-written < m {
+			m = n - written
+		}
+		for i := int64(0); i < m; i++ {
+			buf[i] = next
+			next++
+		}
+		sp.Append(buf[:m])
+		written += m
+	}
+	if sp.Records() != n {
+		t.Fatalf("records = %d want %d", sp.Records(), n)
+	}
+	// Read across the chunk boundary.
+	blk := sp.ReadAt(spillChunkRecords-5, 10)
+	for i, v := range blk {
+		if want := int32(spillChunkRecords - 5 + i); v != want {
+			t.Fatalf("cross-chunk read wrong at %d: %d want %d", i, v, want)
+		}
+	}
+}
