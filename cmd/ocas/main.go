@@ -55,6 +55,7 @@ func main() {
 		seed     = flag.Int64("seed", 1, "input generator seed (-run)")
 		batch    = flag.Int64("batch", 0, "executor batch size in rows, 0 = default (-run)")
 		poolB    = flag.Int64("pool", 0, "executor buffer pool budget in bytes, 0 = the RAM size (-run)")
+		execW    = flag.Int("exec-workers", 1, "executor worker count for morsel-parallel execution (-run); never changes results, only wall-clock")
 	)
 	flag.Parse()
 	if *progPath == "" || *inputs == "" {
@@ -157,7 +158,7 @@ func main() {
 		// -run -json: the canonical plan plus the execution report. (The
 		// bare -json output stays byte-identical to the ocasd response.)
 		rep, err := plan.ExecutePlan(context.Background(), c, p,
-			plan.ExecOptions{Seed: *seed, BatchRows: *batch, PoolBytes: *poolB})
+			plan.ExecOptions{Seed: *seed, BatchRows: *batch, PoolBytes: *poolB, ExecWorkers: *execW})
 		if err != nil {
 			die(err)
 		}
@@ -216,7 +217,7 @@ func main() {
 
 	if *run {
 		rep, err := plan.RunProgram(context.Background(), h, res.Best.Expr, res.Best.Params, task,
-			plan.ExecOptions{Seed: *seed, BatchRows: *batch, PoolBytes: *poolB})
+			plan.ExecOptions{Seed: *seed, BatchRows: *batch, PoolBytes: *poolB, ExecWorkers: *execW})
 		if err != nil {
 			die(err)
 		}
@@ -233,8 +234,15 @@ func main() {
 			fmt.Printf("   %-8s reads: %d inits / %d B   writes: %d inits / %d B\n",
 				name, d.ReadInits, d.BytesRead, d.WriteInits, d.BytesWrite)
 		}
-		fmt.Printf("   buffer pool:    peak %d B of %d B budget, %d spill files\n",
-			rep.Pool.PeakBytes, rep.Pool.Budget, rep.Pool.Spills)
+		fmt.Printf("   buffer pool:    peak %d B of %d B budget, %d spill files (%d B spilled)\n",
+			rep.Pool.PeakBytes, rep.Pool.Budget, rep.Pool.Spills, rep.Pool.SpillBytes)
+		if rep.ExecWorkers > 1 {
+			fmt.Printf("   exec workers:   %d\n", rep.ExecWorkers)
+			for _, wl := range rep.Workers {
+				fmt.Printf("     worker %d:     %d tasks, %.6g s, read %d B, wrote %d B\n",
+					wl.Worker, wl.Tasks, wl.Seconds, wl.BytesRead, wl.BytesWrite)
+			}
+		}
 	}
 }
 

@@ -4,6 +4,7 @@
 // Usage:
 //
 //	ocasbench -table1            # the sixteen Table 1 rows
+//	ocasbench -execpar           # executor scaling rows (1 vs 4 workers)
 //	ocasbench -fig8              # estimated vs measured sweeps
 //	ocasbench -cache             # loop-tiling cache-miss reduction
 //	ocasbench -accuracy          # selectivity vs estimation accuracy
@@ -35,6 +36,7 @@ import (
 func main() {
 	var (
 		table1   = flag.Bool("table1", false, "regenerate Table 1")
+		execPar  = flag.Bool("execpar", false, "run the multi-worker executor rows (hashjoin, externalsort at 1 and 4 workers)")
 		fig8     = flag.Bool("fig8", false, "regenerate Figure 8")
 		cache    = flag.Bool("cache", false, "run the cache-miss study (Section 7.2)")
 		accuracy = flag.Bool("accuracy", false, "run the accuracy study (Section 7.3)")
@@ -52,7 +54,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "ocasbench:", err)
 		os.Exit(1)
 	}
-	if !*table1 && !*fig8 && !*cache && !*accuracy && !*all {
+	if !*table1 && !*execPar && !*fig8 && !*cache && !*accuracy && !*all {
 		fmt.Fprintln(os.Stderr, "ocasbench: no experiment selected (use -table1, -fig8, -cache, -accuracy or -all)")
 		flag.Usage()
 		os.Exit(2)
@@ -71,7 +73,7 @@ func main() {
 		out = os.Stderr
 	}
 
-	var table1Results []*experiments.Result
+	var table1Results, execParResults []*experiments.Result
 	if *table1 || *all {
 		fmt.Fprintf(out, "== Table 1 (shrink %d) ==\n", *shrink)
 		start := time.Now()
@@ -81,6 +83,15 @@ func main() {
 		}
 		table1Results = rs
 		fmt.Fprintf(out, "-- total %.1fs\n\n", time.Since(start).Seconds())
+	}
+	if *execPar || *all {
+		fmt.Fprintln(out, "== Executor scaling (morsel-driven parallel execution) ==")
+		rs, err := experiments.RunExecParallel(cfg, out)
+		if err != nil {
+			fail(err)
+		}
+		execParResults = rs
+		fmt.Fprintln(out)
 	}
 	if *fig8 || *all {
 		fmt.Fprintf(out, "== Figure 8 (shrink %d) ==\n", *shrink)
@@ -114,7 +125,7 @@ func main() {
 		fmt.Fprintln(out)
 	}
 
-	report := experiments.NewBenchReport(cfg, table1Results)
+	report := experiments.NewBenchReport(cfg, table1Results, execParResults)
 	if *jsonOut {
 		if err := report.WriteJSON(os.Stdout); err != nil {
 			fail(err)

@@ -5,7 +5,8 @@
 // Usage:
 //
 //	ocasd -addr :8080 -cache-size 1024 -persist plans.json \
-//	      [-strategy beam -beam 64] [-workers 0] [-max-inflight 2] [-timeout 60s]
+//	      [-strategy beam -beam 64] [-workers 0] [-max-inflight 2] [-timeout 60s] \
+//	      [-exec-workers 4] [-max-worker-slots 8]
 //
 // Endpoints (see internal/service):
 //
@@ -49,6 +50,8 @@ func main() {
 		maxInflight = flag.Int("max-inflight", 2, "maximum concurrent synthesis/execution jobs (admission control)")
 		timeout     = flag.Duration("timeout", 60*time.Second, "per-request synthesis budget (requests may lower it via timeoutMs)")
 		maxExecRows = flag.Int64("max-exec-rows", 1<<20, "largest per-input row count POST /execute will run")
+		execWorkers = flag.Int("exec-workers", 1, "default executor worker count for /execute requests that don't choose one")
+		maxSlots    = flag.Int("max-worker-slots", 0, "executor worker-slot pool shared by concurrent /execute runs (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 	switch *strategy {
@@ -68,13 +71,15 @@ func main() {
 	}
 
 	srv := service.New(service.Config{
-		CacheSize:   *cacheSize,
-		MaxInflight: *maxInflight,
-		Timeout:     *timeout,
-		MaxExecRows: *maxExecRows,
-		Strategy:    *strategy,
-		Beam:        *beam,
-		Workers:     *workers,
+		CacheSize:      *cacheSize,
+		MaxInflight:    *maxInflight,
+		Timeout:        *timeout,
+		MaxExecRows:    *maxExecRows,
+		ExecWorkers:    *execWorkers,
+		MaxWorkerSlots: *maxSlots,
+		Strategy:       *strategy,
+		Beam:           *beam,
+		Workers:        *workers,
 	}, cache)
 
 	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}

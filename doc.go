@@ -93,6 +93,36 @@
 // through it, reporting virtual-clock seconds, per-device ledgers,
 // buffer-pool stats and a SHA-256 digest of the output bag.
 //
+// # Morsel-driven parallel execution
+//
+// Data-parallel phases execute partition-wise on a bounded set of worker
+// lanes (LowerOpts.ExecWorkers / plan.ExecOptions.ExecWorkers /
+// -exec-workers): partitioned scans and projections split base tables
+// into morsel sections at the root, the GRACE hash join partitions its
+// inputs with morsel-parallel exchange tasks and joins its buckets
+// partition-wise, and the external sort forms and merges runs in
+// parallel record sections gated by a streamed final merge. exec.Gather
+// merges the streams of concurrently driven partition subtrees;
+// exec.Exchange repartitions any input into per-partition spill chains.
+//
+// The determinism contract: partition degrees are functions of the plan
+// (tuned block sizes, data sizes, pool budget), never of the worker
+// count. Every partition task charges a private storage.Acct — seek and
+// erase detection is stream-relative, device allocation is
+// mutex-guarded, spill files are single-writer — and tasks fold back
+// into their parent strand at phase barriers in partition order — so the
+// output digest, the per-device ledgers and the virtual clock are
+// identical for every worker count; only wall-clock changes. Streams are
+// bags (merge order is completion order, row order scheduling-dependent)
+// unless an order-sensitive consumer — a fold, a streaming merge — sits
+// above a parallel subtree, in which case lowering switches the Gather to
+// ordered partition-by-partition delivery and the consumer's result is
+// worker-count-invariant too. Scratch spills are registered per run and
+// freed on completion or cancellation, so an abandoned /execute releases
+// its frames and device space. The service admits /execute by
+// worker slots (an execution holding W workers takes W slots of a
+// GOMAXPROCS-sized pool) and surfaces executor counters on /stats.
+//
 // # Serving: ocasd and the plan cache
 //
 // cmd/ocasd is the synthesis daemon — the synthesize-once/serve-many

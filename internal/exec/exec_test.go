@@ -172,9 +172,9 @@ func TestCacheTilingReducesMisses(t *testing.T) {
 	if untiled == nil || tiled == nil {
 		t.Fatal("cache model missing")
 	}
-	if tiled.Misses >= untiled.Misses {
+	if tiled.Misses() >= untiled.Misses() {
 		t.Skipf("inner block fits the 3MB cache at this scale: untiled=%d tiled=%d",
-			untiled.Misses, tiled.Misses)
+			untiled.Misses(), tiled.Misses())
 	}
 }
 
@@ -377,7 +377,7 @@ func TestSpillBoundsPanic(t *testing.T) {
 			t.Error("expected panic on over-capacity append")
 		}
 	}()
-	tb.AppendRows(make([]int32, 32))
+	tb.AppendRows(sim.Root(), make([]int32, 32))
 }
 
 // TestOpenFailureClosesCleanly runs programs whose Open cannot complete

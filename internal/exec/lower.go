@@ -26,6 +26,12 @@ type LowerOpts struct {
 	// BatchRows is the operator exchange batch size (0 = DefaultBatchRows).
 	// It never changes results, only how many rows travel per Next call.
 	BatchRows int64
+	// ExecWorkers bounds how many partition tasks of the morsel-driven
+	// parallel sections run concurrently (<= 1: inline). Partition degrees
+	// are decided by the plan, never by this knob, so the output digest and
+	// every device charge are identical for every worker count; only
+	// wall-clock time changes.
+	ExecWorkers int
 	// Context, when non-nil, cancels the run between batches.
 	Context context.Context
 }
@@ -48,8 +54,27 @@ type Program struct {
 // Pool exposes the run's buffer pool (for stats after Run).
 func (p *Program) Pool() *storage.BufferPool { return p.c.Pool }
 
-// Run executes the program to completion.
+// Workers reports the effective executor worker count of the run.
+func (p *Program) Workers() int { return p.c.workers() }
+
+// WorkerLedgers reports the per-worker-lane charge aggregates of the run
+// (empty for a program assembled without NewProgram).
+func (p *Program) WorkerLedgers() []WorkerLedger {
+	if p.c.shared == nil {
+		return nil
+	}
+	p.c.shared.mu.Lock()
+	defer p.c.shared.mu.Unlock()
+	out := make([]WorkerLedger, len(p.c.shared.lanes))
+	copy(out, p.c.shared.lanes)
+	return out
+}
+
+// Run executes the program to completion. Whatever the outcome — success,
+// error or cancellation — the run's scratch spills are freed, so a
+// cancelled request releases its device space.
 func (p *Program) Run() (err error) {
+	defer p.c.freeSpills()
 	// The storage layer reports data-dependent exhaustion (a fixed-capacity
 	// volume overflowing, a scratch device running out of space mid-spill)
 	// by panicking; at the program boundary those become errors so a
@@ -111,7 +136,7 @@ func (p *Program) Run() (err error) {
 // charge exactly what the monolithic plans charged.
 func Lower(prog ocal.Expr, o LowerOpts) (*Program, error) {
 	l := &lowerer{o: o}
-	root, err := l.lower(prog, false)
+	root, err := l.lowerRoot(prog)
 	if err != nil {
 		return nil, err
 	}
@@ -134,18 +159,52 @@ func NewProgram(root Operator, o LowerOpts) *Program {
 		Pool:      storage.NewBufferPool(budget),
 		Scratch:   o.Scratch,
 		BatchRows: o.BatchRows,
+		Workers:   o.ExecWorkers,
 		Context:   o.Context,
+		shared:    newShared(o.ExecWorkers),
 	}}
 }
 
 type lowerer struct {
 	o LowerOpts
+	// root marks that the expression being lowered produces the program
+	// output. A root scan or projection over a base table may split into
+	// morsel partitions merged by a Gather, because the sink consumes a
+	// bag; lower in the tree the stream order can carry meaning (sorted
+	// merges), so partitioning there is left to the operators that know
+	// their semantics (hash join buckets, sort sections).
+	root bool
+	// ordered marks that the expression being lowered feeds an
+	// order-sensitive consumer (a fold threads its accumulator through the
+	// rows, a streaming merge requires sorted streams), possibly through
+	// order-preserving operators like projections. A parallel hash join
+	// lowered under this flag delivers its buckets in order, so the
+	// consumer's result is identical for every worker count. Consumers
+	// that treat their input as a bag (joins, exchanges, sorts) clear it.
+	ordered bool
+}
+
+// withOrdered lowers an input subexpression under the given orderedness.
+func (l *lowerer) withOrdered(ordered bool, f func() (Input, error)) (Input, error) {
+	save := l.ordered
+	l.ordered = ordered
+	in, err := f()
+	l.ordered = save
+	return in, err
+}
+
+// lowerRoot lowers the program's root expression (partitioning allowed).
+func (l *lowerer) lowerRoot(prog ocal.Expr) (Operator, error) {
+	l.root = true
+	return l.lower(prog, false)
 }
 
 // lower translates one expression into an operator. orderBy marks that the
 // expression sits under an order-inputs wrapper, which the next loop nest
 // consumes.
 func (l *lowerer) lower(prog ocal.Expr, orderBy bool) (Operator, error) {
+	root := l.root
+	l.root = false
 	// order-inputs wrapper: (\<v1,v2> -> body)(if length(a)<=length(b) ...)
 	if app, ok := prog.(ocal.App); ok {
 		if lam, ok := app.Fn.(ocal.Lam); ok && len(lam.Params) == 2 {
@@ -180,12 +239,15 @@ func (l *lowerer) lower(prog ocal.Expr, orderBy bool) (Operator, error) {
 		return op, err
 	}
 	// Loop nests: scans, filters/projections, (tiled) nested-loop joins.
-	if op, err, ok := l.lowerLoops(prog, orderBy); ok {
+	if op, err, ok := l.lowerLoops(prog, orderBy, root); ok {
 		return op, err
 	}
 	// A bare input: the identity scan.
 	if v, ok := prog.(ocal.Var); ok {
 		if t, isIn := l.o.Inputs[v.Name]; isIn {
+			if root {
+				return l.scanParts(t, 0), nil
+			}
 			return &Scan{T: t}, nil
 		}
 	}
@@ -237,11 +299,76 @@ type srcInfo struct {
 	tiles []int64 // block sizes of inner re-blocking loops (cache tiling)
 }
 
+// partsFor picks the morsel count of a partitioned root scan: enough
+// blocks per morsel to amortize its seek, bounded by maxPartitions and the
+// pool budget (every morsel needs at least one frame of its share). The
+// count depends on the table, the tuned block size and the budget — never
+// on the worker count — so charges are worker-count-invariant.
+func (l *lowerer) partsFor(rows, k, width int64) int {
+	if k < 1 {
+		k = 1
+	}
+	p := clampParts(rows / (4 * k))
+	budget := l.o.PoolBytes
+	if budget == 0 {
+		budget = l.o.RAMBytes
+	}
+	if budget > 0 && width > 0 {
+		if maxP := budget / width; maxP < int64(p) {
+			p = int(maxP)
+		}
+		if p < 1 {
+			p = 1
+		}
+	}
+	return p
+}
+
+// scanParts builds a morsel-partitioned identity scan of a base table (a
+// single Scan when one morsel suffices).
+func (l *lowerer) scanParts(t *Table, k int64) Operator {
+	p := l.partsFor(t.Rows(), k, int64(t.Arity)*4)
+	if p <= 1 {
+		return &Scan{T: t, K: k}
+	}
+	bounds := sectionBounds(t.Rows(), p)
+	parts := make([]Operator, p)
+	for i := range parts {
+		parts[i] = &Scan{T: t, K: k, Lo: bounds[i][0], Hi: bounds[i][1]}
+	}
+	return &Gather{Parts: parts}
+}
+
+// projectParts builds a morsel-partitioned projection over a base table,
+// compiling a private step function per morsel (compiled steps carry
+// interpreter state and must not be shared across strands).
+func (l *lowerer) projectParts(t *Table, k int64, body ocal.Expr, elem string) (Operator, error) {
+	p := l.partsFor(t.Rows(), k, int64(t.Arity)*4)
+	if p <= 1 {
+		step, err := scanStep(body, elem)
+		if err != nil {
+			return nil, err
+		}
+		return &Project{In: TableInput(t), K: k, Step: step}, nil
+	}
+	bounds := sectionBounds(t.Rows(), p)
+	parts := make([]Operator, p)
+	for i := range parts {
+		step, err := scanStep(body, elem)
+		if err != nil {
+			return nil, err
+		}
+		parts[i] = &Project{In: SectionInput(t, bounds[i][0], bounds[i][1]), K: k, Step: step}
+	}
+	return &Gather{Parts: parts}, nil
+}
+
 // lowerLoops recognizes a (possibly blocked and tiled) nested-loops join
 // over two sources, or a single-source blocked scan with projection. A
 // source is an input table (fused) or any lowerable subexpression
-// (streamed).
-func (l *lowerer) lowerLoops(prog ocal.Expr, orderBy bool) (Operator, error, bool) {
+// (streamed). At the root, single-table scans and projections split into
+// morsel partitions merged by a Gather.
+func (l *lowerer) lowerLoops(prog ocal.Expr, orderBy, root bool) (Operator, error, bool) {
 	var srcs []*srcInfo
 	owner := map[string]int{} // loop variable -> source index
 	e := prog
@@ -265,6 +392,9 @@ func (l *lowerer) lowerLoops(prog ocal.Expr, orderBy bool) (Operator, error, boo
 				return nil, fmt.Errorf("exec: loop source %q is neither input nor block", s.Name), true
 			}
 		default:
+			// A loop nest consumes its sources as bags (a single-source
+			// projection preserves order, so it keeps the current flag; a
+			// join over two sources materializes/rescans the inner anyway).
 			in, err := l.lowerInput(f.Src)
 			if err != nil {
 				return nil, err, true
@@ -282,6 +412,9 @@ func (l *lowerer) lowerLoops(prog ocal.Expr, orderBy bool) (Operator, error, boo
 	if v, ok := e.(ocal.Var); ok && len(srcs) == 1 && v.Name == srcs[0].block && srcs[0].elem == srcs[0].block {
 		s := srcs[0]
 		if s.in.table != nil {
+			if root {
+				return l.scanParts(s.in.table, s.k), nil, true
+			}
 			return &Scan{T: s.in.table, K: s.k}, nil, true
 		}
 		return s.in.op, nil, true
@@ -290,6 +423,10 @@ func (l *lowerer) lowerLoops(prog ocal.Expr, orderBy bool) (Operator, error, boo
 	switch len(srcs) {
 	case 1:
 		s := srcs[0]
+		if root && s.in.table != nil && len(s.tiles) == 0 {
+			op, err := l.projectParts(s.in.table, s.k, e, s.elem)
+			return op, err, true
+		}
 		step, err := scanStep(e, s.elem)
 		if err != nil {
 			return nil, err, true
@@ -441,6 +578,7 @@ func (l *lowerer) lowerHashJoin(prog ocal.Expr) (Operator, error, bool) {
 	if !ok || len(tupArg.Elems) != 2 {
 		return nil, fmt.Errorf("exec: hash join needs two partitioned inputs"), true
 	}
+	ordered := l.ordered
 	var sides [2]Input
 	var buckets int64
 	for i, el := range tupArg.Elems {
@@ -452,7 +590,8 @@ func (l *lowerer) lowerHashJoin(prog ocal.Expr) (Operator, error, bool) {
 		if !ok {
 			return nil, fmt.Errorf("exec: expected partition"), true
 		}
-		in, err := l.lowerInput(pa.Arg)
+		// The partition pass hashes rows to buckets: a bag consumer.
+		in, err := l.withOrdered(false, func() (Input, error) { return l.lowerInput(pa.Arg) })
 		if err != nil {
 			return nil, err, true
 		}
@@ -528,6 +667,7 @@ func (l *lowerer) lowerHashJoin(prog ocal.Expr) (Operator, error, bool) {
 		Buckets: buckets,
 		KRead:   kj, BufW: bufW, KJoin: kj,
 		KeyL: 0, KeyR: 0, Pred: pred, EquiKeys: keys, SwapOutput: swapOut,
+		OrderedOutput: ordered,
 	}, nil, true
 }
 
@@ -558,7 +698,8 @@ func (l *lowerer) lowerExtSort(prog ocal.Expr) (Operator, error, bool) {
 			arg = f.Src
 		}
 	}
-	in, err := l.lowerInput(arg)
+	// A sort ignores its input order: lower the source as a bag.
+	in, err := l.withOrdered(false, func() (Input, error) { return l.lowerInput(arg) })
 	if err != nil {
 		return nil, err, true
 	}
@@ -599,7 +740,8 @@ func (l *lowerer) lowerUnfold(prog ocal.Expr) (Operator, error, bool) {
 			scratch++
 			continue
 		}
-		in, err := l.lowerInput(el)
+		// The step threads state element by element: input order matters.
+		in, err := l.withOrdered(true, func() (Input, error) { return l.lowerInput(el) })
 		if err != nil {
 			return nil, err, true
 		}
@@ -641,27 +783,35 @@ func (l *lowerer) lowerFold(prog ocal.Expr) (Operator, error, bool) {
 	if !ok {
 		return nil, nil, false
 	}
+	// A fold threads its accumulator row by row: its source must deliver
+	// the single-worker order at every worker count.
 	var in Input
 	var k int64 = 1
 	switch src := app.Arg.(type) {
 	case ocal.For:
 		// Blocked identity scan: for (xB [k] <- E) xB.
 		if body, okB := src.Body.(ocal.Var); okB && body.Name == src.X {
-			inner, err := l.lowerInput(src.Src)
+			inner, err := l.withOrdered(true, func() (Input, error) { return l.lowerInput(src.Src) })
 			if err != nil {
 				return nil, err, true
 			}
 			in = inner
 			k = src.K.Bind(l.o.Params)
 		} else {
-			op, err := l.lower(src, false)
+			inner, err := l.withOrdered(true, func() (Input, error) {
+				op, err := l.lower(src, false)
+				if err != nil {
+					return Input{}, err
+				}
+				return OpInput(op), nil
+			})
 			if err != nil {
 				return nil, fmt.Errorf("exec: unsupported fold source %s: %w", ocal.String(src), err), true
 			}
-			in = OpInput(op)
+			in = inner
 		}
 	default:
-		inner, err := l.lowerInput(app.Arg)
+		inner, err := l.withOrdered(true, func() (Input, error) { return l.lowerInput(app.Arg) })
 		if err != nil {
 			return nil, fmt.Errorf("exec: unsupported fold source %s", ocal.String(app.Arg)), true
 		}

@@ -3,6 +3,7 @@ package exec
 import (
 	"context"
 	"fmt"
+	"sync"
 
 	"ocas/internal/ocal"
 	"ocas/internal/storage"
@@ -13,17 +14,63 @@ import (
 // Next call; they never change results, only scheduling granularity.
 const DefaultBatchRows = 64
 
-// Ctx is the shared execution context of one program run: the storage
-// simulator that charges I/O and CPU time, the buffer pool that accounts
-// (and bounds) resident working memory, the scratch device for spills, and
-// the batch size of the operator protocol.
+// Ctx is the execution context of one strand of a program run: the storage
+// simulator, the accounting strand that charges I/O and CPU time, the
+// buffer pool (or pool share) that accounts and bounds resident working
+// memory, the scratch device for spills, the batch size of the operator
+// protocol and the worker budget for parallel sections. The driver strand
+// charges the simulator's root account directly; every partition task of a
+// parallel phase runs on a child Ctx with a private account and a fixed
+// pool share, so its charges depend only on the partition, never on worker
+// count or goroutine scheduling.
 type Ctx struct {
-	Sim       *storage.Sim
-	Pool      *storage.BufferPool
-	Scratch   *storage.Device
+	Sim     *storage.Sim
+	Acct    *storage.Acct // nil = the simulator's direct root account
+	Pool    *storage.BufferPool
+	Scratch *storage.Device
+	// BatchRows is the operator exchange batch size (0 = DefaultBatchRows).
 	BatchRows int64
+	// Workers bounds how many partition tasks of a parallel section run
+	// concurrently (<= 1: sections run inline on the caller's goroutine).
+	Workers int
 	// Context, when non-nil, cancels the run between batches.
 	Context context.Context
+
+	shared *sharedState
+}
+
+// sharedState is the per-program state all strand contexts point at: the
+// scratch-spill registry (freed when the run ends, completed or cancelled)
+// and the per-worker-lane ledgers of the execution report.
+type sharedState struct {
+	mu     sync.Mutex
+	spills []*storage.Spill
+	lanes  []WorkerLedger
+}
+
+// WorkerLedger aggregates the charges of the partition tasks assigned to
+// one worker lane. Tasks map to lanes deterministically (task index modulo
+// the section's lane count), so the report is identical run to run.
+type WorkerLedger struct {
+	Worker     int     `json:"worker"`
+	Tasks      int64   `json:"tasks"`
+	Seconds    float64 `json:"seconds"`
+	BytesRead  int64   `json:"bytesRead"`
+	BytesWrite int64   `json:"bytesWrite"`
+}
+
+func newShared(workers int) *sharedState {
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > MaxWorkers {
+		workers = MaxWorkers // lanes beyond the executor ceiling can never run
+	}
+	s := &sharedState{lanes: make([]WorkerLedger, workers)}
+	for i := range s.lanes {
+		s.lanes[i].Worker = i
+	}
+	return s
 }
 
 func (c *Ctx) batchRows() int64 {
@@ -31,6 +78,30 @@ func (c *Ctx) batchRows() int64 {
 		return c.BatchRows
 	}
 	return DefaultBatchRows
+}
+
+// acct returns this strand's accounting context.
+func (c *Ctx) acct() *storage.Acct {
+	if c.Acct != nil {
+		return c.Acct
+	}
+	return c.Sim.Root()
+}
+
+// cpu charges n operations on this strand.
+func (c *Ctx) cpu(n int64, perOp float64) { c.acct().CPU(n, perOp) }
+
+// workers returns the effective worker budget, clamped to [1, MaxWorkers]
+// (partition degrees never exceed MaxWorkers, so neither can useful
+// concurrency).
+func (c *Ctx) workers() int {
+	if c.Workers <= 1 {
+		return 1
+	}
+	if c.Workers > MaxWorkers {
+		return MaxWorkers
+	}
+	return c.Workers
 }
 
 // err reports context cancellation. It is checked at block-read
@@ -47,6 +118,72 @@ func (c *Ctx) err() error {
 	default:
 		return nil
 	}
+}
+
+// newSpill creates a scratch spill through the pool and registers it for
+// end-of-run cleanup, so a cancelled request releases its device space.
+func (c *Ctx) newSpill(width, capRecords int64) (*storage.Spill, error) {
+	sp, err := c.Pool.NewSpill(c.Scratch, width, capRecords)
+	if err != nil {
+		return nil, err
+	}
+	if c.shared != nil {
+		c.shared.mu.Lock()
+		c.shared.spills = append(c.shared.spills, sp)
+		c.shared.mu.Unlock()
+	}
+	return sp, nil
+}
+
+// freeSpills releases every scratch spill the run created.
+func (c *Ctx) freeSpills() {
+	if c.shared == nil {
+		return
+	}
+	c.shared.mu.Lock()
+	spills := c.shared.spills
+	c.shared.spills = nil
+	c.shared.mu.Unlock()
+	for _, sp := range spills {
+		sp.Free()
+	}
+}
+
+// part builds the child context of one partition task: a private accounting
+// strand and a child pool carrying the full plan budget — the optimizer
+// tuned the plan's block sizes against the whole buffer, so every strand
+// arbitrates its frames within that budget (cooperative shares, shrunken
+// grants) exactly as the sequential executor did. That keeps each
+// partition's charges identical to a bucket-at-a-time run and independent
+// of the worker count; host memory stays bounded because at most
+// maxPartitions strands run concurrently. Fold the child back with adopt
+// (partition order!).
+func (c *Ctx) part() *Ctx {
+	pc := *c
+	pc.Acct = c.Sim.NewAcct()
+	pc.Pool = c.Pool.Child()
+	return &pc
+}
+
+// adopt folds a completed partition context back into this strand: its
+// account (clock + ledgers), its pool counters, and its lane ledger. Call
+// in partition order so the float summation order is scheduling-independent.
+func (c *Ctx) adopt(pc *Ctx, task, lanes int) {
+	if c.shared != nil && len(c.shared.lanes) > 0 && lanes > 0 {
+		lane := task % lanes
+		if lane < len(c.shared.lanes) {
+			a := pc.acct()
+			c.shared.mu.Lock()
+			l := &c.shared.lanes[lane]
+			l.Tasks++
+			l.Seconds += a.Seconds()
+			l.BytesRead += a.BytesRead()
+			l.BytesWrite += a.BytesWrite()
+			c.shared.mu.Unlock()
+		}
+	}
+	c.acct().Adopt(pc.Acct)
+	c.Pool.Adopt(pc.Pool)
 }
 
 // share caps a cooperative pin request so that `parties` buffers of the
@@ -176,26 +313,66 @@ func (ob *ownedBlock) release() {
 	}
 }
 
-// tableReader scans a device-resident table (or spill) block by block
-// through a pooled frame.
+// tableReader scans one or more device-resident spills — a base table, a
+// table section (the morsel range of a partitioned scan), or the chained
+// per-producer segments of an exchange partition — block by block through a
+// pooled frame. Positions are global across the chain.
 type tableReader struct {
-	sp *storage.Spill
-	ar int
-	c  *Ctx
+	sps []*storage.Spill
+	ar  int
+	lo  int64 // first global record (inclusive)
+	hi  int64 // last global record (exclusive); -1 = all
+	c   *Ctx
 
 	pos   int64
 	frame *storage.Frame
 }
 
-func newTableReader(t *Table) *tableReader { return &tableReader{sp: t.Spill, ar: t.Arity} }
-
-func newSpillReader(sp *storage.Spill, arity int) *tableReader {
-	return &tableReader{sp: sp, ar: arity}
+func newTableReader(t *Table) *tableReader {
+	return &tableReader{sps: []*storage.Spill{t.Spill}, ar: t.Arity, hi: -1}
 }
 
-func (r *tableReader) open(c *Ctx) error { r.c = c; r.pos = 0; return nil }
+func newSectionReader(t *Table, lo, hi int64) *tableReader {
+	return &tableReader{sps: []*storage.Spill{t.Spill}, ar: t.Arity, lo: lo, hi: hi}
+}
+
+func newSpillReader(sp *storage.Spill, arity int) *tableReader {
+	return &tableReader{sps: []*storage.Spill{sp}, ar: arity, hi: -1}
+}
+
+func newChainReader(sps []*storage.Spill, arity int) *tableReader {
+	return &tableReader{sps: sps, ar: arity, hi: -1}
+}
+
+func (r *tableReader) open(c *Ctx) error { r.c = c; r.pos = r.lo; return nil }
 
 func (r *tableReader) width() int64 { return int64(r.ar) * 4 }
+
+// end returns the exclusive upper bound of the read range.
+func (r *tableReader) end() int64 {
+	var total int64
+	for _, sp := range r.sps {
+		total += sp.Records()
+	}
+	if r.hi >= 0 && r.hi < total {
+		return r.hi
+	}
+	return total
+}
+
+// readAt charges and returns up to n records at global position idx,
+// resolving the spill segment that holds it (fewer records are returned at
+// a segment boundary; the caller loops).
+func (r *tableReader) readAt(idx, n int64) []int32 {
+	for _, sp := range r.sps {
+		if idx >= sp.Records() {
+			idx -= sp.Records()
+			continue
+		}
+		return sp.ReadAt(r.c.acct(), idx, n)
+	}
+	return nil
+}
 
 // ensure pins a frame able to hold up to k rows, shrinking under budget
 // pressure (never below one row).
@@ -225,14 +402,18 @@ func (r *tableReader) next(k int64) ([]int32, error) {
 	if err := r.c.err(); err != nil {
 		return nil, err
 	}
-	if r.pos >= r.sp.Records() {
+	end := r.end()
+	if r.pos >= end {
 		return nil, nil
 	}
 	k, err := r.ensure(k)
 	if err != nil {
 		return nil, err
 	}
-	blk := r.sp.ReadAt(r.pos, k)
+	if r.pos+k > end {
+		k = end - r.pos
+	}
+	blk := r.readAt(r.pos, k)
 	n := int64(len(blk)) / int64(r.ar)
 	r.pos += n
 	r.frame.Data = append(r.frame.Data[:0], blk...)
@@ -240,7 +421,8 @@ func (r *tableReader) next(k int64) ([]int32, error) {
 }
 
 func (r *tableReader) take(k int64) (*ownedBlock, error) {
-	if r.pos >= r.sp.Records() {
+	end := r.end()
+	if r.pos >= end {
 		return nil, nil
 	}
 	if k < 1 {
@@ -253,7 +435,10 @@ func (r *tableReader) take(k int64) (*ownedBlock, error) {
 	if c := f.Cap(r.width()); c < k {
 		k = c
 	}
-	blk := r.sp.ReadAt(r.pos, k)
+	if r.pos+k > end {
+		k = end - r.pos
+	}
+	blk := r.readAt(r.pos, k)
 	r.pos += int64(len(blk)) / int64(r.ar)
 	f.Data = append(f.Data[:0], blk...)
 	return &ownedBlock{frame: f, data: f.Data}, nil
@@ -261,8 +446,8 @@ func (r *tableReader) take(k int64) (*ownedBlock, error) {
 
 func (r *tableReader) arity() int       { return r.ar }
 func (r *tableReader) rewindable() bool { return true }
-func (r *tableReader) rewind() error    { r.pos = 0; return nil }
-func (r *tableReader) rows() int64      { return r.sp.Records() }
+func (r *tableReader) rewind() error    { r.pos = r.lo; return nil }
+func (r *tableReader) rows() int64      { return r.end() - r.lo }
 
 func (r *tableReader) close() error {
 	if r.frame != nil {
@@ -417,12 +602,12 @@ func materialize(r blockReader, c *Ctx) (*tableReader, error) {
 	var sp *storage.Spill
 	for blk != nil {
 		if sp == nil {
-			sp, err = c.Pool.NewSpill(c.Scratch, int64(r.arity())*4, 0)
+			sp, err = c.newSpill(int64(r.arity())*4, 0)
 			if err != nil {
 				return nil, err
 			}
 		}
-		sp.Append(blk)
+		sp.Append(c.acct(), blk)
 		if blk, err = r.next(c.batchRows()); err != nil {
 			return nil, err
 		}
@@ -436,7 +621,7 @@ func materialize(r blockReader, c *Ctx) (*tableReader, error) {
 		if ar <= 0 {
 			ar = 1
 		}
-		sp, err = c.Pool.NewSpill(c.Scratch, int64(ar)*4, 0)
+		sp, err = c.newSpill(int64(ar)*4, 0)
 		if err != nil {
 			return nil, err
 		}

@@ -22,45 +22,103 @@ func EqPred(i, j int) Pred {
 
 // Input binds an operator input either to a base table (fused block reads:
 // the operator reads the device directly at its tuned block size, exactly
-// what the generated C would do), to a scratch spill, or to an arbitrary
-// operator subtree, which streams through the batch protocol.
+// what the generated C would do), to a section of a table (the morsel range
+// of one partition task), to one or a chain of scratch spills, or to an
+// arbitrary operator subtree, which streams through the batch protocol.
 type Input struct {
-	table *Table
-	spill *storage.Spill
-	ar    int
-	op    Operator
+	table  *Table
+	lo, hi int64 // section bounds when sect is set
+	sect   bool
+	spill  *storage.Spill
+	spills []*storage.Spill
+	ar     int
+	op     Operator
 }
 
 // TableInput fuses a base table into the consuming operator.
 func TableInput(t *Table) Input { return Input{table: t} }
 
+// SectionInput fuses the record range [lo, hi) of a base table.
+func SectionInput(t *Table, lo, hi int64) Input {
+	return Input{table: t, lo: lo, hi: hi, sect: true}
+}
+
 // SpillInput reads a scratch spill of the given arity.
 func SpillInput(sp *storage.Spill, arity int) Input { return Input{spill: sp, ar: arity} }
+
+// SpillsInput reads a chain of spills (the per-task segments of an
+// exchange partition) as one stream.
+func SpillsInput(sps []*storage.Spill, arity int) Input { return Input{spills: sps, ar: arity} }
 
 // OpInput streams another operator's output.
 func OpInput(op Operator) Input { return Input{op: op} }
 
-func (in Input) valid() bool { return in.table != nil || in.spill != nil || in.op != nil }
+func (in Input) valid() bool {
+	return in.table != nil || in.spill != nil || in.spills != nil || in.op != nil
+}
 
 func (in Input) reader() blockReader {
 	switch {
+	case in.table != nil && in.sect:
+		return newSectionReader(in.table, in.lo, in.hi)
 	case in.table != nil:
 		return newTableReader(in.table)
 	case in.spill != nil:
 		return newSpillReader(in.spill, in.ar)
+	case in.spills != nil:
+		return newChainReader(in.spills, in.ar)
 	default:
 		return newOpReader(in.op)
 	}
 }
 
+// extent returns the input's row count and record width, or (-1, 0) for a
+// streamed subtree whose extent is unknown before execution.
+func (in Input) extent() (rows, width int64) {
+	switch {
+	case in.table != nil && in.sect:
+		return in.hi - in.lo, int64(in.table.Arity) * 4
+	case in.table != nil:
+		return in.table.Rows(), int64(in.table.Arity) * 4
+	case in.spill != nil:
+		return in.spill.Records(), int64(in.ar) * 4
+	case in.spills != nil:
+		var n int64
+		for _, sp := range in.spills {
+			n += sp.Records()
+		}
+		return n, int64(in.ar) * 4
+	}
+	return -1, 0
+}
+
+// section returns a reader over the record range [lo, hi) of an input with
+// known extent.
+func (in Input) section(lo, hi int64) blockReader {
+	switch {
+	case in.table != nil && in.sect:
+		return newSectionReader(in.table, in.lo+lo, in.lo+hi)
+	case in.table != nil:
+		return newSectionReader(in.table, lo, hi)
+	case in.spill != nil:
+		return &tableReader{sps: []*storage.Spill{in.spill}, ar: in.ar, lo: lo, hi: hi}
+	case in.spills != nil:
+		return &tableReader{sps: in.spills, ar: in.ar, lo: lo, hi: hi}
+	}
+	panic("exec: section of a streamed input")
+}
+
 // ---------------------------------------------------------------------------
 // Scan
 
-// Scan delivers a table batch by batch, reading the device in blocks of K
-// tuples through a pooled frame.
+// Scan delivers a table (or a section of it) batch by batch, reading the
+// device in blocks of K tuples through a pooled frame.
 type Scan struct {
 	T *Table
 	K int64 // read block in tuples; <= 0 uses the context batch size
+	// Lo and Hi bound the scan to a record section (Hi <= 0: the whole
+	// table) — the morsel range of one partitioned-scan task.
+	Lo, Hi int64
 
 	c *Ctx
 	r *tableReader
@@ -68,7 +126,11 @@ type Scan struct {
 
 func (o *Scan) Open(c *Ctx) error {
 	o.c = c
-	o.r = newTableReader(o.T)
+	if o.Hi > 0 {
+		o.r = newSectionReader(o.T, o.Lo, o.Hi)
+	} else {
+		o.r = newTableReader(o.T)
+	}
 	return o.r.open(c)
 }
 
@@ -132,7 +194,7 @@ func (o *Project) step() error {
 	}
 	ar := o.r.arity()
 	rows := len(blk) / ar
-	o.c.Sim.CPU(int64(rows), o.c.Sim.CmpSeconds)
+	o.c.cpu(int64(rows), o.c.Sim.CmpSeconds)
 	for i := 0; i < rows; i++ {
 		if err := o.Step(blk[i*ar:(i+1)*ar], o.em.emit); err != nil {
 			return err
@@ -278,7 +340,7 @@ func (o *BNLJoin) advanceOuter() error {
 			k := ob.data[a*ra+int64(o.keys[0])]
 			o.outerIdx[k] = append(o.outerIdx[k], a)
 		}
-		o.c.Sim.CPU(nx, o.c.Sim.HashSeconds)
+		o.c.cpu(nx, o.c.Sim.HashSeconds)
 	}
 	return o.inner.rewind()
 }
@@ -307,9 +369,9 @@ func (o *BNLJoin) step() error {
 		ra, sa := int64(o.outer.arity()), int64(o.inner.arity())
 		nx, ny := int64(len(o.ob.data))/ra, int64(len(yb))/sa
 		if o.keys != nil {
-			o.c.Sim.CPU(ny, o.c.Sim.HashSeconds)
+			o.c.cpu(ny, o.c.Sim.HashSeconds)
 		} else {
-			o.c.Sim.CPU(nx*ny, o.c.Sim.CmpSeconds)
+			o.c.cpu(nx*ny, o.c.Sim.CmpSeconds)
 		}
 		o.countCacheMisses(nx, ny, ra, sa)
 	}
@@ -425,10 +487,14 @@ func (o *BNLJoin) countCacheMisses(nx, ny, ra, sa int64) {
 // GRACE hash join
 
 // HashJoin is the GRACE hash join: both inputs are hash-partitioned to
-// scratch spill files in one sequential pass (through pool-pinned write
-// buffers), then corresponding buckets are joined with a block nested loops
-// join whose blocks normally cover a whole bucket, so all data is read
-// exactly twice.
+// scratch spill files (through pool-pinned per-bucket write buffers), then
+// corresponding buckets are joined with block nested loops joins whose
+// blocks normally cover a whole bucket, so all data is read exactly twice.
+// Both phases are morsel-parallel: inputs with known extent partition in
+// concurrent morsel tasks (Exchange), and the per-bucket joins run on the
+// worker lanes through a Gather — the bucket count, fixed by the plan's
+// tuned parameter, is the partition degree, so charges are identical for
+// every worker count.
 type HashJoin struct {
 	L, R     Input
 	Buckets  int64
@@ -441,12 +507,16 @@ type HashJoin struct {
 	EquiKeys *[2]int // forwarded to the per-bucket joins
 	// SwapOutput is forwarded to the per-bucket joins (see BNLJoin).
 	SwapOutput bool
+	// OrderedOutput delivers bucket outputs strictly in bucket order (the
+	// single-worker order) at the cost of producer overlap; lowering sets
+	// it when an order-sensitive consumer (a fold, a streaming merge)
+	// consumes this join.
+	OrderedOutput bool
 
 	c        *Ctx
-	bL, bR   []*storage.Spill
+	bL, bR   []Part
 	arL, arR int
-	cur      int64
-	j        *BNLJoin
+	g        *Gather // bucket joins, partition-wise on the worker lanes
 	done     bool
 }
 
@@ -457,159 +527,53 @@ func (o *HashJoin) Open(c *Ctx) error {
 		s = 1
 	}
 	o.Buckets = s
+	exL := &Exchange{In: o.L, Parts: s, Key: o.KeyL, KRead: o.KRead, BufW: o.BufW}
+	exR := &Exchange{In: o.R, Parts: s, Key: o.KeyR, KRead: o.KRead, BufW: o.BufW}
 	var err error
-	if o.bL, o.arL, err = o.partition(o.L, o.KeyL); err != nil {
+	if o.bL, o.arL, err = exL.Run(c); err != nil {
 		return err
 	}
-	if o.bR, o.arR, err = o.partition(o.R, o.KeyR); err != nil {
+	if o.bR, o.arR, err = exR.Run(c); err != nil {
 		return err
 	}
 	// A side that delivered no rows (unknowable arity) joins to nothing.
 	o.done = o.arL == 0 || o.arR == 0
-	return nil
-}
-
-// partition hashes one input into Buckets scratch spills through BufW-tuple
-// write buffers pinned in the pool. The pool budget is split into one share
-// per bucket buffer plus one for the read block, so no single frame starves
-// the others.
-func (o *HashJoin) partition(in Input, key int) ([]*storage.Spill, int, error) {
-	r := in.reader()
-	if err := r.open(o.c); err != nil {
-		return nil, 0, err
-	}
-	defer r.close()
-	s := o.Buckets
-	var (
-		spills []*storage.Spill
-		bufs   []*storage.Frame
-		arity  int
-	)
-	setup := func(ar int) error {
-		arity = ar
-		width := int64(arity) * 4
-		want := o.c.share(o.BufW, s+1, width)
-		spills = make([]*storage.Spill, s)
-		bufs = make([]*storage.Frame, s)
-		if want < 1 {
-			want = 1
-		}
-		for i := range spills {
-			sp, err := o.c.Pool.NewSpill(o.c.Scratch, width, 0)
-			if err != nil {
-				return err
-			}
-			spills[i] = sp
-			f, err := o.c.Pool.PinUpTo(want, 1, width)
-			if err != nil {
-				return err
-			}
-			bufs[i] = f
-		}
+	if o.done {
 		return nil
 	}
-	// A fused table/spill input has a known arity: pin the bucket buffers
-	// before the reader claims its block frame.
-	if ar := r.arity(); ar > 0 {
-		if err := setup(ar); err != nil {
-			return nil, 0, err
-		}
+	// The bucket joins are the join phase's partitions: a Gather runs them
+	// on the worker lanes (lazily in bucket order on one worker), each
+	// against the full plan budget, so per-bucket charges match the
+	// bucket-at-a-time executor exactly.
+	parts := make([]Operator, s)
+	for i := int64(0); i < s; i++ {
+		parts[i] = o.bucketJoin(i)
 	}
-	flush := func(b int64) {
-		f := bufs[b]
-		if len(f.Data) == 0 {
-			return
-		}
-		o.c.Sim.CPU(int64(len(f.Data))*4, o.c.Sim.MoveSeconds)
-		spills[b].Append(f.Data)
-		f.Data = f.Data[:0]
+	o.g = &Gather{Parts: parts, Ordered: o.OrderedOutput}
+	return o.g.Open(c)
+}
+
+// bucketJoin builds the BNL join of bucket pair i.
+func (o *HashJoin) bucketJoin(i int64) *BNLJoin {
+	return &BNLJoin{
+		L: SpillsInput(o.bL[i].Spills, o.arL), R: SpillsInput(o.bR[i].Spills, o.arR),
+		K1: o.KJoin, K2: o.KJoin, Pred: o.Pred, EquiKeys: o.EquiKeys,
+		SwapOutput: o.SwapOutput,
 	}
-	for {
-		k := o.KRead
-		if k <= 0 {
-			k = 1
-		}
-		if arity > 0 {
-			k = o.c.share(k, s+1, int64(arity)*4)
-		}
-		blk, err := r.next(k)
-		if err != nil {
-			return nil, 0, err
-		}
-		if blk == nil {
-			break
-		}
-		if spills == nil {
-			if err := setup(r.arity()); err != nil {
-				return nil, 0, err
-			}
-		}
-		a := int64(arity)
-		n := int64(len(blk)) / a
-		o.c.Sim.CPU(n, o.c.Sim.HashSeconds)
-		bufW := o.BufW
-		if bufW < 1 {
-			bufW = 1
-		}
-		for i := int64(0); i < n; i++ {
-			row := blk[i*a : (i+1)*a]
-			b := int64(ocal.Hash(ocal.Int(int64(row[key]))) % uint64(s))
-			f := bufs[b]
-			// Flush before the row would outgrow the pinned frame, so the
-			// buffer never reallocates past its accounted size.
-			if len(f.Data)+len(row) > cap(f.Data) {
-				flush(b)
-			}
-			f.Data = append(f.Data, row...)
-			if int64(len(f.Data))/a >= bufW {
-				flush(b)
-			}
-		}
-	}
-	for i := range bufs {
-		flush(int64(i))
-		bufs[i].Release()
-	}
-	return spills, arity, nil
 }
 
 func (o *HashJoin) Next(b *Batch) (bool, error) {
-	for !o.done {
-		if o.j == nil {
-			if o.cur >= o.Buckets {
-				o.done = true
-				break
-			}
-			o.j = &BNLJoin{
-				L: SpillInput(o.bL[o.cur], o.arL), R: SpillInput(o.bR[o.cur], o.arR),
-				K1: o.KJoin, K2: o.KJoin, Pred: o.Pred, EquiKeys: o.EquiKeys,
-				SwapOutput: o.SwapOutput,
-			}
-			o.cur++
-			if err := o.j.Open(o.c); err != nil {
-				return false, err
-			}
-		}
-		ok, err := o.j.Next(b)
-		if err != nil {
-			return false, err
-		}
-		if ok {
-			return true, nil
-		}
-		if err := o.j.Close(); err != nil {
-			return false, err
-		}
-		o.j = nil
+	if o.done || o.g == nil {
+		return false, nil
 	}
-	return false, nil
+	return o.g.Next(b)
 }
 
 func (o *HashJoin) Close() error {
-	if o.j != nil {
-		err := o.j.Close()
-		o.j = nil
-		return err
+	if o.g != nil {
+		g := o.g
+		o.g = nil
+		return g.Close()
 	}
 	return nil
 }
@@ -619,6 +583,7 @@ func (o *HashJoin) Close() error {
 
 // sortCursor walks one run of a merge group through a pooled frame.
 type sortCursor struct {
+	src       *storage.Spill
 	next, end int64
 	frame     *storage.Frame
 	buf       []int32
@@ -631,6 +596,12 @@ type sortCursor struct {
 // alternate scratch spill; runs initially have length 1 (the specification
 // folds merge over singleton lists). The final pass streams its merged
 // output downstream instead of writing it back to scratch.
+//
+// Large inputs sort morsel-parallel: the input splits into sections (a
+// plan-and-data function, independent of worker count), each section is
+// fully sorted by a partition task on the worker lanes, and the final
+// streamed merge fans the sorted sections in — so output order is exactly
+// the sequential order, and every section's charges are its own.
 type ExtSort struct {
 	In     Input
 	Way    int
@@ -639,13 +610,11 @@ type ExtSort struct {
 	KeyCol int
 	Passes int // reported
 
-	c        *Ctx
-	src      *storage.Spill
-	arity    int
-	finalCs  []*sortCursor
-	finalLen int
-	em       emitter
-	done     bool
+	c       *Ctx
+	arity   int
+	finalCs []*sortCursor
+	em      emitter
+	done    bool
 }
 
 func (o *ExtSort) Open(c *Ctx) error {
@@ -655,11 +624,12 @@ func (o *ExtSort) Open(c *Ctx) error {
 	}
 	// Resolve the pass-1 source: base tables and spills are read in place;
 	// an operator subtree is spooled to scratch first.
+	var src *storage.Spill
 	switch {
 	case o.In.table != nil:
-		o.src, o.arity = o.In.table.Spill, o.In.table.Arity
+		src, o.arity = o.In.table.Spill, o.In.table.Arity
 	case o.In.spill != nil:
-		o.src, o.arity = o.In.spill, o.In.ar
+		src, o.arity = o.In.spill, o.In.ar
 	default:
 		r := newOpReader(o.In.op)
 		if err := r.open(c); err != nil {
@@ -669,68 +639,156 @@ func (o *ExtSort) Open(c *Ctx) error {
 		if err != nil {
 			return err
 		}
-		o.src, o.arity = mr.sp, mr.ar
+		src, o.arity = mr.sps[0], mr.ar
 	}
-	n := o.src.Records()
+	n := src.Records()
 	if n == 0 {
 		o.done = true
 		return nil
 	}
 	width := int64(o.arity) * 4
-	cur := o.src
+
+	parts := o.sections(n, width)
+	bounds := sectionBounds(n, parts)
+	type sorted struct {
+		sp     *storage.Spill
+		lo, hi int64
+		runLen int64
+		passes int
+	}
+	outs := make([]sorted, parts)
+	err := runParts(c, parts, func(i int, pc *Ctx) error {
+		sp, lo, hi, runLen, passes, err := o.sortRange(pc, src, bounds[i][0], bounds[i][1], parts > 1)
+		outs[i] = sorted{sp, lo, hi, runLen, passes}
+		return err
+	})
+	if err != nil {
+		return err
+	}
+	// The final streamed merge fans in every section's remaining runs (at
+	// most Way per section — sections stop merging one pass early, exactly
+	// like the single-section sort always did).
+	for _, s := range outs {
+		if s.passes > o.Passes {
+			o.Passes = s.passes
+		}
+		for r := s.lo; r < s.hi; r += s.runLen {
+			end := r + s.runLen
+			if end > s.hi {
+				end = s.hi
+			}
+			o.finalCs = append(o.finalCs, &sortCursor{src: s.sp, next: r, end: end})
+		}
+	}
+	if len(o.finalCs) > 1 || parts > 1 {
+		o.Passes++ // the final streamed merge
+	}
+	for _, cu := range o.finalCs {
+		if err := o.fill(cu); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// sections picks the morsel-parallel section count: one section per
+// 4·Way·Bin records (enough merge work to amortize the extra final-merge
+// fan-in), bounded by maxPartitions and by the pool budget (each section's
+// merge needs Way+1 frames from its share, and the final merge needs one
+// cursor frame per remaining run — up to Way per section — plus one).
+func (o *ExtSort) sections(n, width int64) int {
+	bin := o.Bin
+	if bin < 1 {
+		bin = 1
+	}
+	span := 4 * int64(o.Way) * bin
+	if span < 4096 {
+		span = 4096
+	}
+	p := clampParts(n / span)
+	if b := o.c.Pool.Budget(); b > 0 && p > 1 {
+		// The final merge pins one cursor frame per section (plus the
+		// consumer's) from the driver's budget.
+		if maxP := b/width - 1; maxP < int64(p) {
+			p = int(maxP)
+		}
+		if p < 1 {
+			p = 1
+		}
+	}
+	return p
+}
+
+// sortRange sorts src[lo, hi) and returns the spill and range holding the
+// remaining runs, the run length and the number of merge passes. A lone
+// section (full == false) stops one pass early — at most Way runs remain
+// and the final merge streams them, exactly the pre-parallel behaviour. A
+// parallel section (full == true) sorts to a single run: it costs one more
+// (parallel) pass, and keeps the sequential final merge a parts-way fan-in
+// instead of a parts·Way-way one, which would otherwise dominate the run.
+// The ping-pong scratch spills are task-local; the loser of the last pass
+// is freed eagerly.
+func (o *ExtSort) sortRange(c *Ctx, src *storage.Spill, lo, hi int64, full bool) (*storage.Spill, int64, int64, int64, int, error) {
+	span := hi - lo
 	runLen := int64(1)
+	if span <= 1 {
+		return src, lo, hi, runLen, 0, nil
+	}
+	width := int64(o.arity) * 4
+	cur, curLo, curHi := src, lo, hi
+	passes := 0
+	more := func() bool {
+		if full {
+			return runLen < span
+		}
+		return runLen*int64(o.Way) < span
+	}
 	var a, b *storage.Spill
-	for runLen*int64(o.Way) < n {
+	for more() {
 		var dst *storage.Spill
 		var err error
 		switch cur {
 		case a:
 			if b == nil {
-				if b, err = c.Pool.NewSpill(c.Scratch, width, n); err != nil {
-					return err
+				if b, err = c.newSpill(width, span); err != nil {
+					return nil, 0, 0, 0, 0, err
 				}
 			}
 			dst = b
 		default:
 			if a == nil {
-				if a, err = c.Pool.NewSpill(c.Scratch, width, n); err != nil {
-					return err
+				if a, err = c.newSpill(width, span); err != nil {
+					return nil, 0, 0, 0, 0, err
 				}
 			}
 			dst = a
 		}
 		dst.Reset()
-		if err := o.mergePass(cur, dst, runLen); err != nil {
-			return err
+		if err := o.mergePass(c, cur, curLo, curHi, dst, runLen); err != nil {
+			return nil, 0, 0, 0, 0, err
 		}
-		o.Passes++
+		passes++
 		runLen *= int64(o.Way)
-		cur = dst
+		cur, curLo, curHi = dst, 0, span
 	}
-	// Final pass: merge the remaining runs straight into the output stream.
-	if runLen < n {
-		o.Passes++
+	// Free the ping-pong spill the remaining runs do not live in.
+	if a != nil && a != cur {
+		a.Free()
 	}
-	for r := int64(0); r < n; r += runLen {
-		end := r + runLen
-		if end > n {
-			end = n
-		}
-		o.finalCs = append(o.finalCs, &sortCursor{next: r, end: end})
+	if b != nil && b != cur {
+		b.Free()
 	}
-	o.finalLen = len(o.finalCs)
-	src := cur
-	for _, cu := range o.finalCs {
-		if err := o.fill(src, cu); err != nil {
-			return err
-		}
-	}
-	o.src = src
-	return nil
+	return cur, curLo, curHi, runLen, passes, nil
 }
 
-// fill tops up a cursor's frame from src.
-func (o *ExtSort) fill(src *storage.Spill, cu *sortCursor) error {
+// fill tops up a cursor's frame from its source spill.
+func (o *ExtSort) fill(cu *sortCursor) error {
+	return o.fillCtx(o.c, cu, int64(len(o.finalCs)))
+}
+
+// fillCtx tops up a cursor, sharing the pool budget with its sibling
+// cursors plus one output buffer.
+func (o *ExtSort) fillCtx(c *Ctx, cu *sortCursor, siblings int64) error {
 	a := int64(o.arity)
 	if cu.pos*a < int64(len(cu.buf)) || cu.next >= cu.end {
 		return nil
@@ -739,10 +797,9 @@ func (o *ExtSort) fill(src *storage.Spill, cu *sortCursor) error {
 	if take <= 0 {
 		take = 1
 	}
-	// One share per merge cursor plus one for the output buffer.
-	take = o.c.share(take, int64(o.Way)+1, a*4)
+	take = c.share(take, siblings+1, a*4)
 	if cu.frame == nil {
-		f, err := o.c.Pool.PinUpTo(take, 1, a*4)
+		f, err := c.Pool.PinUpTo(take, 1, a*4)
 		if err != nil {
 			return err
 		}
@@ -754,7 +811,7 @@ func (o *ExtSort) fill(src *storage.Spill, cu *sortCursor) error {
 	if cu.next+take > cu.end {
 		take = cu.end - cu.next
 	}
-	blk := src.ReadAt(cu.next, take)
+	blk := cu.src.ReadAt(c.acct(), cu.next, take)
 	cu.frame.Data = append(cu.frame.Data[:0], blk...)
 	cu.buf = cu.frame.Data
 	cu.next += take
@@ -764,7 +821,7 @@ func (o *ExtSort) fill(src *storage.Spill, cu *sortCursor) error {
 
 // selectMin picks the cursor with the smallest key, charging the
 // comparison sweep.
-func (o *ExtSort) selectMin(cs []*sortCursor) int {
+func (o *ExtSort) selectMin(c *Ctx, cs []*sortCursor) int {
 	a := int64(o.arity)
 	best := -1
 	var bestKey int32
@@ -777,20 +834,20 @@ func (o *ExtSort) selectMin(cs []*sortCursor) int {
 			best, bestKey = i, key
 		}
 	}
-	o.c.Sim.CPU(int64(len(cs)), o.c.Sim.CmpSeconds)
+	c.cpu(int64(len(cs)), c.Sim.CmpSeconds)
 	return best
 }
 
-// mergePass merges groups of Way runs of length runLen from src into dst.
-func (o *ExtSort) mergePass(src, dst *storage.Spill, runLen int64) error {
+// mergePass merges groups of Way runs of length runLen from src[lo, hi)
+// into dst.
+func (o *ExtSort) mergePass(c *Ctx, src *storage.Spill, lo, hi int64, dst *storage.Spill, runLen int64) error {
 	a := int64(o.arity)
-	n := src.Records()
 	bout := o.Bout
 	if bout <= 0 {
 		bout = 1
 	}
-	bout = o.c.share(bout, int64(o.Way)+1, a*4)
-	out, err := o.c.Pool.PinUpTo(bout, 1, a*4)
+	bout = c.share(bout, int64(o.Way)+1, a*4)
+	out, err := c.Pool.PinUpTo(bout, 1, a*4)
 	if err != nil {
 		return err
 	}
@@ -802,27 +859,48 @@ func (o *ExtSort) mergePass(src, dst *storage.Spill, runLen int64) error {
 		if len(out.Data) == 0 {
 			return
 		}
-		o.c.Sim.CPU(int64(len(out.Data))*4, o.c.Sim.MoveSeconds)
-		dst.Append(out.Data)
+		c.cpu(int64(len(out.Data))*4, c.Sim.MoveSeconds)
+		dst.Append(c.acct(), out.Data)
 		out.Data = out.Data[:0]
 	}
-	groupSpan := runLen * int64(o.Way)
-	for g := int64(0); g < n; g += groupSpan {
-		var cs []*sortCursor
-		for r := g; r < g+groupSpan && r < n; r += runLen {
-			end := r + runLen
-			if end > n {
-				end = n
+	// Cursor frames are pinned once per pass and reused across merge
+	// groups: a first pass over singleton runs visits millions of groups,
+	// and a frame allocation per cursor per group would turn into GC sweep
+	// contention that serializes the parallel sections.
+	frames := make([]*storage.Frame, o.Way)
+	defer func() {
+		for _, f := range frames {
+			if f != nil {
+				f.Release()
 			}
-			cs = append(cs, &sortCursor{next: r, end: end})
+		}
+	}()
+	cursors := make([]*sortCursor, o.Way)
+	for i := range cursors {
+		cursors[i] = &sortCursor{}
+	}
+	groupSpan := runLen * int64(o.Way)
+	for g := lo; g < hi; g += groupSpan {
+		cs := cursors[:0]
+		for r := g; r < g+groupSpan && r < hi; r += runLen {
+			end := r + runLen
+			if end > hi {
+				end = hi
+			}
+			cu := cursors[len(cs)]
+			*cu = sortCursor{src: src, next: r, end: end, frame: frames[len(cs)]}
+			cs = append(cs, cu)
 		}
 		for _, cu := range cs {
-			if err := o.fill(src, cu); err != nil {
+			if err := o.fillCtx(c, cu, int64(o.Way)); err != nil {
 				return err
 			}
 		}
 		for {
-			best := o.selectMin(cs)
+			if err := c.err(); err != nil {
+				return err
+			}
+			best := o.selectMin(c, cs)
 			if best == -1 {
 				break
 			}
@@ -832,14 +910,12 @@ func (o *ExtSort) mergePass(src, dst *storage.Spill, runLen int64) error {
 				flush()
 			}
 			cu.pos++
-			if err := o.fill(src, cu); err != nil {
+			if err := o.fillCtx(c, cu, int64(o.Way)); err != nil {
 				return err
 			}
 		}
-		for _, cu := range cs {
-			if cu.frame != nil {
-				cu.frame.Release()
-			}
+		for i, cu := range cs {
+			frames[i] = cu.frame // keep any frame fill pinned for reuse
 		}
 	}
 	flush()
@@ -848,7 +924,10 @@ func (o *ExtSort) mergePass(src, dst *storage.Spill, runLen int64) error {
 
 // step emits the next row of the final streamed merge.
 func (o *ExtSort) step() error {
-	best := o.selectMin(o.finalCs)
+	if err := o.c.err(); err != nil {
+		return err
+	}
+	best := o.selectMin(o.c, o.finalCs)
 	if best == -1 {
 		o.done = true
 		return nil
@@ -857,7 +936,7 @@ func (o *ExtSort) step() error {
 	a := int64(o.arity)
 	o.em.emit(cu.buf[cu.pos*a : (cu.pos+1)*a])
 	cu.pos++
-	return o.fill(o.src, cu)
+	return o.fill(cu)
 }
 
 func (o *ExtSort) Next(b *Batch) (bool, error) {
@@ -887,7 +966,9 @@ func (o *ExtSort) Close() error {
 // function (compiled from the optimized OCAL program) is applied per
 // produced element while the inputs stream through RAM windows of K tuples.
 // This covers the set/multiset unions and differences, zips (column-store
-// reads) and duplicate removal of the evaluation.
+// reads) and duplicate removal of the evaluation. The step threads state
+// from element to element, so the operator is inherently sequential; its
+// inputs may still be parallel subtrees.
 type UnfoldR struct {
 	Ins  []Input
 	K    int64 // window size (tuples) per input
@@ -998,7 +1079,7 @@ func (o *UnfoldR) step() error {
 		}
 		o.windows[i] = nl
 	}
-	o.c.Sim.CPU(1, o.c.Sim.CmpSeconds)
+	o.c.cpu(1, o.c.Sim.CmpSeconds)
 	for _, v := range chunk {
 		row, err := valueToRow(v)
 		if err != nil {
@@ -1042,7 +1123,8 @@ func (o *UnfoldR) Close() error {
 // Fold executes foldL over one streamed input with a compiled step
 // (aggregation, averages). It produces no rows; the accumulator — with the
 // optional final lambda applied — is available as Final after the stream
-// completes.
+// completes. The fold itself threads an accumulator and so runs on one
+// strand; its input may be a parallel subtree.
 type Fold struct {
 	In   Input
 	K    int64
@@ -1075,7 +1157,7 @@ func (o *Fold) Open(c *Ctx) error {
 		}
 		a := r.arity()
 		rows := len(blk) / a
-		c.Sim.CPU(int64(rows), c.Sim.CmpSeconds)
+		c.cpu(int64(rows), c.Sim.CmpSeconds)
 		for i := 0; i < rows; i++ {
 			v, err := o.Step(ocal.Tuple{acc, rowToValue(blk[i*a : (i+1)*a])})
 			if err != nil {

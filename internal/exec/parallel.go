@@ -1,0 +1,655 @@
+// parallel.go is the morsel-driven parallel machinery of the executor: a
+// deterministic partition-task runner (runParts), the Gather operator that
+// merges concurrently produced child streams, and the Exchange that
+// repartitions any input into per-partition spill files. Parallelism never
+// changes what is charged: partition counts are decided by the plan (tuned
+// block sizes, data sizes, pool budget) and each partition runs on a
+// private accounting strand with a fixed pool share, so output digests and
+// device ledgers are identical whether one worker or eight execute the
+// partitions. Only wall-clock time changes.
+package exec
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"ocas/internal/ocal"
+	"ocas/internal/storage"
+)
+
+// MaxWorkers is the executor's concurrency ceiling: partition degrees (and
+// therefore the worker lanes that can ever be busy) never exceed it, so
+// asking for more workers cannot help. Admission layers clamp requests
+// against it — holding slots the executor can never use would only starve
+// other requests.
+const MaxWorkers = maxPartitions
+
+// maxPartitions bounds the partition degree lowering and the parallel
+// operators choose. It is a property of the plan, deliberately independent
+// of the worker count: more workers than partitions idle, fewer queue.
+const maxPartitions = 8
+
+// runTask invokes one partition task, converting the storage layer's
+// data-dependent exhaustion panics (scratch device full mid-spill, fixed
+// capacity overflow) into errors. Program.Run performs the same conversion
+// for the driver goroutine; worker goroutines need their own recovery or a
+// full scratch device under ExecWorkers >= 2 would crash the process —
+// and, in a daemon, every in-flight request — instead of failing the run.
+func runTask(fn func() error) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			msg, ok := r.(string)
+			if !ok || !strings.HasPrefix(msg, "storage:") {
+				panic(r)
+			}
+			err = errors.New(msg)
+		}
+	}()
+	return fn()
+}
+
+// clampParts applies the [1, maxPartitions] bound.
+func clampParts(p int64) int {
+	if p < 1 {
+		return 1
+	}
+	if p > maxPartitions {
+		return maxPartitions
+	}
+	return int(p)
+}
+
+// sectionBounds splits n records into parts even sections.
+func sectionBounds(n int64, parts int) [][2]int64 {
+	out := make([][2]int64, parts)
+	for i := 0; i < parts; i++ {
+		out[i] = [2]int64{n * int64(i) / int64(parts), n * int64(i+1) / int64(parts)}
+	}
+	return out
+}
+
+// runParts executes fn for partitions 0..n-1 on the context's worker
+// lanes: lane l runs partitions l, l+w, l+2w, ... in order, so the
+// task-to-lane assignment is deterministic. Each partition gets a private
+// accounting strand and pool (see Ctx.part); accounts and pool counters
+// fold back in partition order once every task finished, which keeps
+// ledgers, clock and report independent of scheduling. A single-partition
+// section runs directly on the caller's strand.
+func runParts(c *Ctx, n int, fn func(i int, pc *Ctx) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if n == 1 {
+		return fn(0, c)
+	}
+	w := c.workers()
+	if w > n {
+		w = n
+	}
+	if w > maxPartitions {
+		w = maxPartitions
+	}
+	ctxs := make([]*Ctx, n)
+	errs := make([]error, n)
+	for i := range ctxs {
+		ctxs[i] = c.part()
+	}
+	if w == 1 {
+		for i := 0; i < n; i++ {
+			i := i
+			errs[i] = runTask(func() error { return fn(i, ctxs[i]) })
+			c.adopt(ctxs[i], i, w)
+			if errs[i] != nil {
+				return errs[i]
+			}
+		}
+		return nil
+	}
+	var wg sync.WaitGroup
+	var failed atomic.Bool
+	for l := 0; l < w; l++ {
+		wg.Add(1)
+		go func(l int) {
+			defer wg.Done()
+			for i := l; i < n; i += w {
+				// A failed sibling dooms the whole section: stop starting
+				// partitions instead of burning I/O the error will discard.
+				if failed.Load() {
+					return
+				}
+				if err := c.err(); err != nil {
+					errs[i] = err
+					return
+				}
+				i := i
+				if errs[i] = runTask(func() error { return fn(i, ctxs[i]) }); errs[i] != nil {
+					failed.Store(true)
+					return
+				}
+			}
+		}(l)
+	}
+	wg.Wait()
+	var first error
+	for i := 0; i < n; i++ {
+		c.adopt(ctxs[i], i, w)
+		if first == nil && errs[i] != nil {
+			first = errs[i]
+		}
+	}
+	return first
+}
+
+// ---------------------------------------------------------------------------
+// Gather
+
+// gatherAhead bounds how many batches each partition may produce ahead of
+// the ordered consumer (bounded lookahead memory per partition).
+const gatherAhead = 16
+
+// Gather merges the output streams of its partition operators into one
+// stream. With one worker the partitions run lazily in order on the
+// caller's strand. With more, each worker lane drives its partitions
+// concurrently; by default batches merge in completion order — the
+// consumer never stalls a producer, maximum overlap — which is correct
+// for every bag consumer (joins, exchanges, sorts, the sink's
+// order-independent digest). With Ordered set, each partition produces
+// into its own bounded channel (up to gatherAhead batches of lookahead)
+// and the consumer drains them strictly in partition order, so the row
+// order — not just the bag — is identical for every worker count;
+// lowering sets Ordered when an order-sensitive consumer (a fold, a
+// streaming merge) sits above the gather. Each partition runs on a
+// private context (see Ctx.part).
+type Gather struct {
+	Parts []Operator
+	// Ordered trades producer overlap for partition-order delivery.
+	Ordered bool
+
+	c      *Ctx
+	ctxs   []*Ctx
+	lanes  int
+	closed bool
+	cur    int
+	opened bool // inline mode: current partition is open
+
+	// Parallel mode: ch (completion order) or chs (partition order).
+	ch       chan Batch
+	chs      []chan Batch
+	stop     chan struct{}
+	stopped  bool
+	wg       sync.WaitGroup
+	failed   atomic.Bool
+	errs     []error
+	finalErr error
+	merged   bool
+}
+
+func (g *Gather) Open(c *Ctx) error {
+	g.c = c
+	n := len(g.Parts)
+	if n == 0 {
+		g.merged = true
+		return nil
+	}
+	g.lanes = c.workers()
+	if g.lanes > n {
+		g.lanes = n
+	}
+	// Each partition strand pins against the full plan budget (see
+	// Ctx.part); bounding the concurrent lanes bounds host memory.
+	if g.lanes > maxPartitions {
+		g.lanes = maxPartitions
+	}
+	g.ctxs = make([]*Ctx, n)
+	for i := range g.ctxs {
+		g.ctxs[i] = c.part()
+	}
+	g.errs = make([]error, n)
+	if g.lanes == 1 {
+		return nil // partitions open lazily in Next
+	}
+	if g.Ordered {
+		g.chs = make([]chan Batch, n)
+		for i := range g.chs {
+			g.chs[i] = make(chan Batch, gatherAhead)
+		}
+	} else {
+		g.ch = make(chan Batch, 4*g.lanes)
+	}
+	g.stop = make(chan struct{})
+	for l := 0; l < g.lanes; l++ {
+		g.wg.Add(1)
+		go g.lane(l)
+	}
+	if g.ch != nil {
+		go func() {
+			g.wg.Wait()
+			close(g.ch)
+		}()
+	}
+	return nil
+}
+
+// lane drives partitions l, l+w, ... to completion in order. In ordered
+// mode every partition channel is closed exactly once — including the
+// partitions a failed or cancelled lane never ran — so the ordered
+// consumer can never block on an abandoned partition.
+func (g *Gather) lane(l int) {
+	defer g.wg.Done()
+	for i := l; i < len(g.Parts); i += g.lanes {
+		if g.failed.Load() {
+			g.closePart(i)
+			continue
+		}
+		if err := g.c.err(); err != nil {
+			g.errs[i] = err
+			g.failed.Store(true)
+			g.closePart(i)
+			continue
+		}
+		if err := runTask(func() error { return g.runPart(i) }); err != nil {
+			g.errs[i] = err
+			g.failed.Store(true)
+		}
+		g.closePart(i)
+	}
+}
+
+func (g *Gather) closePart(i int) {
+	if g.chs != nil {
+		close(g.chs[i])
+	}
+}
+
+func (g *Gather) runPart(i int) error {
+	op, pc := g.Parts[i], g.ctxs[i]
+	out := g.ch
+	if g.chs != nil {
+		out = g.chs[i]
+	}
+	if err := op.Open(pc); err != nil {
+		op.Close()
+		return err
+	}
+	var b Batch
+	for {
+		ok, err := op.Next(&b)
+		if err != nil {
+			op.Close()
+			return err
+		}
+		if !ok {
+			return op.Close()
+		}
+		if b.Arity <= 0 || len(b.Data) == 0 {
+			continue
+		}
+		// The producer's slice dies at its next call: ship a copy.
+		cp := Batch{Arity: b.Arity, Data: append([]int32(nil), b.Data...)}
+		select {
+		case out <- cp:
+		case <-g.stop:
+			op.Close()
+			return nil
+		}
+	}
+}
+
+// finalize waits out the producers (parallel mode) and folds every
+// partition context back in partition order, resolving the first error.
+// Idempotent.
+func (g *Gather) finalize() error {
+	if g.merged {
+		return g.finalErr
+	}
+	g.merged = true
+	if g.chs != nil || g.ch != nil {
+		g.wg.Wait()
+	}
+	for i, pc := range g.ctxs {
+		g.c.adopt(pc, i, g.lanes)
+		if g.finalErr == nil && g.errs[i] != nil {
+			g.finalErr = g.errs[i]
+		}
+	}
+	return g.finalErr
+}
+
+func (g *Gather) Next(b *Batch) (bool, error) {
+	if g.merged {
+		return false, nil
+	}
+	if g.lanes <= 1 {
+		// Inline: drain partitions in order on this strand.
+		for g.cur < len(g.Parts) {
+			op, pc := g.Parts[g.cur], g.ctxs[g.cur]
+			if !g.opened {
+				if err := g.c.err(); err != nil {
+					return false, g.abort(nil, err)
+				}
+				if err := op.Open(pc); err != nil {
+					return false, g.abort(op, err)
+				}
+				g.opened = true
+			}
+			ok, err := op.Next(b)
+			if err != nil {
+				return false, g.abort(op, err)
+			}
+			if ok {
+				return true, nil
+			}
+			if err := g.advance(op, true); err != nil {
+				return false, g.finalize()
+			}
+		}
+		return false, g.finalize()
+	}
+	if g.ch != nil {
+		// Completion order: whoever has a batch ready wins.
+		bt, ok := <-g.ch
+		if !ok {
+			return false, g.finalize()
+		}
+		*b = bt
+		return true, nil
+	}
+	// Ordered: drain the partition channels in partition order.
+	for g.cur < len(g.Parts) {
+		bt, ok := <-g.chs[g.cur]
+		if ok {
+			*b = bt
+			return true, nil
+		}
+		if g.errs[g.cur] != nil {
+			return false, g.abortParallel()
+		}
+		g.cur++
+	}
+	return false, g.finalize()
+}
+
+// advance closes the current inline partition and steps to the next.
+func (g *Gather) advance(op Operator, close bool) error {
+	if close {
+		if err := op.Close(); err != nil && g.errs[g.cur] == nil {
+			g.errs[g.cur] = err
+		}
+	}
+	err := g.errs[g.cur]
+	g.cur++
+	g.opened = false
+	return err
+}
+
+// abort records an inline partition failure, closes the partition (when
+// given) and finalizes: remaining partitions never run, their untouched
+// contexts merge as zeros.
+func (g *Gather) abort(op Operator, err error) error {
+	if op != nil {
+		op.Close()
+	}
+	if g.errs[g.cur] == nil {
+		g.errs[g.cur] = err
+	}
+	g.cur = len(g.Parts)
+	g.opened = false
+	return g.finalize()
+}
+
+// abortParallel stops the producers after a partition failed, drains what
+// they already buffered and finalizes.
+func (g *Gather) abortParallel() error {
+	g.stopProducers()
+	g.cur = len(g.Parts)
+	return g.finalize()
+}
+
+// stopProducers signals the lanes to stop and unblocks any producer
+// waiting on a full channel.
+func (g *Gather) stopProducers() {
+	if g.stopped || (g.chs == nil && g.ch == nil) {
+		return
+	}
+	g.stopped = true
+	g.failed.Store(true)
+	close(g.stop)
+	for _, ch := range g.chs {
+		for range ch { // producers close every channel; drain to unblock
+		}
+	}
+	if g.ch != nil {
+		for range g.ch { // closed by the closer goroutine after wg.Wait
+		}
+	}
+}
+
+func (g *Gather) Close() error {
+	if g.closed {
+		return nil
+	}
+	g.closed = true
+	if g.chs != nil || g.ch != nil {
+		g.stopProducers()
+	} else if g.opened && g.cur < len(g.Parts) {
+		if err := g.Parts[g.cur].Close(); err != nil && g.errs[g.cur] == nil {
+			g.errs[g.cur] = err
+		}
+		g.opened = false
+	}
+	return g.finalize()
+}
+
+// ---------------------------------------------------------------------------
+// Exchange
+
+// Part is one partition produced by an Exchange: the chained spill
+// segments (one per producer task) holding its rows.
+type Part struct {
+	Spills []*storage.Spill
+}
+
+// Input returns the partition as an operator input.
+func (p Part) Input(arity int) Input { return SpillsInput(p.Spills, arity) }
+
+// Exchange repartitions an input stream into Parts partitions on scratch:
+// the partitioning pass of the GRACE hash join, and the generic
+// repartitioning step between a producer subtree and partition-wise
+// parallel consumers. An input with known extent (a base table, spill or
+// section) is split into morsel sections partitioned concurrently by the
+// worker lanes, each task writing its own per-partition spills through
+// pool-pinned write buffers; a streamed subtree is partitioned on the
+// caller's strand. Partition spills are chained per partition in task
+// order, so contents and charges are worker-count-invariant.
+type Exchange struct {
+	In    Input
+	Parts int64
+	// Key is the 0-based hash attribute; a negative Key distributes blocks
+	// round-robin instead.
+	Key   int
+	KRead int64 // read block (tuples)
+	BufW  int64 // per-partition write buffer (tuples)
+
+	parts []Part
+	arity int
+}
+
+// Run partitions the input, returning one Part per partition and the row
+// arity (0 when the input delivered no rows and its arity is unknowable).
+func (x *Exchange) Run(c *Ctx) ([]Part, int, error) {
+	s := x.Parts
+	if s <= 0 {
+		s = 1
+	}
+	x.Parts = s
+	tasks, sections := x.plan(c)
+	spills := make([][]*storage.Spill, tasks)
+	arities := make([]int, tasks)
+	err := runParts(c, tasks, func(i int, pc *Ctx) error {
+		var r blockReader
+		if sections == nil {
+			r = x.In.reader()
+		} else {
+			r = x.In.section(sections[i][0], sections[i][1])
+		}
+		sps, ar, err := x.partitionOne(pc, r)
+		spills[i], arities[i] = sps, ar
+		return err
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	x.parts = make([]Part, s)
+	for t := 0; t < tasks; t++ {
+		if arities[t] > 0 {
+			x.arity = arities[t]
+		}
+		for p := int64(0); p < s; p++ {
+			if spills[t] != nil {
+				x.parts[p].Spills = append(x.parts[p].Spills, spills[t][p])
+			}
+		}
+	}
+	return x.parts, x.arity, nil
+}
+
+// plan decides the morsel-task count and section bounds: enough blocks per
+// task to amortize its seek, bounded by maxPartitions. Streamed inputs
+// partition on one task.
+func (x *Exchange) plan(c *Ctx) (tasks int, sections [][2]int64) {
+	rows, _ := x.In.extent()
+	if rows < 0 {
+		return 1, nil
+	}
+	k := x.KRead
+	if k < 1 {
+		k = 1
+	}
+	t := clampParts(rows / (4 * k))
+	if t == 1 {
+		return 1, nil
+	}
+	return t, sectionBounds(rows, t)
+}
+
+// partitionOne hashes one morsel section into Parts scratch spills through
+// BufW-tuple write buffers pinned in the task's pool share.
+func (x *Exchange) partitionOne(c *Ctx, r blockReader) ([]*storage.Spill, int, error) {
+	if err := r.open(c); err != nil {
+		return nil, 0, err
+	}
+	defer r.close()
+	s := x.Parts
+	var (
+		spills []*storage.Spill
+		bufs   []*storage.Frame
+		arity  int
+	)
+	releaseBufs := func() {
+		for _, f := range bufs {
+			if f != nil {
+				f.Release()
+			}
+		}
+	}
+	setup := func(ar int) error {
+		arity = ar
+		width := int64(arity) * 4
+		want := c.share(x.BufW, s+1, width)
+		spills = make([]*storage.Spill, s)
+		bufs = make([]*storage.Frame, s)
+		if want < 1 {
+			want = 1
+		}
+		for i := range spills {
+			sp, err := c.newSpill(width, 0)
+			if err != nil {
+				return err
+			}
+			spills[i] = sp
+			f, err := c.Pool.PinUpTo(want, 1, width)
+			if err != nil {
+				return err
+			}
+			bufs[i] = f
+		}
+		return nil
+	}
+	// A fused table/spill input has a known arity: pin the bucket buffers
+	// before the reader claims its block frame.
+	if ar := r.arity(); ar > 0 {
+		if err := setup(ar); err != nil {
+			releaseBufs()
+			return nil, 0, err
+		}
+	}
+	flush := func(b int64) {
+		f := bufs[b]
+		if len(f.Data) == 0 {
+			return
+		}
+		c.cpu(int64(len(f.Data))*4, c.Sim.MoveSeconds)
+		spills[b].Append(c.acct(), f.Data)
+		f.Data = f.Data[:0]
+	}
+	var rr int64 // round-robin cursor (Key < 0)
+	for {
+		k := x.KRead
+		if k <= 0 {
+			k = 1
+		}
+		if arity > 0 {
+			k = c.share(k, s+1, int64(arity)*4)
+		}
+		blk, err := r.next(k)
+		if err != nil {
+			releaseBufs()
+			return nil, 0, err
+		}
+		if blk == nil {
+			break
+		}
+		if spills == nil {
+			if err := setup(r.arity()); err != nil {
+				releaseBufs()
+				return nil, 0, err
+			}
+		}
+		a := int64(arity)
+		n := int64(len(blk)) / a
+		if x.Key >= 0 {
+			c.cpu(n, c.Sim.HashSeconds)
+		}
+		bufW := x.BufW
+		if bufW < 1 {
+			bufW = 1
+		}
+		for i := int64(0); i < n; i++ {
+			row := blk[i*a : (i+1)*a]
+			var b int64
+			if x.Key >= 0 {
+				b = int64(ocal.Hash(ocal.Int(int64(row[x.Key]))) % uint64(s))
+			} else {
+				b = rr % s
+				rr++
+			}
+			f := bufs[b]
+			// Flush before the row would outgrow the pinned frame, so the
+			// buffer never reallocates past its accounted size.
+			if len(f.Data)+len(row) > cap(f.Data) {
+				flush(b)
+			}
+			f.Data = append(f.Data, row...)
+			if int64(len(f.Data))/a >= bufW {
+				flush(b)
+			}
+		}
+	}
+	for i := range bufs {
+		flush(int64(i))
+		bufs[i].Release()
+	}
+	return spills, arity, nil
+}

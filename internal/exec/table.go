@@ -51,10 +51,10 @@ func (t *Table) Rows() int64 { return t.Records() }
 
 // ReadBlock charges a blocked read of up to n tuples starting at idx and
 // returns the flat row payload.
-func (t *Table) ReadBlock(idx, n int64) []int32 { return t.ReadAt(idx, n) }
+func (t *Table) ReadBlock(a *storage.Acct, idx, n int64) []int32 { return t.ReadAt(a, idx, n) }
 
 // AppendRows charges a write of the given rows (must be full tuples).
-func (t *Table) AppendRows(rows []int32) { t.Append(rows) }
+func (t *Table) AppendRows(a *storage.Acct, rows []int32) { t.Append(a, rows) }
 
 // Sink is a buffered writer implementing the paper's output buffer b_out:
 // rows accumulate in RAM and are evicted to the output table in one
@@ -64,6 +64,9 @@ type Sink struct {
 	Out  *Table
 	Bout int64 // records per eviction; <=0 means 1
 	Sim  *storage.Sim
+	// A is the accounting strand output charges land on (nil: the
+	// simulator's root account). The sink runs on the driver strand.
+	A *storage.Acct
 
 	// Alloc, when non-nil and Out is nil, allocates the output table
 	// lazily from the first row's arity (callers that cannot know the
@@ -104,15 +107,24 @@ func (s *Sink) Write(row []int32) {
 	}
 }
 
+// acct resolves the sink's accounting strand.
+func (s *Sink) acct() *storage.Acct {
+	if s.A != nil {
+		return s.A
+	}
+	return s.Sim.Root()
+}
+
 // Flush evicts the buffer.
 func (s *Sink) Flush() {
 	if s.Out == nil || s.rows == 0 {
 		return
 	}
+	a := s.acct()
 	if s.Sim != nil {
-		s.Sim.CPU(int64(len(s.buf))*4, s.Sim.MoveSeconds)
+		a.CPU(int64(len(s.buf))*4, s.Sim.MoveSeconds)
 	}
-	s.Out.AppendRows(s.buf)
+	s.Out.AppendRows(a, s.buf)
 	s.buf = s.buf[:0]
 	s.rows = 0
 }

@@ -47,6 +47,10 @@ type Experiment struct {
 	// normally filled in from Config.
 	Strategy rules.SearchStrategy
 	Workers  int
+	// ExecWorkers bounds the executor's morsel-parallel worker lanes
+	// (<= 1: single-worker). Worker count never changes digests or
+	// ledgers, only wall-clock.
+	ExecWorkers int
 	// Reporting: nominal byte sizes.
 	RBytes, SBytes, Buffer int64
 }
@@ -65,12 +69,14 @@ type Result struct {
 	Steps     int
 	SynthSecs float64
 	// ExecSecs is the executor's wall-clock (host time, not the virtual
-	// clock) — the quantity the CI bench gate watches alongside SynthSecs.
-	ExecSecs   float64
-	Program    string
-	Params     map[string]int64
-	CacheMissR float64 // cache miss ratio when a cache level exists
-	OutRows    int64
+	// clock) — the quantity the CI bench gate watches alongside SynthSecs —
+	// and ExecWorkers the executor worker count it was measured at.
+	ExecSecs    float64
+	ExecWorkers int
+	Program     string
+	Params      map[string]int64
+	CacheMissR  float64 // cache miss ratio when a cache level exists
+	OutRows     int64
 	// Explored is the number of candidate programs costed by the screening
 	// pass, and Memo the synthesis cache counters (interned nodes, alpha-key
 	// and cost-memo hits) — the raw material of the machine-readable bench
@@ -81,6 +87,15 @@ type Result struct {
 
 // Run synthesizes and executes one experiment.
 func Run(e Experiment) (*Result, error) {
+	syn, err := Synthesize(e)
+	if err != nil {
+		return nil, err
+	}
+	return Execute(e, syn)
+}
+
+// Synthesize runs the search phase of an experiment.
+func Synthesize(e Experiment) (*core.Synthesis, error) {
 	synth := &core.Synthesizer{
 		H: e.Hier, MaxDepth: e.MaxDepth, MaxSpace: e.MaxSpace, Rules: e.Rules,
 		Strategy: e.Strategy, Workers: e.Workers,
@@ -95,7 +110,13 @@ func Run(e Experiment) (*Result, error) {
 	if err != nil {
 		return nil, fmt.Errorf("%s: synthesize: %w", e.Name, err)
 	}
+	return syn, nil
+}
 
+// Execute runs an experiment's synthesized winner on the storage simulator
+// (at the experiment's executor worker count), so one synthesis can be
+// executed at several worker counts.
+func Execute(e Experiment, syn *core.Synthesis) (*Result, error) {
 	execHier := e.ExecHier
 	if execHier == nil {
 		execHier = e.Hier
@@ -148,6 +169,7 @@ func Run(e Experiment) (*Result, error) {
 	prog, err := exec.Lower(syn.Best.Expr, exec.LowerOpts{
 		Sim: sim, Inputs: inputs, Params: syn.Best.Params,
 		Scratch: scratch, Sink: sink, RAMBytes: ramBytes(e.Hier),
+		ExecWorkers: e.ExecWorkers,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("%s: lower %q: %w", e.Name, coreString(syn), err)
@@ -159,23 +181,24 @@ func Run(e Experiment) (*Result, error) {
 	execSecs := time.Since(execStart).Seconds()
 
 	res := &Result{
-		Name:      e.Name,
-		PaperRow:  e.PaperRow,
-		SpecSecs:  syn.SpecSeconds,
-		OptSecs:   syn.Best.Seconds,
-		ActSecs:   sim.Clock.Seconds(),
-		RBytes:    e.RBytes,
-		SBytes:    e.SBytes,
-		Buffer:    e.Buffer,
-		SpaceSize: syn.Stats.SpaceSize,
-		Steps:     len(syn.Best.Steps),
-		SynthSecs: syn.Elapsed.Seconds(),
-		ExecSecs:  execSecs,
-		Program:   coreString(syn),
-		Params:    syn.Best.Params,
-		OutRows:   sink.RowsWritten,
-		Explored:  syn.Explored,
-		Memo:      syn.Memo,
+		Name:        e.Name,
+		PaperRow:    e.PaperRow,
+		SpecSecs:    syn.SpecSeconds,
+		OptSecs:     syn.Best.Seconds,
+		ActSecs:     sim.Clock.Seconds(),
+		RBytes:      e.RBytes,
+		SBytes:      e.SBytes,
+		Buffer:      e.Buffer,
+		SpaceSize:   syn.Stats.SpaceSize,
+		Steps:       len(syn.Best.Steps),
+		SynthSecs:   syn.Elapsed.Seconds(),
+		ExecSecs:    execSecs,
+		ExecWorkers: prog.Workers(),
+		Program:     coreString(syn),
+		Params:      syn.Best.Params,
+		OutRows:     sink.RowsWritten,
+		Explored:    syn.Explored,
+		Memo:        syn.Memo,
 	}
 	if sim.Cache != nil {
 		res.CacheMissR = sim.Cache.MissRatio()

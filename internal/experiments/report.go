@@ -9,10 +9,13 @@ import (
 
 // BenchSchema identifies the machine-readable bench report format. Bump it
 // when fields change incompatibly; the regression gate refuses to compare
-// reports across schemas. v2 adds the executor columns: per-row executor
+// reports across schemas. v2 added the executor columns: per-row executor
 // wall-clock (ExecSecs) and the measured-vs-predicted calibration ratio
-// (EstOverAct), plus the TotalExecSecs gate metric.
-const BenchSchema = "ocas-bench/v2"
+// (EstOverAct), plus the TotalExecSecs gate metric. v3 adds the
+// morsel-driven executor: the per-row ExecWorkers field, the ExecParallel
+// rows (the same workload executed at several worker counts) and their
+// TotalExecParSecs gate metric.
+const BenchSchema = "ocas-bench/v3"
 
 // BenchRow is one experiment in the machine-readable report.
 type BenchRow struct {
@@ -27,8 +30,10 @@ type BenchRow struct {
 	Speedup  float64 `json:"speedup"`
 	// SynthSecs is the synthesis wall-clock and ExecSecs the executor
 	// wall-clock — the two quantities the CI regression gate watches.
-	SynthSecs float64 `json:"synthSecs"`
-	ExecSecs  float64 `json:"execSecs"`
+	// ExecWorkers is the executor worker count ExecSecs was measured at.
+	SynthSecs   float64 `json:"synthSecs"`
+	ExecSecs    float64 `json:"execSecs"`
+	ExecWorkers int     `json:"execWorkers"`
 	// EstOverAct is the calibration ratio of the paper's accuracy
 	// discussion: the tuned cost estimate (OptSecs) over the executor's
 	// virtual-clock measurement (ActSecs).
@@ -61,14 +66,55 @@ type BenchReport struct {
 	GOMAXPROCS int    `json:"gomaxprocs"`
 
 	Table1 []BenchRow `json:"table1,omitempty"`
+	// ExecParallel holds the multi-worker executor rows: each workload
+	// appears once per worker count, with identical simulated charges and
+	// (on multi-core hardware) scaling wall-clock.
+	ExecParallel []BenchRow `json:"execParallel,omitempty"`
 	// TotalSynthSecs and TotalExecSecs sum the two wall-clocks over every
-	// row: the gate metrics.
-	TotalSynthSecs float64 `json:"totalSynthSecs"`
-	TotalExecSecs  float64 `json:"totalExecSecs"`
+	// Table 1 row, and TotalExecParSecs the executor wall-clock over the
+	// multi-worker rows: the gate metrics.
+	TotalSynthSecs   float64 `json:"totalSynthSecs"`
+	TotalExecSecs    float64 `json:"totalExecSecs"`
+	TotalExecParSecs float64 `json:"totalExecParSecs,omitempty"`
 }
 
-// NewBenchReport converts experiment results into a report.
-func NewBenchReport(cfg Config, table1 []*Result) *BenchReport {
+// benchRow converts one experiment result.
+func benchRow(r *Result) BenchRow {
+	row := BenchRow{
+		Name:          r.Name,
+		PaperRow:      r.PaperRow,
+		SpecSecs:      r.SpecSecs,
+		OptSecs:       r.OptSecs,
+		ActSecs:       r.ActSecs,
+		SynthSecs:     r.SynthSecs,
+		ExecSecs:      r.ExecSecs,
+		ExecWorkers:   r.ExecWorkers,
+		SpaceSize:     r.SpaceSize,
+		Explored:      r.Explored,
+		Steps:         r.Steps,
+		InternedNodes: r.Memo.Keys.InternedNodes,
+		AlphaHits:     r.Memo.Keys.AlphaHits,
+		AlphaMisses:   r.Memo.Keys.AlphaMisses,
+		CostEntries:   r.Memo.Cost.Entries,
+		CostHits:      r.Memo.Cost.Hits,
+		Params:        r.Params,
+		Program:       r.Program,
+	}
+	if row.ExecWorkers < 1 {
+		row.ExecWorkers = 1
+	}
+	if r.OptSecs > 0 {
+		row.Speedup = r.SpecSecs / r.OptSecs
+	}
+	if r.ActSecs > 0 {
+		row.EstOverAct = r.OptSecs / r.ActSecs
+	}
+	return row
+}
+
+// NewBenchReport converts experiment results into a report. execPar may be
+// nil when the multi-worker rows did not run.
+func NewBenchReport(cfg Config, table1 []*Result, execPar []*Result) *BenchReport {
 	strategy := cfg.Strategy
 	if strategy == "" {
 		strategy = "exhaustive"
@@ -85,34 +131,13 @@ func NewBenchReport(cfg Config, table1 []*Result) *BenchReport {
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 	}
 	for _, r := range table1 {
-		row := BenchRow{
-			Name:          r.Name,
-			PaperRow:      r.PaperRow,
-			SpecSecs:      r.SpecSecs,
-			OptSecs:       r.OptSecs,
-			ActSecs:       r.ActSecs,
-			SynthSecs:     r.SynthSecs,
-			ExecSecs:      r.ExecSecs,
-			SpaceSize:     r.SpaceSize,
-			Explored:      r.Explored,
-			Steps:         r.Steps,
-			InternedNodes: r.Memo.Keys.InternedNodes,
-			AlphaHits:     r.Memo.Keys.AlphaHits,
-			AlphaMisses:   r.Memo.Keys.AlphaMisses,
-			CostEntries:   r.Memo.Cost.Entries,
-			CostHits:      r.Memo.Cost.Hits,
-			Params:        r.Params,
-			Program:       r.Program,
-		}
-		if r.OptSecs > 0 {
-			row.Speedup = r.SpecSecs / r.OptSecs
-		}
-		if r.ActSecs > 0 {
-			row.EstOverAct = r.OptSecs / r.ActSecs
-		}
-		rep.Table1 = append(rep.Table1, row)
+		rep.Table1 = append(rep.Table1, benchRow(r))
 		rep.TotalSynthSecs += r.SynthSecs
 		rep.TotalExecSecs += r.ExecSecs
+	}
+	for _, r := range execPar {
+		rep.ExecParallel = append(rep.ExecParallel, benchRow(r))
+		rep.TotalExecParSecs += r.ExecSecs
 	}
 	return rep
 }
@@ -169,6 +194,16 @@ func CompareBaseline(current, baseline *BenchReport, maxRegressPct float64) erro
 		if ratio > limit {
 			return fmt.Errorf("executor wall-clock regressed %.1f%% (current %.3fs vs baseline %.3fs, limit +%.0f%%)",
 				(ratio-1)*100, current.TotalExecSecs, baseline.TotalExecSecs, maxRegressPct)
+		}
+	}
+	// The multi-worker executor rows gate their own wall-clock total, so a
+	// regression confined to the parallel paths cannot hide behind the
+	// single-worker table.
+	if baseline.TotalExecParSecs > 0 && current.TotalExecParSecs > 0 {
+		ratio := current.TotalExecParSecs / baseline.TotalExecParSecs
+		if ratio > limit {
+			return fmt.Errorf("parallel-executor wall-clock regressed %.1f%% (current %.3fs vs baseline %.3fs, limit +%.0f%%)",
+				(ratio-1)*100, current.TotalExecParSecs, baseline.TotalExecParSecs, maxRegressPct)
 		}
 	}
 	return nil

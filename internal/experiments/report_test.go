@@ -35,7 +35,10 @@ func TestBenchReportCalibration(t *testing.T) {
 	rep := NewBenchReport(Config{Shrink: 8}, []*Result{{
 		Name: "r", SpecSecs: 100, OptSecs: 10, ActSecs: 8,
 		SynthSecs: 0.5, ExecSecs: 0.25,
-	}})
+	}}, []*Result{
+		{Name: "hashjoin", ExecSecs: 1.5, ExecWorkers: 1},
+		{Name: "hashjoin", ExecSecs: 0.5, ExecWorkers: 4},
+	})
 	if len(rep.Table1) != 1 {
 		t.Fatal("row missing")
 	}
@@ -46,7 +49,34 @@ func TestBenchReportCalibration(t *testing.T) {
 	if rep.TotalExecSecs != 0.25 {
 		t.Errorf("totalExecSecs = %v want 0.25", rep.TotalExecSecs)
 	}
-	if rep.Schema != "ocas-bench/v2" {
+	if rep.Schema != "ocas-bench/v3" {
 		t.Errorf("schema = %q", rep.Schema)
+	}
+	if len(rep.ExecParallel) != 2 || rep.ExecParallel[1].ExecWorkers != 4 {
+		t.Fatalf("execParallel rows wrong: %+v", rep.ExecParallel)
+	}
+	if rep.TotalExecParSecs != 2.0 {
+		t.Errorf("totalExecParSecs = %v want 2", rep.TotalExecParSecs)
+	}
+	if rep.Table1[0].ExecWorkers != 1 {
+		t.Errorf("table1 rows default to one worker, got %d", rep.Table1[0].ExecWorkers)
+	}
+}
+
+func TestCompareBaselineGatesExecParClock(t *testing.T) {
+	mk := func(par float64) *BenchReport {
+		r := benchFixture(1.0, 2.0)
+		r.TotalExecParSecs = par
+		return r
+	}
+	if err := CompareBaseline(mk(1.1), mk(1.0), 30); err != nil {
+		t.Errorf("within-limit parallel clock must pass: %v", err)
+	}
+	if err := CompareBaseline(mk(2.0), mk(1.0), 30); err == nil {
+		t.Error("parallel-executor regression must gate")
+	}
+	// A baseline without parallel rows skips the check.
+	if err := CompareBaseline(mk(99.0), mk(0), 30); err != nil {
+		t.Errorf("pre-parallel baseline must skip the gate: %v", err)
 	}
 }

@@ -40,7 +40,17 @@ type ExecOptions struct {
 	// Inputs supplies explicit rows per input, each row a tuple of ints
 	// matching the input's arity. Inputs listed here ignore Rows/Seed.
 	Inputs map[string][][]int64 `json:"inputs,omitempty"`
+	// ExecWorkers bounds the morsel-driven executor's concurrent partition
+	// tasks (0 or 1: single-worker; capped at MaxExecWorkers). Worker count
+	// never changes the output digest or the device ledgers — partition
+	// degrees are plan-decided — only the wall-clock time.
+	ExecWorkers int `json:"execWorkers,omitempty"`
 }
+
+// MaxExecWorkers is the executor's concurrency ceiling (partition degrees
+// never exceed it); admission layers clamp requested worker counts against
+// it so no request holds capacity the executor cannot use.
+const MaxExecWorkers = exec.MaxWorkers
 
 // DeviceReport is one device's ledger after execution: the paper's two
 // event kinds (InitCom, UnitTr) split by direction.
@@ -74,7 +84,12 @@ type ExecReport struct {
 	Devices          map[string]DeviceReport `json:"devices"`
 	Pool             storage.PoolStats       `json:"pool"`
 	BatchRows        int64                   `json:"batchRows"`
-	CacheMissRatio   float64                 `json:"cacheMissRatio,omitempty"`
+	// ExecWorkers is the effective executor worker count and Workers the
+	// per-worker-lane charge aggregates (partition tasks map to lanes
+	// deterministically, so the report is stable run to run).
+	ExecWorkers    int                 `json:"execWorkers,omitempty"`
+	Workers        []exec.WorkerLedger `json:"workers,omitempty"`
+	CacheMissRatio float64             `json:"cacheMissRatio,omitempty"`
 }
 
 // RunProgram executes a synthesized program against a fresh simulator of h.
@@ -135,10 +150,11 @@ func RunProgram(ctx context.Context, h *memory.Hierarchy, prog ocal.Expr, params
 	p, err := exec.Lower(prog, exec.LowerOpts{
 		Sim: sim, Inputs: inputs, Params: params,
 		Scratch: scratch, Sink: sink,
-		RAMBytes:  ramBytes(h),
-		PoolBytes: opt.PoolBytes,
-		BatchRows: opt.BatchRows,
-		Context:   ctx,
+		RAMBytes:    ramBytes(h),
+		PoolBytes:   opt.PoolBytes,
+		BatchRows:   opt.BatchRows,
+		ExecWorkers: opt.ExecWorkers,
+		Context:     ctx,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("plan: lower: %w", err)
@@ -159,6 +175,10 @@ func RunProgram(ctx context.Context, h *memory.Hierarchy, prog ocal.Expr, params
 		Devices:        map[string]DeviceReport{},
 		Pool:           p.Pool().Stats(),
 		BatchRows:      opt.BatchRows,
+		ExecWorkers:    p.Workers(),
+	}
+	if rep.ExecWorkers > 1 {
+		rep.Workers = p.WorkerLedgers()
 	}
 	if rep.Params == nil {
 		rep.Params = map[string]int64{}

@@ -129,3 +129,74 @@ func TestExecuteEndpointRejectsOversizedRuns(t *testing.T) {
 		t.Errorf("error should point at the exec.rows override: %s", data)
 	}
 }
+
+// TestExecuteWorkersInvariantAndStats: /execute with execWorkers runs the
+// morsel-driven executor — same digest and ledgers as the single-worker
+// run — and the /stats exec section accumulates executor counters.
+func TestExecuteWorkersInvariantAndStats(t *testing.T) {
+	_, ts := newTestServer(t, Config{MaxWorkerSlots: 8})
+
+	resp1, data1 := postExecute(t, ts, execBody(""))
+	if resp1.StatusCode != http.StatusOK {
+		t.Fatalf("execute: %d %s", resp1.StatusCode, data1)
+	}
+	resp4, data4 := postExecute(t, ts, execBody(`, "execWorkers": 4`))
+	if resp4.StatusCode != http.StatusOK {
+		t.Fatalf("execute (4 workers): %d %s", resp4.StatusCode, data4)
+	}
+	var r1, r4 plan.ExecReport
+	if err := json.Unmarshal(data1, &r1); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(data4, &r4); err != nil {
+		t.Fatal(err)
+	}
+	if r4.OutDigest != r1.OutDigest || r4.OutRows != r1.OutRows {
+		t.Errorf("worker count changed the output: %s/%d vs %s/%d",
+			r4.OutDigest, r4.OutRows, r1.OutDigest, r1.OutRows)
+	}
+	for dev, led := range r1.Devices {
+		if r4.Devices[dev] != led {
+			t.Errorf("worker count changed device %s charges: %+v vs %+v", dev, r4.Devices[dev], led)
+		}
+	}
+	if r4.ExecWorkers != 4 {
+		t.Errorf("report execWorkers = %d want 4", r4.ExecWorkers)
+	}
+
+	resp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats statsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if stats.Exec.Executions < 2 {
+		t.Errorf("stats executions = %d want >= 2", stats.Exec.Executions)
+	}
+	if stats.Exec.WorkerSlots != 8 {
+		t.Errorf("stats workerSlots = %d want 8", stats.Exec.WorkerSlots)
+	}
+	if stats.Exec.ActiveWorkers != 0 {
+		t.Errorf("stats activeWorkers = %d want 0 at rest", stats.Exec.ActiveWorkers)
+	}
+}
+
+// TestExecuteWorkersClamped: a request asking for more workers than the
+// slot pool is clamped, not rejected or deadlocked.
+func TestExecuteWorkersClamped(t *testing.T) {
+	_, ts := newTestServer(t, Config{MaxWorkerSlots: 2})
+	resp, data := postExecute(t, ts, execBody(`, "execWorkers": 64`))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("clamped execute: %d %s", resp.StatusCode, data)
+	}
+	var rep plan.ExecReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.ExecWorkers != 2 {
+		t.Errorf("execWorkers = %d, want the 2-slot clamp", rep.ExecWorkers)
+	}
+}

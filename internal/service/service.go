@@ -24,6 +24,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"runtime"
 	"sync/atomic"
 	"time"
 
@@ -38,6 +39,15 @@ type Config struct {
 	// MaxInflight bounds concurrent synthesis and execution jobs
 	// (default 2).
 	MaxInflight int
+	// ExecWorkers is the executor worker count for /execute requests that
+	// do not choose one (default 1: single-worker).
+	ExecWorkers int
+	// MaxWorkerSlots is the total executor worker-slot pool (default
+	// GOMAXPROCS). An /execute running W workers holds W slots for its
+	// whole execution, so concurrent requests cannot oversubscribe the
+	// box no matter how many are admitted; requests asking for more than
+	// the pool are clamped.
+	MaxWorkerSlots int
 	// Timeout is the per-request synthesis/execution budget (default 60s).
 	// A request may lower it with the timeoutMs body field, never raise it.
 	Timeout time.Duration
@@ -65,13 +75,35 @@ type Metrics struct {
 	ServeNanos int64 `json:"serveNanos"` // wall time of all /synthesize requests
 }
 
+// ExecStats are the executor counters exposed on /stats: the live
+// worker-slot gauge plus totals accumulated over every completed /execute.
+type ExecStats struct {
+	// ActiveWorkers is the number of executor worker slots held right now;
+	// WorkerSlots is the pool size.
+	ActiveWorkers int64 `json:"activeWorkers"`
+	WorkerSlots   int64 `json:"workerSlots"`
+	Executions    int64 `json:"executions"`
+	PoolEvictions int64 `json:"poolEvictions"`
+	PoolShrinks   int64 `json:"poolShrinks"`
+	Spills        int64 `json:"spills"`
+	SpillBytes    int64 `json:"spillBytes"`
+}
+
 // Server handles the ocasd API. Create with New.
 type Server struct {
 	cfg     Config
 	cache   *plancache.Cache
 	sem     chan struct{} // admission slots for new synthesis jobs
+	slots   *slotSem      // executor worker-slot pool (/execute)
 	started time.Time
 	metrics Metrics
+	exec    struct {
+		executions    atomic.Int64
+		poolEvictions atomic.Int64
+		poolShrinks   atomic.Int64
+		spills        atomic.Int64
+		spillBytes    atomic.Int64
+	}
 }
 
 // New builds a Server around the given cache (pass nil to create one of
@@ -92,10 +124,25 @@ func New(cfg Config, cache *plancache.Cache) *Server {
 	if cfg.MaxExecRows <= 0 {
 		cfg.MaxExecRows = 1 << 20
 	}
+	if cfg.ExecWorkers <= 0 {
+		cfg.ExecWorkers = 1
+	}
+	if cfg.MaxWorkerSlots <= 0 {
+		cfg.MaxWorkerSlots = runtime.GOMAXPROCS(0)
+	}
+	if cfg.ExecWorkers > cfg.MaxWorkerSlots {
+		cfg.ExecWorkers = cfg.MaxWorkerSlots
+	}
 	if cache == nil {
 		cache = plancache.New(cfg.CacheSize)
 	}
-	return &Server{cfg: cfg, cache: cache, sem: make(chan struct{}, cfg.MaxInflight), started: time.Now()}
+	return &Server{
+		cfg:     cfg,
+		cache:   cache,
+		sem:     make(chan struct{}, cfg.MaxInflight),
+		slots:   newSlotSem(int64(cfg.MaxWorkerSlots)),
+		started: time.Now(),
+	}
 }
 
 // Cache exposes the server's plan cache (for persistence at shutdown).
@@ -273,15 +320,36 @@ func (s *Server) handleExecute(w http.ResponseWriter, r *http.Request) {
 		s.failCompute(w, err, timeout)
 		return
 	}
-	// Execution is CPU work of its own: take an admission slot.
-	select {
-	case s.sem <- struct{}{}:
-	case <-ctx.Done():
-		s.failCompute(w, ctx.Err(), timeout)
+	// Execution admission charges worker-slots, not requests: a run with W
+	// executor workers holds W slots of the shared pool, so concurrent
+	// /execute traffic cannot oversubscribe the box however small each
+	// request is.
+	workers := req.Exec.ExecWorkers
+	if workers <= 0 {
+		workers = s.cfg.ExecWorkers
+	}
+	if workers > s.cfg.MaxWorkerSlots {
+		workers = s.cfg.MaxWorkerSlots
+	}
+	// The executor cannot use more than plan.MaxExecWorkers lanes; holding
+	// extra slots would starve other requests for nothing.
+	if workers > plan.MaxExecWorkers {
+		workers = plan.MaxExecWorkers
+	}
+	req.Exec.ExecWorkers = workers
+	if err := s.slots.Acquire(ctx, int64(workers)); err != nil {
+		s.failCompute(w, err, timeout)
 		return
 	}
 	rep, err := plan.ExecutePlan(ctx, compiled, p, req.Exec)
-	<-s.sem
+	s.slots.Release(int64(workers))
+	if err == nil {
+		s.exec.executions.Add(1)
+		s.exec.poolEvictions.Add(rep.Pool.Evictions)
+		s.exec.poolShrinks.Add(rep.Pool.Shrinks)
+		s.exec.spills.Add(rep.Pool.Spills)
+		s.exec.spillBytes.Add(rep.Pool.SpillBytes)
+	}
 	if err != nil {
 		switch {
 		case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
@@ -346,6 +414,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 type statsResponse struct {
 	Cache   plancache.Stats `json:"cache"`
 	Service Metrics         `json:"service"`
+	Exec    ExecStats       `json:"exec"`
 	Uptime  string          `json:"uptime"`
 }
 
@@ -360,6 +429,15 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			Cancelled:  atomic.LoadInt64(&s.metrics.Cancelled),
 			SynthNanos: atomic.LoadInt64(&s.metrics.SynthNanos),
 			ServeNanos: atomic.LoadInt64(&s.metrics.ServeNanos),
+		},
+		Exec: ExecStats{
+			ActiveWorkers: s.slots.InUse(),
+			WorkerSlots:   int64(s.cfg.MaxWorkerSlots),
+			Executions:    s.exec.executions.Load(),
+			PoolEvictions: s.exec.poolEvictions.Load(),
+			PoolShrinks:   s.exec.poolShrinks.Load(),
+			Spills:        s.exec.spills.Load(),
+			SpillBytes:    s.exec.spillBytes.Load(),
 		},
 		Uptime: time.Since(s.started).String(),
 	})

@@ -1,0 +1,114 @@
+package service
+
+import (
+	"context"
+	"sync"
+)
+
+// slotSem is the weighted FIFO semaphore behind executor admission: an
+// /execute request holds as many slots as it runs executor workers, so the
+// pool bounds the box's total executor parallelism rather than its request
+// count. Waiters are served in arrival order — a wide request at the head
+// of the queue is not starved by narrow ones slipping past it.
+type slotSem struct {
+	mu      sync.Mutex
+	cap     int64
+	used    int64
+	waiters []*slotWaiter
+}
+
+type slotWaiter struct {
+	n     int64
+	ready chan struct{}
+}
+
+func newSlotSem(cap int64) *slotSem {
+	if cap < 1 {
+		cap = 1
+	}
+	return &slotSem{cap: cap}
+}
+
+// Acquire blocks until n slots are granted or ctx is done. n is clamped to
+// the pool size, so a request can never deadlock by asking for more than
+// exists.
+func (s *slotSem) Acquire(ctx context.Context, n int64) error {
+	if n < 1 {
+		n = 1
+	}
+	if n > s.cap {
+		n = s.cap
+	}
+	s.mu.Lock()
+	if len(s.waiters) == 0 && s.used+n <= s.cap {
+		s.used += n
+		s.mu.Unlock()
+		return nil
+	}
+	w := &slotWaiter{n: n, ready: make(chan struct{})}
+	s.waiters = append(s.waiters, w)
+	s.mu.Unlock()
+	select {
+	case <-w.ready:
+		return nil
+	case <-ctx.Done():
+		s.mu.Lock()
+		select {
+		case <-w.ready:
+			// Granted while we were cancelling: hand the slots back.
+			s.used -= w.n
+			s.grantLocked()
+			s.mu.Unlock()
+			return ctx.Err()
+		default:
+		}
+		for i, q := range s.waiters {
+			if q == w {
+				s.waiters = append(s.waiters[:i], s.waiters[i+1:]...)
+				break
+			}
+		}
+		// A wide waiter leaving the head may unblock narrower ones queued
+		// behind it.
+		s.grantLocked()
+		s.mu.Unlock()
+		return ctx.Err()
+	}
+}
+
+// Release returns n slots (as clamped by Acquire).
+func (s *slotSem) Release(n int64) {
+	if n < 1 {
+		n = 1
+	}
+	if n > s.cap {
+		n = s.cap
+	}
+	s.mu.Lock()
+	s.used -= n
+	if s.used < 0 {
+		s.used = 0
+	}
+	s.grantLocked()
+	s.mu.Unlock()
+}
+
+// grantLocked serves queued waiters FIFO while they fit.
+func (s *slotSem) grantLocked() {
+	for len(s.waiters) > 0 {
+		w := s.waiters[0]
+		if s.used+w.n > s.cap {
+			return
+		}
+		s.used += w.n
+		s.waiters = s.waiters[1:]
+		close(w.ready)
+	}
+}
+
+// InUse reports the slots currently held.
+func (s *slotSem) InUse() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.used
+}

@@ -1,0 +1,122 @@
+package service
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestSlotSemBoundsConcurrency: with a 4-slot pool, concurrent 2-slot
+// holders never exceed 4 slots in flight.
+func TestSlotSemBoundsConcurrency(t *testing.T) {
+	s := newSlotSem(4)
+	var inUse, peak atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := s.Acquire(context.Background(), 2); err != nil {
+				t.Error(err)
+				return
+			}
+			now := inUse.Add(2)
+			for {
+				p := peak.Load()
+				if now <= p || peak.CompareAndSwap(p, now) {
+					break
+				}
+			}
+			time.Sleep(time.Millisecond)
+			inUse.Add(-2)
+			s.Release(2)
+		}()
+	}
+	wg.Wait()
+	if p := peak.Load(); p > 4 {
+		t.Errorf("peak slots in flight %d exceeds the 4-slot pool", p)
+	}
+	if s.InUse() != 0 {
+		t.Errorf("slots leaked: %d in use after all released", s.InUse())
+	}
+}
+
+// TestSlotSemCancelledWaiter: a waiter whose context dies leaves the queue
+// without consuming slots, and later waiters still get served.
+func TestSlotSemCancelledWaiter(t *testing.T) {
+	s := newSlotSem(2)
+	if err := s.Acquire(context.Background(), 2); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() { errc <- s.Acquire(ctx, 1) }()
+	time.Sleep(5 * time.Millisecond)
+	cancel()
+	if err := <-errc; err == nil {
+		t.Fatal("cancelled waiter must fail")
+	}
+	s.Release(2)
+	if err := s.Acquire(context.Background(), 2); err != nil {
+		t.Fatalf("pool unusable after a cancelled waiter: %v", err)
+	}
+	s.Release(2)
+	if s.InUse() != 0 {
+		t.Errorf("slots leaked: %d", s.InUse())
+	}
+}
+
+// TestSlotSemClampsWideRequests: asking for more than the pool cannot
+// deadlock.
+func TestSlotSemClampsWideRequests(t *testing.T) {
+	s := newSlotSem(2)
+	done := make(chan struct{})
+	go func() {
+		if err := s.Acquire(context.Background(), 100); err != nil {
+			t.Error(err)
+		}
+		s.Release(100)
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("over-wide acquire deadlocked")
+	}
+}
+
+// TestSlotSemCancelledHeadUnblocksQueue: when a wide waiter at the head of
+// the queue cancels, narrower waiters queued behind it must be served from
+// the capacity that was never enough for the head.
+func TestSlotSemCancelledHeadUnblocksQueue(t *testing.T) {
+	s := newSlotSem(4)
+	if err := s.Acquire(context.Background(), 1); err != nil { // 3 free
+		t.Fatal(err)
+	}
+	wideCtx, cancelWide := context.WithCancel(context.Background())
+	wideErr := make(chan error, 1)
+	go func() { wideErr <- s.Acquire(wideCtx, 4) }() // queues: needs all 4
+	time.Sleep(5 * time.Millisecond)
+	narrowDone := make(chan error, 1)
+	go func() { narrowDone <- s.Acquire(context.Background(), 1) }() // behind the head
+	time.Sleep(5 * time.Millisecond)
+	cancelWide()
+	if err := <-wideErr; err == nil {
+		t.Fatal("cancelled head waiter must fail")
+	}
+	select {
+	case err := <-narrowDone:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("narrow waiter stayed blocked after the head cancelled with free capacity")
+	}
+	s.Release(1)
+	s.Release(1)
+	if s.InUse() != 0 {
+		t.Errorf("slots leaked: %d", s.InUse())
+	}
+}

@@ -1,0 +1,210 @@
+package storage
+
+import "ocas/internal/memory"
+
+// Acct is the charging context of one sequential strand of execution: a
+// private virtual-clock accumulator, per-device ledger deltas and per-device
+// arm/erase cursors. The morsel-driven executor gives every partition task
+// its own Acct, so concurrent workers never contend on the simulator — and,
+// more importantly, so the charges of a partition are a function of the
+// partition alone, not of which worker ran it or how the goroutine scheduler
+// interleaved it with its siblings. Adopt folds children into their parent
+// at a deterministic point of the parent's own sequence, which makes the
+// total per-device ledger (integer event counts) and the virtual clock (a
+// fixed-order float sum) identical for every worker count.
+//
+// Seek and erase detection is *stream-relative*: the cursor remembers the
+// last (spill, record) position touched on each device, so "sequential"
+// means sequential within a spill regardless of where the allocator placed
+// its growth chunks. Device-absolute adjacency would depend on allocation
+// order, which is scheduling-dependent under concurrent spill writers.
+//
+// The Sim's root Acct (Sim.Root) is direct: its charges apply immediately
+// to the shared clock and device ledgers (under the Sim mutex), preserving
+// the pre-parallel behaviour of sequential callers that read Clock or
+// Device ledgers mid-run.
+type Acct struct {
+	sim    *Sim
+	direct bool
+
+	seconds float64
+	cursors []*devCursor
+	byDev   map[*Device]*devCursor
+
+	// Aggregates for per-worker reporting.
+	bytesRead, bytesWrite int64
+}
+
+// devCursor is one device's arm position and erase window as seen by one
+// accounting strand.
+type devCursor struct {
+	dev *Device
+	led Ledger // local deltas; a direct Acct applies them immediately instead
+
+	stream *Spill // last spill touched (nil = arm at an unknown position)
+	pos    int64  // next sequential record index within stream
+
+	eraseStream          *Spill
+	eraseStart, eraseEnd int64 // byte offsets within eraseStream
+}
+
+// NewAcct returns a fresh non-direct accounting context for one worker
+// strand. Fold it back with Adopt (or Sim-level merging via the parent
+// chain) when the strand completes.
+func (s *Sim) NewAcct() *Acct {
+	return &Acct{sim: s, byDev: map[*Device]*devCursor{}}
+}
+
+// Root returns the simulator's direct accounting context: charges apply to
+// the shared clock and ledgers immediately. It is the context of the
+// driver strand (and of all pre-parallel sequential callers).
+func (s *Sim) Root() *Acct {
+	return s.root
+}
+
+func (a *Acct) cursor(d *Device) *devCursor {
+	if c, ok := a.byDev[d]; ok {
+		return c
+	}
+	c := &devCursor{dev: d}
+	a.byDev[d] = c
+	a.cursors = append(a.cursors, c)
+	return c
+}
+
+// advance adds d virtual seconds to this strand.
+func (a *Acct) advance(d float64) {
+	if d == 0 {
+		return
+	}
+	if a.direct {
+		a.sim.mu.Lock()
+		a.sim.Clock.seconds += d
+		a.sim.mu.Unlock()
+		return
+	}
+	a.seconds += d
+}
+
+// CPU charges n operations of the given per-op cost.
+func (a *Acct) CPU(n int64, perOp float64) {
+	if n > 0 && perOp > 0 {
+		a.advance(float64(n) * perOp)
+	}
+}
+
+// Seconds returns the strand-local accumulated time (0 for the direct root,
+// whose charges go straight to the shared clock).
+func (a *Acct) Seconds() float64 { return a.seconds }
+
+// BytesRead and BytesWrite report the strand's transfer totals across all
+// devices (the per-worker ledger of the execution report).
+func (a *Acct) BytesRead() int64  { return a.bytesRead }
+func (a *Acct) BytesWrite() int64 { return a.bytesWrite }
+
+// applyLed adds a ledger delta either locally or straight to the device.
+func (a *Acct) applyLed(c *devCursor, readInits, writeInits, bytesRead, bytesWrite int64) {
+	a.bytesRead += bytesRead
+	a.bytesWrite += bytesWrite
+	if a.direct {
+		a.sim.mu.Lock()
+		c.dev.Led.ReadInits += readInits
+		c.dev.Led.WriteInits += writeInits
+		c.dev.Led.BytesRead += bytesRead
+		c.dev.Led.BytesWrite += bytesWrite
+		a.sim.mu.Unlock()
+		return
+	}
+	c.led.ReadInits += readInits
+	c.led.WriteInits += writeInits
+	c.led.BytesRead += bytesRead
+	c.led.BytesWrite += bytesWrite
+}
+
+// chargeRead charges a blocked read of n records at record index idx of sp:
+// an InitCom (seek) when the arm is not already there, plus per-byte
+// transfer time.
+func (a *Acct) chargeRead(sp *Spill, idx, n int64) {
+	if n <= 0 {
+		return
+	}
+	d := sp.dev
+	c := a.cursor(d)
+	bytes := n * sp.width
+	init, tr := d.upCosts()
+	secs := float64(bytes) * tr
+	var inits int64
+	if c.stream != sp || c.pos != idx {
+		secs += init
+		inits = 1
+	}
+	c.stream, c.pos = sp, idx+n
+	a.applyLed(c, inits, 0, bytes, 0)
+	a.advance(secs)
+}
+
+// chargeAppend charges a write of n records appended at record index at of
+// sp. On HDDs an InitCom (seek) is charged when the arm is elsewhere; on
+// flash an erase is charged whenever the write leaves the current erase
+// window (the device's MaxSeqW bytes), mirroring the paper's reading of
+// InitCom on flash.
+func (a *Acct) chargeAppend(sp *Spill, at, n int64) {
+	if n <= 0 {
+		return
+	}
+	d := sp.dev
+	c := a.cursor(d)
+	bytes := n * sp.width
+	init, tr := d.downCosts()
+	secs := float64(bytes) * tr
+	var inits int64
+	if d.Node.Kind == memory.Flash {
+		pos := at * sp.width
+		for b := pos; b < pos+bytes; {
+			if c.eraseStream == sp && b >= c.eraseStart && b < c.eraseEnd {
+				b = c.eraseEnd
+				continue
+			}
+			blk := d.Node.MaxSeqW
+			if blk <= 0 {
+				blk = 256 << 10
+			}
+			secs += init
+			inits++
+			c.eraseStream = sp
+			c.eraseStart = b
+			c.eraseEnd = b + blk
+			b = c.eraseEnd
+		}
+	} else if c.stream != sp || c.pos != at {
+		secs += init
+		inits = 1
+	}
+	c.stream, c.pos = sp, at+n
+	a.applyLed(c, 0, inits, 0, bytes)
+	a.advance(secs)
+}
+
+// Adopt folds completed child strands into this Acct, in argument order:
+// their seconds extend this strand's clock and their ledger deltas its
+// ledgers. Call it at a deterministic point of the adopting strand (the
+// executor merges partition accounts in partition order at phase barriers),
+// so the float summation order — and hence the final clock — is independent
+// of goroutine scheduling. The children's arm cursors are deliberately not
+// adopted: after a parallel phase the arm position is unknown, so the
+// parent's next access on a shared device charges a seek.
+func (a *Acct) Adopt(kids ...*Acct) {
+	for _, k := range kids {
+		if k == nil || k == a {
+			continue
+		}
+		a.advance(k.seconds)
+		for _, kc := range k.cursors {
+			c := a.cursor(kc.dev)
+			a.applyLed(c, kc.led.ReadInits, kc.led.WriteInits, kc.led.BytesRead, kc.led.BytesWrite)
+		}
+		k.seconds = 0
+		k.cursors = nil
+		k.byDev = map[*Device]*devCursor{}
+	}
+}

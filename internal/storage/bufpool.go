@@ -14,9 +14,16 @@ import (
 // enforcement happens at pin time: grants shrink under pressure (PinUpTo)
 // and a pin that cannot fit at all fails. Unpin is the cache-friendly
 // release: an unpinned frame stays resident and readable until a later pin
-// reclaims the space in LRU order (today's operators release their frames
-// outright — Unpin/eviction is the retention path available to operators
-// that want to keep warm blocks around).
+// reclaims the space in LRU order.
+//
+// Under the morsel-driven executor every partition strand pins from its own
+// Child pool, an independent pool carrying the same plan budget (block
+// sizes were tuned against the whole buffer). Strand-private pools make
+// every grant — and therefore every block size, transfer count and seek —
+// a function of the plan and the partition alone, never of how many
+// workers happened to run or how they interleaved; that determinism is
+// what keeps device ledgers identical across worker counts. Child counters
+// fold into the parent at phase barriers (Adopt).
 //
 // The pool manages RAM residency only. Device traffic (partition spills,
 // sort runs, materialized intermediates) goes through Spill, which charges
@@ -29,7 +36,9 @@ type BufferPool struct {
 	stats  PoolStats
 }
 
-// PoolStats reports the pool's accounting counters.
+// PoolStats reports the pool's accounting counters. For a pool tree (a
+// parent with adopted children) the counters are sums; PeakBytes is the
+// maximum per-pool peak across the tree, not a concurrent total.
 type PoolStats struct {
 	Budget    int64 `json:"budget"` // 0 = unlimited
 	UsedBytes int64 `json:"usedBytes"`
@@ -37,7 +46,13 @@ type PoolStats struct {
 	Pins      int64 `json:"pins"`
 	Unpins    int64 `json:"unpins"`
 	Evictions int64 `json:"evictions"`
-	Spills    int64 `json:"spills"` // spill files created through the pool
+	// Shrinks counts grants reduced below their requested size by budget
+	// pressure — the pool-contention signal of the execution report.
+	Shrinks int64 `json:"shrinks"`
+	Spills  int64 `json:"spills"` // spill files created through the pool
+	// SpillBytes totals the bytes appended to pool-created spills (scratch
+	// write traffic, as opposed to resident frame memory).
+	SpillBytes int64 `json:"spillBytes"`
 }
 
 // Frame is one pinned or evictable region of pooled memory holding int32
@@ -59,6 +74,38 @@ func NewBufferPool(budget int64) *BufferPool {
 		budget = 0
 	}
 	return &BufferPool{budget: budget, lru: list.New()}
+}
+
+// Child returns the pool of one partition strand of a parallel phase: an
+// independent pool carrying this pool's budget (the plan's block sizes are
+// tuned against the whole buffer, so every strand arbitrates within it —
+// see exec.Ctx). Fold its counters back with Adopt when the strand
+// completes.
+func (p *BufferPool) Child() *BufferPool {
+	return NewBufferPool(p.budget)
+}
+
+// Adopt folds a completed child pool's counters into this pool. Call it at
+// a deterministic point (the executor adopts partition pools in partition
+// order at phase barriers).
+func (p *BufferPool) Adopt(children ...*BufferPool) {
+	for _, c := range children {
+		if c == nil || c == p {
+			continue
+		}
+		cs := c.Stats()
+		p.mu.Lock()
+		p.stats.Pins += cs.Pins
+		p.stats.Unpins += cs.Unpins
+		p.stats.Evictions += cs.Evictions
+		p.stats.Shrinks += cs.Shrinks
+		p.stats.Spills += cs.Spills
+		p.stats.SpillBytes += cs.SpillBytes
+		if cs.PeakBytes > p.stats.PeakBytes {
+			p.stats.PeakBytes = cs.PeakBytes
+		}
+		p.mu.Unlock()
+	}
 }
 
 // Budget returns the configured byte budget (0 = unlimited).
@@ -121,6 +168,7 @@ func (p *BufferPool) PinUpTo(maxRows, minRows, width int64) (*Frame, error) {
 			}
 			if got < rows {
 				rows = got
+				p.stats.Shrinks++
 			}
 		}
 	}
@@ -217,19 +265,27 @@ const spillChunkRecords = 64 << 10
 
 // Spill is a device-resident run of fixed-width records: the executor's
 // spill file for relations, hash-join partitions, sort runs and
-// materialized intermediates. Every append and read goes through an
-// underlying Volume, so the owning device's ledger records the same
-// InitCom (seek/erase) and UnitTr (per-byte) events the paper's cost model
-// charges. A spill created with capRecords > 0 reserves that capacity up
-// front (and panics past it, like Volume); capRecords == 0 grows chunk by
-// chunk, claiming device space only as data arrives.
+// materialized intermediates. Appends and reads charge the same InitCom
+// (seek/erase) and UnitTr (per-byte) events the paper's cost model charges,
+// through the caller's Acct — seek detection is stream-relative (sequential
+// within this spill), so charges do not depend on where the concurrent
+// allocator placed growth chunks. A spill created with capRecords > 0
+// reserves that capacity up front (and panics past it, like Volume);
+// capRecords == 0 grows chunk by chunk, claiming device space only as data
+// arrives.
+//
+// A Spill is single-writer: concurrent strands each write their own spill
+// (the executor's exchange gives every partition task a private spill per
+// bucket) and readers only start after the writing phase's barrier.
 type Spill struct {
 	Data  []int32
 	dev   *Device
+	pool  *BufferPool // non-nil when created through a pool (stats)
 	width int64
 	cap   int64 // 0 = grow on demand
 	vols  []*Volume
 	count int64
+	freed bool
 }
 
 // NewSpill allocates a spill file for records of width bytes on the
@@ -245,6 +301,9 @@ func (d *Device) NewSpill(width, capRecords int64) (*Spill, error) {
 			return nil, err
 		}
 		s.vols = []*Volume{vol}
+		// The payload size is known: allocate it once instead of letting
+		// appends regrow it (the executor's sort sections hammer this).
+		s.Data = make([]int32, 0, capRecords*width/4)
 	}
 	return s, nil
 }
@@ -255,6 +314,7 @@ func (p *BufferPool) NewSpill(dev *Device, width, capRecords int64) (*Spill, err
 	if err != nil {
 		return nil, err
 	}
+	s.pool = p
 	p.mu.Lock()
 	p.stats.Spills++
 	p.mu.Unlock()
@@ -270,6 +330,9 @@ func (s *Spill) Bytes() int64 { return s.count * s.width }
 // Width returns the record width in bytes.
 func (s *Spill) Width() int64 { return s.width }
 
+// Device returns the owning device.
+func (s *Spill) Device() *Device { return s.dev }
+
 // Room reports whether n more records fit (always true for growable
 // spills; device exhaustion surfaces on Append).
 func (s *Spill) Room(n int64) bool {
@@ -280,16 +343,15 @@ func (s *Spill) Room(n int64) bool {
 }
 
 // tail returns the volume with append room, allocating a growth chunk when
-// needed. Chunks are bump-allocated, so consecutive chunks are adjacent on
-// the device and a stream of appends crossing a chunk boundary does not
-// seek.
+// needed.
 func (s *Spill) tail() *Volume {
 	if n := len(s.vols); n > 0 && s.vols[n-1].Count < s.vols[n-1].Cap {
 		return s.vols[n-1]
 	}
 	if s.cap > 0 {
-		// Fixed-capacity spill: let the volume's own bounds check fire.
-		return s.vols[len(s.vols)-1]
+		// Fixed-capacity spill: report the overflow like the old volume
+		// bounds check did.
+		panic(fmt.Sprintf("storage: append exceeds spill capacity %d", s.cap))
 	}
 	vol, err := s.dev.NewVolume(spillChunkRecords, s.width)
 	if err != nil {
@@ -299,34 +361,12 @@ func (s *Spill) tail() *Volume {
 	return vol
 }
 
-// Append charges a write of the given records (whole records only).
-func (s *Spill) Append(recs []int32) {
-	if len(recs) == 0 {
-		return
-	}
-	s.Data = append(s.Data, recs...)
-	n := int64(len(recs)) * 4 / s.width
+// install claims volume space for n records without charging.
+func (s *Spill) install(n int64) {
 	for n > 0 {
 		vol := s.tail()
 		take := vol.Cap - vol.Count
-		if take > n || take == 0 {
-			take = n
-		}
-		vol.Append(take)
-		s.count += take
-		n -= take
-	}
-}
-
-// Preload installs records without charging I/O: the data already resides
-// on the device when the run starts.
-func (s *Spill) Preload(recs []int32) {
-	s.Data = append(s.Data, recs...)
-	n := int64(len(recs)) * 4 / s.width
-	for n > 0 {
-		vol := s.tail()
-		take := vol.Cap - vol.Count
-		if take > n || take == 0 {
+		if take > n {
 			take = n
 		}
 		vol.Count += take
@@ -335,33 +375,48 @@ func (s *Spill) Preload(recs []int32) {
 	}
 }
 
+// Append charges a write of the given records (whole records only) to the
+// caller's accounting strand.
+func (s *Spill) Append(a *Acct, recs []int32) {
+	if len(recs) == 0 {
+		return
+	}
+	n := int64(len(recs)) * 4 / s.width
+	if s.cap > 0 && s.count+n > s.cap {
+		panic(fmt.Sprintf("storage: append %d exceeds capacity %d (have %d)", n, s.cap, s.count))
+	}
+	at := s.count
+	s.Data = append(s.Data, recs...)
+	s.install(n)
+	a.chargeAppend(s, at, n)
+	if s.pool != nil {
+		s.pool.mu.Lock()
+		s.pool.stats.SpillBytes += n * s.width
+		s.pool.mu.Unlock()
+	}
+}
+
+// Preload installs records without charging I/O: the data already resides
+// on the device when the run starts.
+func (s *Spill) Preload(recs []int32) {
+	n := int64(len(recs)) * 4 / s.width
+	if s.cap > 0 && s.count+n > s.cap {
+		panic(fmt.Sprintf("storage: preload %d exceeds capacity %d (have %d)", n, s.cap, s.count))
+	}
+	s.Data = append(s.Data, recs...)
+	s.install(n)
+}
+
 // ReadAt charges a blocked read of up to n records starting at idx and
-// returns the flat payload. Reads spanning a growth-chunk boundary charge
-// each chunk's segment separately.
-func (s *Spill) ReadAt(idx, n int64) []int32 {
+// returns the flat payload.
+func (s *Spill) ReadAt(a *Acct, idx, n int64) []int32 {
 	if idx >= s.count {
 		return nil
 	}
 	if idx+n > s.count {
 		n = s.count - idx
 	}
-	start, remaining := idx, n
-	for _, vol := range s.vols {
-		if remaining == 0 {
-			break
-		}
-		if start >= vol.Count {
-			start -= vol.Count
-			continue
-		}
-		take := vol.Count - start
-		if take > remaining {
-			take = remaining
-		}
-		vol.ReadAt(start, take)
-		start = 0
-		remaining -= take
-	}
+	a.chargeRead(s, idx, n)
 	w := s.width / 4
 	return s.Data[idx*w : (idx+n)*w]
 }
@@ -369,8 +424,28 @@ func (s *Spill) ReadAt(idx, n int64) []int32 {
 // Reset empties the spill for reuse.
 func (s *Spill) Reset() {
 	for _, vol := range s.vols {
-		vol.Reset()
+		vol.Count = 0
 	}
 	s.count = 0
 	s.Data = s.Data[:0]
+}
+
+// Free returns the spill's device space (and host memory). A cancelled or
+// completed run frees its scratch spills so the device's live allocation
+// drops back; using a freed spill is a bug.
+func (s *Spill) Free() {
+	if s == nil || s.freed {
+		return
+	}
+	s.freed = true
+	var bytes int64
+	for _, vol := range s.vols {
+		bytes += vol.Cap * vol.Width
+	}
+	if bytes > 0 {
+		s.dev.free(bytes)
+	}
+	s.vols = nil
+	s.count = 0
+	s.Data = nil
 }

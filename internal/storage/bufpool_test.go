@@ -111,7 +111,7 @@ func TestSpillLedgerCharges(t *testing.T) {
 		rows[i] = int32(i)
 	}
 	before := sim.Clock.Seconds()
-	sp.Append(rows)
+	sp.Append(sim.Root(), rows)
 	if d.Led.BytesWrite != 8000 {
 		t.Errorf("ledger bytesWrite = %d want 8000", d.Led.BytesWrite)
 	}
@@ -123,7 +123,7 @@ func TestSpillLedgerCharges(t *testing.T) {
 	}
 	// Sequential read-back: one seek, all bytes.
 	for idx := int64(0); idx < sp.Records(); idx += 100 {
-		if got := sp.ReadAt(idx, 100); len(got) != 200 {
+		if got := sp.ReadAt(sim.Root(), idx, 100); len(got) != 200 {
 			t.Fatalf("read %d values want 200", len(got))
 		}
 	}
@@ -156,17 +156,55 @@ func TestSpillGrowth(t *testing.T) {
 			buf[i] = next
 			next++
 		}
-		sp.Append(buf[:m])
+		sp.Append(sim.Root(), buf[:m])
 		written += m
 	}
 	if sp.Records() != n {
 		t.Fatalf("records = %d want %d", sp.Records(), n)
 	}
 	// Read across the chunk boundary.
-	blk := sp.ReadAt(spillChunkRecords-5, 10)
+	blk := sp.ReadAt(sim.Root(), spillChunkRecords-5, 10)
 	for i, v := range blk {
 		if want := int32(spillChunkRecords - 5 + i); v != want {
 			t.Fatalf("cross-chunk read wrong at %d: %d want %d", i, v, want)
 		}
+	}
+}
+
+// TestPoolChildAdopt: child pools enforce their own fixed budgets and fold
+// their counters into the parent deterministically.
+func TestPoolChildAdopt(t *testing.T) {
+	p := NewBufferPool(256)
+	c1 := p.Child()
+	c2 := p.Child()
+	f, err := c1.Pin(32, 8) // exactly the inherited budget
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c1.Pin(1, 8); err == nil {
+		t.Fatal("child budget must be enforced locally")
+	}
+	g, err := c2.PinUpTo(64, 1, 8) // shrinks within the sibling's own budget
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c := g.Cap(8); c > 32 {
+		t.Errorf("child grant %d rows beyond its 256-byte budget", c)
+	}
+	if p.Stats().Pins != 0 {
+		t.Error("child activity must not leak into the parent before Adopt")
+	}
+	f.Release()
+	g.Release()
+	p.Adopt(c1, c2)
+	st := p.Stats()
+	if st.Pins != 2 {
+		t.Errorf("adopted pins = %d want 2", st.Pins)
+	}
+	if st.Shrinks == 0 {
+		t.Error("the shrunken child grant must surface in the adopted stats")
+	}
+	if st.PeakBytes != 256 {
+		t.Errorf("adopted peak = %d want 256 (max per-pool peak)", st.PeakBytes)
 	}
 }

@@ -3,25 +3,32 @@
 // for the real Western Digital HDD / Apple SSD / CPU-cache testbed: devices
 // charge the same two cost events the paper models — InitCom (seek on disks,
 // erase on flash) and UnitTr (per-byte transfer) — against a virtual clock,
-// with seeks triggered by actual head movement and flash erasure by actual
-// write patterns. Synthesized programs execute against these devices on real
-// data, so measured times include the data-dependent effects the paper's
-// evaluation discusses.
+// with seeks triggered by actual access-pattern discontinuities and flash
+// erasure by actual write patterns. Synthesized programs execute against
+// these devices on real data, so measured times include the data-dependent
+// effects the paper's evaluation discusses.
+//
+// The substrate is concurrency-safe for the morsel-driven executor: all
+// charging flows through per-strand Acct contexts (see acct.go), device
+// space allocation is mutex-guarded, and the shared clock and ledgers are
+// only touched under the Sim mutex (directly by the root Acct, or at
+// deterministic merge points by Acct.Adopt).
 package storage
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"ocas/internal/memory"
 )
 
 // Clock is the virtual clock shared by all devices of one simulation.
+// Mutation goes through Acct charging (root-direct or adopted); Seconds is
+// safe to read once the strands feeding it have been adopted.
 type Clock struct {
 	seconds float64
 }
-
-// Advance adds d seconds.
-func (c *Clock) Advance(d float64) { c.seconds += d }
 
 // Seconds returns the elapsed virtual time.
 func (c *Clock) Seconds() float64 { return c.seconds }
@@ -34,18 +41,17 @@ type Ledger struct {
 	BytesWrite int64
 }
 
-// Device simulates one leaf storage node.
+// Device simulates one leaf storage node. Space allocation is mutex-guarded
+// so concurrent spill writers can claim growth chunks; the ledger is the
+// merged total across all accounting strands (see Acct).
 type Device struct {
-	Node  *memory.Node
-	clock *Clock
-	Led   Ledger
+	Node *memory.Node
+	sim  *Sim
+	Led  Ledger
 
-	head      int64 // current head position (HDD seek detection)
+	mu        sync.Mutex
 	allocated int64 // bump allocator for volumes
-
-	// Flash erase state: writes within [eraseStart, eraseEnd) are covered
-	// by the last erase; writing elsewhere triggers a new erase (InitCom).
-	eraseStart, eraseEnd int64
+	freed     int64 // space returned by Spill.Free
 }
 
 // Sim holds the devices of a hierarchy plus the shared clock and optional
@@ -55,6 +61,9 @@ type Sim struct {
 	Clock   Clock
 	Devices map[string]*Device
 	Cache   *CacheModel // non-nil when the hierarchy has a cache level
+
+	mu   sync.Mutex // guards Clock and device ledgers
+	root *Acct
 
 	// CPU cost model (seconds per operation); zero values disable CPU
 	// charging, mirroring the estimator's "we currently neglect the actual
@@ -77,13 +86,12 @@ func (s *Sim) DefaultCPU() {
 // device semantics gets a Device; a cache node gets the cache model.
 func NewSim(h *memory.Hierarchy) *Sim {
 	s := &Sim{H: h, Devices: map[string]*Device{}}
+	s.root = &Acct{sim: s, direct: true, byDev: map[*Device]*devCursor{}}
 	for _, name := range h.Names() {
 		n := h.Node(name)
 		switch n.Kind {
 		case memory.HDD, memory.Flash:
-			// head = -1: the arm rests at an arbitrary position, so the
-			// first access always seeks (matching the estimator).
-			s.Devices[name] = &Device{Node: n, clock: &s.Clock, head: -1}
+			s.Devices[name] = &Device{Node: n, sim: s}
 		case memory.Cache:
 			s.Cache = NewCacheModel(n.Size, n.PageSize)
 		}
@@ -100,32 +108,44 @@ func (s *Sim) Device(name string) (*Device, error) {
 	return d, nil
 }
 
-// CPU charges n operations of the given per-op cost.
-func (s *Sim) CPU(n int64, perOp float64) {
-	if perOp > 0 && n > 0 {
-		s.Clock.Advance(float64(n) * perOp)
-	}
+// CPU charges n operations of the given per-op cost on the root strand.
+func (s *Sim) CPU(n int64, perOp float64) { s.root.CPU(n, perOp) }
+
+// AllocatedBytes reports the device's live allocation (claimed minus
+// freed) — the quantity the spill-leak tests watch.
+func (d *Device) AllocatedBytes() int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.allocated - d.freed
+}
+
+// free returns bytes to the device (Spill.Free).
+func (d *Device) free(bytes int64) {
+	d.mu.Lock()
+	d.freed += bytes
+	d.mu.Unlock()
 }
 
 // Volume is a contiguous region on a device holding fixed-width records.
+// It is pure space bookkeeping; charging happens at the Spill/Acct layer.
 type Volume struct {
-	Dev    *Device
-	Offset int64
-	Width  int64 // record width in bytes
-	Count  int64 // records currently stored
-	Cap    int64 // capacity in records
+	Dev   *Device
+	Width int64 // record width in bytes
+	Count int64 // records currently stored
+	Cap   int64 // capacity in records
 }
 
 // NewVolume allocates capacity for n records of the given width.
 func (d *Device) NewVolume(n, width int64) (*Volume, error) {
 	bytes := n * width
-	if d.allocated+bytes > d.Node.Size {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.allocated-d.freed+bytes > d.Node.Size {
 		return nil, fmt.Errorf("storage: device %s full (%d + %d > %d)",
-			d.Node.Name, d.allocated, bytes, d.Node.Size)
+			d.Node.Name, d.allocated-d.freed, bytes, d.Node.Size)
 	}
-	v := &Volume{Dev: d, Offset: d.allocated, Width: width, Cap: n}
 	d.allocated += bytes
-	return v, nil
+	return &Volume{Dev: d, Width: width, Cap: n}, nil
 }
 
 // upCosts returns the edge costs for reading from the device toward its
@@ -138,87 +158,18 @@ func (d *Device) downCosts() (init, tr float64) {
 	return d.Node.InitComDown, d.Node.UnitTrDown
 }
 
-// ReadAt reads n records starting at record index idx, charging a seek when
-// the head is elsewhere and per-byte transfer time. It returns the byte
-// region read (the caller owns decoding).
-func (v *Volume) ReadAt(idx, n int64) {
-	if n <= 0 {
-		return
-	}
-	if idx < 0 || idx+n > v.Count {
-		panic(fmt.Sprintf("storage: read [%d,%d) outside volume of %d records", idx, idx+n, v.Count))
-	}
-	d := v.Dev
-	pos := v.Offset + idx*v.Width
-	bytes := n * v.Width
-	init, tr := d.upCosts()
-	if d.head != pos {
-		d.clock.Advance(init)
-		d.Led.ReadInits++
-	}
-	d.clock.Advance(float64(bytes) * tr)
-	d.Led.BytesRead += bytes
-	d.head = pos + bytes
-}
-
-// Append writes n records at the end of the volume. On HDDs a seek is
-// charged when the head is elsewhere; on flash an erase (InitCom) is charged
-// whenever the write leaves the currently erased block, whose size is the
-// device's maxSeqW — the paper's interpretation of InitCom on flash.
-func (v *Volume) Append(n int64) {
-	if n <= 0 {
-		return
-	}
-	if v.Count+n > v.Cap {
-		panic(fmt.Sprintf("storage: append %d exceeds capacity %d (have %d)", n, v.Cap, v.Count))
-	}
-	d := v.Dev
-	pos := v.Offset + v.Count*v.Width
-	bytes := n * v.Width
-	init, tr := d.downCosts()
-	if d.Node.Kind == memory.Flash {
-		// Erase-before-write semantics.
-		for b := pos; b < pos+bytes; {
-			if b >= d.eraseStart && b < d.eraseEnd {
-				b = d.eraseEnd
-				continue
-			}
-			blk := d.Node.MaxSeqW
-			if blk <= 0 {
-				blk = 256 << 10
-			}
-			d.clock.Advance(init)
-			d.Led.WriteInits++
-			d.eraseStart = b
-			d.eraseEnd = b + blk
-			b = d.eraseEnd
-		}
-	} else {
-		if d.head != pos {
-			d.clock.Advance(init)
-			d.Led.WriteInits++
-		}
-	}
-	d.clock.Advance(float64(bytes) * tr)
-	d.Led.BytesWrite += bytes
-	d.head = pos + bytes
-	v.Count += n
-}
-
-// Reset rewinds a volume for reuse as scratch (contents are dropped).
-func (v *Volume) Reset() { v.Count = 0 }
-
 // CacheModel is an analytic CPU cache model: the cache experiment of
 // Section 7.2 compares data-cache misses between the tiled and untiled BNL
 // join, so the model exposes miss accounting that the join operator fills in
 // from its access pattern (per-access LRU simulation would dominate the
 // run time at realistic sizes; the analytic counts match LRU behaviour for
-// the streaming patterns involved).
+// the streaming patterns involved). Counters are atomic so parallel bucket
+// joins can report concurrently; the totals are order-independent.
 type CacheModel struct {
 	Size     int64
 	LineSize int64
-	Hits     int64
-	Misses   int64
+	hits     atomic.Int64
+	misses   atomic.Int64
 }
 
 // NewCacheModel returns a cache of the given geometry.
@@ -229,6 +180,10 @@ func NewCacheModel(size, line int64) *CacheModel {
 	return &CacheModel{Size: size, LineSize: line}
 }
 
+// Hits and Misses report the counters.
+func (c *CacheModel) Hits() int64   { return c.hits.Load() }
+func (c *CacheModel) Misses() int64 { return c.misses.Load() }
+
 // ScanMisses records a sequential scan of `bytes` repeated `times`: when the
 // scanned region fits the cache, only the first pass misses; otherwise every
 // pass misses on every line.
@@ -238,18 +193,18 @@ func (c *CacheModel) ScanMisses(bytes, times int64) {
 	}
 	lines := (bytes + c.LineSize - 1) / c.LineSize
 	if bytes <= c.Size {
-		c.Misses += lines
-		c.Hits += lines * (times - 1)
+		c.misses.Add(lines)
+		c.hits.Add(lines * (times - 1))
 		return
 	}
-	c.Misses += lines * times
+	c.misses.Add(lines * times)
 }
 
 // MissRatio returns misses / (hits+misses).
 func (c *CacheModel) MissRatio() float64 {
-	total := c.Hits + c.Misses
-	if total == 0 {
+	h, m := c.hits.Load(), c.misses.Load()
+	if h+m == 0 {
 		return 0
 	}
-	return float64(c.Misses) / float64(total)
+	return float64(m) / float64(h+m)
 }
