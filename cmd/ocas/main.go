@@ -15,6 +15,10 @@
 // what the ocasd service serves for the same request, fingerprint included.
 // (The -json path enforces the service's knob bounds, and it always embeds
 // the generated C when the winning program is generable, so -c is implied.)
+// With -template-cache FILE, the -json path keeps a plan/template snapshot
+// across invocations: a request whose shape is already captured re-optimizes
+// at the new cardinalities instead of re-searching, and the emitted plan is
+// byte-identical to a cold run either way.
 package main
 
 import (
@@ -33,6 +37,7 @@ import (
 	"ocas/internal/memory"
 	"ocas/internal/ocal"
 	"ocas/internal/plan"
+	"ocas/internal/plancache"
 	"ocas/internal/rules"
 )
 
@@ -51,6 +56,7 @@ func main() {
 		workers  = flag.Int("workers", 0, "synthesis worker pool size (0 = GOMAXPROCS)")
 		emitC    = flag.Bool("c", false, "emit C code for the synthesized algorithm")
 		asJSON   = flag.Bool("json", false, "emit the canonical plan encoding (identical to the ocasd service response)")
+		tmplFile = flag.String("template-cache", "", "plan/template cache snapshot file for -json: known request shapes re-optimize at the new sizes instead of re-searching; updated in place")
 		run      = flag.Bool("run", false, "execute the synthesized algorithm on the storage simulator with generated inputs")
 		seed     = flag.Int64("seed", 1, "input generator seed (-run)")
 		batch    = flag.Int64("batch", 0, "executor batch size in rows, 0 = default (-run)")
@@ -147,9 +153,29 @@ func main() {
 		if err != nil {
 			die(err)
 		}
-		p, err := c.Run(context.Background())
-		if err != nil {
-			die(err)
+		var p *plan.Plan
+		if *tmplFile != "" {
+			store := plancache.NewStore(1024, 64)
+			if err := store.Load(*tmplFile); err != nil {
+				die(err)
+			}
+			p, _, err = store.Resolve(context.Background(), c.Fingerprint, c.TemplateFingerprint,
+				plancache.ResolveFuncs{
+					Synthesize:  c.Run,
+					Capture:     c.RunCapture,
+					Instantiate: c.Instantiate,
+				})
+			if err != nil {
+				die(err)
+			}
+			if err := store.Save(*tmplFile); err != nil {
+				die(err)
+			}
+		} else {
+			p, err = c.Run(context.Background())
+			if err != nil {
+				die(err)
+			}
 		}
 		if !*run {
 			os.Stdout.Write(plan.Encode(p))

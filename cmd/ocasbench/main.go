@@ -45,6 +45,7 @@ func main() {
 		strategy = flag.String("strategy", "exhaustive", "search strategy: exhaustive (full BFS) or beam (bounded frontier)")
 		beam     = flag.Int("beam", 64, "beam width (-strategy beam only)")
 		workers  = flag.Int("workers", 0, "synthesis worker pool size (0 = GOMAXPROCS)")
+		tmpl     = flag.Bool("templates", false, "also measure template warm instantiation per Table 1 row (templateWarmSecs in the report)")
 		jsonOut  = flag.Bool("json", false, "write the machine-readable bench report to stdout (tables move to stderr)")
 		baseline = flag.String("baseline", "", "bench report to compare against; exit non-zero on regression")
 		regress  = flag.Float64("regress", 30, "allowed synthesis wall-clock regression in percent (-baseline only)")
@@ -62,7 +63,7 @@ func main() {
 	if *baseline != "" && !*table1 && !*all {
 		fail(fmt.Errorf("-baseline gates on Table 1 synthesis wall-clock; add -table1 (or -all)"))
 	}
-	cfg := experiments.Config{Shrink: *shrink, Strategy: *strategy, BeamWidth: *beam, Workers: *workers}
+	cfg := experiments.Config{Shrink: *shrink, Strategy: *strategy, BeamWidth: *beam, Workers: *workers, Templates: *tmpl}
 	if _, err := cfg.SearchStrategy(); err != nil {
 		fail(err)
 	}

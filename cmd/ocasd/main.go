@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	ocasd -addr :8080 -cache-size 1024 -persist plans.json \
+//	ocasd -addr :8080 -cache-size 1024 -template-cache 64 -persist plans.json \
 //	      [-strategy beam -beam 64] [-workers 0] [-max-inflight 2] [-timeout 60s] \
 //	      [-exec-workers 4] [-max-worker-slots 8]
 //
@@ -19,8 +19,11 @@
 //	GET  /healthz             liveness
 //	GET  /stats               cache + service counters
 //
-// With -persist, the cache is loaded at startup and written back on
-// SIGINT/SIGTERM, so a restarted daemon keeps serving warm.
+// With -persist, the plan and template caches are loaded at startup and
+// written back on SIGINT/SIGTERM, so a restarted daemon keeps serving warm.
+// The template tier (-template-cache, on by default) memoizes the winning
+// derivation per request *shape*, so a known shape at new input
+// cardinalities re-optimizes in milliseconds instead of re-searching.
 package main
 
 import (
@@ -35,7 +38,6 @@ import (
 	"syscall"
 	"time"
 
-	"ocas/internal/plancache"
 	"ocas/internal/service"
 )
 
@@ -43,6 +45,7 @@ func main() {
 	var (
 		addr        = flag.String("addr", ":8080", "listen address")
 		cacheSize   = flag.Int("cache-size", 1024, "maximum number of cached plans (LRU beyond that)")
+		tmplSize    = flag.Int("template-cache", 64, "maximum number of cached plan templates, amortizing synthesis across cardinalities (0 disables the tier)")
 		persist     = flag.String("persist", "", "plan-cache snapshot file (loaded at startup, saved at shutdown)")
 		strategy    = flag.String("strategy", "", "default search strategy for requests that don't choose one: exhaustive or beam")
 		beam        = flag.Int("beam", 0, "default beam width (with -strategy beam)")
@@ -60,27 +63,28 @@ func main() {
 		log.Fatalf("ocasd: unknown -strategy %q (want exhaustive or beam)", *strategy)
 	}
 
-	cache := plancache.New(*cacheSize)
+	srv := service.New(service.Config{
+		CacheSize:         *cacheSize,
+		TemplateCacheSize: *tmplSize,
+		MaxInflight:       *maxInflight,
+		Timeout:           *timeout,
+		MaxExecRows:       *maxExecRows,
+		ExecWorkers:       *execWorkers,
+		MaxWorkerSlots:    *maxSlots,
+		Strategy:          *strategy,
+		Beam:              *beam,
+		Workers:           *workers,
+	}, nil)
+	store := srv.Store()
 	if *persist != "" {
-		if err := cache.Load(*persist); err != nil {
+		if err := store.Load(*persist); err != nil {
 			log.Fatalf("ocasd: %v", err)
 		}
-		if s := cache.Stats(); s.Size > 0 {
-			log.Printf("ocasd: loaded %d cached plans from %s", s.Size, *persist)
+		if st := store.Stats(); st.Plans.Size > 0 || st.Templates.Size > 0 {
+			log.Printf("ocasd: loaded %d cached plans and %d templates from %s",
+				st.Plans.Size, st.Templates.Size, *persist)
 		}
 	}
-
-	srv := service.New(service.Config{
-		CacheSize:      *cacheSize,
-		MaxInflight:    *maxInflight,
-		Timeout:        *timeout,
-		MaxExecRows:    *maxExecRows,
-		ExecWorkers:    *execWorkers,
-		MaxWorkerSlots: *maxSlots,
-		Strategy:       *strategy,
-		Beam:           *beam,
-		Workers:        *workers,
-	}, cache)
 
 	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
 	errc := make(chan error, 1)
@@ -103,10 +107,12 @@ func main() {
 		log.Printf("ocasd: shutdown: %v", err)
 	}
 	if *persist != "" {
-		if err := cache.Save(*persist); err != nil {
+		if err := store.Save(*persist); err != nil {
 			fmt.Fprintln(os.Stderr, "ocasd:", err)
 			os.Exit(1)
 		}
-		log.Printf("ocasd: persisted %d plans to %s", cache.Stats().Size, *persist)
+		st := store.Stats()
+		log.Printf("ocasd: persisted %d plans and %d templates to %s",
+			st.Plans.Size, st.Templates.Size, *persist)
 	}
 }

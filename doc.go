@@ -142,6 +142,25 @@
 // synthesis (singleflight with waiter refcounting), and optionally
 // persists to JSON across restarts.
 //
+// Above the full-key cache sits the template tier. Every request also
+// carries a template fingerprint hashing only its shape — the
+// alpha-normalized program, hierarchy topology, placement and search
+// knobs, with input cardinalities and device constants left free. A
+// plan.Template captures what a synthesis learned that survives a size
+// change: the explored search space, every member's symbolic cost
+// formulas (cardinalities are free variables bound at evaluation time),
+// and a beam's pruning trace. plan.Compiled.Instantiate re-binds the new
+// sizes into the precompiled formulas and re-runs only screening and
+// parameter optimization, producing a plan byte-identical to a cold
+// synthesis — milliseconds instead of seconds. Guards keep the tier
+// honest: hierarchy constants, the printed specification and the beam's
+// recorded prunes are re-verified per instantiation, and any divergence
+// (plan.ErrTemplateStale) falls back to a full search whose fresh
+// capture replaces the template. ocasd enables the tier by default
+// (-template-cache, 0 disables; /synthesize answers X-Ocas-Cache:
+// template-hit) and -persist snapshots both tiers; cmd/ocas -json takes
+// a -template-cache FILE to amortize across CLI invocations.
+//
 // internal/plan also defines the canonical JSON plan encoding shared by
 // the service and cmd/ocas -json: the same request produces
 // byte-identical plan bytes from both, covering the derivation, tuned
@@ -161,7 +180,14 @@
 // against the interpreted specification); internal/ocal carries a parser
 // fuzz target (go
 // test -fuzz=FuzzParse ./internal/ocal) and internal/service a hierarchy
-// fuzz target (go test -fuzz=FuzzHierarchyJSON ./internal/service);
+// fuzz target (go test -fuzz=FuzzHierarchyJSON ./internal/service) plus
+// a template fuzz target (go test -fuzz=FuzzTemplateRequest
+// ./internal/service) driving the warm path with arbitrary size fields;
+// internal/plan's template-differential harness
+// (go test ./internal/plan -run TestTemplate) sweeps ~50 randomized
+// request shapes across cardinality regimes asserting every
+// instantiation byte-equals a cold synthesis and that the staleness
+// guards actually fire;
 // internal/core and internal/rules assert parallel-versus-sequential
 // equivalence, which is exercised with -race in CI; the memoization
 // invariants are property-tested (interned identity == print equality in

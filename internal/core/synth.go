@@ -128,6 +128,15 @@ func (s *Synthesizer) Synthesize(t Task) (*Synthesis, error) {
 // ctx.Err(). Partial results are never returned — a served plan is always
 // the plan a complete run would have produced.
 func (s *Synthesizer) SynthesizeCtx(ctx context.Context, t Task) (*Synthesis, error) {
+	res, _, err := s.synthesize(ctx, t, false)
+	return res, err
+}
+
+// synthesize is the full pipeline; when capture is set (and the strategy is
+// capturable, and the space fits CaptureLimit) it additionally retains the
+// search space, per-member cost formulas and beam pruning trace for template
+// replay.
+func (s *Synthesizer) synthesize(ctx context.Context, t Task, capture bool) (*Synthesis, *Capture, error) {
 	start := time.Now()
 	maxDepth := s.MaxDepth
 	if maxDepth <= 0 {
@@ -171,10 +180,17 @@ func (s *Synthesizer) SynthesizeCtx(ctx context.Context, t Task) (*Synthesis, er
 		usesMemo = true
 	}
 
-	strat := s.strategy(sc)
+	capture = capture && s.capturable()
+	var trace []rules.TraceLevel
+	var tracePtr *[]rules.TraceLevel
+	if capture {
+		tracePtr = &trace
+	}
+
+	strat := s.strategy(sc, tracePtr)
 	space, stats := strat.Search(ctx, t.Spec.Prog, rls, rctx, maxDepth, maxSpace)
 	if err := ctx.Err(); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 
 	// Phase 1: cost every program with a heuristic parameter guess (the
@@ -220,10 +236,20 @@ func (s *Synthesizer) SynthesizeCtx(ctx context.Context, t Task) (*Synthesis, er
 		scr = append(scr, *c)
 	}
 	if err := ctx.Err(); err != nil {
-		return nil, err
+		return nil, nil, err
+	}
+	var cp *Capture
+	if capture && len(space) <= CaptureLimit {
+		costs := make([]*cost.Result, len(space))
+		for i, c := range costed {
+			if c != nil {
+				costs[i] = c.res
+			}
+		}
+		cp = &Capture{Space: space, Costs: costs, Stats: stats, Trace: trace}
 	}
 	if len(scr) == 0 {
-		return nil, fmt.Errorf("core: no program could be costed")
+		return nil, nil, fmt.Errorf("core: no program could be costed")
 	}
 	sort.SliceStable(scr, func(i, j int) bool { return scr[i].seconds < scr[j].seconds })
 	if len(scr) > screenTop {
@@ -260,7 +286,7 @@ func (s *Synthesizer) SynthesizeCtx(ctx context.Context, t Task) (*Synthesis, er
 		}
 	})
 	if err := ctx.Err(); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	var best *Candidate
 	for _, cand := range cands {
@@ -273,7 +299,7 @@ func (s *Synthesizer) SynthesizeCtx(ctx context.Context, t Task) (*Synthesis, er
 		}
 	}
 	if best == nil {
-		return nil, fmt.Errorf("core: no feasible candidate")
+		return nil, nil, fmt.Errorf("core: no feasible candidate")
 	}
 	return &Synthesis{
 		Best:        best,
@@ -283,7 +309,7 @@ func (s *Synthesizer) SynthesizeCtx(ctx context.Context, t Task) (*Synthesis, er
 		Elapsed:     time.Since(start),
 		Explored:    len(space),
 		Memo:        MemoStats{Keys: keys.Stats(), Cost: sc.costs.Stats()},
-	}, nil
+	}, cp, nil
 }
 
 // screenEstimate is one memoized screening cost: the cost.Estimate result
@@ -348,8 +374,9 @@ func (sc *screener) fromResult(res *cost.Result, err error) *screenEstimate {
 // (pointer or value) inherits the synthesizer's worker pool, and one with
 // no Rank gets the screening cost as its ranking function (cost with
 // heuristic parameters — cheap relative to the non-linear solver, and
-// shared with Phase 1 through the memo).
-func (s *Synthesizer) strategy(sc *screener) rules.SearchStrategy {
+// shared with Phase 1 through the memo). A non-nil trace makes the beam
+// record its pruning decisions for template capture.
+func (s *Synthesizer) strategy(sc *screener, trace *[]rules.TraceLevel) rules.SearchStrategy {
 	if s.Strategy == nil {
 		return rules.Exhaustive{Workers: s.Workers}
 	}
@@ -368,6 +395,9 @@ func (s *Synthesizer) strategy(sc *screener) rules.SearchStrategy {
 	if bb.Rank == nil {
 		bb.Rank = func(e ocal.Expr) float64 { return sc.estimate(e).seconds }
 	}
+	if trace != nil {
+		bb.Trace = trace
+	}
 	return &bb
 }
 
@@ -379,25 +409,45 @@ func (s *Synthesizer) strategy(sc *screener) rules.SearchStrategy {
 // slots per iteration instead of rebuilding an environment map; the
 // evaluations are bit-identical to Expr.Eval.
 func heuristicParams(res *cost.Result, fixed sym.Env) (map[string]int64, float64) {
-	out := map[string]int64{}
 	cf := cost.CompileFormulas(res.Seconds, res.Constraints, res.Params, fixed, true)
-	for _, p := range res.Params {
-		out[p] = 4096
+	vals, sec := heuristicPoint(cf, res.Params, nil)
+	out := make(map[string]int64, len(res.Params))
+	for i, p := range res.Params {
+		out[p] = vals[i]
 	}
-	cf.SetPoint(out)
+	return out, sec
+}
+
+// heuristicPoint is heuristicParams' feasibility-repair loop over already
+// compiled formulas, returning the values in params order (in buf, when it
+// has the capacity). Template replay drives it through per-member cached
+// compilations (re-bound through slot bindings), which cannot change a
+// single evaluation: fixed values live in slots, never in the instruction
+// tape.
+func heuristicPoint(cf *cost.CompiledFormulas, params []string, buf []int64) ([]int64, float64) {
+	var vals []int64
+	if cap(buf) >= len(params) {
+		vals = buf[:len(params)]
+	} else {
+		vals = make([]int64, len(params))
+	}
+	for i := range vals {
+		vals[i] = 4096
+	}
+	cf.SetPointVals(vals)
 	// Shrink until all constraints hold (cheap feasibility repair).
-	for iter := 0; iter < 40 && len(res.Params) > 0; iter++ {
+	for iter := 0; iter < 40 && len(params) > 0; iter++ {
 		if !cf.AnyViolated() {
 			break
 		}
-		for _, p := range res.Params {
-			if out[p] > 1 {
-				out[p] /= 2
+		for i := range vals {
+			if vals[i] > 1 {
+				vals[i] /= 2
 			}
 		}
-		cf.SetPoint(out)
+		cf.SetPointVals(vals)
 	}
-	return out, cf.Seconds()
+	return vals, cf.Seconds()
 }
 
 // paramUpperBounds caps each parameter at the total input size (a block

@@ -17,6 +17,7 @@ import (
 type CompiledFormulas struct {
 	seconds *sym.Program
 	cons    []compiledConstraint
+	slots   *sym.Slots
 	vals    []float64
 	params  []string
 	pslot   []int
@@ -43,6 +44,7 @@ func CompileFormulas(seconds sym.Expr, cons []Constraint, params []string, fixed
 	for i, p := range params {
 		c.pslot[i] = slots.Slot(p)
 	}
+	c.slots = slots
 	c.vals = slots.Values()
 	for k, v := range fixed {
 		if i, ok := slots.Lookup(k); ok {
@@ -52,12 +54,58 @@ func CompileFormulas(seconds sym.Expr, cons []Constraint, params []string, fixed
 	return c
 }
 
+// SetFixed rewrites the fixed-value slots for subsequent evaluations, exactly
+// as if the formulas had been compiled with this environment: names without a
+// slot are ignored, slots the environment does not mention keep their value.
+// Template instantiation uses it to re-bind input cardinalities on formulas
+// compiled once per template.
+func (c *CompiledFormulas) SetFixed(fixed sym.Env) {
+	for k, v := range fixed {
+		if i, ok := c.slots.Lookup(k); ok {
+			c.vals[i] = v
+		}
+	}
+}
+
 // SetPoint writes the parameter values for subsequent evaluations (params
 // in the order given to CompileFormulas; a parameter also present in fixed
 // wins, as it would in a merged environment).
 func (c *CompiledFormulas) SetPoint(x map[string]int64) {
 	for i, p := range c.params {
 		c.vals[c.pslot[i]] = float64(x[p])
+	}
+}
+
+// SetPointVals is SetPoint with the values given in params order — the
+// allocation-free form the screening loop drives.
+func (c *CompiledFormulas) SetPointVals(vals []int64) {
+	for i := range c.params {
+		c.vals[c.pslot[i]] = float64(vals[i])
+	}
+}
+
+// Binding resolves names to value slots once (-1 when the formulas never
+// reference a name), for callers that re-bind the same variables across
+// many evaluations without per-call map lookups.
+func (c *CompiledFormulas) Binding(names []string) []int32 {
+	out := make([]int32, len(names))
+	for i, n := range names {
+		if s, ok := c.slots.Lookup(n); ok {
+			out[i] = int32(s)
+		} else {
+			out[i] = -1
+		}
+	}
+	return out
+}
+
+// SetBound writes vals (aligned with the Binding's names) through a
+// precomputed Binding — exactly SetFixed, minus the lookups.
+func (c *CompiledFormulas) SetBound(bind []int32, vals []float64) {
+	for i, s := range bind {
+		if s >= 0 {
+			c.vals[s] = vals[i]
+		}
 	}
 }
 

@@ -11,6 +11,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -73,10 +74,14 @@ type Result struct {
 	// and ExecWorkers the executor worker count it was measured at.
 	ExecSecs    float64
 	ExecWorkers int
-	Program     string
-	Params      map[string]int64
-	CacheMissR  float64 // cache miss ratio when a cache level exists
-	OutRows     int64
+	// TemplateWarmSecs is the steady-state wall-clock of re-instantiating
+	// this row's captured plan template at scaled cardinalities (Config
+	// .Templates); 0 when templates were off or the capture went stale.
+	TemplateWarmSecs float64
+	Program          string
+	Params           map[string]int64
+	CacheMissR       float64 // cache miss ratio when a cache level exists
+	OutRows          int64
 	// Explored is the number of candidate programs costed by the screening
 	// pass, and Memo the synthesis cache counters (interned nodes, alpha-key
 	// and cost-memo hits) — the raw material of the machine-readable bench
@@ -96,6 +101,16 @@ func Run(e Experiment) (*Result, error) {
 
 // Synthesize runs the search phase of an experiment.
 func Synthesize(e Experiment) (*core.Synthesis, error) {
+	synth, task := setup(e)
+	syn, err := synth.Synthesize(task)
+	if err != nil {
+		return nil, fmt.Errorf("%s: synthesize: %w", e.Name, err)
+	}
+	return syn, nil
+}
+
+// setup builds the synthesizer and task of an experiment.
+func setup(e Experiment) (*core.Synthesizer, core.Task) {
 	synth := &core.Synthesizer{
 		H: e.Hier, MaxDepth: e.MaxDepth, MaxSpace: e.MaxSpace, Rules: e.Rules,
 		Strategy: e.Strategy, Workers: e.Workers,
@@ -106,11 +121,44 @@ func Synthesize(e Experiment) (*core.Synthesis, error) {
 		InputRows: e.Rows,
 		Output:    e.Output,
 	}
-	syn, err := synth.Synthesize(task)
+	return synth, task
+}
+
+// SynthesizeWarm runs the search phase while capturing a plan template, then
+// measures re-instantiating the template at scaled cardinalities — the
+// amortized cost of serving a warm shape at a new size. The first
+// instantiation is warm-up (it compiles the screening formulas the template
+// carries symbolically); the reported seconds are the steady-state second
+// instantiation at yet another size. Warm seconds are 0 when the run is not
+// capturable or the capture goes stale at the scaled sizes.
+func SynthesizeWarm(e Experiment) (*core.Synthesis, float64, error) {
+	synth, task := setup(e)
+	syn, cp, err := synth.SynthesizeCapture(context.Background(), task)
 	if err != nil {
-		return nil, fmt.Errorf("%s: synthesize: %w", e.Name, err)
+		return nil, 0, fmt.Errorf("%s: synthesize: %w", e.Name, err)
 	}
-	return syn, nil
+	if cp == nil {
+		return syn, 0, nil
+	}
+	replay := core.NewReplay(cp)
+	if _, err := replay.Instantiate(context.Background(), synth, scaleRows(task, 2)); err != nil {
+		return syn, 0, nil
+	}
+	warm, err := replay.Instantiate(context.Background(), synth, scaleRows(task, 3))
+	if err != nil {
+		return syn, 0, nil
+	}
+	return syn, warm.Elapsed.Seconds(), nil
+}
+
+// scaleRows multiplies every input cardinality by k (the task is copied).
+func scaleRows(t core.Task, k int64) core.Task {
+	rows := make(map[string]int64, len(t.InputRows))
+	for name, n := range t.InputRows {
+		rows[name] = n * k
+	}
+	t.InputRows = rows
+	return t
 }
 
 // Execute runs an experiment's synthesized winner on the storage simulator

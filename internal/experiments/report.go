@@ -14,8 +14,10 @@ import (
 // (EstOverAct), plus the TotalExecSecs gate metric. v3 adds the
 // morsel-driven executor: the per-row ExecWorkers field, the ExecParallel
 // rows (the same workload executed at several worker counts) and their
-// TotalExecParSecs gate metric.
-const BenchSchema = "ocas-bench/v3"
+// TotalExecParSecs gate metric. v4 adds the template tier: the per-row
+// TemplateWarmSecs (steady-state template instantiation at scaled
+// cardinalities) and its TotalTemplateWarmSecs gate metric.
+const BenchSchema = "ocas-bench/v4"
 
 // BenchRow is one experiment in the machine-readable report.
 type BenchRow struct {
@@ -34,6 +36,10 @@ type BenchRow struct {
 	SynthSecs   float64 `json:"synthSecs"`
 	ExecSecs    float64 `json:"execSecs"`
 	ExecWorkers int     `json:"execWorkers"`
+	// TemplateWarmSecs is the steady-state wall-clock of instantiating the
+	// row's captured plan template at scaled cardinalities (ocasbench
+	// -templates); absent when templates were off or the capture went stale.
+	TemplateWarmSecs float64 `json:"templateWarmSecs,omitempty"`
 	// EstOverAct is the calibration ratio of the paper's accuracy
 	// discussion: the tuned cost estimate (OptSecs) over the executor's
 	// virtual-clock measurement (ActSecs).
@@ -76,29 +82,33 @@ type BenchReport struct {
 	TotalSynthSecs   float64 `json:"totalSynthSecs"`
 	TotalExecSecs    float64 `json:"totalExecSecs"`
 	TotalExecParSecs float64 `json:"totalExecParSecs,omitempty"`
+	// TotalTemplateWarmSecs sums TemplateWarmSecs over the Table 1 rows —
+	// the template tier's gate metric (0 when -templates was off).
+	TotalTemplateWarmSecs float64 `json:"totalTemplateWarmSecs,omitempty"`
 }
 
 // benchRow converts one experiment result.
 func benchRow(r *Result) BenchRow {
 	row := BenchRow{
-		Name:          r.Name,
-		PaperRow:      r.PaperRow,
-		SpecSecs:      r.SpecSecs,
-		OptSecs:       r.OptSecs,
-		ActSecs:       r.ActSecs,
-		SynthSecs:     r.SynthSecs,
-		ExecSecs:      r.ExecSecs,
-		ExecWorkers:   r.ExecWorkers,
-		SpaceSize:     r.SpaceSize,
-		Explored:      r.Explored,
-		Steps:         r.Steps,
-		InternedNodes: r.Memo.Keys.InternedNodes,
-		AlphaHits:     r.Memo.Keys.AlphaHits,
-		AlphaMisses:   r.Memo.Keys.AlphaMisses,
-		CostEntries:   r.Memo.Cost.Entries,
-		CostHits:      r.Memo.Cost.Hits,
-		Params:        r.Params,
-		Program:       r.Program,
+		Name:             r.Name,
+		PaperRow:         r.PaperRow,
+		SpecSecs:         r.SpecSecs,
+		OptSecs:          r.OptSecs,
+		ActSecs:          r.ActSecs,
+		SynthSecs:        r.SynthSecs,
+		ExecSecs:         r.ExecSecs,
+		ExecWorkers:      r.ExecWorkers,
+		TemplateWarmSecs: r.TemplateWarmSecs,
+		SpaceSize:        r.SpaceSize,
+		Explored:         r.Explored,
+		Steps:            r.Steps,
+		InternedNodes:    r.Memo.Keys.InternedNodes,
+		AlphaHits:        r.Memo.Keys.AlphaHits,
+		AlphaMisses:      r.Memo.Keys.AlphaMisses,
+		CostEntries:      r.Memo.Cost.Entries,
+		CostHits:         r.Memo.Cost.Hits,
+		Params:           r.Params,
+		Program:          r.Program,
 	}
 	if row.ExecWorkers < 1 {
 		row.ExecWorkers = 1
@@ -134,6 +144,7 @@ func NewBenchReport(cfg Config, table1 []*Result, execPar []*Result) *BenchRepor
 		rep.Table1 = append(rep.Table1, benchRow(r))
 		rep.TotalSynthSecs += r.SynthSecs
 		rep.TotalExecSecs += r.ExecSecs
+		rep.TotalTemplateWarmSecs += r.TemplateWarmSecs
 	}
 	for _, r := range execPar {
 		rep.ExecParallel = append(rep.ExecParallel, benchRow(r))
@@ -194,6 +205,16 @@ func CompareBaseline(current, baseline *BenchReport, maxRegressPct float64) erro
 		if ratio > limit {
 			return fmt.Errorf("executor wall-clock regressed %.1f%% (current %.3fs vs baseline %.3fs, limit +%.0f%%)",
 				(ratio-1)*100, current.TotalExecSecs, baseline.TotalExecSecs, maxRegressPct)
+		}
+	}
+	// The template tier's warm-instantiation total gates the same way; runs
+	// or baselines without -templates carry 0 and skip the check, so the
+	// gate only ever compares like against like.
+	if baseline.TotalTemplateWarmSecs > 0 && current.TotalTemplateWarmSecs > 0 {
+		ratio := current.TotalTemplateWarmSecs / baseline.TotalTemplateWarmSecs
+		if ratio > limit {
+			return fmt.Errorf("template warm-instantiation wall-clock regressed %.1f%% (current %.3fs vs baseline %.3fs, limit +%.0f%%)",
+				(ratio-1)*100, current.TotalTemplateWarmSecs, baseline.TotalTemplateWarmSecs, maxRegressPct)
 		}
 	}
 	// The multi-worker executor rows gate their own wall-clock total, so a

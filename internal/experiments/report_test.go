@@ -49,7 +49,7 @@ func TestBenchReportCalibration(t *testing.T) {
 	if rep.TotalExecSecs != 0.25 {
 		t.Errorf("totalExecSecs = %v want 0.25", rep.TotalExecSecs)
 	}
-	if rep.Schema != "ocas-bench/v3" {
+	if rep.Schema != "ocas-bench/v4" {
 		t.Errorf("schema = %q", rep.Schema)
 	}
 	if len(rep.ExecParallel) != 2 || rep.ExecParallel[1].ExecWorkers != 4 {
@@ -60,6 +60,41 @@ func TestBenchReportCalibration(t *testing.T) {
 	}
 	if rep.Table1[0].ExecWorkers != 1 {
 		t.Errorf("table1 rows default to one worker, got %d", rep.Table1[0].ExecWorkers)
+	}
+}
+
+func TestBenchReportTemplateWarm(t *testing.T) {
+	rep := NewBenchReport(Config{Shrink: 8, Templates: true}, []*Result{
+		{Name: "a", SynthSecs: 0.5, TemplateWarmSecs: 0.01},
+		{Name: "b", SynthSecs: 0.5, TemplateWarmSecs: 0.02},
+	}, nil)
+	if rep.TotalTemplateWarmSecs != 0.03 {
+		t.Errorf("totalTemplateWarmSecs = %v want 0.03", rep.TotalTemplateWarmSecs)
+	}
+	if rep.Table1[0].TemplateWarmSecs != 0.01 {
+		t.Errorf("row templateWarmSecs = %v want 0.01", rep.Table1[0].TemplateWarmSecs)
+	}
+}
+
+func TestCompareBaselineGatesTemplateWarmClock(t *testing.T) {
+	mk := func(warm float64) *BenchReport {
+		r := benchFixture(1.0, 2.0)
+		r.TotalTemplateWarmSecs = warm
+		return r
+	}
+	if err := CompareBaseline(mk(1.1), mk(1.0), 30); err != nil {
+		t.Errorf("within-limit warm clock must pass: %v", err)
+	}
+	err := CompareBaseline(mk(2.0), mk(1.0), 30)
+	if err == nil || !strings.Contains(err.Error(), "template warm-instantiation") {
+		t.Errorf("template-warm regression must gate, got %v", err)
+	}
+	// Runs or baselines without -templates skip the check.
+	if err := CompareBaseline(mk(99.0), mk(0), 30); err != nil {
+		t.Errorf("pre-template baseline must skip the gate: %v", err)
+	}
+	if err := CompareBaseline(mk(0), mk(1.0), 30); err != nil {
+		t.Errorf("template-less run against a template baseline must skip the gate: %v", err)
 	}
 }
 

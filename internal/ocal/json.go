@@ -1,0 +1,225 @@
+package ocal
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// This file is the faithful JSON codec for OCAL expressions, used by the
+// plan-template persistence (internal/plan). The canonical printing
+// (String/Parse) is not a round trip: cost hints, seq-ac annotations and
+// buffering parameters render for humans but do not all re-parse, and the
+// rewrite rules produce function-valued forms (mrg, funcPow, partition) the
+// parser never reads. The codec is a tagged union over the AST instead: one
+// node object {"k": kind, ...fields, "kids": children} per expression, with
+// children in the Children() order.
+
+// jsonNode is the serialized form of one Expr node. One struct covers every
+// node kind; unused fields are omitted.
+type jsonNode struct {
+	K    string     `json:"k"`
+	Name string     `json:"name,omitempty"` // Var
+	Int  int64      `json:"int,omitempty"`  // IntLit
+	Bool bool       `json:"bool,omitempty"` // BoolLit
+	Str  string     `json:"str,omitempty"`  // StrLit
+	Strs []string   `json:"strs,omitempty"` // Lam.Params
+	I    int        `json:"i,omitempty"`    // Proj.I
+	N    int        `json:"n,omitempty"`    // ZipStep.N, ZipLists.N, FuncPow.K, Prim.Op
+	Hint int        `json:"hint,omitempty"` // FoldL.Hint, UnfoldR.Hint
+	P1   *jsonParam `json:"p1,omitempty"`   // For.K, TreeFold.K, UnfoldR.K, PartitionF.S
+	P2   *jsonParam `json:"p2,omitempty"`   // For.OutK, TreeFold.OutK, UnfoldR.OutK
+	X    string     `json:"x,omitempty"`    // For.X
+	Seq  *SeqAnnot  `json:"seq,omitempty"`  // For.Seq
+	Kids []jsonNode `json:"kids,omitempty"`
+}
+
+type jsonParam struct {
+	Sym string `json:"sym,omitempty"`
+	Val int64  `json:"val,omitempty"`
+}
+
+func paramOut(p Param) *jsonParam {
+	if p == (Param{}) {
+		return nil
+	}
+	return &jsonParam{Sym: p.Sym, Val: p.Val}
+}
+
+func paramIn(p *jsonParam) Param {
+	if p == nil {
+		return Param{}
+	}
+	return Param{Sym: p.Sym, Val: p.Val}
+}
+
+// MarshalExpr encodes e as JSON. The encoding is a pure function of the
+// expression structure (field order is fixed by the struct), so equal
+// expressions produce equal bytes.
+func MarshalExpr(e Expr) ([]byte, error) {
+	n, err := exprToNode(e)
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(n)
+}
+
+// UnmarshalExpr decodes bytes produced by MarshalExpr.
+func UnmarshalExpr(data []byte) (Expr, error) {
+	var n jsonNode
+	if err := json.Unmarshal(data, &n); err != nil {
+		return nil, fmt.Errorf("ocal: expr json: %w", err)
+	}
+	return nodeToExpr(n)
+}
+
+func exprToNode(e Expr) (jsonNode, error) {
+	kids := Children(e)
+	n := jsonNode{}
+	if len(kids) > 0 {
+		n.Kids = make([]jsonNode, len(kids))
+		for i, k := range kids {
+			kn, err := exprToNode(k)
+			if err != nil {
+				return jsonNode{}, err
+			}
+			n.Kids[i] = kn
+		}
+	}
+	switch t := e.(type) {
+	case Var:
+		n.K, n.Name = "var", t.Name
+	case IntLit:
+		n.K, n.Int = "int", t.V
+	case BoolLit:
+		n.K, n.Bool = "bool", t.V
+	case StrLit:
+		n.K, n.Str = "str", t.V
+	case Lam:
+		n.K, n.Strs = "lam", t.Params
+	case App:
+		n.K = "app"
+	case Tup:
+		n.K = "tup"
+	case Proj:
+		n.K, n.I = "proj", t.I
+	case Single:
+		n.K = "single"
+	case Empty:
+		n.K = "empty"
+	case If:
+		n.K = "if"
+	case Prim:
+		n.K, n.N = "prim", int(t.Op)
+	case FlatMap:
+		n.K = "flatmap"
+	case FoldL:
+		n.K, n.Hint = "foldl", int(t.Hint)
+	case For:
+		n.K, n.X, n.P1, n.P2, n.Seq = "for", t.X, paramOut(t.K), paramOut(t.OutK), t.Seq
+	case TreeFold:
+		n.K, n.P1, n.P2 = "treefold", paramOut(t.K), paramOut(t.OutK)
+	case UnfoldR:
+		n.K, n.P1, n.P2, n.Hint = "unfoldr", paramOut(t.K), paramOut(t.OutK), int(t.Hint)
+	case Mrg:
+		n.K = "mrg"
+	case ZipStep:
+		n.K, n.N = "zipstep", t.N
+	case FuncPow:
+		n.K, n.N = "funcpow", t.K
+	case PartitionF:
+		n.K, n.P1 = "partition", paramOut(t.S)
+	case ZipLists:
+		n.K, n.N = "ziplists", t.N
+	default:
+		return jsonNode{}, fmt.Errorf("ocal: expr json: unknown node %T", e)
+	}
+	return n, nil
+}
+
+func nodeToExpr(n jsonNode) (Expr, error) {
+	kids := make([]Expr, len(n.Kids))
+	for i, kn := range n.Kids {
+		k, err := nodeToExpr(kn)
+		if err != nil {
+			return nil, err
+		}
+		kids[i] = k
+	}
+	need := func(want int) error {
+		if len(kids) != want {
+			return fmt.Errorf("ocal: expr json: %q wants %d children, got %d", n.K, want, len(kids))
+		}
+		return nil
+	}
+	switch n.K {
+	case "var":
+		return Var{Name: n.Name}, need(0)
+	case "int":
+		return IntLit{V: n.Int}, need(0)
+	case "bool":
+		return BoolLit{V: n.Bool}, need(0)
+	case "str":
+		return StrLit{V: n.Str}, need(0)
+	case "lam":
+		return Lam{Params: n.Strs, Body: first(kids)}, need(1)
+	case "app":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		return App{Fn: kids[0], Arg: kids[1]}, nil
+	case "tup":
+		return Tup{Elems: kids}, nil
+	case "proj":
+		return Proj{E: first(kids), I: n.I}, need(1)
+	case "single":
+		return Single{E: first(kids)}, need(1)
+	case "empty":
+		return Empty{}, need(0)
+	case "if":
+		if err := need(3); err != nil {
+			return nil, err
+		}
+		return If{Cond: kids[0], Then: kids[1], Else: kids[2]}, nil
+	case "prim":
+		return Prim{Op: PrimOp(n.N), Args: kids}, nil
+	case "flatmap":
+		return FlatMap{Fn: first(kids)}, need(1)
+	case "foldl":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		return FoldL{Init: kids[0], Fn: kids[1], Hint: CardHint(n.Hint)}, nil
+	case "for":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		return For{X: n.X, K: paramIn(n.P1), Src: kids[0],
+			OutK: paramIn(n.P2), Seq: n.Seq, Body: kids[1]}, nil
+	case "treefold":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		return TreeFold{K: paramIn(n.P1), Init: kids[0], Fn: kids[1], OutK: paramIn(n.P2)}, nil
+	case "unfoldr":
+		return UnfoldR{Fn: first(kids), K: paramIn(n.P1),
+			Hint: CardHint(n.Hint), OutK: paramIn(n.P2)}, need(1)
+	case "mrg":
+		return Mrg{}, need(0)
+	case "zipstep":
+		return ZipStep{N: n.N}, need(0)
+	case "funcpow":
+		return FuncPow{K: n.N, Fn: first(kids)}, need(1)
+	case "partition":
+		return PartitionF{S: paramIn(n.P1)}, need(0)
+	case "ziplists":
+		return ZipLists{N: n.N}, need(0)
+	}
+	return nil, fmt.Errorf("ocal: expr json: unknown kind %q", n.K)
+}
+
+func first(kids []Expr) Expr {
+	if len(kids) == 0 {
+		return nil
+	}
+	return kids[0]
+}

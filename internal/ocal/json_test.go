@@ -1,0 +1,95 @@
+package ocal
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestExprJSONRoundTrip pins the codec's faithfulness on nodes the canonical
+// printing loses: hints, seq-ac annotations, buffering parameters, and the
+// function-valued rewrite forms the parser never reads.
+func TestExprJSONRoundTrip(t *testing.T) {
+	seq := &SeqAnnot{From: "hdd", To: "ram"}
+	exprs := []Expr{
+		Var{Name: "R"},
+		IntLit{V: 0},
+		IntLit{V: -7},
+		BoolLit{V: false},
+		StrLit{V: "s"},
+		Empty{},
+		Single{E: Var{Name: "x"}},
+		Tup{Elems: []Expr{IntLit{V: 1}, Var{Name: "y"}}},
+		Proj{E: Var{Name: "x"}, I: 2},
+		If{Cond: BoolLit{V: true}, Then: Empty{}, Else: Single{E: Var{Name: "x"}}},
+		Prim{Op: OpEq, Args: []Expr{Proj{E: Var{Name: "x"}, I: 1}, IntLit{V: 3}}},
+		Prim{Op: OpHash, Args: []Expr{Var{Name: "x"}}},
+		Lam{Params: []string{"a", "b"}, Body: Var{Name: "a"}},
+		App{Fn: FlatMap{Fn: Lam{Params: []string{"x"}, Body: Single{E: Var{Name: "x"}}}}, Arg: Var{Name: "R"}},
+		FoldL{Init: Empty{}, Fn: Lam{Params: []string{"acc", "x"}, Body: Var{Name: "acc"}}, Hint: HintSumCards},
+		For{X: "xb", K: SymP("k1"), Src: Var{Name: "R"}, OutK: Lit(8), Seq: seq,
+			Body: For{X: "x", K: Param{}, Src: Var{Name: "xb"}, Body: Single{E: Var{Name: "x"}}}},
+		TreeFold{K: SymP("k3"), Init: Empty{}, Fn: Mrg{}, OutK: SymP("k4")},
+		UnfoldR{Fn: FuncPow{K: 3, Fn: Mrg{}}, K: SymP("k5"), Hint: HintFirstCard, OutK: Lit(2)},
+		ZipStep{N: 4},
+		PartitionF{S: SymP("s1")},
+		ZipLists{N: 2},
+	}
+	for _, e := range exprs {
+		data, err := MarshalExpr(e)
+		if err != nil {
+			t.Fatalf("marshal %T: %v", e, err)
+		}
+		back, err := UnmarshalExpr(data)
+		if err != nil {
+			t.Fatalf("unmarshal %T (%s): %v", e, data, err)
+		}
+		if !reflect.DeepEqual(e, back) {
+			t.Errorf("round trip %T changed:\n  in:  %#v\n  out: %#v\n  json: %s", e, e, back, data)
+		}
+		// Re-encoding must be byte-stable (persistence diffs depend on it).
+		data2, err := MarshalExpr(back)
+		if err != nil {
+			t.Fatalf("re-marshal %T: %v", e, err)
+		}
+		if string(data) != string(data2) {
+			t.Errorf("re-encode %T not byte-stable:\n  %s\n  %s", e, data, data2)
+		}
+	}
+}
+
+// TestExprJSONRoundTripParsed round-trips every expression reachable from a
+// parsed program to catch codec/AST drift.
+func TestExprJSONRoundTripParsed(t *testing.T) {
+	src := `for (x <- R) for (y <- S) if x.1 == y.1 then [<x, y>] else []`
+	prog, err := ParseFile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := MarshalExpr(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := UnmarshalExpr(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := String(back), String(prog); got != want {
+		t.Fatalf("printed form changed: %q != %q", got, want)
+	}
+	if !reflect.DeepEqual(prog, back) {
+		t.Fatalf("round trip changed AST:\n  in:  %#v\n  out: %#v", prog, back)
+	}
+}
+
+func TestExprJSONRejectsMalformed(t *testing.T) {
+	for _, bad := range []string{
+		`{"k":"nope"}`,
+		`{"k":"app","kids":[{"k":"empty"}]}`,
+		`{"k":"if","kids":[{"k":"empty"}]}`,
+		`not json`,
+	} {
+		if _, err := UnmarshalExpr([]byte(bad)); err == nil {
+			t.Errorf("UnmarshalExpr(%q) accepted malformed input", bad)
+		}
+	}
+}

@@ -47,15 +47,69 @@ const (
 // assignment is found.
 func Minimize(p Problem) (*Result, error) {
 	if len(p.Params) == 0 {
-		v := p.Objective.Eval(p.Fixed)
-		if math.IsNaN(v) {
-			return nil, fmt.Errorf("opt: objective has unbound variables: %v", sym.FreeVars(p.Objective))
-		}
-		return &Result{Values: map[string]int64{}, Seconds: v}, nil
+		return minimizeNoParams(p)
 	}
+	params := sortedParams(p)
+	// The search below evaluates the objective and every constraint
+	// thousands of times under environments that differ only in the tuning
+	// parameters, so the formulas are compiled once onto a shared slot
+	// layout (cost.CompileFormulas): fixed values are written once, and
+	// each evaluation point just overwrites the parameter slots. Compiled
+	// evaluation is bit-identical to Expr.Eval, so the minimizer's
+	// trajectory (and winner) is unchanged.
+	cf := cost.CompileFormulas(p.Objective, p.Constraints, params, p.Fixed, false)
+	return minimizeWith(p, params, cf)
+}
+
+// Compiled is one problem's formulas compiled for repeated minimization
+// under varying Fixed environments (plan-template instantiation re-tunes the
+// same cost formulas at fresh cardinalities). Not safe for concurrent use.
+type Compiled struct {
+	params []string
+	cf     *cost.CompiledFormulas
+}
+
+// Precompile compiles p's formulas once. Only the Objective, Constraints and
+// Params of p matter here; Fixed, Lo and Hi are taken from the Problem given
+// to each Minimize call.
+func Precompile(p Problem) *Compiled {
+	params := sortedParams(p)
+	return &Compiled{params: params,
+		cf: cost.CompileFormulas(p.Objective, p.Constraints, params, nil, false)}
+}
+
+// Minimize solves p over the precompiled formulas. p must carry the same
+// Objective, Constraints and Params the Compiled was built from; the result
+// is bit-identical to Minimize(p) — same slot layout, same instruction
+// sequence, same trajectory.
+func (c *Compiled) Minimize(p Problem) (*Result, error) {
+	if len(p.Params) == 0 {
+		return minimizeNoParams(p)
+	}
+	c.cf.SetFixed(p.Fixed)
+	return minimizeWith(p, c.params, c.cf)
+}
+
+// minimizeNoParams is the parameter-free fast path: the objective is a
+// constant under Fixed (kept on Expr.Eval, one evaluation is cheaper than a
+// compile).
+func minimizeNoParams(p Problem) (*Result, error) {
+	v := p.Objective.Eval(p.Fixed)
+	if math.IsNaN(v) {
+		return nil, fmt.Errorf("opt: objective has unbound variables: %v", sym.FreeVars(p.Objective))
+	}
+	return &Result{Values: map[string]int64{}, Seconds: v}, nil
+}
+
+func sortedParams(p Problem) []string {
 	params := append([]string(nil), p.Params...)
 	sort.Strings(params)
+	return params
+}
 
+// minimizeWith is the penalty/pattern-search loop shared by the one-shot and
+// precompiled entry points.
+func minimizeWith(p Problem, params []string, cf *cost.CompiledFormulas) (*Result, error) {
 	lo := func(name string) int64 {
 		if v, ok := p.Lo[name]; ok && v > 0 {
 			return v
@@ -68,15 +122,6 @@ func Minimize(p Problem) (*Result, error) {
 		}
 		return defaultHi
 	}
-
-	// The search below evaluates the objective and every constraint
-	// thousands of times under environments that differ only in the tuning
-	// parameters, so the formulas are compiled once onto a shared slot
-	// layout (cost.CompileFormulas): fixed values are written once, and
-	// each evaluation point just overwrites the parameter slots. Compiled
-	// evaluation is bit-identical to Expr.Eval, so the minimizer's
-	// trajectory (and winner) is unchanged.
-	cf := cost.CompileFormulas(p.Objective, p.Constraints, params, p.Fixed, false)
 
 	violationAt := func(x map[string]int64) float64 {
 		cf.SetPoint(x)

@@ -138,6 +138,10 @@ type Compiled struct {
 	Synth       *core.Synthesizer
 	Task        core.Task
 	Fingerprint string
+	// TemplateFingerprint keys the request's plan template: the same hash
+	// with input cardinalities and hierarchy constants left out, so every
+	// request of the same shape shares one template (see template.go).
+	TemplateFingerprint string
 }
 
 // Compile normalizes and validates a request, returning everything needed
@@ -227,7 +231,12 @@ func Compile(req Request) (*Compiled, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Compiled{Req: req, Prog: prog, H: h, Synth: synth, Task: task, Fingerprint: fp}, nil
+	tfp, err := templateFingerprint(req, prog, h, keys)
+	if err != nil {
+		return nil, err
+	}
+	return &Compiled{Req: req, Prog: prog, H: h, Synth: synth, Task: task,
+		Fingerprint: fp, TemplateFingerprint: tfp}, nil
 }
 
 // builtinHier is the one list of named hierarchies; cmd/ocas resolves its
@@ -411,10 +420,15 @@ func (c *Compiled) Run(ctx context.Context) (*Plan, error) {
 	if err != nil {
 		return nil, err
 	}
+	return c.finishPlan(res)
+}
+
+// finishPlan builds the canonical plan and rejects degenerate results: the
+// screening pass encodes "could not be costed" as ±Inf/NaN; a plan carrying
+// such an estimate is degenerate, and non-finite floats do not survive JSON
+// encoding (Encode relies on every Plan being encodable).
+func (c *Compiled) finishPlan(res *core.Synthesis) (*Plan, error) {
 	p := c.build(res)
-	// The screening pass encodes "could not be costed" as ±Inf/NaN; a plan
-	// carrying such an estimate is degenerate, and non-finite floats do not
-	// survive JSON encoding (Encode relies on every Plan being encodable).
 	for _, f := range []float64{p.SpecSeconds, p.Seconds, p.Speedup} {
 		if math.IsNaN(f) || math.IsInf(f, 0) {
 			return nil, fmt.Errorf("plan has a non-finite cost estimate (spec %v, best %v)",

@@ -1,0 +1,242 @@
+// Plan templates: the synthesize-once/re-tune-many split of the cache.
+//
+// A Template is what one full synthesis leaves behind for every future
+// request of the same *shape*: the explored search space with its symbolic
+// cost formulas (input cardinalities are free variables there) and the
+// beam's pruning trace. The template fingerprint hashes the alpha-normalized
+// program, the hierarchy shape (node names, kinds and topology — sizes and
+// edge costs excluded), the placement (input→node, arities — rows excluded)
+// and the search knobs; requests differing only in cardinalities or device
+// constants share one template.
+//
+// Instantiate binds a request's concrete sizes and re-runs only the
+// cardinality-dependent phases (heuristic screening + parameter
+// optimization) over the captured space, yielding a plan byte-identical to
+// a cold full search. Three guards reject a template with ErrTemplateStale,
+// sending the request down the full-search path instead:
+//
+//   - hierarchy constants: the cost formulas bake in device sizes and
+//     transfer costs, so a template only serves requests whose full
+//     hierarchy matches the capturing one (same shape, different constants
+//     re-synthesizes and replaces the template);
+//   - spec text: rewrites name fresh binders deterministically from the
+//     request's own source, so a template only replays for the identical
+//     concrete program text (alpha-equivalent spellings share the template
+//     key but not the plan bytes);
+//   - beam trace: a beam's search space depends on cardinality-based
+//     pruning; the recorded trace is re-verified at the new sizes and any
+//     divergence — a different derivation could win — falls back.
+package plan
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"strings"
+
+	"ocas/internal/core"
+	"ocas/internal/memory"
+	"ocas/internal/ocal"
+	"ocas/internal/rules"
+)
+
+// ErrTemplateStale reports that a template cannot serve this request: a
+// full search could produce a different plan. Callers fall back to full
+// synthesis (and typically replace the template with the fresh capture).
+var ErrTemplateStale = errors.New("plan: template is stale for this request")
+
+// Template is a reusable synthesis for one request shape.
+type Template struct {
+	// Fingerprint is the template fingerprint (Compiled.TemplateFingerprint).
+	Fingerprint string
+	// SpecText is the canonical printing of the captured specification;
+	// instantiation requires the requesting program to print identically so
+	// that replayed plan bytes (binder names included) match a cold run.
+	SpecText string
+	// HierSig is the canonical hierarchy JSON of the capturing request,
+	// constants included.
+	HierSig string
+
+	cp     *core.Capture
+	replay *core.Replay
+}
+
+// RunCapture is Run, additionally returning the run's template. The template
+// is nil (with a valid plan) when the run is not capturable — custom search
+// strategies or spaces beyond core.CaptureLimit.
+func (c *Compiled) RunCapture(ctx context.Context) (*Plan, *Template, error) {
+	res, cp, err := c.Synth.SynthesizeCapture(ctx, c.Task)
+	if err != nil {
+		return nil, nil, err
+	}
+	p, err := c.finishPlan(res)
+	if err != nil {
+		return nil, nil, err
+	}
+	if cp == nil {
+		return p, nil, nil
+	}
+	hj, err := json.Marshal(c.H)
+	if err != nil {
+		return nil, nil, fmt.Errorf("template hierarchy signature: %w", err)
+	}
+	t := &Template{
+		Fingerprint: c.TemplateFingerprint,
+		SpecText:    ocal.String(c.Prog),
+		HierSig:     string(hj),
+		cp:          cp,
+		replay:      core.NewReplay(cp),
+	}
+	return p, t, nil
+}
+
+// Instantiate binds the request's cardinalities into the template and
+// re-optimizes, producing the plan a cold full search would produce — byte
+// for byte. ErrTemplateStale means the guards could not prove that, and the
+// caller must synthesize from scratch. Safe for concurrent use.
+func (c *Compiled) Instantiate(ctx context.Context, t *Template) (*Plan, error) {
+	if t.Fingerprint != c.TemplateFingerprint {
+		return nil, ErrTemplateStale
+	}
+	hj, err := json.Marshal(c.H)
+	if err != nil {
+		return nil, fmt.Errorf("template hierarchy signature: %w", err)
+	}
+	if string(hj) != t.HierSig {
+		return nil, ErrTemplateStale
+	}
+	if ocal.String(c.Prog) != t.SpecText {
+		return nil, ErrTemplateStale
+	}
+	res, err := t.replay.Instantiate(ctx, c.Synth, c.Task)
+	if errors.Is(err, core.ErrStaleCapture) {
+		return nil, ErrTemplateStale
+	}
+	if err != nil {
+		return nil, err
+	}
+	return c.finishPlan(res)
+}
+
+// templateFingerprint is the shape-level content address: the plan
+// fingerprint with everything cardinality- and constant-shaped left out.
+// Input rows and the hierarchy's sizes/costs are free template slots;
+// binder names, whitespace and worker counts never mattered.
+func templateFingerprint(req Request, prog ocal.Expr, h *memory.Hierarchy, keys *rules.Keyer) (string, error) {
+	shape, err := hierShape(h)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	b.WriteString("ocas-template-v1\n")
+	fmt.Fprintf(&b, "prog %s\n", keys.AlphaKey(prog))
+	fmt.Fprintf(&b, "hier %s\n", shape)
+	for _, name := range sortedInputNames(req.Inputs) {
+		in := req.Inputs[name]
+		fmt.Fprintf(&b, "in %s=%s:%d\n", name, in.Node, in.Arity)
+	}
+	fmt.Fprintf(&b, "out %s\nintermediate %s\ncommutative %v\n",
+		req.Output, req.Intermediate, *req.Commutative)
+	fmt.Fprintf(&b, "strategy %s:%d\ndepth %d\nspace %d\n",
+		req.Strategy, req.Beam, req.Depth, req.Space)
+	sum := sha256.Sum256([]byte(b.String()))
+	return hex.EncodeToString(sum[:]), nil
+}
+
+// shapeNode is the constant-free skeleton of a hierarchy node.
+type shapeNode struct {
+	Name     string      `json:"name"`
+	Kind     memory.Kind `json:"kind"`
+	Children []shapeNode `json:"children,omitempty"`
+}
+
+// hierShape renders the hierarchy's topology — names, kinds, parent/child
+// structure — without sizes, page sizes or transfer costs.
+func hierShape(h *memory.Hierarchy) (string, error) {
+	full, err := json.Marshal(h)
+	if err != nil {
+		return "", fmt.Errorf("template hierarchy shape: %w", err)
+	}
+	var root shapeNode
+	if err := json.Unmarshal(full, &root); err != nil {
+		return "", fmt.Errorf("template hierarchy shape: %w", err)
+	}
+	out, err := json.Marshal(root)
+	if err != nil {
+		return "", fmt.Errorf("template hierarchy shape: %w", err)
+	}
+	return string(out), nil
+}
+
+// templateJSON is the persisted form of a Template: the search space is
+// serialized through the faithful OCAL codec; the per-member cost formulas
+// are not stored — they are a deterministic function of the (guarded)
+// hierarchy and placement and are rebuilt on first instantiation.
+// HierSig is a JSON string, not a nested raw message: re-indenting
+// serializers (MarshalIndent) rewrite nested raw JSON, and the guard
+// compares signatures byte-exactly.
+type templateJSON struct {
+	Fingerprint string             `json:"fingerprint"`
+	HierSig     string             `json:"hierSig"`
+	Space       []templateMember   `json:"space"`
+	Stats       rules.SearchStats  `json:"stats"`
+	Trace       []rules.TraceLevel `json:"trace,omitempty"`
+}
+
+type templateMember struct {
+	Expr  json.RawMessage `json:"expr"`
+	Steps []string        `json:"steps,omitempty"`
+}
+
+// MarshalJSON serializes the template for cache persistence.
+func (t *Template) MarshalJSON() ([]byte, error) {
+	out := templateJSON{
+		Fingerprint: t.Fingerprint,
+		HierSig:     t.HierSig,
+		Space:       make([]templateMember, len(t.cp.Space)),
+		Stats:       t.cp.Stats,
+		Trace:       t.cp.Trace,
+	}
+	for i, d := range t.cp.Space {
+		e, err := ocal.MarshalExpr(d.Expr)
+		if err != nil {
+			return nil, fmt.Errorf("template space: %w", err)
+		}
+		out.Space[i] = templateMember{Expr: e, Steps: d.Steps}
+	}
+	return json.Marshal(out)
+}
+
+// UnmarshalJSON restores a persisted template. The spec text is recomputed
+// from the decoded space (the guards depend on it); cost formulas stay nil
+// until the first instantiation rebuilds them.
+func (t *Template) UnmarshalJSON(data []byte) error {
+	var in templateJSON
+	if err := json.Unmarshal(data, &in); err != nil {
+		return fmt.Errorf("template: %w", err)
+	}
+	if in.Fingerprint == "" || len(in.Space) == 0 {
+		return fmt.Errorf("template: missing fingerprint or space")
+	}
+	cp := &core.Capture{
+		Space: make([]rules.Derivation, len(in.Space)),
+		Stats: in.Stats,
+		Trace: in.Trace,
+	}
+	for i, m := range in.Space {
+		e, err := ocal.UnmarshalExpr(m.Expr)
+		if err != nil {
+			return fmt.Errorf("template space[%d]: %w", i, err)
+		}
+		cp.Space[i] = rules.Derivation{Expr: e, Steps: m.Steps}
+	}
+	t.Fingerprint = in.Fingerprint
+	t.SpecText = ocal.String(cp.Space[0].Expr)
+	t.HierSig = in.HierSig
+	t.cp = cp
+	t.replay = core.NewReplay(cp)
+	return nil
+}

@@ -4,6 +4,12 @@
 // flight by a singleflight mechanism (N concurrent identical requests
 // trigger exactly one synthesis), and optionally persisted to a JSON file
 // across daemon restarts.
+//
+// A Store adds a second, coarser tier keyed by the template fingerprint:
+// requests that miss the plan tier but share a shape with a previous
+// synthesis are served by instantiating that shape's template instead of
+// searching from scratch (see internal/plan's template documentation for
+// the equivalence guarantee and its guards).
 package plancache
 
 import (
@@ -32,9 +38,12 @@ const (
 	Miss Outcome = "miss"
 	// Shared: this call joined a synthesis another call had started.
 	Shared Outcome = "shared"
+	// TemplateHit: the plan was not cached, but a template for its shape
+	// was, and instantiating it replaced the full search (Store only).
+	TemplateHit Outcome = "template-hit"
 )
 
-// Stats are the cache's monotonic counters plus its current occupancy.
+// Stats are a tier's monotonic counters plus its current occupancy.
 type Stats struct {
 	Hits      int64 `json:"hits"`   // served from the cache
 	Misses    int64 `json:"misses"` // triggered a synthesis
@@ -44,118 +53,119 @@ type Stats struct {
 	Capacity  int   `json:"capacity"`
 }
 
-// Cache is a bounded, singleflight-deduplicated plan cache. The zero value
-// is not usable; call New.
-type Cache struct {
+// tier is one bounded, singleflight-deduplicated LRU level of the cache,
+// generic over the cached value (plans in the full-fingerprint tier,
+// templates in the shape tier).
+type tier[V any] struct {
 	mu       sync.Mutex
 	capacity int
-	entries  map[string]*list.Element // fingerprint -> lru element
+	entries  map[string]*list.Element // key -> lru element
 	lru      *list.List               // front = most recently used
-	inflight map[string]*call
+	inflight map[string]*call[V]
 	stats    Stats
 }
 
-type entry struct {
+type entry[V any] struct {
 	key string
-	p   *plan.Plan
+	v   V
 }
 
-// call is one in-flight synthesis. Waiters join by incrementing waiters and
-// selecting on done; the last waiter to abandon cancels the compute and
-// marks the call abandoned, so later requests start a fresh synthesis
+// call is one in-flight computation. Waiters join by incrementing waiters
+// and selecting on done; the last waiter to abandon cancels the compute and
+// marks the call abandoned, so later requests start a fresh computation
 // instead of inheriting the doomed one's context error.
-type call struct {
+type call[V any] struct {
 	done      chan struct{}
-	p         *plan.Plan
+	v         V
 	err       error
 	waiters   int
 	cancel    context.CancelFunc
 	abandoned bool
 }
 
-// New returns a cache bounded to capacity plans (minimum 1).
-func New(capacity int) *Cache {
+func newTier[V any](capacity int) tier[V] {
 	if capacity < 1 {
 		capacity = 1
 	}
-	return &Cache{
+	return tier[V]{
 		capacity: capacity,
 		entries:  map[string]*list.Element{},
 		lru:      list.New(),
-		inflight: map[string]*call{},
+		inflight: map[string]*call[V]{},
 	}
 }
 
-// Get returns the cached plan for key, if any, marking it recently used.
+// Get returns the cached value for key, if any, marking it recently used.
 // It does not count as a hit or miss; use it for read-only lookups
 // (GET /plans/{fingerprint}).
-func (c *Cache) Get(key string) (*plan.Plan, bool) {
+func (c *tier[V]) Get(key string) (V, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.entries[key]; ok {
 		c.lru.MoveToFront(el)
-		return el.Value.(*entry).p, true
+		return el.Value.(*entry[V]).v, true
 	}
-	return nil, false
+	var zero V
+	return zero, false
 }
 
-// GetOrCompute returns the plan for key, synthesizing it with compute on a
-// miss. Concurrent calls for the same key share one synthesis: the first
-// caller starts it, later callers wait for its result. A caller whose ctx
-// is cancelled while waiting returns ctx.Err() immediately; the synthesis
+// GetOrCompute returns the value for key, computing it on a miss.
+// Concurrent calls for the same key share one computation: the first caller
+// starts it, later callers wait for its result. A caller whose ctx is
+// cancelled while waiting returns ctx.Err() immediately; the computation
 // itself keeps running until its result is cached or until every waiting
 // caller has been cancelled, whichever comes first. Errors are never
 // cached — the next request retries.
-func (c *Cache) GetOrCompute(ctx context.Context, key string, compute Compute) (*plan.Plan, Outcome, error) {
+func (c *tier[V]) GetOrCompute(ctx context.Context, key string, compute func(ctx context.Context) (V, error)) (V, Outcome, error) {
 	c.mu.Lock()
 	if el, ok := c.entries[key]; ok {
 		c.lru.MoveToFront(el)
 		c.stats.Hits++
-		p := el.Value.(*entry).p
+		v := el.Value.(*entry[V]).v
 		c.mu.Unlock()
-		return p, Hit, nil
+		return v, Hit, nil
 	}
 	if cl, ok := c.inflight[key]; ok && !cl.abandoned {
 		cl.waiters++
 		c.stats.Shared++
 		c.mu.Unlock()
-		p, err := c.wait(ctx, cl)
-		return p, Shared, err
+		v, err := c.wait(ctx, cl)
+		return v, Shared, err
 	}
-	// Leader: start the synthesis on a context that outlives this request —
+	// Leader: start the computation on a context that outlives this request —
 	// other requests may join it — but dies with the last interested waiter.
 	cctx, cancel := context.WithCancel(context.WithoutCancel(ctx))
-	cl := &call{done: make(chan struct{}), waiters: 1, cancel: cancel}
+	cl := &call[V]{done: make(chan struct{}), waiters: 1, cancel: cancel}
 	c.inflight[key] = cl
 	c.stats.Misses++
 	c.mu.Unlock()
 
 	go func() {
-		p, err := compute(cctx)
+		v, err := compute(cctx)
 		cancel()
 		c.mu.Lock()
-		cl.p, cl.err = p, err
+		cl.v, cl.err = v, err
 		// An abandoned call may already have been replaced by a fresh one;
 		// only remove the entry this call still owns.
 		if c.inflight[key] == cl {
 			delete(c.inflight, key)
 		}
 		if err == nil {
-			c.insert(key, p)
+			c.insert(key, v)
 		}
 		c.mu.Unlock()
 		close(cl.done)
 	}()
-	p, err := c.wait(ctx, cl)
-	return p, Miss, err
+	v, err := c.wait(ctx, cl)
+	return v, Miss, err
 }
 
 // wait blocks until the call completes or ctx is cancelled. The waiter
-// refcount keeps the synthesis alive exactly as long as someone wants it.
-func (c *Cache) wait(ctx context.Context, cl *call) (*plan.Plan, error) {
+// refcount keeps the computation alive exactly as long as someone wants it.
+func (c *tier[V]) wait(ctx context.Context, cl *call[V]) (V, error) {
 	select {
 	case <-cl.done:
-		return cl.p, cl.err
+		return cl.v, cl.err
 	case <-ctx.Done():
 		c.mu.Lock()
 		cl.waiters--
@@ -167,35 +177,37 @@ func (c *Cache) wait(ctx context.Context, cl *call) (*plan.Plan, error) {
 		if abandon {
 			cl.cancel()
 		}
-		return nil, ctx.Err()
+		var zero V
+		return zero, ctx.Err()
 	}
 }
 
-// insert adds a plan under c.mu, evicting from the LRU tail as needed.
-func (c *Cache) insert(key string, p *plan.Plan) {
+// insert adds a value under c.mu, evicting from the LRU tail as needed.
+func (c *tier[V]) insert(key string, v V) {
 	if el, ok := c.entries[key]; ok {
-		el.Value.(*entry).p = p
+		el.Value.(*entry[V]).v = v
 		c.lru.MoveToFront(el)
 		return
 	}
 	for c.lru.Len() >= c.capacity {
 		tail := c.lru.Back()
 		c.lru.Remove(tail)
-		delete(c.entries, tail.Value.(*entry).key)
+		delete(c.entries, tail.Value.(*entry[V]).key)
 		c.stats.Evictions++
 	}
-	c.entries[key] = c.lru.PushFront(&entry{key: key, p: p})
+	c.entries[key] = c.lru.PushFront(&entry[V]{key: key, v: v})
 }
 
-// Put stores a plan directly (used when loading persisted state).
-func (c *Cache) Put(key string, p *plan.Plan) {
+// Put stores a value directly (used when loading persisted state, and by
+// the Store to replace a guard-rejected template).
+func (c *tier[V]) Put(key string, v V) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.insert(key, p)
+	c.insert(key, v)
 }
 
 // Stats returns a snapshot of the counters.
-func (c *Cache) Stats() Stats {
+func (c *tier[V]) Stats() Stats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	s := c.stats
@@ -204,9 +216,46 @@ func (c *Cache) Stats() Stats {
 	return s
 }
 
-// persisted is the JSON layout of a cache snapshot. Entries are ordered
-// least- to most-recently used so that reloading them in order reproduces
-// the LRU order.
+// snapshot returns the entries ordered least- to most-recently used, so
+// that re-Putting them in order reproduces the LRU order.
+func (c *tier[V]) snapshot() []entry[V] {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out []entry[V]
+	for el := c.lru.Back(); el != nil; el = el.Prev() {
+		e := el.Value.(*entry[V])
+		out = append(out, entry[V]{key: e.key, v: e.v})
+	}
+	return out
+}
+
+// Cache is a bounded, singleflight-deduplicated plan cache. The zero value
+// is not usable; call New.
+type Cache struct {
+	tier[*plan.Plan]
+}
+
+// New returns a cache bounded to capacity plans (minimum 1).
+func New(capacity int) *Cache {
+	return &Cache{tier: newTier[*plan.Plan](capacity)}
+}
+
+// TemplateCache is a bounded, singleflight-deduplicated cache of plan
+// templates keyed by the template fingerprint. The zero value is not
+// usable; call NewTemplateCache.
+type TemplateCache struct {
+	tier[*plan.Template]
+}
+
+// NewTemplateCache returns a template cache bounded to capacity templates
+// (minimum 1).
+func NewTemplateCache(capacity int) *TemplateCache {
+	return &TemplateCache{tier: newTier[*plan.Template](capacity)}
+}
+
+// persisted is the JSON layout of a plan-cache snapshot. Entries are
+// ordered least- to most-recently used so that reloading them in order
+// reproduces the LRU order.
 type persisted struct {
 	Version int              `json:"version"`
 	Entries []persistedEntry `json:"entries"`
@@ -220,26 +269,11 @@ type persistedEntry struct {
 // Save writes the cache contents to path (atomically, via a temp file in
 // the same directory).
 func (c *Cache) Save(path string) error {
-	c.mu.Lock()
 	snap := persisted{Version: 1}
-	for el := c.lru.Back(); el != nil; el = el.Prev() {
-		e := el.Value.(*entry)
-		snap.Entries = append(snap.Entries, persistedEntry{Key: e.key, Plan: e.p})
+	for _, e := range c.snapshot() {
+		snap.Entries = append(snap.Entries, persistedEntry{Key: e.key, Plan: e.v})
 	}
-	c.mu.Unlock()
-
-	data, err := json.MarshalIndent(snap, "", " ")
-	if err != nil {
-		return fmt.Errorf("plancache: %w", err)
-	}
-	tmp := path + ".tmp"
-	if err := os.WriteFile(tmp, data, 0o644); err != nil {
-		return fmt.Errorf("plancache: %w", err)
-	}
-	if err := os.Rename(tmp, path); err != nil {
-		return fmt.Errorf("plancache: %w", err)
-	}
-	return nil
+	return writeSnapshot(path, snap)
 }
 
 // Load merges a snapshot written by Save into the cache. A missing file is
@@ -264,6 +298,22 @@ func (c *Cache) Load(path string) error {
 			return fmt.Errorf("plancache: corrupt snapshot %s: empty entry", path)
 		}
 		c.Put(e.Key, e.Plan)
+	}
+	return nil
+}
+
+// writeSnapshot marshals and atomically writes one snapshot file.
+func writeSnapshot(path string, snap any) error {
+	data, err := json.MarshalIndent(snap, "", " ")
+	if err != nil {
+		return fmt.Errorf("plancache: %w", err)
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return fmt.Errorf("plancache: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("plancache: %w", err)
 	}
 	return nil
 }

@@ -1,0 +1,248 @@
+package plancache
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"sync"
+
+	"ocas/internal/plan"
+)
+
+// errNoTemplate is the sentinel a template-tier compute returns when the
+// capture run produced a plan but no template (uncapturable strategy or an
+// oversized space). Errors are never cached, so such shapes simply bypass
+// the template tier every time.
+var errNoTemplate = errors.New("plancache: run produced no template")
+
+// ResolveFuncs are the synthesis entry points Resolve orchestrates. The
+// caller (the service) wraps admission control around Synthesize and
+// Capture — the full-search paths — but not Instantiate, which is cheap by
+// construction.
+type ResolveFuncs struct {
+	// Synthesize is the plain full search (used when the template tier is
+	// disabled or keyless).
+	Synthesize Compute
+	// Capture is the full search that additionally captures a template
+	// (nil template with a valid plan when the run is not capturable).
+	Capture func(ctx context.Context) (*plan.Plan, *plan.Template, error)
+	// Instantiate binds the request's cardinalities into a cached template;
+	// plan.ErrTemplateStale sends the request down the Capture path and
+	// replaces the template.
+	Instantiate func(ctx context.Context, t *plan.Template) (*plan.Plan, error)
+}
+
+// Store is the two-tier plan cache: a plan tier keyed by the full request
+// fingerprint and a template tier keyed by the template (shape)
+// fingerprint. A request that misses both synthesizes once and seeds both
+// tiers; a request that misses the plan tier but hits the template tier is
+// served by instantiation — amortizing the search across every cardinality
+// of a shape.
+type Store struct {
+	Plans     *Cache
+	Templates *TemplateCache // nil = template tier disabled
+
+	mu             sync.Mutex
+	instantiations int64
+	guardRejects   int64
+}
+
+// StoreStats snapshots both tiers plus the template-path counters.
+type StoreStats struct {
+	Plans          Stats `json:"plans"`
+	Templates      Stats `json:"templates"`
+	Instantiations int64 `json:"instantiations"`
+	GuardRejects   int64 `json:"guardRejects"`
+}
+
+// NewStore returns a store with the given per-tier capacities. A
+// templateCapacity of 0 (or less) disables the template tier entirely:
+// Resolve degrades to the plan tier's GetOrCompute.
+func NewStore(planCapacity, templateCapacity int) *Store {
+	s := &Store{Plans: New(planCapacity)}
+	if templateCapacity > 0 {
+		s.Templates = NewTemplateCache(templateCapacity)
+	}
+	return s
+}
+
+// Resolve serves one request through both tiers. Outcomes:
+//
+//   - Hit: the plan tier had the exact plan;
+//   - Shared: this call joined another call's in-flight synthesis;
+//   - TemplateHit: the plan tier missed, but a cached template for the
+//     request's shape instantiated successfully;
+//   - Miss: a full search ran — cold, uncapturable, or template
+//     guard-rejected (the fresh capture replaces the stale template).
+//
+// Singleflight holds at both tiers: N concurrent requests for the same
+// plan share one synthesis, and N concurrent requests for different
+// cardinalities of one cold shape share one capture run (the non-leaders
+// instantiate the captured template instead of searching).
+func (s *Store) Resolve(ctx context.Context, fullKey, tmplKey string, f ResolveFuncs) (*plan.Plan, Outcome, error) {
+	if s.Templates == nil || tmplKey == "" {
+		return s.Plans.GetOrCompute(ctx, fullKey, f.Synthesize)
+	}
+	usedTemplate := false
+	p, out, err := s.Plans.GetOrCompute(ctx, fullKey, func(cctx context.Context) (*plan.Plan, error) {
+		// This closure runs in the plan tier's leader goroutine; close(done)
+		// orders its writes (usedTemplate included) before GetOrCompute
+		// returns in every waiter.
+		return s.resolveTemplate(cctx, tmplKey, f, &usedTemplate)
+	})
+	if err != nil {
+		return nil, out, err
+	}
+	if out == Miss && usedTemplate {
+		out = TemplateHit
+	}
+	return p, out, nil
+}
+
+// resolveTemplate is the plan tier's compute: consult the template tier,
+// instantiate on a hit, capture on a miss, and fall back to a fresh capture
+// when a guard rejects the cached template.
+func (s *Store) resolveTemplate(ctx context.Context, tmplKey string, f ResolveFuncs, usedTemplate *bool) (*plan.Plan, error) {
+	// leaderPlan is written by the template compute closure only when this
+	// very call is the template-tier leader; the tier's close(done) orders
+	// that write before GetOrCompute returns here.
+	var leaderPlan *plan.Plan
+	tm, _, err := s.Templates.GetOrCompute(ctx, tmplKey, func(cctx context.Context) (*plan.Template, error) {
+		p, t, err := f.Capture(cctx)
+		if err != nil {
+			return nil, err
+		}
+		leaderPlan = p
+		if t == nil {
+			return nil, errNoTemplate
+		}
+		return t, nil
+	})
+	switch {
+	case err == nil && leaderPlan != nil:
+		// This call ran the capture itself; its plan is the cold answer.
+		return leaderPlan, nil
+	case errors.Is(err, errNoTemplate):
+		if leaderPlan != nil {
+			return leaderPlan, nil
+		}
+		// A shared waiter on an uncapturable shape: synthesize normally.
+		return f.Synthesize(ctx)
+	case err != nil:
+		return nil, err
+	}
+
+	// Template served from the cache (or a shared capture): instantiate.
+	p, err := f.Instantiate(ctx, tm)
+	if err == nil {
+		*usedTemplate = true
+		s.mu.Lock()
+		s.instantiations++
+		s.mu.Unlock()
+		return p, nil
+	}
+	if !errors.Is(err, plan.ErrTemplateStale) {
+		return nil, err
+	}
+	// A guard rejected the template (hierarchy constants changed, or a beam
+	// would prune differently at these cardinalities): run the full search
+	// and let the fresh capture replace the stale template.
+	s.mu.Lock()
+	s.guardRejects++
+	s.mu.Unlock()
+	p, t, err := f.Capture(ctx)
+	if err != nil {
+		return nil, err
+	}
+	if t != nil {
+		s.Templates.Put(tmplKey, t)
+	}
+	return p, nil
+}
+
+// Stats snapshots the store.
+func (s *Store) Stats() StoreStats {
+	s.mu.Lock()
+	st := StoreStats{Instantiations: s.instantiations, GuardRejects: s.guardRejects}
+	s.mu.Unlock()
+	st.Plans = s.Plans.Stats()
+	if s.Templates != nil {
+		st.Templates = s.Templates.Stats()
+	}
+	return st
+}
+
+// persistedStore is the version-2 snapshot: both tiers, each least- to
+// most-recently used. Version-1 snapshots (plan tier only) load too.
+type persistedStore struct {
+	Version   int                      `json:"version"`
+	Plans     []persistedEntry         `json:"plans"`
+	Templates []persistedTemplateEntry `json:"templates,omitempty"`
+}
+
+type persistedTemplateEntry struct {
+	Key      string         `json:"key"`
+	Template *plan.Template `json:"template"`
+}
+
+// Save writes both tiers to path (atomically, via a temp file in the same
+// directory).
+func (s *Store) Save(path string) error {
+	snap := persistedStore{Version: 2}
+	for _, e := range s.Plans.snapshot() {
+		snap.Plans = append(snap.Plans, persistedEntry{Key: e.key, Plan: e.v})
+	}
+	if s.Templates != nil {
+		for _, e := range s.Templates.snapshot() {
+			snap.Templates = append(snap.Templates, persistedTemplateEntry{Key: e.key, Template: e.v})
+		}
+	}
+	return writeSnapshot(path, snap)
+}
+
+// Load merges a snapshot written by Save — or by Cache.Save (version 1) —
+// into the store. A missing file is not an error; a corrupt file is.
+// Templates are dropped silently when the template tier is disabled.
+func (s *Store) Load(path string) error {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("plancache: %w", err)
+	}
+	var version struct {
+		Version int `json:"version"`
+	}
+	if err := json.Unmarshal(data, &version); err != nil {
+		return fmt.Errorf("plancache: corrupt snapshot %s: %w", path, err)
+	}
+	switch version.Version {
+	case 1:
+		return s.Plans.Load(path)
+	case 2:
+		var snap persistedStore
+		if err := json.Unmarshal(data, &snap); err != nil {
+			return fmt.Errorf("plancache: corrupt snapshot %s: %w", path, err)
+		}
+		for _, e := range snap.Plans {
+			if e.Key == "" || e.Plan == nil {
+				return fmt.Errorf("plancache: corrupt snapshot %s: empty plan entry", path)
+			}
+			s.Plans.Put(e.Key, e.Plan)
+		}
+		for _, e := range snap.Templates {
+			if e.Key == "" || e.Template == nil {
+				return fmt.Errorf("plancache: corrupt snapshot %s: empty template entry", path)
+			}
+			if s.Templates != nil {
+				s.Templates.Put(e.Key, e.Template)
+			}
+		}
+		return nil
+	default:
+		return fmt.Errorf("plancache: unsupported snapshot version %d", version.Version)
+	}
+}

@@ -1,0 +1,342 @@
+package plancache
+
+import (
+	"bytes"
+	"context"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"ocas/internal/plan"
+)
+
+// storeReq is a small real synthesis request: store tests run actual
+// captures and instantiations end to end, because the template tier's
+// correctness claim (warm bytes == cold bytes) is about real plans.
+func storeReq(program string, rows int64, ram int64) plan.Request {
+	if ram == 0 {
+		ram = 8 << 20
+	}
+	return plan.Request{
+		Program: program,
+		Hier:    "hdd-ram",
+		RAM:     ram,
+		Inputs: map[string]plan.Input{
+			"R": {Node: "hdd", Rows: rows},
+			"S": {Node: "hdd", Rows: 1 << 12},
+		},
+		Depth: 3,
+		Space: 150,
+	}
+}
+
+const storeJoin = `for (x <- R) for (y <- S) if x.1 == y.1 then [<x, y>] else []`
+const storeScan = `for (x <- R) [<x.2, x.1>]`
+
+// resolveReq compiles req and routes it through the store exactly as the
+// service does. The extra hooks let tests count or gate the capture path.
+func resolveReq(t *testing.T, s *Store, req plan.Request, captures *atomic.Int64, gate chan struct{}) (*plan.Plan, Outcome, error) {
+	t.Helper()
+	cc, err := plan.Compile(req)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	f := ResolveFuncs{
+		Synthesize: cc.Run,
+		Capture: func(ctx context.Context) (*plan.Plan, *plan.Template, error) {
+			if captures != nil {
+				captures.Add(1)
+			}
+			if gate != nil {
+				select {
+				case <-gate:
+				case <-ctx.Done():
+					return nil, nil, ctx.Err()
+				}
+			}
+			return cc.RunCapture(ctx)
+		},
+		Instantiate: cc.Instantiate,
+	}
+	return s.Resolve(context.Background(), cc.Fingerprint, cc.TemplateFingerprint, f)
+}
+
+func coldPlan(t *testing.T, req plan.Request) *plan.Plan {
+	t.Helper()
+	cc, err := plan.Compile(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := cc.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestStoreTemplateHitAndCounters walks the outcome ladder: cold miss,
+// exact hit, template hit at new cardinalities (byte-identical to a cold
+// search, instantiation counted), and a guard rejection when a hierarchy
+// constant changes (full search, counted, template replaced so the next
+// request at the new constant is warm again).
+func TestStoreTemplateHitAndCounters(t *testing.T) {
+	s := NewStore(16, 8)
+
+	_, out, err := resolveReq(t, s, storeReq(storeJoin, 1<<10, 0), nil, nil)
+	if err != nil || out != Miss {
+		t.Fatalf("cold request: outcome %v err %v", out, err)
+	}
+	_, out, err = resolveReq(t, s, storeReq(storeJoin, 1<<10, 0), nil, nil)
+	if err != nil || out != Hit {
+		t.Fatalf("repeat request: outcome %v err %v", out, err)
+	}
+
+	warmReq := storeReq(storeJoin, 1<<20, 0)
+	p, out, err := resolveReq(t, s, warmReq, nil, nil)
+	if err != nil || out != TemplateHit {
+		t.Fatalf("same shape, new rows: outcome %v err %v", out, err)
+	}
+	if !bytes.Equal(plan.Encode(p), plan.Encode(coldPlan(t, warmReq))) {
+		t.Fatalf("template hit served different bytes than a cold search")
+	}
+	if st := s.Stats(); st.Instantiations != 1 || st.GuardRejects != 0 {
+		t.Fatalf("counters after template hit: %+v", st)
+	}
+
+	// Same shape, different RAM: template fingerprint matches but the
+	// hierarchy-constant guard must reject and the search must run in full.
+	bigRAM := storeReq(storeJoin, 1<<10, 16<<20)
+	p, out, err = resolveReq(t, s, bigRAM, nil, nil)
+	if err != nil || out != Miss {
+		t.Fatalf("changed RAM: outcome %v err %v", out, err)
+	}
+	if !bytes.Equal(plan.Encode(p), plan.Encode(coldPlan(t, bigRAM))) {
+		t.Fatalf("guard-rejected request served wrong bytes")
+	}
+	if st := s.Stats(); st.Instantiations != 1 || st.GuardRejects != 1 {
+		t.Fatalf("counters after guard rejection: %+v", st)
+	}
+
+	// The fresh capture replaced the stale template: the new constant's
+	// shape is warm again.
+	_, out, err = resolveReq(t, s, storeReq(storeJoin, 1<<21, 16<<20), nil, nil)
+	if err != nil || out != TemplateHit {
+		t.Fatalf("after replacement: outcome %v err %v", out, err)
+	}
+}
+
+// TestStoreTierEvictionIndependence pins that the two LRUs evict
+// independently: plans churning out of a small plan tier do not take their
+// shape's template with them, and templates churning out of a small
+// template tier do not invalidate cached plans.
+func TestStoreTierEvictionIndependence(t *testing.T) {
+	// Plan tier of 2, template tier of 8: three cardinalities of one shape
+	// evict the first plan, but the template keeps serving.
+	s := NewStore(2, 8)
+	first := storeReq(storeJoin, 1<<10, 0)
+	if _, out, err := resolveReq(t, s, first, nil, nil); err != nil || out != Miss {
+		t.Fatalf("cold: %v %v", out, err)
+	}
+	for i, rows := range []int64{1 << 14, 1 << 18, 1 << 21} {
+		if _, out, err := resolveReq(t, s, storeReq(storeJoin, rows, 0), nil, nil); err != nil || out != TemplateHit {
+			t.Fatalf("sweep %d: outcome %v err %v", i, out, err)
+		}
+	}
+	if st := s.Plans.Stats(); st.Evictions == 0 {
+		t.Fatalf("plan tier never evicted (capacity 2, 4 plans): %+v", st)
+	}
+	if st := s.Templates.Stats(); st.Evictions != 0 || st.Size != 1 {
+		t.Fatalf("template tier disturbed by plan churn: %+v", st)
+	}
+	// The evicted first plan re-resolves as a template hit, not a search.
+	if _, out, err := resolveReq(t, s, first, nil, nil); err != nil || out != TemplateHit {
+		t.Fatalf("evicted plan: outcome %v err %v", out, err)
+	}
+
+	// Template tier of 1, plan tier of 8: a second shape evicts the first
+	// template, but the first shape's exact plan still hits.
+	s2 := NewStore(8, 1)
+	if _, out, err := resolveReq(t, s2, storeReq(storeJoin, 1<<10, 0), nil, nil); err != nil || out != Miss {
+		t.Fatalf("shape 1 cold: %v %v", out, err)
+	}
+	if _, out, err := resolveReq(t, s2, storeReq(storeScan, 1<<10, 0), nil, nil); err != nil || out != Miss {
+		t.Fatalf("shape 2 cold: %v %v", out, err)
+	}
+	if st := s2.Templates.Stats(); st.Evictions != 1 || st.Size != 1 {
+		t.Fatalf("template tier should hold one of two shapes: %+v", st)
+	}
+	if _, out, err := resolveReq(t, s2, storeReq(storeJoin, 1<<10, 0), nil, nil); err != nil || out != Hit {
+		t.Fatalf("plan tier lost an entry to template eviction: %v %v", out, err)
+	}
+	// The evicted shape re-captures (Miss), it does not error.
+	if _, out, err := resolveReq(t, s2, storeReq(storeJoin, 1<<19, 0), nil, nil); err != nil || out != Miss {
+		t.Fatalf("evicted template shape: outcome %v err %v", out, err)
+	}
+}
+
+// TestStoreSingleflightTemplateCapture pins the N→1 collapse on a cold
+// shape: N concurrent requests at different cardinalities run exactly one
+// capture; the leader's request is a miss and every other request
+// instantiates the shared template.
+func TestStoreSingleflightTemplateCapture(t *testing.T) {
+	const n = 4
+	s := NewStore(16, 8)
+	var captures atomic.Int64
+	gate := make(chan struct{})
+
+	var wg sync.WaitGroup
+	outcomes := make([]Outcome, n)
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, outcomes[i], errs[i] = resolveReq(t, s, storeReq(storeJoin, 1<<(10+i), 0), &captures, gate)
+		}()
+	}
+	// The capture is gated: wait until one leader holds the template flight
+	// and the other n-1 requests have joined it as waiters, then release.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		st := s.Templates.Stats()
+		if st.Misses == 1 && st.Shared == n-1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("waiters never converged: %+v", st)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(gate)
+	wg.Wait()
+
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+	}
+	if got := captures.Load(); got != 1 {
+		t.Fatalf("want exactly 1 capture for %d concurrent requests, got %d", n, got)
+	}
+	misses, templateHits := 0, 0
+	for _, out := range outcomes {
+		switch out {
+		case Miss:
+			misses++
+		case TemplateHit:
+			templateHits++
+		default:
+			t.Fatalf("unexpected outcome %v (all: %v)", out, outcomes)
+		}
+	}
+	if misses != 1 || templateHits != n-1 {
+		t.Fatalf("want 1 miss + %d template hits, got %v", n-1, outcomes)
+	}
+	if st := s.Stats(); st.Instantiations != n-1 {
+		t.Fatalf("instantiations: %+v", st)
+	}
+}
+
+// TestStorePersistenceRoundTrip saves a populated two-tier store and
+// reloads it: both tiers keep their contents and their LRU order, and a
+// reloaded template still instantiates (its cost formulas are rebuilt).
+func TestStorePersistenceRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "store.json")
+	s := NewStore(4, 4)
+	resolveReq(t, s, storeReq(storeJoin, 1<<10, 0), nil, nil)
+	resolveReq(t, s, storeReq(storeScan, 1<<10, 0), nil, nil)
+	resolveReq(t, s, storeReq(storeJoin, 1<<18, 0), nil, nil)
+	// Touch the scan shape last so both tiers end with scan most recent.
+	resolveReq(t, s, storeReq(storeScan, 1<<15, 0), nil, nil)
+	if err := s.Save(path); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := NewStore(4, 4)
+	if err := s2.Load(path); err != nil {
+		t.Fatal(err)
+	}
+	wantPlans, gotPlans := s.Plans.snapshot(), s2.Plans.snapshot()
+	if len(gotPlans) != len(wantPlans) {
+		t.Fatalf("plan tier: want %d entries, got %d", len(wantPlans), len(gotPlans))
+	}
+	for i := range wantPlans {
+		if gotPlans[i].key != wantPlans[i].key {
+			t.Fatalf("plan tier LRU order changed at %d: %s vs %s", i, gotPlans[i].key, wantPlans[i].key)
+		}
+	}
+	wantTmpl, gotTmpl := s.Templates.snapshot(), s2.Templates.snapshot()
+	if len(gotTmpl) != len(wantTmpl) {
+		t.Fatalf("template tier: want %d entries, got %d", len(wantTmpl), len(gotTmpl))
+	}
+	for i := range wantTmpl {
+		if gotTmpl[i].key != wantTmpl[i].key {
+			t.Fatalf("template tier LRU order changed at %d", i)
+		}
+	}
+
+	// A reloaded template must serve new cardinalities without a search —
+	// and with the same bytes a cold search would produce.
+	var captures atomic.Int64
+	warmReq := storeReq(storeJoin, 1<<20, 0)
+	p, out, err := resolveReq(t, s2, warmReq, &captures, nil)
+	if err != nil || out != TemplateHit {
+		t.Fatalf("reloaded store: outcome %v err %v", out, err)
+	}
+	if captures.Load() != 0 {
+		t.Fatalf("reloaded store ran a capture on a warm shape")
+	}
+	if !bytes.Equal(plan.Encode(p), plan.Encode(coldPlan(t, warmReq))) {
+		t.Fatalf("reloaded template served different bytes than a cold search")
+	}
+}
+
+// TestStoreLoadV1Snapshot keeps old daemon snapshots loadable: a version-1
+// file written by Cache.Save populates the plan tier.
+func TestStoreLoadV1Snapshot(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "v1.json")
+	c := New(4)
+	c.Put("fp-a", mkPlan("fp-a"))
+	c.Put("fp-b", mkPlan("fp-b"))
+	if err := c.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	s := NewStore(4, 4)
+	if err := s.Load(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Plans.Get("fp-a"); !ok {
+		t.Fatal("v1 entry fp-a missing after load")
+	}
+	if _, ok := s.Plans.Get("fp-b"); !ok {
+		t.Fatal("v1 entry fp-b missing after load")
+	}
+	if st := s.Templates.Stats(); st.Size != 0 {
+		t.Fatalf("v1 snapshot populated the template tier: %+v", st)
+	}
+}
+
+// TestStoreDisabledTemplates pins the degraded mode: template capacity 0
+// routes everything through the plan tier alone.
+func TestStoreDisabledTemplates(t *testing.T) {
+	s := NewStore(4, 0)
+	if s.Templates != nil {
+		t.Fatal("template tier should be nil at capacity 0")
+	}
+	var captures atomic.Int64
+	if _, out, err := resolveReq(t, s, storeReq(storeJoin, 1<<10, 0), &captures, nil); err != nil || out != Miss {
+		t.Fatalf("cold: %v %v", out, err)
+	}
+	if _, out, err := resolveReq(t, s, storeReq(storeJoin, 1<<15, 0), &captures, nil); err != nil || out != Miss {
+		t.Fatalf("new rows with templates disabled: %v %v", out, err)
+	}
+	if captures.Load() != 0 {
+		t.Fatalf("disabled template tier still ran captures: %d", captures.Load())
+	}
+	if st := s.Stats(); st.Instantiations != 0 || st.Templates.Size != 0 {
+		t.Fatalf("disabled tier counted work: %+v", st)
+	}
+}

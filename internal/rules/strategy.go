@@ -59,6 +59,23 @@ type Beam struct {
 	// ranks by AST size, preferring more-rewritten (larger) programs;
 	// core.Synthesizer injects a cheap cost pre-estimate instead.
 	Rank func(ocal.Expr) float64
+	// Trace, when non-nil, records every pruning decision (one TraceLevel
+	// per level that actually dropped candidates). A beam's result depends
+	// on the ranks, which depend on input cardinalities; the trace lets a
+	// plan template replayed at fresh cardinalities verify that the same
+	// search space would be discovered, without re-running the search.
+	Trace *[]TraceLevel
+}
+
+// TraceLevel is one recorded beam pruning: the level's freshly discovered
+// block occupied indices [Start,End) of the returned derivation slice, and
+// Kept lists the block-relative indices that survived, in rank order. Levels
+// that fit within the beam width (no pruning) are not recorded — they cannot
+// depend on the ranking.
+type TraceLevel struct {
+	Start int   `json:"start"`
+	End   int   `json:"end"`
+	Kept  []int `json:"kept"`
 }
 
 func (Beam) Name() string { return "beam" }
@@ -72,30 +89,38 @@ func (b Beam) Search(ctx context.Context, start ocal.Expr, rs []Rule, c *Context
 	if rank == nil {
 		rank = func(e ocal.Expr) float64 { return -float64(exprSize(e)) }
 	}
-	prune := func(next []Derivation) []Derivation {
+	prune := func(next []Derivation, spaceLen int) []Derivation {
 		if len(next) <= width {
 			return next
 		}
 		type ranked struct {
 			d     Derivation
+			idx   int
 			score float64
 		}
 		scored := make([]ranked, len(next))
 		par.For(b.Workers, len(next), func(i int) {
 			if ctx.Err() != nil {
-				scored[i] = ranked{d: next[i], score: math.Inf(1)}
+				scored[i] = ranked{d: next[i], idx: i, score: math.Inf(1)}
 				return
 			}
 			score := rank(next[i].Expr)
 			if math.IsNaN(score) {
 				score = math.Inf(1)
 			}
-			scored[i] = ranked{d: next[i], score: score}
+			scored[i] = ranked{d: next[i], idx: i, score: score}
 		})
 		sort.SliceStable(scored, func(i, j int) bool { return scored[i].score < scored[j].score })
 		out := make([]Derivation, width)
 		for i := range out {
 			out[i] = scored[i].d
+		}
+		if b.Trace != nil {
+			kept := make([]int, width)
+			for i := range kept {
+				kept[i] = scored[i].idx
+			}
+			*b.Trace = append(*b.Trace, TraceLevel{Start: spaceLen - len(next), End: spaceLen, Kept: kept})
 		}
 		return out
 	}
@@ -125,7 +150,7 @@ type expanded struct {
 // discovered programs is returned either way. Cancellation is checked at
 // every expansion chunk (and inside the chunk, per frontier item), so an
 // abandoned search stops within one chunk's worth of work.
-func bfs(ctx context.Context, start ocal.Expr, rs []Rule, c *Context, maxDepth, maxSpace, workers int, prune func([]Derivation) []Derivation) ([]Derivation, SearchStats) {
+func bfs(ctx context.Context, start ocal.Expr, rs []Rule, c *Context, maxDepth, maxSpace, workers int, prune func(next []Derivation, spaceLen int) []Derivation) ([]Derivation, SearchStats) {
 	if maxDepth <= 0 {
 		maxDepth = 8
 	}
@@ -201,7 +226,9 @@ func bfs(ctx context.Context, start ocal.Expr, rs []Rule, c *Context, maxDepth, 
 		}
 		c.nParam, c.nVar = snapParam+maxParam, snapVar+maxVar
 		if prune != nil {
-			next = prune(next)
+			// len(all) is the space size after this level's appends: the
+			// level block is all[len(all)-len(next) : len(all)].
+			next = prune(next, len(all))
 		}
 		frontier = next
 	}

@@ -5,8 +5,9 @@
 //
 //	POST /synthesize        — body: a plan.Request; response: the canonical
 //	                          plan bytes (byte-identical to cmd/ocas -json).
-//	                          Headers: X-Ocas-Cache: hit|miss|shared,
-//	                          X-Ocas-Elapsed: wall time of this request.
+//	                          Headers: X-Ocas-Cache: hit|miss|shared|
+//	                          template-hit, X-Ocas-Elapsed: wall time of
+//	                          this request.
 //	GET  /plans/{fp}        — a previously synthesized plan by fingerprint.
 //	GET  /healthz           — liveness.
 //	GET  /stats             — cache and request counters as JSON.
@@ -36,6 +37,11 @@ import (
 type Config struct {
 	// CacheSize bounds the plan cache (default 1024 plans).
 	CacheSize int
+	// TemplateCacheSize bounds the template tier: reusable synthesis
+	// captures keyed by request shape, so that requests differing only in
+	// input cardinalities skip the search (see internal/plan's template
+	// documentation). 0 disables the tier; ocasd enables it by default.
+	TemplateCacheSize int
 	// MaxInflight bounds concurrent synthesis and execution jobs
 	// (default 2).
 	MaxInflight int
@@ -93,6 +99,7 @@ type ExecStats struct {
 type Server struct {
 	cfg     Config
 	cache   *plancache.Cache
+	store   *plancache.Store
 	sem     chan struct{} // admission slots for new synthesis jobs
 	slots   *slotSem      // executor worker-slot pool (/execute)
 	started time.Time
@@ -136,9 +143,14 @@ func New(cfg Config, cache *plancache.Cache) *Server {
 	if cache == nil {
 		cache = plancache.New(cfg.CacheSize)
 	}
+	store := &plancache.Store{Plans: cache}
+	if cfg.TemplateCacheSize > 0 {
+		store.Templates = plancache.NewTemplateCache(cfg.TemplateCacheSize)
+	}
 	return &Server{
 		cfg:     cfg,
 		cache:   cache,
+		store:   store,
 		sem:     make(chan struct{}, cfg.MaxInflight),
 		slots:   newSlotSem(int64(cfg.MaxWorkerSlots)),
 		started: time.Now(),
@@ -147,6 +159,50 @@ func New(cfg Config, cache *plancache.Cache) *Server {
 
 // Cache exposes the server's plan cache (for persistence at shutdown).
 func (s *Server) Cache() *plancache.Cache { return s.cache }
+
+// Store exposes the two-tier cache (for persistence at shutdown; the
+// template tier is nil unless Config.TemplateCacheSize was set).
+func (s *Server) Store() *plancache.Store { return s.store }
+
+// resolvePlan routes one compiled request through the two-tier cache.
+// Admission gates the full-search paths (a cold synthesis or a capture),
+// never instantiation — replaying a template is cheap by construction and
+// must not queue behind cold searches.
+func (s *Server) resolvePlan(ctx context.Context, compiled *plan.Compiled) (*plan.Plan, plancache.Outcome, error) {
+	admit := func(cctx context.Context) error {
+		select {
+		case s.sem <- struct{}{}:
+			return nil
+		case <-cctx.Done():
+			return cctx.Err()
+		}
+	}
+	return s.store.Resolve(ctx, compiled.Fingerprint, compiled.TemplateFingerprint, plancache.ResolveFuncs{
+		Synthesize: func(cctx context.Context) (*plan.Plan, error) {
+			if err := admit(cctx); err != nil {
+				return nil, err
+			}
+			defer func() { <-s.sem }()
+			synthStart := time.Now()
+			defer func() {
+				atomic.AddInt64(&s.metrics.SynthNanos, int64(time.Since(synthStart)))
+			}()
+			return compiled.Run(cctx)
+		},
+		Capture: func(cctx context.Context) (*plan.Plan, *plan.Template, error) {
+			if err := admit(cctx); err != nil {
+				return nil, nil, err
+			}
+			defer func() { <-s.sem }()
+			synthStart := time.Now()
+			defer func() {
+				atomic.AddInt64(&s.metrics.SynthNanos, int64(time.Since(synthStart)))
+			}()
+			return compiled.RunCapture(cctx)
+		},
+		Instantiate: compiled.Instantiate,
+	})
+}
 
 // Handler returns the routed http.Handler.
 func (s *Server) Handler() http.Handler {
@@ -209,21 +265,7 @@ func (s *Server) handleSynthesize(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := context.WithTimeout(r.Context(), timeout)
 	defer cancel()
 
-	p, outcome, err := s.cache.GetOrCompute(ctx, compiled.Fingerprint, func(cctx context.Context) (*plan.Plan, error) {
-		// Admission: a new synthesis job needs a slot. cctx only dies when
-		// every request interested in this fingerprint has gone away.
-		select {
-		case s.sem <- struct{}{}:
-		case <-cctx.Done():
-			return nil, cctx.Err()
-		}
-		defer func() { <-s.sem }()
-		synthStart := time.Now()
-		defer func() {
-			atomic.AddInt64(&s.metrics.SynthNanos, int64(time.Since(synthStart)))
-		}()
-		return compiled.Run(cctx)
-	})
+	p, outcome, err := s.resolvePlan(ctx, compiled)
 	if err != nil {
 		switch {
 		case errors.Is(err, context.DeadlineExceeded):
@@ -303,19 +345,7 @@ func (s *Server) handleExecute(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := context.WithTimeout(r.Context(), timeout)
 	defer cancel()
 
-	p, outcome, err := s.cache.GetOrCompute(ctx, compiled.Fingerprint, func(cctx context.Context) (*plan.Plan, error) {
-		select {
-		case s.sem <- struct{}{}:
-		case <-cctx.Done():
-			return nil, cctx.Err()
-		}
-		defer func() { <-s.sem }()
-		synthStart := time.Now()
-		defer func() {
-			atomic.AddInt64(&s.metrics.SynthNanos, int64(time.Since(synthStart)))
-		}()
-		return compiled.Run(cctx)
-	})
+	p, outcome, err := s.resolvePlan(ctx, compiled)
 	if err != nil {
 		s.failCompute(w, err, timeout)
 		return
@@ -412,16 +442,27 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 }
 
 type statsResponse struct {
-	Cache   plancache.Stats `json:"cache"`
-	Service Metrics         `json:"service"`
-	Exec    ExecStats       `json:"exec"`
-	Uptime  string          `json:"uptime"`
+	Cache plancache.Stats `json:"cache"`
+	// Templates is the template (shape) tier; all-zero when disabled.
+	Templates plancache.Stats `json:"templates"`
+	// Instantiations counts plans served by binding a cached template;
+	// GuardRejects counts templates the equivalence guards refused (the
+	// request fell back to a full search and replaced the template).
+	Instantiations int64     `json:"instantiations"`
+	GuardRejects   int64     `json:"guardRejects"`
+	Service        Metrics   `json:"service"`
+	Exec           ExecStats `json:"exec"`
+	Uptime         string    `json:"uptime"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	st := s.store.Stats()
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(statsResponse{
-		Cache: s.cache.Stats(),
+		Cache:          st.Plans,
+		Templates:      st.Templates,
+		Instantiations: st.Instantiations,
+		GuardRejects:   st.GuardRejects,
 		Service: Metrics{
 			Requests:   atomic.LoadInt64(&s.metrics.Requests),
 			Errors:     atomic.LoadInt64(&s.metrics.Errors),
