@@ -62,6 +62,7 @@ func main() {
 		batch    = flag.Int64("batch", 0, "executor batch size in rows, 0 = default (-run)")
 		poolB    = flag.Int64("pool", 0, "executor buffer pool budget in bytes, 0 = the RAM size (-run)")
 		execW    = flag.Int("exec-workers", 1, "executor worker count for morsel-parallel execution (-run); never changes results, only wall-clock")
+		explain  = flag.Bool("explain", false, "with -run: print the per-operator EXPLAIN ANALYZE tree (actuals plus est/act drift)")
 	)
 	flag.Parse()
 	if *progPath == "" || *inputs == "" {
@@ -184,7 +185,7 @@ func main() {
 		// -run -json: the canonical plan plus the execution report. (The
 		// bare -json output stays byte-identical to the ocasd response.)
 		rep, err := plan.ExecutePlan(context.Background(), c, p,
-			plan.ExecOptions{Seed: *seed, BatchRows: *batch, PoolBytes: *poolB, ExecWorkers: *execW})
+			plan.ExecOptions{Seed: *seed, BatchRows: *batch, PoolBytes: *poolB, ExecWorkers: *execW, Explain: *explain})
 		if err != nil {
 			die(err)
 		}
@@ -243,7 +244,7 @@ func main() {
 
 	if *run {
 		rep, err := plan.RunProgram(context.Background(), h, res.Best.Expr, res.Best.Params, task,
-			plan.ExecOptions{Seed: *seed, BatchRows: *batch, PoolBytes: *poolB, ExecWorkers: *execW})
+			plan.ExecOptions{Seed: *seed, BatchRows: *batch, PoolBytes: *poolB, ExecWorkers: *execW, Explain: *explain})
 		if err != nil {
 			die(err)
 		}
@@ -268,6 +269,10 @@ func main() {
 				fmt.Printf("     worker %d:     %d tasks, %.6g s, read %d B, wrote %d B\n",
 					wl.Worker, wl.Tasks, wl.Seconds, wl.BytesRead, wl.BytesWrite)
 			}
+		}
+		if rep.Explain != nil {
+			fmt.Println("== explain analyze ==")
+			fmt.Print(plan.RenderExplain(rep.Explain))
 		}
 	}
 }

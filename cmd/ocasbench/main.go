@@ -127,6 +127,10 @@ func main() {
 	}
 
 	report := experiments.NewBenchReport(cfg, table1Results, execParResults)
+	// The timestamp is injected here rather than in the library, so report
+	// construction stays clock-free and two runs of the same code differ
+	// only where they should.
+	report.Meta.GeneratedAt = time.Now().UTC().Format(time.RFC3339)
 	if *jsonOut {
 		if err := report.WriteJSON(os.Stdout); err != nil {
 			fail(err)

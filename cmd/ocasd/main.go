@@ -16,11 +16,23 @@
 //	                          inputs); returns digest + virtual clock +
 //	                          per-device ledger
 //	GET  /plans/{fingerprint} fetch a cached plan by content address
-//	GET  /healthz             liveness
+//	GET  /healthz             readiness report (uptime, build, cache
+//	                          occupancy, worker slots)
 //	GET  /stats               cache + service counters
+//	GET  /metrics             Prometheus text exposition (latency
+//	                          histograms split by cache outcome)
+//	GET  /traces              recent request traces, newest first
+//	GET  /traces/{id}         one trace by request ID
+//
+// Every response carries an X-Ocas-Request-Id header; the same ID fetches
+// the request's trace and tags its access-log line. -trace-log appends each
+// finished trace as a JSON line; -log-json switches the access log from
+// text to JSON.
 //
 // With -persist, the plan and template caches are loaded at startup and
 // written back on SIGINT/SIGTERM, so a restarted daemon keeps serving warm.
+// A missing or corrupt snapshot is logged and the daemon starts cold; a
+// failed save at shutdown is logged and exits nonzero.
 // The template tier (-template-cache, on by default) memoizes the winning
 // derivation per request *shape*, so a known shape at new input
 // cardinalities re-optimizes in milliseconds instead of re-searching.
@@ -30,8 +42,9 @@ import (
 	"context"
 	"errors"
 	"flag"
-	"fmt"
+	"io"
 	"log"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -55,12 +68,35 @@ func main() {
 		maxExecRows = flag.Int64("max-exec-rows", 1<<20, "largest per-input row count POST /execute will run")
 		execWorkers = flag.Int("exec-workers", 1, "default executor worker count for /execute requests that don't choose one")
 		maxSlots    = flag.Int("max-worker-slots", 0, "executor worker-slot pool shared by concurrent /execute runs (0 = GOMAXPROCS)")
+		traceRing   = flag.Int("trace-ring", 256, "recent request traces kept in memory for GET /traces")
+		traceLog    = flag.String("trace-log", "", "append every finished request trace to this file, one JSON line each")
+		logJSON     = flag.Bool("log-json", false, "emit the access log as JSON lines instead of text")
+		accessLog   = flag.Bool("access-log", true, "log one structured line per request (method, path, status, duration, request ID)")
+		disableObs  = flag.Bool("no-obs", false, "disable per-request tracing, latency histograms and access logging")
 	)
 	flag.Parse()
 	switch *strategy {
 	case "", "exhaustive", "beam":
 	default:
 		log.Fatalf("ocasd: unknown -strategy %q (want exhaustive or beam)", *strategy)
+	}
+
+	var logger *slog.Logger
+	if *accessLog {
+		if *logJSON {
+			logger = slog.New(slog.NewJSONHandler(os.Stderr, nil))
+		} else {
+			logger = slog.New(slog.NewTextHandler(os.Stderr, nil))
+		}
+	}
+	var traceSink io.Writer
+	if *traceLog != "" {
+		f, err := os.OpenFile(*traceLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			log.Fatalf("ocasd: -trace-log: %v", err)
+		}
+		defer f.Close()
+		traceSink = f
 	}
 
 	srv := service.New(service.Config{
@@ -74,11 +110,17 @@ func main() {
 		Strategy:          *strategy,
 		Beam:              *beam,
 		Workers:           *workers,
+		TraceRing:         *traceRing,
+		TraceLog:          traceSink,
+		AccessLog:         logger,
+		DisableObs:        *disableObs,
 	}, nil)
 	store := srv.Store()
 	if *persist != "" {
 		if err := store.Load(*persist); err != nil {
-			log.Fatalf("ocasd: %v", err)
+			// A bad snapshot should not keep the daemon down: log it and
+			// start cold. The file is rewritten on clean shutdown.
+			log.Printf("ocasd: load %s: %v (starting with a cold cache)", *persist, err)
 		}
 		if st := store.Stats(); st.Plans.Size > 0 || st.Templates.Size > 0 {
 			log.Printf("ocasd: loaded %d cached plans and %d templates from %s",
@@ -108,7 +150,7 @@ func main() {
 	}
 	if *persist != "" {
 		if err := store.Save(*persist); err != nil {
-			fmt.Fprintln(os.Stderr, "ocasd:", err)
+			log.Printf("ocasd: save %s: %v", *persist, err)
 			os.Exit(1)
 		}
 		st := store.Stats()

@@ -168,6 +168,35 @@
 // examples/*/query.ocal + request.json pairs form the service smoke
 // corpus exercised by the tests and the CI ocasd-smoke job.
 //
+// # Observability
+//
+// internal/obs is the zero-dependency (stdlib-only) observability layer
+// every other layer reports into: a metrics registry rendered in the
+// Prometheus text format (GET /metrics — request-latency histograms per
+// endpoint split by cache outcome, plus callback-backed views over the
+// same counters /stats serves) and a per-request trace model. Each
+// request gets an ID echoed as X-Ocas-Request-Id; its trace spans the
+// compile, cache-resolution, synthesis-phase and execution stages,
+// carrying wall-clock durations and the simulator's virtual-clock
+// deltas side by side. Finished traces land in a bounded ring
+// (GET /traces, GET /traces/{id}) and optionally a JSONL file. All obs
+// types are nil-safe no-ops, so instrumentation stays off the hot path
+// when disabled; service.Config.DisableObs is the baseline the CI
+// overhead guard compares against (<3% on the warm-template and
+// execute paths).
+//
+// EXPLAIN ANALYZE (ExecOptions.Explain; ocas -run -explain; ?explain on
+// POST /execute) wraps each lowered operator and reports a per-operator
+// tree of actuals — rows, batches, simulated seconds, init events,
+// bytes, pool pins, spills — next to the cost model's estimate for the
+// same subtree and their est/act drift ratios. Estimates are evaluated
+// at the executed cardinalities, so a drift far from 1 flags either
+// cost-constant miscalibration or a plan tuned for different sizes than
+// it ran on. The tree is byte-identical for exec workers 1-8 once wall
+// nanos are normalized out (plan.NormalizeExplain); counters are
+// cumulative down the tree, and instrumentation provably leaves
+// digests, ledgers and the virtual clock untouched.
+//
 // # Test suites
 //
 // Beyond the per-package unit tests: internal/exec's differential harness

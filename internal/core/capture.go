@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"ocas/internal/cost"
+	"ocas/internal/obs"
 	"ocas/internal/opt"
 	"ocas/internal/par"
 	"ocas/internal/rules"
@@ -111,6 +112,9 @@ func NewReplay(cp *Capture) *Replay {
 // differently and the caller must fall back to a full synthesis.
 func (r *Replay) Instantiate(ctx context.Context, s *Synthesizer, t Task) (*Synthesis, error) {
 	start := time.Now()
+	_, sp := obs.Start(ctx, "template.instantiate")
+	defer sp.End()
+	sp.Attr("space", len(r.cp.Space))
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if err := ctx.Err(); err != nil {

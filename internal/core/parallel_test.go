@@ -42,7 +42,7 @@ func sameWinner(t *testing.T, a, b *Synthesis, what string) {
 	if a.Best.Seconds != b.Best.Seconds {
 		t.Errorf("%s: costs differ: %v vs %v", what, a.Best.Seconds, b.Best.Seconds)
 	}
-	if a.Stats != b.Stats {
+	if !reflect.DeepEqual(a.Stats, b.Stats) {
 		t.Errorf("%s: search stats differ: %+v vs %+v", what, a.Stats, b.Stats)
 	}
 	if a.Explored != b.Explored {

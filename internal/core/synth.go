@@ -10,6 +10,7 @@ import (
 
 	"ocas/internal/cost"
 	"ocas/internal/memory"
+	"ocas/internal/obs"
 	"ocas/internal/ocal"
 	"ocas/internal/opt"
 	"ocas/internal/par"
@@ -115,6 +116,19 @@ func (s *Synthesizer) fixedEnv(t Task) sym.Env {
 	return env
 }
 
+// TaskPlacement is the cost-model placement of a task: where each input
+// lives, its type, and its cardinality as the symbolic variable the cost
+// formulas are written over. Exported so the plan layer can cost arbitrary
+// subexpressions of a synthesized program (per-operator estimates in
+// EXPLAIN ANALYZE) with exactly the placement the synthesis used.
+func (s *Synthesizer) TaskPlacement(t Task) cost.Placement { return s.placement(t) }
+
+// TaskEnv is the task's fixed symbolic environment: each input's
+// cardinality variable bound to its nominal row count. Evaluating a cost
+// formula under TaskEnv plus the plan's tuned parameters yields the
+// estimate the optimizer minimized.
+func (s *Synthesizer) TaskEnv(t Task) sym.Env { return s.fixedEnv(t) }
+
 // Synthesize runs the full pipeline: BFS over rewrites, cost estimation for
 // every program, heuristic screening, then non-linear parameter optimization
 // of the most promising candidates; the cheapest wins.
@@ -188,7 +202,24 @@ func (s *Synthesizer) synthesize(ctx context.Context, t Task, capture bool) (*Sy
 	}
 
 	strat := s.strategy(sc, tracePtr)
+	_, spSearch := obs.Start(ctx, "synth.search")
 	space, stats := strat.Search(ctx, t.Spec.Prog, rls, rctx, maxDepth, maxSpace)
+	if spSearch != nil {
+		spSearch.Attr("space", stats.SpaceSize)
+		spSearch.Attr("maxDepth", stats.MaxDepth)
+		if stats.Truncated {
+			spSearch.Attr("truncated", true)
+		}
+		levels := make([]map[string]int, 0, len(stats.Levels))
+		for _, lv := range stats.Levels {
+			levels = append(levels, map[string]int{
+				"depth": lv.Depth, "expanded": lv.Expanded,
+				"deduped": lv.Deduped, "kept": lv.Kept,
+			})
+		}
+		spSearch.Attr("levels", levels)
+		spSearch.End()
+	}
 	if err := ctx.Err(); err != nil {
 		return nil, nil, err
 	}
@@ -206,6 +237,7 @@ func (s *Synthesizer) synthesize(ctx context.Context, t Task, capture bool) (*Sy
 		guess   map[string]int64
 		seconds float64
 	}
+	_, spScreen := obs.Start(ctx, "synth.screen")
 	costed := make([]*screened, len(space))
 	par.For(s.Workers, len(space), func(i int) {
 		if ctx.Err() != nil {
@@ -235,11 +267,17 @@ func (s *Synthesizer) synthesize(ctx context.Context, t Task, capture bool) (*Sy
 		}
 		scr = append(scr, *c)
 	}
+	if spScreen != nil {
+		spScreen.Attr("candidates", len(space))
+		spScreen.Attr("costed", len(scr))
+		spScreen.End()
+	}
 	if err := ctx.Err(); err != nil {
 		return nil, nil, err
 	}
 	var cp *Capture
 	if capture && len(space) <= CaptureLimit {
+		_, spCap := obs.Start(ctx, "synth.capture")
 		costs := make([]*cost.Result, len(space))
 		for i, c := range costed {
 			if c != nil {
@@ -247,6 +285,10 @@ func (s *Synthesizer) synthesize(ctx context.Context, t Task, capture bool) (*Sy
 			}
 		}
 		cp = &Capture{Space: space, Costs: costs, Stats: stats, Trace: trace}
+		if spCap != nil {
+			spCap.Attr("space", len(space))
+			spCap.End()
+		}
 	}
 	if len(scr) == 0 {
 		return nil, nil, fmt.Errorf("core: no program could be costed")
@@ -259,6 +301,7 @@ func (s *Synthesizer) synthesize(ctx context.Context, t Task, capture bool) (*Sy
 	// Phase 2: full parameter optimization of the shortlist, one candidate
 	// per worker. The winner is picked by a sequential scan in shortlist
 	// order so ties resolve exactly as they would sequentially.
+	_, spOpt := obs.Start(ctx, "synth.optimize")
 	cands := make([]*Candidate, len(scr))
 	par.For(s.Workers, len(scr), func(i int) {
 		if ctx.Err() != nil {
@@ -285,6 +328,10 @@ func (s *Synthesizer) synthesize(ctx context.Context, t Task, capture bool) (*Sy
 			Cost:    shortlisted.res,
 		}
 	})
+	if spOpt != nil {
+		spOpt.Attr("shortlist", len(scr))
+		spOpt.End()
+	}
 	if err := ctx.Err(); err != nil {
 		return nil, nil, err
 	}

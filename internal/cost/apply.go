@@ -204,10 +204,15 @@ func (r *run) applyStep(fn ocal.Expr, argAt AType, g *ctx) (AType, error) {
 		at, _, err := r.est(f.Body, ng)
 		return at, err
 	case ocal.UnfoldR:
-		// Merging step: output card is the sum of the input cards.
+		// Merging step: output card is the sum of the input cards. A bare
+		// list is a collapsed 1-tuple (see applyUnfoldR).
 		tup, ok := argAt.(ATuple)
 		if !ok {
-			return nil, fmt.Errorf("cost: unfoldR step needs a tuple of lists")
+			if l, isList := argAt.(AList); isList {
+				tup = ATuple{l}
+			} else {
+				return nil, fmt.Errorf("cost: unfoldR step needs a tuple of lists")
+			}
 		}
 		return mergeResult(tup, f.Hint)
 	}
@@ -325,7 +330,14 @@ func (r *run) applyUnfoldR(fn ocal.UnfoldR, arg ocal.Expr, g *ctx) (AType, locT,
 	}
 	tup, ok := argAt.(ATuple)
 	if !ok {
-		return nil, locT{}, fmt.Errorf("cost: unfoldR argument must be a tuple of lists")
+		// A single-input merge's 1-tuple wrapper has no surface syntax —
+		// it prints as a parenthesized list and re-parses as the list
+		// itself — so a bare list is the same shape.
+		if l, isList := argAt.(AList); isList {
+			tup = ATuple{l}
+		} else {
+			return nil, locT{}, fmt.Errorf("cost: unfoldR argument must be a tuple of lists")
+		}
 	}
 	k := paramExpr(fn.K)
 	// Streams that are alone on their device are read sequentially (the

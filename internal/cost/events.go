@@ -133,6 +133,22 @@ func (ev *Events) Seconds(h *memory.Hierarchy) sym.Expr {
 	return sym.Add(terms...)
 }
 
+// EvalTotals evaluates the tally numerically under env: the total number of
+// InitCom events and the total bytes transferred, summed over every edge.
+// The explain report uses it to place the model's predicted event counts
+// next to the simulator's measured ones.
+func (ev *Events) EvalTotals(env sym.Env) (inits, bytes float64) {
+	for _, ent := range ev.entries {
+		if ent.init != nil {
+			inits += ent.init.Eval(env)
+		}
+		if ent.bytes != nil {
+			bytes += ent.bytes.Eval(env)
+		}
+	}
+	return inits, bytes
+}
+
 // String renders the tallies deterministically for golden tests.
 func (ev *Events) String() string {
 	idx := make([]int, len(ev.entries))

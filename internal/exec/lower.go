@@ -34,6 +34,10 @@ type LowerOpts struct {
 	ExecWorkers int
 	// Context, when non-nil, cancels the run between batches.
 	Context context.Context
+	// Explain wraps every lowered operator with EXPLAIN ANALYZE
+	// instrumentation (see ExplainNode). Off (the default), lowering emits
+	// the bare operators and execution carries zero instrumentation cost.
+	Explain bool
 }
 
 // Program is an executable operator tree wired to its output sink. Run
@@ -48,8 +52,13 @@ type Program struct {
 	// Result is the scalar result after Run.
 	Result ocal.Value
 
-	c *Ctx
+	c       *Ctx
+	explain *ExplainNode
 }
+
+// ExplainTree returns the run's EXPLAIN ANALYZE tree (nil unless lowered
+// with LowerOpts.Explain). Counters are complete once Run returned.
+func (p *Program) ExplainTree() *ExplainNode { return p.explain }
 
 // Pool exposes the run's buffer pool (for stats after Run).
 func (p *Program) Pool() *storage.BufferPool { return p.c.Pool }
@@ -120,7 +129,7 @@ func (p *Program) Run() (err error) {
 	if err := p.Root.Close(); err != nil {
 		return err
 	}
-	if f, ok := p.Root.(*Fold); ok {
+	if f, ok := unwrapOp(p.Root).(*Fold); ok {
 		p.Scalar, p.Result = true, f.Final
 	}
 	return nil
@@ -140,7 +149,11 @@ func Lower(prog ocal.Expr, o LowerOpts) (*Program, error) {
 	if err != nil {
 		return nil, err
 	}
-	return NewProgram(root, o), nil
+	p := NewProgram(root, o)
+	if o.Explain {
+		p.explain = buildExplainTree(root)
+	}
+	return p, nil
 }
 
 // NewProgram wires a hand-built operator tree to a context and sink — the
@@ -199,10 +212,20 @@ func (l *lowerer) lowerRoot(prog ocal.Expr) (Operator, error) {
 	return l.lower(prog, false)
 }
 
-// lower translates one expression into an operator. orderBy marks that the
+// lower translates one expression into an operator, wrapping it with
+// explain instrumentation when requested. orderBy marks that the
 // expression sits under an order-inputs wrapper, which the next loop nest
 // consumes.
 func (l *lowerer) lower(prog ocal.Expr, orderBy bool) (Operator, error) {
+	op, err := l.lowerExpr(prog, orderBy)
+	if err != nil {
+		return nil, err
+	}
+	return l.wrap(op, prog), nil
+}
+
+// lowerExpr is the dispatch body of lower.
+func (l *lowerer) lowerExpr(prog ocal.Expr, orderBy bool) (Operator, error) {
 	root := l.root
 	l.root = false
 	// order-inputs wrapper: (\<v1,v2> -> body)(if length(a)<=length(b) ...)

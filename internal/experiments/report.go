@@ -16,8 +16,20 @@ import (
 // rows (the same workload executed at several worker counts) and their
 // TotalExecParSecs gate metric. v4 adds the template tier: the per-row
 // TemplateWarmSecs (steady-state template instantiation at scaled
-// cardinalities) and its TotalTemplateWarmSecs gate metric.
-const BenchSchema = "ocas-bench/v4"
+// cardinalities) and its TotalTemplateWarmSecs gate metric. v5 moves the
+// environment context into a meta block and adds the generation timestamp.
+const BenchSchema = "ocas-bench/v5"
+
+// BenchMeta is the report's environment context: wall-clock comparisons
+// only mean something between runs on comparable machines, so record what
+// we know. GeneratedAt is injected by the caller (the library takes no
+// clock dependency, keeping report construction deterministic and
+// testable); it is informational and never part of the regression gate.
+type BenchMeta struct {
+	GeneratedAt string `json:"generatedAt,omitempty"` // RFC 3339, set by the caller
+	GoVersion   string `json:"goVersion"`
+	GOMAXPROCS  int    `json:"gomaxprocs"`
+}
 
 // BenchRow is one experiment in the machine-readable report.
 type BenchRow struct {
@@ -63,13 +75,10 @@ type BenchRow struct {
 // BenchReport is the full machine-readable result of an ocasbench run:
 // everything needed to diff two runs or gate a regression.
 type BenchReport struct {
-	Schema   string `json:"schema"`
-	Shrink   int64  `json:"shrink"`
-	Strategy string `json:"strategy"`
-	// Environment context: wall-clock comparisons only mean something
-	// between runs on comparable machines, so record what we know.
-	GoVersion  string `json:"goVersion"`
-	GOMAXPROCS int    `json:"gomaxprocs"`
+	Schema   string    `json:"schema"`
+	Meta     BenchMeta `json:"meta"`
+	Shrink   int64     `json:"shrink"`
+	Strategy string    `json:"strategy"`
 
 	Table1 []BenchRow `json:"table1,omitempty"`
 	// ExecParallel holds the multi-worker executor rows: each workload
@@ -134,11 +143,13 @@ func NewBenchReport(cfg Config, table1 []*Result, execPar []*Result) *BenchRepor
 		shrink = 1
 	}
 	rep := &BenchReport{
-		Schema:     BenchSchema,
-		Shrink:     shrink,
-		Strategy:   strategy,
-		GoVersion:  runtime.Version(),
-		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Schema: BenchSchema,
+		Meta: BenchMeta{
+			GoVersion:  runtime.Version(),
+			GOMAXPROCS: runtime.GOMAXPROCS(0),
+		},
+		Shrink:   shrink,
+		Strategy: strategy,
 	}
 	for _, r := range table1 {
 		rep.Table1 = append(rep.Table1, benchRow(r))
@@ -185,9 +196,9 @@ func CompareBaseline(current, baseline *BenchReport, maxRegressPct float64) erro
 		return fmt.Errorf("bench configs differ: current shrink=%d strategy=%s, baseline shrink=%d strategy=%s",
 			current.Shrink, current.Strategy, baseline.Shrink, baseline.Strategy)
 	}
-	if current.GOMAXPROCS != baseline.GOMAXPROCS {
+	if current.Meta.GOMAXPROCS != baseline.Meta.GOMAXPROCS {
 		return fmt.Errorf("bench environments differ: current GOMAXPROCS=%d, baseline GOMAXPROCS=%d — pin GOMAXPROCS or regenerate the baseline",
-			current.GOMAXPROCS, baseline.GOMAXPROCS)
+			current.Meta.GOMAXPROCS, baseline.Meta.GOMAXPROCS)
 	}
 	if baseline.TotalSynthSecs <= 0 {
 		return fmt.Errorf("baseline has no synthesis wall-clock to compare against")

@@ -7,7 +7,7 @@ import (
 
 func benchFixture(synth, exec float64) *BenchReport {
 	return &BenchReport{
-		Schema: BenchSchema, Shrink: 8, Strategy: "exhaustive", GOMAXPROCS: 1,
+		Schema: BenchSchema, Meta: BenchMeta{GOMAXPROCS: 1}, Shrink: 8, Strategy: "exhaustive",
 		TotalSynthSecs: synth, TotalExecSecs: exec,
 	}
 }
@@ -49,8 +49,14 @@ func TestBenchReportCalibration(t *testing.T) {
 	if rep.TotalExecSecs != 0.25 {
 		t.Errorf("totalExecSecs = %v want 0.25", rep.TotalExecSecs)
 	}
-	if rep.Schema != "ocas-bench/v4" {
+	if rep.Schema != "ocas-bench/v5" {
 		t.Errorf("schema = %q", rep.Schema)
+	}
+	if rep.Meta.GoVersion == "" || rep.Meta.GOMAXPROCS < 1 {
+		t.Errorf("meta block not populated: %+v", rep.Meta)
+	}
+	if rep.Meta.GeneratedAt != "" {
+		t.Errorf("library must not stamp generatedAt (got %q)", rep.Meta.GeneratedAt)
 	}
 	if len(rep.ExecParallel) != 2 || rep.ExecParallel[1].ExecWorkers != 4 {
 		t.Fatalf("execParallel rows wrong: %+v", rep.ExecParallel)

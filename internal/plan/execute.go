@@ -20,6 +20,7 @@ import (
 	"ocas/internal/core"
 	"ocas/internal/exec"
 	"ocas/internal/memory"
+	"ocas/internal/obs"
 	"ocas/internal/ocal"
 	"ocas/internal/storage"
 	"ocas/internal/workload"
@@ -45,6 +46,10 @@ type ExecOptions struct {
 	// never changes the output digest or the device ledgers — partition
 	// degrees are plan-decided — only the wall-clock time.
 	ExecWorkers int `json:"execWorkers,omitempty"`
+	// Explain instruments the run per operator and attaches the EXPLAIN
+	// ANALYZE tree to the report. Purely a transport option: it never enters
+	// the plan fingerprint and changes neither the output nor the ledgers.
+	Explain bool `json:"explain,omitempty"`
 }
 
 // MaxExecWorkers is the executor's concurrency ceiling (partition degrees
@@ -90,6 +95,8 @@ type ExecReport struct {
 	ExecWorkers    int                 `json:"execWorkers,omitempty"`
 	Workers        []exec.WorkerLedger `json:"workers,omitempty"`
 	CacheMissRatio float64             `json:"cacheMissRatio,omitempty"`
+	// Explain is the per-operator EXPLAIN ANALYZE tree (ExecOptions.Explain).
+	Explain *ExplainOp `json:"explain,omitempty"`
 }
 
 // RunProgram executes a synthesized program against a fresh simulator of h.
@@ -155,12 +162,20 @@ func RunProgram(ctx context.Context, h *memory.Hierarchy, prog ocal.Expr, params
 		BatchRows:   opt.BatchRows,
 		ExecWorkers: opt.ExecWorkers,
 		Context:     ctx,
+		Explain:     opt.Explain,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("plan: lower: %w", err)
 	}
+	_, spRun := obs.Start(ctx, "exec.run")
 	if err := p.Run(); err != nil {
 		return nil, fmt.Errorf("plan: execute: %w", err)
+	}
+	if spRun != nil {
+		spRun.AddVirt(sim.Clock.Seconds())
+		spRun.Attr("rows", sink.RowsWritten)
+		spRun.Attr("workers", p.Workers())
+		spRun.End()
 	}
 	if sink.Err != nil {
 		return nil, fmt.Errorf("plan: output allocation: %w", sink.Err)
@@ -199,6 +214,10 @@ func RunProgram(ctx context.Context, h *memory.Hierarchy, prog ocal.Expr, params
 	}
 	if sim.Cache != nil {
 		rep.CacheMissRatio = sim.Cache.MissRatio()
+	}
+	if tree := p.ExplainTree(); tree != nil {
+		place := (&core.Synthesizer{}).TaskPlacement(task)
+		rep.Explain = explainReport(h, place, explainEnv(task, inputRows, params), tree)
 	}
 	return rep, nil
 }

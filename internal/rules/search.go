@@ -123,6 +123,18 @@ type SearchStats struct {
 	SpaceSize int // distinct programs encountered
 	MaxDepth  int // longest derivation chain
 	Truncated bool
+	// Levels breaks the exploration down per BFS depth, for tracing: how
+	// many rewrites each level produced, how many were duplicates of
+	// already-seen programs, and how many new programs were kept.
+	Levels []LevelStats
+}
+
+// LevelStats is one BFS level's exploration counts.
+type LevelStats struct {
+	Depth    int // rule applications from the start program
+	Expanded int // rewrites produced by the level's expansions
+	Deduped  int // rewrites discarded as alpha-equivalent to seen programs
+	Kept     int // new distinct programs added to the space
 }
 
 // Search explores the space of equivalent programs breadth-first up to

@@ -169,6 +169,8 @@ func bfs(ctx context.Context, start ocal.Expr, rs []Rule, c *Context, maxDepth, 
 	frontier := []Derivation{{Expr: start}}
 	stats := SearchStats{SpaceSize: 1}
 	for depth := 1; depth <= maxDepth && len(frontier) > 0; depth++ {
+		stats.Levels = append(stats.Levels, LevelStats{Depth: depth})
+		lv := &stats.Levels[len(stats.Levels)-1]
 		// Every expansion at this level forks the fresh-name counters from
 		// the same snapshot, so names are independent of scheduling; the
 		// parent context advances by the level's maximum consumption.
@@ -202,10 +204,13 @@ func bfs(ctx context.Context, start ocal.Expr, rs []Rule, c *Context, maxDepth, 
 			for bi, exps := range results {
 				d := frontier[lo+bi]
 				for _, ex := range exps {
+					lv.Expanded++
 					if seen[ex.key] {
+						lv.Deduped++
 						continue
 					}
 					seen[ex.key] = true
+					lv.Kept++
 					nd := Derivation{
 						Expr:  ex.rw.Expr,
 						Steps: append(append([]string(nil), d.Steps...), ex.rw.Rule),

@@ -2,6 +2,7 @@ package rules
 
 import (
 	"context"
+	"reflect"
 	"testing"
 
 	"ocas/internal/ocal"
@@ -42,7 +43,7 @@ func TestExhaustiveParallelMatchesSequential(t *testing.T) {
 		seqDs, seqStats := Exhaustive{Workers: 1}.Search(context.Background(), prog, AllRules(), testContext(), 5, 3000)
 		for _, workers := range []int{2, 4, 16} {
 			parDs, parStats := Exhaustive{Workers: workers}.Search(context.Background(), prog, AllRules(), testContext(), 5, 3000)
-			if parStats != seqStats {
+			if !reflect.DeepEqual(parStats, seqStats) {
 				t.Fatalf("workers=%d: stats %+v != sequential %+v", workers, parStats, seqStats)
 			}
 			sameFingerprint(t, seqDs, parDs, "exhaustive")
@@ -71,7 +72,7 @@ func TestExhaustiveIdenticalPrograms(t *testing.T) {
 func TestSearchMatchesStrategy(t *testing.T) {
 	a, as := Search(naiveJoin(), AllRules(), testContext(), 4, 2000)
 	b, bs := Exhaustive{}.Search(context.Background(), naiveJoin(), AllRules(), testContext(), 4, 2000)
-	if as != bs {
+	if !reflect.DeepEqual(as, bs) {
 		t.Fatalf("stats %+v != %+v", as, bs)
 	}
 	sameFingerprint(t, a, b, "wrapper")
@@ -85,7 +86,7 @@ func TestTruncationParity(t *testing.T) {
 		t.Fatalf("expected truncation at maxSpace=60, got %+v", seqStats)
 	}
 	parDs, parStats := Exhaustive{Workers: 7}.Search(context.Background(), naiveJoin(), AllRules(), testContext(), 6, 60)
-	if parStats != seqStats {
+	if !reflect.DeepEqual(parStats, seqStats) {
 		t.Fatalf("stats %+v != sequential %+v", parStats, seqStats)
 	}
 	sameFingerprint(t, seqDs, parDs, "truncated")
@@ -124,7 +125,7 @@ func TestBeamBoundsFrontier(t *testing.T) {
 func TestBeamWideEqualsExhaustive(t *testing.T) {
 	full, fullStats := Exhaustive{}.Search(context.Background(), naiveJoin(), AllRules(), testContext(), 4, 3000)
 	beam, beamStats := Beam{Width: 1 << 20}.Search(context.Background(), naiveJoin(), AllRules(), testContext(), 4, 3000)
-	if beamStats != fullStats {
+	if !reflect.DeepEqual(beamStats, fullStats) {
 		t.Fatalf("stats %+v != %+v", beamStats, fullStats)
 	}
 	sameFingerprint(t, full, beam, "wide beam")
@@ -135,7 +136,7 @@ func TestBeamWideEqualsExhaustive(t *testing.T) {
 func TestBeamDeterministic(t *testing.T) {
 	a, as := Beam{Width: 6, Workers: 8}.Search(context.Background(), naiveJoin(), AllRules(), testContext(), 5, 3000)
 	b, bs := Beam{Width: 6, Workers: 2}.Search(context.Background(), naiveJoin(), AllRules(), testContext(), 5, 3000)
-	if as != bs {
+	if !reflect.DeepEqual(as, bs) {
 		t.Fatalf("stats %+v != %+v", as, bs)
 	}
 	sameFingerprint(t, a, b, "beam determinism")

@@ -1,0 +1,116 @@
+package service
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestObsOverheadGuard pins the cost of the observability layer on the two
+// request paths the serving tier optimizes for: the warm-template path (a
+// /synthesize whose shape is captured, so the request re-instantiates the
+// template — screening plus parameter optimization, milliseconds) and the
+// exec path (a warm-plan /execute driving the storage simulator). On both,
+// a fully instrumented server must stay within 3% of a server with
+// DisableObs set (instrumentation compiled in but disabled).
+//
+// Handlers are driven in-process through ServeHTTP so the comparison
+// measures middleware and handler work, not TCP. Samples interleave A/B
+// with identical request sequences to cancel drift, and medians are
+// compared. The hard <3% assert fires only with OCAS_OVERHEAD_GUARD=1 (the
+// dedicated CI bench step sets it); in a shared `go test ./...` run an
+// over-threshold measurement is reported as a skip, since every package's
+// tests are competing for the cores.
+func TestObsOverheadGuard(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing guard; skipped with -short")
+	}
+
+	serve := func(h http.Handler, path, body string) time.Duration {
+		req := httptest.NewRequest("POST", path, strings.NewReader(body))
+		req.Header.Set("Content-Type", "application/json")
+		rec := httptest.NewRecorder()
+		start := time.Now()
+		h.ServeHTTP(rec, req)
+		d := time.Since(start)
+		if rec.Code != http.StatusOK {
+			t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+		}
+		return d
+	}
+	median := func(ds []time.Duration) time.Duration {
+		sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+		return ds[len(ds)/2]
+	}
+
+	// Every sample's request body, by path and sample index. The template
+	// path varies R's cardinality per sample so each request misses the
+	// plan tier and re-instantiates the captured template; both servers see
+	// the identical sequence.
+	tmplBody := func(i int) string {
+		return fmt.Sprintf(`{
+			"program": "for (x <- R) for (y <- S) if x.1 == y.1 then [<x, y>] else []",
+			"hier": "hdd-ram", "ram": 8388608,
+			"inputs": {"R": {"node": "hdd", "rows": %d}, "S": {"node": "hdd", "rows": 65536}},
+			"depth": 4, "space": 500
+		}`, 1048576+(i+1)*4096)
+	}
+
+	paths := []struct {
+		name    string
+		path    string
+		samples int
+		body    func(i int) string
+	}{
+		{"warm-template", "/synthesize", 40, tmplBody},
+		{"exec", "/execute", 40, func(int) string { return execBody("") }},
+	}
+
+	for _, p := range paths {
+		t.Run(p.name, func(t *testing.T) {
+			on := New(Config{TemplateCacheSize: 8}, nil)
+			off := New(Config{TemplateCacheSize: 8, DisableObs: true}, nil)
+			hOn, hOff := on.Handler(), off.Handler()
+			// Warm both servers: capture the template / cache the plan so
+			// every measured request is the steady-state warm path.
+			warm := `{
+				"program": "for (x <- R) for (y <- S) if x.1 == y.1 then [<x, y>] else []",
+				"hier": "hdd-ram", "ram": 8388608,
+				"inputs": {"R": {"node": "hdd", "rows": 1048576}, "S": {"node": "hdd", "rows": 65536}},
+				"depth": 4, "space": 500
+			}`
+			serve(hOn, "/synthesize", warm)
+			serve(hOff, "/synthesize", warm)
+			if p.path == "/execute" {
+				serve(hOn, p.path, p.body(0))
+				serve(hOff, p.path, p.body(0))
+			}
+
+			var ratio float64
+			for attempt := 0; attempt < 5; attempt++ {
+				var dOn, dOff []time.Duration
+				for i := 0; i < p.samples; i++ {
+					body := p.body(attempt*p.samples + i)
+					dOn = append(dOn, serve(hOn, p.path, body))
+					dOff = append(dOff, serve(hOff, p.path, body))
+				}
+				ratio = float64(median(dOn)) / float64(median(dOff))
+				t.Logf("attempt %d: instrumented %v vs disabled %v (ratio %.4f)",
+					attempt, median(dOn), median(dOff), ratio)
+				if ratio <= 1.03 {
+					return
+				}
+			}
+			msg := "observability overhead %.2f%% exceeds the 3%% guard on the " + p.name + " path"
+			if os.Getenv("OCAS_OVERHEAD_GUARD") != "" {
+				t.Fatalf(msg, (ratio-1)*100)
+			}
+			t.Skipf(msg+" (advisory outside OCAS_OVERHEAD_GUARD=1 — shared runs are noisy)", (ratio-1)*100)
+		})
+	}
+}

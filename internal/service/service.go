@@ -9,8 +9,14 @@
 //	                          template-hit, X-Ocas-Elapsed: wall time of
 //	                          this request.
 //	GET  /plans/{fp}        — a previously synthesized plan by fingerprint.
-//	GET  /healthz           — liveness.
+//	GET  /healthz           — readiness report: uptime, build info, cache
+//	                          tier occupancy, worker slots.
 //	GET  /stats             — cache and request counters as JSON.
+//	GET  /metrics           — the same counters plus per-endpoint latency
+//	                          histograms in the Prometheus text format.
+//	GET  /traces            — recent request traces (bounded ring).
+//	GET  /traces/{id}       — one trace by request ID (the value echoed in
+//	                          X-Ocas-Request-Id).
 //
 // Admission control bounds the number of in-flight synthesis jobs (each of
 // which fans out over the internal/par worker pool); requests beyond the
@@ -24,11 +30,15 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
+	"log/slog"
 	"net/http"
 	"runtime"
+	"sync"
 	"sync/atomic"
 	"time"
 
+	"ocas/internal/obs"
 	"ocas/internal/plan"
 	"ocas/internal/plancache"
 )
@@ -68,6 +78,21 @@ type Config struct {
 	Strategy string // "" keeps the request/plan default (exhaustive)
 	Beam     int
 	Workers  int
+
+	// TraceRing bounds the in-memory ring of recent request traces served
+	// on /traces (default 256).
+	TraceRing int
+	// TraceLog, when set, receives every finished trace as one JSON line
+	// (an opt-in JSONL trace log).
+	TraceLog io.Writer
+	// AccessLog, when set, receives one structured line per request with
+	// the request ID, status, latency and cache outcome.
+	AccessLog *slog.Logger
+	// DisableObs turns off per-request tracing, latency histograms and
+	// access logging (request IDs are still assigned). It exists for the
+	// overhead guard: a DisableObs server is the baseline the instrumented
+	// server is compared against.
+	DisableObs bool
 }
 
 // Metrics are the service counters exposed on /stats (cache counters come
@@ -111,6 +136,15 @@ type Server struct {
 		spills        atomic.Int64
 		spillBytes    atomic.Int64
 	}
+
+	// Observability (see obs.go): the metrics registry, the trace ring and
+	// the per-endpoint request metrics.
+	reg      *obs.Registry
+	ring     *obs.Ring
+	mLatency *obs.Vec
+	mHTTP    *obs.Vec
+	leaderMu sync.Mutex
+	leaderID map[string]string // fingerprint -> request ID computing it
 }
 
 // New builds a Server around the given cache (pass nil to create one of
@@ -147,7 +181,7 @@ func New(cfg Config, cache *plancache.Cache) *Server {
 	if cfg.TemplateCacheSize > 0 {
 		store.Templates = plancache.NewTemplateCache(cfg.TemplateCacheSize)
 	}
-	return &Server{
+	s := &Server{
 		cfg:     cfg,
 		cache:   cache,
 		store:   store,
@@ -155,6 +189,8 @@ func New(cfg Config, cache *plancache.Cache) *Server {
 		slots:   newSlotSem(int64(cfg.MaxWorkerSlots)),
 		started: time.Now(),
 	}
+	s.initObs()
+	return s
 }
 
 // Cache exposes the server's plan cache (for persistence at shutdown).
@@ -179,10 +215,17 @@ func (s *Server) resolvePlan(ctx context.Context, compiled *plan.Compiled) (*pla
 	}
 	return s.store.Resolve(ctx, compiled.Fingerprint, compiled.TemplateFingerprint, plancache.ResolveFuncs{
 		Synthesize: func(cctx context.Context) (*plan.Plan, error) {
+			// The compute context retains the leader's values, so the span
+			// here belongs to the request whose miss started the synthesis;
+			// followers joining via singleflight attribute their log lines
+			// to this ID.
+			s.setLeader(compiled.Fingerprint, obs.SpanFrom(cctx).TraceID())
 			if err := admit(cctx); err != nil {
 				return nil, err
 			}
 			defer func() { <-s.sem }()
+			cctx, sp := obs.Start(cctx, "synthesize")
+			defer sp.End()
 			synthStart := time.Now()
 			defer func() {
 				atomic.AddInt64(&s.metrics.SynthNanos, int64(time.Since(synthStart)))
@@ -190,10 +233,13 @@ func (s *Server) resolvePlan(ctx context.Context, compiled *plan.Compiled) (*pla
 			return compiled.Run(cctx)
 		},
 		Capture: func(cctx context.Context) (*plan.Plan, *plan.Template, error) {
+			s.setLeader(compiled.Fingerprint, obs.SpanFrom(cctx).TraceID())
 			if err := admit(cctx); err != nil {
 				return nil, nil, err
 			}
 			defer func() { <-s.sem }()
+			cctx, sp := obs.Start(cctx, "synthesize.capture")
+			defer sp.End()
 			synthStart := time.Now()
 			defer func() {
 				atomic.AddInt64(&s.metrics.SynthNanos, int64(time.Since(synthStart)))
@@ -204,7 +250,8 @@ func (s *Server) resolvePlan(ctx context.Context, compiled *plan.Compiled) (*pla
 	})
 }
 
-// Handler returns the routed http.Handler.
+// Handler returns the routed http.Handler, wrapped in the observability
+// middleware (request IDs, traces, latency metrics, access log).
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /synthesize", s.handleSynthesize)
@@ -212,7 +259,10 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /plans/{fingerprint}", s.handlePlan)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /stats", s.handleStats)
-	return mux
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /traces", s.handleTraces)
+	mux.HandleFunc("GET /traces/{id}", s.handleTrace)
+	return s.withObs(mux)
 }
 
 // synthesizeRequest is the /synthesize body: a plan request plus transport
@@ -250,7 +300,9 @@ func (s *Server) handleSynthesize(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.applyDefaults(&req.Request)
+	_, spCompile := obs.Start(r.Context(), "compile")
 	compiled, err := plan.Compile(req.Request)
+	spCompile.End()
 	if err != nil {
 		s.fail(w, http.StatusBadRequest, "invalid request: %v", err)
 		return
@@ -265,7 +317,12 @@ func (s *Server) handleSynthesize(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := context.WithTimeout(r.Context(), timeout)
 	defer cancel()
 
-	p, outcome, err := s.resolvePlan(ctx, compiled)
+	rctx, spResolve := obs.Start(ctx, "resolve")
+	p, outcome, err := s.resolvePlan(rctx, compiled)
+	if spResolve != nil {
+		spResolve.Attr("outcome", string(outcome))
+		spResolve.End()
+	}
 	if err != nil {
 		switch {
 		case errors.Is(err, context.DeadlineExceeded):
@@ -279,7 +336,20 @@ func (s *Server) handleSynthesize(w http.ResponseWriter, r *http.Request) {
 		}
 		return
 	}
+	s.markShared(w, outcome, compiled.Fingerprint)
 	s.writePlan(w, p, string(outcome), time.Since(startedAt))
+}
+
+// markShared exposes the singleflight leader of a shared result, so log
+// lines (and clients) can join follower requests onto the computation that
+// actually ran.
+func (s *Server) markShared(w http.ResponseWriter, outcome plancache.Outcome, fp string) {
+	if outcome != plancache.Shared {
+		return
+	}
+	if leader := s.leader(fp); leader != "" {
+		w.Header().Set("X-Ocas-Leader-Id", leader)
+	}
 }
 
 // executeRequest is the /execute body: a plan request (resolved through the
@@ -314,8 +384,15 @@ func (s *Server) handleExecute(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusBadRequest, "bad request body: %v", err)
 		return
 	}
+	// ?explain opts into the per-operator EXPLAIN ANALYZE tree without
+	// touching the body (a transport toggle, like the exec.explain field).
+	if q := r.URL.Query(); q.Has("explain") && q.Get("explain") != "0" && q.Get("explain") != "false" {
+		req.Exec.Explain = true
+	}
 	s.applyDefaults(&req.Request)
+	_, spCompile := obs.Start(r.Context(), "compile")
 	compiled, err := plan.Compile(req.Request)
+	spCompile.End()
 	if err != nil {
 		s.fail(w, http.StatusBadRequest, "invalid request: %v", err)
 		return
@@ -345,11 +422,17 @@ func (s *Server) handleExecute(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := context.WithTimeout(r.Context(), timeout)
 	defer cancel()
 
-	p, outcome, err := s.resolvePlan(ctx, compiled)
+	rctx, spResolve := obs.Start(ctx, "resolve")
+	p, outcome, err := s.resolvePlan(rctx, compiled)
+	if spResolve != nil {
+		spResolve.Attr("outcome", string(outcome))
+		spResolve.End()
+	}
 	if err != nil {
 		s.failCompute(w, err, timeout)
 		return
 	}
+	s.markShared(w, outcome, compiled.Fingerprint)
 	// Execution admission charges worker-slots, not requests: a run with W
 	// executor workers holds W slots of the shared pool, so concurrent
 	// /execute traffic cannot oversubscribe the box however small each
@@ -371,7 +454,15 @@ func (s *Server) handleExecute(w http.ResponseWriter, r *http.Request) {
 		s.failCompute(w, err, timeout)
 		return
 	}
-	rep, err := plan.ExecutePlan(ctx, compiled, p, req.Exec)
+	ectx, spExec := obs.Start(ctx, "execute")
+	rep, err := plan.ExecutePlan(ectx, compiled, p, req.Exec)
+	if spExec != nil {
+		spExec.Attr("workers", workers)
+		if err == nil {
+			spExec.AddVirt(rep.VirtualSeconds)
+		}
+		spExec.End()
+	}
 	s.slots.Release(int64(workers))
 	if err == nil {
 		s.exec.executions.Add(1)
@@ -431,14 +522,6 @@ func (s *Server) writePlan(w http.ResponseWriter, p *plan.Plan, outcome string, 
 		w.Header().Set("X-Ocas-Elapsed", elapsed.String())
 	}
 	w.Write(plan.Encode(p))
-}
-
-func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(map[string]any{
-		"status": "ok",
-		"uptime": time.Since(s.started).String(),
-	})
 }
 
 type statsResponse struct {

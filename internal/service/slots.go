@@ -112,3 +112,11 @@ func (s *slotSem) InUse() int64 {
 	defer s.mu.Unlock()
 	return s.used
 }
+
+// Waiting reports the number of requests queued for slots (the admission
+// queue depth gauge on /metrics).
+func (s *slotSem) Waiting() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return int64(len(s.waiters))
+}

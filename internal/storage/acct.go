@@ -31,8 +31,11 @@ type Acct struct {
 	cursors []*devCursor
 	byDev   map[*Device]*devCursor
 
-	// Aggregates for per-worker reporting.
+	// Aggregates for per-worker reporting and per-operator explain
+	// snapshots. Unlike the per-device cursors these accumulate even on the
+	// direct root, whose ledger deltas apply straight to the devices.
 	bytesRead, bytesWrite int64
+	readInits, writeInits int64
 }
 
 // devCursor is one device's arm position and erase window as seen by one
@@ -102,10 +105,18 @@ func (a *Acct) Seconds() float64 { return a.seconds }
 func (a *Acct) BytesRead() int64  { return a.bytesRead }
 func (a *Acct) BytesWrite() int64 { return a.bytesWrite }
 
+// ReadInits and WriteInits report the strand's transfer-initiation totals
+// (seeks/erases) across all devices — the event counts of the paper's
+// InitCom term, aggregated for per-operator explain accounting.
+func (a *Acct) ReadInits() int64  { return a.readInits }
+func (a *Acct) WriteInits() int64 { return a.writeInits }
+
 // applyLed adds a ledger delta either locally or straight to the device.
 func (a *Acct) applyLed(c *devCursor, readInits, writeInits, bytesRead, bytesWrite int64) {
 	a.bytesRead += bytesRead
 	a.bytesWrite += bytesWrite
+	a.readInits += readInits
+	a.writeInits += writeInits
 	if a.direct {
 		a.sim.mu.Lock()
 		c.dev.Led.ReadInits += readInits
