@@ -5,7 +5,13 @@
 //
 // Usage:
 //
-//	ocas -prog join.ocal -hier hdd-ram -in R=hdd:1048576,S=hdd:65536 [-out hdd] [-c]
+//	ocas -prog join.ocal -hier hdd-ram [-ram BYTES] \
+//	     -in R=hdd:1048576,S=hdd:65536 [-out hdd] \
+//	     [-commutative] [-depth 6] [-space 4000] \
+//	     [-strategy exhaustive|beam -beam 64] [-workers 0] \
+//	     [-c] [-json [-template-cache plans.json]] \
+//	     [-run [-seed 1] [-batch 0] [-pool 0] [-exec-workers 1] [-explain] \
+//	           [-data DIR -table R=mytable,...]]
 //
 // Built-in hierarchies: hdd-ram, hdd-ram-cache, two-hdd, hdd-flash; a JSON
 // file path is accepted too.
@@ -19,6 +25,13 @@
 // across invocations: a request whose shape is already captured re-optimizes
 // at the new cardinalities instead of re-searching, and the emitted plan is
 // byte-identical to a cold run either way.
+//
+// With -run, the synthesized algorithm executes on the storage simulator.
+// Inputs are deterministically generated from -seed by default; -data DIR
+// plus -table bindings read them from a durable table catalog instead (the
+// same segment files ocasd ingests into), with byte-identical digests,
+// ledgers and virtual clock. A bound input executes over the table's actual
+// rows; its -in rows field only sizes the cost model during synthesis.
 package main
 
 import (
@@ -32,6 +45,7 @@ import (
 	"strconv"
 	"strings"
 
+	"ocas/internal/catalog"
 	"ocas/internal/codegen"
 	"ocas/internal/core"
 	"ocas/internal/memory"
@@ -43,26 +57,28 @@ import (
 
 func main() {
 	var (
-		progPath = flag.String("prog", "", "path to the naive OCAL program (- for stdin)")
-		hierName = flag.String("hier", "hdd-ram", "hierarchy: hdd-ram|hdd-ram-cache|two-hdd|hdd-flash or a JSON file")
-		ramSize  = flag.Int64("ram", 32*int64(memory.MiB), "RAM size in bytes for built-in hierarchies")
-		inputs   = flag.String("in", "", "inputs as name=node:rows[:arity], comma separated")
-		output   = flag.String("out", "", "output node (empty = consumed by CPU)")
-		commut   = flag.Bool("commutative", true, "inputs may be reordered (enables order-inputs, hash-part)")
-		depth    = flag.Int("depth", 6, "maximum derivation length")
-		space    = flag.Int("space", 4000, "maximum search space size")
-		strategy = flag.String("strategy", "exhaustive", "search strategy: exhaustive (full BFS) or beam (bounded frontier)")
-		beam     = flag.Int("beam", 64, "beam width (frontier bound per depth, -strategy beam only)")
-		workers  = flag.Int("workers", 0, "synthesis worker pool size (0 = GOMAXPROCS)")
-		emitC    = flag.Bool("c", false, "emit C code for the synthesized algorithm")
-		asJSON   = flag.Bool("json", false, "emit the canonical plan encoding (identical to the ocasd service response)")
-		tmplFile = flag.String("template-cache", "", "plan/template cache snapshot file for -json: known request shapes re-optimize at the new sizes instead of re-searching; updated in place")
-		run      = flag.Bool("run", false, "execute the synthesized algorithm on the storage simulator with generated inputs")
-		seed     = flag.Int64("seed", 1, "input generator seed (-run)")
-		batch    = flag.Int64("batch", 0, "executor batch size in rows, 0 = default (-run)")
-		poolB    = flag.Int64("pool", 0, "executor buffer pool budget in bytes, 0 = the RAM size (-run)")
-		execW    = flag.Int("exec-workers", 1, "executor worker count for morsel-parallel execution (-run); never changes results, only wall-clock")
-		explain  = flag.Bool("explain", false, "with -run: print the per-operator EXPLAIN ANALYZE tree (actuals plus est/act drift)")
+		progPath  = flag.String("prog", "", "path to the naive OCAL program (- for stdin)")
+		hierName  = flag.String("hier", "hdd-ram", "hierarchy: hdd-ram|hdd-ram-cache|two-hdd|hdd-flash or a JSON file")
+		ramSize   = flag.Int64("ram", 32*int64(memory.MiB), "RAM size in bytes for built-in hierarchies")
+		inputs    = flag.String("in", "", "inputs as name=node:rows[:arity], comma separated")
+		output    = flag.String("out", "", "output node (empty = consumed by CPU)")
+		commut    = flag.Bool("commutative", true, "inputs may be reordered (enables order-inputs, hash-part)")
+		depth     = flag.Int("depth", 6, "maximum derivation length")
+		space     = flag.Int("space", 4000, "maximum search space size")
+		strategy  = flag.String("strategy", "exhaustive", "search strategy: exhaustive (full BFS) or beam (bounded frontier)")
+		beam      = flag.Int("beam", 64, "beam width (frontier bound per depth, -strategy beam only)")
+		workers   = flag.Int("workers", 0, "synthesis worker pool size (0 = GOMAXPROCS)")
+		emitC     = flag.Bool("c", false, "emit C code for the synthesized algorithm")
+		asJSON    = flag.Bool("json", false, "emit the canonical plan encoding (identical to the ocasd service response)")
+		tmplFile  = flag.String("template-cache", "", "plan/template cache snapshot file for -json: known request shapes re-optimize at the new sizes instead of re-searching; updated in place")
+		run       = flag.Bool("run", false, "execute the synthesized algorithm on the storage simulator with generated inputs")
+		seed      = flag.Int64("seed", 1, "input generator seed (-run)")
+		batch     = flag.Int64("batch", 0, "executor batch size in rows, 0 = default (-run)")
+		poolB     = flag.Int64("pool", 0, "executor buffer pool budget in bytes, 0 = the RAM size (-run)")
+		execW     = flag.Int("exec-workers", 1, "executor worker count for morsel-parallel execution (-run); never changes results, only wall-clock")
+		explain   = flag.Bool("explain", false, "with -run: print the per-operator EXPLAIN ANALYZE tree (actuals plus est/act drift)")
+		dataDir   = flag.String("data", "", "durable table catalog directory for -run -table bindings (the directory ocasd -data ingests into)")
+		tableSpec = flag.String("table", "", "with -run: read inputs from durable tables as input=table, comma separated (requires -data)")
 	)
 	flag.Parse()
 	if *progPath == "" || *inputs == "" {
@@ -128,6 +144,11 @@ func main() {
 	}
 	task.Spec = spec
 
+	tables, cat, err := openTableBindings(*dataDir, *tableSpec, *run)
+	if err != nil {
+		die(err)
+	}
+
 	if *asJSON {
 		req := plan.Request{
 			Program:     string(src),
@@ -185,7 +206,8 @@ func main() {
 		// -run -json: the canonical plan plus the execution report. (The
 		// bare -json output stays byte-identical to the ocasd response.)
 		rep, err := plan.ExecutePlan(context.Background(), c, p,
-			plan.ExecOptions{Seed: *seed, BatchRows: *batch, PoolBytes: *poolB, ExecWorkers: *execW, Explain: *explain})
+			plan.ExecOptions{Seed: *seed, BatchRows: *batch, PoolBytes: *poolB, ExecWorkers: *execW,
+				Explain: *explain, Tables: tables, Cat: cat})
 		if err != nil {
 			die(err)
 		}
@@ -244,7 +266,8 @@ func main() {
 
 	if *run {
 		rep, err := plan.RunProgram(context.Background(), h, res.Best.Expr, res.Best.Params, task,
-			plan.ExecOptions{Seed: *seed, BatchRows: *batch, PoolBytes: *poolB, ExecWorkers: *execW, Explain: *explain})
+			plan.ExecOptions{Seed: *seed, BatchRows: *batch, PoolBytes: *poolB, ExecWorkers: *execW,
+				Explain: *explain, Tables: tables, Cat: cat})
 		if err != nil {
 			die(err)
 		}
@@ -299,6 +322,35 @@ func pickHierarchy(name string, ram int64) (h *memory.Hierarchy, rawJSON []byte,
 	}
 	h, err = memory.FromJSON(data)
 	return h, data, err
+}
+
+// openTableBindings resolves -data and -table into the ExecOptions fields
+// that make -run read bound inputs from durable catalog segments. The
+// catalog stays open for the run and is released on process exit; the read
+// path never mutates it.
+func openTableBindings(dataDir, spec string, run bool) (map[string]string, *catalog.Catalog, error) {
+	if spec == "" {
+		return nil, nil, nil
+	}
+	if !run {
+		return nil, nil, fmt.Errorf("-table requires -run")
+	}
+	if dataDir == "" {
+		return nil, nil, fmt.Errorf("-table requires -data DIR (the catalog directory)")
+	}
+	tables := map[string]string{}
+	for _, part := range strings.Split(spec, ",") {
+		name, tbl, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok || name == "" || tbl == "" {
+			return nil, nil, fmt.Errorf("bad -table spec %q (want input=table)", part)
+		}
+		tables[name] = tbl
+	}
+	cat, err := catalog.Open(dataDir, catalog.Options{})
+	if err != nil {
+		return nil, nil, fmt.Errorf("open catalog %s: %w", dataDir, err)
+	}
+	return tables, cat, nil
 }
 
 func die(err error) {

@@ -8,7 +8,12 @@
 //	ocasbench -fig8              # estimated vs measured sweeps
 //	ocasbench -cache             # loop-tiling cache-miss reduction
 //	ocasbench -accuracy          # selectivity vs estimation accuracy
+//	ocasbench -ingest            # durable-catalog ingest + scan differential
 //	ocasbench -all -shrink 8     # everything, at 1/8 scale
+//
+// Further knobs: -strategy exhaustive|beam with -beam N, -workers N for the
+// synthesis pool, -templates for the template-tier warm rows, -regress PCT
+// for the -baseline gate.
 //
 // With -json the machine-readable bench report (per-experiment synthesis
 // wall-clock, candidate counts, speedup factors, memo-cache counters) is
@@ -40,6 +45,7 @@ func main() {
 		fig8     = flag.Bool("fig8", false, "regenerate Figure 8")
 		cache    = flag.Bool("cache", false, "run the cache-miss study (Section 7.2)")
 		accuracy = flag.Bool("accuracy", false, "run the accuracy study (Section 7.3)")
+		ingest   = flag.Bool("ingest", false, "run the ingest study: load generated rows into a durable catalog, re-execute from segments, verify identical digests")
 		all      = flag.Bool("all", false, "run everything")
 		shrink   = flag.Int64("shrink", 1, "divide experiment sizes by this factor")
 		strategy = flag.String("strategy", "exhaustive", "search strategy: exhaustive (full BFS) or beam (bounded frontier)")
@@ -55,8 +61,8 @@ func main() {
 		fmt.Fprintln(os.Stderr, "ocasbench:", err)
 		os.Exit(1)
 	}
-	if !*table1 && !*execPar && !*fig8 && !*cache && !*accuracy && !*all {
-		fmt.Fprintln(os.Stderr, "ocasbench: no experiment selected (use -table1, -fig8, -cache, -accuracy or -all)")
+	if !*table1 && !*execPar && !*fig8 && !*cache && !*accuracy && !*ingest && !*all {
+		fmt.Fprintln(os.Stderr, "ocasbench: no experiment selected (use -table1, -fig8, -cache, -accuracy, -ingest or -all)")
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -75,6 +81,7 @@ func main() {
 	}
 
 	var table1Results, execParResults []*experiments.Result
+	var ingestResults []*experiments.IngestResult
 	if *table1 || *all {
 		fmt.Fprintf(out, "== Table 1 (shrink %d) ==\n", *shrink)
 		start := time.Now()
@@ -113,6 +120,15 @@ func main() {
 		fmt.Fprintf(out, "  tiled:   opt=%.4g params=%v  %s\n", r.TiledOpt, r.TiledParams, r.TiledProgram)
 		fmt.Fprintln(out)
 	}
+	if *ingest || *all {
+		fmt.Fprintf(out, "== Ingest study (durable catalog, shrink %d) ==\n", *shrink)
+		rs, err := experiments.RunIngest(cfg, out)
+		if err != nil {
+			fail(err)
+		}
+		ingestResults = rs
+		fmt.Fprintln(out)
+	}
 	if *accuracy || *all {
 		fmt.Fprintln(out, "== Accuracy study (Section 7.3) ==")
 		pts, err := experiments.AccuracyStudy(cfg)
@@ -126,7 +142,7 @@ func main() {
 		fmt.Fprintln(out)
 	}
 
-	report := experiments.NewBenchReport(cfg, table1Results, execParResults)
+	report := experiments.NewBenchReport(cfg, table1Results, execParResults, ingestResults)
 	// The timestamp is injected here rather than in the library, so report
 	// construction stays clock-free and two runs of the same code differ
 	// only where they should.

@@ -5,20 +5,28 @@
 // Usage:
 //
 //	ocasd -addr :8080 -cache-size 1024 -template-cache 64 -persist plans.json \
+//	      [-data ./data -flush-rows 65536 -mmap] \
 //	      [-strategy beam -beam 64] [-workers 0] [-max-inflight 2] [-timeout 60s] \
-//	      [-exec-workers 4] [-max-worker-slots 8]
+//	      [-max-exec-rows 1048576] [-exec-workers 4] [-max-worker-slots 8] \
+//	      [-trace-ring 256] [-trace-log traces.jsonl] [-log-json] [-access-log] [-no-obs]
 //
 // Endpoints (see internal/service):
 //
 //	POST /synthesize          synthesize (or serve) the plan for a request
 //	POST /execute             resolve the plan, then run it on the storage
-//	                          simulator (request-supplied or generated
-//	                          inputs); returns digest + virtual clock +
-//	                          per-device ledger
+//	                          simulator (durable tables via exec.tables,
+//	                          request-supplied, or generated inputs);
+//	                          returns digest + virtual clock + per-device
+//	                          ledger
 //	GET  /plans/{fingerprint} fetch a cached plan by content address
+//	POST /tables              create a durable table (name + column schema)
+//	GET  /tables              list durable tables
+//	GET  /tables/{name}       one table's schema, row count and segments
+//	DELETE /tables/{name}     drop a table and its segment files
+//	POST /tables/{name}/rows  bulk-load rows (JSON or text/csv body)
 //	GET  /healthz             readiness report (uptime, build, cache
 //	                          occupancy, worker slots)
-//	GET  /stats               cache + service counters
+//	GET  /stats               cache + service + catalog counters
 //	GET  /metrics             Prometheus text exposition (latency
 //	                          histograms split by cache outcome)
 //	GET  /traces              recent request traces, newest first
@@ -36,6 +44,13 @@
 // The template tier (-template-cache, on by default) memoizes the winning
 // derivation per request *shape*, so a known shape at new input
 // cardinalities re-optimizes in milliseconds instead of re-searching.
+//
+// With -data, the daemon opens the durable table catalog rooted at that
+// directory: the /tables endpoints come alive and /execute resolves
+// exec.tables bindings against it. Ingested rows buffer in memory and flush
+// to columnar segment files every -flush-rows rows; the graceful-shutdown
+// path flushes the remainder, so a SIGTERM-stopped daemon restarts with
+// every ingested row durable.
 package main
 
 import (
@@ -51,6 +66,7 @@ import (
 	"syscall"
 	"time"
 
+	"ocas/internal/catalog"
 	"ocas/internal/service"
 )
 
@@ -68,6 +84,9 @@ func main() {
 		maxExecRows = flag.Int64("max-exec-rows", 1<<20, "largest per-input row count POST /execute will run")
 		execWorkers = flag.Int("exec-workers", 1, "default executor worker count for /execute requests that don't choose one")
 		maxSlots    = flag.Int("max-worker-slots", 0, "executor worker-slot pool shared by concurrent /execute runs (0 = GOMAXPROCS)")
+		dataDir     = flag.String("data", "", "durable table catalog directory; empty disables the /tables endpoints and exec.tables bindings")
+		flushRows   = flag.Int64("flush-rows", 0, "buffered rows per table before ingest cuts a columnar segment (0 = 65536)")
+		useMmap     = flag.Bool("mmap", false, "read segment files through a read-only memory map instead of file reads (unix only)")
 		traceRing   = flag.Int("trace-ring", 256, "recent request traces kept in memory for GET /traces")
 		traceLog    = flag.String("trace-log", "", "append every finished request trace to this file, one JSON line each")
 		logJSON     = flag.Bool("log-json", false, "emit the access log as JSON lines instead of text")
@@ -99,6 +118,18 @@ func main() {
 		traceSink = f
 	}
 
+	var cat *catalog.Catalog
+	if *dataDir != "" {
+		var err error
+		cat, err = catalog.Open(*dataDir, catalog.Options{FlushRows: *flushRows, Mmap: *useMmap})
+		if err != nil {
+			log.Fatalf("ocasd: open catalog %s: %v", *dataDir, err)
+		}
+		st := cat.Stats()
+		log.Printf("ocasd: catalog %s: %d tables, %d rows in %d segments",
+			*dataDir, st.Tables, st.Rows, st.Segments)
+	}
+
 	srv := service.New(service.Config{
 		CacheSize:         *cacheSize,
 		TemplateCacheSize: *tmplSize,
@@ -110,6 +141,7 @@ func main() {
 		Strategy:          *strategy,
 		Beam:              *beam,
 		Workers:           *workers,
+		Catalog:           cat,
 		TraceRing:         *traceRing,
 		TraceLog:          traceSink,
 		AccessLog:         logger,
@@ -147,6 +179,14 @@ func main() {
 	defer cancel()
 	if err := hs.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		log.Printf("ocasd: shutdown: %v", err)
+	}
+	if cat != nil {
+		// Close flushes each table's buffered rows into a final segment, so
+		// a clean shutdown leaves every ingested row durable on disk.
+		if err := cat.Close(); err != nil {
+			log.Printf("ocasd: close catalog: %v", err)
+			os.Exit(1)
+		}
 	}
 	if *persist != "" {
 		if err := store.Save(*persist); err != nil {

@@ -10,10 +10,13 @@
 // alpha-key Keyer (internal/rules), the non-linear parameter optimizer
 // (internal/opt), the OCAS synthesizer (internal/core), the C code generator
 // (internal/codegen), the storage simulator and execution engine
-// (internal/storage, internal/exec), the evaluation harness and bench
+// (internal/storage, internal/exec), the durable table catalog
+// (internal/catalog), the evaluation harness and bench
 // report (internal/experiments), and the serving stack (internal/plan,
 // internal/plancache, internal/service). Command-line entry points are
-// under cmd/ and runnable examples under examples/.
+// under cmd/ and runnable examples under examples/. ARCHITECTURE.md maps
+// the layering, the request data flow, the charge model and the
+// determinism contract in one place.
 //
 // # Search strategies and parallelism
 //
@@ -122,6 +125,34 @@
 // its frames and device space. The service admits /execute by
 // worker slots (an execution holding W workers takes W slots of a
 // GOMAXPROCS-sized pool) and surfaces executor counters on /stats.
+//
+// # Durable tables: catalog and columnar segments
+//
+// internal/catalog gives inputs a home between requests: named tables
+// with typed int32 column schemas and a declared sort key, registered in
+// a versioned manifest.json written atomically (temp file + rename) on
+// every mutation. Ingested rows buffer per table and flush as immutable
+// columnar segment files — a PAX-style layout of fixed-size row chunks
+// stored column-major within the chunk, readable via plain file reads or
+// a read-only mmap behind the storage.Segment interface. Each flushed
+// segment is a stably key-sorted run with recorded key bounds;
+// Catalog.Close flushes remainders so graceful shutdown loses nothing.
+// Readers take snapshot Handles (open segment readers plus a copy of the
+// buffered tail) that stay consistent under concurrent ingest and
+// survive a Drop, unlink-style.
+//
+// The catalog sits between plan and storage (plan -> catalog ->
+// storage): a bound input becomes an exec.Table whose spill is backed by
+// the snapshot handle, installed uncharged and materialized lazily, so
+// segment reads charge InitCom/UnitTr through exactly the accounting
+// path generated inputs use. Digest, ledgers and virtual clock are
+// byte-identical between generated and durable runs of the same rows for
+// any worker count (TestDurableScanDifferential,
+// TestBackedSpillChargesLikePreload, TestExecuteFromDurableTable).
+// Bindings are wired by the server or CLI — ocasd -data DIR enables
+// POST/GET/DELETE /tables and exec.tables on /execute; ocas -run -data
+// DIR -table input=table is the CLI parity path; ocasbench -ingest
+// measures ingest throughput and re-verifies the differential.
 //
 // # Serving: ocasd and the plan cache
 //

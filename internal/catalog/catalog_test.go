@@ -1,0 +1,314 @@
+package catalog
+
+import (
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+func pairSchema() Schema {
+	return Schema{
+		Columns: []Column{{Name: "k", Type: "int32"}, {Name: "v", Type: "int32"}},
+		Key:     []int{0},
+	}
+}
+
+func mustOpen(t *testing.T, dir string, opts Options) *Catalog {
+	t.Helper()
+	c, err := Open(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func readAll(t *testing.T, c *Catalog, name string) []int32 {
+	t.Helper()
+	h, err := c.OpenTable(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+	out := make([]int32, h.Rows()*int64(h.Arity()))
+	if err := h.ReadRecords(out, 0, h.Rows()); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestCreateIngestRestartRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	c := mustOpen(t, dir, Options{FlushRows: 4})
+	if err := c.Create("users", pairSchema()); err != nil {
+		t.Fatal(err)
+	}
+	// Ten rows with an unsorted batch: flush threshold 4 cuts segments, the
+	// rest stays buffered until Close.
+	batch := []int32{5, 50, 1, 10, 3, 30, 2, 20, 4, 40, 9, 90, 7, 70, 6, 60, 8, 80, 0, 0}
+	total, err := c.Append("users", batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != 10 {
+		t.Fatalf("total rows %d want 10", total)
+	}
+	info, ok := c.Info("users")
+	if !ok || info.Rows != 10 {
+		t.Fatalf("info %+v", info)
+	}
+	if info.Segments == 0 || info.BufferedRows == 0 {
+		t.Fatalf("expected both durable segments and a buffered tail, got %+v", info)
+	}
+	want := readAll(t, c, "users")
+	if len(want) != 20 {
+		t.Fatalf("read %d values want 20", len(want))
+	}
+	// Batch is key-sorted on ingest: first row is key 0.
+	if want[0] != 0 {
+		t.Fatalf("first key %d want 0 (batch should be key-sorted)", want[0])
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restart: everything durable now, content identical.
+	c2 := mustOpen(t, dir, Options{FlushRows: 4})
+	info2, ok := c2.Info("users")
+	if !ok || info2.Rows != 10 || info2.BufferedRows != 0 {
+		t.Fatalf("after restart: %+v", info2)
+	}
+	got := readAll(t, c2, "users")
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("value %d: got %d want %d after restart", i, got[i], want[i])
+		}
+	}
+
+	// Drop removes manifest entry and files.
+	segs, _ := filepath.Glob(filepath.Join(dir, "users-*.seg"))
+	if len(segs) == 0 {
+		t.Fatal("expected segment files on disk")
+	}
+	if err := c2.Drop("users"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c2.Info("users"); ok {
+		t.Fatal("dropped table still listed")
+	}
+	segs, _ = filepath.Glob(filepath.Join(dir, "users-*.seg"))
+	if len(segs) != 0 {
+		t.Fatalf("segment files survived drop: %v", segs)
+	}
+	c2.Close()
+
+	// Third open: the drop is durable.
+	c3 := mustOpen(t, dir, Options{})
+	if _, ok := c3.Info("users"); ok {
+		t.Fatal("dropped table resurrected after restart")
+	}
+	c3.Close()
+}
+
+func TestVersionsBumpOnMutation(t *testing.T) {
+	c := mustOpen(t, t.TempDir(), Options{FlushRows: 2})
+	if err := c.Create("t", pairSchema()); err != nil {
+		t.Fatal(err)
+	}
+	v0 := mustInfo(t, c, "t").Version
+	if _, err := c.Append("t", []int32{1, 1}); err != nil {
+		t.Fatal(err)
+	}
+	v1 := mustInfo(t, c, "t").Version
+	if v1 <= v0 {
+		t.Fatalf("version did not bump on ingest: %d -> %d", v0, v1)
+	}
+	if _, err := c.Append("t", []int32{2, 2}); err != nil { // crosses flush threshold
+		t.Fatal(err)
+	}
+	v2 := mustInfo(t, c, "t").Version
+	if v2 <= v1 {
+		t.Fatalf("version did not bump on flush: %d -> %d", v1, v2)
+	}
+	c.Close()
+}
+
+func mustInfo(t *testing.T, c *Catalog, name string) TableInfo {
+	t.Helper()
+	info, ok := c.Info(name)
+	if !ok {
+		t.Fatalf("table %q missing", name)
+	}
+	return info
+}
+
+func TestConcurrentIngest(t *testing.T) {
+	c := mustOpen(t, t.TempDir(), Options{FlushRows: 64})
+	if err := c.Create("t", pairSchema()); err != nil {
+		t.Fatal(err)
+	}
+	const (
+		workers = 8
+		batches = 10
+		perRows = 20
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for b := 0; b < batches; b++ {
+				batch := make([]int32, 0, perRows*2)
+				for r := 0; r < perRows; r++ {
+					k := int32(w*1000 + b*100 + r)
+					batch = append(batch, k, k*2)
+				}
+				if _, err := c.Append("t", batch); err != nil {
+					t.Errorf("append: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+	// Concurrent readers and listers while ingest runs.
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				h, err := c.OpenTable("t")
+				if err != nil {
+					t.Errorf("open: %v", err)
+					return
+				}
+				if n := h.Rows(); n > 0 {
+					dst := make([]int32, n*2)
+					if err := h.ReadRecords(dst, 0, n); err != nil {
+						t.Errorf("read: %v", err)
+					}
+				}
+				h.Close()
+				c.List()
+				c.Stats()
+			}
+		}()
+	}
+	wg.Wait()
+	wantRows := int64(workers * batches * perRows)
+	if got := mustInfo(t, c, "t").Rows; got != wantRows {
+		t.Fatalf("rows %d want %d", got, wantRows)
+	}
+	// Every ingested value must still be present exactly once.
+	all := readAll(t, c, "t")
+	seen := map[int32]bool{}
+	for i := 0; i < len(all); i += 2 {
+		if all[i+1] != all[i]*2 {
+			t.Fatalf("row (%d,%d) corrupted", all[i], all[i+1])
+		}
+		if seen[all[i]] {
+			t.Fatalf("duplicate key %d", all[i])
+		}
+		seen[all[i]] = true
+	}
+	if int64(len(seen)) != wantRows {
+		t.Fatalf("distinct keys %d want %d", len(seen), wantRows)
+	}
+	c.Close()
+}
+
+func TestSegmentsAreSortedRuns(t *testing.T) {
+	c := mustOpen(t, t.TempDir(), Options{FlushRows: 8})
+	if err := c.Create("t", pairSchema()); err != nil {
+		t.Fatal(err)
+	}
+	// Two individually sorted batches that interleave: the flushed segment
+	// must be one globally sorted run.
+	if _, err := c.Append("t", []int32{1, 0, 3, 0, 5, 0, 7, 0}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Append("t", []int32{0, 0, 2, 0, 4, 0, 6, 0}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	c2 := mustOpen(t, c.Dir(), Options{})
+	defer c2.Close()
+	all := readAll(t, c2, "t")
+	for i := 2; i < len(all); i += 2 {
+		if all[i] < all[i-2] {
+			t.Fatalf("segment not sorted at row %d: %d < %d", i/2, all[i], all[i-2])
+		}
+	}
+	info := mustInfo(t, c2, "t")
+	if info.Segments != 1 {
+		t.Fatalf("segments %d want 1", info.Segments)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	c := mustOpen(t, t.TempDir(), Options{})
+	defer c.Close()
+	if err := c.Create("bad name!", pairSchema()); err == nil {
+		t.Fatal("invalid name accepted")
+	}
+	if err := c.Create("t", Schema{}); err == nil {
+		t.Fatal("empty schema accepted")
+	}
+	if err := c.Create("t", Schema{Columns: []Column{{Name: "a", Type: "float64"}}}); err == nil {
+		t.Fatal("non-int32 type accepted")
+	}
+	if err := c.Create("t", Schema{Columns: []Column{{Name: "a"}}, Key: []int{3}}); err == nil {
+		t.Fatal("out-of-range key accepted")
+	}
+	if err := c.Create("t", pairSchema()); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Create("t", pairSchema()); err == nil {
+		t.Fatal("duplicate table accepted")
+	}
+	if _, err := c.Append("t", []int32{1, 2, 3}); err == nil {
+		t.Fatal("non-multiple batch accepted")
+	}
+	if _, err := c.Append("nope", []int32{1, 2}); err == nil {
+		t.Fatal("append to missing table accepted")
+	}
+	if err := c.Drop("nope"); err == nil {
+		t.Fatal("drop of missing table accepted")
+	}
+}
+
+func TestCorruptManifestRejected(t *testing.T) {
+	dir := t.TempDir()
+	os.WriteFile(filepath.Join(dir, "manifest.json"), []byte("{nope"), 0o644)
+	if _, err := Open(dir, Options{}); err == nil {
+		t.Fatal("corrupt manifest accepted")
+	}
+}
+
+func TestSnapshotHandleSurvivesDrop(t *testing.T) {
+	c := mustOpen(t, t.TempDir(), Options{FlushRows: 2})
+	if err := c.Create("t", pairSchema()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Append("t", []int32{1, 10, 2, 20, 3, 30, 4, 40}); err != nil {
+		t.Fatal(err)
+	}
+	h, err := c.OpenTable("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+	if err := c.Drop("t"); err != nil {
+		t.Fatal(err)
+	}
+	dst := make([]int32, h.Rows()*2)
+	if err := h.ReadRecords(dst, 0, h.Rows()); err != nil {
+		t.Fatalf("snapshot read after drop: %v", err)
+	}
+	if dst[0] != 1 || dst[1] != 10 {
+		t.Fatalf("snapshot content wrong: %v", dst[:2])
+	}
+	c.Close()
+}

@@ -32,6 +32,20 @@ func NewTable(dev *storage.Device, arity int, capRows int64) (*Table, error) {
 	return &Table{Spill: sp, Arity: arity}, nil
 }
 
+// NewBackedTable opens a device-resident view over rows durable storage
+// supplies (a catalog table's columnar segments): device space is claimed
+// without charging, exactly like Preload, and the payload materializes from
+// b on first read. Every access then charges the device's InitCom/UnitTr
+// model, so a backed table is indistinguishable from a preloaded one on the
+// ledger and the virtual clock.
+func NewBackedTable(dev *storage.Device, arity int, rows int64, b storage.Backing) (*Table, error) {
+	sp, err := dev.NewBackedSpill(int64(arity)*4, rows, b)
+	if err != nil {
+		return nil, err
+	}
+	return &Table{Spill: sp, Arity: arity}, nil
+}
+
 // Preload installs rows without charging I/O: the input data already resides
 // on the device when the experiment starts.
 func (t *Table) Preload(rows []int32) error {

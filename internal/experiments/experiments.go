@@ -7,7 +7,8 @@
 // Sizes are the paper's configurations scaled down (the paper runs GB-scale
 // relations on real hardware for minutes to hours; the simulator preserves
 // the size *ratios* between relations and buffers, which is what the
-// paper's comparisons depend on). EXPERIMENTS.md records the mapping.
+// paper's comparisons depend on). The per-experiment definitions in
+// table1.go record the mapping.
 package experiments
 
 import (

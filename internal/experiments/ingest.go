@@ -1,0 +1,191 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"strings"
+	"time"
+
+	"ocas/internal/catalog"
+	"ocas/internal/core"
+	"ocas/internal/memory"
+	"ocas/internal/plan"
+)
+
+// ingestSeed is the generator seed of the ingest rows. It must match the
+// seed of the generated baseline run: the differential below asserts that a
+// durable scan of ingested rows produces byte-identical digests and an
+// identical virtual clock.
+const ingestSeed = 1
+
+// IngestResult is one row of the ingest study: the same workload executed
+// twice, once on generated in-memory inputs and once scanning the rows back
+// from durable columnar segments.
+type IngestResult struct {
+	Name     string
+	Rows     int64 // rows ingested across all input tables
+	Segments int64 // segment files those rows flushed into
+	// IngestSecs is the wall-clock of appending and flushing every row;
+	// GenSecs and ScanSecs are the executor wall-clocks of the generated and
+	// the durable run.
+	IngestSecs float64
+	GenSecs    float64
+	ScanSecs   float64
+	// ActSecs is the simulated execution time — identical for both runs by
+	// the determinism contract (RunIngest fails otherwise).
+	ActSecs float64
+	Digest  string
+}
+
+// IngestExperiments returns the ingest-study workloads: the GRACE hash join
+// (two pair tables) and the external merge sort (one key column), both
+// reading every input row back from segments. Sizes honor Shrink.
+func IngestExperiments(cfg Config) []Experiment {
+	jR := cfg.div(256 << 10)
+	jS := cfg.div(128 << 10)
+	sortN := cfg.div(256 << 10)
+	return []Experiment{
+		{
+			Name:     "hashjoin",
+			PaperRow: "ingest: GRACE hash join over durable segments",
+			Spec:     core.JoinSpec(true),
+			Hier:     memory.HDDRAM(256 << 10),
+			InputLoc: map[string]string{"R": "hdd", "S": "hdd"},
+			Rows:     map[string]int64{"R": jR, "S": jS},
+			MaxDepth: 6, MaxSpace: 1500,
+			RBytes: jR * 8, SBytes: jS * 8, Buffer: 256 << 10,
+		},
+		{
+			Name:     "externalsort",
+			PaperRow: "ingest: external merge sort over durable segments",
+			Spec:     core.SortSpec(),
+			Hier:     memory.HDDRAM(64 << 10),
+			InputLoc: map[string]string{"R": "hdd"},
+			Rows:     map[string]int64{"R": sortN},
+			MaxDepth: 12, MaxSpace: 2000,
+			RBytes: sortN * 4, Buffer: 64 << 10,
+		},
+	}
+}
+
+// RunIngest runs the ingest study: for each workload it synthesizes the
+// algorithm once, executes it on generated inputs, ingests the same rows
+// into a temporary durable catalog, executes again with every input bound
+// to its table, and requires digest, row count and virtual clock to match
+// exactly. The returned rows carry ingest throughput alongside the two
+// executor wall-clocks.
+func RunIngest(cfg Config, w io.Writer) ([]*IngestResult, error) {
+	exps, err := cfg.apply(IngestExperiments(cfg))
+	if err != nil {
+		return nil, err
+	}
+	var out []*IngestResult
+	fmt.Fprintf(w, "%-16s %10s %9s %11s %12s %12s %14s\n",
+		"Program", "Rows", "Segments", "Ingest[s]", "Gen[s]", "Scan[s]", "Act[s]")
+	for _, e := range exps {
+		r, err := runIngestOne(e)
+		if err != nil {
+			return out, err
+		}
+		fmt.Fprintf(w, "%-16s %10d %9d %11.3f %12.3f %12.3f %14.4g\n",
+			r.Name, r.Rows, r.Segments, r.IngestSecs, r.GenSecs, r.ScanSecs, r.ActSecs)
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+func runIngestOne(e Experiment) (*IngestResult, error) {
+	syn, err := Synthesize(e)
+	if err != nil {
+		return nil, err
+	}
+	_, task := setup(e)
+	opt := plan.ExecOptions{Seed: ingestSeed, ExecWorkers: e.ExecWorkers}
+
+	genStart := time.Now()
+	genRep, err := plan.RunProgram(context.Background(), e.Hier, syn.Best.Expr, syn.Best.Params, task, opt)
+	if err != nil {
+		return nil, fmt.Errorf("%s: generated run: %w", e.Name, err)
+	}
+	genSecs := time.Since(genStart).Seconds()
+
+	dir, err := os.MkdirTemp("", "ocas-ingest")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	// A small flush threshold forces multiple segments per table, so the
+	// scan crosses segment boundaries rather than reading one big file.
+	cat, err := catalog.Open(dir, catalog.Options{FlushRows: 16 << 10})
+	if err != nil {
+		return nil, err
+	}
+	defer cat.Close()
+
+	res := &IngestResult{Name: e.Name}
+	tables := map[string]string{}
+	ingestStart := time.Now()
+	for i, in := range task.Spec.Inputs {
+		tname := "bench_" + strings.ToLower(in.Name)
+		tables[in.Name] = tname
+		if err := cat.Create(tname, pairOrIntSchema(in.Arity)); err != nil {
+			return nil, err
+		}
+		// The same rows RunProgram generates for input i (per-input seed is
+		// Seed + i*7919): ingest must reproduce them bit for bit.
+		n := task.InputRows[in.Name]
+		seed := int64(ingestSeed) + int64(i)*7919
+		var rows []int32
+		if in.Arity == 1 {
+			rows = plan.GeneratedInts(n, seed)
+		} else {
+			rows = plan.GeneratedPairs(n, seed)
+		}
+		if _, err := cat.Append(tname, rows); err != nil {
+			return nil, err
+		}
+		if err := cat.Flush(tname); err != nil {
+			return nil, err
+		}
+		res.Rows += n
+	}
+	res.IngestSecs = time.Since(ingestStart).Seconds()
+	for _, t := range cat.List() {
+		res.Segments += int64(t.Segments)
+	}
+
+	opt.Tables, opt.Cat = tables, cat
+	scanStart := time.Now()
+	scanRep, err := plan.RunProgram(context.Background(), e.Hier, syn.Best.Expr, syn.Best.Params, task, opt)
+	if err != nil {
+		return nil, fmt.Errorf("%s: durable run: %w", e.Name, err)
+	}
+	res.ScanSecs = time.Since(scanStart).Seconds()
+
+	if scanRep.OutDigest != genRep.OutDigest || scanRep.OutRows != genRep.OutRows {
+		return nil, fmt.Errorf("%s: durable scan diverged: digest %s/%d rows vs generated %s/%d rows",
+			e.Name, scanRep.OutDigest, scanRep.OutRows, genRep.OutDigest, genRep.OutRows)
+	}
+	if math.Abs(scanRep.VirtualSeconds-genRep.VirtualSeconds) > 0 {
+		return nil, fmt.Errorf("%s: durable scan changed the virtual clock: %v vs %v",
+			e.Name, scanRep.VirtualSeconds, genRep.VirtualSeconds)
+	}
+	res.GenSecs = genSecs
+	res.ActSecs = scanRep.VirtualSeconds
+	res.Digest = scanRep.OutDigest
+	return res, nil
+}
+
+// pairOrIntSchema builds the bench table schema: int32 columns k[,v,...]
+// sorted on the first column, matching the generators' key order.
+func pairOrIntSchema(arity int) catalog.Schema {
+	cols := make([]catalog.Column, arity)
+	for i := range cols {
+		cols[i] = catalog.Column{Name: fmt.Sprintf("c%d", i), Type: "int32"}
+	}
+	cols[0].Name = "k"
+	return catalog.Schema{Columns: cols, Key: []int{0}}
+}

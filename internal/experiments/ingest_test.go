@@ -1,0 +1,31 @@
+package experiments
+
+import (
+	"io"
+	"testing"
+)
+
+// TestRunIngestDifferential runs the ingest study at a deep shrink: each
+// workload ingests its generated rows into a throwaway catalog, executes
+// from the segments and must reproduce the generated run's digest and
+// virtual clock exactly (RunIngest errors on any divergence).
+func TestRunIngestDifferential(t *testing.T) {
+	rs, err := RunIngest(Config{Shrink: 64}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != len(IngestExperiments(Config{Shrink: 64})) {
+		t.Fatalf("got %d results", len(rs))
+	}
+	for _, r := range rs {
+		if r.Rows <= 0 || r.Segments <= 0 {
+			t.Errorf("%s: implausible ingest stats: %+v", r.Name, r)
+		}
+		if r.Digest == "" {
+			t.Errorf("%s: missing digest", r.Name)
+		}
+		if r.ActSecs <= 0 {
+			t.Errorf("%s: virtual clock did not advance", r.Name)
+		}
+	}
+}

@@ -85,6 +85,12 @@ type BenchReport struct {
 	// appears once per worker count, with identical simulated charges and
 	// (on multi-core hardware) scaling wall-clock.
 	ExecParallel []BenchRow `json:"execParallel,omitempty"`
+	// Ingest holds the durable-catalog rows (ocasbench -ingest): ingest
+	// throughput into columnar segments plus the generated-vs-durable
+	// executor wall-clocks. The section is additive to the schema and
+	// informational only — CompareBaseline never gates on it, since ingest
+	// wall-clock is dominated by the host filesystem.
+	Ingest []IngestRow `json:"ingest,omitempty"`
 	// TotalSynthSecs and TotalExecSecs sum the two wall-clocks over every
 	// Table 1 row, and TotalExecParSecs the executor wall-clock over the
 	// multi-worker rows: the gate metrics.
@@ -94,6 +100,39 @@ type BenchReport struct {
 	// TotalTemplateWarmSecs sums TemplateWarmSecs over the Table 1 rows —
 	// the template tier's gate metric (0 when -templates was off).
 	TotalTemplateWarmSecs float64 `json:"totalTemplateWarmSecs,omitempty"`
+}
+
+// IngestRow is one ingest-study workload in the machine-readable report.
+// Digest pins the output the durable scan was verified against; ActSecs is
+// the simulated time, identical between the generated and durable runs.
+type IngestRow struct {
+	Name       string  `json:"name"`
+	Rows       int64   `json:"rows"`
+	Segments   int64   `json:"segments"`
+	IngestSecs float64 `json:"ingestSecs"`
+	RowsPerSec float64 `json:"rowsPerSec"`
+	GenSecs    float64 `json:"genSecs"`
+	ScanSecs   float64 `json:"scanSecs"`
+	ActSecs    float64 `json:"actSecs"`
+	Digest     string  `json:"digest,omitempty"`
+}
+
+// ingestRow converts one ingest result.
+func ingestRow(r *IngestResult) IngestRow {
+	row := IngestRow{
+		Name:       r.Name,
+		Rows:       r.Rows,
+		Segments:   r.Segments,
+		IngestSecs: r.IngestSecs,
+		GenSecs:    r.GenSecs,
+		ScanSecs:   r.ScanSecs,
+		ActSecs:    r.ActSecs,
+		Digest:     r.Digest,
+	}
+	if r.IngestSecs > 0 {
+		row.RowsPerSec = float64(r.Rows) / r.IngestSecs
+	}
+	return row
 }
 
 // benchRow converts one experiment result.
@@ -131,9 +170,9 @@ func benchRow(r *Result) BenchRow {
 	return row
 }
 
-// NewBenchReport converts experiment results into a report. execPar may be
-// nil when the multi-worker rows did not run.
-func NewBenchReport(cfg Config, table1 []*Result, execPar []*Result) *BenchReport {
+// NewBenchReport converts experiment results into a report. execPar and
+// ingest may be nil when those sections did not run.
+func NewBenchReport(cfg Config, table1 []*Result, execPar []*Result, ingest []*IngestResult) *BenchReport {
 	strategy := cfg.Strategy
 	if strategy == "" {
 		strategy = "exhaustive"
@@ -160,6 +199,9 @@ func NewBenchReport(cfg Config, table1 []*Result, execPar []*Result) *BenchRepor
 	for _, r := range execPar {
 		rep.ExecParallel = append(rep.ExecParallel, benchRow(r))
 		rep.TotalExecParSecs += r.ExecSecs
+	}
+	for _, r := range ingest {
+		rep.Ingest = append(rep.Ingest, ingestRow(r))
 	}
 	return rep
 }

@@ -38,6 +38,8 @@ func TestBenchReportCalibration(t *testing.T) {
 	}}, []*Result{
 		{Name: "hashjoin", ExecSecs: 1.5, ExecWorkers: 1},
 		{Name: "hashjoin", ExecSecs: 0.5, ExecWorkers: 4},
+	}, []*IngestResult{
+		{Name: "hashjoin", Rows: 1000, Segments: 4, IngestSecs: 0.5, ScanSecs: 0.2, ActSecs: 8},
 	})
 	if len(rep.Table1) != 1 {
 		t.Fatal("row missing")
@@ -67,13 +69,16 @@ func TestBenchReportCalibration(t *testing.T) {
 	if rep.Table1[0].ExecWorkers != 1 {
 		t.Errorf("table1 rows default to one worker, got %d", rep.Table1[0].ExecWorkers)
 	}
+	if len(rep.Ingest) != 1 || rep.Ingest[0].RowsPerSec != 2000 {
+		t.Fatalf("ingest rows wrong: %+v", rep.Ingest)
+	}
 }
 
 func TestBenchReportTemplateWarm(t *testing.T) {
 	rep := NewBenchReport(Config{Shrink: 8, Templates: true}, []*Result{
 		{Name: "a", SynthSecs: 0.5, TemplateWarmSecs: 0.01},
 		{Name: "b", SynthSecs: 0.5, TemplateWarmSecs: 0.02},
-	}, nil)
+	}, nil, nil)
 	if rep.TotalTemplateWarmSecs != 0.03 {
 		t.Errorf("totalTemplateWarmSecs = %v want 0.03", rep.TotalTemplateWarmSecs)
 	}

@@ -17,6 +17,7 @@ import (
 	"sort"
 	"strings"
 
+	"ocas/internal/catalog"
 	"ocas/internal/core"
 	"ocas/internal/exec"
 	"ocas/internal/memory"
@@ -41,6 +42,15 @@ type ExecOptions struct {
 	// Inputs supplies explicit rows per input, each row a tuple of ints
 	// matching the input's arity. Inputs listed here ignore Rows/Seed.
 	Inputs map[string][][]int64 `json:"inputs,omitempty"`
+	// Tables binds inputs to durable catalog tables by name: the input's
+	// rows come from the table's columnar segments (plus its buffered tail)
+	// instead of Inputs or the generators. A bound input's executed row
+	// count is the table's row count; Rows/Inputs entries for it are
+	// rejected. Requires Cat.
+	Tables map[string]string `json:"tables,omitempty"`
+	// Cat resolves Tables. It is infrastructure wiring (set by ocasd or the
+	// CLI from their -data directory), never part of a request body.
+	Cat *catalog.Catalog `json:"-"`
 	// ExecWorkers bounds the morsel-driven executor's concurrent partition
 	// tasks (0 or 1: single-worker; capped at MaxExecWorkers). Worker count
 	// never changes the output digest or the device ledgers — partition
@@ -106,9 +116,20 @@ func RunProgram(ctx context.Context, h *memory.Hierarchy, prog ocal.Expr, params
 	sim := storage.NewSim(h)
 	sim.DefaultCPU()
 
+	if err := checkTableBindings(task, opt); err != nil {
+		return nil, err
+	}
 	inputs := map[string]*exec.Table{}
 	inputRows := map[string]int64{}
 	var scratch *storage.Device
+	var handles []*catalog.Handle
+	defer func() {
+		// Handles stay open for the run: backed tables materialize their
+		// payload lazily on first read.
+		for _, h := range handles {
+			h.Close()
+		}
+	}()
 	for i, in := range task.Spec.Inputs {
 		dev, err := sim.Device(task.InputLoc[in.Name])
 		if err != nil {
@@ -117,19 +138,33 @@ func RunProgram(ctx context.Context, h *memory.Hierarchy, prog ocal.Expr, params
 		if scratch == nil {
 			scratch = dev
 		}
-		rows, err := inputData(in, task, opt, i)
-		if err != nil {
-			return nil, err
-		}
-		tb, err := exec.NewTable(dev, in.Arity, int64(len(rows)/in.Arity)+8)
-		if err != nil {
-			return nil, err
-		}
-		if err := tb.Preload(rows); err != nil {
-			return nil, err
+		var tb *exec.Table
+		if tname, bound := opt.Tables[in.Name]; bound {
+			h, err := openTableInput(opt.Cat, in, tname)
+			if err != nil {
+				return nil, err
+			}
+			handles = append(handles, h)
+			tb, err = exec.NewBackedTable(dev, in.Arity, h.Rows(), h)
+			if err != nil {
+				return nil, err
+			}
+			inputRows[in.Name] = h.Rows()
+		} else {
+			rows, err := inputData(in, task, opt, i)
+			if err != nil {
+				return nil, err
+			}
+			tb, err = exec.NewTable(dev, in.Arity, int64(len(rows)/in.Arity)+8)
+			if err != nil {
+				return nil, err
+			}
+			if err := tb.Preload(rows); err != nil {
+				return nil, err
+			}
+			inputRows[in.Name] = int64(len(rows) / in.Arity)
 		}
 		inputs[in.Name] = tb
-		inputRows[in.Name] = int64(len(rows) / in.Arity)
 	}
 	if task.Intermediate != "" {
 		dev, err := sim.Device(task.Intermediate)
@@ -238,6 +273,50 @@ func ExecutePlan(ctx context.Context, c *Compiled, p *Plan, opt ExecOptions) (*E
 	return rep, nil
 }
 
+// checkTableBindings validates ExecOptions.Tables against the task: every
+// bound name must be a declared input, the catalog must be configured, and
+// a bound input cannot also carry a Rows override or explicit Inputs (the
+// table decides its own cardinality).
+func checkTableBindings(task core.Task, opt ExecOptions) error {
+	if len(opt.Tables) == 0 {
+		return nil
+	}
+	if opt.Cat == nil {
+		return fmt.Errorf("plan: exec.tables given but no catalog is configured")
+	}
+	declared := map[string]bool{}
+	for _, in := range task.Spec.Inputs {
+		declared[in.Name] = true
+	}
+	for name := range opt.Tables {
+		if !declared[name] {
+			return fmt.Errorf("plan: exec.tables binds %q, which is not an input of the program", name)
+		}
+		if _, ok := opt.Rows[name]; ok {
+			return fmt.Errorf("plan: input %q has both a table binding and a rows override", name)
+		}
+		if _, ok := opt.Inputs[name]; ok {
+			return fmt.Errorf("plan: input %q has both a table binding and explicit inputs", name)
+		}
+	}
+	return nil
+}
+
+// openTableInput opens the catalog snapshot feeding one bound input and
+// checks its shape.
+func openTableInput(cat *catalog.Catalog, in core.InputSpec, tname string) (*catalog.Handle, error) {
+	h, err := cat.OpenTable(tname)
+	if err != nil {
+		return nil, fmt.Errorf("plan: input %s: %w", in.Name, err)
+	}
+	if h.Arity() != in.Arity {
+		h.Close()
+		return nil, fmt.Errorf("plan: input %s wants arity %d but table %q has %d columns",
+			in.Name, in.Arity, tname, h.Arity())
+	}
+	return h, nil
+}
+
 // inputData resolves one input's rows: explicit rows win, then generated
 // data of the overridden or nominal size.
 func inputData(in core.InputSpec, task core.Task, opt ExecOptions, idx int) ([]int32, error) {
@@ -276,6 +355,17 @@ func inputData(in core.InputSpec, task core.Task, opt ExecOptions, idx int) ([]i
 		return sortedPairs(n, seed), nil
 	}
 }
+
+// GeneratedPairs returns the exact flat rows the executor's arity-2 input
+// generator produces for n rows under seed — what inputData feeds an
+// unbound input whose per-input seed is opt.Seed + inputIndex*7919. Ingest
+// differentials (tests, the bench harness, the CI smoke job) load these
+// rows into a catalog table so a durable scan is comparable to a generated
+// run value for value.
+func GeneratedPairs(n, seed int64) []int32 { return sortedPairs(n, seed) }
+
+// GeneratedInts is GeneratedPairs' arity-1 counterpart.
+func GeneratedInts(n, seed int64) []int32 { return workload.SortedInts(n, 4, seed) }
 
 // sortedPairs generates n 〈key, payload〉 tuples sorted by key.
 func sortedPairs(n, seed int64) []int32 {

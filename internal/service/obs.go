@@ -84,6 +84,23 @@ func (s *Server) initObs() {
 
 	s.reg.Func("ocas_traces_total", "Traces recorded since start.", obs.KindCounter,
 		func() float64 { return float64(s.ring.Total()) })
+
+	if s.cfg.Catalog != nil {
+		s.reg.Func("ocas_catalog_tables", "Durable tables in the catalog.", obs.KindGauge,
+			func() float64 { return float64(s.cfg.Catalog.Stats().Tables) })
+		s.reg.Func("ocas_catalog_rows", "Rows across all tables (durable + buffered).", obs.KindGauge,
+			func() float64 { return float64(s.cfg.Catalog.Stats().Rows) })
+		s.reg.Func("ocas_catalog_segments", "Durable segment files across all tables.", obs.KindGauge,
+			func() float64 { return float64(s.cfg.Catalog.Stats().Segments) })
+		s.reg.Func("ocas_catalog_buffered_rows", "Rows buffered in memory awaiting a segment flush.", obs.KindGauge,
+			func() float64 { return float64(s.cfg.Catalog.Stats().BufferedRows) })
+		s.reg.Func("ocas_catalog_ingested_rows_total", "Rows ingested since the catalog opened.", obs.KindCounter,
+			func() float64 { return float64(s.cfg.Catalog.Stats().IngestedRows) })
+		s.reg.Func("ocas_catalog_segment_flushes_total", "Segments flushed since the catalog opened.", obs.KindCounter,
+			func() float64 { return float64(s.cfg.Catalog.Stats().SegmentFlushes) })
+		s.reg.Func("ocas_durable_scans_total", "Completed /execute runs that read catalog tables.", obs.KindCounter,
+			func() float64 { return float64(s.tables.durableScans.Load()) })
+	}
 }
 
 // endpointLabel maps a request path to its route pattern, so metric label
@@ -92,12 +109,16 @@ func endpointLabel(r *http.Request) string {
 	p := r.URL.Path
 	switch {
 	case p == "/synthesize", p == "/execute", p == "/healthz", p == "/stats",
-		p == "/metrics", p == "/traces":
+		p == "/metrics", p == "/traces", p == "/tables":
 		return p
 	case strings.HasPrefix(p, "/plans/"):
 		return "/plans/{fingerprint}"
 	case strings.HasPrefix(p, "/traces/"):
 		return "/traces/{id}"
+	case strings.HasPrefix(p, "/tables/") && strings.HasSuffix(p, "/rows"):
+		return "/tables/{name}/rows"
+	case strings.HasPrefix(p, "/tables/"):
+		return "/tables/{name}"
 	default:
 		return "other"
 	}

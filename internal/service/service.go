@@ -38,6 +38,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"ocas/internal/catalog"
 	"ocas/internal/obs"
 	"ocas/internal/plan"
 	"ocas/internal/plancache"
@@ -74,6 +75,11 @@ type Config struct {
 	// (default 1 << 20). Requests whose effective sizes exceed it must
 	// override them with the exec.rows field.
 	MaxExecRows int64
+	// Catalog enables the durable table layer: the /tables endpoints and
+	// exec.tables bindings on /execute resolve against it. nil disables
+	// both (the endpoints answer 503). ocasd opens one from its -data
+	// directory and closes it (flushing buffered rows) on shutdown.
+	Catalog *catalog.Catalog
 	// Defaults are applied to request fields left at their zero value.
 	Strategy string // "" keeps the request/plan default (exhaustive)
 	Beam     int
@@ -135,6 +141,14 @@ type Server struct {
 		poolShrinks   atomic.Int64
 		spills        atomic.Int64
 		spillBytes    atomic.Int64
+	}
+	// tables counts catalog mutations through the HTTP surface (the
+	// catalog's own Stats cover rows/segments).
+	tables struct {
+		creates      atomic.Int64
+		drops        atomic.Int64
+		ingestedRows atomic.Int64
+		durableScans atomic.Int64
 	}
 
 	// Observability (see obs.go): the metrics registry, the trace ring and
@@ -262,6 +276,11 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /traces", s.handleTraces)
 	mux.HandleFunc("GET /traces/{id}", s.handleTrace)
+	mux.HandleFunc("POST /tables", s.handleTableCreate)
+	mux.HandleFunc("GET /tables", s.handleTableList)
+	mux.HandleFunc("GET /tables/{name}", s.handleTableGet)
+	mux.HandleFunc("DELETE /tables/{name}", s.handleTableDrop)
+	mux.HandleFunc("POST /tables/{name}/rows", s.handleTableIngest)
 	return s.withObs(mux)
 }
 
@@ -397,6 +416,15 @@ func (s *Server) handleExecute(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusBadRequest, "invalid request: %v", err)
 		return
 	}
+	if len(req.Exec.Tables) > 0 {
+		cat := s.requireCatalog(w)
+		if cat == nil {
+			return
+		}
+		// The catalog handle is server wiring, never client input: the
+		// JSON field only ever carries table names.
+		req.Exec.Cat = cat
+	}
 	for name, nominal := range compiled.Task.InputRows {
 		rows := nominal
 		if o, ok := req.Exec.Rows[name]; ok && o > 0 {
@@ -404,6 +432,15 @@ func (s *Server) handleExecute(w http.ResponseWriter, r *http.Request) {
 		}
 		if supplied, ok := req.Exec.Inputs[name]; ok {
 			rows = int64(len(supplied))
+		}
+		if tname, ok := req.Exec.Tables[name]; ok {
+			info, found := req.Exec.Cat.Info(tname)
+			if !found {
+				s.fail(w, http.StatusNotFound, "input %s: no table %q", name, tname)
+				return
+			}
+			// A bound input executes the table's current row count.
+			rows = info.Rows
 		}
 		if rows > s.cfg.MaxExecRows {
 			s.fail(w, http.StatusBadRequest,
@@ -470,6 +507,9 @@ func (s *Server) handleExecute(w http.ResponseWriter, r *http.Request) {
 		s.exec.poolShrinks.Add(rep.Pool.Shrinks)
 		s.exec.spills.Add(rep.Pool.Spills)
 		s.exec.spillBytes.Add(rep.Pool.SpillBytes)
+		if len(req.Exec.Tables) > 0 {
+			s.tables.durableScans.Add(1)
+		}
 	}
 	if err != nil {
 		switch {
@@ -524,6 +564,16 @@ func (s *Server) writePlan(w http.ResponseWriter, p *plan.Plan, outcome string, 
 	w.Write(plan.Encode(p))
 }
 
+// CatalogStats extends the catalog's own counters with the HTTP-surface
+// totals (creates, drops, rows ingested, durable scans served).
+type CatalogStats struct {
+	catalog.Stats
+	Creates      int64 `json:"creates"`
+	Drops        int64 `json:"drops"`
+	IngestedHTTP int64 `json:"ingestedHttp"`
+	DurableScans int64 `json:"durableScans"`
+}
+
 type statsResponse struct {
 	Cache plancache.Stats `json:"cache"`
 	// Templates is the template (shape) tier; all-zero when disabled.
@@ -535,7 +585,25 @@ type statsResponse struct {
 	GuardRejects   int64     `json:"guardRejects"`
 	Service        Metrics   `json:"service"`
 	Exec           ExecStats `json:"exec"`
-	Uptime         string    `json:"uptime"`
+	// Catalog is the durable-table layer; nil when no -data directory is
+	// configured.
+	Catalog *CatalogStats `json:"catalog,omitempty"`
+	Uptime  string        `json:"uptime"`
+}
+
+// catalogStats snapshots the catalog section of /stats (nil when the
+// durable-table layer is disabled).
+func (s *Server) catalogStats() *CatalogStats {
+	if s.cfg.Catalog == nil {
+		return nil
+	}
+	return &CatalogStats{
+		Stats:        s.cfg.Catalog.Stats(),
+		Creates:      s.tables.creates.Load(),
+		Drops:        s.tables.drops.Load(),
+		IngestedHTTP: s.tables.ingestedRows.Load(),
+		DurableScans: s.tables.durableScans.Load(),
+	}
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -563,7 +631,8 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			Spills:        s.exec.spills.Load(),
 			SpillBytes:    s.exec.spillBytes.Load(),
 		},
-		Uptime: time.Since(s.started).String(),
+		Catalog: s.catalogStats(),
+		Uptime:  time.Since(s.started).String(),
 	})
 }
 

@@ -1,0 +1,207 @@
+// tables.go is the ingest surface of ocasd: CRUD over durable catalog
+// tables. The write path is deliberately plain — create with a schema, bulk
+// load rows as JSON or CSV — because the interesting machinery (key-sorted
+// batches, columnar segment flushes, the versioned manifest) lives in
+// internal/catalog; the handlers validate, delegate, and report.
+package service
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"ocas/internal/catalog"
+)
+
+// createTableRequest is the POST /tables body.
+type createTableRequest struct {
+	Name   string         `json:"name"`
+	Schema catalog.Schema `json:"schema"`
+}
+
+// ingestResponse reports one bulk load.
+type ingestResponse struct {
+	Table string `json:"table"`
+	// Ingested is the number of rows in this batch; Rows the table's new
+	// total (durable + buffered).
+	Ingested int64 `json:"ingested"`
+	Rows     int64 `json:"rows"`
+}
+
+// requireCatalog 503s when the daemon runs without a -data directory.
+func (s *Server) requireCatalog(w http.ResponseWriter) *catalog.Catalog {
+	if s.cfg.Catalog == nil {
+		s.fail(w, http.StatusServiceUnavailable, "no catalog configured: start ocasd with -data DIR to enable durable tables")
+		return nil
+	}
+	return s.cfg.Catalog
+}
+
+// handleTableCreate registers a new empty table (POST /tables).
+func (s *Server) handleTableCreate(w http.ResponseWriter, r *http.Request) {
+	cat := s.requireCatalog(w)
+	if cat == nil {
+		return
+	}
+	var req createTableRequest
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	dec := json.NewDecoder(body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		s.fail(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	if err := cat.Create(req.Name, req.Schema); err != nil {
+		code := http.StatusBadRequest
+		if strings.Contains(err.Error(), "already exists") {
+			code = http.StatusConflict
+		}
+		s.fail(w, code, "%v", err)
+		return
+	}
+	s.tables.creates.Add(1)
+	info, _ := cat.Info(req.Name)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusCreated)
+	json.NewEncoder(w).Encode(info)
+}
+
+// handleTableList lists every table (GET /tables).
+func (s *Server) handleTableList(w http.ResponseWriter, r *http.Request) {
+	cat := s.requireCatalog(w)
+	if cat == nil {
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(struct {
+		Tables []catalog.TableInfo `json:"tables"`
+	}{cat.List()})
+}
+
+// handleTableGet returns one table's info (GET /tables/{name}).
+func (s *Server) handleTableGet(w http.ResponseWriter, r *http.Request) {
+	cat := s.requireCatalog(w)
+	if cat == nil {
+		return
+	}
+	info, ok := cat.Info(r.PathValue("name"))
+	if !ok {
+		s.fail(w, http.StatusNotFound, "no table %q", r.PathValue("name"))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(info)
+}
+
+// handleTableDrop removes a table and its segment files (DELETE
+// /tables/{name}).
+func (s *Server) handleTableDrop(w http.ResponseWriter, r *http.Request) {
+	cat := s.requireCatalog(w)
+	if cat == nil {
+		return
+	}
+	name := r.PathValue("name")
+	if err := cat.Drop(name); err != nil {
+		s.fail(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	s.tables.drops.Add(1)
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// handleTableIngest bulk-loads rows (POST /tables/{name}/rows). Two body
+// formats, switched on Content-Type: JSON ({"rows": [[k, v], ...]}) and CSV
+// (text/csv, one row per record). Each batch is key-sorted and buffered;
+// full flush thresholds are cut into durable segments before the response.
+func (s *Server) handleTableIngest(w http.ResponseWriter, r *http.Request) {
+	cat := s.requireCatalog(w)
+	if cat == nil {
+		return
+	}
+	name := r.PathValue("name")
+	info, ok := cat.Info(name)
+	if !ok {
+		s.fail(w, http.StatusNotFound, "no table %q", name)
+		return
+	}
+	arity := info.Schema.Arity()
+
+	// Ingest bodies carry bulk data; give them the same 16x allowance as
+	// /execute's explicit inputs.
+	body := http.MaxBytesReader(w, r.Body, 16*s.cfg.MaxBodyBytes)
+	var (
+		flat []int32
+		err  error
+	)
+	if ct := r.Header.Get("Content-Type"); strings.HasPrefix(ct, "text/csv") {
+		flat, err = decodeCSVRows(body, arity)
+	} else {
+		flat, err = decodeJSONRows(body, arity)
+	}
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, "bad rows for table %q: %v", name, err)
+		return
+	}
+	total, err := cat.Append(name, flat)
+	if err != nil {
+		s.fail(w, http.StatusUnprocessableEntity, "%v", err)
+		return
+	}
+	n := int64(len(flat) / arity)
+	s.tables.ingestedRows.Add(n)
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(ingestResponse{Table: name, Ingested: n, Rows: total})
+}
+
+// decodeJSONRows parses {"rows": [[...], ...]} into flat int32 values.
+func decodeJSONRows(body io.Reader, arity int) ([]int32, error) {
+	var req struct {
+		Rows [][]int64 `json:"rows"`
+	}
+	dec := json.NewDecoder(body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		return nil, err
+	}
+	flat := make([]int32, 0, len(req.Rows)*arity)
+	for i, row := range req.Rows {
+		if len(row) != arity {
+			return nil, fmt.Errorf("row %d has %d values, want %d", i, len(row), arity)
+		}
+		for _, v := range row {
+			if v < -1<<31 || v > 1<<31-1 {
+				return nil, fmt.Errorf("row %d value %d outside int32", i, v)
+			}
+			flat = append(flat, int32(v))
+		}
+	}
+	return flat, nil
+}
+
+// decodeCSVRows parses one int per field, one row per record.
+func decodeCSVRows(body io.Reader, arity int) ([]int32, error) {
+	rd := csv.NewReader(body)
+	rd.FieldsPerRecord = arity
+	rd.ReuseRecord = true
+	var flat []int32
+	for i := 0; ; i++ {
+		rec, err := rd.Read()
+		if err == io.EOF {
+			return flat, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		for _, field := range rec {
+			v, err := strconv.ParseInt(strings.TrimSpace(field), 10, 32)
+			if err != nil {
+				return nil, fmt.Errorf("record %d: %v", i, err)
+			}
+			flat = append(flat, int32(v))
+		}
+	}
+}

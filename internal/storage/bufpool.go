@@ -286,6 +286,61 @@ type Spill struct {
 	vols  []*Volume
 	count int64
 	freed bool
+
+	backing  Backing // non-nil: payload comes from durable storage
+	loadOnce sync.Once
+	loadErr  error
+}
+
+// Backing supplies the payload of a durably stored, read-only spill: the
+// rows live in segment files (see Segment) instead of being generated or
+// appended, and are materialized on first read. Implementations are called
+// at most once per spill (guarded by sync.Once), with dst sized for exactly
+// the records the spill was opened over.
+type Backing interface {
+	// ReadRecords fills dst with n records starting at record lo, row-major
+	// flat int32s — the same layout Spill.Data holds.
+	ReadRecords(dst []int32, lo, n int64) error
+}
+
+// NewBackedSpill opens a read-only spill whose payload is supplied by b —
+// the device-resident view of a durable table. Device space is claimed up
+// front without charging (the data already resides on the device, exactly
+// like Preload), and the payload is materialized from b once, on first
+// ReadAt; every read then charges the usual InitCom/UnitTr events, so a
+// backed spill is indistinguishable from a preloaded one on the ledger.
+// A failed load surfaces as a panic with the "storage:" prefix, which the
+// executor's run recovery converts into an error.
+func (d *Device) NewBackedSpill(width, records int64, b Backing) (*Spill, error) {
+	if b == nil {
+		return nil, fmt.Errorf("storage: nil backing")
+	}
+	if records < 0 {
+		return nil, fmt.Errorf("storage: negative backed record count %d", records)
+	}
+	capRecords := records
+	if capRecords == 0 {
+		capRecords = 1 // devices reject zero-capacity volumes
+	}
+	s, err := d.NewSpill(width, capRecords)
+	if err != nil {
+		return nil, err
+	}
+	s.backing = b
+	s.install(records)
+	return s, nil
+}
+
+// load materializes a backed spill's payload, once.
+func (s *Spill) load() {
+	s.loadOnce.Do(func() {
+		w := s.width / 4
+		s.Data = s.Data[:s.count*w]
+		s.loadErr = s.backing.ReadRecords(s.Data, 0, s.count)
+	})
+	if s.loadErr != nil {
+		panic(fmt.Sprintf("storage: backed spill load: %v", s.loadErr))
+	}
 }
 
 // NewSpill allocates a spill file for records of width bytes on the
@@ -381,6 +436,9 @@ func (s *Spill) Append(a *Acct, recs []int32) {
 	if len(recs) == 0 {
 		return
 	}
+	if s.backing != nil {
+		panic("storage: append to a backed (read-only) spill")
+	}
 	n := int64(len(recs)) * 4 / s.width
 	if s.cap > 0 && s.count+n > s.cap {
 		panic(fmt.Sprintf("storage: append %d exceeds capacity %d (have %d)", n, s.cap, s.count))
@@ -399,6 +457,9 @@ func (s *Spill) Append(a *Acct, recs []int32) {
 // Preload installs records without charging I/O: the data already resides
 // on the device when the run starts.
 func (s *Spill) Preload(recs []int32) {
+	if s.backing != nil {
+		panic("storage: preload into a backed (read-only) spill")
+	}
 	n := int64(len(recs)) * 4 / s.width
 	if s.cap > 0 && s.count+n > s.cap {
 		panic(fmt.Sprintf("storage: preload %d exceeds capacity %d (have %d)", n, s.cap, s.count))
@@ -416,6 +477,9 @@ func (s *Spill) ReadAt(a *Acct, idx, n int64) []int32 {
 	if idx+n > s.count {
 		n = s.count - idx
 	}
+	if s.backing != nil {
+		s.load()
+	}
 	a.chargeRead(s, idx, n)
 	w := s.width / 4
 	return s.Data[idx*w : (idx+n)*w]
@@ -423,6 +487,9 @@ func (s *Spill) ReadAt(a *Acct, idx, n int64) []int32 {
 
 // Reset empties the spill for reuse.
 func (s *Spill) Reset() {
+	if s.backing != nil {
+		panic("storage: reset of a backed (read-only) spill")
+	}
 	for _, vol := range s.vols {
 		vol.Count = 0
 	}

@@ -1,0 +1,249 @@
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Segment file format (version 1, all values little-endian):
+//
+//	header  32 bytes:  magic "OCSG" | u32 version | u32 cols | u32 chunkRows
+//	                   | u64 rows | u32 reserved
+//	payload:           ceil(rows/chunkRows) chunks, each holding the next
+//	                   chunkRows rows (the last chunk may be short). Within a
+//	                   chunk the layout is column-major: cols consecutive
+//	                   runs of int32, one per column, each as long as the
+//	                   chunk's row count.
+//
+// Fixed-size chunks keep the row→offset mapping arithmetic (no per-chunk
+// index), while the column-major interior keeps each column's values
+// contiguous per chunk — the classic PAX layout.
+const (
+	segmentMagic   = 0x4753434f // "OCSG"
+	segmentVersion = 1
+	segmentHeader  = 32
+
+	// DefaultChunkRows is the segment writer's default rows-per-chunk.
+	DefaultChunkRows = 8 << 10
+
+	maxSegmentCols = 1 << 10
+)
+
+// Segment is a read-only view over one durable columnar segment file. The
+// two implementations — os.File+ReadAt and (on unix) a read-only mmap —
+// differ only in how bytes reach memory; both decode the same format.
+type Segment interface {
+	// Rows returns the number of rows stored.
+	Rows() int64
+	// Cols returns the number of int32 columns per row.
+	Cols() int
+	// ReadRows fills dst (len >= n*Cols()) with n rows starting at row lo,
+	// row-major — the flat record layout Spill and the executor use.
+	ReadRows(dst []int32, lo, n int64) error
+	// Close releases the underlying file or mapping.
+	Close() error
+}
+
+// WriteSegment writes rows (row-major, len(rows) = nRows*cols int32 values)
+// as a columnar segment file at path, atomically: the payload lands in
+// path+".tmp" and is renamed into place after a successful sync, so a crash
+// mid-write never leaves a half-segment behind. chunkRows <= 0 selects
+// DefaultChunkRows.
+func WriteSegment(path string, cols int, chunkRows int64, rows []int32) (err error) {
+	if cols <= 0 || cols > maxSegmentCols {
+		return fmt.Errorf("storage: segment cols %d out of range [1,%d]", cols, maxSegmentCols)
+	}
+	if len(rows)%cols != 0 {
+		return fmt.Errorf("storage: segment payload %d values is not a multiple of %d columns", len(rows), cols)
+	}
+	if chunkRows <= 0 {
+		chunkRows = DefaultChunkRows
+	}
+	nRows := int64(len(rows) / cols)
+
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if err != nil {
+			f.Close()
+			os.Remove(tmp)
+		}
+	}()
+
+	hdr := make([]byte, segmentHeader)
+	binary.LittleEndian.PutUint32(hdr[0:], segmentMagic)
+	binary.LittleEndian.PutUint32(hdr[4:], segmentVersion)
+	binary.LittleEndian.PutUint32(hdr[8:], uint32(cols))
+	binary.LittleEndian.PutUint32(hdr[12:], uint32(chunkRows))
+	binary.LittleEndian.PutUint64(hdr[16:], uint64(nRows))
+	if _, err = f.Write(hdr); err != nil {
+		return err
+	}
+
+	// Transpose chunk by chunk through one reusable buffer.
+	buf := make([]byte, 0, chunkRows*int64(cols)*4)
+	for lo := int64(0); lo < nRows; lo += chunkRows {
+		rc := chunkRows
+		if lo+rc > nRows {
+			rc = nRows - lo
+		}
+		buf = buf[:rc*int64(cols)*4]
+		for c := 0; c < cols; c++ {
+			base := int64(c) * rc * 4
+			for r := int64(0); r < rc; r++ {
+				v := rows[(lo+r)*int64(cols)+int64(c)]
+				binary.LittleEndian.PutUint32(buf[base+r*4:], uint32(v))
+			}
+		}
+		if _, err = f.Write(buf); err != nil {
+			return err
+		}
+	}
+	if err = f.Sync(); err != nil {
+		return err
+	}
+	if err = f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// segment decodes the common format over any io.ReaderAt source.
+type segment struct {
+	src       io.ReaderAt
+	closeSrc  func() error
+	rows      int64
+	cols      int
+	chunkRows int64
+	scratch   []byte // per-segment read buffer; callers serialize ReadRows
+}
+
+// OpenSegment opens a segment file for reading. With useMmap set the file is
+// mapped read-only where the platform supports it (unix), falling back to
+// plain os.File ReadAt calls elsewhere; either way the returned Segment
+// decodes identically.
+func OpenSegment(path string, useMmap bool) (Segment, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	var (
+		src      io.ReaderAt = f
+		closeSrc             = f.Close
+	)
+	if useMmap {
+		if m, mclose, ok := mmapReader(f, st.Size()); ok {
+			src = m
+			fileClose := f.Close
+			closeSrc = func() error {
+				err := mclose()
+				if cerr := fileClose(); err == nil {
+					err = cerr
+				}
+				return err
+			}
+		}
+	}
+	s, err := newSegment(src, closeSrc, st.Size())
+	if err != nil {
+		closeSrc()
+		return nil, err
+	}
+	return s, nil
+}
+
+func newSegment(src io.ReaderAt, closeSrc func() error, size int64) (*segment, error) {
+	hdr := make([]byte, segmentHeader)
+	if _, err := src.ReadAt(hdr, 0); err != nil {
+		return nil, fmt.Errorf("storage: segment header: %w", err)
+	}
+	if binary.LittleEndian.Uint32(hdr[0:]) != segmentMagic {
+		return nil, fmt.Errorf("storage: not a segment file (bad magic)")
+	}
+	if v := binary.LittleEndian.Uint32(hdr[4:]); v != segmentVersion {
+		return nil, fmt.Errorf("storage: segment version %d unsupported (want %d)", v, segmentVersion)
+	}
+	cols := int(binary.LittleEndian.Uint32(hdr[8:]))
+	chunkRows := int64(binary.LittleEndian.Uint32(hdr[12:]))
+	rows := int64(binary.LittleEndian.Uint64(hdr[16:]))
+	if cols <= 0 || cols > maxSegmentCols || chunkRows <= 0 || rows < 0 {
+		return nil, fmt.Errorf("storage: segment header out of range (cols=%d chunkRows=%d rows=%d)", cols, chunkRows, rows)
+	}
+	if want := segmentHeader + rows*int64(cols)*4; size < want {
+		return nil, fmt.Errorf("storage: segment truncated: %d bytes, header claims %d", size, want)
+	}
+	return &segment{
+		src:       src,
+		closeSrc:  closeSrc,
+		rows:      rows,
+		cols:      cols,
+		chunkRows: chunkRows,
+		scratch:   make([]byte, chunkRows*4),
+	}, nil
+}
+
+func (s *segment) Rows() int64 { return s.rows }
+func (s *segment) Cols() int   { return s.cols }
+
+// chunkOffset returns the byte offset of chunk c's payload. Every chunk
+// before the last is full, so the mapping is pure arithmetic.
+func (s *segment) chunkOffset(c int64) int64 {
+	return segmentHeader + c*s.chunkRows*int64(s.cols)*4
+}
+
+func (s *segment) ReadRows(dst []int32, lo, n int64) error {
+	if lo < 0 || n < 0 || lo+n > s.rows {
+		return fmt.Errorf("storage: segment read [%d,%d) out of %d rows", lo, lo+n, s.rows)
+	}
+	if int64(len(dst)) < n*int64(s.cols) {
+		return fmt.Errorf("storage: segment read dst %d values, need %d", len(dst), n*int64(s.cols))
+	}
+	cols := int64(s.cols)
+	for n > 0 {
+		c := lo / s.chunkRows
+		chunkLo := c * s.chunkRows
+		rc := s.chunkRows // rows resident in this chunk
+		if chunkLo+rc > s.rows {
+			rc = s.rows - chunkLo
+		}
+		in := lo - chunkLo // first wanted row within the chunk
+		take := rc - in
+		if take > n {
+			take = n
+		}
+		// One contiguous read per column covering the wanted row range.
+		for col := int64(0); col < cols; col++ {
+			off := s.chunkOffset(c) + (col*rc+in)*4
+			buf := s.scratch[:take*4]
+			if _, err := s.src.ReadAt(buf, off); err != nil {
+				return fmt.Errorf("storage: segment read: %w", err)
+			}
+			for r := int64(0); r < take; r++ {
+				dst[r*cols+col] = int32(binary.LittleEndian.Uint32(buf[r*4:]))
+			}
+		}
+		dst = dst[take*cols:]
+		lo += take
+		n -= take
+	}
+	return nil
+}
+
+func (s *segment) Close() error {
+	if s.closeSrc == nil {
+		return nil
+	}
+	err := s.closeSrc()
+	s.closeSrc = nil
+	return err
+}

@@ -1,0 +1,25 @@
+//go:build unix
+
+package storage
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"syscall"
+)
+
+// mmapReader maps f read-only and returns an io.ReaderAt over the mapping
+// plus its unmap function. ok is false when the mapping is unavailable
+// (empty file, or the kernel refused), in which case the caller falls back
+// to plain file reads.
+func mmapReader(f *os.File, size int64) (io.ReaderAt, func() error, bool) {
+	if size <= 0 || size != int64(int(size)) {
+		return nil, nil, false
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, nil, false
+	}
+	return bytes.NewReader(data), func() error { return syscall.Munmap(data) }, true
+}

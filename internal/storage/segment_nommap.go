@@ -1,0 +1,14 @@
+//go:build !unix
+
+package storage
+
+import (
+	"io"
+	"os"
+)
+
+// mmapReader reports no mmap support on this platform; OpenSegment falls
+// back to plain os.File ReadAt calls.
+func mmapReader(f *os.File, size int64) (io.ReaderAt, func() error, bool) {
+	return nil, nil, false
+}
