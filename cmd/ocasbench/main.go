@@ -9,11 +9,14 @@
 //	ocasbench -cache             # loop-tiling cache-miss reduction
 //	ocasbench -accuracy          # selectivity vs estimation accuracy
 //	ocasbench -ingest            # durable-catalog ingest + scan differential
+//	ocasbench -fused             # fused vs interpreted executor backends
 //	ocasbench -all -shrink 8     # everything, at 1/8 scale
 //
 // Further knobs: -strategy exhaustive|beam with -beam N, -workers N for the
 // synthesis pool, -templates for the template-tier warm rows, -regress PCT
-// for the -baseline gate.
+// for the -baseline gate. -cpuprofile FILE and -memprofile FILE write pprof
+// profiles of the run (the CPU profile covers the experiments; the heap
+// profile snapshots after a final GC).
 //
 // With -json the machine-readable bench report (per-experiment synthesis
 // wall-clock, candidate counts, speedup factors, memo-cache counters) is
@@ -33,6 +36,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"ocas/internal/experiments"
@@ -46,6 +51,7 @@ func main() {
 		cache    = flag.Bool("cache", false, "run the cache-miss study (Section 7.2)")
 		accuracy = flag.Bool("accuracy", false, "run the accuracy study (Section 7.3)")
 		ingest   = flag.Bool("ingest", false, "run the ingest study: load generated rows into a durable catalog, re-execute from segments, verify identical digests")
+		fused    = flag.Bool("fused", false, "run the fused-backend microbench: the same chains executed interpreted and fused, equality verified, wall-clocks compared")
 		all      = flag.Bool("all", false, "run everything")
 		shrink   = flag.Int64("shrink", 1, "divide experiment sizes by this factor")
 		strategy = flag.String("strategy", "exhaustive", "search strategy: exhaustive (full BFS) or beam (bounded frontier)")
@@ -55,14 +61,20 @@ func main() {
 		jsonOut  = flag.Bool("json", false, "write the machine-readable bench report to stdout (tables move to stderr)")
 		baseline = flag.String("baseline", "", "bench report to compare against; exit non-zero on regression")
 		regress  = flag.Float64("regress", 30, "allowed synthesis wall-clock regression in percent (-baseline only)")
+		cpuProf  = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+		memProf  = flag.String("memprofile", "", "write a pprof heap profile (after a final GC) to this file")
 	)
 	flag.Parse()
+	// fail exits without running defers, so the CPU profile is stopped
+	// explicitly on every exit path that may follow StartCPUProfile.
+	stopCPU := func() {}
 	fail := func(err error) {
+		stopCPU()
 		fmt.Fprintln(os.Stderr, "ocasbench:", err)
 		os.Exit(1)
 	}
-	if !*table1 && !*execPar && !*fig8 && !*cache && !*accuracy && !*ingest && !*all {
-		fmt.Fprintln(os.Stderr, "ocasbench: no experiment selected (use -table1, -fig8, -cache, -accuracy, -ingest or -all)")
+	if !*table1 && !*execPar && !*fig8 && !*cache && !*accuracy && !*ingest && !*fused && !*all {
+		fmt.Fprintln(os.Stderr, "ocasbench: no experiment selected (use -table1, -fig8, -cache, -accuracy, -ingest, -fused or -all)")
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -72,6 +84,20 @@ func main() {
 	cfg := experiments.Config{Shrink: *shrink, Strategy: *strategy, BeamWidth: *beam, Workers: *workers, Templates: *tmpl}
 	if _, err := cfg.SearchStrategy(); err != nil {
 		fail(err)
+	}
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fail(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fail(err)
+		}
+		stopCPU = func() {
+			pprof.StopCPUProfile()
+			f.Close()
+			stopCPU = func() {}
+		}
 	}
 	// Human-readable tables: stdout normally, stderr when stdout carries the
 	// JSON report.
@@ -129,6 +155,16 @@ func main() {
 		ingestResults = rs
 		fmt.Fprintln(out)
 	}
+	var fusedResults []*experiments.FusedResult
+	if *fused || *all {
+		fmt.Fprintf(out, "== Fused backend (shrink %d) ==\n", *shrink)
+		rs, err := experiments.RunFused(cfg, out)
+		if err != nil {
+			fail(err)
+		}
+		fusedResults = rs
+		fmt.Fprintln(out)
+	}
 	if *accuracy || *all {
 		fmt.Fprintln(out, "== Accuracy study (Section 7.3) ==")
 		pts, err := experiments.AccuracyStudy(cfg)
@@ -142,7 +178,8 @@ func main() {
 		fmt.Fprintln(out)
 	}
 
-	report := experiments.NewBenchReport(cfg, table1Results, execParResults, ingestResults)
+	stopCPU()
+	report := experiments.NewBenchReport(cfg, table1Results, execParResults, ingestResults, fusedResults)
 	// The timestamp is injected here rather than in the library, so report
 	// construction stays clock-free and two runs of the same code differ
 	// only where they should.
@@ -166,5 +203,16 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "ocasbench: synthesis wall-clock %.3fs within +%.0f%% of baseline %.3fs\n",
 			report.TotalSynthSecs, *regress, base.TotalSynthSecs)
+	}
+	if *memProf != "" {
+		f, err := os.Create(*memProf)
+		if err != nil {
+			fail(err)
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fail(err)
+		}
+		f.Close()
 	}
 }

@@ -8,6 +8,7 @@
 //	      [-data ./data -flush-rows 65536 -mmap] \
 //	      [-strategy beam -beam 64] [-workers 0] [-max-inflight 2] [-timeout 60s] \
 //	      [-max-exec-rows 1048576] [-exec-workers 4] [-max-worker-slots 8] \
+//	      [-exec-backend interpreted|fused] [-pprof ADDR] \
 //	      [-trace-ring 256] [-trace-log traces.jsonl] [-log-json] [-access-log] [-no-obs]
 //
 // Endpoints (see internal/service):
@@ -51,6 +52,13 @@
 // to columnar segment files every -flush-rows rows; the graceful-shutdown
 // path flushes the remainder, so a SIGTERM-stopped daemon restarts with
 // every ingested row durable.
+//
+// -exec-backend picks the default execution backend for /execute requests
+// that don't set exec.backend ("fused" runs plans through the compiled
+// selection-vector kernels; results, ledgers and the virtual clock are
+// byte-identical to interpreted). -pprof ADDR serves net/http/pprof on a
+// separate listener — the profiling mux is never mounted on the serving
+// address.
 package main
 
 import (
@@ -61,12 +69,14 @@ import (
 	"log"
 	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
 	"ocas/internal/catalog"
+	"ocas/internal/plan"
 	"ocas/internal/service"
 )
 
@@ -83,6 +93,8 @@ func main() {
 		timeout     = flag.Duration("timeout", 60*time.Second, "per-request synthesis budget (requests may lower it via timeoutMs)")
 		maxExecRows = flag.Int64("max-exec-rows", 1<<20, "largest per-input row count POST /execute will run")
 		execWorkers = flag.Int("exec-workers", 1, "default executor worker count for /execute requests that don't choose one")
+		execBackend = flag.String("exec-backend", "", "default execution backend for /execute requests that don't choose one: interpreted or fused")
+		pprofAddr   = flag.String("pprof", "", "serve net/http/pprof on this separate address (e.g. localhost:6060); empty disables profiling")
 		maxSlots    = flag.Int("max-worker-slots", 0, "executor worker-slot pool shared by concurrent /execute runs (0 = GOMAXPROCS)")
 		dataDir     = flag.String("data", "", "durable table catalog directory; empty disables the /tables endpoints and exec.tables bindings")
 		flushRows   = flag.Int64("flush-rows", 0, "buffered rows per table before ingest cuts a columnar segment (0 = 65536)")
@@ -98,6 +110,12 @@ func main() {
 	case "", "exhaustive", "beam":
 	default:
 		log.Fatalf("ocasd: unknown -strategy %q (want exhaustive or beam)", *strategy)
+	}
+	switch *execBackend {
+	case "", plan.BackendInterpreted, plan.BackendFused:
+	default:
+		log.Fatalf("ocasd: unknown -exec-backend %q (want %s or %s)",
+			*execBackend, plan.BackendInterpreted, plan.BackendFused)
 	}
 
 	var logger *slog.Logger
@@ -137,6 +155,7 @@ func main() {
 		Timeout:           *timeout,
 		MaxExecRows:       *maxExecRows,
 		ExecWorkers:       *execWorkers,
+		ExecBackend:       *execBackend,
 		MaxWorkerSlots:    *maxSlots,
 		Strategy:          *strategy,
 		Beam:              *beam,
@@ -158,6 +177,24 @@ func main() {
 			log.Printf("ocasd: loaded %d cached plans and %d templates from %s",
 				st.Plans.Size, st.Templates.Size, *persist)
 		}
+	}
+
+	if *pprofAddr != "" {
+		// Profiling gets its own mux on its own listener: the serving mux
+		// never exposes the pprof endpoints, so an operator can firewall the
+		// profiling port independently of the API.
+		pmux := http.NewServeMux()
+		pmux.HandleFunc("/debug/pprof/", pprof.Index)
+		pmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		pmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		pmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		pmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		go func() {
+			log.Printf("ocasd: pprof listening on %s", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, pmux); err != nil {
+				log.Printf("ocasd: pprof server: %v", err)
+			}
+		}()
 	}
 
 	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}

@@ -1,0 +1,1039 @@
+package exec
+
+import (
+	"errors"
+
+	"ocas/internal/ocal"
+)
+
+// This file is the fused backend's kernel compiler. At Lower time (Backend
+// "fused") the per-row OCAL bodies that the interpreted backend executes
+// through interp.CompileFunc — scan/filter/project bodies and fold steps —
+// are parsed into small typed specs; at execution time each spec is
+// specialized against its input's arity into one flat Go loop body (a
+// predicate pass filling a selection vector plus a projection pass reading
+// through it, or a fused row loop when the body can error). Kernels never
+// touch the charging code: block reads, cpu() charges and batch boundaries
+// are shared with the interpreted paths, so digests, ledgers, the virtual
+// clock and EXPLAIN ANALYZE counters are backend-invariant by construction.
+// A body the grammar does not cover — or a spec whose column references
+// fall outside the arity the input turns out to have — simply builds no
+// kernel, and the operator falls back to its retained interpreted step
+// (preserving interp's exact error behaviour).
+
+// Backend names accepted by LowerOpts.Backend.
+const (
+	BackendInterpreted = "interpreted"
+	BackendFused       = "fused"
+)
+
+// validBackend reports whether s names an execution backend ("" is the
+// interpreted default).
+func validBackend(s string) bool {
+	return s == "" || s == BackendInterpreted || s == BackendFused
+}
+
+// Exact interp error texts: a fused Div/Mod must fail byte-identically to
+// the interpreted step it replaces.
+var (
+	errDivZero = errors.New("interp: division by zero")
+	errModZero = errors.New("interp: modulo by zero")
+)
+
+// ---------------------------------------------------------------------------
+// Scalar expressions
+
+type kexprKind int
+
+const (
+	kCol   kexprKind = iota // one input column, widened to int64
+	kLit                    // integer literal
+	kElem                   // the whole loop element used as a scalar (arity 1)
+	kArith                  // Add/Sub/Mul/Div/Mod over two scalars
+)
+
+// kexpr is a compiled integer scalar over one input row. Arithmetic is
+// int64 (ocal.Int), truncated to int32 only at row encode — exactly the
+// interp pipeline's rowToValue/valueToRow widening.
+type kexpr struct {
+	kind kexprKind
+	col  int
+	lit  int64
+	op   ocal.PrimOp
+	l, r *kexpr
+}
+
+// parseScalar parses an integer-valued expression over the loop element.
+func parseScalar(e ocal.Expr, elem string) (*kexpr, bool) {
+	switch t := e.(type) {
+	case ocal.IntLit:
+		return &kexpr{kind: kLit, lit: t.V}, true
+	case ocal.Var:
+		if t.Name == elem {
+			return &kexpr{kind: kElem}, true
+		}
+	case ocal.Proj:
+		v, ok := t.E.(ocal.Var)
+		if ok && v.Name == elem && t.I >= 1 {
+			return &kexpr{kind: kCol, col: t.I - 1}, true
+		}
+	case ocal.Prim:
+		switch t.Op {
+		case ocal.OpAdd, ocal.OpSub, ocal.OpMul, ocal.OpDiv, ocal.OpMod:
+			if len(t.Args) != 2 {
+				return nil, false
+			}
+			l, okL := parseScalar(t.Args[0], elem)
+			r, okR := parseScalar(t.Args[1], elem)
+			if okL && okR {
+				return &kexpr{kind: kArith, op: t.Op, l: l, r: r}, true
+			}
+		}
+	}
+	return nil, false
+}
+
+// canErr reports whether evaluating the scalar can fail (Div/Mod by zero —
+// the only runtime errors the kernel grammar admits).
+func (e *kexpr) canErr() bool {
+	if e.kind != kArith {
+		return false
+	}
+	if e.op == ocal.OpDiv || e.op == ocal.OpMod {
+		return true
+	}
+	return e.l.canErr() || e.r.canErr()
+}
+
+// bindArity validates column references against the input arity, resolving
+// kElem to column 0 (legal only at arity 1, where the interp pipeline
+// decodes a row to a bare Int). It reports false when the spec cannot run
+// at this arity, triggering the interpreted fallback.
+func (e *kexpr) bindArity(ar int) bool {
+	switch e.kind {
+	case kCol:
+		// At arity 1 the interp pipeline decodes a row to a bare Int, on
+		// which any projection is an error — fall back so the interpreted
+		// step raises it.
+		return ar > 1 && e.col < ar
+	case kElem:
+		if ar != 1 {
+			return false
+		}
+		e.kind, e.col = kCol, 0
+		return true
+	case kArith:
+		return e.l.bindArity(ar) && e.r.bindArity(ar)
+	}
+	return true
+}
+
+// eval evaluates the scalar with error checking, operands left to right —
+// the interp argument order, so a Div by zero surfaces on the same row and
+// the same operation.
+func (e *kexpr) eval(row []int32) (int64, error) {
+	switch e.kind {
+	case kCol:
+		return int64(row[e.col]), nil
+	case kLit:
+		return e.lit, nil
+	}
+	a, err := e.l.eval(row)
+	if err != nil {
+		return 0, err
+	}
+	b, err := e.r.eval(row)
+	if err != nil {
+		return 0, err
+	}
+	switch e.op {
+	case ocal.OpAdd:
+		return a + b, nil
+	case ocal.OpSub:
+		return a - b, nil
+	case ocal.OpMul:
+		return a * b, nil
+	case ocal.OpDiv:
+		if b == 0 {
+			return 0, errDivZero
+		}
+		return a / b, nil
+	default: // OpMod
+		if b == 0 {
+			return 0, errModZero
+		}
+		return a % b, nil
+	}
+}
+
+// evalFast evaluates a scalar proven error-free (no Div/Mod anywhere).
+func (e *kexpr) evalFast(row []int32) int64 {
+	switch e.kind {
+	case kCol:
+		return int64(row[e.col])
+	case kLit:
+		return e.lit
+	}
+	a, b := e.l.evalFast(row), e.r.evalFast(row)
+	switch e.op {
+	case ocal.OpAdd:
+		return a + b
+	case ocal.OpSub:
+		return a - b
+	default: // OpMul (Div/Mod imply canErr)
+		return a * b
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Predicates
+
+type kcondKind int
+
+const (
+	cBool  kcondKind = iota // constant
+	cCmp                    // comparison of two integer scalars
+	cLogic                  // And/Or/Not over conditions
+)
+
+type kcond struct {
+	kind kcondKind
+	b    bool
+	op   ocal.PrimOp
+	l, r *kexpr
+	args []*kcond
+}
+
+// parseCond parses a boolean condition: comparisons over integer scalars,
+// And/Or/Not compositions and boolean literals. Comparisons over non-scalar
+// operands (whole tuples) are left to the interpreter.
+func parseCond(e ocal.Expr, elem string) (*kcond, bool) {
+	switch t := e.(type) {
+	case ocal.BoolLit:
+		return &kcond{kind: cBool, b: t.V}, true
+	case ocal.Prim:
+		switch t.Op {
+		case ocal.OpEq, ocal.OpNe, ocal.OpLt, ocal.OpLe, ocal.OpGt, ocal.OpGe:
+			if len(t.Args) != 2 {
+				return nil, false
+			}
+			l, okL := parseScalar(t.Args[0], elem)
+			r, okR := parseScalar(t.Args[1], elem)
+			if okL && okR {
+				return &kcond{kind: cCmp, op: t.Op, l: l, r: r}, true
+			}
+		case ocal.OpAnd, ocal.OpOr:
+			if len(t.Args) != 2 {
+				return nil, false
+			}
+			l, okL := parseCond(t.Args[0], elem)
+			r, okR := parseCond(t.Args[1], elem)
+			if okL && okR {
+				return &kcond{kind: cLogic, op: t.Op, args: []*kcond{l, r}}, true
+			}
+		case ocal.OpNot:
+			if len(t.Args) != 1 {
+				return nil, false
+			}
+			a, ok := parseCond(t.Args[0], elem)
+			if ok {
+				return &kcond{kind: cLogic, op: ocal.OpNot, args: []*kcond{a}}, true
+			}
+		}
+	}
+	return nil, false
+}
+
+func (c *kcond) canErr() bool {
+	switch c.kind {
+	case cCmp:
+		return c.l.canErr() || c.r.canErr()
+	case cLogic:
+		for _, a := range c.args {
+			if a.canErr() {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func (c *kcond) bindArity(ar int) bool {
+	switch c.kind {
+	case cCmp:
+		return c.l.bindArity(ar) && c.r.bindArity(ar)
+	case cLogic:
+		for _, a := range c.args {
+			if !a.bindArity(ar) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// eval evaluates the condition eagerly, operands left to right: interp's
+// evalPrim evaluates both And/Or arguments before the operator applies, so
+// a Div by zero in the right operand must surface even when the left
+// operand already decides the result.
+func (c *kcond) eval(row []int32) (bool, error) {
+	switch c.kind {
+	case cBool:
+		return c.b, nil
+	case cCmp:
+		a, err := c.l.eval(row)
+		if err != nil {
+			return false, err
+		}
+		b, err := c.r.eval(row)
+		if err != nil {
+			return false, err
+		}
+		return cmpHolds(c.op, a, b), nil
+	}
+	switch c.op {
+	case ocal.OpNot:
+		v, err := c.args[0].eval(row)
+		return !v, err
+	default:
+		a, err := c.args[0].eval(row)
+		if err != nil {
+			return false, err
+		}
+		b, err := c.args[1].eval(row)
+		if err != nil {
+			return false, err
+		}
+		if c.op == ocal.OpAnd {
+			return a && b, nil
+		}
+		return a || b, nil
+	}
+}
+
+// evalFast evaluates a condition proven error-free; with no errors and no
+// side effects, short-circuiting is unobservable and allowed.
+func (c *kcond) evalFast(row []int32) bool {
+	switch c.kind {
+	case cBool:
+		return c.b
+	case cCmp:
+		return cmpHolds(c.op, c.l.evalFast(row), c.r.evalFast(row))
+	}
+	switch c.op {
+	case ocal.OpNot:
+		return !c.args[0].evalFast(row)
+	case ocal.OpAnd:
+		return c.args[0].evalFast(row) && c.args[1].evalFast(row)
+	default:
+		return c.args[0].evalFast(row) || c.args[1].evalFast(row)
+	}
+}
+
+func cmpHolds(op ocal.PrimOp, a, b int64) bool {
+	switch op {
+	case ocal.OpEq:
+		return a == b
+	case ocal.OpNe:
+		return a != b
+	case ocal.OpLt:
+		return a < b
+	case ocal.OpLe:
+		return a <= b
+	case ocal.OpGt:
+		return a > b
+	default: // OpGe
+		return a >= b
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Scan/filter/project kernels
+
+// outPart is one flattened component of the output row: either the whole
+// input row spliced in (wholeRow — `x` inside the output tuple, or the
+// identity body [x]) or one integer scalar.
+type outPart struct {
+	wholeRow bool
+	scalar   *kexpr
+}
+
+// scanKernelSpec is the Lower-time compilation of a single-source loop
+// body: an optional filter condition plus the flattened output row. The
+// spec is immutable and arity-independent (it may serve several morsel
+// instances whose shared input arity is only known at run time).
+type scanKernelSpec struct {
+	cond *kcond // nil: unconditional
+	out  []outPart
+}
+
+// parseScanKernel compiles a scan/filter/project body into a kernel spec.
+// Grammar: body = [e] | if cond then [e] else [], with e a tuple over
+// integer scalars and whole-row splices (nested tuples flatten, mirroring
+// valueToRow's encoding). It reports false for anything else — the caller
+// keeps the interpreted step.
+func parseScanKernel(body ocal.Expr, elem string) (*scanKernelSpec, bool) {
+	var cond *kcond
+	switch t := body.(type) {
+	case ocal.Single:
+		body = t.E
+	case ocal.If:
+		if _, ok := t.Else.(ocal.Empty); !ok {
+			return nil, false
+		}
+		s, ok := t.Then.(ocal.Single)
+		if !ok {
+			return nil, false
+		}
+		c, ok := parseCond(t.Cond, elem)
+		if !ok {
+			return nil, false
+		}
+		cond, body = c, s.E
+	default:
+		return nil, false
+	}
+	out, ok := flattenOut(body, elem, nil)
+	if !ok || len(out) == 0 {
+		return nil, false
+	}
+	return &scanKernelSpec{cond: cond, out: out}, true
+}
+
+// flattenOut flattens the emitted value into row components, recursing
+// through nested tuples exactly like valueToRow flattens nested values.
+func flattenOut(e ocal.Expr, elem string, acc []outPart) ([]outPart, bool) {
+	if v, ok := e.(ocal.Var); ok && v.Name == elem {
+		return append(acc, outPart{wholeRow: true}), true
+	}
+	if t, ok := e.(ocal.Tup); ok {
+		for _, el := range t.Elems {
+			var ok bool
+			if acc, ok = flattenOut(el, elem, acc); !ok {
+				return nil, false
+			}
+		}
+		return acc, true
+	}
+	s, ok := parseScalar(e, elem)
+	if !ok {
+		return nil, false
+	}
+	return append(acc, outPart{scalar: s}), true
+}
+
+// boundPart is one arity-bound output component: the whole input row or
+// one scalar.
+type boundPart struct {
+	wholeRow bool
+	expr     *kexpr
+}
+
+// projKernel is a spec specialized to one input arity, owned by a single
+// operator instance (its selection vector is reused across blocks and must
+// not be shared between morsels).
+type projKernel struct {
+	ar       int
+	outWidth int
+	cond     *kcond      // nil: every row survives
+	identity bool        // output is the input row verbatim
+	gather   []int       // when non-nil: output columns are input columns
+	parts    []boundPart // general projection (gather nil), in output order
+	canErr   bool        // any Div/Mod: run row-at-a-time to keep error order
+
+	sel []int32 // reusable selection vector: indices of surviving rows
+}
+
+// build specializes the spec to the input arity; nil means the spec cannot
+// serve this arity (an out-of-range column, a whole-element scalar at
+// arity > 1) and the operator must fall back to its interpreted step.
+func (s *scanKernelSpec) build(ar int) *projKernel {
+	if ar <= 0 {
+		return nil
+	}
+	k := &projKernel{ar: ar}
+	if s.cond != nil {
+		c := cloneCond(s.cond)
+		if !c.bindArity(ar) {
+			return nil
+		}
+		k.cond = c
+		k.canErr = c.canErr()
+	}
+	// The whole-row splice contributes the input's ar columns in place.
+	// When every output component resolves to an input column, the kernel
+	// runs in gather (or identity) mode; otherwise the ordered parts list
+	// drives the general projection.
+	cols := make([]int, 0, len(s.out))
+	allCols := true
+	for _, p := range s.out {
+		if p.wholeRow {
+			k.parts = append(k.parts, boundPart{wholeRow: true})
+			for c := 0; c < ar; c++ {
+				cols = append(cols, c)
+			}
+			k.outWidth += ar
+			continue
+		}
+		e := cloneExpr(p.scalar)
+		if !e.bindArity(ar) {
+			return nil
+		}
+		k.canErr = k.canErr || e.canErr()
+		k.outWidth++
+		k.parts = append(k.parts, boundPart{expr: e})
+		if e.kind == kCol {
+			cols = append(cols, e.col)
+		} else {
+			allCols = false
+		}
+	}
+	if k.outWidth == 0 {
+		return nil
+	}
+	if allCols {
+		k.gather = cols
+		k.parts = nil
+		if len(cols) == ar {
+			k.identity = true
+			for i, c := range cols {
+				if c != i {
+					k.identity = false
+					break
+				}
+			}
+		}
+	}
+	return k
+}
+
+// cloneExpr deep-copies a scalar so bindArity's kElem resolution never
+// mutates the shared spec.
+func cloneExpr(e *kexpr) *kexpr {
+	c := *e
+	if e.l != nil {
+		c.l = cloneExpr(e.l)
+	}
+	if e.r != nil {
+		c.r = cloneExpr(e.r)
+	}
+	return &c
+}
+
+func cloneCond(c *kcond) *kcond {
+	n := *c
+	if c.l != nil {
+		n.l = cloneExpr(c.l)
+	}
+	if c.r != nil {
+		n.r = cloneExpr(c.r)
+	}
+	if c.args != nil {
+		n.args = make([]*kcond, len(c.args))
+		for i, a := range c.args {
+			n.args[i] = cloneCond(a)
+		}
+	}
+	return &n
+}
+
+// run executes the kernel over one block, appending the produced rows to
+// the emitter in input order — the exact row stream the interpreted step
+// produces, so batch boundaries (and with them EXPLAIN counters) are
+// identical. The caller has already charged the block's CPU cost.
+func (k *projKernel) run(em *emitter, blk []int32, rows int) error {
+	em.reserve(k.outWidth)
+	if k.canErr {
+		return k.runChecked(em, blk, rows)
+	}
+	ar := k.ar
+	if k.cond == nil {
+		// Unconditional projection: no selection pass needed.
+		switch {
+		case k.identity:
+			em.pending = append(em.pending, blk[:rows*ar]...)
+		case k.gather != nil:
+			for i := 0; i < rows; i++ {
+				row := blk[i*ar : (i+1)*ar]
+				for _, c := range k.gather {
+					em.pending = append(em.pending, row[c])
+				}
+			}
+		default:
+			for i := 0; i < rows; i++ {
+				row := blk[i*ar : (i+1)*ar]
+				for _, p := range k.parts {
+					if p.wholeRow {
+						em.pending = append(em.pending, row...)
+					} else {
+						em.pending = append(em.pending, int32(p.expr.evalFast(row)))
+					}
+				}
+			}
+		}
+		return nil
+	}
+	// Phase 1: the filter marks survivors in the selection vector instead
+	// of compacting rows.
+	sel := k.sel[:0]
+	if c := k.cond; c.kind == cCmp && c.l.kind == kCol && c.r.kind == kLit {
+		// Pre-specialized column-vs-literal comparison loops.
+		ci, lit := c.l.col, int64(0)
+		lit = c.r.lit
+		switch c.op {
+		case ocal.OpEq:
+			for i := 0; i < rows; i++ {
+				if int64(blk[i*ar+ci]) == lit {
+					sel = append(sel, int32(i))
+				}
+			}
+		case ocal.OpNe:
+			for i := 0; i < rows; i++ {
+				if int64(blk[i*ar+ci]) != lit {
+					sel = append(sel, int32(i))
+				}
+			}
+		case ocal.OpLt:
+			for i := 0; i < rows; i++ {
+				if int64(blk[i*ar+ci]) < lit {
+					sel = append(sel, int32(i))
+				}
+			}
+		case ocal.OpLe:
+			for i := 0; i < rows; i++ {
+				if int64(blk[i*ar+ci]) <= lit {
+					sel = append(sel, int32(i))
+				}
+			}
+		case ocal.OpGt:
+			for i := 0; i < rows; i++ {
+				if int64(blk[i*ar+ci]) > lit {
+					sel = append(sel, int32(i))
+				}
+			}
+		default:
+			for i := 0; i < rows; i++ {
+				if int64(blk[i*ar+ci]) >= lit {
+					sel = append(sel, int32(i))
+				}
+			}
+		}
+	} else if c.kind == cCmp && c.l.kind == kCol && c.r.kind == kCol {
+		// Column-vs-column comparison loop.
+		ci, cj := c.l.col, c.r.col
+		for i := 0; i < rows; i++ {
+			if cmpHolds(c.op, int64(blk[i*ar+ci]), int64(blk[i*ar+cj])) {
+				sel = append(sel, int32(i))
+			}
+		}
+	} else {
+		for i := 0; i < rows; i++ {
+			if c.evalFast(blk[i*ar : (i+1)*ar]) {
+				sel = append(sel, int32(i))
+			}
+		}
+	}
+	k.sel = sel
+	// Phase 2: project through the selection without copying rejected rows.
+	switch {
+	case k.identity:
+		for _, i := range sel {
+			em.pending = append(em.pending, blk[int(i)*ar:(int(i)+1)*ar]...)
+		}
+	case k.gather != nil:
+		for _, i := range sel {
+			row := blk[int(i)*ar : (int(i)+1)*ar]
+			for _, c := range k.gather {
+				em.pending = append(em.pending, row[c])
+			}
+		}
+	default:
+		for _, i := range sel {
+			row := blk[int(i)*ar : (int(i)+1)*ar]
+			for _, p := range k.parts {
+				if p.wholeRow {
+					em.pending = append(em.pending, row...)
+				} else {
+					em.pending = append(em.pending, int32(p.expr.evalFast(row)))
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// runChecked is the erroring variant: condition then output per row, in
+// row order, so the first failing operation matches the interpreted step.
+func (k *projKernel) runChecked(em *emitter, blk []int32, rows int) error {
+	ar := k.ar
+	for i := 0; i < rows; i++ {
+		row := blk[i*ar : (i+1)*ar]
+		if k.cond != nil {
+			ok, err := k.cond.eval(row)
+			if err != nil {
+				return err
+			}
+			if !ok {
+				continue
+			}
+		}
+		if k.gather != nil {
+			for _, c := range k.gather {
+				em.pending = append(em.pending, row[c])
+			}
+			continue
+		}
+		mark := len(em.pending)
+		for _, p := range k.parts {
+			if p.wholeRow {
+				em.pending = append(em.pending, row...)
+				continue
+			}
+			v, err := p.expr.eval(row)
+			if err != nil {
+				em.pending = em.pending[:mark]
+				return err
+			}
+			em.pending = append(em.pending, int32(v))
+		}
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Fold kernels
+
+// foldKernelSpec compiles foldL(init, \<a, x> -> body) into an integer
+// accumulator kernel: the accumulator lives in an []int64 instead of being
+// re-boxed into an ocal.Tuple per row.
+type foldKernelSpec struct {
+	accWidth int
+	init     []int64
+	body     []*foldExpr // one scalar per accumulator component
+	canErr   bool
+}
+
+// foldExpr is a scalar over the fold state: either one accumulator
+// component (acc >= 0), a pure row scalar (expr != nil), or arithmetic
+// over two foldExprs.
+type foldExpr struct {
+	acc  int // >= 0: accumulator component index
+	expr *kexpr
+	op   ocal.PrimOp
+	l, r *foldExpr
+}
+
+// parseFoldScalar parses an integer scalar over (accumulator av, row xv).
+func parseFoldScalar(e ocal.Expr, av, xv string, accWidth int) (*foldExpr, bool) {
+	switch t := e.(type) {
+	case ocal.Var:
+		if t.Name == av {
+			if accWidth != 1 {
+				return nil, false
+			}
+			return &foldExpr{acc: 0, expr: nil}, true
+		}
+	case ocal.Proj:
+		if v, ok := t.E.(ocal.Var); ok && v.Name == av && t.I >= 1 {
+			// A width-1 accumulator is a bare Int; projecting it is an
+			// interp error, so the shape is not kernelizable.
+			if accWidth == 1 || t.I > accWidth {
+				return nil, false
+			}
+			return &foldExpr{acc: t.I - 1}, true
+		}
+	case ocal.Prim:
+		switch t.Op {
+		case ocal.OpAdd, ocal.OpSub, ocal.OpMul, ocal.OpDiv, ocal.OpMod:
+			if len(t.Args) != 2 {
+				return nil, false
+			}
+			l, okL := parseFoldScalar(t.Args[0], av, xv, accWidth)
+			r, okR := parseFoldScalar(t.Args[1], av, xv, accWidth)
+			if okL && okR {
+				return &foldExpr{acc: -1, op: t.Op, l: l, r: r}, true
+			}
+			return nil, false
+		}
+	}
+	// Anything else must be a pure row scalar.
+	s, ok := parseScalar(e, xv)
+	if !ok {
+		return nil, false
+	}
+	return &foldExpr{acc: -1, expr: s}, true
+}
+
+func (f *foldExpr) canErr() bool {
+	if f.acc >= 0 {
+		return false
+	}
+	if f.expr != nil {
+		return f.expr.canErr()
+	}
+	if f.op == ocal.OpDiv || f.op == ocal.OpMod {
+		return true
+	}
+	return f.l.canErr() || f.r.canErr()
+}
+
+func (f *foldExpr) bindArity(ar int) bool {
+	if f.acc >= 0 {
+		return true
+	}
+	if f.expr != nil {
+		return f.expr.bindArity(ar)
+	}
+	return f.l.bindArity(ar) && f.r.bindArity(ar)
+}
+
+func (f *foldExpr) eval(acc []int64, row []int32) (int64, error) {
+	if f.acc >= 0 {
+		return acc[f.acc], nil
+	}
+	if f.expr != nil {
+		return f.expr.eval(row)
+	}
+	a, err := f.l.eval(acc, row)
+	if err != nil {
+		return 0, err
+	}
+	b, err := f.r.eval(acc, row)
+	if err != nil {
+		return 0, err
+	}
+	switch f.op {
+	case ocal.OpAdd:
+		return a + b, nil
+	case ocal.OpSub:
+		return a - b, nil
+	case ocal.OpMul:
+		return a * b, nil
+	case ocal.OpDiv:
+		if b == 0 {
+			return 0, errDivZero
+		}
+		return a / b, nil
+	default:
+		if b == 0 {
+			return 0, errModZero
+		}
+		return a % b, nil
+	}
+}
+
+func (f *foldExpr) evalFast(acc []int64, row []int32) int64 {
+	if f.acc >= 0 {
+		return acc[f.acc]
+	}
+	if f.expr != nil {
+		return f.expr.evalFast(row)
+	}
+	a, b := f.l.evalFast(acc, row), f.r.evalFast(acc, row)
+	switch f.op {
+	case ocal.OpAdd:
+		return a + b
+	case ocal.OpSub:
+		return a - b
+	default:
+		return a * b
+	}
+}
+
+// foldKernel is a spec's mutable run state, owned by one Fold instance.
+type foldKernel struct {
+	spec *foldKernelSpec
+	// bodyF is the arity-bound body (bound lazily at the first block, when
+	// a streamed input's arity becomes known).
+	bodyF []*foldExpr
+	acc   []int64
+	tmp   []int64
+	bound bool
+	dead  bool // arity binding failed: interpreted fallback
+}
+
+// parseFoldKernel returns nil when the fold shape is not kernelizable.
+func parseFoldKernel(fn ocal.Expr, init ocal.Value) *foldKernelSpec {
+	lam, ok := fn.(ocal.Lam)
+	if !ok || len(lam.Params) != 2 {
+		return nil
+	}
+	av, xv := lam.Params[0], lam.Params[1]
+	var initVals []int64
+	switch v := init.(type) {
+	case ocal.Int:
+		initVals = []int64{int64(v)}
+	case ocal.Tuple:
+		for _, e := range v {
+			i, ok := e.(ocal.Int)
+			if !ok {
+				return nil
+			}
+			initVals = append(initVals, int64(i))
+		}
+	default:
+		return nil
+	}
+	if len(initVals) == 0 {
+		return nil
+	}
+	elems := []ocal.Expr{lam.Body}
+	if t, ok := lam.Body.(ocal.Tup); ok {
+		elems = t.Elems
+	}
+	if len(elems) != len(initVals) {
+		return nil
+	}
+	spec := &foldKernelSpec{accWidth: len(initVals), init: initVals}
+	for _, e := range elems {
+		fe, ok := parseFoldScalar(e, av, xv, spec.accWidth)
+		if !ok {
+			return nil
+		}
+		spec.canErr = spec.canErr || fe.canErr()
+		spec.body = append(spec.body, fe)
+	}
+	return spec
+}
+
+// newFoldKernel instantiates the spec's mutable run state.
+func (s *foldKernelSpec) newKernel() *foldKernel {
+	k := &foldKernel{spec: s, acc: append([]int64(nil), s.init...)}
+	k.tmp = make([]int64, s.accWidth)
+	return k
+}
+
+// bind specializes the body to the input arity on the first block.
+func (k *foldKernel) bind(ar int) bool {
+	if k.bound {
+		return !k.dead
+	}
+	k.bound = true
+	for _, fe := range k.spec.body {
+		f := cloneFoldExpr(fe)
+		if !f.bindArity(ar) {
+			k.dead = true
+			return false
+		}
+		k.bodyF = append(k.bodyF, f)
+	}
+	return true
+}
+
+func cloneFoldExpr(f *foldExpr) *foldExpr {
+	c := *f
+	if f.expr != nil {
+		c.expr = cloneExpr(f.expr)
+	}
+	if f.l != nil {
+		c.l = cloneFoldExpr(f.l)
+	}
+	if f.r != nil {
+		c.r = cloneFoldExpr(f.r)
+	}
+	return &c
+}
+
+// step folds one block into the accumulator. Body components evaluate
+// against the pre-row accumulator (all reads before any write), matching
+// the interpreted tuple rebuild.
+func (k *foldKernel) step(blk []int32, ar, rows int) error {
+	if k.spec.canErr {
+		for i := 0; i < rows; i++ {
+			row := blk[i*ar : (i+1)*ar]
+			for j, f := range k.bodyF {
+				v, err := f.eval(k.acc, row)
+				if err != nil {
+					return err
+				}
+				k.tmp[j] = v
+			}
+			copy(k.acc, k.tmp)
+		}
+		return nil
+	}
+	for i := 0; i < rows; i++ {
+		row := blk[i*ar : (i+1)*ar]
+		for j, f := range k.bodyF {
+			k.tmp[j] = f.evalFast(k.acc, row)
+		}
+		copy(k.acc, k.tmp)
+	}
+	return nil
+}
+
+// value rebuilds the accumulator as an OCAL value (the interp shape).
+func (k *foldKernel) value() ocal.Value {
+	if len(k.acc) == 1 {
+		return ocal.Int(k.acc[0])
+	}
+	t := make(ocal.Tuple, len(k.acc))
+	for i, v := range k.acc {
+		t[i] = ocal.Int(v)
+	}
+	return t
+}
+
+// ---------------------------------------------------------------------------
+// Probe index
+
+// probeIdx is the fused backend's equi-join index over one resident outer
+// block, replacing the interpreted map[int32][]int64 on the probe hot path.
+// The layout is bucket-packed (CSR): offs holds Fibonacci-hashed bucket
+// boundaries and ents the (key, row) pairs of each bucket contiguously, so
+// probing a key is a bounded sequential scan instead of a pointer chase,
+// and the key comparison never touches the outer block. The counting sort
+// is stable, so a bucket enumerates rows in ascending order — the exact
+// match order the interpreted index produces. Buffers are reused across
+// outer blocks. The build charges the same cpu(nx, HashSeconds) as the map
+// build: the simulated cost models "index the block once", whichever
+// structure serves it.
+type probeIdx struct {
+	offs  []int32  // size+1 bucket boundaries
+	ents  []uint64 // key bits <<32 | row, bucket-packed, ascending row per bucket
+	cur   []int32  // placement cursors, scratch
+	shift uint32
+}
+
+// probeHash is Fibonacci hashing of an int32 key into a bucket.
+func probeHash(key int32, shift uint32) uint32 {
+	return (uint32(key) * 2654435769) >> shift
+}
+
+// build indexes key column k0 of an ra-wide block.
+func (ix *probeIdx) build(data []int32, ra, k0 int64) {
+	nx := int64(len(data)) / ra
+	size := int64(8)
+	shift := uint32(29)
+	for size < nx*2 {
+		size <<= 1
+		shift--
+	}
+	if int64(cap(ix.offs)) < size+1 {
+		ix.offs = make([]int32, size+1)
+		ix.cur = make([]int32, size+1)
+	}
+	ix.offs = ix.offs[:size+1]
+	ix.cur = ix.cur[:size+1]
+	for i := range ix.offs {
+		ix.offs[i] = 0
+	}
+	if int64(cap(ix.ents)) < nx {
+		ix.ents = make([]uint64, nx)
+	}
+	ix.ents = ix.ents[:nx]
+	ix.shift = shift
+	for a := int64(0); a < nx; a++ {
+		ix.offs[probeHash(data[a*ra+k0], shift)+1]++
+	}
+	for i := int64(1); i <= size; i++ {
+		ix.offs[i] += ix.offs[i-1]
+	}
+	copy(ix.cur, ix.offs[:size])
+	for a := int64(0); a < nx; a++ {
+		key := data[a*ra+k0]
+		h := probeHash(key, shift)
+		ix.ents[ix.cur[h]] = uint64(uint32(key))<<32 | uint64(a)
+		ix.cur[h]++
+	}
+}

@@ -38,6 +38,15 @@ type LowerOpts struct {
 	// instrumentation (see ExplainNode). Off (the default), lowering emits
 	// the bare operators and execution carries zero instrumentation cost.
 	Explain bool
+	// Backend selects the execution backend: "interpreted" (or empty, the
+	// default) runs the per-row compiled steps; "fused" additionally
+	// compiles recognizable scan/filter/project bodies, join probes and
+	// fold steps into specialized Go kernels at lower time. The backend
+	// never changes results or charges — digests, ledgers, the virtual
+	// clock and EXPLAIN counters are identical either way — only host CPU
+	// time. Chains the kernel grammar does not cover fall back to the
+	// interpreted operators.
+	Backend string
 }
 
 // Program is an executable operator tree wired to its output sink. Run
@@ -144,7 +153,11 @@ func (p *Program) Run() (err error) {
 // tuned block size), so the single-shape programs the synthesizer emits
 // charge exactly what the monolithic plans charged.
 func Lower(prog ocal.Expr, o LowerOpts) (*Program, error) {
-	l := &lowerer{o: o}
+	if !validBackend(o.Backend) {
+		return nil, fmt.Errorf("exec: unknown backend %q (want %q or %q)",
+			o.Backend, BackendInterpreted, BackendFused)
+	}
+	l := &lowerer{o: o, fused: o.Backend == BackendFused}
 	root, err := l.lowerRoot(prog)
 	if err != nil {
 		return nil, err
@@ -180,6 +193,9 @@ func NewProgram(root Operator, o LowerOpts) *Program {
 
 type lowerer struct {
 	o LowerOpts
+	// fused attaches compiled kernels to the operators whose bodies the
+	// kernel grammar covers (LowerOpts.Backend == "fused").
+	fused bool
 	// root marks that the expression being lowered produces the program
 	// output. A root scan or projection over a base table may split into
 	// morsel partitions merged by a Gather, because the sink consumes a
@@ -366,13 +382,16 @@ func (l *lowerer) scanParts(t *Table, k int64) Operator {
 // compiling a private step function per morsel (compiled steps carry
 // interpreter state and must not be shared across strands).
 func (l *lowerer) projectParts(t *Table, k int64, body ocal.Expr, elem string) (Operator, error) {
+	// The kernel spec is immutable and shared across morsels; each Project
+	// builds its own arity-bound kernel instance (and selection vector).
+	kern := l.scanKernel(body, elem)
 	p := l.partsFor(t.Rows(), k, int64(t.Arity)*4)
 	if p <= 1 {
 		step, err := scanStep(body, elem)
 		if err != nil {
 			return nil, err
 		}
-		return &Project{In: TableInput(t), K: k, Step: step}, nil
+		return &Project{In: TableInput(t), K: k, Step: step, kern: kern}, nil
 	}
 	bounds := sectionBounds(t.Rows(), p)
 	parts := make([]Operator, p)
@@ -381,9 +400,22 @@ func (l *lowerer) projectParts(t *Table, k int64, body ocal.Expr, elem string) (
 		if err != nil {
 			return nil, err
 		}
-		parts[i] = &Project{In: SectionInput(t, bounds[i][0], bounds[i][1]), K: k, Step: step}
+		parts[i] = &Project{In: SectionInput(t, bounds[i][0], bounds[i][1]), K: k, Step: step, kern: kern}
 	}
 	return &Gather{Parts: parts}, nil
+}
+
+// scanKernel compiles a loop body into a fused kernel spec, or nil when the
+// backend is interpreted or the body is outside the kernel grammar.
+func (l *lowerer) scanKernel(body ocal.Expr, elem string) *scanKernelSpec {
+	if !l.fused {
+		return nil
+	}
+	spec, ok := parseScanKernel(body, elem)
+	if !ok {
+		return nil
+	}
+	return spec
 }
 
 // lowerLoops recognizes a (possibly blocked and tiled) nested-loops join
@@ -454,7 +486,7 @@ func (l *lowerer) lowerLoops(prog ocal.Expr, orderBy, root bool) (Operator, erro
 		if err != nil {
 			return nil, err, true
 		}
-		return &Project{In: s.in, K: s.k, Step: step}, nil, true
+		return &Project{In: s.in, K: s.k, Step: step, kern: l.scanKernel(e, s.elem)}, nil, true
 	case 2:
 		x, y := srcs[0], srcs[1]
 		pred, keys, swapOut, err := compileJoinBody(e, x.elem, y.elem)
@@ -464,6 +496,7 @@ func (l *lowerer) lowerLoops(prog ocal.Expr, orderBy, root bool) (Operator, erro
 		j := &BNLJoin{
 			L: x.in, R: y.in, K1: x.k, K2: y.k,
 			OrderBy: orderBy, Pred: pred, EquiKeys: keys, SwapOutput: swapOut,
+			Fused: l.fused,
 		}
 		// Cache tiling: an inner re-blocking of each source's block.
 		if len(x.tiles) > 1 {
@@ -690,7 +723,7 @@ func (l *lowerer) lowerHashJoin(prog ocal.Expr) (Operator, error, bool) {
 		Buckets: buckets,
 		KRead:   kj, BufW: bufW, KJoin: kj,
 		KeyL: 0, KeyR: 0, Pred: pred, EquiKeys: keys, SwapOutput: swapOut,
-		OrderedOutput: ordered,
+		OrderedOutput: ordered, Fused: l.fused,
 	}, nil, true
 }
 
@@ -848,5 +881,9 @@ func (l *lowerer) lowerFold(prog ocal.Expr) (Operator, error, bool) {
 	if err != nil {
 		return nil, err, true
 	}
-	return &Fold{In: in, K: k, Init: init, Step: step, FinalFn: finalFn}, nil, true
+	var kern *foldKernelSpec
+	if l.fused {
+		kern = parseFoldKernel(fl.Fn, init)
+	}
+	return &Fold{In: in, K: k, Init: init, Step: step, FinalFn: finalFn, kern: kern}, nil, true
 }

@@ -248,6 +248,14 @@ func (e *emitter) emit(row []int32) {
 	e.pending = append(e.pending, row...)
 }
 
+// reserve fixes the emitter's arity up front so fused kernels can append
+// to pending directly instead of emitting row by row.
+func (e *emitter) reserve(ar int) {
+	if e.arity == 0 {
+		e.arity = ar
+	}
+}
+
 // rows reports the number of buffered rows.
 func (e *emitter) rows() int64 {
 	if e.arity == 0 {

@@ -161,21 +161,29 @@ func (o *Scan) Close() error {
 type StepFn func(row []int32, emit func([]int32)) error
 
 // Project applies a compiled per-row body (projection, filter, arithmetic)
-// to its input.
+// to its input. When lowering attached a fused kernel spec, the per-row
+// Step is bypassed by a specialized block loop; the Step is always kept as
+// the fallback for arities the spec cannot serve.
 type Project struct {
 	In   Input
 	K    int64 // fused read block in tuples
 	Step StepFn
 
-	c    *Ctx
-	r    blockReader
-	em   emitter
-	done bool
+	kern *scanKernelSpec // fused-backend kernel (nil: interpreted)
+
+	c         *Ctx
+	r         blockReader
+	em        emitter
+	emitFn    func([]int32) // o.em.emit, bound once (a method value allocates)
+	pk        *projKernel
+	kernTried bool
+	done      bool
 }
 
 func (o *Project) Open(c *Ctx) error {
 	o.c = c
 	o.r = o.In.reader()
+	o.emitFn = o.em.emit
 	return o.r.open(c)
 }
 
@@ -195,8 +203,18 @@ func (o *Project) step() error {
 	ar := o.r.arity()
 	rows := len(blk) / ar
 	o.c.cpu(int64(rows), o.c.Sim.CmpSeconds)
+	if o.kern != nil && !o.kernTried {
+		// The input arity is only known at the first block (streamed
+		// subtrees report 0 until then); a failed build means a permanent
+		// fallback to the interpreted Step.
+		o.kernTried = true
+		o.pk = o.kern.build(ar)
+	}
+	if o.pk != nil {
+		return o.pk.run(&o.em, blk, rows)
+	}
 	for i := 0; i < rows; i++ {
-		if err := o.Step(blk[i*ar:(i+1)*ar], o.em.emit); err != nil {
+		if err := o.Step(blk[i*ar:(i+1)*ar], o.emitFn); err != nil {
 			return err
 		}
 	}
@@ -246,17 +264,30 @@ type BNLJoin struct {
 	SwapOutput bool
 	// Tile sizes in tuples for the cache-conscious variant (0 = untiled).
 	TileX, TileY int64
+	// Fused selects the fused-backend probe loops: matches append straight
+	// into the emitter's pending buffer instead of going through the emit
+	// closure and its row-assembly copy. Pause points and charges are the
+	// same either way, so results and accounting are backend-invariant.
+	Fused bool
 
 	c            *Ctx
 	outer, inner blockReader
 	swapped      bool
+	flip         bool
 	pred         Pred
 	keys         *[2]int
 	ob           *ownedBlock
 	outerIdx     map[int32][]int64
-	em           emitter
-	done         bool
-	rowBuf       []int32
+	fidx         probeIdx // fused-backend index (replaces outerIdx when Fused)
+	// hbuf caches each inner row's bucket bounds (start<<32|end) for the
+	// current (outer block, inner block) pair: the gather pass issues the
+	// random offset loads with independent iterations (the CPU overlaps
+	// them), so the match walk only visits rows with candidates.
+	hbuf   []uint64
+	em     emitter
+	emitFn func(x, y []int32) // bound once per Open, not per step
+	done   bool
+	rowBuf []int32
 	// Resume state within the current (outer block, inner block) pair, so
 	// one Next call never has to buffer a whole block pair's matches.
 	yb         []int32
@@ -309,6 +340,18 @@ func (o *BNLJoin) Open(c *Ctx) error {
 	if o.Swapped != nil {
 		*o.Swapped = o.swapped
 	}
+	// Emit in the body's tuple order regardless of which side ended up
+	// outer: an OrderBy swap re-orients once, SwapOutput re-orients again.
+	o.flip = o.swapped != o.SwapOutput
+	o.emitFn = func(x, y []int32) {
+		o.rowBuf = o.rowBuf[:0]
+		if o.flip {
+			o.rowBuf = append(append(o.rowBuf, y...), x...)
+		} else {
+			o.rowBuf = append(append(o.rowBuf, x...), y...)
+		}
+		o.em.emit(o.rowBuf)
+	}
 	return o.advanceOuter()
 }
 
@@ -335,10 +378,17 @@ func (o *BNLJoin) advanceOuter() error {
 	ra := int64(o.outer.arity())
 	nx := int64(len(ob.data)) / ra
 	if o.keys != nil {
-		o.outerIdx = make(map[int32][]int64, nx)
-		for a := int64(0); a < nx; a++ {
-			k := ob.data[a*ra+int64(o.keys[0])]
-			o.outerIdx[k] = append(o.outerIdx[k], a)
+		// Both backends index the resident block once and charge the same
+		// cpu(nx, HashSeconds); the fused backend just builds the bucket-packed
+		// index its probe loop reads instead of the map.
+		if o.Fused {
+			o.fidx.build(ob.data, ra, int64(o.keys[0]))
+		} else {
+			o.outerIdx = make(map[int32][]int64, nx)
+			for a := int64(0); a < nx; a++ {
+				k := ob.data[a*ra+int64(o.keys[0])]
+				o.outerIdx[k] = append(o.outerIdx[k], a)
+			}
 		}
 		o.c.cpu(nx, o.c.Sim.HashSeconds)
 	}
@@ -374,23 +424,30 @@ func (o *BNLJoin) step() error {
 			o.c.cpu(nx*ny, o.c.Sim.CmpSeconds)
 		}
 		o.countCacheMisses(nx, ny, ra, sa)
+		if o.Fused && o.keys != nil {
+			// Gather pass: one bucket-bounds pair per inner row, computed once
+			// per block pair (resumed pauses reuse it). Unobservable from the
+			// outside — the probes it fronts are charged above either way.
+			if int64(cap(o.hbuf)) < ny {
+				o.hbuf = make([]uint64, ny)
+			}
+			o.hbuf = o.hbuf[:ny]
+			hbuf, offs, shift := o.hbuf, o.fidx.offs, o.fidx.shift
+			kb := int64(o.keys[1])
+			for b := int64(0); b < ny; b++ {
+				h := probeHash(yb[b*sa+kb], shift)
+				hbuf[b] = uint64(offs[h])<<32 | uint64(uint32(offs[h+1]))
+			}
+		}
 	}
 	xb, yb := o.ob.data, o.yb
 	ra, sa := int64(o.outer.arity()), int64(o.inner.arity())
 	nx, ny := int64(len(xb))/ra, int64(len(yb))/sa
 	max := o.c.batchRows()
-	// Emit in the body's tuple order regardless of which side ended up
-	// outer: an OrderBy swap re-orients once, SwapOutput re-orients again.
-	flip := o.swapped != o.SwapOutput
-	emit := func(x, y []int32) {
-		o.rowBuf = o.rowBuf[:0]
-		if flip {
-			o.rowBuf = append(append(o.rowBuf, y...), x...)
-		} else {
-			o.rowBuf = append(append(o.rowBuf, x...), y...)
-		}
-		o.em.emit(o.rowBuf)
+	if o.Fused {
+		return o.stepFused(xb, yb, ra, sa, nx, ny, max)
 	}
+	emit := o.emitFn
 	if o.keys != nil {
 		for b := o.posB; b < ny; b++ {
 			if o.em.rows() >= max {
@@ -414,6 +471,80 @@ func (o *BNLJoin) step() error {
 				y := yb[b*sa : (b+1)*sa]
 				if o.pred(x, y) {
 					emit(x, y)
+				}
+			}
+			b = 0
+		}
+	}
+	o.yb = nil
+	return nil
+}
+
+// stepFused is the fused-backend probe body: identical iteration order,
+// pause points and match set as the interpreted loops above, but each match
+// is appended directly to the emitter's pending buffer (one copy instead of
+// an assembly into rowBuf plus an emit copy, with no closure call between).
+func (o *BNLJoin) stepFused(xb, yb []int32, ra, sa, nx, ny, max int64) error {
+	o.em.reserve(int(ra + sa))
+	// The interpreted pause check is rows() >= max; every append here is a
+	// whole row, so the equivalent test on the raw buffer length avoids the
+	// per-row division.
+	limit := o.em.pos + int(max)*int(ra+sa)
+	if o.keys != nil {
+		kb := int64(o.keys[1])
+		// Everything the probe loop touches lives in locals: the appends
+		// below would otherwise force per-iteration reloads of the operator's
+		// fields (the compiler cannot prove they don't alias the buffer).
+		ents := o.fidx.ents
+		hbuf := o.hbuf
+		flip := o.flip
+		pend := o.em.pending
+		for b := o.posB; b < ny; b++ {
+			if len(pend) >= limit {
+				o.em.pending = pend
+				o.posB = b
+				return nil
+			}
+			bounds := hbuf[b]
+			i, e := int32(bounds>>32), int32(uint32(bounds))
+			if i == e {
+				continue
+			}
+			yo := b * sa
+			key := uint32(yb[yo+kb])
+			// Bucket entries are contiguous and carry the key, so the scan is
+			// a short sequential read that never touches the outer block for
+			// hash collisions.
+			for ; i < e; i++ {
+				ent := ents[i]
+				if uint32(ent>>32) != key {
+					continue
+				}
+				xo := int64(uint32(ent)) * ra
+				if flip {
+					pend = append(append(pend, yb[yo:yo+sa]...), xb[xo:xo+ra]...)
+				} else {
+					pend = append(append(pend, xb[xo:xo+ra]...), yb[yo:yo+sa]...)
+				}
+			}
+		}
+		o.em.pending = pend
+	} else {
+		b := o.posB
+		for a := o.posA; a < nx; a++ {
+			x := xb[a*ra : (a+1)*ra]
+			for ; b < ny; b++ {
+				if len(o.em.pending) >= limit {
+					o.posA, o.posB = a, b
+					return nil
+				}
+				y := yb[b*sa : (b+1)*sa]
+				if o.pred(x, y) {
+					if o.flip {
+						o.em.pending = append(append(o.em.pending, y...), x...)
+					} else {
+						o.em.pending = append(append(o.em.pending, x...), y...)
+					}
 				}
 			}
 			b = 0
@@ -507,6 +638,8 @@ type HashJoin struct {
 	EquiKeys *[2]int // forwarded to the per-bucket joins
 	// SwapOutput is forwarded to the per-bucket joins (see BNLJoin).
 	SwapOutput bool
+	// Fused is forwarded to the per-bucket joins (see BNLJoin.Fused).
+	Fused bool
 	// OrderedOutput delivers bucket outputs strictly in bucket order (the
 	// single-worker order) at the cost of producer overlap; lowering sets
 	// it when an order-sensitive consumer (a fold, a streaming merge)
@@ -558,7 +691,7 @@ func (o *HashJoin) bucketJoin(i int64) *BNLJoin {
 	return &BNLJoin{
 		L: SpillsInput(o.bL[i].Spills, o.arL), R: SpillsInput(o.bR[i].Spills, o.arR),
 		K1: o.KJoin, K2: o.KJoin, Pred: o.Pred, EquiKeys: o.EquiKeys,
-		SwapOutput: o.SwapOutput,
+		SwapOutput: o.SwapOutput, Fused: o.Fused,
 	}
 }
 
@@ -1134,6 +1267,8 @@ type Fold struct {
 	// program applies to the accumulator (e.g. avg's division).
 	FinalFn interp.Func
 	Final   ocal.Value
+
+	kern *foldKernelSpec // fused-backend kernel (nil: interpreted)
 }
 
 func (o *Fold) Open(c *Ctx) error {
@@ -1145,6 +1280,10 @@ func (o *Fold) Open(c *Ctx) error {
 	k := o.K
 	if k <= 0 {
 		k = 1
+	}
+	var fk *foldKernel
+	if o.kern != nil {
+		fk = o.kern.newKernel()
 	}
 	acc := o.Init
 	for {
@@ -1158,6 +1297,17 @@ func (o *Fold) Open(c *Ctx) error {
 		a := r.arity()
 		rows := len(blk) / a
 		c.cpu(int64(rows), c.Sim.CmpSeconds)
+		if fk != nil && !fk.bind(a) {
+			// Arity binding happens at the first block, before any row has
+			// folded — the interpreted step takes over from Init.
+			fk = nil
+		}
+		if fk != nil {
+			if err := fk.step(blk, a, rows); err != nil {
+				return err
+			}
+			continue
+		}
 		for i := 0; i < rows; i++ {
 			v, err := o.Step(ocal.Tuple{acc, rowToValue(blk[i*a : (i+1)*a])})
 			if err != nil {
@@ -1165,6 +1315,9 @@ func (o *Fold) Open(c *Ctx) error {
 			}
 			acc = v
 		}
+	}
+	if fk != nil {
+		acc = fk.value()
 	}
 	if o.FinalFn != nil {
 		v, err := o.FinalFn(acc)

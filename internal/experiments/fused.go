@@ -1,0 +1,204 @@
+package experiments
+
+import (
+	"fmt"
+	"hash/fnv"
+	"io"
+	"time"
+
+	"ocas/internal/exec"
+	"ocas/internal/memory"
+	"ocas/internal/ocal"
+	"ocas/internal/storage"
+	"ocas/internal/workload"
+)
+
+// FusedResult is one fused-backend microbench row: the same fixed plan
+// executed under the interpreted and the fused backend, with the equality
+// contract (digest, virtual clock, per-device ledger) verified before the
+// wall-clocks are reported.
+type FusedResult struct {
+	Name    string
+	Rows    int64 // outer input rows
+	OutRows int64
+	ActSecs float64 // virtual clock, identical across backends by contract
+	// ExecSecs is the interpreted executor wall-clock, FusedExecSecs the
+	// fused one; Speedup is their ratio.
+	ExecSecs      float64
+	FusedExecSecs float64
+	Speedup       float64
+}
+
+// fusedWorkload is a fixed, pre-synthesized plan: the fused rows measure the
+// executor hot loop, so they skip synthesis and lower a known program shape
+// directly (the filter+project chain and the join-probe chain the fusion
+// pass targets).
+type fusedWorkload struct {
+	name   string
+	src    string
+	rows   int64 // outer input rows, for the report
+	params map[string]int64
+	inputs []fusedInput
+}
+
+type fusedInput struct {
+	name  string
+	arity int
+	gen   func() []int32
+}
+
+// FusedWorkloads returns the two microbench chains, scaled down by shrink.
+func FusedWorkloads(shrink int64) []fusedWorkload {
+	if shrink < 1 {
+		shrink = 1
+	}
+	fpN := (4 << 20) / shrink  // filter+project input rows
+	jR := (64 << 10) / shrink  // join outer rows
+	jS := (512 << 10) / shrink // join inner rows
+	return []fusedWorkload{
+		{
+			name:   "filterproject",
+			src:    "for (xB [k1] <- R) for (x <- xB) if x.1 < 50 then [<x.1, (x.2 + x.1)>] else []",
+			rows:   fpN,
+			params: map[string]int64{"k1": 4096},
+			inputs: []fusedInput{{
+				name: "R", arity: 2,
+				gen: func() []int32 { return workload.UniformPairs(fpN, 100, 11) },
+			}},
+		},
+		{
+			name: "joinprobe",
+			src: "for (xB [k1] <- R) for (yB [k2] <- S) for (x <- xB) for (y <- yB) " +
+				"if x.1 == y.1 then [<x, y>] else []",
+			rows:   jR,
+			params: map[string]int64{"k1": 4096, "k2": 4096},
+			inputs: []fusedInput{
+				{name: "R", arity: 2, gen: func() []int32 { return workload.UniformPairs(jR, jR, 12) }},
+				{name: "S", arity: 2, gen: func() []int32 { return workload.UniformPairs(jS, jR, 13) }},
+			},
+		},
+	}
+}
+
+// fusedRun is one backend's execution of a fused workload.
+type fusedRun struct {
+	rows    int64
+	digest  uint64
+	seconds float64
+	ledgers map[string]storage.Ledger
+	wall    float64
+}
+
+// runFusedBackend lowers and runs one workload under one backend, returning
+// everything the equality check needs plus the measured wall-clock of Run.
+func runFusedBackend(wl fusedWorkload, backend string) (*fusedRun, error) {
+	prog, err := ocal.Parse(wl.src)
+	if err != nil {
+		return nil, fmt.Errorf("%s: parse: %w", wl.name, err)
+	}
+	sim := storage.NewSim(memory.HDDRAM(64 * memory.MiB))
+	sim.DefaultCPU()
+	inputs := map[string]*exec.Table{}
+	var scratch *storage.Device
+	for _, in := range wl.inputs {
+		dev, err := sim.Device("hdd")
+		if err != nil {
+			return nil, err
+		}
+		scratch = dev
+		rows := in.gen()
+		t, err := exec.NewTable(dev, in.arity, int64(len(rows)/in.arity)+8)
+		if err != nil {
+			return nil, err
+		}
+		if err := t.Preload(rows); err != nil {
+			return nil, err
+		}
+		inputs[in.name] = t
+	}
+
+	run := &fusedRun{}
+	// Order-independent digest: per-row FNV-1a hashes summed, so the check
+	// does not depend on output order (it is in fact identical here, but the
+	// contract is bag equality).
+	sink := &exec.Sink{Sim: sim, Tap: func(row []int32) {
+		h := fnv.New64a()
+		var buf [4]byte
+		for _, v := range row {
+			buf[0], buf[1], buf[2], buf[3] = byte(v), byte(v>>8), byte(v>>16), byte(v>>24)
+			h.Write(buf[:])
+		}
+		run.digest += h.Sum64()
+	}}
+
+	p, err := exec.Lower(prog, exec.LowerOpts{
+		Sim: sim, Inputs: inputs, Params: wl.params,
+		Scratch: scratch, Sink: sink,
+		RAMBytes: 32 * memory.MiB,
+		Backend:  backend,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("%s: lower (%s): %w", wl.name, backend, err)
+	}
+	start := time.Now()
+	if err := p.Run(); err != nil {
+		return nil, fmt.Errorf("%s: execute (%s): %w", wl.name, backend, err)
+	}
+	run.wall = time.Since(start).Seconds()
+	run.rows = sink.RowsWritten
+	run.seconds = sim.Clock.Seconds()
+	run.ledgers = map[string]storage.Ledger{}
+	for name, d := range sim.Devices {
+		run.ledgers[name] = d.Led
+	}
+	return run, nil
+}
+
+// RunFused executes each microbench chain under both backends, verifies the
+// backend-equality contract (identical output digest, bit-exact virtual
+// clock, integer-identical per-device ledgers) and reports the wall-clocks
+// side by side. The fused rows feed the bench report's fusedExecSecs column
+// and its TotalFusedExecSecs regression gate.
+func RunFused(cfg Config, w io.Writer) ([]*FusedResult, error) {
+	var out []*FusedResult
+	fmt.Fprintf(w, "%-16s %12s %14s %12s %12s %9s\n",
+		"Chain", "OutRows", "Act[s]", "Interp[s]", "Fused[s]", "Speedup")
+	for _, wl := range FusedWorkloads(cfg.Shrink) {
+		interp, err := runFusedBackend(wl, exec.BackendInterpreted)
+		if err != nil {
+			return out, err
+		}
+		fused, err := runFusedBackend(wl, exec.BackendFused)
+		if err != nil {
+			return out, err
+		}
+		if fused.rows != interp.rows || fused.digest != interp.digest {
+			return out, fmt.Errorf("%s: fused output differs: %d rows (digest %016x) vs interpreted %d (digest %016x)",
+				wl.name, fused.rows, fused.digest, interp.rows, interp.digest)
+		}
+		if fused.seconds != interp.seconds {
+			return out, fmt.Errorf("%s: fused virtual clock %v differs from interpreted %v",
+				wl.name, fused.seconds, interp.seconds)
+		}
+		for name, fl := range fused.ledgers {
+			if il := interp.ledgers[name]; fl != il {
+				return out, fmt.Errorf("%s: fused ledger for %s is %+v, interpreted %+v", wl.name, name, fl, il)
+			}
+		}
+		r := &FusedResult{
+			Name:          wl.name,
+			Rows:          wl.rows,
+			OutRows:       interp.rows,
+			ActSecs:       interp.seconds,
+			ExecSecs:      interp.wall,
+			FusedExecSecs: fused.wall,
+		}
+		if fused.wall > 0 {
+			r.Speedup = interp.wall / fused.wall
+		}
+		fmt.Fprintf(w, "%-16s %12d %14.4g %12.3f %12.3f %9.2f\n",
+			r.Name, r.OutRows, r.ActSecs, r.ExecSecs, r.FusedExecSecs, r.Speedup)
+		out = append(out, r)
+	}
+	return out, nil
+}

@@ -1,0 +1,31 @@
+package experiments
+
+import (
+	"io"
+	"testing"
+)
+
+// TestFusedBackendAgrees runs the fused microbench at a small scale: RunFused
+// itself enforces the equality contract (digest, bit-exact virtual clock,
+// integer-identical ledgers between backends), so the test only has to check
+// that both chains executed and produced rows.
+func TestFusedBackendAgrees(t *testing.T) {
+	rs, err := RunFused(Config{Shrink: 64}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 2 {
+		t.Fatalf("got %d fused rows, want 2", len(rs))
+	}
+	for _, r := range rs {
+		if r.OutRows == 0 {
+			t.Errorf("%s produced no rows", r.Name)
+		}
+		if r.ExecSecs <= 0 || r.FusedExecSecs <= 0 {
+			t.Errorf("%s wall-clocks not measured: interp %v fused %v", r.Name, r.ExecSecs, r.FusedExecSecs)
+		}
+		if r.ActSecs <= 0 {
+			t.Errorf("%s virtual clock not advanced", r.Name)
+		}
+	}
+}

@@ -18,7 +18,10 @@ import (
 // TemplateWarmSecs (steady-state template instantiation at scaled
 // cardinalities) and its TotalTemplateWarmSecs gate metric. v5 moves the
 // environment context into a meta block and adds the generation timestamp.
-const BenchSchema = "ocas-bench/v5"
+// v6 adds the fused execution backend: the Fused microbench rows (the same
+// chain executed interpreted and fused, with fusedExecSecs per row) and
+// their TotalFusedExecSecs gate metric.
+const BenchSchema = "ocas-bench/v6"
 
 // BenchMeta is the report's environment context: wall-clock comparisons
 // only mean something between runs on comparable machines, so record what
@@ -48,6 +51,10 @@ type BenchRow struct {
 	SynthSecs   float64 `json:"synthSecs"`
 	ExecSecs    float64 `json:"execSecs"`
 	ExecWorkers int     `json:"execWorkers"`
+	// FusedExecSecs is the same workload's executor wall-clock under the
+	// fused kernel backend (ocasbench -fused rows only; ExecSecs then holds
+	// the interpreted wall-clock of the identical plan and inputs).
+	FusedExecSecs float64 `json:"fusedExecSecs,omitempty"`
 	// TemplateWarmSecs is the steady-state wall-clock of instantiating the
 	// row's captured plan template at scaled cardinalities (ocasbench
 	// -templates); absent when templates were off or the capture went stale.
@@ -91,6 +98,11 @@ type BenchReport struct {
 	// informational only — CompareBaseline never gates on it, since ingest
 	// wall-clock is dominated by the host filesystem.
 	Ingest []IngestRow `json:"ingest,omitempty"`
+	// Fused holds the fused-backend microbench rows (ocasbench -fused): each
+	// chain executed under the interpreted and the fused backend with the
+	// equality contract verified, ExecSecs vs FusedExecSecs carrying the two
+	// wall-clocks.
+	Fused []BenchRow `json:"fused,omitempty"`
 	// TotalSynthSecs and TotalExecSecs sum the two wall-clocks over every
 	// Table 1 row, and TotalExecParSecs the executor wall-clock over the
 	// multi-worker rows: the gate metrics.
@@ -100,6 +112,9 @@ type BenchReport struct {
 	// TotalTemplateWarmSecs sums TemplateWarmSecs over the Table 1 rows —
 	// the template tier's gate metric (0 when -templates was off).
 	TotalTemplateWarmSecs float64 `json:"totalTemplateWarmSecs,omitempty"`
+	// TotalFusedExecSecs sums the fused-backend wall-clock over the Fused
+	// rows — the fused backend's gate metric (0 when -fused was off).
+	TotalFusedExecSecs float64 `json:"totalFusedExecSecs,omitempty"`
 }
 
 // IngestRow is one ingest-study workload in the machine-readable report.
@@ -170,9 +185,24 @@ func benchRow(r *Result) BenchRow {
 	return row
 }
 
-// NewBenchReport converts experiment results into a report. execPar and
-// ingest may be nil when those sections did not run.
-func NewBenchReport(cfg Config, table1 []*Result, execPar []*Result, ingest []*IngestResult) *BenchReport {
+// fusedRow converts one fused microbench result: ExecSecs carries the
+// interpreted wall-clock, FusedExecSecs the fused one, and Speedup their
+// ratio. ActSecs is the (backend-invariant) virtual clock.
+func fusedRow(r *FusedResult) BenchRow {
+	row := BenchRow{
+		Name:          r.Name,
+		ActSecs:       r.ActSecs,
+		ExecSecs:      r.ExecSecs,
+		FusedExecSecs: r.FusedExecSecs,
+		ExecWorkers:   1,
+		Speedup:       r.Speedup,
+	}
+	return row
+}
+
+// NewBenchReport converts experiment results into a report. execPar, ingest
+// and fused may be nil when those sections did not run.
+func NewBenchReport(cfg Config, table1 []*Result, execPar []*Result, ingest []*IngestResult, fused []*FusedResult) *BenchReport {
 	strategy := cfg.Strategy
 	if strategy == "" {
 		strategy = "exhaustive"
@@ -202,6 +232,10 @@ func NewBenchReport(cfg Config, table1 []*Result, execPar []*Result, ingest []*I
 	}
 	for _, r := range ingest {
 		rep.Ingest = append(rep.Ingest, ingestRow(r))
+	}
+	for _, r := range fused {
+		rep.Fused = append(rep.Fused, fusedRow(r))
+		rep.TotalFusedExecSecs += r.FusedExecSecs
 	}
 	return rep
 }
@@ -268,6 +302,16 @@ func CompareBaseline(current, baseline *BenchReport, maxRegressPct float64) erro
 		if ratio > limit {
 			return fmt.Errorf("template warm-instantiation wall-clock regressed %.1f%% (current %.3fs vs baseline %.3fs, limit +%.0f%%)",
 				(ratio-1)*100, current.TotalTemplateWarmSecs, baseline.TotalTemplateWarmSecs, maxRegressPct)
+		}
+	}
+	// The fused backend gates its own wall-clock total: a regression confined
+	// to the kernel paths cannot hide behind the interpreted totals. Runs or
+	// baselines without -fused carry 0 and skip the check.
+	if baseline.TotalFusedExecSecs > 0 && current.TotalFusedExecSecs > 0 {
+		ratio := current.TotalFusedExecSecs / baseline.TotalFusedExecSecs
+		if ratio > limit {
+			return fmt.Errorf("fused-executor wall-clock regressed %.1f%% (current %.3fs vs baseline %.3fs, limit +%.0f%%)",
+				(ratio-1)*100, current.TotalFusedExecSecs, baseline.TotalFusedExecSecs, maxRegressPct)
 		}
 	}
 	// The multi-worker executor rows gate their own wall-clock total, so a

@@ -1,0 +1,225 @@
+package plan
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"ocas/internal/catalog"
+)
+
+// assertBackendEqual enforces the fused backend's contract at plan level:
+// everything observable about an execution except host wall-clock must be
+// byte-identical to the interpreted run — charges are a function of the
+// plan, never of the backend stepping its loops.
+func assertBackendEqual(t *testing.T, label string, interp, fused *ExecReport) {
+	t.Helper()
+	if fused.OutDigest != interp.OutDigest {
+		t.Errorf("%s: fused digest %s differs from interpreted %s", label, fused.OutDigest, interp.OutDigest)
+	}
+	if fused.OutRows != interp.OutRows {
+		t.Errorf("%s: fused wrote %d rows, interpreted %d", label, fused.OutRows, interp.OutRows)
+	}
+	if fused.Result != interp.Result {
+		t.Errorf("%s: fused result %q, interpreted %q", label, fused.Result, interp.Result)
+	}
+	if fused.VirtualSeconds != interp.VirtualSeconds {
+		t.Errorf("%s: fused virtual clock %v differs from interpreted %v",
+			label, fused.VirtualSeconds, interp.VirtualSeconds)
+	}
+	if !reflect.DeepEqual(fused.Devices, interp.Devices) {
+		t.Errorf("%s: device ledgers differ\nfused: %+v\ninterp: %+v", label, fused.Devices, interp.Devices)
+	}
+	if fused.Pool != interp.Pool {
+		t.Errorf("%s: pool stats differ\nfused: %+v\ninterp: %+v", label, fused.Pool, interp.Pool)
+	}
+	if !reflect.DeepEqual(fused.Workers, interp.Workers) {
+		t.Errorf("%s: worker lane ledgers differ\nfused: %+v\ninterp: %+v", label, fused.Workers, interp.Workers)
+	}
+	NormalizeExplain(fused.Explain)
+	NormalizeExplain(interp.Explain)
+	if !reflect.DeepEqual(fused.Explain, interp.Explain) {
+		fj, _ := json.Marshal(fused.Explain)
+		ij, _ := json.Marshal(interp.Explain)
+		t.Errorf("%s: EXPLAIN ANALYZE trees differ\nfused: %s\ninterp: %s", label, fj, ij)
+	}
+}
+
+// TestExamplesBackendDifferential runs every examples/ corpus request (at
+// test scale) under both execution backends at several batch sizes with
+// EXPLAIN ANALYZE on, and requires the full observable report — digest,
+// row count, virtual clock, per-device ledgers, pool stats and per-operator
+// row/batch/byte counters — to be identical.
+func TestExamplesBackendDifferential(t *testing.T) {
+	dirs, err := filepath.Glob("../../examples/*/request.json")
+	if err != nil || len(dirs) == 0 {
+		t.Fatalf("no example requests found: %v", err)
+	}
+	for _, reqPath := range dirs {
+		name := filepath.Base(filepath.Dir(reqPath))
+		t.Run(name, func(t *testing.T) {
+			data, err := os.ReadFile(reqPath)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var req Request
+			if err := json.Unmarshal(data, &req); err != nil {
+				t.Fatal(err)
+			}
+			scaleRequest(&req, 2048)
+			c, err := Compile(req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			p, err := c.Run(context.Background())
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, batch := range []int64{1, 64} {
+				opt := ExecOptions{Seed: 42, BatchRows: batch, Explain: true}
+				interp, err := ExecutePlan(context.Background(), c, p, opt)
+				if err != nil {
+					t.Fatalf("interpreted (batch %d): %v", batch, err)
+				}
+				opt.Backend = BackendFused
+				fused, err := ExecutePlan(context.Background(), c, p, opt)
+				if err != nil {
+					t.Fatalf("fused (batch %d): %v", batch, err)
+				}
+				assertBackendEqual(t, name, interp, fused)
+			}
+		})
+	}
+}
+
+// TestBackendWorkerSweep crosses the two backends with the morsel-driven
+// worker counts: at every parallelism degree the fused report must match
+// the interpreted one exactly (the per-lane ledgers included — partition
+// tasks map to lanes deterministically under both backends).
+func TestBackendWorkerSweep(t *testing.T) {
+	req := Request{
+		Program: "flatMap(\\<p1, p2> -> for (xB [k1] <- p1) for (yB [k2] <- p2) " +
+			"for (x <- xB) for (y <- yB) if x.1 == y.1 then [<x, y>] else [])" +
+			"(zip[2](partition[s](R), partition[s](S)))",
+		Inputs: map[string]Input{
+			"R": {Node: "hdd", Rows: 4096},
+			"S": {Node: "hdd", Rows: 8192},
+		},
+		RAM:   256 << 10,
+		Depth: 2, Space: 200,
+	}
+	c, err := Compile(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := c.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		opt := ExecOptions{Seed: 11, ExecWorkers: workers, Explain: true}
+		interp, err := ExecutePlan(context.Background(), c, p, opt)
+		if err != nil {
+			t.Fatalf("interpreted (workers %d): %v", workers, err)
+		}
+		opt.Backend = BackendFused
+		fused, err := ExecutePlan(context.Background(), c, p, opt)
+		if err != nil {
+			t.Fatalf("fused (workers %d): %v", workers, err)
+		}
+		assertBackendEqual(t, opt.Backend, interp, fused)
+		if fused.ExecWorkers != interp.ExecWorkers {
+			t.Errorf("workers %d: effective counts differ: fused %d interp %d",
+				workers, fused.ExecWorkers, interp.ExecWorkers)
+		}
+	}
+}
+
+// TestDurableBackendDifferential closes the input-source quadrant: rows
+// ingested into a durable catalog and scanned back through segments must
+// produce the same digest, clock and ledgers whichever backend executes —
+// and both must match the generated-row interpreted baseline.
+func TestDurableBackendDifferential(t *testing.T) {
+	req := Request{
+		Program: "flatMap(\\<p1, p2> -> for (xB [k1] <- p1) for (yB [k2] <- p2) " +
+			"for (x <- xB) for (y <- yB) if x.1 == y.1 then [<x, y>] else [])" +
+			"(zip[2](partition[s](R), partition[s](S)))",
+		Inputs: map[string]Input{
+			"R": {Node: "hdd", Rows: 1024},
+			"S": {Node: "hdd", Rows: 2048},
+		},
+		RAM:   64 << 10,
+		Depth: 2, Space: 200,
+	}
+	c, err := Compile(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := c.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := ExecOptions{Seed: 42, PoolBytes: 16 << 10}
+	cat, err := catalog.Open(t.TempDir(), catalog.Options{FlushRows: 257, ChunkRows: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cat.Close()
+	tables := ingestGenerated(t, cat, c, base)
+
+	want, err := ExecutePlan(context.Background(), c, p, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, backend := range []string{BackendInterpreted, BackendFused} {
+		opt := base
+		opt.Backend = backend
+		opt.Tables = tables
+		opt.Cat = cat
+		got, err := ExecutePlan(context.Background(), c, p, opt)
+		if err != nil {
+			t.Fatalf("%s over durable tables: %v", backend, err)
+		}
+		if got.OutDigest != want.OutDigest || got.OutRows != want.OutRows {
+			t.Errorf("%s over durable tables: digest %s/%d rows, generated baseline %s/%d",
+				backend, got.OutDigest, got.OutRows, want.OutDigest, want.OutRows)
+		}
+		if got.VirtualSeconds != want.VirtualSeconds {
+			t.Errorf("%s over durable tables: clock %v, baseline %v", backend, got.VirtualSeconds, want.VirtualSeconds)
+		}
+		if !reflect.DeepEqual(got.Devices, want.Devices) {
+			t.Errorf("%s over durable tables: ledgers differ\n got: %+v\nwant: %+v", backend, got.Devices, want.Devices)
+		}
+	}
+}
+
+// TestExecBackendValidation: unknown backend names are rejected before any
+// execution; the documented names (and empty) are accepted.
+func TestExecBackendValidation(t *testing.T) {
+	req := Request{
+		Program: "foldL(0, \\<a, x> -> (a + x.2))(R)",
+		Inputs:  map[string]Input{"R": {Node: "hdd", Rows: 256}},
+		Depth:   3, Space: 200,
+	}
+	c, err := Compile(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := c.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = ExecutePlan(context.Background(), c, p, ExecOptions{Seed: 1, Backend: "jit"})
+	if err == nil || !strings.Contains(err.Error(), "unknown backend") {
+		t.Errorf("unknown backend must be rejected, got %v", err)
+	}
+	for _, b := range []string{"", BackendInterpreted, BackendFused} {
+		if _, err := ExecutePlan(context.Background(), c, p, ExecOptions{Seed: 1, Backend: b}); err != nil {
+			t.Errorf("backend %q must be accepted: %v", b, err)
+		}
+	}
+}
