@@ -69,7 +69,12 @@
 // scan, filter/project, blocked nested-loop join (with cache tiling),
 // GRACE hash join, external merge sort, streaming unfoldR, foldL
 // aggregation — implements Open(*Ctx) / Next(*Batch) / Close() over
-// fixed-size flat row batches. exec.Lower is recursive and
+// struct-of-arrays batches: one []int32 vector per column plus an
+// optional selection vector, flowing down chains as views (often
+// zero-copy slices of mmapped segment bytes via storage.ColViewer)
+// rather than row copies. Simulated charges are computed from logical
+// record positions, never the physical layout, so the columnar path is
+// invisible to the determinism contract. exec.Lower is recursive and
 // compositional: operator inputs may themselves be lowered
 // subexpressions piped through the batch protocol, so any synthesized
 // operator tree executes, not just whole programs matching a known

@@ -68,8 +68,9 @@ func main() {
 	if err := prog.Run(); err != nil {
 		log.Fatal(err)
 	}
+	sorted := out.Flat()
 	for i := int64(1); i < out.Rows(); i++ {
-		if out.Data[i] < out.Data[i-1] {
+		if sorted[i] < sorted[i-1] {
 			log.Fatalf("output not sorted at %d", i)
 		}
 	}

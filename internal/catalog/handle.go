@@ -10,11 +10,13 @@ import (
 // Handle is a consistent read snapshot of one table: the segment readers
 // open at OpenTable time plus a copy of the then-buffered rows. Concurrent
 // ingest or even a Drop does not disturb a handle mid-scan (open
-// descriptors survive the unlink). A Handle implements storage.Backing, so
-// it plugs straight into Device.NewBackedSpill / exec.NewBackedTable.
+// descriptors survive the unlink). A Handle implements storage.Backing
+// through ReadCols, so it plugs straight into Device.NewBackedSpill /
+// exec.NewBackedTable — segment chunks stream into the spill's column
+// vectors without a row transpose.
 //
-// ReadRecords is not safe for concurrent calls on one Handle (segment
-// readers share a scratch buffer); the executor satisfies this by
+// ReadRecords and ReadCols are not safe for concurrent calls on one Handle
+// (segment readers share a scratch buffer); the executor satisfies this by
 // materializing a backed spill's payload exactly once behind a sync.Once.
 type Handle struct {
 	name  string
@@ -70,8 +72,7 @@ func (h *Handle) Rows() int64 { return h.rows }
 func (h *Handle) Arity() int { return h.arity }
 
 // ReadRecords fills dst with n rows starting at row lo, row-major, reading
-// across segment boundaries and into the buffered tail. It implements
-// storage.Backing.
+// across segment boundaries and into the buffered tail.
 func (h *Handle) ReadRecords(dst []int32, lo, n int64) error {
 	if lo < 0 || n < 0 || lo+n > h.rows {
 		return fmt.Errorf("catalog: read [%d,%d) out of %d rows", lo, lo+n, h.rows)
@@ -103,6 +104,83 @@ func (h *Handle) ReadRecords(dst []int32, lo, n int64) error {
 		copy(dst, h.buf[in:in+n*cols])
 	}
 	return nil
+}
+
+// ReadCols fills dst[c] with column c of n rows starting at row lo,
+// reading across segment boundaries and into the buffered tail. It
+// implements storage.Backing: segment chunks are already column-major, so
+// durable rows reach the destination vectors without a transpose.
+func (h *Handle) ReadCols(dst [][]int32, lo, n int64) error {
+	if lo < 0 || n < 0 || lo+n > h.rows {
+		return fmt.Errorf("catalog: read [%d,%d) out of %d rows", lo, lo+n, h.rows)
+	}
+	if len(dst) < h.arity {
+		return fmt.Errorf("catalog: read dst %d columns, table has %d", len(dst), h.arity)
+	}
+	cols := int64(h.arity)
+	out := int64(0)
+	sub := make([][]int32, h.arity)
+	for i, seg := range h.segs {
+		if n == 0 {
+			return nil
+		}
+		base := h.bases[i]
+		if lo >= base+seg.Rows() {
+			continue
+		}
+		in := lo - base
+		take := seg.Rows() - in
+		if take > n {
+			take = n
+		}
+		for c := range sub {
+			sub[c] = dst[c][out : out+take]
+		}
+		if err := seg.ReadCols(sub, in, take); err != nil {
+			return err
+		}
+		out += take
+		lo += take
+		n -= take
+	}
+	if n > 0 {
+		durable := h.rows - int64(len(h.buf))/cols
+		in := lo - durable
+		for c := int64(0); c < cols; c++ {
+			d := dst[c][out : out+n]
+			for r := int64(0); r < n; r++ {
+				d[r] = h.buf[(in+r)*cols+c]
+			}
+		}
+	}
+	return nil
+}
+
+// ViewCols implements storage.ColViewer: when [lo, lo+n) lies entirely
+// inside one memory-mapped segment chunk, it returns zero-copy column
+// views over the mapped file bytes, reusing dst as the view header.
+// ok=false (range spans segments, reaches the buffered tail, or the
+// segment cannot view) sends the caller to the copying ReadCols path.
+// Unlike ReadRecords/ReadCols, ViewCols touches no shared scratch and is
+// safe for concurrent calls on one Handle.
+func (h *Handle) ViewCols(dst [][]int32, lo, n int64) ([][]int32, bool) {
+	if lo < 0 || n <= 0 || lo+n > h.rows {
+		return nil, false
+	}
+	for i, seg := range h.segs {
+		base := h.bases[i]
+		if lo < base {
+			return nil, false
+		}
+		if lo >= base+seg.Rows() {
+			continue
+		}
+		if lo+n > base+seg.Rows() {
+			return nil, false // spans into the next segment or the buffer
+		}
+		return seg.ViewCols(dst, lo-base, n)
+	}
+	return nil, false // buffered tail (row-major, never viewable)
 }
 
 // Close releases the handle's segment readers.

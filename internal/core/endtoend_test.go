@@ -90,9 +90,10 @@ func TestSynthesizedJoinExecutesLikeSpec(t *testing.T) {
 	}
 
 	gotCounts := map[[4]int32]int{}
-	for i := 0; i+4 <= len(out.Data); i += 4 {
+	flat := out.Flat()
+	for i := 0; i+4 <= len(flat); i += 4 {
 		var row [4]int32
-		copy(row[:], out.Data[i:i+4])
+		copy(row[:], flat[i:i+4])
 		// The winner may have swapped the relations: normalize so the
 		// R-tuple comes first (R payloads are even indices by seed; use
 		// key equality so both orders compare equal).

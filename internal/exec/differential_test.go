@@ -211,7 +211,7 @@ func execDiffLedgers(t *testing.T, c diffCase, prog ocal.Expr, batchRows, poolBy
 		}
 		return nil, p.Result, ledgers, seconds
 	}
-	return tableRows(out.Data, c.outArity), nil, ledgers, seconds
+	return tableRows(out.Flat(), c.outArity), nil, ledgers, seconds
 }
 
 // runDiff executes the case at every batch size and pool budget, comparing

@@ -244,11 +244,12 @@ func TestExtSortSorts(t *testing.T) {
 		p := &ExtSort{In: TableInput(in), Way: way, Bin: 64, Bout: 64}
 		drainOp(t, runCtx(sim, "hdd", 0), p, &Sink{Out: out, Bout: 64, Sim: sim})
 		want := sortRows(rows, 1, 0)
-		if len(out.Data) != len(want) {
-			t.Fatalf("way=%d: wrong output size %d", way, len(out.Data))
+		got := out.Flat()
+		if len(got) != len(want) {
+			t.Fatalf("way=%d: wrong output size %d", way, len(got))
 		}
 		for i := range want {
-			if out.Data[i] != want[i] {
+			if got[i] != want[i] {
 				t.Fatalf("way=%d: output not sorted at %d", way, i)
 			}
 		}
@@ -300,12 +301,13 @@ func TestUnfoldRStreamMergesSorted(t *testing.T) {
 		Step: mergeStep(t, ocal.Mrg{}), StateArity: 2}
 	drainOp(t, runCtx(sim, "hdd", 0), p, &Sink{Out: out, Bout: 4, Sim: sim})
 	want := []int32{1, 2, 3, 3, 5, 6, 7}
-	if len(out.Data) != len(want) {
-		t.Fatalf("got %v want %v", out.Data, want)
+	got := out.Flat()
+	if len(got) != len(want) {
+		t.Fatalf("got %v want %v", got, want)
 	}
 	for i := range want {
-		if out.Data[i] != want[i] {
-			t.Fatalf("got %v want %v", out.Data, want)
+		if got[i] != want[i] {
+			t.Fatalf("got %v want %v", got, want)
 		}
 	}
 }

@@ -127,7 +127,7 @@ func (w *instr) Next(b *Batch) (bool, error) {
 	if ok && err == nil {
 		w.node.Batches++
 		if b.Arity > 0 {
-			w.node.Rows += int64(len(b.Data) / b.Arity)
+			w.node.Rows += int64(b.Rows())
 		}
 	}
 	return ok, err

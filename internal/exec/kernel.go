@@ -128,21 +128,21 @@ func (e *kexpr) bindArity(ar int) bool {
 	return true
 }
 
-// eval evaluates the scalar with error checking, operands left to right —
-// the interp argument order, so a Div by zero surfaces on the same row and
-// the same operation.
-func (e *kexpr) eval(row []int32) (int64, error) {
+// eval evaluates the scalar against row i of a column block with error
+// checking, operands left to right — the interp argument order, so a Div by
+// zero surfaces on the same row and the same operation.
+func (e *kexpr) eval(cols [][]int32, i int) (int64, error) {
 	switch e.kind {
 	case kCol:
-		return int64(row[e.col]), nil
+		return int64(cols[e.col][i]), nil
 	case kLit:
 		return e.lit, nil
 	}
-	a, err := e.l.eval(row)
+	a, err := e.l.eval(cols, i)
 	if err != nil {
 		return 0, err
 	}
-	b, err := e.r.eval(row)
+	b, err := e.r.eval(cols, i)
 	if err != nil {
 		return 0, err
 	}
@@ -167,14 +167,14 @@ func (e *kexpr) eval(row []int32) (int64, error) {
 }
 
 // evalFast evaluates a scalar proven error-free (no Div/Mod anywhere).
-func (e *kexpr) evalFast(row []int32) int64 {
+func (e *kexpr) evalFast(cols [][]int32, i int) int64 {
 	switch e.kind {
 	case kCol:
-		return int64(row[e.col])
+		return int64(cols[e.col][i])
 	case kLit:
 		return e.lit
 	}
-	a, b := e.l.evalFast(row), e.r.evalFast(row)
+	a, b := e.l.evalFast(cols, i), e.r.evalFast(cols, i)
 	switch e.op {
 	case ocal.OpAdd:
 		return a + b
@@ -276,16 +276,16 @@ func (c *kcond) bindArity(ar int) bool {
 // evalPrim evaluates both And/Or arguments before the operator applies, so
 // a Div by zero in the right operand must surface even when the left
 // operand already decides the result.
-func (c *kcond) eval(row []int32) (bool, error) {
+func (c *kcond) eval(cols [][]int32, i int) (bool, error) {
 	switch c.kind {
 	case cBool:
 		return c.b, nil
 	case cCmp:
-		a, err := c.l.eval(row)
+		a, err := c.l.eval(cols, i)
 		if err != nil {
 			return false, err
 		}
-		b, err := c.r.eval(row)
+		b, err := c.r.eval(cols, i)
 		if err != nil {
 			return false, err
 		}
@@ -293,14 +293,14 @@ func (c *kcond) eval(row []int32) (bool, error) {
 	}
 	switch c.op {
 	case ocal.OpNot:
-		v, err := c.args[0].eval(row)
+		v, err := c.args[0].eval(cols, i)
 		return !v, err
 	default:
-		a, err := c.args[0].eval(row)
+		a, err := c.args[0].eval(cols, i)
 		if err != nil {
 			return false, err
 		}
-		b, err := c.args[1].eval(row)
+		b, err := c.args[1].eval(cols, i)
 		if err != nil {
 			return false, err
 		}
@@ -313,20 +313,20 @@ func (c *kcond) eval(row []int32) (bool, error) {
 
 // evalFast evaluates a condition proven error-free; with no errors and no
 // side effects, short-circuiting is unobservable and allowed.
-func (c *kcond) evalFast(row []int32) bool {
+func (c *kcond) evalFast(cols [][]int32, i int) bool {
 	switch c.kind {
 	case cBool:
 		return c.b
 	case cCmp:
-		return cmpHolds(c.op, c.l.evalFast(row), c.r.evalFast(row))
+		return cmpHolds(c.op, c.l.evalFast(cols, i), c.r.evalFast(cols, i))
 	}
 	switch c.op {
 	case ocal.OpNot:
-		return !c.args[0].evalFast(row)
+		return !c.args[0].evalFast(cols, i)
 	case ocal.OpAnd:
-		return c.args[0].evalFast(row) && c.args[1].evalFast(row)
+		return c.args[0].evalFast(cols, i) && c.args[1].evalFast(cols, i)
 	default:
-		return c.args[0].evalFast(row) || c.args[1].evalFast(row)
+		return c.args[0].evalFast(cols, i) || c.args[1].evalFast(cols, i)
 	}
 }
 
@@ -537,139 +537,311 @@ func cloneCond(c *kcond) *kcond {
 	return &n
 }
 
-// run executes the kernel over one block, appending the produced rows to
-// the emitter in input order — the exact row stream the interpreted step
-// produces, so batch boundaries (and with them EXPLAIN counters) are
-// identical. The caller has already charged the block's CPU cost.
-func (k *projKernel) run(em *emitter, blk []int32, rows int) error {
+// selPassOK reports whether the kernel can serve pure-filter pass-through:
+// the output is the input row verbatim, survival is decided by an
+// error-free condition — so the operator may publish the input columns
+// unchanged with just a selection vector.
+func (k *projKernel) selPassOK() bool {
+	return k.identity && k.cond != nil && !k.canErr
+}
+
+// run executes the kernel over one column block, appending the produced
+// rows to the emitter's column vectors in input order — the exact row
+// stream the interpreted step produces, so batch boundaries (and with them
+// EXPLAIN counters) are identical. The caller has already charged the
+// block's CPU cost.
+func (k *projKernel) run(em *emitter, cols [][]int32, rows int) error {
 	em.reserve(k.outWidth)
 	if k.canErr {
-		return k.runChecked(em, blk, rows)
+		return k.runChecked(em, cols, rows)
 	}
-	ar := k.ar
 	if k.cond == nil {
 		// Unconditional projection: no selection pass needed.
-		switch {
-		case k.identity:
-			em.pending = append(em.pending, blk[:rows*ar]...)
-		case k.gather != nil:
-			for i := 0; i < rows; i++ {
-				row := blk[i*ar : (i+1)*ar]
-				for _, c := range k.gather {
-					em.pending = append(em.pending, row[c])
-				}
-			}
-		default:
-			for i := 0; i < rows; i++ {
-				row := blk[i*ar : (i+1)*ar]
-				for _, p := range k.parts {
-					if p.wholeRow {
-						em.pending = append(em.pending, row...)
-					} else {
-						em.pending = append(em.pending, int32(p.expr.evalFast(row)))
-					}
-				}
-			}
-		}
+		k.project(em, cols, rows, nil)
 		return nil
 	}
 	// Phase 1: the filter marks survivors in the selection vector instead
 	// of compacting rows.
-	sel := k.sel[:0]
+	sel := k.buildSel(cols, rows)
+	if len(sel) == 0 {
+		return nil
+	}
+	// Phase 2: project through the selection without copying rejected rows.
+	k.project(em, cols, rows, sel)
+	return nil
+}
+
+// buildSel runs the filter pass over one column block, filling the
+// reusable selection vector with the indices of surviving rows. Valid only
+// for an error-free condition.
+func (k *projKernel) buildSel(cols [][]int32, rows int) []int32 {
+	if cap(k.sel) < rows {
+		k.sel = make([]int32, rows)
+	}
+	// The specialized loops are branchless: the candidate index is stored
+	// unconditionally and the cursor advances only on survival, so the
+	// filter runs at memory speed regardless of selectivity.
+	sel, n := k.sel[:rows], 0
 	if c := k.cond; c.kind == cCmp && c.l.kind == kCol && c.r.kind == kLit {
-		// Pre-specialized column-vs-literal comparison loops.
-		ci, lit := c.l.col, int64(0)
-		lit = c.r.lit
+		// Pre-specialized column-vs-literal comparison loops over the
+		// contiguous column vector.
+		col, lit := cols[c.l.col][:rows], c.r.lit
 		switch c.op {
 		case ocal.OpEq:
-			for i := 0; i < rows; i++ {
-				if int64(blk[i*ar+ci]) == lit {
-					sel = append(sel, int32(i))
+			for i, v := range col {
+				sel[n] = int32(i)
+				if int64(v) == lit {
+					n++
 				}
 			}
 		case ocal.OpNe:
-			for i := 0; i < rows; i++ {
-				if int64(blk[i*ar+ci]) != lit {
-					sel = append(sel, int32(i))
+			for i, v := range col {
+				sel[n] = int32(i)
+				if int64(v) != lit {
+					n++
 				}
 			}
 		case ocal.OpLt:
-			for i := 0; i < rows; i++ {
-				if int64(blk[i*ar+ci]) < lit {
-					sel = append(sel, int32(i))
+			for i, v := range col {
+				sel[n] = int32(i)
+				if int64(v) < lit {
+					n++
 				}
 			}
 		case ocal.OpLe:
-			for i := 0; i < rows; i++ {
-				if int64(blk[i*ar+ci]) <= lit {
-					sel = append(sel, int32(i))
+			for i, v := range col {
+				sel[n] = int32(i)
+				if int64(v) <= lit {
+					n++
 				}
 			}
 		case ocal.OpGt:
-			for i := 0; i < rows; i++ {
-				if int64(blk[i*ar+ci]) > lit {
-					sel = append(sel, int32(i))
+			for i, v := range col {
+				sel[n] = int32(i)
+				if int64(v) > lit {
+					n++
 				}
 			}
 		default:
-			for i := 0; i < rows; i++ {
-				if int64(blk[i*ar+ci]) >= lit {
-					sel = append(sel, int32(i))
+			for i, v := range col {
+				sel[n] = int32(i)
+				if int64(v) >= lit {
+					n++
 				}
 			}
 		}
 	} else if c.kind == cCmp && c.l.kind == kCol && c.r.kind == kCol {
 		// Column-vs-column comparison loop.
-		ci, cj := c.l.col, c.r.col
+		ci, cj := cols[c.l.col][:rows], cols[c.r.col][:rows]
 		for i := 0; i < rows; i++ {
-			if cmpHolds(c.op, int64(blk[i*ar+ci]), int64(blk[i*ar+cj])) {
-				sel = append(sel, int32(i))
+			sel[n] = int32(i)
+			if cmpHolds(c.op, int64(ci[i]), int64(cj[i])) {
+				n++
 			}
 		}
 	} else {
 		for i := 0; i < rows; i++ {
-			if c.evalFast(blk[i*ar : (i+1)*ar]) {
-				sel = append(sel, int32(i))
+			sel[n] = int32(i)
+			if c.evalFast(cols, i) {
+				n++
 			}
 		}
 	}
 	k.sel = sel
-	// Phase 2: project through the selection without copying rejected rows.
+	return sel[:n]
+}
+
+// appendSel appends src (or its sel-selected subset) to dst column-wise.
+func appendSel(dst, src, sel []int32) []int32 {
+	if sel == nil {
+		return append(dst, src...)
+	}
+	for _, i := range sel {
+		dst = append(dst, src[i])
+	}
+	return dst
+}
+
+// project appends the projected block (optionally filtered through sel) to
+// the emitter column by column: identity and gather modes are per-column
+// bulk copies, and scalar components evaluate down their whole output
+// column — the struct-of-arrays payoff.
+func (k *projKernel) project(em *emitter, cols [][]int32, rows int, sel []int32) {
 	switch {
 	case k.identity:
-		for _, i := range sel {
-			em.pending = append(em.pending, blk[int(i)*ar:(int(i)+1)*ar]...)
+		for c := 0; c < k.ar; c++ {
+			em.cols[c] = appendSel(em.cols[c], cols[c][:rows], sel)
 		}
 	case k.gather != nil:
-		for _, i := range sel {
-			row := blk[int(i)*ar : (int(i)+1)*ar]
-			for _, c := range k.gather {
-				em.pending = append(em.pending, row[c])
-			}
+		for j, c := range k.gather {
+			em.cols[j] = appendSel(em.cols[j], cols[c][:rows], sel)
 		}
 	default:
-		for _, i := range sel {
-			row := blk[int(i)*ar : (int(i)+1)*ar]
-			for _, p := range k.parts {
-				if p.wholeRow {
-					em.pending = append(em.pending, row...)
-				} else {
-					em.pending = append(em.pending, int32(p.expr.evalFast(row)))
+		oc := 0
+		for _, p := range k.parts {
+			if p.wholeRow {
+				for c := 0; c < k.ar; c++ {
+					em.cols[oc] = appendSel(em.cols[oc], cols[c][:rows], sel)
+					oc++
 				}
+				continue
 			}
+			em.cols[oc] = evalPartFast(p.expr, em.cols[oc], cols, rows, sel)
+			oc++
 		}
 	}
-	return nil
+}
+
+// evalPartFast appends one scalar output column, specializing the common
+// depth-1 shapes — a bare column, a literal, and column/literal
+// arithmetic — into tight loops over the contiguous column vectors. The
+// int32 arithmetic is exact: the interpreter computes in int64 and
+// truncates the result, and truncation mod 2^32 commutes with add, sub
+// and mul (Div/Mod imply canErr and never reach the fast path). Deeper
+// expressions fall back to the recursive evalFast walk per row.
+func evalPartFast(e *kexpr, dst []int32, cols [][]int32, rows int, sel []int32) []int32 {
+	switch {
+	case e.kind == kCol:
+		return appendSel(dst, cols[e.col][:rows], sel)
+	case e.kind == kLit:
+		v, n := int32(e.lit), rows
+		if sel != nil {
+			n = len(sel)
+		}
+		for i := 0; i < n; i++ {
+			dst = append(dst, v)
+		}
+		return dst
+	case e.kind == kArith && e.l.kind == kCol && e.r.kind == kCol:
+		a, b := cols[e.l.col][:rows], cols[e.r.col][:rows]
+		switch e.op {
+		case ocal.OpAdd:
+			if sel == nil {
+				for i := range a {
+					dst = append(dst, a[i]+b[i])
+				}
+			} else {
+				for _, i := range sel {
+					dst = append(dst, a[i]+b[i])
+				}
+			}
+			return dst
+		case ocal.OpSub:
+			if sel == nil {
+				for i := range a {
+					dst = append(dst, a[i]-b[i])
+				}
+			} else {
+				for _, i := range sel {
+					dst = append(dst, a[i]-b[i])
+				}
+			}
+			return dst
+		case ocal.OpMul:
+			if sel == nil {
+				for i := range a {
+					dst = append(dst, a[i]*b[i])
+				}
+			} else {
+				for _, i := range sel {
+					dst = append(dst, a[i]*b[i])
+				}
+			}
+			return dst
+		}
+	case e.kind == kArith && e.l.kind == kCol && e.r.kind == kLit:
+		a, lit := cols[e.l.col][:rows], int32(e.r.lit)
+		switch e.op {
+		case ocal.OpAdd:
+			if sel == nil {
+				for i := range a {
+					dst = append(dst, a[i]+lit)
+				}
+			} else {
+				for _, i := range sel {
+					dst = append(dst, a[i]+lit)
+				}
+			}
+			return dst
+		case ocal.OpSub:
+			if sel == nil {
+				for i := range a {
+					dst = append(dst, a[i]-lit)
+				}
+			} else {
+				for _, i := range sel {
+					dst = append(dst, a[i]-lit)
+				}
+			}
+			return dst
+		case ocal.OpMul:
+			if sel == nil {
+				for i := range a {
+					dst = append(dst, a[i]*lit)
+				}
+			} else {
+				for _, i := range sel {
+					dst = append(dst, a[i]*lit)
+				}
+			}
+			return dst
+		}
+	case e.kind == kArith && e.l.kind == kLit && e.r.kind == kCol:
+		lit, b := int32(e.l.lit), cols[e.r.col][:rows]
+		switch e.op {
+		case ocal.OpAdd:
+			if sel == nil {
+				for i := range b {
+					dst = append(dst, lit+b[i])
+				}
+			} else {
+				for _, i := range sel {
+					dst = append(dst, lit+b[i])
+				}
+			}
+			return dst
+		case ocal.OpSub:
+			if sel == nil {
+				for i := range b {
+					dst = append(dst, lit-b[i])
+				}
+			} else {
+				for _, i := range sel {
+					dst = append(dst, lit-b[i])
+				}
+			}
+			return dst
+		case ocal.OpMul:
+			if sel == nil {
+				for i := range b {
+					dst = append(dst, lit*b[i])
+				}
+			} else {
+				for _, i := range sel {
+					dst = append(dst, lit*b[i])
+				}
+			}
+			return dst
+		}
+	}
+	if sel == nil {
+		for i := 0; i < rows; i++ {
+			dst = append(dst, int32(e.evalFast(cols, i)))
+		}
+	} else {
+		for _, i := range sel {
+			dst = append(dst, int32(e.evalFast(cols, int(i))))
+		}
+	}
+	return dst
 }
 
 // runChecked is the erroring variant: condition then output per row, in
 // row order, so the first failing operation matches the interpreted step.
-func (k *projKernel) runChecked(em *emitter, blk []int32, rows int) error {
-	ar := k.ar
+func (k *projKernel) runChecked(em *emitter, cols [][]int32, rows int) error {
 	for i := 0; i < rows; i++ {
-		row := blk[i*ar : (i+1)*ar]
 		if k.cond != nil {
-			ok, err := k.cond.eval(row)
+			ok, err := k.cond.eval(cols, i)
 			if err != nil {
 				return err
 			}
@@ -678,23 +850,31 @@ func (k *projKernel) runChecked(em *emitter, blk []int32, rows int) error {
 			}
 		}
 		if k.gather != nil {
-			for _, c := range k.gather {
-				em.pending = append(em.pending, row[c])
+			for j, c := range k.gather {
+				em.cols[j] = append(em.cols[j], cols[c][i])
 			}
 			continue
 		}
-		mark := len(em.pending)
+		mark := len(em.cols[0])
+		oc := 0
 		for _, p := range k.parts {
 			if p.wholeRow {
-				em.pending = append(em.pending, row...)
+				for c := 0; c < k.ar; c++ {
+					em.cols[oc] = append(em.cols[oc], cols[c][i])
+					oc++
+				}
 				continue
 			}
-			v, err := p.expr.eval(row)
+			v, err := p.expr.eval(cols, i)
 			if err != nil {
-				em.pending = em.pending[:mark]
+				// Truncate the partial row so the emitter stays row-aligned.
+				for c := 0; c < oc; c++ {
+					em.cols[c] = em.cols[c][:mark]
+				}
 				return err
 			}
-			em.pending = append(em.pending, int32(v))
+			em.cols[oc] = append(em.cols[oc], int32(v))
+			oc++
 		}
 	}
 	return nil
@@ -787,18 +967,18 @@ func (f *foldExpr) bindArity(ar int) bool {
 	return f.l.bindArity(ar) && f.r.bindArity(ar)
 }
 
-func (f *foldExpr) eval(acc []int64, row []int32) (int64, error) {
+func (f *foldExpr) eval(acc []int64, cols [][]int32, i int) (int64, error) {
 	if f.acc >= 0 {
 		return acc[f.acc], nil
 	}
 	if f.expr != nil {
-		return f.expr.eval(row)
+		return f.expr.eval(cols, i)
 	}
-	a, err := f.l.eval(acc, row)
+	a, err := f.l.eval(acc, cols, i)
 	if err != nil {
 		return 0, err
 	}
-	b, err := f.r.eval(acc, row)
+	b, err := f.r.eval(acc, cols, i)
 	if err != nil {
 		return 0, err
 	}
@@ -822,14 +1002,14 @@ func (f *foldExpr) eval(acc []int64, row []int32) (int64, error) {
 	}
 }
 
-func (f *foldExpr) evalFast(acc []int64, row []int32) int64 {
+func (f *foldExpr) evalFast(acc []int64, cols [][]int32, i int) int64 {
 	if f.acc >= 0 {
 		return acc[f.acc]
 	}
 	if f.expr != nil {
-		return f.expr.evalFast(row)
+		return f.expr.evalFast(cols, i)
 	}
-	a, b := f.l.evalFast(acc, row), f.r.evalFast(acc, row)
+	a, b := f.l.evalFast(acc, cols, i), f.r.evalFast(acc, cols, i)
 	switch f.op {
 	case ocal.OpAdd:
 		return a + b
@@ -934,15 +1114,14 @@ func cloneFoldExpr(f *foldExpr) *foldExpr {
 	return &c
 }
 
-// step folds one block into the accumulator. Body components evaluate
-// against the pre-row accumulator (all reads before any write), matching
-// the interpreted tuple rebuild.
-func (k *foldKernel) step(blk []int32, ar, rows int) error {
+// step folds one column block into the accumulator. Body components
+// evaluate against the pre-row accumulator (all reads before any write),
+// matching the interpreted tuple rebuild.
+func (k *foldKernel) step(cols [][]int32, rows int) error {
 	if k.spec.canErr {
 		for i := 0; i < rows; i++ {
-			row := blk[i*ar : (i+1)*ar]
 			for j, f := range k.bodyF {
-				v, err := f.eval(k.acc, row)
+				v, err := f.eval(k.acc, cols, i)
 				if err != nil {
 					return err
 				}
@@ -953,9 +1132,8 @@ func (k *foldKernel) step(blk []int32, ar, rows int) error {
 		return nil
 	}
 	for i := 0; i < rows; i++ {
-		row := blk[i*ar : (i+1)*ar]
 		for j, f := range k.bodyF {
-			k.tmp[j] = f.evalFast(k.acc, row)
+			k.tmp[j] = f.evalFast(k.acc, cols, i)
 		}
 		copy(k.acc, k.tmp)
 	}
@@ -1000,9 +1178,10 @@ func probeHash(key int32, shift uint32) uint32 {
 	return (uint32(key) * 2654435769) >> shift
 }
 
-// build indexes key column k0 of an ra-wide block.
-func (ix *probeIdx) build(data []int32, ra, k0 int64) {
-	nx := int64(len(data)) / ra
+// build indexes a block's contiguous key column — with the columnar batch
+// layout the key vector arrives ready to stream, no stride walk needed.
+func (ix *probeIdx) build(keys []int32) {
+	nx := int64(len(keys))
 	size := int64(8)
 	shift := uint32(29)
 	for size < nx*2 {
@@ -1023,17 +1202,16 @@ func (ix *probeIdx) build(data []int32, ra, k0 int64) {
 	}
 	ix.ents = ix.ents[:nx]
 	ix.shift = shift
-	for a := int64(0); a < nx; a++ {
-		ix.offs[probeHash(data[a*ra+k0], shift)+1]++
+	for _, k := range keys {
+		ix.offs[probeHash(k, shift)+1]++
 	}
 	for i := int64(1); i <= size; i++ {
 		ix.offs[i] += ix.offs[i-1]
 	}
 	copy(ix.cur, ix.offs[:size])
-	for a := int64(0); a < nx; a++ {
-		key := data[a*ra+k0]
-		h := probeHash(key, shift)
-		ix.ents[ix.cur[h]] = uint64(uint32(key))<<32 | uint64(a)
+	for a, k := range keys {
+		h := probeHash(k, shift)
+		ix.ents[ix.cur[h]] = uint64(uint32(k))<<32 | uint64(a)
 		ix.cur[h]++
 	}
 }

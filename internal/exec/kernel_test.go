@@ -64,7 +64,7 @@ func runBackend(t *testing.T, c diffCase, prog ocal.Expr, batch, pool int64, bac
 	if run.err == nil && p.Scalar {
 		run.isScal, run.scalar = true, p.Result
 	} else if run.err == nil {
-		run.rows = tableRows(out.Data, c.outArity)
+		run.rows = tableRows(out.Flat(), c.outArity)
 	}
 	return run
 }
@@ -377,6 +377,142 @@ func stepAllocsPerNext(t testing.TB, backend string) float64 {
 	})
 }
 
+// allocTable preloads the shared two-column test table for the zero-alloc
+// suites: column 1 cycles 0..99 (5% survive "< 5", 50% survive "< 50"),
+// column 2 is the row number.
+func allocTable(t testing.TB) (*storage.Sim, *storage.Device, *Table) {
+	sim := storage.NewSim(memory.HDDRAM(64 * memory.MiB))
+	scratch, err := sim.Device("hdd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const rows = 1 << 16
+	data := make([]int32, 0, rows*2)
+	for i := 0; i < rows; i++ {
+		data = append(data, int32(i%100), int32(i))
+	}
+	tb, err := NewTable(scratch, 2, rows+8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.Preload(data); err != nil {
+		t.Fatal(err)
+	}
+	return sim, scratch, tb
+}
+
+// TestChainStepZeroAllocs: the opReader re-batching path — an outer
+// Project consuming an inner Project through OpInput — allocates nothing
+// per Next in steady state on either backend. fill appends into reused
+// carry vectors, pop hands out column views, and the outer kernel appends
+// into the reused emitter.
+func TestChainStepZeroAllocs(t *testing.T) {
+	for _, backend := range []string{"", BackendFused} {
+		name := "interpreted"
+		if backend == BackendFused {
+			name = "fused"
+		}
+		t.Run(name, func(t *testing.T) {
+			p, c := buildChain(t, backend)
+			defer p.Close()
+			var b Batch
+			for i := 0; i < 4; i++ {
+				if ok, err := p.Next(&b); err != nil || !ok {
+					t.Fatalf("warm-up Next: ok=%v err=%v", ok, err)
+				}
+			}
+			_ = c
+			allocs := testing.AllocsPerRun(200, func() {
+				if ok, err := p.Next(&b); err != nil || !ok {
+					t.Fatalf("Next: ok=%v err=%v", ok, err)
+				}
+			})
+			if allocs > 0 {
+				t.Errorf("%s chained Project.Next allocates %.1f times per call in steady state", name, allocs)
+			}
+		})
+	}
+}
+
+// buildChain assembles inner-pass → outer-filter with the outer reading
+// through opReader, opened and ready to Next.
+func buildChain(t testing.TB, backend string) (*Project, *Ctx) {
+	sim, scratch, tb := allocTable(t)
+	passStep := func(row []int32, emit func([]int32)) error {
+		emit(row)
+		return nil
+	}
+	inner := &Project{In: TableInput(tb), K: 64, Step: passStep}
+	var kern *scanKernelSpec
+	if backend == BackendFused {
+		spec, ok := parseScanKernel(ocal.MustParse("if x.1 < 50 then [<x.1, (x.2 + x.1)>] else []"), "x")
+		if !ok {
+			t.Fatal("chain body did not parse as a kernel")
+		}
+		kern = spec
+	}
+	step := func(row []int32, emit func([]int32)) error {
+		if row[0] < 50 {
+			emit(row)
+		}
+		return nil
+	}
+	p := &Project{In: OpInput(inner), K: 64, Step: step, kern: kern}
+	c := &Ctx{Sim: sim, Pool: storage.NewBufferPool(0), Scratch: scratch}
+	if err := p.Open(c); err != nil {
+		t.Fatal(err)
+	}
+	return p, c
+}
+
+// TestSelPassZeroAllocs: fused sel-passthrough — a pure filter publishing
+// the input block untouched plus a selection vector — allocates nothing
+// per Next once the reusable selection vector has grown, and actually
+// engages (batches carry Sel).
+func TestSelPassZeroAllocs(t *testing.T) {
+	p, _ := buildSelPass(t)
+	defer p.Close()
+	var b Batch
+	for i := 0; i < 4; i++ {
+		if ok, err := p.Next(&b); err != nil || !ok {
+			t.Fatalf("warm-up Next: ok=%v err=%v", ok, err)
+		}
+	}
+	if b.Sel == nil {
+		t.Fatal("sel-passthrough did not engage: batch has no selection vector")
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		if ok, err := p.Next(&b); err != nil || !ok {
+			t.Fatalf("Next: ok=%v err=%v", ok, err)
+		}
+	})
+	if allocs > 0 {
+		t.Errorf("sel-passthrough Next allocates %.1f times per call in steady state", allocs)
+	}
+}
+
+// buildSelPass assembles a pure-filter fused Project with SelPass enabled,
+// opened and ready to Next.
+func buildSelPass(t testing.TB) (*Project, *Ctx) {
+	sim, scratch, tb := allocTable(t)
+	spec, ok := parseScanKernel(ocal.MustParse("if x.1 < 50 then [x] else []"), "x")
+	if !ok {
+		t.Fatal("filter body did not parse as a kernel")
+	}
+	step := func(row []int32, emit func([]int32)) error {
+		if row[0] < 50 {
+			emit(row)
+		}
+		return nil
+	}
+	p := &Project{In: TableInput(tb), K: 64, Step: step, kern: spec, SelPass: true}
+	c := &Ctx{Sim: sim, Pool: storage.NewBufferPool(0), Scratch: scratch}
+	if err := p.Open(c); err != nil {
+		t.Fatal(err)
+	}
+	return p, c
+}
+
 // BenchmarkStepAllocs reports allocations per steady-state Next call on
 // both backends (the satellite contract: 0 allocs/op).
 func BenchmarkStepAllocs(b *testing.B) {
@@ -448,6 +584,54 @@ func BenchmarkStepAllocs(b *testing.B) {
 			}
 		})
 	}
+	b.Run("chain", func(b *testing.B) {
+		p, _ := buildChain(b, BackendFused)
+		defer func() { p.Close() }()
+		var bt Batch
+		for i := 0; i < 4; i++ {
+			if ok, err := p.Next(&bt); err != nil || !ok {
+				b.Fatalf("warm-up Next: ok=%v err=%v", ok, err)
+			}
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			ok, err := p.Next(&bt)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !ok { // chain exhausted: rewind by rebuilding
+				b.StopTimer()
+				p.Close()
+				p, _ = buildChain(b, BackendFused)
+				b.StartTimer()
+			}
+		}
+	})
+	b.Run("selpass", func(b *testing.B) {
+		p, _ := buildSelPass(b)
+		defer func() { p.Close() }()
+		var bt Batch
+		for i := 0; i < 4; i++ {
+			if ok, err := p.Next(&bt); err != nil || !ok {
+				b.Fatalf("warm-up Next: ok=%v err=%v", ok, err)
+			}
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			ok, err := p.Next(&bt)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !ok {
+				b.StopTimer()
+				p.Close()
+				p, _ = buildSelPass(b)
+				b.StartTimer()
+			}
+		}
+	})
 }
 
 // FuzzFusedVsInterpreted feeds generated scan/filter/project and fold

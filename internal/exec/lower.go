@@ -112,6 +112,7 @@ func (p *Program) Run() (err error) {
 		return err
 	}
 	var b Batch
+	var row []int32
 	for {
 		if ctx := p.c.Context; ctx != nil {
 			select {
@@ -129,9 +130,10 @@ func (p *Program) Run() (err error) {
 		if !ok {
 			break
 		}
-		a := b.Arity
-		for i := 0; i+a <= len(b.Data); i += a {
-			p.Sink.Write(b.Data[i : i+a])
+		n := b.Rows()
+		for i := 0; i < n; i++ {
+			row = b.Row(i, row)
+			p.Sink.Write(row)
 		}
 	}
 	p.Sink.Flush()
@@ -400,10 +402,24 @@ func (l *lowerer) projectParts(t *Table, k int64, body ocal.Expr, elem string) (
 		if err != nil {
 			return nil, err
 		}
-		parts[i] = &Project{In: SectionInput(t, bounds[i][0], bounds[i][1]), K: k, Step: step, kern: kern}
+		parts[i] = &Project{In: SectionInput(t, bounds[i][0], bounds[i][1]), K: k, Step: step, kern: kern, SelPass: l.selPass()}
 	}
 	return &Gather{Parts: parts}, nil
 }
+
+// selPass reports whether lowered morsel projections may publish their
+// input columns with a selection vector instead of compacting (pure-filter
+// fused kernels only; the kernel itself re-checks eligibility per
+// instance). Pass-through batches follow input block boundaries, so it is
+// only charge-safe where boundaries cannot reach a device cursor: morsel
+// Projects under a Gather read on private accounting strands and charge
+// nothing else, and the Gather ship-copy erases the boundaries in host
+// memory before the driver strand's sink appends. A lone root Project (or
+// a mid-tree one) interleaves its reads with its consumer's appends on one
+// cursor, where different boundaries would move seeks. EXPLAIN stays on
+// the compacting path so its per-operator batch counters match the
+// interpreted backend batch for batch.
+func (l *lowerer) selPass() bool { return l.fused && !l.o.Explain }
 
 // scanKernel compiles a loop body into a fused kernel spec, or nil when the
 // backend is interpreted or the body is outside the kernel grammar.
@@ -489,14 +505,14 @@ func (l *lowerer) lowerLoops(prog ocal.Expr, orderBy, root bool) (Operator, erro
 		return &Project{In: s.in, K: s.k, Step: step, kern: l.scanKernel(e, s.elem)}, nil, true
 	case 2:
 		x, y := srcs[0], srcs[1]
-		pred, keys, swapOut, err := compileJoinBody(e, x.elem, y.elem)
+		pred, keys, swapOut, all, err := compileJoinBody(e, x.elem, y.elem)
 		if err != nil {
 			return nil, err, true
 		}
 		j := &BNLJoin{
 			L: x.in, R: y.in, K1: x.k, K2: y.k,
 			OrderBy: orderBy, Pred: pred, EquiKeys: keys, SwapOutput: swapOut,
-			Fused: l.fused,
+			PredAll: all, Fused: l.fused,
 		}
 		// Cache tiling: an inner re-blocking of each source's block.
 		if len(x.tiles) > 1 {
@@ -514,14 +530,16 @@ func (l *lowerer) lowerLoops(prog ocal.Expr, orderBy, root bool) (Operator, erro
 // if cond then [<x,y>] else []  (equi-join) or [<x,y>] (product). swapOut
 // reports that the body tuple leads with the *inner* loop's element (the
 // swap-iter derivations iterate S outside R but still build <x, y>), so
-// the operator must emit inner-first rows.
-func compileJoinBody(e ocal.Expr, xv, yv string) (pred Pred, keys *[2]int, swapOut bool, err error) {
+// the operator must emit inner-first rows. all reports a constant-true
+// condition (a plain product), which lets fused join loops bulk-copy
+// column runs instead of testing every pair.
+func compileJoinBody(e ocal.Expr, xv, yv string) (pred Pred, keys *[2]int, swapOut, all bool, err error) {
 	switch t := e.(type) {
 	case ocal.Single:
-		return TruePred, nil, leadsWithInner(t, yv), nil
+		return TruePred, nil, leadsWithInner(t, yv), true, nil
 	case ocal.If:
 		if _, ok := t.Else.(ocal.Empty); !ok {
-			return nil, nil, false, fmt.Errorf("exec: join else-branch must be []")
+			return nil, nil, false, false, fmt.Errorf("exec: join else-branch must be []")
 		}
 		swapOut = false
 		if s, ok := t.Then.(ocal.Single); ok {
@@ -530,24 +548,24 @@ func compileJoinBody(e ocal.Expr, xv, yv string) (pred Pred, keys *[2]int, swapO
 		p, ok := t.Cond.(ocal.Prim)
 		if !ok || p.Op != ocal.OpEq || len(p.Args) != 2 {
 			if b, ok2 := t.Cond.(ocal.BoolLit); ok2 && b.V {
-				return TruePred, nil, swapOut, nil
+				return TruePred, nil, swapOut, true, nil
 			}
-			return nil, nil, false, fmt.Errorf("exec: unsupported join condition %s", ocal.String(t.Cond))
+			return nil, nil, false, false, fmt.Errorf("exec: unsupported join condition %s", ocal.String(t.Cond))
 		}
 		i, errI := projIndex(p.Args[0], xv)
 		j, errJ := projIndex(p.Args[1], yv)
 		if errI == nil && errJ == nil {
-			return EqPred(i, j), &[2]int{i, j}, swapOut, nil
+			return EqPred(i, j), &[2]int{i, j}, swapOut, false, nil
 		}
 		// Reversed orientation.
 		j2, errJ2 := projIndex(p.Args[0], yv)
 		i2, errI2 := projIndex(p.Args[1], xv)
 		if errI2 == nil && errJ2 == nil {
-			return EqPred(i2, j2), &[2]int{i2, j2}, swapOut, nil
+			return EqPred(i2, j2), &[2]int{i2, j2}, swapOut, false, nil
 		}
-		return nil, nil, false, fmt.Errorf("exec: unsupported join condition %s", ocal.String(t.Cond))
+		return nil, nil, false, false, fmt.Errorf("exec: unsupported join condition %s", ocal.String(t.Cond))
 	}
-	return nil, nil, false, fmt.Errorf("exec: unsupported join body %s", ocal.String(e))
+	return nil, nil, false, false, fmt.Errorf("exec: unsupported join body %s", ocal.String(e))
 }
 
 // leadsWithInner reports whether the emitted tuple's first component comes
@@ -690,7 +708,7 @@ func (l *lowerer) lowerHashJoin(prog ocal.Expr) (Operator, error, bool) {
 	if len(order) != 2 {
 		return nil, fmt.Errorf("exec: hash join inner body is not a two-relation join"), true
 	}
-	pred, keys, swapOut, err := compileJoinBody(e, elemVar[order[0]], elemVar[order[1]])
+	pred, keys, swapOut, all, err := compileJoinBody(e, elemVar[order[0]], elemVar[order[1]])
 	if err != nil {
 		return nil, err, true
 	}
@@ -723,7 +741,7 @@ func (l *lowerer) lowerHashJoin(prog ocal.Expr) (Operator, error, bool) {
 		Buckets: buckets,
 		KRead:   kj, BufW: bufW, KJoin: kj,
 		KeyL: 0, KeyR: 0, Pred: pred, EquiKeys: keys, SwapOutput: swapOut,
-		OrderedOutput: ordered, Fused: l.fused,
+		PredAll: all, OrderedOutput: ordered, Fused: l.fused,
 	}, nil, true
 }
 

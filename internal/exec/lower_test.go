@@ -125,9 +125,10 @@ func TestLowerExtSortThroughIdentityScan(t *testing.T) {
 		t.Fatal(err)
 	}
 	want := []int32{1, 2, 3, 4, 5}
+	got := out.Flat()
 	for i, v := range want {
-		if out.Data[i] != v {
-			t.Fatalf("not sorted: %v", out.Data)
+		if got[i] != v {
+			t.Fatalf("not sorted: %v", got)
 		}
 	}
 }
@@ -177,12 +178,13 @@ func TestLowerUnfoldWithScratchState(t *testing.T) {
 		t.Fatal(err)
 	}
 	want := []int32{1, 2, 3, 4}
-	if len(out.Data) != len(want) {
-		t.Fatalf("dedup got %v want %v", out.Data, want)
+	got := out.Flat()
+	if len(got) != len(want) {
+		t.Fatalf("dedup got %v want %v", got, want)
 	}
 	for i := range want {
-		if out.Data[i] != want[i] {
-			t.Fatalf("dedup got %v want %v", out.Data, want)
+		if got[i] != want[i] {
+			t.Fatalf("dedup got %v want %v", got, want)
 		}
 	}
 }

@@ -202,24 +202,62 @@ func (c *Ctx) share(want, parties, width int64) int64 {
 }
 
 // Batch is one unit of the operator exchange protocol: up to BatchRows
-// fixed-arity rows in flat layout. The Data slice is only valid until the
-// producer's next Next or Close call; consumers that need rows longer copy
-// them.
+// fixed-arity rows in struct-of-arrays layout — one contiguous vector per
+// column, plus an optional selection vector. When Sel is non-nil, the
+// batch's logical rows are Cols[c][Sel[i]] for i in [0,len(Sel)): a filter
+// can pass its input columns through untouched and publish only the
+// surviving row indices, so selection flows across operator boundaries
+// without compacting. The column (and selection) slices are only valid
+// until the producer's next Next or Close call; consumers that need rows
+// longer copy them.
 type Batch struct {
 	Arity int
-	Data  []int32
+	Cols  [][]int32
+	// Sel, when non-nil, selects the live rows of Cols in order.
+	Sel []int32
 }
 
-// Rows returns the number of rows in the batch.
+// Rows returns the number of logical rows in the batch.
 func (b *Batch) Rows() int {
-	if b.Arity <= 0 {
+	if b.Sel != nil {
+		return len(b.Sel)
+	}
+	if len(b.Cols) == 0 {
 		return 0
 	}
-	return len(b.Data) / b.Arity
+	return len(b.Cols[0])
 }
 
-// Row returns the i-th row.
-func (b *Batch) Row(i int) []int32 { return b.Data[i*b.Arity : (i+1)*b.Arity] }
+// Row gathers the i-th logical row into dst (grown as needed) and returns
+// it — the row-at-a-time escape hatch for sinks and tests; batch consumers
+// iterate columns directly.
+func (b *Batch) Row(i int, dst []int32) []int32 {
+	if cap(dst) >= b.Arity {
+		dst = dst[:b.Arity]
+	} else {
+		dst = make([]int32, b.Arity)
+	}
+	if b.Sel != nil {
+		i = int(b.Sel[i])
+	}
+	for c := 0; c < b.Arity; c++ {
+		dst[c] = b.Cols[c][i]
+	}
+	return dst
+}
+
+// Flat gathers the batch row-major with the selection applied — the test
+// and debugging accessor for what Batch.Data used to expose.
+func (b *Batch) Flat() []int32 {
+	n := b.Rows()
+	out := make([]int32, 0, n*b.Arity)
+	var row []int32
+	for i := 0; i < n; i++ {
+		row = b.Row(i, row)
+		out = append(out, row...)
+	}
+	return out
+}
 
 // Operator is the streaming execution protocol: a physical operator opens
 // against the run context, delivers its output batch at a time, and
@@ -234,52 +272,74 @@ type Operator interface {
 }
 
 // emitter buffers rows produced by an operator's inner machinery until Next
-// drains them into the caller's batch.
+// drains them into the caller's batch. The buffer is column-striped:
+// kernels bulk-append to the column vectors directly, and drain hands out
+// column views without gathering rows.
 type emitter struct {
-	arity   int
-	pending []int32
-	pos     int
+	arity int
+	cols  [][]int32
+	pos   int
 }
 
 func (e *emitter) emit(row []int32) {
 	if e.arity == 0 {
-		e.arity = len(row)
+		e.reserve(len(row))
 	}
-	e.pending = append(e.pending, row...)
+	for c, v := range row {
+		e.cols[c] = append(e.cols[c], v)
+	}
 }
 
-// reserve fixes the emitter's arity up front so fused kernels can append
-// to pending directly instead of emitting row by row.
+// reserve fixes the emitter's arity (and column headers) up front so
+// kernels can append to the column vectors directly instead of emitting
+// row by row.
 func (e *emitter) reserve(ar int) {
-	if e.arity == 0 {
-		e.arity = ar
+	if e.arity != 0 {
+		return
+	}
+	e.arity = ar
+	if cap(e.cols) >= ar {
+		e.cols = e.cols[:ar]
+	} else {
+		e.cols = make([][]int32, ar)
 	}
 }
 
 // rows reports the number of buffered rows.
 func (e *emitter) rows() int64 {
-	if e.arity == 0 {
+	if e.arity == 0 || len(e.cols) == 0 {
 		return 0
 	}
-	return int64(len(e.pending)-e.pos) / int64(e.arity)
+	return int64(len(e.cols[0]) - e.pos)
 }
 
-// drain moves up to max rows into b, reporting whether b received any.
+// drain moves up to max rows into b as column views, reporting whether b
+// received any. The views are valid until the emitter buffers again —
+// the batch protocol's standard lifetime.
 func (e *emitter) drain(b *Batch, max int64) bool {
 	n := e.rows()
 	if n == 0 {
-		b.Arity, b.Data = e.arity, nil
+		b.Arity, b.Cols, b.Sel = e.arity, nil, nil
 		return false
 	}
 	if n > max {
 		n = max
 	}
-	w := int(n) * e.arity
+	if cap(b.Cols) >= e.arity {
+		b.Cols = b.Cols[:e.arity]
+	} else {
+		b.Cols = make([][]int32, e.arity)
+	}
+	for c := range b.Cols {
+		b.Cols[c] = e.cols[c][e.pos : e.pos+int(n)]
+	}
 	b.Arity = e.arity
-	b.Data = e.pending[e.pos : e.pos+w]
-	e.pos += w
-	if e.pos == len(e.pending) {
-		e.pending = e.pending[:0]
+	b.Sel = nil
+	e.pos += int(n)
+	if e.pos == len(e.cols[0]) {
+		for c := range e.cols {
+			e.cols[c] = e.cols[c][:0]
+		}
 		e.pos = 0
 	}
 	return true
@@ -293,9 +353,10 @@ func (e *emitter) drain(b *Batch, max int64) bool {
 // materializing to a scratch spill.
 type blockReader interface {
 	open(c *Ctx) error
-	// next returns up to k rows in flat layout, or nil at end of stream.
-	// The slice is valid until the following next/take/close call.
-	next(k int64) ([]int32, error)
+	// next returns up to k rows as per-column vectors (cols[c][r] = column
+	// c of row r, row count = len(cols[0])), or nil at end of stream. The
+	// views are valid until the following next/take/close call.
+	next(k int64) ([][]int32, error)
 	// take reads up to k rows into a caller-owned pooled block (the join
 	// operators' resident outer blocks).
 	take(k int64) (*ownedBlock, error)
@@ -308,10 +369,13 @@ type blockReader interface {
 	close() error
 }
 
-// ownedBlock is a pool-pinned block handed to the caller.
+// ownedBlock is a pool-pinned block handed to the caller: n rows as
+// per-column views. The frame accounts the block's residency; the views
+// point into the source's stable storage.
 type ownedBlock struct {
 	frame *storage.Frame
-	data  []int32
+	cols  [][]int32
+	n     int64
 }
 
 func (ob *ownedBlock) release() {
@@ -321,10 +385,28 @@ func (ob *ownedBlock) release() {
 	}
 }
 
+// frameCols carves a pinned frame's storage into arity column buffers of
+// the frame's row capacity each, every one empty and ready to append — the
+// column-striped write buffer of the sort and exchange operators. Only
+// slice headers are allocated; the payload lives in the frame's grant.
+func frameCols(f *storage.Frame, arity int) [][]int32 {
+	capRows := int(f.Cap(int64(arity) * 4))
+	base := f.Data[:cap(f.Data)]
+	cols := make([][]int32, arity)
+	for c := range cols {
+		off := c * capRows
+		cols[c] = base[off : off : off+capRows]
+	}
+	return cols
+}
+
 // tableReader scans one or more device-resident spills — a base table, a
 // table section (the morsel range of a partitioned scan), or the chained
-// per-producer segments of an exchange partition — block by block through a
-// pooled frame. Positions are global across the chain.
+// per-producer segments of an exchange partition — block by block. Blocks
+// are zero-copy column views into the spill (ReadColsAt); the pooled frame
+// accounts the block's RAM residency and its grant still bounds the block
+// size, exactly as when the frame carried the bytes. Positions are global
+// across the chain.
 type tableReader struct {
 	sps []*storage.Spill
 	ar  int
@@ -334,6 +416,7 @@ type tableReader struct {
 
 	pos   int64
 	frame *storage.Frame
+	view  [][]int32 // reused ReadColsAt header
 }
 
 func newTableReader(t *Table) *tableReader {
@@ -368,18 +451,19 @@ func (r *tableReader) end() int64 {
 	return total
 }
 
-// readAt charges and returns up to n records at global position idx,
-// resolving the spill segment that holds it (fewer records are returned at
-// a segment boundary; the caller loops).
-func (r *tableReader) readAt(idx, n int64) []int32 {
+// readColsAt charges and returns column views of up to n records at global
+// position idx, resolving the spill segment that holds it (fewer records
+// are returned at a segment boundary; the caller loops). dst is reused as
+// the view header.
+func (r *tableReader) readColsAt(idx, n int64, dst [][]int32) ([][]int32, int64) {
 	for _, sp := range r.sps {
 		if idx >= sp.Records() {
 			idx -= sp.Records()
 			continue
 		}
-		return sp.ReadAt(r.c.acct(), idx, n)
+		return sp.ReadColsAt(r.c.acct(), idx, n, dst)
 	}
-	return nil
+	return nil, 0
 }
 
 // ensure pins a frame able to hold up to k rows, shrinking under budget
@@ -406,7 +490,7 @@ func (r *tableReader) ensure(k int64) (int64, error) {
 	return k, nil
 }
 
-func (r *tableReader) next(k int64) ([]int32, error) {
+func (r *tableReader) next(k int64) ([][]int32, error) {
 	if err := r.c.err(); err != nil {
 		return nil, err
 	}
@@ -421,11 +505,10 @@ func (r *tableReader) next(k int64) ([]int32, error) {
 	if r.pos+k > end {
 		k = end - r.pos
 	}
-	blk := r.readAt(r.pos, k)
-	n := int64(len(blk)) / int64(r.ar)
+	cols, n := r.readColsAt(r.pos, k, r.view)
+	r.view = cols
 	r.pos += n
-	r.frame.Data = append(r.frame.Data[:0], blk...)
-	return r.frame.Data, nil
+	return cols, nil
 }
 
 func (r *tableReader) take(k int64) (*ownedBlock, error) {
@@ -446,10 +529,9 @@ func (r *tableReader) take(k int64) (*ownedBlock, error) {
 	if r.pos+k > end {
 		k = end - r.pos
 	}
-	blk := r.readAt(r.pos, k)
-	r.pos += int64(len(blk)) / int64(r.ar)
-	f.Data = append(f.Data[:0], blk...)
-	return &ownedBlock{frame: f, data: f.Data}, nil
+	cols, n := r.readColsAt(r.pos, k, nil)
+	r.pos += n
+	return &ownedBlock{frame: f, cols: cols, n: n}, nil
 }
 
 func (r *tableReader) arity() int       { return r.ar }
@@ -466,30 +548,47 @@ func (r *tableReader) close() error {
 }
 
 // opReader adapts an operator subtree to the block protocol by
-// re-batching its output into a pooled frame. It cannot rewind; callers
-// that need a second pass materialize it first.
+// re-batching its output into column carry vectors; the pooled frame
+// accounts the handed-out block's residency. A selection vector arriving
+// from the child is applied here (the rows are being buffered anyway), so
+// selection dies at re-batching boundaries and every block handed out is
+// dense. It cannot rewind; callers that need a second pass materialize it
+// first.
 type opReader struct {
 	op Operator
 	c  *Ctx
 
 	ar    int
-	carry []int32 // rows delivered by the child but not yet consumed
+	carry [][]int32 // columns delivered by the child but not yet consumed
+	off   int       // consumed rows at the front of carry
 	done  bool
 	frame *storage.Frame
+	view  [][]int32 // reused pop header
+	b     Batch     // reused child batch (the child reuses its column header)
 }
 
 func newOpReader(op Operator) *opReader { return &opReader{op: op} }
 
 func (r *opReader) open(c *Ctx) error { r.c = c; return r.op.Open(c) }
 
-// fill accumulates child batches until at least k rows (or EOF).
+// carried reports the rows buffered and not yet consumed.
+func (r *opReader) carried() int64 {
+	if r.ar == 0 || len(r.carry) == 0 {
+		return 0
+	}
+	return int64(len(r.carry[0]) - r.off)
+}
+
+// fill accumulates child batches until at least k rows (or EOF). Filling
+// compacts the consumed front first, which invalidates previously popped
+// views — callers hold a popped block only until they ask for the next.
 func (r *opReader) fill(k int64) error {
 	if err := r.c.err(); err != nil {
 		return err
 	}
-	var b Batch
-	for !r.done && (r.ar == 0 || int64(len(r.carry))/int64(r.ar) < k) {
-		ok, err := r.op.Next(&b)
+	b := &r.b
+	for !r.done && (r.ar == 0 || r.carried() < k) {
+		ok, err := r.op.Next(b)
 		if err != nil {
 			return err
 		}
@@ -497,34 +596,61 @@ func (r *opReader) fill(k int64) error {
 			r.done = true
 			break
 		}
-		if b.Arity > 0 && len(b.Data) > 0 {
+		rows := b.Rows()
+		if b.Arity > 0 && rows > 0 {
 			if r.ar == 0 {
 				r.ar = b.Arity
+				r.carry = make([][]int32, b.Arity)
 			} else if r.ar != b.Arity {
 				return fmt.Errorf("exec: child arity changed from %d to %d", r.ar, b.Arity)
 			}
-			r.carry = append(r.carry, b.Data...)
+			if r.off > 0 {
+				for c := range r.carry {
+					r.carry[c] = append(r.carry[c][:0], r.carry[c][r.off:]...)
+				}
+				r.off = 0
+			}
+			if b.Sel == nil {
+				for c := range r.carry {
+					r.carry[c] = append(r.carry[c], b.Cols[c]...)
+				}
+			} else {
+				for c := range r.carry {
+					col, dst := b.Cols[c], r.carry[c]
+					for _, i := range b.Sel {
+						dst = append(dst, col[i])
+					}
+					r.carry[c] = dst
+				}
+			}
 		}
 	}
 	return nil
 }
 
-// pop moves up to k carried rows into the given frame.
-func (r *opReader) pop(k int64, f *storage.Frame) []int32 {
-	if r.ar == 0 || len(r.carry) == 0 {
-		return nil
+// pop hands out up to k carried rows as column views, bounded by the
+// frame's grant. dst is reused as the view header (nil allocates one).
+func (r *opReader) pop(k int64, f *storage.Frame, dst [][]int32) ([][]int32, int64) {
+	n := r.carried()
+	if n == 0 {
+		return nil, 0
 	}
-	w := int64(r.ar)
-	n := int64(len(r.carry)) / w
 	if n > k {
 		n = k
 	}
-	if c := f.Cap(w * 4); n > c {
+	if c := f.Cap(int64(r.ar) * 4); n > c {
 		n = c
 	}
-	f.Data = append(f.Data[:0], r.carry[:n*w]...)
-	r.carry = r.carry[n*w:]
-	return f.Data
+	if cap(dst) >= r.ar {
+		dst = dst[:r.ar]
+	} else {
+		dst = make([][]int32, r.ar)
+	}
+	for c := range dst {
+		dst[c] = r.carry[c][r.off : r.off+int(n)]
+	}
+	r.off += int(n)
+	return dst, n
 }
 
 // ensure pins (or reuses) the reader's frame for up to k rows.
@@ -544,21 +670,23 @@ func (r *opReader) ensure(k int64) (*storage.Frame, error) {
 	return f, nil
 }
 
-func (r *opReader) next(k int64) ([]int32, error) {
+func (r *opReader) next(k int64) ([][]int32, error) {
 	if k < 1 {
 		k = 1
 	}
 	if err := r.fill(k); err != nil {
 		return nil, err
 	}
-	if r.ar == 0 || len(r.carry) == 0 {
+	if r.carried() == 0 {
 		return nil, nil
 	}
 	f, err := r.ensure(k)
 	if err != nil {
 		return nil, err
 	}
-	return r.pop(k, f), nil
+	cols, _ := r.pop(k, f, r.view)
+	r.view = cols
+	return cols, nil
 }
 
 func (r *opReader) take(k int64) (*ownedBlock, error) {
@@ -568,19 +696,19 @@ func (r *opReader) take(k int64) (*ownedBlock, error) {
 	if err := r.fill(k); err != nil {
 		return nil, err
 	}
-	if r.ar == 0 || len(r.carry) == 0 {
+	if r.carried() == 0 {
 		return nil, nil
 	}
 	f, err := r.c.Pool.PinUpTo(k, 1, int64(r.ar)*4)
 	if err != nil {
 		return nil, err
 	}
-	blk := r.pop(k, f)
-	if blk == nil {
+	cols, n := r.pop(k, f, nil)
+	if cols == nil {
 		f.Release()
 		return nil, nil
 	}
-	return &ownedBlock{frame: f, data: blk}, nil
+	return &ownedBlock{frame: f, cols: cols, n: n}, nil
 }
 
 func (r *opReader) arity() int       { return r.ar }
@@ -615,7 +743,7 @@ func materialize(r blockReader, c *Ctx) (*tableReader, error) {
 				return nil, err
 			}
 		}
-		sp.Append(c.acct(), blk)
+		sp.AppendCols(c.acct(), blk, int64(len(blk[0])))
 		if blk, err = r.next(c.batchRows()); err != nil {
 			return nil, err
 		}
@@ -640,12 +768,19 @@ func materialize(r blockReader, c *Ctx) (*tableReader, error) {
 	return mr, mr.open(c)
 }
 
-// rowsToList converts a flat block into an OCAL list of row values.
-func rowsToList(blk []int32, arity int) ocal.List {
-	n := len(blk) / arity
+// rowsToList converts a column block into an OCAL list of row values.
+func rowsToList(cols [][]int32) ocal.List {
+	n := 0
+	if len(cols) > 0 {
+		n = len(cols[0])
+	}
 	out := make(ocal.List, n)
+	row := make([]int32, len(cols))
 	for i := 0; i < n; i++ {
-		out[i] = rowToValue(blk[i*arity : (i+1)*arity])
+		for c := range cols {
+			row[c] = cols[c][i]
+		}
+		out[i] = rowToValue(row)
 	}
 	return out
 }

@@ -143,7 +143,7 @@ func (o *Scan) Next(b *Batch) (bool, error) {
 	if err != nil || blk == nil {
 		return false, err
 	}
-	b.Arity, b.Data = o.T.Arity, blk
+	b.Arity, b.Cols, b.Sel = o.T.Arity, blk, nil
 	return true, nil
 }
 
@@ -168,6 +168,13 @@ type Project struct {
 	In   Input
 	K    int64 // fused read block in tuples
 	Step StepFn
+	// SelPass allows pure-filter kernels to pass the input columns through
+	// untouched, publishing only a selection vector (no row compaction).
+	// Pass-through batches follow the input's block boundaries instead of
+	// the emitter's re-batching, so lowering enables it only where batch
+	// boundaries are unobservable: morsel Projects under a Gather, fused
+	// backend, EXPLAIN off (see lowerer.selPass).
+	SelPass bool
 
 	kern *scanKernelSpec // fused-backend kernel (nil: interpreted)
 
@@ -178,6 +185,10 @@ type Project struct {
 	pk        *projKernel
 	kernTried bool
 	done      bool
+	rowBuf    []int32 // interpreted-step gather scratch
+	passCols  [][]int32
+	passSel   []int32
+	passReady bool
 }
 
 func (o *Project) Open(c *Ctx) error {
@@ -201,7 +212,7 @@ func (o *Project) step() error {
 		return nil
 	}
 	ar := o.r.arity()
-	rows := len(blk) / ar
+	rows := len(blk[0])
 	o.c.cpu(int64(rows), o.c.Sim.CmpSeconds)
 	if o.kern != nil && !o.kernTried {
 		// The input arity is only known at the first block (streamed
@@ -211,10 +222,26 @@ func (o *Project) step() error {
 		o.pk = o.kern.build(ar)
 	}
 	if o.pk != nil {
+		if o.SelPass && o.pk.selPassOK() {
+			// Pure filter in pass-through mode: the input columns go out
+			// unchanged, survivors named by the selection vector — no rows
+			// are copied at all. An empty selection emits no batch.
+			if sel := o.pk.buildSel(blk, rows); len(sel) > 0 {
+				o.passCols, o.passSel, o.passReady = blk, sel, true
+			}
+			return nil
+		}
 		return o.pk.run(&o.em, blk, rows)
 	}
+	if cap(o.rowBuf) < ar {
+		o.rowBuf = make([]int32, ar)
+	}
+	row := o.rowBuf[:ar]
 	for i := 0; i < rows; i++ {
-		if err := o.Step(blk[i*ar:(i+1)*ar], o.emitFn); err != nil {
+		for c := 0; c < ar; c++ {
+			row[c] = blk[c][i]
+		}
+		if err := o.Step(row, o.emitFn); err != nil {
 			return err
 		}
 	}
@@ -226,6 +253,11 @@ func (o *Project) Next(b *Batch) (bool, error) {
 	for !o.done && o.em.rows() < max {
 		if err := o.step(); err != nil {
 			return false, err
+		}
+		if o.passReady {
+			o.passReady = false
+			b.Arity, b.Cols, b.Sel = o.pk.outWidth, o.passCols, o.passSel
+			return true, nil
 		}
 	}
 	return o.em.drain(b, max), nil
@@ -265,10 +297,14 @@ type BNLJoin struct {
 	// Tile sizes in tuples for the cache-conscious variant (0 = untiled).
 	TileX, TileY int64
 	// Fused selects the fused-backend probe loops: matches append straight
-	// into the emitter's pending buffer instead of going through the emit
+	// into the emitter's column vectors instead of going through the emit
 	// closure and its row-assembly copy. Pause points and charges are the
 	// same either way, so results and accounting are backend-invariant.
 	Fused bool
+	// PredAll marks the condition as constant-true (the relational product
+	// of the paper's write-out experiments): the fused product loop then
+	// bulk-copies column runs instead of gathering and testing row pairs.
+	PredAll bool
 
 	c            *Ctx
 	outer, inner blockReader
@@ -288,9 +324,12 @@ type BNLJoin struct {
 	emitFn func(x, y []int32) // bound once per Open, not per step
 	done   bool
 	rowBuf []int32
+	// xRow and yRow are the gather scratch of the row-at-a-time predicate
+	// paths (custom predicates see rows, batches carry columns).
+	xRow, yRow []int32
 	// Resume state within the current (outer block, inner block) pair, so
 	// one Next call never has to buffer a whole block pair's matches.
-	yb         []int32
+	yb         [][]int32
 	posA, posB int64
 }
 
@@ -375,19 +414,19 @@ func (o *BNLJoin) advanceOuter() error {
 		return nil
 	}
 	o.ob = ob
-	ra := int64(o.outer.arity())
-	nx := int64(len(ob.data)) / ra
+	nx := ob.n
 	if o.keys != nil {
 		// Both backends index the resident block once and charge the same
 		// cpu(nx, HashSeconds); the fused backend just builds the bucket-packed
-		// index its probe loop reads instead of the map.
+		// index its probe loop reads instead of the map. The key column is
+		// contiguous in the columnar block — no stride walk.
+		kcol := ob.cols[o.keys[0]]
 		if o.Fused {
-			o.fidx.build(ob.data, ra, int64(o.keys[0]))
+			o.fidx.build(kcol)
 		} else {
 			o.outerIdx = make(map[int32][]int64, nx)
 			for a := int64(0); a < nx; a++ {
-				k := ob.data[a*ra+int64(o.keys[0])]
-				o.outerIdx[k] = append(o.outerIdx[k], a)
+				o.outerIdx[kcol[a]] = append(o.outerIdx[kcol[a]], a)
 			}
 		}
 		o.c.cpu(nx, o.c.Sim.HashSeconds)
@@ -417,7 +456,7 @@ func (o *BNLJoin) step() error {
 		// Charges are per block pair: the equi-join fast path probes each
 		// inner tuple once; the general nested loop compares every pair.
 		ra, sa := int64(o.outer.arity()), int64(o.inner.arity())
-		nx, ny := int64(len(o.ob.data))/ra, int64(len(yb))/sa
+		nx, ny := o.ob.n, int64(len(yb[0]))
 		if o.keys != nil {
 			o.c.cpu(ny, o.c.Sim.HashSeconds)
 		} else {
@@ -433,44 +472,59 @@ func (o *BNLJoin) step() error {
 			}
 			o.hbuf = o.hbuf[:ny]
 			hbuf, offs, shift := o.hbuf, o.fidx.offs, o.fidx.shift
-			kb := int64(o.keys[1])
+			ykeys := yb[o.keys[1]]
 			for b := int64(0); b < ny; b++ {
-				h := probeHash(yb[b*sa+kb], shift)
+				h := probeHash(ykeys[b], shift)
 				hbuf[b] = uint64(offs[h])<<32 | uint64(uint32(offs[h+1]))
 			}
 		}
 	}
-	xb, yb := o.ob.data, o.yb
-	ra, sa := int64(o.outer.arity()), int64(o.inner.arity())
-	nx, ny := int64(len(xb))/ra, int64(len(yb))/sa
+	xb, yb := o.ob.cols, o.yb
+	ra, sa := o.outer.arity(), o.inner.arity()
+	nx, ny := o.ob.n, int64(len(yb[0]))
 	max := o.c.batchRows()
 	if o.Fused {
 		return o.stepFused(xb, yb, ra, sa, nx, ny, max)
 	}
 	emit := o.emitFn
+	xr, yr := o.scratchRows(ra, sa)
 	if o.keys != nil {
+		ykeys := yb[o.keys[1]]
 		for b := o.posB; b < ny; b++ {
 			if o.em.rows() >= max {
 				o.posB = b
 				return nil
 			}
-			y := yb[b*sa : (b+1)*sa]
-			for _, a := range o.outerIdx[y[o.keys[1]]] {
-				emit(xb[a*ra:(a+1)*ra], y)
+			matches := o.outerIdx[ykeys[b]]
+			if len(matches) == 0 {
+				continue
+			}
+			for c := 0; c < sa; c++ {
+				yr[c] = yb[c][b]
+			}
+			for _, a := range matches {
+				for c := 0; c < ra; c++ {
+					xr[c] = xb[c][a]
+				}
+				emit(xr, yr)
 			}
 		}
 	} else {
 		b := o.posB
 		for a := o.posA; a < nx; a++ {
-			x := xb[a*ra : (a+1)*ra]
+			for c := 0; c < ra; c++ {
+				xr[c] = xb[c][a]
+			}
 			for ; b < ny; b++ {
 				if o.em.rows() >= max {
 					o.posA, o.posB = a, b
 					return nil
 				}
-				y := yb[b*sa : (b+1)*sa]
-				if o.pred(x, y) {
-					emit(x, y)
+				for c := 0; c < sa; c++ {
+					yr[c] = yb[c][b]
+				}
+				if o.pred(xr, yr) {
+					emit(xr, yr)
 				}
 			}
 			b = 0
@@ -480,28 +534,40 @@ func (o *BNLJoin) step() error {
 	return nil
 }
 
+// scratchRows sizes the row-gather scratch of the predicate paths.
+func (o *BNLJoin) scratchRows(ra, sa int) (xr, yr []int32) {
+	if cap(o.xRow) < ra {
+		o.xRow = make([]int32, ra)
+	}
+	if cap(o.yRow) < sa {
+		o.yRow = make([]int32, sa)
+	}
+	return o.xRow[:ra], o.yRow[:sa]
+}
+
 // stepFused is the fused-backend probe body: identical iteration order,
 // pause points and match set as the interpreted loops above, but each match
-// is appended directly to the emitter's pending buffer (one copy instead of
-// an assembly into rowBuf plus an emit copy, with no closure call between).
-func (o *BNLJoin) stepFused(xb, yb []int32, ra, sa, nx, ny, max int64) error {
-	o.em.reserve(int(ra + sa))
-	// The interpreted pause check is rows() >= max; every append here is a
-	// whole row, so the equivalent test on the raw buffer length avoids the
-	// per-row division.
-	limit := o.em.pos + int(max)*int(ra+sa)
-	if o.keys != nil {
-		kb := int64(o.keys[1])
-		// Everything the probe loop touches lives in locals: the appends
-		// below would otherwise force per-iteration reloads of the operator's
-		// fields (the compiler cannot prove they don't alias the buffer).
+// is appended directly to the emitter's column vectors (no closure call, no
+// row assembly).
+func (o *BNLJoin) stepFused(xb, yb [][]int32, ra, sa int, nx, ny, max int64) error {
+	o.em.reserve(ra + sa)
+	// xout and yout alias the emitter's column-header array, so appends
+	// through them persist: the output's x-side columns come first unless
+	// the emit order is flipped.
+	ecols := o.em.cols
+	var xout, yout [][]int32
+	if o.flip {
+		yout, xout = ecols[:sa], ecols[sa:]
+	} else {
+		xout, yout = ecols[:ra], ecols[ra:]
+	}
+	switch {
+	case o.keys != nil:
 		ents := o.fidx.ents
 		hbuf := o.hbuf
-		flip := o.flip
-		pend := o.em.pending
+		ykeys := yb[o.keys[1]]
 		for b := o.posB; b < ny; b++ {
-			if len(pend) >= limit {
-				o.em.pending = pend
+			if o.em.rows() >= max {
 				o.posB = b
 				return nil
 			}
@@ -510,8 +576,7 @@ func (o *BNLJoin) stepFused(xb, yb []int32, ra, sa, nx, ny, max int64) error {
 			if i == e {
 				continue
 			}
-			yo := b * sa
-			key := uint32(yb[yo+kb])
+			key := uint32(ykeys[b])
 			// Bucket entries are contiguous and carry the key, so the scan is
 			// a short sequential read that never touches the outer block for
 			// hash collisions.
@@ -520,30 +585,68 @@ func (o *BNLJoin) stepFused(xb, yb []int32, ra, sa, nx, ny, max int64) error {
 				if uint32(ent>>32) != key {
 					continue
 				}
-				xo := int64(uint32(ent)) * ra
-				if flip {
-					pend = append(append(pend, yb[yo:yo+sa]...), xb[xo:xo+ra]...)
-				} else {
-					pend = append(append(pend, xb[xo:xo+ra]...), yb[yo:yo+sa]...)
+				a := int(uint32(ent))
+				for c := 0; c < ra; c++ {
+					xout[c] = append(xout[c], xb[c][a])
+				}
+				for c := 0; c < sa; c++ {
+					yout[c] = append(yout[c], yb[c][b])
 				}
 			}
 		}
-		o.em.pending = pend
-	} else {
+	case o.PredAll:
+		// Relational product: every pair matches, so each (outer row, inner
+		// run) pair is a constant fill on the x side and a contiguous column
+		// copy on the y side. Pause positions are the interpreted ones —
+		// processing stops exactly when the emitter reaches a batch.
 		b := o.posB
 		for a := o.posA; a < nx; a++ {
-			x := xb[a*ra : (a+1)*ra]
-			for ; b < ny; b++ {
-				if len(o.em.pending) >= limit {
+			for b < ny {
+				room := max - o.em.rows()
+				if room <= 0 {
 					o.posA, o.posB = a, b
 					return nil
 				}
-				y := yb[b*sa : (b+1)*sa]
-				if o.pred(x, y) {
-					if o.flip {
-						o.em.pending = append(append(o.em.pending, y...), x...)
-					} else {
-						o.em.pending = append(append(o.em.pending, x...), y...)
+				take := ny - b
+				if take > room {
+					take = room
+				}
+				for c := 0; c < ra; c++ {
+					v := xb[c][a]
+					dst := xout[c]
+					for i := int64(0); i < take; i++ {
+						dst = append(dst, v)
+					}
+					xout[c] = dst
+				}
+				for c := 0; c < sa; c++ {
+					yout[c] = append(yout[c], yb[c][b:b+take]...)
+				}
+				b += take
+			}
+			b = 0
+		}
+	default:
+		xr, yr := o.scratchRows(ra, sa)
+		b := o.posB
+		for a := o.posA; a < nx; a++ {
+			for c := 0; c < ra; c++ {
+				xr[c] = xb[c][a]
+			}
+			for ; b < ny; b++ {
+				if o.em.rows() >= max {
+					o.posA, o.posB = a, b
+					return nil
+				}
+				for c := 0; c < sa; c++ {
+					yr[c] = yb[c][b]
+				}
+				if o.pred(xr, yr) {
+					for c := 0; c < ra; c++ {
+						xout[c] = append(xout[c], xr[c])
+					}
+					for c := 0; c < sa; c++ {
+						yout[c] = append(yout[c], yr[c])
 					}
 				}
 			}
@@ -640,6 +743,8 @@ type HashJoin struct {
 	SwapOutput bool
 	// Fused is forwarded to the per-bucket joins (see BNLJoin.Fused).
 	Fused bool
+	// PredAll is forwarded to the per-bucket joins (see BNLJoin.PredAll).
+	PredAll bool
 	// OrderedOutput delivers bucket outputs strictly in bucket order (the
 	// single-worker order) at the cost of producer overlap; lowering sets
 	// it when an order-sensitive consumer (a fold, a streaming merge)
@@ -691,7 +796,7 @@ func (o *HashJoin) bucketJoin(i int64) *BNLJoin {
 	return &BNLJoin{
 		L: SpillsInput(o.bL[i].Spills, o.arL), R: SpillsInput(o.bR[i].Spills, o.arR),
 		K1: o.KJoin, K2: o.KJoin, Pred: o.Pred, EquiKeys: o.EquiKeys,
-		SwapOutput: o.SwapOutput, Fused: o.Fused,
+		SwapOutput: o.SwapOutput, Fused: o.Fused, PredAll: o.PredAll,
 	}
 }
 
@@ -714,12 +819,15 @@ func (o *HashJoin) Close() error {
 // ---------------------------------------------------------------------------
 // External merge sort
 
-// sortCursor walks one run of a merge group through a pooled frame.
+// sortCursor walks one run of a merge group through a pooled frame. The
+// frame accounts the block's residency and its grant bounds the fill size;
+// the payload itself is zero-copy column views into the source spill.
 type sortCursor struct {
 	src       *storage.Spill
 	next, end int64
 	frame     *storage.Frame
-	buf       []int32
+	cols      [][]int32 // ReadColsAt views of the current fill (reused header)
+	n         int64     // rows in the current fill
 	pos       int64
 }
 
@@ -923,7 +1031,7 @@ func (o *ExtSort) fill(cu *sortCursor) error {
 // cursors plus one output buffer.
 func (o *ExtSort) fillCtx(c *Ctx, cu *sortCursor, siblings int64) error {
 	a := int64(o.arity)
-	if cu.pos*a < int64(len(cu.buf)) || cu.next >= cu.end {
+	if cu.pos < cu.n || cu.next >= cu.end {
 		return nil
 	}
 	take := o.Bin
@@ -944,25 +1052,22 @@ func (o *ExtSort) fillCtx(c *Ctx, cu *sortCursor, siblings int64) error {
 	if cu.next+take > cu.end {
 		take = cu.end - cu.next
 	}
-	blk := cu.src.ReadAt(c.acct(), cu.next, take)
-	cu.frame.Data = append(cu.frame.Data[:0], blk...)
-	cu.buf = cu.frame.Data
+	cu.cols, cu.n = cu.src.ReadColsAt(c.acct(), cu.next, take, cu.cols)
 	cu.next += take
 	cu.pos = 0
 	return nil
 }
 
 // selectMin picks the cursor with the smallest key, charging the
-// comparison sweep.
+// comparison sweep. Keys live in one contiguous column per cursor.
 func (o *ExtSort) selectMin(c *Ctx, cs []*sortCursor) int {
-	a := int64(o.arity)
 	best := -1
 	var bestKey int32
 	for i, cu := range cs {
-		if cu.pos*a >= int64(len(cu.buf)) {
+		if cu.pos >= cu.n {
 			continue
 		}
-		key := cu.buf[cu.pos*a+int64(o.KeyCol)]
+		key := cu.cols[o.KeyCol][cu.pos]
 		if best == -1 || key < bestKey {
 			best, bestKey = i, key
 		}
@@ -988,13 +1093,21 @@ func (o *ExtSort) mergePass(c *Ctx, src *storage.Spill, lo, hi int64, dst *stora
 	if cap := out.Cap(a * 4); cap < bout {
 		bout = cap
 	}
+	// The output buffer is column-striped in the frame's grant, so the
+	// flush is a per-column bulk append into the destination spill's
+	// matching stripes.
+	outCols := frameCols(out, o.arity)
+	outRows := int64(0)
 	flush := func() {
-		if len(out.Data) == 0 {
+		if outRows == 0 {
 			return
 		}
-		c.cpu(int64(len(out.Data))*4, c.Sim.MoveSeconds)
-		dst.Append(c.acct(), out.Data)
-		out.Data = out.Data[:0]
+		c.cpu(outRows*a*4, c.Sim.MoveSeconds)
+		dst.AppendCols(c.acct(), outCols, outRows)
+		for i := range outCols {
+			outCols[i] = outCols[i][:0]
+		}
+		outRows = 0
 	}
 	// Cursor frames are pinned once per pass and reused across merge
 	// groups: a first pass over singleton runs visits millions of groups,
@@ -1021,7 +1134,7 @@ func (o *ExtSort) mergePass(c *Ctx, src *storage.Spill, lo, hi int64, dst *stora
 				end = hi
 			}
 			cu := cursors[len(cs)]
-			*cu = sortCursor{src: src, next: r, end: end, frame: frames[len(cs)]}
+			*cu = sortCursor{src: src, next: r, end: end, frame: frames[len(cs)], cols: cu.cols[:0]}
 			cs = append(cs, cu)
 		}
 		for _, cu := range cs {
@@ -1038,8 +1151,11 @@ func (o *ExtSort) mergePass(c *Ctx, src *storage.Spill, lo, hi int64, dst *stora
 				break
 			}
 			cu := cs[best]
-			out.Data = append(out.Data, cu.buf[cu.pos*a:(cu.pos+1)*a]...)
-			if int64(len(out.Data))/a >= bout {
+			for ci := 0; ci < o.arity; ci++ {
+				outCols[ci] = append(outCols[ci], cu.cols[ci][cu.pos])
+			}
+			outRows++
+			if outRows >= bout {
 				flush()
 			}
 			cu.pos++
@@ -1066,8 +1182,10 @@ func (o *ExtSort) step() error {
 		return nil
 	}
 	cu := o.finalCs[best]
-	a := int64(o.arity)
-	o.em.emit(cu.buf[cu.pos*a : (cu.pos+1)*a])
+	o.em.reserve(o.arity)
+	for c := range o.em.cols {
+		o.em.cols[c] = append(o.em.cols[c], cu.cols[c][cu.pos])
+	}
 	cu.pos++
 	return o.fill(cu)
 }
@@ -1160,7 +1278,7 @@ func (o *UnfoldR) refillAll() error {
 			return err
 		}
 		if blk != nil {
-			o.windows[wi] = append(append(ocal.List{}, o.windows[wi]...), rowsToList(blk, r.arity())...)
+			o.windows[wi] = append(append(ocal.List{}, o.windows[wi]...), rowsToList(blk)...)
 		}
 	}
 	return nil
@@ -1286,6 +1404,7 @@ func (o *Fold) Open(c *Ctx) error {
 		fk = o.kern.newKernel()
 	}
 	acc := o.Init
+	var row []int32 // interpreted-step gather scratch
 	for {
 		blk, err := r.next(k)
 		if err != nil {
@@ -1295,7 +1414,7 @@ func (o *Fold) Open(c *Ctx) error {
 			break
 		}
 		a := r.arity()
-		rows := len(blk) / a
+		rows := len(blk[0])
 		c.cpu(int64(rows), c.Sim.CmpSeconds)
 		if fk != nil && !fk.bind(a) {
 			// Arity binding happens at the first block, before any row has
@@ -1303,13 +1422,20 @@ func (o *Fold) Open(c *Ctx) error {
 			fk = nil
 		}
 		if fk != nil {
-			if err := fk.step(blk, a, rows); err != nil {
+			if err := fk.step(blk, rows); err != nil {
 				return err
 			}
 			continue
 		}
+		if cap(row) < a {
+			row = make([]int32, a)
+		}
+		row = row[:a]
 		for i := 0; i < rows; i++ {
-			v, err := o.Step(ocal.Tuple{acc, rowToValue(blk[i*a : (i+1)*a])})
+			for col := 0; col < a; col++ {
+				row[col] = blk[col][i]
+			}
+			v, err := o.Step(ocal.Tuple{acc, rowToValue(row)})
 			if err != nil {
 				return err
 			}

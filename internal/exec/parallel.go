@@ -283,11 +283,27 @@ func (g *Gather) runPart(i int) error {
 		if !ok {
 			return op.Close()
 		}
-		if b.Arity <= 0 || len(b.Data) == 0 {
+		if b.Arity <= 0 || b.Rows() == 0 {
 			continue
 		}
-		// The producer's slice dies at its next call: ship a copy.
-		cp := Batch{Arity: b.Arity, Data: append([]int32(nil), b.Data...)}
+		// The producer's column views die at its next call: ship a dense
+		// copy (any selection vector is applied here).
+		n := b.Rows()
+		cols := make([][]int32, b.Arity)
+		if b.Sel == nil {
+			for c := range cols {
+				cols[c] = append([]int32(nil), b.Cols[c]...)
+			}
+		} else {
+			for c := range cols {
+				src, dst := b.Cols[c], make([]int32, n)
+				for i, j := range b.Sel {
+					dst[i] = src[j]
+				}
+				cols[c] = dst
+			}
+		}
+		cp := Batch{Arity: b.Arity, Cols: cols}
 		select {
 		case out <- cp:
 		case <-g.stop:
@@ -543,9 +559,12 @@ func (x *Exchange) partitionOne(c *Ctx, r blockReader) ([]*storage.Spill, int, e
 	defer r.close()
 	s := x.Parts
 	var (
-		spills []*storage.Spill
-		bufs   []*storage.Frame
-		arity  int
+		spills  []*storage.Spill
+		bufs    []*storage.Frame
+		bufCols [][][]int32 // per-bucket column-striped write buffers
+		bufRows []int64
+		capRows []int64
+		arity   int
 	)
 	releaseBufs := func() {
 		for _, f := range bufs {
@@ -560,6 +579,9 @@ func (x *Exchange) partitionOne(c *Ctx, r blockReader) ([]*storage.Spill, int, e
 		want := c.share(x.BufW, s+1, width)
 		spills = make([]*storage.Spill, s)
 		bufs = make([]*storage.Frame, s)
+		bufCols = make([][][]int32, s)
+		bufRows = make([]int64, s)
+		capRows = make([]int64, s)
 		if want < 1 {
 			want = 1
 		}
@@ -574,6 +596,8 @@ func (x *Exchange) partitionOne(c *Ctx, r blockReader) ([]*storage.Spill, int, e
 				return err
 			}
 			bufs[i] = f
+			bufCols[i] = frameCols(f, arity)
+			capRows[i] = f.Cap(width)
 		}
 		return nil
 	}
@@ -586,13 +610,15 @@ func (x *Exchange) partitionOne(c *Ctx, r blockReader) ([]*storage.Spill, int, e
 		}
 	}
 	flush := func(b int64) {
-		f := bufs[b]
-		if len(f.Data) == 0 {
+		if bufRows[b] == 0 {
 			return
 		}
-		c.cpu(int64(len(f.Data))*4, c.Sim.MoveSeconds)
-		spills[b].Append(c.acct(), f.Data)
-		f.Data = f.Data[:0]
+		c.cpu(bufRows[b]*int64(arity)*4, c.Sim.MoveSeconds)
+		spills[b].AppendCols(c.acct(), bufCols[b], bufRows[b])
+		for ci := range bufCols[b] {
+			bufCols[b][ci] = bufCols[b][ci][:0]
+		}
+		bufRows[b] = 0
 	}
 	var rr int64 // round-robin cursor (Key < 0)
 	for {
@@ -617,32 +643,35 @@ func (x *Exchange) partitionOne(c *Ctx, r blockReader) ([]*storage.Spill, int, e
 				return nil, 0, err
 			}
 		}
-		a := int64(arity)
-		n := int64(len(blk)) / a
+		n := int64(len(blk[0]))
+		var keyCol []int32
 		if x.Key >= 0 {
 			c.cpu(n, c.Sim.HashSeconds)
+			keyCol = blk[x.Key]
 		}
 		bufW := x.BufW
 		if bufW < 1 {
 			bufW = 1
 		}
 		for i := int64(0); i < n; i++ {
-			row := blk[i*a : (i+1)*a]
 			var b int64
-			if x.Key >= 0 {
-				b = int64(ocal.Hash(ocal.Int(int64(row[x.Key]))) % uint64(s))
+			if keyCol != nil {
+				b = int64(ocal.Hash(ocal.Int(int64(keyCol[i]))) % uint64(s))
 			} else {
 				b = rr % s
 				rr++
 			}
-			f := bufs[b]
 			// Flush before the row would outgrow the pinned frame, so the
 			// buffer never reallocates past its accounted size.
-			if len(f.Data)+len(row) > cap(f.Data) {
+			if bufRows[b] >= capRows[b] {
 				flush(b)
 			}
-			f.Data = append(f.Data, row...)
-			if int64(len(f.Data))/a >= bufW {
+			cols := bufCols[b]
+			for ci := 0; ci < arity; ci++ {
+				cols[ci] = append(cols[ci], blk[ci][i])
+			}
+			bufRows[b]++
+			if bufRows[b] >= bufW {
 				flush(b)
 			}
 		}

@@ -73,7 +73,7 @@ func execWithWorkers(t *testing.T, c diffCase, prog ocal.Expr, workers int, pool
 		run.scalar = p.Result
 		return run
 	}
-	run.rows = tableRows(out.Data, c.outArity)
+	run.rows = tableRows(out.Flat(), c.outArity)
 	return run
 }
 
@@ -279,7 +279,7 @@ func TestGatherMergesPartitionStreams(t *testing.T) {
 			t.Fatal(err)
 		}
 		sameBag(t, fmt.Sprintf("gather (workers %d)", workers),
-			tableRows(out.Data, 2), tableRows(rows, 2))
+			tableRows(out.Flat(), 2), tableRows(rows, 2))
 		// Every input byte must be read exactly once, one seek per section.
 		if d.Led.ReadInits != 4 {
 			t.Errorf("workers %d: %d read inits, want one per section", workers, d.Led.ReadInits)
@@ -311,7 +311,7 @@ func TestExchangePartitions(t *testing.T) {
 	var got [][]int32
 	for pi, part := range parts {
 		for _, sp := range part.Spills {
-			for _, row := range tableRows(sp.Data, 2) {
+			for _, row := range tableRows(sp.Flat(), 2) {
 				if want := int64(ocal.Hash(ocal.Int(int64(row[0]))) % uint64(s)); want != int64(pi) {
 					t.Fatalf("row %v in partition %d, its key hashes to %d", row, pi, want)
 				}

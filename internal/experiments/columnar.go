@@ -1,0 +1,311 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"time"
+
+	"ocas/internal/catalog"
+	"ocas/internal/core"
+	"ocas/internal/exec"
+	"ocas/internal/memory"
+	"ocas/internal/ocal"
+	"ocas/internal/storage"
+	"ocas/internal/workload"
+)
+
+// ColumnarResult is one columnar-layout microbench row: a chain executed
+// over *durable* inputs (catalog segments behind BackedTable), so the rows
+// measure the segment→batch path end to end. Each chain runs under both
+// backends with the equality contract verified; the interpreted wall-clock
+// feeds the TotalColumnarExecSecs regression gate, and the allocation
+// columns make layout regressions (per-row copies creeping back in)
+// visible in the report.
+type ColumnarResult struct {
+	Name    string
+	Rows    int64 // input rows read from segments
+	OutRows int64
+	ActSecs float64 // virtual clock, identical across backends by contract
+	// ExecSecs is the interpreted executor wall-clock, FusedExecSecs the
+	// fused one; Speedup is their ratio.
+	ExecSecs      float64
+	FusedExecSecs float64
+	Speedup       float64
+	// AllocsPerOp and BytesPerOp are heap allocations and bytes per input
+	// row during the interpreted run (runtime.MemStats deltas around Run).
+	AllocsPerOp float64
+	BytesPerOp  float64
+}
+
+// columnarWorkload is one durable-input chain. Scan-dominated and
+// join-probe chains are fixed pre-synthesized shapes (like the fused
+// microbench); the sort chain is synthesized once so the executed plan is
+// the real external merge sort the rule set derives.
+type columnarWorkload struct {
+	name   string
+	src    string // chain source; empty when synth is set
+	synth  *Experiment
+	ram    int64 // hierarchy root size for lowering
+	params map[string]int64
+	inputs []columnarInput
+}
+
+type columnarInput struct {
+	name  string
+	arity int
+	gen   func() []int32
+}
+
+// ColumnarWorkloads returns the three durable chains, scaled down by
+// shrink: the scan-dominated filter+project chain (the zero-copy
+// segment→batch row the acceptance gate watches), the join-probe chain and
+// the synthesized external sort (the no-regression rows).
+func ColumnarWorkloads(shrink int64) []columnarWorkload {
+	if shrink < 1 {
+		shrink = 1
+	}
+	scanN := (4 << 20) / shrink
+	jR := (64 << 10) / shrink
+	jS := (512 << 10) / shrink
+	sortN := (256 << 10) / shrink
+	return []columnarWorkload{
+		{
+			name:   "durablescan",
+			src:    "for (xB [k1] <- R) for (x <- xB) if x.1 < 5 then [<x.1, (x.2 + x.1)>] else []",
+			ram:    32 * memory.MiB,
+			params: map[string]int64{"k1": 4096},
+			inputs: []columnarInput{{
+				name: "R", arity: 2,
+				gen: func() []int32 { return workload.UniformPairs(scanN, 100, 21) },
+			}},
+		},
+		{
+			name: "durablejoin",
+			src: "for (xB [k1] <- R) for (yB [k2] <- S) for (x <- xB) for (y <- yB) " +
+				"if x.1 == y.1 then [<x, y>] else []",
+			ram:    32 * memory.MiB,
+			params: map[string]int64{"k1": 4096, "k2": 4096},
+			inputs: []columnarInput{
+				{name: "R", arity: 2, gen: func() []int32 { return workload.UniformPairs(jR, jR, 22) }},
+				{name: "S", arity: 2, gen: func() []int32 { return workload.UniformPairs(jS, jR, 23) }},
+			},
+		},
+		{
+			name: "durablesort",
+			synth: &Experiment{
+				Name:     "durablesort",
+				Spec:     core.SortSpec(),
+				Hier:     memory.HDDRAM(64 << 10),
+				InputLoc: map[string]string{"R": "hdd"},
+				Rows:     map[string]int64{"R": sortN},
+				MaxDepth: 12, MaxSpace: 2000,
+			},
+			ram: 64 << 10,
+			inputs: []columnarInput{{
+				name: "R", arity: 1,
+				gen: func() []int32 { return workload.Ints(sortN, 1<<30, 24) },
+			}},
+		},
+	}
+}
+
+// columnarRun is one backend's execution of a columnar workload.
+type columnarRun struct {
+	rows    int64
+	inRows  int64
+	digest  uint64
+	seconds float64
+	ledgers map[string]storage.Ledger
+	wall    float64
+	allocs  uint64
+	bytes   uint64
+}
+
+// runColumnarBackend executes one workload under one backend with every
+// input bound to its durable catalog table. The catalog handles are opened
+// per run; the segment files are shared across runs of the workload.
+func runColumnarBackend(wl columnarWorkload, prog ocal.Expr, cat *catalog.Catalog, backend string) (*columnarRun, error) {
+	sim := storage.NewSim(memory.HDDRAM(64 * memory.MiB))
+	sim.DefaultCPU()
+	inputs := map[string]*exec.Table{}
+	var scratch *storage.Device
+	run := &columnarRun{}
+	for _, in := range wl.inputs {
+		dev, err := sim.Device("hdd")
+		if err != nil {
+			return nil, err
+		}
+		scratch = dev
+		h, err := cat.OpenTable("col_" + in.name)
+		if err != nil {
+			return nil, err
+		}
+		defer h.Close()
+		t, err := exec.NewBackedTable(dev, in.arity, h.Rows(), h)
+		if err != nil {
+			return nil, err
+		}
+		inputs[in.name] = t
+		run.inRows += h.Rows()
+	}
+
+	// Order-independent digest (per-row FNV-1a hashes summed): the contract
+	// is bag equality across backends.
+	sink := &exec.Sink{Sim: sim, Tap: func(row []int32) {
+		// Inline FNV-1a over the row's little-endian bytes: the harness tap
+		// runs per output row inside the measured window, so it must not
+		// allocate or dominate the executor it measures.
+		h := uint64(14695981039346656037)
+		for _, v := range row {
+			h = (h ^ uint64(byte(v))) * 1099511628211
+			h = (h ^ uint64(byte(v>>8))) * 1099511628211
+			h = (h ^ uint64(byte(v>>16))) * 1099511628211
+			h = (h ^ uint64(byte(v>>24))) * 1099511628211
+		}
+		run.digest += h
+	}}
+
+	p, err := exec.Lower(prog, exec.LowerOpts{
+		Sim: sim, Inputs: inputs, Params: wl.params,
+		Scratch: scratch, Sink: sink,
+		RAMBytes: wl.ram,
+		Backend:  backend,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("%s: lower (%s): %w", wl.name, backend, err)
+	}
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	start := time.Now()
+	if err := p.Run(); err != nil {
+		return nil, fmt.Errorf("%s: execute (%s): %w", wl.name, backend, err)
+	}
+	run.wall = time.Since(start).Seconds()
+	runtime.ReadMemStats(&m1)
+	run.allocs = m1.Mallocs - m0.Mallocs
+	run.bytes = m1.TotalAlloc - m0.TotalAlloc
+	run.rows = sink.RowsWritten
+	run.seconds = sim.Clock.Seconds()
+	run.ledgers = map[string]storage.Ledger{}
+	for name, d := range sim.Devices {
+		run.ledgers[name] = d.Led
+	}
+	return run, nil
+}
+
+// ingestColumnar loads every input of the workload into the catalog. A
+// small flush threshold forces multiple segments per table so scans cross
+// segment boundaries.
+func ingestColumnar(wl columnarWorkload, cat *catalog.Catalog) error {
+	for _, in := range wl.inputs {
+		tname := "col_" + in.name
+		if err := cat.Create(tname, pairOrIntSchema(in.arity)); err != nil {
+			return err
+		}
+		if _, err := cat.Append(tname, in.gen()); err != nil {
+			return err
+		}
+		if err := cat.Flush(tname); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// columnarProg resolves the workload's executable program: a parsed fixed
+// chain, or the synthesized winner for the sort row.
+func columnarProg(wl *columnarWorkload) (ocal.Expr, error) {
+	if wl.synth == nil {
+		prog, err := ocal.Parse(wl.src)
+		if err != nil {
+			return nil, fmt.Errorf("%s: parse: %w", wl.name, err)
+		}
+		return prog, nil
+	}
+	syn, err := Synthesize(*wl.synth)
+	if err != nil {
+		return nil, err
+	}
+	wl.params = syn.Best.Params
+	return syn.Best.Expr, nil
+}
+
+// RunColumnar executes each durable chain under both backends, verifies
+// the backend-equality contract (identical output digest, bit-exact
+// virtual clock, integer-identical per-device ledgers) and reports the
+// wall-clocks plus the interpreted run's allocation rates. The rows feed
+// the bench report's Columnar section and its TotalColumnarExecSecs
+// regression gate.
+func RunColumnar(cfg Config, w io.Writer) ([]*ColumnarResult, error) {
+	var out []*ColumnarResult
+	fmt.Fprintf(w, "%-14s %10s %10s %12s %11s %11s %8s %10s %10s\n",
+		"Chain", "InRows", "OutRows", "Act[s]", "Interp[s]", "Fused[s]", "Speedup", "allocs/op", "B/op")
+	for _, wl := range ColumnarWorkloads(cfg.Shrink) {
+		prog, err := columnarProg(&wl)
+		if err != nil {
+			return out, err
+		}
+		dir, err := os.MkdirTemp("", "ocas-columnar")
+		if err != nil {
+			return out, err
+		}
+		cat, err := catalog.Open(dir, catalog.Options{FlushRows: 64 << 10, Mmap: true})
+		if err != nil {
+			os.RemoveAll(dir)
+			return out, err
+		}
+		if err := ingestColumnar(wl, cat); err != nil {
+			cat.Close()
+			os.RemoveAll(dir)
+			return out, err
+		}
+		interp, err1 := runColumnarBackend(wl, prog, cat, exec.BackendInterpreted)
+		var fused *columnarRun
+		var err2 error
+		if err1 == nil {
+			fused, err2 = runColumnarBackend(wl, prog, cat, exec.BackendFused)
+		}
+		cat.Close()
+		os.RemoveAll(dir)
+		if err1 != nil {
+			return out, err1
+		}
+		if err2 != nil {
+			return out, err2
+		}
+		if fused.rows != interp.rows || fused.digest != interp.digest {
+			return out, fmt.Errorf("%s: fused output differs: %d rows (digest %016x) vs interpreted %d (digest %016x)",
+				wl.name, fused.rows, fused.digest, interp.rows, interp.digest)
+		}
+		if fused.seconds != interp.seconds {
+			return out, fmt.Errorf("%s: fused virtual clock %v differs from interpreted %v",
+				wl.name, fused.seconds, interp.seconds)
+		}
+		for name, fl := range fused.ledgers {
+			if il := interp.ledgers[name]; fl != il {
+				return out, fmt.Errorf("%s: fused ledger for %s is %+v, interpreted %+v", wl.name, name, fl, il)
+			}
+		}
+		r := &ColumnarResult{
+			Name:          wl.name,
+			Rows:          interp.inRows,
+			OutRows:       interp.rows,
+			ActSecs:       interp.seconds,
+			ExecSecs:      interp.wall,
+			FusedExecSecs: fused.wall,
+		}
+		if fused.wall > 0 {
+			r.Speedup = interp.wall / fused.wall
+		}
+		if interp.inRows > 0 {
+			r.AllocsPerOp = float64(interp.allocs) / float64(interp.inRows)
+			r.BytesPerOp = float64(interp.bytes) / float64(interp.inRows)
+		}
+		fmt.Fprintf(w, "%-14s %10d %10d %12.4g %11.3f %11.3f %8.2f %10.4f %10.2f\n",
+			r.Name, r.Rows, r.OutRows, r.ActSecs, r.ExecSecs, r.FusedExecSecs, r.Speedup, r.AllocsPerOp, r.BytesPerOp)
+		out = append(out, r)
+	}
+	return out, nil
+}

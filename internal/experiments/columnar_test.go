@@ -1,0 +1,29 @@
+package experiments
+
+import (
+	"io"
+	"testing"
+)
+
+// TestColumnarBackendsAgree runs the columnar-layout harness at a heavy
+// shrink: RunColumnar itself enforces the layout contract per chain —
+// identical digest and row count, bit-identical virtual clock and
+// integer-identical ledgers between the interpreted and fused backends
+// over durable catalog inputs — and returns an error on any divergence.
+func TestColumnarBackendsAgree(t *testing.T) {
+	rs, err := RunColumnar(Config{Shrink: 64}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 3 {
+		t.Fatalf("got %d chains, want 3", len(rs))
+	}
+	for _, r := range rs {
+		if r.OutRows <= 0 || r.Rows <= 0 {
+			t.Errorf("%s: empty chain (in %d rows, out %d)", r.Name, r.Rows, r.OutRows)
+		}
+		if r.ActSecs <= 0 {
+			t.Errorf("%s: virtual clock %v, want > 0", r.Name, r.ActSecs)
+		}
+	}
+}

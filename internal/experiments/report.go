@@ -20,8 +20,11 @@ import (
 // environment context into a meta block and adds the generation timestamp.
 // v6 adds the fused execution backend: the Fused microbench rows (the same
 // chain executed interpreted and fused, with fusedExecSecs per row) and
-// their TotalFusedExecSecs gate metric.
-const BenchSchema = "ocas-bench/v6"
+// their TotalFusedExecSecs gate metric. v7 adds the columnar-layout rows
+// (durable chains through the struct-of-arrays batch path) with the
+// additive allocsPerOp/bytesPerOp columns and their TotalColumnarExecSecs
+// gate metric.
+const BenchSchema = "ocas-bench/v7"
 
 // BenchMeta is the report's environment context: wall-clock comparisons
 // only mean something between runs on comparable machines, so record what
@@ -59,6 +62,13 @@ type BenchRow struct {
 	// row's captured plan template at scaled cardinalities (ocasbench
 	// -templates); absent when templates were off or the capture went stale.
 	TemplateWarmSecs float64 `json:"templateWarmSecs,omitempty"`
+	// AllocsPerOp and BytesPerOp are heap allocations and bytes per input
+	// row measured around the row's interpreted executor run (-columnar
+	// rows only): the layout-regression canaries — a per-row copy creeping
+	// back into the batch protocol shows up here before it moves the
+	// wall-clock totals.
+	AllocsPerOp float64 `json:"allocsPerOp,omitempty"`
+	BytesPerOp  float64 `json:"bytesPerOp,omitempty"`
 	// EstOverAct is the calibration ratio of the paper's accuracy
 	// discussion: the tuned cost estimate (OptSecs) over the executor's
 	// virtual-clock measurement (ActSecs).
@@ -103,6 +113,10 @@ type BenchReport struct {
 	// equality contract verified, ExecSecs vs FusedExecSecs carrying the two
 	// wall-clocks.
 	Fused []BenchRow `json:"fused,omitempty"`
+	// Columnar holds the columnar-layout microbench rows (ocasbench
+	// -columnar): durable chains executed through the struct-of-arrays
+	// batch path under both backends, with allocation-rate columns.
+	Columnar []BenchRow `json:"columnar,omitempty"`
 	// TotalSynthSecs and TotalExecSecs sum the two wall-clocks over every
 	// Table 1 row, and TotalExecParSecs the executor wall-clock over the
 	// multi-worker rows: the gate metrics.
@@ -115,6 +129,11 @@ type BenchReport struct {
 	// TotalFusedExecSecs sums the fused-backend wall-clock over the Fused
 	// rows — the fused backend's gate metric (0 when -fused was off).
 	TotalFusedExecSecs float64 `json:"totalFusedExecSecs,omitempty"`
+	// TotalColumnarExecSecs sums both backends' wall-clocks over the
+	// Columnar rows — the batch-layout gate metric (0 when -columnar was
+	// off): a layout regression in either the interpreted or the kernel
+	// path moves it.
+	TotalColumnarExecSecs float64 `json:"totalColumnarExecSecs,omitempty"`
 }
 
 // IngestRow is one ingest-study workload in the machine-readable report.
@@ -200,9 +219,25 @@ func fusedRow(r *FusedResult) BenchRow {
 	return row
 }
 
-// NewBenchReport converts experiment results into a report. execPar, ingest
-// and fused may be nil when those sections did not run.
-func NewBenchReport(cfg Config, table1 []*Result, execPar []*Result, ingest []*IngestResult, fused []*FusedResult) *BenchReport {
+// columnarRow converts one columnar microbench result: ExecSecs carries
+// the interpreted wall-clock, FusedExecSecs the fused one, and the
+// allocation columns the interpreted run's heap rates.
+func columnarRow(r *ColumnarResult) BenchRow {
+	return BenchRow{
+		Name:          r.Name,
+		ActSecs:       r.ActSecs,
+		ExecSecs:      r.ExecSecs,
+		FusedExecSecs: r.FusedExecSecs,
+		ExecWorkers:   1,
+		Speedup:       r.Speedup,
+		AllocsPerOp:   r.AllocsPerOp,
+		BytesPerOp:    r.BytesPerOp,
+	}
+}
+
+// NewBenchReport converts experiment results into a report. execPar,
+// ingest, fused and columnar may be nil when those sections did not run.
+func NewBenchReport(cfg Config, table1 []*Result, execPar []*Result, ingest []*IngestResult, fused []*FusedResult, columnar []*ColumnarResult) *BenchReport {
 	strategy := cfg.Strategy
 	if strategy == "" {
 		strategy = "exhaustive"
@@ -236,6 +271,10 @@ func NewBenchReport(cfg Config, table1 []*Result, execPar []*Result, ingest []*I
 	for _, r := range fused {
 		rep.Fused = append(rep.Fused, fusedRow(r))
 		rep.TotalFusedExecSecs += r.FusedExecSecs
+	}
+	for _, r := range columnar {
+		rep.Columnar = append(rep.Columnar, columnarRow(r))
+		rep.TotalColumnarExecSecs += r.ExecSecs + r.FusedExecSecs
 	}
 	return rep
 }
@@ -312,6 +351,17 @@ func CompareBaseline(current, baseline *BenchReport, maxRegressPct float64) erro
 		if ratio > limit {
 			return fmt.Errorf("fused-executor wall-clock regressed %.1f%% (current %.3fs vs baseline %.3fs, limit +%.0f%%)",
 				(ratio-1)*100, current.TotalFusedExecSecs, baseline.TotalFusedExecSecs, maxRegressPct)
+		}
+	}
+	// The columnar-layout rows gate their interpreted wall-clock total the
+	// same way: a layout regression confined to the durable segment→batch
+	// path cannot hide behind the generated-input totals. Runs or baselines
+	// without -columnar carry 0 and skip the check.
+	if baseline.TotalColumnarExecSecs > 0 && current.TotalColumnarExecSecs > 0 {
+		ratio := current.TotalColumnarExecSecs / baseline.TotalColumnarExecSecs
+		if ratio > limit {
+			return fmt.Errorf("columnar-executor wall-clock regressed %.1f%% (current %.3fs vs baseline %.3fs, limit +%.0f%%)",
+				(ratio-1)*100, current.TotalColumnarExecSecs, baseline.TotalColumnarExecSecs, maxRegressPct)
 		}
 	}
 	// The multi-worker executor rows gate their own wall-clock total, so a

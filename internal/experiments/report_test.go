@@ -42,6 +42,8 @@ func TestBenchReportCalibration(t *testing.T) {
 		{Name: "hashjoin", Rows: 1000, Segments: 4, IngestSecs: 0.5, ScanSecs: 0.2, ActSecs: 8},
 	}, []*FusedResult{
 		{Name: "filterproject", ActSecs: 8, ExecSecs: 0.4, FusedExecSecs: 0.2, Speedup: 2},
+	}, []*ColumnarResult{
+		{Name: "durablescan", ActSecs: 8, ExecSecs: 0.3, FusedExecSecs: 0.1, Speedup: 3, AllocsPerOp: 0.01, BytesPerOp: 2.5},
 	})
 	if len(rep.Table1) != 1 {
 		t.Fatal("row missing")
@@ -53,7 +55,7 @@ func TestBenchReportCalibration(t *testing.T) {
 	if rep.TotalExecSecs != 0.25 {
 		t.Errorf("totalExecSecs = %v want 0.25", rep.TotalExecSecs)
 	}
-	if rep.Schema != "ocas-bench/v6" {
+	if rep.Schema != "ocas-bench/v7" {
 		t.Errorf("schema = %q", rep.Schema)
 	}
 	if rep.Meta.GoVersion == "" || rep.Meta.GOMAXPROCS < 1 {
@@ -80,13 +82,41 @@ func TestBenchReportCalibration(t *testing.T) {
 	if rep.TotalFusedExecSecs != 0.2 {
 		t.Errorf("totalFusedExecSecs = %v want 0.2", rep.TotalFusedExecSecs)
 	}
+	if len(rep.Columnar) != 1 || rep.Columnar[0].AllocsPerOp != 0.01 || rep.Columnar[0].BytesPerOp != 2.5 {
+		t.Fatalf("columnar rows wrong: %+v", rep.Columnar)
+	}
+	if rep.TotalColumnarExecSecs != 0.4 {
+		t.Errorf("totalColumnarExecSecs = %v want 0.4", rep.TotalColumnarExecSecs)
+	}
+}
+
+func TestCompareBaselineGatesColumnarClock(t *testing.T) {
+	mk := func(colSecs float64) *BenchReport {
+		r := benchFixture(1.0, 2.0)
+		r.TotalColumnarExecSecs = colSecs
+		return r
+	}
+	if err := CompareBaseline(mk(1.1), mk(1.0), 30); err != nil {
+		t.Errorf("within-limit columnar clock must pass: %v", err)
+	}
+	err := CompareBaseline(mk(2.0), mk(1.0), 30)
+	if err == nil || !strings.Contains(err.Error(), "columnar-executor") {
+		t.Errorf("columnar regression must gate, got %v", err)
+	}
+	// Runs or baselines without -columnar skip the check.
+	if err := CompareBaseline(mk(99.0), mk(0), 30); err != nil {
+		t.Errorf("pre-columnar baseline must skip the gate: %v", err)
+	}
+	if err := CompareBaseline(mk(0), mk(1.0), 30); err != nil {
+		t.Errorf("columnar-less run against a columnar baseline must skip the gate: %v", err)
+	}
 }
 
 func TestBenchReportTemplateWarm(t *testing.T) {
 	rep := NewBenchReport(Config{Shrink: 8, Templates: true}, []*Result{
 		{Name: "a", SynthSecs: 0.5, TemplateWarmSecs: 0.01},
 		{Name: "b", SynthSecs: 0.5, TemplateWarmSecs: 0.02},
-	}, nil, nil, nil)
+	}, nil, nil, nil, nil)
 	if rep.TotalTemplateWarmSecs != 0.03 {
 		t.Errorf("totalTemplateWarmSecs = %v want 0.03", rep.TotalTemplateWarmSecs)
 	}

@@ -277,12 +277,20 @@ const spillChunkRecords = 64 << 10
 // A Spill is single-writer: concurrent strands each write their own spill
 // (the executor's exchange gives every partition task a private spill per
 // bucket) and readers only start after the writing phase's barrier.
+//
+// The payload is column-striped: record field c of every record lives in
+// one contiguous vector, so ReadColsAt can hand the executor zero-copy
+// column views (the batch protocol's native currency) and durable segments
+// load without a row transpose. The charge model is layout-blind — charges
+// depend only on the (spill, index, count) sequence of Append/ReadAt
+// calls, never on how the bytes are arranged in host memory — so the
+// stripe changes no ledger.
 type Spill struct {
-	Data  []int32
 	dev   *Device
 	pool  *BufferPool // non-nil when created through a pool (stats)
 	width int64
 	cap   int64 // 0 = grow on demand
+	cols  [][]int32
 	vols  []*Volume
 	count int64
 	freed bool
@@ -295,12 +303,26 @@ type Spill struct {
 // Backing supplies the payload of a durably stored, read-only spill: the
 // rows live in segment files (see Segment) instead of being generated or
 // appended, and are materialized on first read. Implementations are called
-// at most once per spill (guarded by sync.Once), with dst sized for exactly
-// the records the spill was opened over.
+// at most once per spill (guarded by sync.Once), with dst holding one
+// destination slice per column, each sized for exactly the records the
+// spill was opened over.
 type Backing interface {
-	// ReadRecords fills dst with n records starting at record lo, row-major
-	// flat int32s — the same layout Spill.Data holds.
-	ReadRecords(dst []int32, lo, n int64) error
+	// ReadCols fills dst[c] with column c of n records starting at record
+	// lo — the same column-striped layout the spill holds.
+	ReadCols(dst [][]int32, lo, n int64) error
+}
+
+// ColViewer is an optional Backing capability: a backing whose payload is
+// already resident in host memory in column-major form (an mmap'd segment
+// on a matching-endian host) hands out read-only column views of a record
+// range without any copy, so ReadColsAt on a backed spill can skip the
+// whole-payload materialization entirely. ok=false means the range is not
+// contiguously viewable (unmapped file, foreign byte order, or a range
+// crossing a chunk/segment boundary) and the caller falls back to the
+// materialized path. Charges are identical either way — the charge model
+// depends only on the (spill, index, count) call sequence.
+type ColViewer interface {
+	ViewCols(dst [][]int32, lo, n int64) ([][]int32, bool)
 }
 
 // NewBackedSpill opens a read-only spill whose payload is supplied by b —
@@ -318,14 +340,23 @@ func (d *Device) NewBackedSpill(width, records int64, b Backing) (*Spill, error)
 	if records < 0 {
 		return nil, fmt.Errorf("storage: negative backed record count %d", records)
 	}
+	if width <= 0 || width%4 != 0 {
+		return nil, fmt.Errorf("storage: spill width must be a positive multiple of 4, got %d", width)
+	}
 	capRecords := records
 	if capRecords == 0 {
 		capRecords = 1 // devices reject zero-capacity volumes
 	}
-	s, err := d.NewSpill(width, capRecords)
+	s := &Spill{dev: d, width: width, cap: capRecords, cols: make([][]int32, width/4)}
+	vol, err := d.NewVolume(capRecords, width)
 	if err != nil {
 		return nil, err
 	}
+	// Unlike NewSpill, the column vectors stay nil here: when the backing is
+	// a ColViewer serving every read as an mmap view, the payload is never
+	// materialized and the allocation (and its zeroing) is never paid.
+	// load() allocates on the first view miss.
+	s.vols = []*Volume{vol}
 	s.backing = b
 	s.install(records)
 	return s, nil
@@ -334,9 +365,10 @@ func (d *Device) NewBackedSpill(width, records int64, b Backing) (*Spill, error)
 // load materializes a backed spill's payload, once.
 func (s *Spill) load() {
 	s.loadOnce.Do(func() {
-		w := s.width / 4
-		s.Data = s.Data[:s.count*w]
-		s.loadErr = s.backing.ReadRecords(s.Data, 0, s.count)
+		for c := range s.cols {
+			s.cols[c] = make([]int32, s.count)
+		}
+		s.loadErr = s.backing.ReadCols(s.cols, 0, s.count)
 	})
 	if s.loadErr != nil {
 		panic(fmt.Sprintf("storage: backed spill load: %v", s.loadErr))
@@ -349,16 +381,19 @@ func (d *Device) NewSpill(width, capRecords int64) (*Spill, error) {
 	if width <= 0 || width%4 != 0 {
 		return nil, fmt.Errorf("storage: spill width must be a positive multiple of 4, got %d", width)
 	}
-	s := &Spill{dev: d, width: width, cap: capRecords}
+	s := &Spill{dev: d, width: width, cap: capRecords, cols: make([][]int32, width/4)}
 	if capRecords > 0 {
 		vol, err := d.NewVolume(capRecords, width)
 		if err != nil {
 			return nil, err
 		}
 		s.vols = []*Volume{vol}
-		// The payload size is known: allocate it once instead of letting
-		// appends regrow it (the executor's sort sections hammer this).
-		s.Data = make([]int32, 0, capRecords*width/4)
+		// The payload size is known: allocate each column once instead of
+		// letting appends regrow it (the executor's sort sections hammer
+		// this).
+		for c := range s.cols {
+			s.cols[c] = make([]int32, 0, capRecords)
+		}
 	}
 	return s, nil
 }
@@ -430,8 +465,24 @@ func (s *Spill) install(n int64) {
 	}
 }
 
-// Append charges a write of the given records (whole records only) to the
-// caller's accounting strand.
+// stripe splits row-major records into the column vectors.
+func (s *Spill) stripe(recs []int32, n int64) {
+	w := len(s.cols)
+	if w == 1 {
+		s.cols[0] = append(s.cols[0], recs...)
+		return
+	}
+	for c := 0; c < w; c++ {
+		col := s.cols[c]
+		for i := int64(0); i < n; i++ {
+			col = append(col, recs[i*int64(w)+int64(c)])
+		}
+		s.cols[c] = col
+	}
+}
+
+// Append charges a write of the given row-major records (whole records
+// only) to the caller's accounting strand.
 func (s *Spill) Append(a *Acct, recs []int32) {
 	if len(recs) == 0 {
 		return
@@ -444,7 +495,7 @@ func (s *Spill) Append(a *Acct, recs []int32) {
 		panic(fmt.Sprintf("storage: append %d exceeds capacity %d (have %d)", n, s.cap, s.count))
 	}
 	at := s.count
-	s.Data = append(s.Data, recs...)
+	s.stripe(recs, n)
 	s.install(n)
 	a.chargeAppend(s, at, n)
 	if s.pool != nil {
@@ -454,8 +505,35 @@ func (s *Spill) Append(a *Acct, recs []int32) {
 	}
 }
 
-// Preload installs records without charging I/O: the data already resides
-// on the device when the run starts.
+// AppendCols charges a write of rows records supplied as per-column
+// vectors (cols[c][:rows]) — the executor's columnar batches append
+// without a row detour. The charge sequence is identical to Append of the
+// same records.
+func (s *Spill) AppendCols(a *Acct, cols [][]int32, rows int64) {
+	if rows <= 0 {
+		return
+	}
+	if s.backing != nil {
+		panic("storage: append to a backed (read-only) spill")
+	}
+	if s.cap > 0 && s.count+rows > s.cap {
+		panic(fmt.Sprintf("storage: append %d exceeds capacity %d (have %d)", rows, s.cap, s.count))
+	}
+	at := s.count
+	for c := range s.cols {
+		s.cols[c] = append(s.cols[c], cols[c][:rows]...)
+	}
+	s.install(rows)
+	a.chargeAppend(s, at, rows)
+	if s.pool != nil {
+		s.pool.mu.Lock()
+		s.pool.stats.SpillBytes += rows * s.width
+		s.pool.mu.Unlock()
+	}
+}
+
+// Preload installs row-major records without charging I/O: the data
+// already resides on the device when the run starts.
 func (s *Spill) Preload(recs []int32) {
 	if s.backing != nil {
 		panic("storage: preload into a backed (read-only) spill")
@@ -464,12 +542,14 @@ func (s *Spill) Preload(recs []int32) {
 	if s.cap > 0 && s.count+n > s.cap {
 		panic(fmt.Sprintf("storage: preload %d exceeds capacity %d (have %d)", n, s.cap, s.count))
 	}
-	s.Data = append(s.Data, recs...)
+	s.stripe(recs, n)
 	s.install(n)
 }
 
 // ReadAt charges a blocked read of up to n records starting at idx and
-// returns the flat payload.
+// returns the payload gathered row-major. Single-column spills return a
+// zero-copy view; wider spills gather into a fresh buffer per call (the
+// executor's hot paths use ReadColsAt instead, which never gathers).
 func (s *Spill) ReadAt(a *Acct, idx, n int64) []int32 {
 	if idx >= s.count {
 		return nil
@@ -481,8 +561,72 @@ func (s *Spill) ReadAt(a *Acct, idx, n int64) []int32 {
 		s.load()
 	}
 	a.chargeRead(s, idx, n)
-	w := s.width / 4
-	return s.Data[idx*w : (idx+n)*w]
+	w := len(s.cols)
+	if w == 1 {
+		return s.cols[0][idx : idx+n]
+	}
+	out := make([]int32, n*int64(w))
+	for c := 0; c < w; c++ {
+		col := s.cols[c][idx : idx+n]
+		for i, v := range col {
+			out[i*w+c] = v
+		}
+	}
+	return out
+}
+
+// ReadColsAt charges a blocked read of up to n records starting at idx —
+// the same charge ReadAt makes — and returns zero-copy per-column views of
+// the payload plus the clamped record count. dst, when non-nil, is reused
+// as the view header so steady-state readers allocate nothing; the views
+// stay valid as long as the spill is not appended to, reset or freed.
+func (s *Spill) ReadColsAt(a *Acct, idx, n int64, dst [][]int32) ([][]int32, int64) {
+	if idx >= s.count {
+		return nil, 0
+	}
+	if idx+n > s.count {
+		n = s.count - idx
+	}
+	if s.backing != nil {
+		if v, ok := s.backing.(ColViewer); ok {
+			if cols, viewed := v.ViewCols(dst, idx, n); viewed {
+				a.chargeRead(s, idx, n)
+				return cols, n
+			}
+		}
+		s.load()
+	}
+	a.chargeRead(s, idx, n)
+	w := len(s.cols)
+	if cap(dst) >= w {
+		dst = dst[:w]
+	} else {
+		dst = make([][]int32, w)
+	}
+	for c := 0; c < w; c++ {
+		dst[c] = s.cols[c][idx : idx+n]
+	}
+	return dst, n
+}
+
+// Flat returns the whole payload gathered row-major, without charging —
+// the debugging and test accessor for what Spill.Data used to expose.
+func (s *Spill) Flat() []int32 {
+	if s.count == 0 {
+		return nil
+	}
+	if s.backing != nil {
+		s.load()
+	}
+	w := len(s.cols)
+	out := make([]int32, s.count*int64(w))
+	for c := 0; c < w; c++ {
+		col := s.cols[c]
+		for i, v := range col {
+			out[i*w+c] = v
+		}
+	}
+	return out
 }
 
 // Reset empties the spill for reuse.
@@ -494,7 +638,9 @@ func (s *Spill) Reset() {
 		vol.Count = 0
 	}
 	s.count = 0
-	s.Data = s.Data[:0]
+	for c := range s.cols {
+		s.cols[c] = s.cols[c][:0]
+	}
 }
 
 // Free returns the spill's device space (and host memory). A cancelled or
@@ -514,5 +660,5 @@ func (s *Spill) Free() {
 	}
 	s.vols = nil
 	s.count = 0
-	s.Data = nil
+	s.cols = nil
 }

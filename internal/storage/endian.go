@@ -1,0 +1,29 @@
+package storage
+
+import "unsafe"
+
+// hostLittleEndian reports whether this host's native int32 byte order
+// matches the segment format's little-endian encoding, enabling the
+// decode-free read path (file bytes land directly in column memory).
+var hostLittleEndian = func() bool {
+	var x uint16 = 1
+	return *(*byte)(unsafe.Pointer(&x)) == 1
+}()
+
+// int32Bytes views an int32 slice as its raw byte image. Only valid for
+// reading file payloads whose encoding matches the host byte order.
+func int32Bytes(v []int32) []byte {
+	if len(v) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*byte)(unsafe.Pointer(&v[0])), len(v)*4)
+}
+
+// int32View views a little-endian byte run (4-byte aligned, e.g. a segment
+// chunk column inside an mmap) as a read-only int32 slice without copying.
+func int32View(b []byte) []int32 {
+	if len(b) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*int32)(unsafe.Pointer(&b[0])), len(b)/4)
+}

@@ -40,8 +40,19 @@ type Segment interface {
 	// Cols returns the number of int32 columns per row.
 	Cols() int
 	// ReadRows fills dst (len >= n*Cols()) with n rows starting at row lo,
-	// row-major — the flat record layout Spill and the executor use.
+	// row-major — the flat record layout of the ingest and catalog paths.
 	ReadRows(dst []int32, lo, n int64) error
+	// ReadCols fills dst[c] (each len >= n) with column c of n rows starting
+	// at row lo. The chunk interior is already column-major, so this is the
+	// transpose-free path the executor's columnar batches load through.
+	ReadCols(dst [][]int32, lo, n int64) error
+	// ViewCols returns read-only column views of n rows starting at row lo
+	// directly over the mapped file bytes, reusing dst as the view header.
+	// ok is false — and the caller must fall back to ReadCols — when the
+	// segment is not memory-mapped, the host byte order does not match the
+	// format, or the range crosses a chunk boundary (a chunk's columns are
+	// contiguous; the next chunk's are not adjacent to them).
+	ViewCols(dst [][]int32, lo, n int64) ([][]int32, bool)
 	// Close releases the underlying file or mapping.
 	Close() error
 }
@@ -117,6 +128,7 @@ func WriteSegment(path string, cols int, chunkRows int64, rows []int32) (err err
 type segment struct {
 	src       io.ReaderAt
 	closeSrc  func() error
+	mapped    []byte // raw mmap bytes (nil when reading through the file)
 	rows      int64
 	cols      int
 	chunkRows int64
@@ -140,10 +152,11 @@ func OpenSegment(path string, useMmap bool) (Segment, error) {
 	var (
 		src      io.ReaderAt = f
 		closeSrc             = f.Close
+		mapped   []byte
 	)
 	if useMmap {
-		if m, mclose, ok := mmapReader(f, st.Size()); ok {
-			src = m
+		if m, data, mclose, ok := mmapReader(f, st.Size()); ok {
+			src, mapped = m, data
 			fileClose := f.Close
 			closeSrc = func() error {
 				err := mclose()
@@ -159,6 +172,7 @@ func OpenSegment(path string, useMmap bool) (Segment, error) {
 		closeSrc()
 		return nil, err
 	}
+	s.mapped = mapped
 	return s, nil
 }
 
@@ -237,6 +251,85 @@ func (s *segment) ReadRows(dst []int32, lo, n int64) error {
 		n -= take
 	}
 	return nil
+}
+
+func (s *segment) ReadCols(dst [][]int32, lo, n int64) error {
+	if lo < 0 || n < 0 || lo+n > s.rows {
+		return fmt.Errorf("storage: segment read [%d,%d) out of %d rows", lo, lo+n, s.rows)
+	}
+	if len(dst) < s.cols {
+		return fmt.Errorf("storage: segment read dst %d columns, need %d", len(dst), s.cols)
+	}
+	for col := 0; col < s.cols; col++ {
+		if int64(len(dst[col])) < n {
+			return fmt.Errorf("storage: segment read dst column %d holds %d values, need %d", col, len(dst[col]), n)
+		}
+	}
+	out := int64(0)
+	for n > 0 {
+		c := lo / s.chunkRows
+		chunkLo := c * s.chunkRows
+		rc := s.chunkRows // rows resident in this chunk
+		if chunkLo+rc > s.rows {
+			rc = s.rows - chunkLo
+		}
+		in := lo - chunkLo // first wanted row within the chunk
+		take := rc - in
+		if take > n {
+			take = n
+		}
+		// One contiguous read per column, decoded straight into the column
+		// destination — no row transpose. On little-endian hosts the file
+		// bytes are the destination's in-memory image, so the read lands
+		// directly in the column (no scratch pass, no per-value decode).
+		for col := int64(0); col < int64(s.cols); col++ {
+			off := s.chunkOffset(c) + (col*rc+in)*4
+			d := dst[col][out : out+take]
+			if hostLittleEndian {
+				if _, err := s.src.ReadAt(int32Bytes(d), off); err != nil {
+					return fmt.Errorf("storage: segment read: %w", err)
+				}
+				continue
+			}
+			buf := s.scratch[:take*4]
+			if _, err := s.src.ReadAt(buf, off); err != nil {
+				return fmt.Errorf("storage: segment read: %w", err)
+			}
+			for r := int64(0); r < take; r++ {
+				d[r] = int32(binary.LittleEndian.Uint32(buf[r*4:]))
+			}
+		}
+		out += take
+		lo += take
+		n -= take
+	}
+	return nil
+}
+
+func (s *segment) ViewCols(dst [][]int32, lo, n int64) ([][]int32, bool) {
+	if s.mapped == nil || !hostLittleEndian || n <= 0 || lo < 0 || lo+n > s.rows {
+		return nil, false
+	}
+	c := lo / s.chunkRows
+	chunkLo := c * s.chunkRows
+	if lo+n > chunkLo+s.chunkRows {
+		return nil, false // range crosses into the next chunk
+	}
+	rc := s.chunkRows // rows resident in this chunk
+	if chunkLo+rc > s.rows {
+		rc = s.rows - chunkLo
+	}
+	in := lo - chunkLo
+	if int64(cap(dst)) >= int64(s.cols) {
+		dst = dst[:s.cols]
+	} else {
+		dst = make([][]int32, s.cols)
+	}
+	for col := int64(0); col < int64(s.cols); col++ {
+		off := s.chunkOffset(c) + (col*rc+in)*4
+		dst[col] = int32View(s.mapped[off : off+n*4])
+	}
+	return dst, true
 }
 
 func (s *segment) Close() error {

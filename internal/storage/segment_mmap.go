@@ -9,17 +9,18 @@ import (
 	"syscall"
 )
 
-// mmapReader maps f read-only and returns an io.ReaderAt over the mapping
-// plus its unmap function. ok is false when the mapping is unavailable
-// (empty file, or the kernel refused), in which case the caller falls back
-// to plain file reads.
-func mmapReader(f *os.File, size int64) (io.ReaderAt, func() error, bool) {
+// mmapReader maps f read-only and returns an io.ReaderAt over the mapping,
+// the raw mapped bytes (for zero-copy column views), and its unmap
+// function. ok is false when the mapping is unavailable (empty file, or
+// the kernel refused), in which case the caller falls back to plain file
+// reads.
+func mmapReader(f *os.File, size int64) (io.ReaderAt, []byte, func() error, bool) {
 	if size <= 0 || size != int64(int(size)) {
-		return nil, nil, false
+		return nil, nil, nil, false
 	}
 	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
 	if err != nil {
-		return nil, nil, false
+		return nil, nil, nil, false
 	}
-	return bytes.NewReader(data), func() error { return syscall.Munmap(data) }, true
+	return bytes.NewReader(data), data, func() error { return syscall.Munmap(data) }, true
 }

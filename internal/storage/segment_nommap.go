@@ -9,6 +9,6 @@ import (
 
 // mmapReader reports no mmap support on this platform; OpenSegment falls
 // back to plain os.File ReadAt calls.
-func mmapReader(f *os.File, size int64) (io.ReaderAt, func() error, bool) {
-	return nil, nil, false
+func mmapReader(f *os.File, size int64) (io.ReaderAt, []byte, func() error, bool) {
+	return nil, nil, nil, false
 }

@@ -67,6 +67,21 @@ func TestSegmentRoundTrip(t *testing.T) {
 							t.Fatalf("mmap=%v: partial value %d mismatch", useMmap, i)
 						}
 					}
+					// The columnar path must agree with the row path.
+					colDst := make([][]int32, tc.cols)
+					for c := range colDst {
+						colDst[c] = make([]int32, n)
+					}
+					if err := seg.ReadCols(colDst, lo, n); err != nil {
+						t.Fatalf("partial ReadCols: %v", err)
+					}
+					for c := 0; c < tc.cols; c++ {
+						for r := int64(0); r < n; r++ {
+							if colDst[c][r] != want[(lo+r)*int64(tc.cols)+int64(c)] {
+								t.Fatalf("mmap=%v: column %d row %d mismatch", useMmap, c, r)
+							}
+						}
+					}
 				}
 				if err := seg.Close(); err != nil {
 					t.Fatalf("Close: %v", err)
@@ -114,14 +129,18 @@ func TestWriteSegmentValidates(t *testing.T) {
 	}
 }
 
-// sliceBacking serves records from an in-memory payload.
+// sliceBacking serves columns from an in-memory row-major payload.
 type sliceBacking struct {
 	data []int32
 	cols int64
 }
 
-func (b sliceBacking) ReadRecords(dst []int32, lo, n int64) error {
-	copy(dst, b.data[lo*b.cols:(lo+n)*b.cols])
+func (b sliceBacking) ReadCols(dst [][]int32, lo, n int64) error {
+	for c := int64(0); c < b.cols; c++ {
+		for r := int64(0); r < n; r++ {
+			dst[c][r] = b.data[(lo+r)*b.cols+c]
+		}
+	}
 	return nil
 }
 
